@@ -1,0 +1,153 @@
+//! Actions, input events, and call sites.
+//!
+//! An [`ActionSpec`] is the static description of one user action kind:
+//! which input events it delivers and which APIs each event's handler
+//! calls (possibly through wrapper frames). Ground truth lives here too:
+//! a call site may be tagged with the bug it implements, which is what
+//! the evaluation harness counts true/false positives against.
+
+use serde::{Deserialize, Serialize};
+
+use hd_simrt::ActionUid;
+
+use crate::api::ApiId;
+
+/// One call site inside an input-event handler.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Call {
+    /// Wrapper chain between the handler and the working API, outermost
+    /// first (library entry points, self-developed helpers).
+    pub via: Vec<ApiId>,
+    /// The API that does the work.
+    pub api: ApiId,
+    /// Ground-truth bug id if this call site is a soft hang bug
+    /// (e.g. `"k9mail-1007-clean"`).
+    pub bug_id: Option<String>,
+    /// Whether the (fixed variant of the) app offloads this call to a
+    /// worker thread.
+    pub offloaded: bool,
+}
+
+impl Call {
+    /// A direct call to `api`.
+    pub fn direct(api: ApiId) -> Call {
+        Call {
+            via: Vec::new(),
+            api,
+            bug_id: None,
+            offloaded: false,
+        }
+    }
+
+    /// A call to `api` through the given wrapper chain.
+    pub fn via(wrappers: Vec<ApiId>, api: ApiId) -> Call {
+        Call {
+            via: wrappers,
+            api,
+            bug_id: None,
+            offloaded: false,
+        }
+    }
+
+    /// Tags this call site as a ground-truth bug.
+    pub fn bug(mut self, id: &str) -> Call {
+        self.bug_id = Some(id.to_string());
+        self
+    }
+}
+
+/// One input event of an action: a handler symbol plus its calls.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventSpec {
+    /// The handler method, e.g. `org.myapp.MainActivity.onClick`.
+    pub handler: String,
+    /// Source line of the handler.
+    pub handler_line: u32,
+    /// Calls the handler makes, in order.
+    pub calls: Vec<Call>,
+}
+
+impl EventSpec {
+    /// Creates an event with the given handler and calls.
+    pub fn new(handler: &str, handler_line: u32, calls: Vec<Call>) -> EventSpec {
+        EventSpec {
+            handler: handler.to_string(),
+            handler_line,
+            calls,
+        }
+    }
+}
+
+/// One user action kind of an app.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ActionSpec {
+    /// App Injector UID.
+    pub uid: ActionUid,
+    /// Human-readable name ("open email", "scroll timeline").
+    pub name: String,
+    /// Input events delivered per execution.
+    pub events: Vec<EventSpec>,
+    /// Relative frequency in generated user traces.
+    pub weight: f64,
+}
+
+impl ActionSpec {
+    /// Creates an action with weight 1.
+    pub fn new(uid: u64, name: &str, events: Vec<EventSpec>) -> ActionSpec {
+        ActionSpec {
+            uid: ActionUid(uid),
+            name: name.to_string(),
+            events,
+            weight: 1.0,
+        }
+    }
+
+    /// Sets the trace weight.
+    pub fn weighted(mut self, w: f64) -> ActionSpec {
+        self.weight = w;
+        self
+    }
+
+    /// Iterates over all call sites of the action.
+    pub fn calls(&self) -> impl Iterator<Item = &Call> {
+        self.events.iter().flat_map(|e| e.calls.iter())
+    }
+
+    /// Returns the ground-truth bug ids present in this action.
+    pub fn bug_ids(&self) -> Vec<&str> {
+        self.calls().filter_map(|c| c.bug_id.as_deref()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bug_tagging_and_enumeration() {
+        let a = ActionSpec::new(
+            1,
+            "open email",
+            vec![EventSpec::new(
+                "com.fsck.k9.MessageView.onOpen",
+                371,
+                vec![
+                    Call::direct(ApiId(0)),
+                    Call::via(vec![ApiId(1)], ApiId(2)).bug("k9mail-1007-clean"),
+                ],
+            )],
+        );
+        assert_eq!(a.bug_ids(), vec!["k9mail-1007-clean"]);
+        assert_eq!(a.calls().count(), 2);
+        assert_eq!(a.weight, 1.0);
+        assert_eq!(a.weighted(3.0).weight, 3.0);
+    }
+
+    #[test]
+    fn direct_call_has_empty_via() {
+        let c = Call::direct(ApiId(5));
+        assert!(c.via.is_empty());
+        assert!(c.bug_id.is_none());
+        assert!(!c.offloaded);
+    }
+}

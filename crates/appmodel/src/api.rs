@@ -1,0 +1,322 @@
+//! API specifications: names, classification, and cost models.
+//!
+//! Every operation an app performs is a call to an *API* — an Android
+//! framework method, a third-party library method, or a self-developed
+//! function. The classification mirrors the paper's taxonomy: UI APIs
+//! must stay on the main thread and are never soft hang bugs; blocking
+//! APIs can (and should) be moved off; some blocking APIs only became
+//! *known* as blocking years after release, which is the gap Hang Doctor
+//! fills.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dist::Dist;
+use crate::profile::ProfileKind;
+
+/// Index of an API within an [`crate::app::App`]'s API list.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ApiId(pub usize);
+
+/// Classification of an API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApiKind {
+    /// Manipulates the UI; must execute on the main thread. Never a soft
+    /// hang bug.
+    Ui,
+    /// A blocking operation that could run on a worker thread.
+    ///
+    /// `known_since` is the year the API was publicly documented as
+    /// blocking (e.g. `camera.open` in 2011); `None` means it is still
+    /// unknown to offline detectors at study time.
+    Blocking {
+        /// Year the API became known as blocking, if ever.
+        known_since: Option<u16>,
+    },
+    /// A self-developed lengthy operation (heavy loop etc.); offline
+    /// name-matching can never find these.
+    SelfDeveloped,
+    /// A pass-through wrapper (library entry point or app helper) that
+    /// does no work itself but appears on the stack between the handler
+    /// and the API doing the work.
+    Wrapper,
+}
+
+/// Full specification of one API.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ApiSpec {
+    /// Fully qualified symbol, e.g. `android.hardware.Camera.open`.
+    pub symbol: String,
+    /// Source file of the implementation.
+    pub file: String,
+    /// Line in `file`.
+    pub line: u32,
+    /// Classification.
+    pub kind: ApiKind,
+    /// Execution cost model.
+    pub cost: CostSpec,
+    /// Whether the API lives in a closed-source (unscannable) library.
+    pub closed_source: bool,
+}
+
+impl ApiSpec {
+    /// Creates an API spec; the file defaults to `<Class>.java`.
+    pub fn new(symbol: &str, line: u32, kind: ApiKind, cost: CostSpec) -> ApiSpec {
+        let class = symbol.rsplit_once('.').map(|(c, _)| c).unwrap_or(symbol);
+        let short = class.rsplit_once('.').map(|(_, s)| s).unwrap_or(class);
+        ApiSpec {
+            symbol: symbol.to_string(),
+            file: format!("{short}.java"),
+            line,
+            kind,
+            cost,
+            closed_source: false,
+        }
+    }
+
+    /// Marks the API as living in a closed-source library.
+    pub fn closed(mut self) -> ApiSpec {
+        self.closed_source = true;
+        self
+    }
+
+    /// Returns whether this API is in the known-blocking database as of
+    /// `year` (what an offline scanner of that vintage would know).
+    pub fn known_blocking_in(&self, year: u16) -> bool {
+        matches!(self.kind, ApiKind::Blocking { known_since: Some(y) } if y <= year)
+    }
+
+    /// Returns whether this is a UI API.
+    pub fn is_ui(&self) -> bool {
+        matches!(self.kind, ApiKind::Ui)
+    }
+}
+
+/// Stochastic execution cost of one API call.
+///
+/// Each execution samples a *heavy* path with probability `manifest_p`,
+/// otherwise a *light* path scaled by `light_scale` — this is how
+/// occasionally-manifesting soft hang bugs (paper Section 3.2, Path B/C)
+/// are modeled.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostSpec {
+    /// CPU time on the calling thread.
+    pub cpu: Dist,
+    /// Blocked (off-CPU) time.
+    pub io: Dist,
+    /// Profile of the CPU portion.
+    pub profile: ProfileKind,
+    /// Render frames posted (UI APIs).
+    pub frames: Dist,
+    /// CPU cost per posted frame on the render thread.
+    pub frame_ns: u64,
+    /// Probability the heavy path is taken.
+    pub manifest_p: f64,
+    /// Scale applied to cpu/io/frames on the light path.
+    pub light_scale: f64,
+    /// Number of separate blocking waits the I/O time is split into
+    /// (each wait is one voluntary context switch).
+    pub io_chunks: u32,
+    /// Whether the blocked time is network I/O (transfers bytes the
+    /// network-on-main extension can observe).
+    pub network: bool,
+}
+
+/// One sampled execution cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SampledCost {
+    /// CPU ns on the calling thread.
+    pub cpu_ns: u64,
+    /// Blocked ns.
+    pub io_ns: u64,
+    /// Render frames posted.
+    pub frames: u32,
+    /// Per-frame render cost.
+    pub frame_ns: u64,
+    /// Whether the heavy path manifested.
+    pub heavy: bool,
+}
+
+impl SampledCost {
+    /// Total time the call occupies the calling thread (CPU + blocked).
+    pub fn busy_ns(&self) -> u64 {
+        self.cpu_ns + self.io_ns
+    }
+}
+
+impl CostSpec {
+    /// A zero-cost spec (for wrappers).
+    pub const fn none() -> CostSpec {
+        CostSpec {
+            cpu: Dist::ZERO,
+            io: Dist::ZERO,
+            profile: ProfileKind::Ui,
+            frames: Dist::ZERO,
+            frame_ns: 0,
+            manifest_p: 1.0,
+            light_scale: 1.0,
+            io_chunks: 1,
+            network: false,
+        }
+    }
+
+    /// Builder: always-manifesting CPU-only cost.
+    pub const fn cpu(cpu: Dist, profile: ProfileKind) -> CostSpec {
+        CostSpec {
+            cpu,
+            io: Dist::ZERO,
+            profile,
+            frames: Dist::ZERO,
+            frame_ns: 0,
+            manifest_p: 1.0,
+            light_scale: 1.0,
+            io_chunks: 1,
+            network: false,
+        }
+    }
+
+    /// Builder: blocking I/O with a small CPU shim.
+    pub const fn io(setup_cpu: Dist, io: Dist) -> CostSpec {
+        CostSpec {
+            cpu: setup_cpu,
+            io,
+            profile: ProfileKind::IoStub,
+            frames: Dist::ZERO,
+            frame_ns: 0,
+            manifest_p: 1.0,
+            light_scale: 1.0,
+            io_chunks: 1,
+            network: false,
+        }
+    }
+
+    /// Builder: UI work posting render frames.
+    pub const fn ui(cpu: Dist, frames: Dist, frame_ns: u64) -> CostSpec {
+        CostSpec {
+            cpu,
+            io: Dist::ZERO,
+            profile: ProfileKind::Ui,
+            frames,
+            frame_ns,
+            manifest_p: 1.0,
+            light_scale: 1.0,
+            io_chunks: 1,
+            network: false,
+        }
+    }
+
+    /// Builder: sets occasional manifestation.
+    pub const fn occasional(mut self, manifest_p: f64, light_scale: f64) -> CostSpec {
+        self.manifest_p = manifest_p;
+        self.light_scale = light_scale;
+        self
+    }
+
+    /// Builder: overrides the profile.
+    pub const fn with_profile(mut self, profile: ProfileKind) -> CostSpec {
+        self.profile = profile;
+        self
+    }
+
+    /// Builder: splits the blocking time into `n` separate waits.
+    pub const fn chunks(mut self, n: u32) -> CostSpec {
+        self.io_chunks = if n == 0 { 1 } else { n };
+        self
+    }
+
+    /// Builder: marks the blocked time as network I/O.
+    pub const fn network(mut self) -> CostSpec {
+        self.network = true;
+        self
+    }
+
+    /// Draws one execution's cost.
+    pub fn sample(&self, rng: &mut hd_simrt::SimRng) -> SampledCost {
+        let heavy = rng.chance(self.manifest_p);
+        let scale = if heavy { 1.0 } else { self.light_scale };
+        let cpu_ns = (self.cpu.sample(rng) as f64 * scale).round() as u64;
+        let io_ns = (self.io.sample(rng) as f64 * scale).round() as u64;
+        let frames = (self.frames.sample(rng) as f64 * scale).round() as u32;
+        SampledCost {
+            cpu_ns,
+            io_ns,
+            frames,
+            frame_ns: self.frame_ns,
+            heavy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_simrt::{SimRng, MILLIS};
+
+    #[test]
+    fn known_blocking_window() {
+        let api = ApiSpec::new(
+            "android.hardware.Camera.open",
+            120,
+            ApiKind::Blocking {
+                known_since: Some(2011),
+            },
+            CostSpec::io(Dist::fixed(MILLIS), Dist::fixed(250 * MILLIS)),
+        );
+        assert!(!api.known_blocking_in(2010));
+        assert!(api.known_blocking_in(2011));
+        assert!(api.known_blocking_in(2017));
+        let unknown = ApiSpec::new(
+            "org.htmlcleaner.HtmlCleaner.clean",
+            25,
+            ApiKind::Blocking { known_since: None },
+            CostSpec::cpu(Dist::fixed(MILLIS), ProfileKind::MemoryHeavy),
+        );
+        assert!(!unknown.known_blocking_in(2017));
+    }
+
+    #[test]
+    fn file_derived_from_class() {
+        let api = ApiSpec::new(
+            "com.google.gson.Gson.toJson",
+            946,
+            ApiKind::Blocking { known_since: None },
+            CostSpec::none(),
+        );
+        assert_eq!(api.file, "Gson.java");
+        assert_eq!(api.line, 946);
+    }
+
+    #[test]
+    fn occasional_sampling_splits_paths() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let spec =
+            CostSpec::cpu(Dist::fixed(300 * MILLIS), ProfileKind::Compute).occasional(0.3, 0.05);
+        let samples: Vec<SampledCost> = (0..2000).map(|_| spec.sample(&mut rng)).collect();
+        let heavy = samples.iter().filter(|s| s.heavy).count();
+        assert!((450..750).contains(&heavy), "heavy {heavy}");
+        for s in &samples {
+            if s.heavy {
+                assert_eq!(s.cpu_ns, 300 * MILLIS);
+            } else {
+                assert_eq!(s.cpu_ns, 15 * MILLIS);
+            }
+        }
+    }
+
+    #[test]
+    fn ui_cost_posts_frames() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let spec = CostSpec::ui(Dist::fixed(10 * MILLIS), Dist::fixed(8), 4 * MILLIS);
+        let s = spec.sample(&mut rng);
+        assert_eq!(s.frames, 8);
+        assert_eq!(s.frame_ns, 4 * MILLIS);
+        assert_eq!(s.busy_ns(), 10 * MILLIS);
+    }
+
+    #[test]
+    fn closed_marker() {
+        let api = ApiSpec::new("x.Y.z", 1, ApiKind::Wrapper, CostSpec::none()).closed();
+        assert!(api.closed_source);
+    }
+}

@@ -1,0 +1,292 @@
+//! App specifications: APIs + actions + ground-truth bug inventory.
+
+use serde::{Deserialize, Serialize};
+
+use hd_simrt::ActionUid;
+
+use crate::action::ActionSpec;
+use crate::api::{ApiId, ApiKind, ApiSpec};
+
+/// Ground-truth description of one soft hang bug in an app.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BugSpec {
+    /// Stable id matching the `bug_id` tags on call sites.
+    pub id: String,
+    /// GitHub issue number (Table 5).
+    pub issue: u32,
+    /// The blocking API at the root of the bug.
+    pub api: ApiId,
+    /// Action containing the buggy call site.
+    pub action: ActionUid,
+    /// Short description for reports.
+    pub description: String,
+}
+
+/// A complete app model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct App {
+    /// Display name (Table 5 "App Name").
+    pub name: String,
+    /// Package, used to derive handler symbols.
+    pub package: String,
+    /// Play-store category.
+    pub category: String,
+    /// Approximate download count.
+    pub downloads: u64,
+    /// Version under test.
+    pub commit: String,
+    /// All APIs referenced by this app's actions.
+    pub apis: Vec<ApiSpec>,
+    /// The app's user actions.
+    pub actions: Vec<ActionSpec>,
+    /// Ground-truth soft hang bugs.
+    pub bugs: Vec<BugSpec>,
+}
+
+impl App {
+    /// Looks up an API spec.
+    pub fn api(&self, id: ApiId) -> &ApiSpec {
+        &self.apis[id.0]
+    }
+
+    /// Finds an action by uid.
+    pub fn action(&self, uid: ActionUid) -> Option<&ActionSpec> {
+        self.actions.iter().find(|a| a.uid == uid)
+    }
+
+    /// Finds a bug by id.
+    pub fn bug(&self, id: &str) -> Option<&BugSpec> {
+        self.bugs.iter().find(|b| b.id == id)
+    }
+
+    /// Returns a variant of the app with the given bugs fixed (their
+    /// call sites offloaded to a worker thread), as a developer would do
+    /// after a Hang Doctor report.
+    pub fn with_bugs_fixed(&self, bug_ids: &[&str]) -> App {
+        let mut fixed = self.clone();
+        for action in &mut fixed.actions {
+            for event in &mut action.events {
+                for call in &mut event.calls {
+                    if let Some(id) = &call.bug_id {
+                        if bug_ids.contains(&id.as_str()) {
+                            call.offloaded = true;
+                        }
+                    }
+                }
+            }
+        }
+        fixed
+    }
+
+    /// Returns a variant with *all* bugs fixed.
+    pub fn with_all_bugs_fixed(&self) -> App {
+        let ids: Vec<&str> = self.bugs.iter().map(|b| b.id.as_str()).collect();
+        self.with_bugs_fixed(&ids)
+    }
+
+    /// Whether an offline scanner can see a given call site's API name.
+    ///
+    /// A call is invisible when the working API itself, or any wrapper it
+    /// is reached through, lives in a closed-source library.
+    pub fn call_visible(&self, call: &crate::action::Call) -> bool {
+        if self.api(call.api).closed_source {
+            return false;
+        }
+        call.via.iter().all(|w| !self.api(*w).closed_source)
+    }
+
+    /// Validates internal consistency (API indices, bug tags).
+    ///
+    /// Returns a list of problems; empty means the model is sound.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut seen_uids = std::collections::HashSet::new();
+        for action in &self.actions {
+            if !seen_uids.insert(action.uid) {
+                problems.push(format!("duplicate action uid {:?}", action.uid));
+            }
+            for event in &action.events {
+                for call in &event.calls {
+                    if call.api.0 >= self.apis.len() {
+                        problems.push(format!(
+                            "action '{}' references missing api {:?}",
+                            action.name, call.api
+                        ));
+                        continue;
+                    }
+                    for w in &call.via {
+                        if w.0 >= self.apis.len() {
+                            problems.push(format!(
+                                "action '{}' references missing wrapper {:?}",
+                                action.name, w
+                            ));
+                        } else if !matches!(self.api(*w).kind, ApiKind::Wrapper) {
+                            problems.push(format!(
+                                "action '{}' uses non-wrapper '{}' as via",
+                                action.name,
+                                self.api(*w).symbol
+                            ));
+                        }
+                    }
+                    if let Some(bug_id) = &call.bug_id {
+                        if self.bug(bug_id).is_none() {
+                            problems.push(format!("call tagged with unknown bug '{bug_id}'"));
+                        }
+                        if self.api(call.api).is_ui() {
+                            problems.push(format!(
+                                "bug '{bug_id}' tags a UI API ({})",
+                                self.api(call.api).symbol
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for bug in &self.bugs {
+            let tagged = self
+                .actions
+                .iter()
+                .flat_map(|a| a.calls())
+                .any(|c| c.bug_id.as_deref() == Some(bug.id.as_str()));
+            if !tagged {
+                problems.push(format!("bug '{}' has no tagged call site", bug.id));
+            }
+            if self.action(bug.action).is_none() {
+                problems.push(format!("bug '{}' names missing action", bug.id));
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Call, EventSpec};
+    use crate::api::CostSpec;
+    use crate::dist::Dist;
+    use hd_simrt::MILLIS;
+
+    fn tiny_app() -> App {
+        let apis = vec![
+            ApiSpec::new(
+                "android.widget.TextView.setText",
+                100,
+                ApiKind::Ui,
+                CostSpec::ui(Dist::fixed(5 * MILLIS), Dist::fixed(3), 4 * MILLIS),
+            ),
+            ApiSpec::new(
+                "android.hardware.Camera.open",
+                120,
+                ApiKind::Blocking {
+                    known_since: Some(2011),
+                },
+                CostSpec::io(Dist::fixed(MILLIS), Dist::fixed(250 * MILLIS)),
+            ),
+            ApiSpec::new(
+                "org.lib.Wrapper.call",
+                10,
+                ApiKind::Wrapper,
+                CostSpec::none(),
+            )
+            .closed(),
+        ];
+        App {
+            name: "Tiny".into(),
+            package: "org.tiny".into(),
+            category: "Tools".into(),
+            downloads: 100,
+            commit: "abc123".into(),
+            apis,
+            actions: vec![ActionSpec::new(
+                0,
+                "resume",
+                vec![EventSpec::new(
+                    "org.tiny.Main.onResume",
+                    40,
+                    vec![
+                        Call::direct(ApiId(0)),
+                        Call::direct(ApiId(1)).bug("tiny-1"),
+                        Call::via(vec![ApiId(2)], ApiId(1)).bug("tiny-2"),
+                    ],
+                )],
+            )],
+            bugs: vec![
+                BugSpec {
+                    id: "tiny-1".into(),
+                    issue: 1,
+                    api: ApiId(1),
+                    action: ActionUid(0),
+                    description: "camera open on main thread".into(),
+                },
+                BugSpec {
+                    id: "tiny-2".into(),
+                    issue: 2,
+                    api: ApiId(1),
+                    action: ActionUid(0),
+                    description: "camera open via closed wrapper".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn tiny_app_validates() {
+        assert!(tiny_app().validate().is_empty());
+    }
+
+    #[test]
+    fn visibility_respects_closed_wrappers() {
+        let app = tiny_app();
+        let action = &app.actions[0];
+        let calls: Vec<&Call> = action.calls().collect();
+        assert!(app.call_visible(calls[0]));
+        assert!(app.call_visible(calls[1]));
+        assert!(!app.call_visible(calls[2]));
+    }
+
+    #[test]
+    fn fixing_bugs_offloads_their_calls() {
+        let app = tiny_app();
+        let fixed = app.with_bugs_fixed(&["tiny-1"]);
+        let calls: Vec<&Call> = fixed.actions[0].calls().collect();
+        assert!(!calls[0].offloaded);
+        assert!(calls[1].offloaded);
+        assert!(!calls[2].offloaded);
+        let all = app.with_all_bugs_fixed();
+        let calls: Vec<&Call> = all.actions[0].calls().collect();
+        assert!(calls[1].offloaded && calls[2].offloaded);
+    }
+
+    #[test]
+    fn validation_catches_bad_references() {
+        let mut app = tiny_app();
+        app.actions[0].events[0].calls[0].api = ApiId(99);
+        assert!(!app.validate().is_empty());
+
+        let mut app = tiny_app();
+        app.actions[0].events[0].calls[0] = Call::direct(ApiId(0)).bug("nonexistent");
+        assert!(app.validate().iter().any(|p| p.contains("unknown bug")));
+
+        let mut app = tiny_app();
+        // Tag a UI API as a bug: invalid by definition.
+        app.actions[0].events[0].calls[0] = Call::direct(ApiId(0)).bug("tiny-1");
+        assert!(app.validate().iter().any(|p| p.contains("UI API")));
+    }
+
+    #[test]
+    fn validation_catches_untagged_bug() {
+        let mut app = tiny_app();
+        app.bugs.push(BugSpec {
+            id: "ghost".into(),
+            issue: 9,
+            api: ApiId(1),
+            action: ActionUid(0),
+            description: "no call site".into(),
+        });
+        assert!(app
+            .validate()
+            .iter()
+            .any(|p| p.contains("no tagged call site")));
+    }
+}

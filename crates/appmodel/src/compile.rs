@@ -1,0 +1,411 @@
+//! Compilation of app models into executable step sequences.
+//!
+//! A [`CompiledApp`] interns every stack frame the app can produce and
+//! turns an action execution into an [`ActionRequest`] (concrete steps
+//! with sampled costs) plus an [`ExecTruth`] — the ground-truth record of
+//! how much main-thread blocking each bug contributed to that execution,
+//! which the evaluation harness scores detectors against.
+
+use hd_simrt::{ActionRequest, ActionUid, FrameId, FrameTable, SimRng, Step, MICROS};
+use serde::{Deserialize, Serialize};
+
+use crate::action::{Call, EventSpec};
+use crate::app::App;
+
+/// CPU cost on the main thread of posting a task to a worker
+/// (`AsyncTask.execute` analog) in a fixed app variant.
+const POST_WORKER_CPU_NS: u64 = 150 * MICROS;
+
+/// Ground truth for one action execution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExecTruth {
+    /// Action kind.
+    pub uid: ActionUid,
+    /// Action name.
+    pub action_name: String,
+    /// Sampled main-thread busy time (CPU + blocked) of each bug call in
+    /// this execution. Offloaded (fixed) calls contribute zero.
+    pub bug_ns: Vec<(String, u64)>,
+    /// Sampled main-thread busy time of every non-bug call.
+    pub other_main_ns: u64,
+}
+
+impl ExecTruth {
+    /// The bug contributing the most main-thread blocking, if any bug
+    /// contributed at least `min_ns`.
+    pub fn culprit(&self, min_ns: u64) -> Option<&str> {
+        self.bug_ns
+            .iter()
+            .filter(|(_, ns)| *ns >= min_ns)
+            .max_by_key(|(_, ns)| *ns)
+            .map(|(id, _)| id.as_str())
+    }
+
+    /// Whether this execution contains a bug manifestation of at least
+    /// `min_ns` of main-thread blocking.
+    pub fn is_buggy(&self, min_ns: u64) -> bool {
+        self.culprit(min_ns).is_some()
+    }
+
+    /// Total sampled bug blocking in this execution.
+    pub fn total_bug_ns(&self) -> u64 {
+        self.bug_ns.iter().map(|(_, ns)| ns).sum()
+    }
+}
+
+/// An app with its frames interned, ready to generate executions.
+#[derive(Clone, Debug)]
+pub struct CompiledApp {
+    app: App,
+    table: FrameTable,
+    api_frames: Vec<FrameId>,
+    /// `handler_frames[action_index][event_index]`.
+    handler_frames: Vec<Vec<FrameId>>,
+    looper_frame: FrameId,
+    dispatch_frame: FrameId,
+}
+
+impl CompiledApp {
+    /// Interns all frames of `app`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app fails [`App::validate`]; compile errors in the
+    /// hand-written corpus should surface loudly.
+    pub fn new(app: App) -> CompiledApp {
+        let problems = app.validate();
+        assert!(
+            problems.is_empty(),
+            "app '{}' is inconsistent: {problems:?}",
+            app.name
+        );
+        let mut table = FrameTable::new();
+        let looper_frame = table.intern_new("android.os.Looper.loop", "Looper.java", 193);
+        let dispatch_frame =
+            table.intern_new("android.os.Handler.dispatchMessage", "Handler.java", 105);
+        let api_frames = app
+            .apis
+            .iter()
+            .map(|a| table.intern_new(&a.symbol, &a.file, a.line))
+            .collect();
+        let handler_frames = app
+            .actions
+            .iter()
+            .map(|action| {
+                action
+                    .events
+                    .iter()
+                    .map(|e| {
+                        let file = e
+                            .handler
+                            .rsplit_once('.')
+                            .map(|(class, _)| {
+                                let short = class.rsplit_once('.').map(|(_, s)| s).unwrap_or(class);
+                                format!("{short}.java")
+                            })
+                            .unwrap_or_else(|| "App.java".to_string());
+                        table.intern_new(&e.handler, &file, e.handler_line)
+                    })
+                    .collect()
+            })
+            .collect();
+        CompiledApp {
+            app,
+            table,
+            api_frames,
+            handler_frames,
+            looper_frame,
+            dispatch_frame,
+        }
+    }
+
+    /// The underlying app model.
+    pub fn app(&self) -> &App {
+        &self.app
+    }
+
+    /// A clone of the frame table, to seed a `Simulator`.
+    pub fn frame_table(&self) -> FrameTable {
+        self.table.clone()
+    }
+
+    /// The frame id of an API.
+    pub fn api_frame(&self, api: crate::api::ApiId) -> FrameId {
+        self.api_frames[api.0]
+    }
+
+    /// Samples one execution of action `uid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uid` does not exist in the app.
+    pub fn sample(&self, uid: ActionUid, rng: &mut SimRng) -> (ActionRequest, ExecTruth) {
+        let (action_idx, action) = self
+            .app
+            .actions
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.uid == uid)
+            .unwrap_or_else(|| panic!("app '{}' has no action {uid:?}", self.app.name));
+        let mut truth = ExecTruth {
+            uid,
+            action_name: action.name.clone(),
+            bug_ns: Vec::new(),
+            other_main_ns: 0,
+        };
+        let events = action
+            .events
+            .iter()
+            .enumerate()
+            .map(|(ei, event)| {
+                self.compile_event(event, self.handler_frames[action_idx][ei], rng, &mut truth)
+            })
+            .collect();
+        (
+            ActionRequest {
+                uid,
+                name: action.name.clone(),
+                events,
+            },
+            truth,
+        )
+    }
+
+    fn compile_event(
+        &self,
+        event: &EventSpec,
+        handler: FrameId,
+        rng: &mut SimRng,
+        truth: &mut ExecTruth,
+    ) -> Vec<Step> {
+        let mut steps = vec![
+            Step::Push(self.looper_frame),
+            Step::Push(self.dispatch_frame),
+            Step::Push(handler),
+        ];
+        for call in &event.calls {
+            self.compile_call(call, &mut steps, rng, truth);
+        }
+        steps.push(Step::Pop);
+        steps.push(Step::Pop);
+        steps.push(Step::Pop);
+        steps
+    }
+
+    fn compile_call(
+        &self,
+        call: &Call,
+        steps: &mut Vec<Step>,
+        rng: &mut SimRng,
+        truth: &mut ExecTruth,
+    ) {
+        let api = self.app.api(call.api);
+        let cost = api.cost.sample(rng);
+        let mut inner = Vec::new();
+        for w in &call.via {
+            inner.push(Step::Push(self.api_frames[w.0]));
+        }
+        inner.push(Step::Push(self.api_frames[call.api.0]));
+        if cost.cpu_ns > 0 {
+            inner.push(Step::Cpu {
+                ns: cost.cpu_ns,
+                profile: api.cost.profile.to_profile(),
+            });
+        }
+        if cost.io_ns > 0 {
+            // Split into separate waits: each is one voluntary context
+            // switch, which is what makes I/O-bound bugs visible to the
+            // context-switch symptom.
+            let chunks = u64::from(api.cost.io_chunks.max(1));
+            let per = cost.io_ns / chunks;
+            let mut left = cost.io_ns;
+            // ~50 KB of traffic per blocked millisecond for network ops.
+            let io_step = |ns: u64| {
+                if api.cost.network {
+                    Step::NetIo { ns, bytes: ns / 20 }
+                } else {
+                    Step::Io { ns }
+                }
+            };
+            for _ in 0..chunks {
+                let ns = per.min(left).max(1);
+                inner.push(io_step(ns));
+                left = left.saturating_sub(ns);
+                if left == 0 {
+                    break;
+                }
+            }
+            if left > 0 {
+                inner.push(io_step(left));
+            }
+        }
+        if cost.frames > 0 {
+            inner.push(Step::PostRender {
+                frames: cost.frames,
+                frame_ns: cost.frame_ns,
+            });
+        }
+        for _ in 0..=call.via.len() {
+            inner.push(Step::Pop);
+        }
+        if call.offloaded {
+            // Fixed variant: the main thread only pays the posting cost;
+            // the blocking work runs on a worker.
+            steps.push(Step::Cpu {
+                ns: POST_WORKER_CPU_NS,
+                profile: crate::profile::ProfileKind::Ui.to_profile(),
+            });
+            steps.push(Step::PostWorker(inner));
+            if let Some(id) = &call.bug_id {
+                truth.bug_ns.push((id.clone(), 0));
+            }
+            truth.other_main_ns += POST_WORKER_CPU_NS;
+        } else {
+            steps.extend(inner);
+            match &call.bug_id {
+                Some(id) => truth.bug_ns.push((id.clone(), cost.busy_ns())),
+                None => truth.other_main_ns += cost.busy_ns(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionSpec, Call, EventSpec};
+    use crate::api::{ApiId, ApiKind, ApiSpec, CostSpec};
+    use crate::app::BugSpec;
+    use crate::dist::Dist;
+    use hd_simrt::{nominal_duration, MILLIS};
+
+    fn test_app() -> App {
+        let apis = vec![
+            ApiSpec::new(
+                "android.widget.TextView.setText",
+                100,
+                ApiKind::Ui,
+                CostSpec::ui(Dist::fixed(10 * MILLIS), Dist::fixed(4), 4 * MILLIS),
+            ),
+            ApiSpec::new(
+                "org.htmlcleaner.HtmlCleaner.clean",
+                25,
+                ApiKind::Blocking { known_since: None },
+                CostSpec::cpu(
+                    Dist::fixed(400 * MILLIS),
+                    crate::profile::ProfileKind::MemoryHeavy,
+                ),
+            ),
+            ApiSpec::new(
+                "com.example.Helper.load",
+                7,
+                ApiKind::Wrapper,
+                CostSpec::none(),
+            ),
+        ];
+        App {
+            name: "T".into(),
+            package: "org.t".into(),
+            category: "Tools".into(),
+            downloads: 1,
+            commit: "x".into(),
+            apis,
+            actions: vec![ActionSpec::new(
+                0,
+                "open",
+                vec![EventSpec::new(
+                    "org.t.Main.onOpen",
+                    12,
+                    vec![
+                        Call::direct(ApiId(0)),
+                        Call::via(vec![ApiId(2)], ApiId(1)).bug("t-1"),
+                    ],
+                )],
+            )],
+            bugs: vec![BugSpec {
+                id: "t-1".into(),
+                issue: 1,
+                api: ApiId(1),
+                action: hd_simrt::ActionUid(0),
+                description: "clean on main".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn sample_produces_request_and_truth() {
+        let compiled = CompiledApp::new(test_app());
+        let mut rng = SimRng::seed_from_u64(1);
+        let (req, truth) = compiled.sample(ActionUid(0), &mut rng);
+        assert_eq!(req.events.len(), 1);
+        let (cpu, io) = nominal_duration(&req.events[0]);
+        assert_eq!(cpu, 410 * MILLIS);
+        assert_eq!(io, 0);
+        assert_eq!(truth.bug_ns, vec![("t-1".to_string(), 400 * MILLIS)]);
+        assert_eq!(truth.other_main_ns, 10 * MILLIS);
+        assert_eq!(truth.culprit(100 * MILLIS), Some("t-1"));
+        assert!(truth.is_buggy(100 * MILLIS));
+        assert_eq!(truth.total_bug_ns(), 400 * MILLIS);
+    }
+
+    #[test]
+    fn stack_depth_balances() {
+        let compiled = CompiledApp::new(test_app());
+        let mut rng = SimRng::seed_from_u64(2);
+        let (req, _) = compiled.sample(ActionUid(0), &mut rng);
+        let mut depth: i64 = 0;
+        let mut max_depth = 0;
+        for s in &req.events[0] {
+            match s {
+                Step::Push(_) => {
+                    depth += 1;
+                    max_depth = max_depth.max(depth);
+                }
+                Step::Pop => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        // looper + dispatch + handler + wrapper + api.
+        assert_eq!(max_depth, 5);
+    }
+
+    #[test]
+    fn fixed_variant_moves_bug_off_main() {
+        let app = test_app().with_bugs_fixed(&["t-1"]);
+        let compiled = CompiledApp::new(app);
+        let mut rng = SimRng::seed_from_u64(3);
+        let (req, truth) = compiled.sample(ActionUid(0), &mut rng);
+        let (cpu, _) = nominal_duration(&req.events[0]);
+        // Main thread only pays the UI call plus the post cost.
+        assert!(cpu < 15 * MILLIS, "main cpu {cpu}");
+        assert_eq!(truth.bug_ns, vec![("t-1".to_string(), 0)]);
+        assert!(!truth.is_buggy(100 * MILLIS));
+        // The worker task carries the blocking work.
+        let has_worker = req.events[0].iter().any(
+            |s| matches!(s, Step::PostWorker(inner) if nominal_duration(inner).0 >= 400 * MILLIS),
+        );
+        assert!(has_worker);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn compiling_invalid_app_panics() {
+        let mut app = test_app();
+        app.actions[0].events[0].calls[0].api = ApiId(42);
+        CompiledApp::new(app);
+    }
+
+    #[test]
+    fn culprit_requires_minimum_blocking() {
+        let truth = ExecTruth {
+            uid: ActionUid(0),
+            action_name: "a".into(),
+            bug_ns: vec![("b1".into(), 50 * MILLIS), ("b2".into(), 80 * MILLIS)],
+            other_main_ns: 0,
+        };
+        assert_eq!(truth.culprit(100 * MILLIS), None);
+        assert_eq!(truth.culprit(40 * MILLIS), Some("b2"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Fluent builder for corpus apps.
+
+use hd_simrt::ActionUid;
+
+use crate::action::{ActionSpec, Call, EventSpec};
+use crate::api::{ApiId, ApiSpec};
+use crate::app::{App, BugSpec};
+use crate::registry::{self, ApiSet};
+
+/// Ids of the standard UI API pack every corpus app gets.
+#[derive(Clone, Copy, Debug)]
+pub struct UiPack {
+    pub set_text: ApiId,
+    pub inflate: ApiId,
+    pub seekbar: ApiId,
+    pub orientation: ApiId,
+    pub scroll_list: ApiId,
+    pub notify_dataset: ApiId,
+    pub measure: ApiId,
+    pub layout_children: ApiId,
+    pub map_tiles: ApiId,
+    pub content_view: ApiId,
+    pub bind_holder: ApiId,
+    pub fragment_commit: ApiId,
+    pub webview_layout: ApiId,
+    pub animation: ApiId,
+}
+
+/// Incrementally assembles an [`App`].
+#[derive(Debug)]
+pub struct AppBuilder {
+    name: String,
+    package: String,
+    category: String,
+    downloads: u64,
+    commit: String,
+    set: ApiSet,
+    actions: Vec<ActionSpec>,
+    bugs: Vec<BugSpec>,
+    next_uid: u64,
+}
+
+impl AppBuilder {
+    /// Starts an app.
+    pub fn new(
+        name: &str,
+        package: &str,
+        category: &str,
+        downloads: u64,
+        commit: &str,
+    ) -> AppBuilder {
+        AppBuilder {
+            name: name.to_string(),
+            package: package.to_string(),
+            category: category.to_string(),
+            downloads,
+            commit: commit.to_string(),
+            set: ApiSet::new(),
+            actions: Vec::new(),
+            bugs: Vec::new(),
+            next_uid: 0,
+        }
+    }
+
+    /// Interns an API, returning its id.
+    pub fn api(&mut self, spec: ApiSpec) -> ApiId {
+        self.set.add(spec)
+    }
+
+    /// Interns an API with its time costs (cpu/io bases) scaled.
+    pub fn api_scaled(&mut self, mut spec: ApiSpec, factor: f64) -> ApiId {
+        spec.cost.cpu.base = (spec.cost.cpu.base as f64 * factor).round() as u64;
+        spec.cost.io.base = (spec.cost.io.base as f64 * factor).round() as u64;
+        self.set.add(spec)
+    }
+
+    /// Interns the standard UI pack.
+    pub fn ui_pack(&mut self) -> UiPack {
+        UiPack {
+            set_text: self.api(registry::ui_set_text()),
+            inflate: self.api(registry::ui_inflate()),
+            seekbar: self.api(registry::ui_init_seekbar()),
+            orientation: self.api(registry::ui_enable_orientation()),
+            scroll_list: self.api(registry::ui_scroll_list()),
+            notify_dataset: self.api(registry::ui_notify_dataset()),
+            measure: self.api(registry::ui_measure()),
+            layout_children: self.api(registry::ui_layout_children()),
+            map_tiles: self.api(registry::ui_draw_map_tiles()),
+            content_view: self.api(registry::ui_set_content_view()),
+            bind_holder: self.api(registry::ui_bind_view_holder()),
+            fragment_commit: self.api(registry::ui_fragment_commit()),
+            webview_layout: self.api(registry::ui_webview_layout()),
+            animation: self.api(registry::ui_start_animation()),
+        }
+    }
+
+    /// Adds a single-event action whose handler is
+    /// `<package>.<handler>` at the given line.
+    pub fn action(
+        &mut self,
+        name: &str,
+        weight: f64,
+        handler: &str,
+        line: u32,
+        calls: Vec<Call>,
+    ) -> ActionUid {
+        let uid = ActionUid(self.next_uid);
+        self.next_uid += 1;
+        let sym = format!("{}.{handler}", self.package);
+        self.actions.push(
+            ActionSpec::new(uid.0, name, vec![EventSpec::new(&sym, line, calls)]).weighted(weight),
+        );
+        uid
+    }
+
+    /// Adds a multi-event action (each element is `(handler, line, calls)`).
+    pub fn action_events(
+        &mut self,
+        name: &str,
+        weight: f64,
+        events: Vec<(&str, u32, Vec<Call>)>,
+    ) -> ActionUid {
+        let uid = ActionUid(self.next_uid);
+        self.next_uid += 1;
+        let events = events
+            .into_iter()
+            .map(|(h, line, calls)| EventSpec::new(&format!("{}.{h}", self.package), line, calls))
+            .collect();
+        self.actions
+            .push(ActionSpec::new(uid.0, name, events).weighted(weight));
+        uid
+    }
+
+    /// Registers a ground-truth bug (the matching call must carry the
+    /// same id via [`Call::bug`]).
+    pub fn bug(&mut self, id: &str, issue: u32, api: ApiId, action: ActionUid, desc: &str) {
+        self.bugs.push(BugSpec {
+            id: id.to_string(),
+            issue,
+            api,
+            action,
+            description: desc.to_string(),
+        });
+    }
+
+    /// Finishes the app, validating it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assembled app is inconsistent — corpus definitions
+    /// are static data and must be correct.
+    pub fn build(self) -> App {
+        let app = App {
+            name: self.name,
+            package: self.package,
+            category: self.category,
+            downloads: self.downloads,
+            commit: self.commit,
+            apis: self.set.into_vec(),
+            actions: self.actions,
+            bugs: self.bugs,
+        };
+        let problems = app.validate();
+        assert!(problems.is_empty(), "app '{}': {problems:?}", app.name);
+        app
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::bitmap_decode_file;
+
+    #[test]
+    fn builder_assembles_valid_app() {
+        let mut b = AppBuilder::new("X", "org.x", "Tools", 500, "deadbeef");
+        let ui = b.ui_pack();
+        let decode = b.api(bitmap_decode_file());
+        let a = b.action(
+            "open",
+            2.0,
+            "MainActivity.onOpen",
+            33,
+            vec![Call::direct(ui.set_text), Call::direct(decode).bug("x-1")],
+        );
+        b.bug("x-1", 7, decode, a, "decode on main");
+        let app = b.build();
+        assert_eq!(app.actions.len(), 1);
+        assert_eq!(app.bugs.len(), 1);
+        assert_eq!(app.actions[0].weight, 2.0);
+        assert!(app.actions[0].events[0]
+            .handler
+            .starts_with("org.x.MainActivity"));
+    }
+
+    #[test]
+    fn api_scaled_multiplies_time_bases() {
+        let mut b = AppBuilder::new("X", "org.x", "Tools", 1, "c");
+        let base = bitmap_decode_file();
+        let cpu_base = base.cost.cpu.base;
+        let id = b.api_scaled(base, 2.0);
+        let app = {
+            let ui = b.ui_pack();
+            let _ = ui;
+            // Need at least one action referencing the API to validate.
+            let a = b.action("t", 1.0, "M.h", 1, vec![Call::direct(id).bug("b")]);
+            b.bug("b", 1, id, a, "d");
+            b.build()
+        };
+        assert_eq!(app.api(id).cost.cpu.base, cpu_base * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "app 'Bad'")]
+    fn builder_panics_on_dangling_bug() {
+        let mut b = AppBuilder::new("Bad", "org.bad", "Tools", 1, "c");
+        let ui = b.ui_pack();
+        let a = b.action("t", 1.0, "M.h", 1, vec![Call::direct(ui.set_text)]);
+        b.bug("ghost", 1, ui.set_text, a, "untagged");
+        b.build();
+    }
+}

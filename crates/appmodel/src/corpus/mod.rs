@@ -1,0 +1,61 @@
+//! The study corpus: Table 1 motivation apps, Table 5 study apps, and
+//! generated healthy apps — 114 in total, like the paper's field study.
+
+pub mod builder;
+pub mod synth;
+pub mod table1;
+pub mod table5;
+
+pub use builder::{AppBuilder, UiPack};
+pub use table5::is_offline_missed;
+
+use crate::app::App;
+
+/// Number of apps in the full study (paper Section 4.2).
+pub const FULL_STUDY_SIZE: usize = 114;
+
+/// The eight Table 1 motivation apps (known bugs, timeout study).
+pub fn table1_apps() -> Vec<App> {
+    table1::apps()
+}
+
+/// The sixteen Table 5 study apps (34 bugs, 23 missed offline).
+pub fn table5_apps() -> Vec<App> {
+    table5::apps()
+}
+
+/// The full 114-app study corpus: Table 1 + Table 5 + generated healthy
+/// apps.
+pub fn full_corpus(seed: u64) -> Vec<App> {
+    let mut apps = table1_apps();
+    apps.extend(table5_apps());
+    let missing = FULL_STUDY_SIZE - apps.len();
+    apps.extend(synth::apps(missing, seed));
+    apps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_corpus_counts() {
+        let corpus = full_corpus(42);
+        assert_eq!(corpus.len(), FULL_STUDY_SIZE);
+        let buggy = corpus.iter().filter(|a| !a.bugs.is_empty()).count();
+        // 8 Table-1 apps + 16 Table-5 apps show soft hang problems.
+        assert_eq!(buggy, 24);
+        let total_bugs: usize = corpus.iter().map(|a| a.bugs.len()).sum();
+        // 19 known (Table 1) + 34 study (Table 5).
+        assert_eq!(total_bugs, 53);
+    }
+
+    #[test]
+    fn corpus_names_are_unique() {
+        let corpus = full_corpus(42);
+        let mut names: Vec<&str> = corpus.iter().map(|a| a.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FULL_STUDY_SIZE);
+    }
+}

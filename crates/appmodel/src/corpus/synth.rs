@@ -1,0 +1,118 @@
+//! Generated bug-free apps filling the study out to 114.
+//!
+//! The paper tested "about 114 apps" of which only the 24 in Tables 1
+//! and 5 showed soft hang problems. The rest are healthy: their actions
+//! are UI work of varying weight, some of it heavy enough to exceed
+//! 100 ms (keeping the false-positive pressure on every detector).
+
+use hd_simrt::SimRng;
+
+use crate::action::Call;
+use crate::app::App;
+
+use super::builder::AppBuilder;
+
+const CATEGORIES: [&str; 10] = [
+    "Tools",
+    "Social",
+    "Productivity",
+    "Communication",
+    "Travel & Local",
+    "Photography",
+    "Media & Video",
+    "Music & Audio",
+    "Education",
+    "Business",
+];
+
+/// Generates `n` healthy apps, seeded.
+pub fn apps(n: usize, seed: u64) -> Vec<App> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..n).map(|i| synth_app(i, &mut rng)).collect()
+}
+
+fn synth_app(index: usize, rng: &mut SimRng) -> App {
+    let name = format!("FieldApp-{:03}", index + 1);
+    let package = format!("org.field.app{:03}", index + 1);
+    let category = CATEGORIES[rng.index(CATEGORIES.len())];
+    let downloads = 10u64.pow(rng.uniform_u64(2, 6) as u32);
+    let commit = format!("{:07x}", rng.next_u64() & 0xfff_ffff);
+    let mut b = AppBuilder::new(&name, &package, category, downloads, &commit);
+    let ui = b.ui_pack();
+
+    // 2-3 light actions.
+    let lights = 2 + (rng.index(2));
+    for k in 0..lights {
+        b.action(
+            &format!("light action {}", k + 1),
+            2.0 + rng.uniform_f64(0.0, 2.0),
+            "MainActivity.onLight",
+            20 + k as u32,
+            vec![Call::direct(ui.set_text), Call::direct(ui.bind_holder)],
+        );
+    }
+    // 1-3 heavy render-dominant actions (> 100 ms main thread).
+    let heavies = 1 + rng.index(3);
+    for k in 0..heavies {
+        let calls = match k % 3 {
+            0 => vec![Call::direct(ui.inflate), Call::direct(ui.layout_children)],
+            1 => vec![
+                Call::direct(ui.notify_dataset),
+                Call::direct(ui.fragment_commit),
+            ],
+            _ => vec![Call::direct(ui.content_view), Call::direct(ui.scroll_list)],
+        };
+        b.action(
+            &format!("heavy view {}", k + 1),
+            1.0,
+            "MainActivity.onHeavy",
+            60 + k as u32,
+            calls,
+        );
+    }
+    // ~25% of healthy apps have a main-thread-heavy UI action that trips
+    // the S-Checker symptoms (Diagnoser must prune it).
+    if rng.chance(0.25) {
+        let calls = if rng.chance(0.5) {
+            vec![Call::direct(ui.map_tiles), Call::direct(ui.set_text)]
+        } else {
+            vec![Call::direct(ui.webview_layout), Call::direct(ui.measure)]
+        };
+        b.action("tricky view", 0.8, "MainActivity.onTricky", 99, calls);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_apps_are_valid_and_bug_free() {
+        let apps = apps(90, 7);
+        assert_eq!(apps.len(), 90);
+        for app in &apps {
+            assert!(app.validate().is_empty(), "{}", app.name);
+            assert!(app.bugs.is_empty(), "{} should be healthy", app.name);
+            assert!(app.actions.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_seeded() {
+        let a = apps(10, 3);
+        let b = apps(10, 3);
+        assert_eq!(a, b);
+        let c = apps(10, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let apps = apps(50, 1);
+        let mut names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 50);
+    }
+}

@@ -1,0 +1,650 @@
+//! The eight motivation-study apps of Table 1.
+//!
+//! These apps carry *well-known* soft hang bugs (database, file, camera,
+//! bitmap APIs — all in the offline detectors' database) and a spread of
+//! legitimately heavy UI actions. They drive the Table 2 timeout sweep:
+//! one SeaDroid bug hangs > 1 s, the FrostWire bug 0.5–1 s, everything
+//! else 100–500 ms, and several UI actions exceed 100 ms (the
+//! false-positive explosion of a 100 ms timeout).
+
+use crate::action::Call;
+use crate::app::App;
+use crate::registry as reg;
+
+use super::builder::{AppBuilder, UiPack};
+
+/// Adds a light (sub-100 ms) action.
+fn light_action(b: &mut AppBuilder, ui: &UiPack, name: &str, handler: &str, weight: f64) {
+    b.action(
+        name,
+        weight,
+        handler,
+        40,
+        vec![Call::direct(ui.set_text), Call::direct(ui.bind_holder)],
+    );
+}
+
+/// Adds a heavy UI action around ~120–190 ms of main-thread work (a
+/// false positive for a 100 ms timeout, pruned by Hang Doctor).
+fn heavy_ui_action(b: &mut AppBuilder, ui: &UiPack, name: &str, handler: &str, variant: usize) {
+    let calls = match variant % 4 {
+        0 => vec![Call::direct(ui.inflate), Call::direct(ui.measure)],
+        1 => vec![
+            Call::direct(ui.notify_dataset),
+            Call::direct(ui.layout_children),
+        ],
+        2 => vec![Call::direct(ui.fragment_commit), Call::direct(ui.inflate)],
+        _ => vec![Call::direct(ui.webview_layout), Call::direct(ui.set_text)],
+    };
+    b.action(name, 1.0, handler, 60 + variant as u32, calls);
+}
+
+/// Adds a very heavy UI action (~470 ms main-thread work) that can
+/// occasionally exceed a 500 ms timeout.
+fn very_heavy_ui_action(b: &mut AppBuilder, ui: &UiPack, name: &str, handler: &str) {
+    b.action(
+        name,
+        0.8,
+        handler,
+        55,
+        vec![
+            Call::direct(ui.content_view),
+            Call::direct(ui.inflate),
+            Call::direct(ui.measure),
+            Call::direct(ui.layout_children),
+            Call::direct(ui.webview_layout),
+            Call::direct(ui.bind_holder),
+            Call::direct(ui.seekbar),
+        ],
+    );
+}
+
+/// DroidWall: firewall rules written synchronously to disk.
+pub fn droidwall() -> App {
+    let mut b = AppBuilder::new(
+        "DroidWall",
+        "com.googlecode.droidwall",
+        "Tools",
+        50_000,
+        "3e2b654",
+    );
+    let ui = b.ui_pack();
+    let apply = b.api_scaled(reg::file_write(), 1.8);
+    let a = b.action(
+        "apply rules",
+        1.5,
+        "MainActivity.applyRules",
+        210,
+        vec![
+            Call::direct(ui.set_text),
+            Call::direct(apply).bug("droidwall-apply"),
+        ],
+    );
+    b.bug(
+        "droidwall-apply",
+        0,
+        apply,
+        a,
+        "iptables script written synchronously on the main thread",
+    );
+    very_heavy_ui_action(&mut b, &ui, "view log", "LogActivity.onCreate");
+    heavy_ui_action(&mut b, &ui, "refresh app list", "MainActivity.refresh", 0);
+    heavy_ui_action(
+        &mut b,
+        &ui,
+        "open rules editor",
+        "RulesActivity.onCreate",
+        2,
+    );
+    light_action(&mut b, &ui, "toggle app", "MainActivity.onToggle", 3.0);
+    b.build()
+}
+
+/// FrostWire: torrent metadata parsed from disk on open (0.5–1 s hang).
+pub fn frostwire() -> App {
+    let mut b = AppBuilder::new(
+        "FrostWire",
+        "com.frostwire.android",
+        "Media",
+        1_000_000,
+        "55427ef",
+    );
+    let ui = b.ui_pack();
+    let torrent = b.api_scaled(reg::file_read(), 4.5);
+    let a = b.action(
+        "open torrent",
+        1.2,
+        "TransfersFragment.openTorrent",
+        131,
+        vec![
+            Call::direct(ui.inflate),
+            Call::direct(torrent).bug("frostwire-torrent"),
+        ],
+    );
+    b.bug(
+        "frostwire-torrent",
+        0,
+        torrent,
+        a,
+        "torrent metadata read on the main thread",
+    );
+    for (i, (name, handler)) in [
+        ("browse library", "LibraryFragment.onResume"),
+        ("open transfers", "TransfersFragment.onResume"),
+        ("expand details", "TransferDetailActivity.onCreate"),
+        ("switch tab", "MainActivity.onTabSelected"),
+        ("open settings", "SettingsActivity.onCreate"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        heavy_ui_action(&mut b, &ui, name, handler, i);
+    }
+    light_action(
+        &mut b,
+        &ui,
+        "pause transfer",
+        "TransfersFragment.onPause",
+        3.0,
+    );
+    b.build()
+}
+
+/// Ushaidi: crisis reports loaded from SQLite; photos decoded inline.
+pub fn ushaidi() -> App {
+    let mut b = AppBuilder::new(
+        "Ushaidi",
+        "com.ushahidi.android",
+        "Social",
+        50_000,
+        "59fbb533d0",
+    );
+    let ui = b.ui_pack();
+    let query = b.api_scaled(reg::sqlite_query(), 1.2);
+    let decode = b.api(reg::bitmap_decode_file());
+    let a1 = b.action(
+        "load reports",
+        1.3,
+        "ReportsActivity.loadReports",
+        88,
+        vec![
+            Call::direct(ui.notify_dataset),
+            Call::direct(query).bug("ushaidi-query"),
+        ],
+    );
+    b.bug(
+        "ushaidi-query",
+        0,
+        query,
+        a1,
+        "report query on the main thread",
+    );
+    let a2 = b.action(
+        "attach photo",
+        0.8,
+        "AddReportActivity.onPhotoPicked",
+        167,
+        vec![
+            Call::direct(ui.set_text),
+            Call::direct(decode).bug("ushaidi-decode"),
+        ],
+    );
+    b.bug(
+        "ushaidi-decode",
+        0,
+        decode,
+        a2,
+        "photo decoded on the main thread",
+    );
+    very_heavy_ui_action(&mut b, &ui, "open map", "MapActivity.onCreate");
+    heavy_ui_action(
+        &mut b,
+        &ui,
+        "open report",
+        "ReportDetailActivity.onCreate",
+        1,
+    );
+    heavy_ui_action(
+        &mut b,
+        &ui,
+        "filter categories",
+        "ReportsActivity.onFilter",
+        2,
+    );
+    light_action(&mut b, &ui, "mark read", "ReportsActivity.onMarkRead", 2.5);
+    b.build()
+}
+
+/// WebSMS: synchronous preference flush when sending.
+pub fn websms() -> App {
+    let mut b = AppBuilder::new(
+        "WebSMS",
+        "de.ub0r.android.websms",
+        "Communication",
+        1_000_000,
+        "1f596fbd29",
+    );
+    let ui = b.ui_pack();
+    let commit = b.api_scaled(reg::prefs_commit(), 1.6);
+    let a = b.action(
+        "send sms",
+        1.5,
+        "WebSMSActivity.send",
+        412,
+        vec![
+            Call::direct(ui.set_text),
+            Call::direct(commit).bug("websms-commit"),
+        ],
+    );
+    b.bug(
+        "websms-commit",
+        0,
+        commit,
+        a,
+        "draft committed synchronously before send",
+    );
+    // A multi-input-event action: typing delivers two input events
+    // (text change + suggestion refresh); the action's response time is
+    // the maximum over its events (Section 2.2).
+    b.action_events(
+        "type message",
+        2.0,
+        vec![
+            (
+                "WebSMSActivity.onTextChanged",
+                233,
+                vec![Call::direct(ui.set_text)],
+            ),
+            (
+                "WebSMSActivity.onSuggest",
+                241,
+                vec![Call::direct(ui.bind_holder), Call::direct(ui.set_text)],
+            ),
+        ],
+    );
+    heavy_ui_action(&mut b, &ui, "open composer", "WebSMSActivity.onCreate", 0);
+    heavy_ui_action(
+        &mut b,
+        &ui,
+        "load conversation",
+        "ConversationActivity.onCreate",
+        1,
+    );
+    heavy_ui_action(
+        &mut b,
+        &ui,
+        "open connector list",
+        "ConnectorActivity.onCreate",
+        3,
+    );
+    light_action(
+        &mut b,
+        &ui,
+        "select recipient",
+        "WebSMSActivity.onRecipient",
+        3.0,
+    );
+    b.build()
+}
+
+/// cgeo: geocaching client with five known blocking call sites.
+pub fn cgeo() -> App {
+    let mut b = AppBuilder::new(
+        "cgeo",
+        "cgeo.geocaching",
+        "Travel & Local",
+        1_000_000,
+        "6e4a8d4ba8",
+    );
+    let ui = b.ui_pack();
+    let query = b.api_scaled(reg::sqlite_query(), 1.2);
+    let track = b.api_scaled(reg::file_read(), 1.5);
+    let decode = b.api(reg::bitmap_decode_file());
+    let prefs = b.api_scaled(reg::prefs_commit(), 1.5);
+    let asset = b.api_scaled(reg::asset_open(), 1.5);
+    let specs: [(&str, &str, u32, crate::api::ApiId, &str); 5] = [
+        (
+            "open cache list",
+            "CacheListActivity.onResume",
+            77,
+            query,
+            "cgeo-query",
+        ),
+        (
+            "import track",
+            "TrackUtils.onImport",
+            142,
+            track,
+            "cgeo-track",
+        ),
+        (
+            "show cache image",
+            "ImagesActivity.onOpen",
+            58,
+            decode,
+            "cgeo-decode",
+        ),
+        (
+            "save filter",
+            "FilterActivity.onSave",
+            93,
+            prefs,
+            "cgeo-prefs",
+        ),
+        (
+            "load map theme",
+            "MapActivity.loadTheme",
+            119,
+            asset,
+            "cgeo-asset",
+        ),
+    ];
+    for (name, handler, line, api, bug_id) in specs {
+        let a = b.action(
+            name,
+            1.0,
+            handler,
+            line,
+            vec![Call::direct(ui.set_text), Call::direct(api).bug(bug_id)],
+        );
+        b.bug(bug_id, 0, api, a, "known blocking API on the main thread");
+    }
+    very_heavy_ui_action(&mut b, &ui, "render live map", "MapActivity.onDraw");
+    b.action(
+        "pan map",
+        1.2,
+        "MapActivity.onPan",
+        140,
+        vec![Call::direct(ui.map_tiles), Call::direct(ui.inflate)],
+    );
+    heavy_ui_action(
+        &mut b,
+        &ui,
+        "open cache detail",
+        "CacheDetailActivity.onCreate",
+        1,
+    );
+    heavy_ui_action(
+        &mut b,
+        &ui,
+        "open waypoints",
+        "WaypointsActivity.onCreate",
+        2,
+    );
+    heavy_ui_action(&mut b, &ui, "open logbook", "LogbookActivity.onCreate", 3);
+    light_action(&mut b, &ui, "star cache", "CacheDetailActivity.onStar", 2.5);
+    b.build()
+}
+
+/// Seadroid: library synced from disk on open (> 1 s hang).
+pub fn seadroid() -> App {
+    let mut b = AppBuilder::new(
+        "Seadroid",
+        "com.seafile.seadroid2",
+        "Productivity",
+        100_000,
+        "5a7531d",
+    );
+    let ui = b.ui_pack();
+    let sync = b.api_scaled(reg::file_read(), 10.0);
+    let a = b.action(
+        "open library",
+        1.0,
+        "BrowserActivity.openLibrary",
+        201,
+        vec![
+            Call::direct(ui.notify_dataset),
+            Call::direct(sync).bug("seadroid-sync"),
+        ],
+    );
+    b.bug(
+        "seadroid-sync",
+        0,
+        sync,
+        a,
+        "library cache re-read synchronously (> 1 s)",
+    );
+    very_heavy_ui_action(&mut b, &ui, "open gallery", "GalleryActivity.onCreate");
+    very_heavy_ui_action(
+        &mut b,
+        &ui,
+        "preview document",
+        "DocPreviewActivity.onCreate",
+    );
+    heavy_ui_action(&mut b, &ui, "list files", "BrowserActivity.onResume", 0);
+    heavy_ui_action(&mut b, &ui, "open account", "AccountActivity.onCreate", 1);
+    heavy_ui_action(&mut b, &ui, "open starred", "StarredActivity.onCreate", 2);
+    heavy_ui_action(
+        &mut b,
+        &ui,
+        "open activity feed",
+        "ActivitiesFragment.onResume",
+        3,
+    );
+    light_action(&mut b, &ui, "select file", "BrowserActivity.onSelect", 3.0);
+    b.build()
+}
+
+/// FBReaderJ: e-book reader with six known blocking call sites.
+pub fn fbreaderj() -> App {
+    let mut b = AppBuilder::new(
+        "FBReaderJ",
+        "org.geometerplus.fbreader",
+        "Books",
+        1_000_000,
+        "0f02d4e923",
+    );
+    let ui = b.ui_pack();
+    let asset = b.api_scaled(reg::asset_open(), 1.5);
+    let read = b.api_scaled(reg::file_read(), 1.4);
+    let query = b.api_scaled(reg::sqlite_query(), 1.2);
+    let decode = b.api(reg::bitmap_decode_file());
+    let prefs = b.api_scaled(reg::prefs_commit(), 1.5);
+    let write = b.api_scaled(reg::file_write(), 1.4);
+    let specs: [(&str, &str, u32, crate::api::ApiId, &str); 6] = [
+        ("open book", "FBReader.openBook", 301, read, "fbreader-open"),
+        (
+            "load hyphenation",
+            "ZLTextModel.loadHyphenation",
+            95,
+            asset,
+            "fbreader-asset",
+        ),
+        (
+            "search library",
+            "LibraryActivity.onSearch",
+            152,
+            query,
+            "fbreader-query",
+        ),
+        (
+            "show cover",
+            "CoverManager.onShow",
+            71,
+            decode,
+            "fbreader-cover",
+        ),
+        (
+            "save position",
+            "FBReader.onPause",
+            507,
+            prefs,
+            "fbreader-prefs",
+        ),
+        (
+            "export notes",
+            "NotesActivity.onExport",
+            188,
+            write,
+            "fbreader-notes",
+        ),
+    ];
+    for (name, handler, line, api, bug_id) in specs {
+        let a = b.action(
+            name,
+            1.0,
+            handler,
+            line,
+            vec![Call::direct(ui.set_text), Call::direct(api).bug(bug_id)],
+        );
+        b.bug(bug_id, 0, api, a, "known blocking API on the main thread");
+    }
+    very_heavy_ui_action(&mut b, &ui, "relayout chapter", "ZLTextView.onRelayout");
+    very_heavy_ui_action(&mut b, &ui, "open library view", "LibraryActivity.onCreate");
+    heavy_ui_action(&mut b, &ui, "open toc", "TOCActivity.onCreate", 0);
+    heavy_ui_action(
+        &mut b,
+        &ui,
+        "open settings",
+        "PreferenceActivity.onCreate",
+        1,
+    );
+    light_action(&mut b, &ui, "turn page", "ZLTextView.onPage", 4.0);
+    b.build()
+}
+
+/// A Better Camera: the Figure 1 app. The `resume` action executes
+/// `setParameters`, `open` (the bug), `setText`, `inflate`,
+/// `SeekBar.<init>` and `OrientationEventListener.enable` — 423 ms buggy,
+/// ~160 ms once `open` moves to a worker.
+pub fn a_better_camera() -> App {
+    let mut b = AppBuilder::new(
+        "A Better Camera",
+        "com.almalence.opencam",
+        "Photography",
+        1_000_000,
+        "9f8e3b0",
+    );
+    let ui = b.ui_pack();
+    let set_params = b.api(reg::camera_set_parameters());
+    let open = b.api(reg::camera_open());
+    let decode = b.api(reg::bitmap_decode_file());
+    let resume = b.action(
+        "resume",
+        1.5,
+        "MainScreen.onResume",
+        489,
+        vec![
+            Call::direct(set_params),
+            Call::direct(open).bug("abc-open"),
+            Call::direct(ui.set_text),
+            Call::direct(ui.inflate),
+            Call::direct(ui.seekbar),
+            Call::direct(ui.orientation),
+        ],
+    );
+    b.bug(
+        "abc-open",
+        0,
+        open,
+        resume,
+        "camera.open blocks the main thread while connecting to the camera service",
+    );
+    let gallery = b.action(
+        "open gallery",
+        1.0,
+        "GalleryActivity.onOpen",
+        77,
+        vec![
+            Call::direct(ui.bind_holder),
+            Call::direct(decode).bug("abc-decode"),
+        ],
+    );
+    b.bug(
+        "abc-decode",
+        0,
+        decode,
+        gallery,
+        "full-size preview decoded on the main thread",
+    );
+    heavy_ui_action(&mut b, &ui, "open mode panel", "ModePanel.onOpen", 0);
+    heavy_ui_action(&mut b, &ui, "open settings", "SettingsActivity.onCreate", 1);
+    heavy_ui_action(&mut b, &ui, "switch camera ui", "MainScreen.onSwitch", 2);
+    heavy_ui_action(&mut b, &ui, "show histogram", "HistogramView.onShow", 3);
+    light_action(&mut b, &ui, "tap to focus", "MainScreen.onTouch", 4.0);
+    b.build()
+}
+
+/// All eight Table 1 apps.
+pub fn apps() -> Vec<App> {
+    vec![
+        droidwall(),
+        frostwire(),
+        ushaidi(),
+        websms(),
+        cgeo(),
+        seadroid(),
+        fbreaderj(),
+        a_better_camera(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_simrt::MILLIS;
+
+    #[test]
+    fn eight_apps_all_valid() {
+        let apps = apps();
+        assert_eq!(apps.len(), 8);
+        for app in &apps {
+            assert!(app.validate().is_empty(), "{} invalid", app.name);
+        }
+    }
+
+    #[test]
+    fn bug_counts_match_table_2_true_positive_row() {
+        // 1+1+2+1+5+1+6+2 = 19 known bugs (Table 2's 19/19 at 100 ms).
+        let total: usize = apps().iter().map(|a| a.bugs.len()).sum();
+        assert_eq!(total, 19);
+    }
+
+    #[test]
+    fn all_table1_bugs_use_offline_known_apis() {
+        for app in apps() {
+            for bug in &app.bugs {
+                assert!(
+                    app.api(bug.api).known_blocking_in(2017),
+                    "{}: {} not offline-known",
+                    app.name,
+                    bug.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seadroid_bug_exceeds_one_second() {
+        let app = seadroid();
+        let bug = &app.bugs[0];
+        let cost = app.api(bug.api).cost;
+        let busy = cost.cpu.base + cost.io.base;
+        assert!(busy > 1_000 * MILLIS, "busy {busy}");
+    }
+
+    #[test]
+    fn only_frostwire_and_seadroid_exceed_half_second() {
+        for app in apps() {
+            for bug in &app.bugs {
+                let cost = app.api(bug.api).cost;
+                let busy = cost.cpu.base + cost.io.base;
+                let long = busy > 450 * MILLIS;
+                let expected = matches!(app.name.as_str(), "FrostWire" | "Seadroid");
+                assert_eq!(long, expected, "{} bug {} busy {busy}", app.name, bug.id);
+            }
+        }
+    }
+
+    #[test]
+    fn every_app_has_ui_only_actions() {
+        for app in apps() {
+            let ui_only = app
+                .actions
+                .iter()
+                .filter(|a| a.bug_ids().is_empty())
+                .count();
+            assert!(ui_only >= 3, "{} has only {ui_only} UI actions", app.name);
+        }
+    }
+}

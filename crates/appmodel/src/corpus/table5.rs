@@ -1,0 +1,1121 @@
+//! The sixteen study apps of Table 5 with their 34 soft hang bugs.
+//!
+//! 23 of the bugs are rooted in APIs *unknown* to offline detectors (or
+//! in self-developed operations) — these populate Table 6 and the
+//! validation set; the remaining 11 use well-known blocking APIs,
+//! including three reached through library wrappers (OwnTracks, SageMath,
+//! Lens-Launcher).
+//!
+//! Each unknown bug is shaped to its Table 6 counter signature:
+//! * I/O-bound bugs (chunked waits, little CPU) → context-switches only;
+//! * compute-bound bugs (long CPU, few faults) → context-switches +
+//!   task-clock;
+//! * memory-bound long bugs → all three counters;
+//! * short memory-bound bugs inside render-heavy actions → page-faults
+//!   only (the render thread out-switches the main thread).
+
+use crate::action::Call;
+use crate::api::ApiId;
+use crate::app::App;
+use crate::profile::ProfileKind;
+use crate::registry as reg;
+
+use super::builder::{AppBuilder, UiPack};
+
+/// A light action (sub-100 ms).
+fn light(b: &mut AppBuilder, ui: &UiPack, name: &str, handler: &str, weight: f64) {
+    b.action(
+        name,
+        weight,
+        handler,
+        30,
+        vec![Call::direct(ui.set_text), Call::direct(ui.bind_holder)],
+    );
+}
+
+/// A render-dominant UI action > 100 ms on the main thread (S-Checker
+/// prunes it via negative counter differences).
+fn heavy_ui(b: &mut AppBuilder, ui: &UiPack, name: &str, handler: &str, variant: usize) {
+    let calls = match variant % 3 {
+        0 => vec![Call::direct(ui.inflate), Call::direct(ui.layout_children)],
+        1 => vec![
+            Call::direct(ui.notify_dataset),
+            Call::direct(ui.fragment_commit),
+        ],
+        _ => vec![Call::direct(ui.content_view), Call::direct(ui.scroll_list)],
+    };
+    b.action(name, 1.0, handler, 70 + variant as u32, calls);
+}
+
+/// A main-thread-heavy UI action (map tiles / WebView): trips S-Checker
+/// symptoms and must be pruned by the Diagnoser's stack analysis.
+fn tricky_ui(b: &mut AppBuilder, ui: &UiPack, name: &str, handler: &str, map: bool) {
+    let calls = if map {
+        vec![Call::direct(ui.map_tiles), Call::direct(ui.set_text)]
+    } else {
+        vec![Call::direct(ui.webview_layout), Call::direct(ui.measure)]
+    };
+    b.action(name, 1.0, handler, 95, calls);
+}
+
+/// A bug action: one light UI call plus the buggy call.
+#[allow(clippy::too_many_arguments)]
+fn bug_action(
+    b: &mut AppBuilder,
+    ui: &UiPack,
+    name: &str,
+    handler: &str,
+    line: u32,
+    call: Call,
+    api: ApiId,
+    bug_id: &str,
+    issue: u32,
+    desc: &str,
+) {
+    let a = b.action(
+        name,
+        1.0,
+        handler,
+        line,
+        vec![Call::direct(ui.set_text), call.bug(bug_id)],
+    );
+    b.bug(bug_id, issue, api, a, desc);
+}
+
+/// A page-fault-signature bug action: a short memory-heavy bug inside a
+/// render-dominant action.
+#[allow(clippy::too_many_arguments)]
+fn pf_bug_action(
+    b: &mut AppBuilder,
+    ui: &UiPack,
+    name: &str,
+    handler: &str,
+    line: u32,
+    api: ApiId,
+    bug_id: &str,
+    issue: u32,
+    desc: &str,
+) {
+    let a = b.action(
+        name,
+        1.0,
+        handler,
+        line,
+        vec![
+            Call::direct(ui.notify_dataset),
+            Call::direct(ui.animation),
+            Call::direct(ui.scroll_list),
+            Call::direct(api).bug(bug_id),
+        ],
+    );
+    b.bug(bug_id, issue, api, a, desc);
+}
+
+/// AndStatus: social timeline. Bugs: `BitmapFactory.decodeFile` on
+/// timeline scroll (known; ~600 ms, issue 303), `MyHtml.transform`
+/// (unknown, I/O; Figure 2(b)), avatar rescale (unknown, page-fault
+/// signature).
+pub fn andstatus() -> App {
+    let mut b = AppBuilder::new("AndStatus", "org.andstatus.app", "Social", 1_000, "49ef41c");
+    let ui = b.ui_pack();
+    let decode = b.api_scaled(reg::bitmap_decode_file(), 2.0);
+    // transform only hangs for posts with heavy HTML (~3 in 4 opens):
+    // the occasional-manifestation case of Figure 3's Path B.
+    let mut transform_spec = reg::html_transform();
+    transform_spec.cost = transform_spec.cost.occasional(0.75, 0.08);
+    let transform = b.api(transform_spec);
+    let resize = b.api_scaled(reg::thumbnail_resize(), 1.1);
+    let scroll = b.action(
+        "scroll timeline",
+        2.0,
+        "TimelineActivity.onScroll",
+        214,
+        vec![
+            Call::direct(ui.scroll_list),
+            Call::direct(decode).bug("andstatus-303-decode"),
+        ],
+    );
+    b.bug(
+        "andstatus-303-decode",
+        303,
+        decode,
+        scroll,
+        "attached image decoded on the main thread while scrolling (~600 ms)",
+    );
+    bug_action(
+        &mut b,
+        &ui,
+        "open conversation",
+        "ConversationActivity.onOpen",
+        129,
+        Call::direct(transform),
+        transform,
+        "andstatus-303-transform",
+        303,
+        "MyHtml.transform sanitizes post HTML through temp files on the main thread",
+    );
+    pf_bug_action(
+        &mut b,
+        &ui,
+        "view attachments",
+        "AttachmentsActivity.onShow",
+        88,
+        resize,
+        "andstatus-303-resize",
+        303,
+        "avatar grid rescaled inline during a render-heavy refresh",
+    );
+    heavy_ui(&mut b, &ui, "open timeline", "TimelineActivity.onResume", 0);
+    heavy_ui(&mut b, &ui, "switch account", "AccountActivity.onSelect", 1);
+    light(&mut b, &ui, "star post", "TimelineActivity.onStar", 3.0);
+    b.build()
+}
+
+/// DashClock: widget host. One known bug (synchronous preference flush).
+pub fn dashclock() -> App {
+    let mut b = AppBuilder::new(
+        "DashClock",
+        "net.nurik.roman.dashclock",
+        "Personalization",
+        1_000_000,
+        "7e248f7",
+    );
+    let ui = b.ui_pack();
+    // The flush only hangs when many extensions changed (occasional).
+    let mut commit_spec = reg::prefs_commit();
+    commit_spec.cost = commit_spec.cost.occasional(0.8, 0.1);
+    let commit = b.api_scaled(commit_spec, 1.3);
+    bug_action(
+        &mut b,
+        &ui,
+        "save widget config",
+        "ConfigurationActivity.onSave",
+        152,
+        Call::direct(commit),
+        commit,
+        "dashclock-874-commit",
+        874,
+        "widget configuration committed synchronously",
+    );
+    heavy_ui(
+        &mut b,
+        &ui,
+        "open configuration",
+        "ConfigurationActivity.onCreate",
+        0,
+    );
+    heavy_ui(
+        &mut b,
+        &ui,
+        "reorder extensions",
+        "ConfigurationActivity.onReorder",
+        2,
+    );
+    light(
+        &mut b,
+        &ui,
+        "toggle extension",
+        "ConfigurationActivity.onToggle",
+        3.0,
+    );
+    b.build()
+}
+
+/// CycleStreets: cycling maps. Three unknown I/O bugs (context-switch
+/// signature) plus one known database bug; heavy map drawing makes it
+/// the false-positive-richest app (Figure 8).
+pub fn cyclestreets() -> App {
+    let mut b = AppBuilder::new(
+        "CycleStreets",
+        "net.cyclestreets",
+        "Travel & Local",
+        50_000,
+        "2d8d550",
+    );
+    let ui = b.ui_pack();
+    let geocode = b.api(reg::geocode_lookup());
+    let gpx = b.api(reg::gpx_load());
+    let route = b.api(reg::route_parse());
+    let query = b.api_scaled(reg::sqlite_query(), 1.1);
+    bug_action(
+        &mut b,
+        &ui,
+        "search place",
+        "PlaceSearchActivity.onSearch",
+        64,
+        Call::direct(geocode),
+        geocode,
+        "cyclestreets-117-geocode",
+        117,
+        "local geocoder index searched on the main thread",
+    );
+    bug_action(
+        &mut b,
+        &ui,
+        "load saved track",
+        "TrackActivity.onLoad",
+        118,
+        Call::direct(gpx),
+        gpx,
+        "cyclestreets-117-gpx",
+        117,
+        "GPX track loaded from storage on the main thread",
+    );
+    bug_action(
+        &mut b,
+        &ui,
+        "open route",
+        "RouteActivity.onOpen",
+        203,
+        Call::direct(route),
+        route,
+        "cyclestreets-117-route",
+        117,
+        "route geometry parsed from disk on the main thread",
+    );
+    bug_action(
+        &mut b,
+        &ui,
+        "open itinerary",
+        "ItineraryActivity.onResume",
+        87,
+        Call::direct(query),
+        query,
+        "cyclestreets-117-query",
+        117,
+        "itinerary rows queried on the main thread",
+    );
+    tricky_ui(&mut b, &ui, "pan map", "MapActivity.onPan", true);
+    tricky_ui(&mut b, &ui, "zoom map", "MapActivity.onZoom", true);
+    heavy_ui(
+        &mut b,
+        &ui,
+        "open elevation profile",
+        "ElevationActivity.onCreate",
+        1,
+    );
+    light(&mut b, &ui, "drop pin", "MapActivity.onLongPress", 2.5);
+    b.build()
+}
+
+/// K9-mail: email client. Both bugs unknown and memory-bound
+/// (all-three-counters signature): `HtmlCleaner.clean` (issue 1007,
+/// ~1.3 s) and a large stored-message JSON parse.
+pub fn k9mail() -> App {
+    let mut b = AppBuilder::new(
+        "K9-mail",
+        "com.fsck.k9",
+        "Communication",
+        5_000_000,
+        "ac131a2",
+    );
+    let ui = b.ui_pack();
+    let clean = b.api(reg::html_clean());
+    let parse = b.api(reg::json_parse_large());
+    let sanitizer = b.api(reg::wrapper(
+        "com.fsck.k9.helper.HtmlSanitizer.sanitize",
+        25,
+    ));
+    let a = b.action(
+        "open email",
+        1.5,
+        "MessageViewFragment.onOpenMessage",
+        371,
+        vec![
+            Call::direct(ui.set_text),
+            Call::via(vec![sanitizer], clean).bug("k9mail-1007-clean"),
+        ],
+    );
+    b.bug(
+        "k9mail-1007-clean",
+        1007,
+        clean,
+        a,
+        "HtmlCleaner.clean parses heavy HTML on the main thread (~1.3 s)",
+    );
+    bug_action(
+        &mut b,
+        &ui,
+        "restore drafts",
+        "DraftsActivity.onRestore",
+        233,
+        Call::direct(parse),
+        parse,
+        "k9mail-1007-parse",
+        1007,
+        "stored drafts JSON parsed on the main thread",
+    );
+    heavy_ui(
+        &mut b,
+        &ui,
+        "open folders",
+        "FolderListActivity.onResume",
+        0,
+    );
+    // The inbox renders message previews through a WebView: main-thread
+    // heavy, so it trips the S-Checker and must be pruned by the
+    // Diagnoser — the Figure 7 storyline.
+    tricky_ui(
+        &mut b,
+        &ui,
+        "open inbox",
+        "MessageListActivity.onResume",
+        false,
+    );
+    heavy_ui(
+        &mut b,
+        &ui,
+        "open account setup",
+        "AccountSetupActivity.onCreate",
+        2,
+    );
+    light(
+        &mut b,
+        &ui,
+        "select message",
+        "MessageListActivity.onSelect",
+        3.0,
+    );
+    b.build()
+}
+
+/// Omni-Notes: note taking. Three unknown short memory-bound bugs inside
+/// render-heavy refreshes — the page-fault-only signature of Table 6.
+pub fn omninotes() -> App {
+    let mut b = AppBuilder::new(
+        "Omni-Notes",
+        "it.feio.android.omninotes",
+        "Productivity",
+        50_000,
+        "8ffde3a",
+    );
+    let ui = b.ui_pack();
+    let exif = b.api_scaled(reg::exif_parse(), 1.05);
+    let resize = b.api_scaled(reg::thumbnail_resize(), 1.1);
+    let icu = b.api_scaled(reg::icu_transliterate(), 1.1);
+    pf_bug_action(
+        &mut b,
+        &ui,
+        "open note with photos",
+        "DetailFragment.onAttachmentsShown",
+        311,
+        exif,
+        "omninotes-253-exif",
+        253,
+        "EXIF metadata of attachments parsed inline during list refresh",
+    );
+    pf_bug_action(
+        &mut b,
+        &ui,
+        "refresh note grid",
+        "ListFragment.onRefresh",
+        178,
+        resize,
+        "omninotes-253-resize",
+        253,
+        "note thumbnails rescaled inline during grid refresh",
+    );
+    pf_bug_action(
+        &mut b,
+        &ui,
+        "search notes",
+        "ListFragment.onSearch",
+        402,
+        icu,
+        "omninotes-253-icu",
+        253,
+        "search results transliterated inline while the list animates",
+    );
+    heavy_ui(&mut b, &ui, "open editor", "DetailFragment.onCreate", 0);
+    light(
+        &mut b,
+        &ui,
+        "toggle checklist item",
+        "DetailFragment.onCheck",
+        3.0,
+    );
+    b.build()
+}
+
+/// OwnTracks: location diary. One known bug reached through an
+/// open-source wrapper (offline tools that scan the library still see it).
+pub fn owntracks() -> App {
+    let mut b = AppBuilder::new(
+        "OwnTracks",
+        "org.owntracks.android",
+        "Travel & Local",
+        1_000,
+        "1514d4a",
+    );
+    let ui = b.ui_pack();
+    let commit = b.api_scaled(reg::prefs_commit(), 1.4);
+    let wrapper = b.api(reg::wrapper(
+        "org.owntracks.android.support.Preferences.exportToFile",
+        88,
+    ));
+    let a = b.action(
+        "export config",
+        1.0,
+        "PreferencesActivity.onExport",
+        141,
+        vec![
+            Call::direct(ui.set_text),
+            Call::via(vec![wrapper], commit).bug("owntracks-303-commit"),
+        ],
+    );
+    b.bug(
+        "owntracks-303-commit",
+        303,
+        commit,
+        a,
+        "preference export flushes synchronously, nested in a helper library",
+    );
+    heavy_ui(&mut b, &ui, "open map view", "MapActivity.onResume", 2);
+    heavy_ui(&mut b, &ui, "open regions", "RegionsActivity.onCreate", 1);
+    light(
+        &mut b,
+        &ui,
+        "publish location",
+        "MapActivity.onPublish",
+        3.0,
+    );
+    b.build()
+}
+
+/// QKSMS: SMS client. Three unknown compute-bound bugs (context-switch +
+/// task-clock signature), one of them a self-developed search indexer.
+pub fn qksms() -> App {
+    let mut b = AppBuilder::new(
+        "QKSMS",
+        "com.moez.QKSMS",
+        "Communication",
+        100_000,
+        "2a80947",
+    );
+    let ui = b.ui_pack();
+    let regex = b.api(reg::regex_match_heavy());
+    let emoji = b.api(reg::markdown_render());
+    let indexer = b.api(reg::self_developed(
+        "com.moez.QKSMS.util.SearchIndexer.buildIndex",
+        57,
+        380,
+        ProfileKind::Compute,
+    ));
+    bug_action(
+        &mut b,
+        &ui,
+        "highlight links",
+        "ConversationActivity.onShowMessage",
+        389,
+        Call::direct(regex),
+        regex,
+        "qksms-382-regex",
+        382,
+        "link-detection regex runs over the full conversation on the main thread",
+    );
+    bug_action(
+        &mut b,
+        &ui,
+        "render emoji",
+        "ConversationActivity.onRenderBody",
+        412,
+        Call::direct(emoji),
+        emoji,
+        "qksms-382-emoji",
+        382,
+        "emoji parse of a long conversation on the main thread",
+    );
+    bug_action(
+        &mut b,
+        &ui,
+        "search messages",
+        "SearchActivity.onQuery",
+        57,
+        Call::direct(indexer),
+        indexer,
+        "qksms-382-indexer",
+        382,
+        "self-developed search index rebuilt on the main thread (heavy loop)",
+    );
+    heavy_ui(
+        &mut b,
+        &ui,
+        "open conversation list",
+        "MainActivity.onResume",
+        1,
+    );
+    heavy_ui(&mut b, &ui, "open settings", "SettingsActivity.onCreate", 2);
+    light(&mut b, &ui, "send message", "ComposeActivity.onSend", 3.0);
+    b.build()
+}
+
+/// StickerCamera: photo editor. Three known camera/bitmap/file bugs.
+pub fn stickercamera() -> App {
+    let mut b = AppBuilder::new(
+        "StickerCamera",
+        "com.github.skykai.stickercamera",
+        "Photography",
+        5_000,
+        "6fc41b1",
+    );
+    let ui = b.ui_pack();
+    let open = b.api(reg::camera_open());
+    let decode = b.api(reg::bitmap_decode_file());
+    let write = b.api_scaled(reg::file_write(), 1.3);
+    bug_action(
+        &mut b,
+        &ui,
+        "open camera",
+        "CameraActivity.onResume",
+        122,
+        Call::direct(open),
+        open,
+        "stickercamera-29-open",
+        29,
+        "camera.open on the main thread",
+    );
+    bug_action(
+        &mut b,
+        &ui,
+        "edit photo",
+        "EditActivity.onLoad",
+        215,
+        Call::direct(decode),
+        decode,
+        "stickercamera-29-decode",
+        29,
+        "photo decoded on the main thread before editing",
+    );
+    bug_action(
+        &mut b,
+        &ui,
+        "save sticker",
+        "EditActivity.onSave",
+        388,
+        Call::direct(write),
+        write,
+        "stickercamera-29-write",
+        29,
+        "edited image written synchronously",
+    );
+    heavy_ui(&mut b, &ui, "open filters", "EditActivity.onFilters", 0);
+    light(&mut b, &ui, "pick sticker", "EditActivity.onSticker", 3.0);
+    b.build()
+}
+
+/// AntennaPod: podcast player. Two unknown compute-bound bugs plus one
+/// known database bug.
+pub fn antennapod() -> App {
+    let mut b = AppBuilder::new(
+        "AntennaPod",
+        "de.danoeh.antennapod",
+        "Media & Video",
+        100_000,
+        "c3808e2",
+    );
+    let ui = b.ui_pack();
+    let feed = b.api(reg::feed_parse());
+    let rebuild = b.api(reg::self_developed(
+        "de.danoeh.antennapod.core.util.QueueRebuilder.rebuild",
+        204,
+        320,
+        ProfileKind::Compute,
+    ));
+    let insert = b.api_scaled(reg::sqlite_insert_with_on_conflict(), 1.0);
+    bug_action(
+        &mut b,
+        &ui,
+        "refresh feed",
+        "FeedItemlistFragment.onRefresh",
+        199,
+        Call::direct(feed),
+        feed,
+        "antennapod-1921-feed",
+        1921,
+        "feed XML parsed on the main thread",
+    );
+    bug_action(
+        &mut b,
+        &ui,
+        "reorder queue",
+        "QueueFragment.onReorder",
+        204,
+        Call::direct(rebuild),
+        rebuild,
+        "antennapod-1921-queue",
+        1921,
+        "self-developed queue rebuild loop on the main thread",
+    );
+    bug_action(
+        &mut b,
+        &ui,
+        "mark episode played",
+        "ItemFragment.onMarkPlayed",
+        267,
+        Call::direct(insert),
+        insert,
+        "antennapod-1921-insert",
+        1921,
+        "playback state upserted on the main thread",
+    );
+    heavy_ui(
+        &mut b,
+        &ui,
+        "open subscriptions",
+        "MainActivity.onResume",
+        1,
+    );
+    heavy_ui(&mut b, &ui, "open episode", "ItemFragment.onCreate", 2);
+    light(
+        &mut b,
+        &ui,
+        "play episode",
+        "AudioPlayerActivity.onPlay",
+        3.0,
+    );
+    b.build()
+}
+
+/// Merchant: point-of-sale. One unknown I/O bug (context-switch
+/// signature).
+pub fn merchant() -> App {
+    let mut b = AppBuilder::new(
+        "Merchant",
+        "com.qulix.merchant",
+        "Business",
+        10_000,
+        "c87d69a",
+    );
+    let ui = b.ui_pack();
+    let fetch = b.api(reg::report_fetch());
+    bug_action(
+        &mut b,
+        &ui,
+        "open sales report",
+        "ReportActivity.onOpen",
+        73,
+        Call::direct(fetch),
+        fetch,
+        "merchant-17-fetch",
+        17,
+        "report rows fetched from the local store on the main thread",
+    );
+    heavy_ui(&mut b, &ui, "open catalog", "CatalogActivity.onResume", 0);
+    heavy_ui(&mut b, &ui, "open checkout", "CheckoutActivity.onCreate", 1);
+    light(&mut b, &ui, "add item", "CatalogActivity.onAdd", 3.0);
+    b.build()
+}
+
+/// UOITDC Booking: campus room booking. Two unknown memory-bound bugs
+/// (all-three-counters signature).
+pub fn uoitdc() -> App {
+    let mut b = AppBuilder::new(
+        "UOITDC Booking",
+        "ca.uoit.tdcbooking",
+        "Tools",
+        100,
+        "5d18c26",
+    );
+    let ui = b.ui_pack();
+    let parse = b.api(reg::json_parse_large());
+    let unpack = b.api(reg::zip_inflate());
+    bug_action(
+        &mut b,
+        &ui,
+        "load schedule",
+        "ScheduleActivity.onLoad",
+        91,
+        Call::direct(parse),
+        parse,
+        "uoitdc-3-parse",
+        3,
+        "cached schedule JSON parsed on the main thread",
+    );
+    bug_action(
+        &mut b,
+        &ui,
+        "unpack timetable",
+        "TimetableActivity.onUnpack",
+        143,
+        Call::direct(unpack),
+        unpack,
+        "uoitdc-3-unpack",
+        3,
+        "timetable bundle inflated on the main thread",
+    );
+    heavy_ui(
+        &mut b,
+        &ui,
+        "open booking form",
+        "BookingActivity.onCreate",
+        2,
+    );
+    light(&mut b, &ui, "select room", "BookingActivity.onSelect", 3.0);
+    b.build()
+}
+
+/// SageMath: math client. Two unknown `Gson.toJson` bugs (issue 84) plus
+/// one known database call hidden behind the open-source `cupboard` ORM.
+pub fn sagemath() -> App {
+    let mut b = AppBuilder::new(
+        "Sage Math",
+        "org.sagemath.droid",
+        "Education",
+        10_000,
+        "3198106",
+    );
+    let ui = b.ui_pack();
+    let to_json_save = b.api(reg::gson_to_json());
+    let to_json_share = b.api_scaled(reg::gson_to_json(), 0.9);
+    let insert = b.api(reg::sqlite_insert_with_on_conflict());
+    let cupboard = b.api(reg::cupboard_get());
+    bug_action(
+        &mut b,
+        &ui,
+        "save worksheet",
+        "WorksheetActivity.onSave",
+        946,
+        Call::direct(to_json_save),
+        to_json_save,
+        "sagemath-84-tojson-save",
+        84,
+        "worksheet serialized with Gson.toJson on the main thread (~1 s)",
+    );
+    bug_action(
+        &mut b,
+        &ui,
+        "share cell output",
+        "CellActivity.onShare",
+        512,
+        Call::direct(to_json_share),
+        to_json_share,
+        "sagemath-84-tojson-share",
+        84,
+        "cell output serialized with Gson.toJson on the main thread",
+    );
+    let a = b.action(
+        "open worksheet list",
+        1.2,
+        "WorksheetListActivity.onResume",
+        212,
+        vec![
+            Call::direct(ui.notify_dataset),
+            Call::via(vec![cupboard], insert).bug("sagemath-84-cupboard"),
+        ],
+    );
+    b.bug(
+        "sagemath-84-cupboard",
+        84,
+        insert,
+        a,
+        "cupboard.get hides insertWithOnConflict on the main thread",
+    );
+    heavy_ui(
+        &mut b,
+        &ui,
+        "render worksheet",
+        "WorksheetActivity.onRender",
+        0,
+    );
+    light(&mut b, &ui, "run cell", "CellActivity.onRun", 3.0);
+    b.build()
+}
+
+/// RadioDroid: internet radio. One unknown page-fault-signature bug plus
+/// one known file read.
+pub fn radiodroid() -> App {
+    let mut b = AppBuilder::new(
+        "RadioDroid",
+        "net.programmierecke.radiodroid",
+        "Music & Audio",
+        10,
+        "0108e8b",
+    );
+    let ui = b.ui_pack();
+    let icu = b.api_scaled(reg::icu_transliterate(), 1.1);
+    let read = b.api_scaled(reg::file_read(), 1.1);
+    pf_bug_action(
+        &mut b,
+        &ui,
+        "browse stations",
+        "StationsFragment.onRefresh",
+        156,
+        icu,
+        "radiodroid-29-icu",
+        29,
+        "station names transliterated inline during an animated refresh",
+    );
+    bug_action(
+        &mut b,
+        &ui,
+        "load playlist",
+        "PlaylistActivity.onLoad",
+        88,
+        Call::direct(read),
+        read,
+        "radiodroid-29-read",
+        29,
+        "m3u playlist read on the main thread",
+    );
+    heavy_ui(&mut b, &ui, "open player", "PlayerActivity.onCreate", 1);
+    light(
+        &mut b,
+        &ui,
+        "toggle favourite",
+        "StationsFragment.onStar",
+        3.0,
+    );
+    b.build()
+}
+
+/// Git@OSC: git client. One unknown I/O bug (context-switch signature).
+pub fn gitosc() -> App {
+    let mut b = AppBuilder::new(
+        "Git@OSC",
+        "net.oschina.gitapp",
+        "Tools",
+        10_000,
+        "bb80e0a95",
+    );
+    let ui = b.ui_pack();
+    let diff = b.api(reg::repo_stat_scan());
+    bug_action(
+        &mut b,
+        &ui,
+        "open repository status",
+        "RepoStatusActivity.onOpen",
+        289,
+        Call::direct(diff),
+        diff,
+        "gitosc-89-diff",
+        89,
+        "working-tree status scanned over many files on the main thread",
+    );
+    heavy_ui(&mut b, &ui, "open commits", "CommitsActivity.onResume", 0);
+    heavy_ui(&mut b, &ui, "open file tree", "FilesActivity.onCreate", 2);
+    light(&mut b, &ui, "star repo", "RepoActivity.onStar", 3.0);
+    b.build()
+}
+
+/// Lens-Launcher: launcher. One known bug nested in an open-source icon
+/// cache helper.
+pub fn lenslauncher() -> App {
+    let mut b = AppBuilder::new(
+        "Lens-Launcher",
+        "nickrout.lenslauncher",
+        "Personalization",
+        100_000,
+        "e41e6c6",
+    );
+    let ui = b.ui_pack();
+    let decode = b.api(reg::bitmap_decode_file());
+    let cache = b.api(reg::wrapper(
+        "nickrout.lenslauncher.util.IconCache.load",
+        44,
+    ));
+    let a = b.action(
+        "open app drawer",
+        1.5,
+        "HomeActivity.onDrawerOpen",
+        97,
+        vec![
+            Call::direct(ui.animation),
+            Call::via(vec![cache], decode).bug("lenslauncher-15-icons"),
+        ],
+    );
+    b.bug(
+        "lenslauncher-15-icons",
+        15,
+        decode,
+        a,
+        "icon bitmaps decoded on the main thread inside IconCache.load",
+    );
+    heavy_ui(&mut b, &ui, "open settings", "SettingsActivity.onCreate", 1);
+    light(&mut b, &ui, "launch app", "HomeActivity.onLaunch", 4.0);
+    b.build()
+}
+
+/// SkyTube: YouTube client. One unknown memory-bound bug
+/// (all-three-counters signature).
+pub fn skytube() -> App {
+    let mut b = AppBuilder::new(
+        "SkyTube",
+        "free.rm.skytube",
+        "Video Players",
+        5_000,
+        "3da671c",
+    );
+    let ui = b.ui_pack();
+    let probe = b.api(reg::video_meta_parse());
+    bug_action(
+        &mut b,
+        &ui,
+        "open downloaded video",
+        "DownloadedVideosFragment.onOpen",
+        402,
+        Call::direct(probe),
+        probe,
+        "skytube-88-probe",
+        88,
+        "MP4 container parsed on the main thread before playback",
+    );
+    heavy_ui(&mut b, &ui, "browse channel", "ChannelFragment.onResume", 0);
+    heavy_ui(
+        &mut b,
+        &ui,
+        "open subscriptions",
+        "SubsFragment.onResume",
+        1,
+    );
+    light(
+        &mut b,
+        &ui,
+        "bookmark video",
+        "VideoGridFragment.onBookmark",
+        3.0,
+    );
+    b.build()
+}
+
+/// All sixteen Table 5 apps.
+pub fn apps() -> Vec<App> {
+    vec![
+        andstatus(),
+        dashclock(),
+        cyclestreets(),
+        k9mail(),
+        omninotes(),
+        owntracks(),
+        qksms(),
+        stickercamera(),
+        antennapod(),
+        merchant(),
+        uoitdc(),
+        sagemath(),
+        radiodroid(),
+        gitosc(),
+        lenslauncher(),
+        skytube(),
+    ]
+}
+
+/// Bugs whose root-cause API is *not* in the 2017 known-blocking
+/// database (and is not reachable by name matching) — the "Missed by
+/// Offline" column of Table 5 and the validation set of Table 6.
+pub fn is_offline_missed(app: &App, bug: &crate::app::BugSpec) -> bool {
+    let api = app.api(bug.api);
+    match api.kind {
+        crate::api::ApiKind::SelfDeveloped => true,
+        crate::api::ApiKind::Blocking { known_since } => match known_since {
+            None => true,
+            Some(y) => y > 2017,
+        },
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_apps_all_valid() {
+        let apps = apps();
+        assert_eq!(apps.len(), 16);
+        for app in &apps {
+            assert!(app.validate().is_empty(), "{} invalid", app.name);
+        }
+    }
+
+    #[test]
+    fn bug_counts_match_table_5() {
+        let expected = [
+            ("AndStatus", 3, 2),
+            ("DashClock", 1, 0),
+            ("CycleStreets", 4, 3),
+            ("K9-mail", 2, 2),
+            ("Omni-Notes", 3, 3),
+            ("OwnTracks", 1, 0),
+            ("QKSMS", 3, 3),
+            ("StickerCamera", 3, 0),
+            ("AntennaPod", 3, 2),
+            ("Merchant", 1, 1),
+            ("UOITDC Booking", 2, 2),
+            ("Sage Math", 3, 2),
+            ("RadioDroid", 2, 1),
+            ("Git@OSC", 1, 1),
+            ("Lens-Launcher", 1, 0),
+            ("SkyTube", 1, 1),
+        ];
+        let apps = apps();
+        for (name, bd, mo) in expected {
+            let app = apps.iter().find(|a| a.name == name).unwrap();
+            assert_eq!(app.bugs.len(), bd, "{name} BD");
+            let missed = app
+                .bugs
+                .iter()
+                .filter(|b| is_offline_missed(app, b))
+                .count();
+            assert_eq!(missed, mo, "{name} MO");
+        }
+        let total: usize = apps.iter().map(|a| a.bugs.len()).sum();
+        assert_eq!(total, 34);
+        let missed: usize = apps
+            .iter()
+            .map(|a| a.bugs.iter().filter(|b| is_offline_missed(a, b)).count())
+            .sum();
+        assert_eq!(missed, 23);
+    }
+
+    #[test]
+    fn nested_known_bugs_go_through_open_wrappers() {
+        // OwnTracks, SageMath (cupboard), Lens-Launcher: known API via a
+        // scannable wrapper, so offline tools still catch them.
+        for (app, bug_id) in [
+            (owntracks(), "owntracks-303-commit"),
+            (sagemath(), "sagemath-84-cupboard"),
+            (lenslauncher(), "lenslauncher-15-icons"),
+        ] {
+            let call = app
+                .actions
+                .iter()
+                .flat_map(|a| a.calls())
+                .find(|c| c.bug_id.as_deref() == Some(bug_id))
+                .unwrap();
+            assert!(!call.via.is_empty(), "{bug_id} should be nested");
+            assert!(app.call_visible(call), "{bug_id} should be scannable");
+            let bug = app.bug(bug_id).unwrap();
+            assert!(!is_offline_missed(&app, bug));
+        }
+    }
+
+    #[test]
+    fn every_app_has_light_and_heavy_ui_actions() {
+        for app in apps() {
+            let ui_only: Vec<_> = app
+                .actions
+                .iter()
+                .filter(|a| a.bug_ids().is_empty())
+                .collect();
+            assert!(ui_only.len() >= 2, "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn self_developed_bugs_exist() {
+        // QKSMS indexer and AntennaPod queue rebuild are self-developed
+        // lengthy operations — undetectable by offline name matching.
+        let q = qksms();
+        let bug = q.bug("qksms-382-indexer").unwrap();
+        assert!(matches!(
+            q.api(bug.api).kind,
+            crate::api::ApiKind::SelfDeveloped
+        ));
+        let a = antennapod();
+        let bug = a.bug("antennapod-1921-queue").unwrap();
+        assert!(matches!(
+            a.api(bug.api).kind,
+            crate::api::ApiKind::SelfDeveloped
+        ));
+    }
+}

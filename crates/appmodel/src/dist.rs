@@ -1,0 +1,82 @@
+//! Tiny duration/count distributions for API cost models.
+
+use hd_simrt::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A jittered scalar: `base * U[1-spread, 1+spread]`.
+///
+/// This is the only distribution the cost models need: every operation
+/// has a typical magnitude plus execution-to-execution variation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Dist {
+    /// Typical value.
+    pub base: u64,
+    /// Relative half-width of the uniform band (clamped to `[0, 0.95]`).
+    pub spread: f64,
+}
+
+impl Dist {
+    /// A constant (zero-spread) distribution.
+    pub const fn fixed(base: u64) -> Dist {
+        Dist { base, spread: 0.0 }
+    }
+
+    /// A zero distribution.
+    pub const ZERO: Dist = Dist::fixed(0);
+
+    /// Creates a distribution with the given base and spread.
+    pub const fn new(base: u64, spread: f64) -> Dist {
+        Dist { base, spread }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        if self.base == 0 {
+            return 0;
+        }
+        if self.spread <= 0.0 {
+            return self.base;
+        }
+        (self.base as f64 * rng.jitter(self.spread)).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let d = Dist::fixed(500);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 500);
+        }
+    }
+
+    #[test]
+    fn zero_stays_zero() {
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(Dist::ZERO.sample(&mut rng), 0);
+        assert_eq!(Dist::new(0, 0.9).sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn spread_stays_in_band() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let d = Dist::new(1000, 0.3);
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!((700..=1300).contains(&s), "sample {s}");
+        }
+    }
+
+    #[test]
+    fn samples_vary() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let d = Dist::new(1_000_000, 0.2);
+        let a = d.sample(&mut rng);
+        let b = d.sample(&mut rng);
+        assert_ne!(a, b);
+    }
+}

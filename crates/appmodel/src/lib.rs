@@ -1,0 +1,30 @@
+//! # hd-appmodel — app behaviour models and the study corpus
+//!
+//! The paper evaluates Hang Doctor on 114 real Android apps. This crate
+//! models apps as data: an API catalog with per-call cost models
+//! ([`registry`]), actions composed of call sites with ground-truth bug
+//! tags ([`action`], [`app`]), a compiler that turns an action execution
+//! into simulator steps plus an exact ground-truth record ([`compile`]),
+//! seeded user traces ([`trace`]), and the full corpus — the 8 motivation
+//! apps of Table 1, the 17 study apps of Table 5 with all 34 bugs, and
+//! generated bug-free apps filling out the 114 ([`corpus`]).
+
+pub mod action;
+pub mod api;
+pub mod app;
+pub mod compile;
+pub mod corpus;
+pub mod dist;
+pub mod profile;
+pub mod registry;
+pub mod trace;
+
+pub use action::{ActionSpec, Call, EventSpec};
+pub use api::{ApiId, ApiKind, ApiSpec, CostSpec, SampledCost};
+pub use app::{App, BugSpec};
+pub use compile::{CompiledApp, ExecTruth};
+pub use dist::Dist;
+pub use profile::ProfileKind;
+pub use trace::{
+    build_run, generate_schedule, round_robin_schedule, BuiltRun, Schedule, TraceParams,
+};

@@ -1,0 +1,49 @@
+//! Serializable names for the simulator's memory profiles.
+
+use hd_simrt::MemProfile;
+use serde::{Deserialize, Serialize};
+
+/// Which event-generation profile an operation's CPU work uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProfileKind {
+    /// Light UI bookkeeping.
+    Ui,
+    /// Compute-bound work (loops, serialization of small objects).
+    Compute,
+    /// Memory-intensive work (decoding, parsing, large serialization).
+    MemoryHeavy,
+    /// Thin CPU shim around blocking I/O.
+    IoStub,
+}
+
+impl ProfileKind {
+    /// Resolves to the simulator profile.
+    pub fn to_profile(self) -> MemProfile {
+        match self {
+            ProfileKind::Ui => MemProfile::ui(),
+            ProfileKind::Compute => MemProfile::compute(),
+            ProfileKind::MemoryHeavy => MemProfile::memory_heavy(),
+            ProfileKind::IoStub => MemProfile::io_stub(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_map_to_distinct_profiles() {
+        let kinds = [
+            ProfileKind::Ui,
+            ProfileKind::Compute,
+            ProfileKind::MemoryHeavy,
+            ProfileKind::IoStub,
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in kinds.iter().skip(i + 1) {
+                assert_ne!(a.to_profile(), b.to_profile());
+            }
+        }
+    }
+}

@@ -1,0 +1,716 @@
+//! Catalog of Android framework / library APIs shared across the corpus.
+//!
+//! The study apps all draw from a common pool of UI APIs, well-known
+//! blocking APIs (with the year each became documented as blocking —
+//! `camera.open` in 2011, `mediaplayer.prepare` / `bitmap.decode` /
+//! `bluetooth.accept` in 2012, per Section 2.2), and blocking APIs that
+//! remain *unknown* to offline detectors at study time. Each constructor
+//! returns a fresh [`ApiSpec`]; apps intern them into their own API list
+//! through [`ApiSet`].
+
+use hd_simrt::MILLIS;
+
+use crate::api::{ApiId, ApiKind, ApiSpec, CostSpec};
+use crate::dist::Dist;
+use crate::profile::ProfileKind;
+
+/// Builder collecting an app's API list.
+#[derive(Debug, Default)]
+pub struct ApiSet {
+    apis: Vec<ApiSpec>,
+}
+
+impl ApiSet {
+    /// Creates an empty set.
+    pub fn new() -> ApiSet {
+        ApiSet::default()
+    }
+
+    /// Adds a spec, returning its id.
+    pub fn add(&mut self, spec: ApiSpec) -> ApiId {
+        self.apis.push(spec);
+        ApiId(self.apis.len() - 1)
+    }
+
+    /// Finishes the set.
+    pub fn into_vec(self) -> Vec<ApiSpec> {
+        self.apis
+    }
+}
+
+const MS: u64 = MILLIS;
+
+// ---- UI APIs (must stay on the main thread; never soft hang bugs) ------
+//
+// Most UI APIs generate substantially more render-thread work than
+// main-thread work, which is exactly why main-minus-render counter
+// differences separate UI operations from soft hang bugs (Figure 4).
+// A few (map tile drawing, WebView relayout) are main-thread-heavy and
+// act as the false-positive sources the Diagnoser must prune.
+
+/// `TextView.setText`: trivial text update.
+pub fn ui_set_text() -> ApiSpec {
+    ApiSpec::new(
+        "android.widget.TextView.setText",
+        4100,
+        ApiKind::Ui,
+        CostSpec::ui(Dist::new(6 * MS, 0.3), Dist::new(4, 0.3), 4 * MS),
+    )
+}
+
+/// `LayoutInflater.inflate`: builds a view hierarchy; can be slow for
+/// complex layouts.
+pub fn ui_inflate() -> ApiSpec {
+    ApiSpec::new(
+        "android.view.LayoutInflater.inflate",
+        480,
+        ApiKind::Ui,
+        CostSpec::ui(Dist::new(55 * MS, 0.35), Dist::new(24, 0.3), 4 * MS),
+    )
+}
+
+/// `SeekBar.<init>`: widget construction.
+pub fn ui_init_seekbar() -> ApiSpec {
+    ApiSpec::new(
+        "android.widget.SeekBar.<init>",
+        80,
+        ApiKind::Ui,
+        CostSpec::ui(Dist::new(14 * MS, 0.3), Dist::new(7, 0.3), 4 * MS),
+    )
+}
+
+/// `OrientationEventListener.enable`.
+pub fn ui_enable_orientation() -> ApiSpec {
+    ApiSpec::new(
+        "android.view.OrientationEventListener.enable",
+        112,
+        ApiKind::Ui,
+        CostSpec::ui(Dist::new(9 * MS, 0.3), Dist::new(4, 0.4), 4 * MS),
+    )
+}
+
+/// `AbsListView.onScroll` binding work while scrolling lists.
+pub fn ui_scroll_list() -> ApiSpec {
+    ApiSpec::new(
+        "android.widget.AbsListView.onScroll",
+        1410,
+        ApiKind::Ui,
+        CostSpec::ui(Dist::new(35 * MS, 0.3), Dist::new(16, 0.3), 4 * MS),
+    )
+}
+
+/// `BaseAdapter.notifyDataSetChanged`: rebinds visible rows.
+pub fn ui_notify_dataset() -> ApiSpec {
+    ApiSpec::new(
+        "android.widget.BaseAdapter.notifyDataSetChanged",
+        50,
+        ApiKind::Ui,
+        CostSpec::ui(Dist::new(48 * MS, 0.35), Dist::new(22, 0.3), 4 * MS),
+    )
+}
+
+/// `View.onMeasure` of a deep hierarchy.
+pub fn ui_measure() -> ApiSpec {
+    ApiSpec::new(
+        "android.view.View.onMeasure",
+        23180,
+        ApiKind::Ui,
+        CostSpec::ui(Dist::new(62 * MS, 0.3), Dist::new(8, 0.3), 4 * MS),
+    )
+}
+
+/// `ListView.layoutChildren`.
+pub fn ui_layout_children() -> ApiSpec {
+    ApiSpec::new(
+        "android.widget.ListView.layoutChildren",
+        1650,
+        ApiKind::Ui,
+        CostSpec::ui(Dist::new(70 * MS, 0.3), Dist::new(30, 0.3), 4 * MS),
+    )
+}
+
+/// Map tile layout/draw on the main thread (heavy legitimate UI work —
+/// the CycleStreets-style false-positive source).
+pub fn ui_draw_map_tiles() -> ApiSpec {
+    ApiSpec::new(
+        "org.osmdroid.views.MapView.dispatchDraw",
+        990,
+        ApiKind::Ui,
+        CostSpec::ui(Dist::new(185 * MS, 0.45), Dist::new(12, 0.3), 4 * MS),
+    )
+}
+
+/// `Activity.setContentView`: full initial layout pass.
+pub fn ui_set_content_view() -> ApiSpec {
+    ApiSpec::new(
+        "android.app.Activity.setContentView",
+        2950,
+        ApiKind::Ui,
+        CostSpec::ui(Dist::new(95 * MS, 0.35), Dist::new(40, 0.3), 4 * MS),
+    )
+}
+
+/// `RecyclerView.onBindViewHolder` burst.
+pub fn ui_bind_view_holder() -> ApiSpec {
+    ApiSpec::new(
+        "android.support.v7.widget.RecyclerView.onBindViewHolder",
+        5410,
+        ApiKind::Ui,
+        CostSpec::ui(Dist::new(26 * MS, 0.3), Dist::new(12, 0.3), 4 * MS),
+    )
+}
+
+/// `FragmentTransaction.commit` + immediate layout.
+pub fn ui_fragment_commit() -> ApiSpec {
+    ApiSpec::new(
+        "android.app.FragmentTransaction.commit",
+        660,
+        ApiKind::Ui,
+        CostSpec::ui(Dist::new(74 * MS, 0.35), Dist::new(32, 0.3), 4 * MS),
+    )
+}
+
+/// `WebView` relayout of a complex page (legitimate but long UI work).
+pub fn ui_webview_layout() -> ApiSpec {
+    ApiSpec::new(
+        "android.webkit.WebView.onLayout",
+        2630,
+        ApiKind::Ui,
+        CostSpec::ui(Dist::new(150 * MS, 0.4), Dist::new(12, 0.3), 4 * MS),
+    )
+}
+
+/// Property animation start (posts many frames, little main CPU).
+pub fn ui_start_animation() -> ApiSpec {
+    ApiSpec::new(
+        "android.animation.ObjectAnimator.start",
+        1005,
+        ApiKind::Ui,
+        CostSpec::ui(Dist::new(18 * MS, 0.3), Dist::new(42, 0.3), 4 * MS),
+    )
+}
+
+// ---- Well-known blocking APIs (in the offline database) ----------------
+
+/// `Camera.open`: connects to the camera service; documented blocking
+/// since 2011. Opening the camera performs dozens of binder round trips
+/// to the camera HAL, each a voluntary context switch.
+pub fn camera_open() -> ApiSpec {
+    ApiSpec::new(
+        "android.hardware.Camera.open",
+        1290,
+        ApiKind::Blocking {
+            known_since: Some(2011),
+        },
+        CostSpec::io(Dist::new(4 * MS, 0.3), Dist::new(245 * MS, 0.25)).chunks(25),
+    )
+}
+
+/// `Camera.setParameters`: HAL round trip.
+pub fn camera_set_parameters() -> ApiSpec {
+    ApiSpec::new(
+        "android.hardware.Camera.setParameters",
+        1810,
+        ApiKind::Blocking {
+            known_since: Some(2012),
+        },
+        CostSpec::io(Dist::new(3 * MS, 0.3), Dist::new(38 * MS, 0.3)).chunks(4),
+    )
+}
+
+/// `MediaPlayer.prepare`: documented blocking since 2012.
+pub fn mediaplayer_prepare() -> ApiSpec {
+    ApiSpec::new(
+        "android.media.MediaPlayer.prepare",
+        1140,
+        ApiKind::Blocking {
+            known_since: Some(2012),
+        },
+        CostSpec::io(Dist::new(6 * MS, 0.3), Dist::new(185 * MS, 0.3)).chunks(10),
+    )
+}
+
+/// `BitmapFactory.decodeFile`: decodes an image on the calling thread;
+/// documented blocking since 2012.
+pub fn bitmap_decode_file() -> ApiSpec {
+    ApiSpec::new(
+        "android.graphics.BitmapFactory.decodeFile",
+        520,
+        ApiKind::Blocking {
+            known_since: Some(2012),
+        },
+        CostSpec::cpu(Dist::new(280 * MS, 0.3), ProfileKind::MemoryHeavy),
+    )
+}
+
+/// `BluetoothServerSocket.accept`: documented blocking since 2012.
+pub fn bluetooth_accept() -> ApiSpec {
+    ApiSpec::new(
+        "android.bluetooth.BluetoothServerSocket.accept",
+        91,
+        ApiKind::Blocking {
+            known_since: Some(2012),
+        },
+        CostSpec::io(Dist::new(2 * MS, 0.3), Dist::new(300 * MS, 0.4)).chunks(6),
+    )
+}
+
+/// `SQLiteDatabase.query` on the main thread.
+pub fn sqlite_query() -> ApiSpec {
+    ApiSpec::new(
+        "android.database.sqlite.SQLiteDatabase.query",
+        1380,
+        ApiKind::Blocking {
+            known_since: Some(2010),
+        },
+        CostSpec {
+            cpu: Dist::new(85 * MS, 0.3),
+            io: Dist::new(170 * MS, 0.3),
+            profile: ProfileKind::IoStub,
+            frames: Dist::ZERO,
+            frame_ns: 0,
+            manifest_p: 1.0,
+            light_scale: 1.0,
+            io_chunks: 8,
+            network: false,
+        },
+    )
+}
+
+/// `SQLiteDatabase.insertWithOnConflict`.
+pub fn sqlite_insert_with_on_conflict() -> ApiSpec {
+    ApiSpec::new(
+        "android.database.sqlite.SQLiteDatabase.insertWithOnConflict",
+        1570,
+        ApiKind::Blocking {
+            known_since: Some(2010),
+        },
+        CostSpec {
+            cpu: Dist::new(80 * MS, 0.3),
+            io: Dist::new(200 * MS, 0.3),
+            profile: ProfileKind::IoStub,
+            frames: Dist::ZERO,
+            frame_ns: 0,
+            manifest_p: 1.0,
+            light_scale: 1.0,
+            io_chunks: 8,
+            network: false,
+        },
+    )
+}
+
+/// `FileInputStream.read` of a sizable file.
+pub fn file_read() -> ApiSpec {
+    ApiSpec::new(
+        "java.io.FileInputStream.read",
+        255,
+        ApiKind::Blocking {
+            known_since: Some(2009),
+        },
+        CostSpec::io(Dist::new(9 * MS, 0.3), Dist::new(140 * MS, 0.35)).chunks(8),
+    )
+}
+
+/// `FileOutputStream.write` of a sizable file.
+pub fn file_write() -> ApiSpec {
+    ApiSpec::new(
+        "java.io.FileOutputStream.write",
+        326,
+        ApiKind::Blocking {
+            known_since: Some(2009),
+        },
+        CostSpec::io(Dist::new(8 * MS, 0.3), Dist::new(165 * MS, 0.35)).chunks(8),
+    )
+}
+
+/// `SharedPreferences.Editor.commit`: synchronous disk write.
+pub fn prefs_commit() -> ApiSpec {
+    ApiSpec::new(
+        "android.content.SharedPreferences$Editor.commit",
+        410,
+        ApiKind::Blocking {
+            known_since: Some(2012),
+        },
+        CostSpec::io(Dist::new(4 * MS, 0.3), Dist::new(120 * MS, 0.35)).chunks(5),
+    )
+}
+
+/// `AssetManager.open` + read.
+pub fn asset_open() -> ApiSpec {
+    ApiSpec::new(
+        "android.content.res.AssetManager.open",
+        680,
+        ApiKind::Blocking {
+            known_since: Some(2011),
+        },
+        CostSpec::io(Dist::new(5 * MS, 0.3), Dist::new(110 * MS, 0.3)).chunks(5),
+    )
+}
+
+// ---- Blocking APIs unknown to offline detectors at study time ----------
+
+/// `HtmlCleaner.clean`: parses heavy HTML (the K9-mail #1007 root cause;
+/// ~1.3 s for heavy pages).
+pub fn html_clean() -> ApiSpec {
+    ApiSpec::new(
+        "org.htmlcleaner.HtmlCleaner.clean",
+        25,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::cpu(Dist::new(1250 * MS, 0.25), ProfileKind::MemoryHeavy),
+    )
+}
+
+/// `Gson.toJson`: serializes a large object graph (~1 s in SageMath #84).
+pub fn gson_to_json() -> ApiSpec {
+    ApiSpec::new(
+        "com.google.gson.Gson.toJson",
+        946,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::cpu(Dist::new(950 * MS, 0.3), ProfileKind::MemoryHeavy),
+    )
+}
+
+/// Large JSON parse.
+pub fn json_parse_large() -> ApiSpec {
+    ApiSpec::new(
+        "org.json.JSONObject.<init>",
+        156,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::cpu(Dist::new(480 * MS, 0.3), ProfileKind::MemoryHeavy),
+    )
+}
+
+/// RSS/Atom feed parse.
+pub fn feed_parse() -> ApiSpec {
+    ApiSpec::new(
+        "org.xmlpull.v1.XmlPullParser.next",
+        77,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::cpu(Dist::new(380 * MS, 0.3), ProfileKind::Compute),
+    )
+}
+
+/// Geo lookup against a local index (disk-bound).
+pub fn geocode_lookup() -> ApiSpec {
+    ApiSpec::new(
+        "com.cyclestreets.api.GeoPlaces.search",
+        64,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::io(Dist::new(10 * MS, 0.3), Dist::new(250 * MS, 0.3)).chunks(10),
+    )
+}
+
+/// GPX track load from storage.
+pub fn gpx_load() -> ApiSpec {
+    ApiSpec::new(
+        "com.cyclestreets.content.RouteData.load",
+        118,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::io(Dist::new(12 * MS, 0.3), Dist::new(290 * MS, 0.3)).chunks(9),
+    )
+}
+
+/// Route geometry parse (disk-backed).
+pub fn route_parse() -> ApiSpec {
+    ApiSpec::new(
+        "com.cyclestreets.api.Journey.loadFromXml",
+        203,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::io(Dist::new(14 * MS, 0.3), Dist::new(255 * MS, 0.3)).chunks(9),
+    )
+}
+
+/// EXIF parse of photo metadata (memory-bound, short).
+pub fn exif_parse() -> ApiSpec {
+    ApiSpec::new(
+        "it.sephiroth.android.exif.ExifInterface.readExif",
+        88,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::cpu(Dist::new(135 * MS, 0.12), ProfileKind::MemoryHeavy),
+    )
+}
+
+/// Thumbnail rescale (memory-bound, short).
+pub fn thumbnail_resize() -> ApiSpec {
+    ApiSpec::new(
+        "com.nostra13.universalimageloader.core.ImageScaler.scale",
+        141,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::cpu(Dist::new(130 * MS, 0.12), ProfileKind::MemoryHeavy),
+    )
+}
+
+/// ICU transliteration of a visible text block (memory-bound, short).
+pub fn icu_transliterate() -> ApiSpec {
+    ApiSpec::new(
+        "com.ibm.icu.text.Transliterator.transliterate",
+        505,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::cpu(Dist::new(128 * MS, 0.12), ProfileKind::MemoryHeavy),
+    )
+}
+
+/// Catastrophic-ish regex over a large message body (compute-bound).
+pub fn regex_match_heavy() -> ApiSpec {
+    ApiSpec::new(
+        "java.util.regex.Matcher.find",
+        1199,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::cpu(Dist::new(420 * MS, 0.3), ProfileKind::Compute),
+    )
+}
+
+/// Markdown/emoji render of a long conversation (compute-bound).
+pub fn markdown_render() -> ApiSpec {
+    ApiSpec::new(
+        "com.vdurmont.emoji.EmojiParser.parseToUnicode",
+        233,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::cpu(Dist::new(330 * MS, 0.3), ProfileKind::Compute),
+    )
+}
+
+/// Certificate chain verification (compute-bound).
+pub fn cert_verify() -> ApiSpec {
+    ApiSpec::new(
+        "org.spongycastle.cert.X509CertificateHolder.isSignatureValid",
+        167,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::cpu(Dist::new(290 * MS, 0.3), ProfileKind::Compute),
+    )
+}
+
+/// Zip entry inflate of a content pack.
+pub fn zip_inflate() -> ApiSpec {
+    ApiSpec::new(
+        "java.util.zip.ZipInputStream.read",
+        310,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::cpu(Dist::new(310 * MS, 0.3), ProfileKind::MemoryHeavy),
+    )
+}
+
+/// Video metadata probe (memory+compute).
+pub fn video_meta_parse() -> ApiSpec {
+    ApiSpec::new(
+        "com.coremedia.iso.IsoFile.parse",
+        402,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::cpu(Dist::new(580 * MS, 0.3), ProfileKind::MemoryHeavy),
+    )
+}
+
+/// Repository status scan over many small files (disk-bound).
+pub fn repo_stat_scan() -> ApiSpec {
+    ApiSpec::new(
+        "org.eclipse.jgit.lib.IndexDiff.diff",
+        289,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::io(Dist::new(18 * MS, 0.3), Dist::new(265 * MS, 0.3)).chunks(12),
+    )
+}
+
+/// Report fetch from a local store (disk-bound).
+pub fn report_fetch() -> ApiSpec {
+    ApiSpec::new(
+        "com.qulix.merchant.ReportStore.fetchAll",
+        73,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::io(Dist::new(15 * MS, 0.3), Dist::new(245 * MS, 0.3)).chunks(9),
+    )
+}
+
+/// AndStatus `MyHtml.transform`: sanitizes post HTML via temp files
+/// (disk-bound; the Figure 2(b) "transform" entry).
+pub fn html_transform() -> ApiSpec {
+    ApiSpec::new(
+        "org.andstatus.app.util.MyHtml.transform",
+        129,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::io(Dist::new(12 * MS, 0.3), Dist::new(210 * MS, 0.3)).chunks(8),
+    )
+}
+
+/// `HttpURLConnection.connect` + read on the main thread: the classic
+/// network-on-main hang. Well known and excluded from the study corpus
+/// (footnote 2: modern builds reject it), but supported so the
+/// network-monitoring extension can be exercised.
+pub fn http_fetch() -> ApiSpec {
+    ApiSpec::new(
+        "java.net.HttpURLConnection.getInputStream",
+        1430,
+        ApiKind::Blocking {
+            known_since: Some(2009),
+        },
+        CostSpec::io(Dist::new(8 * MS, 0.3), Dist::new(350 * MS, 0.4))
+            .chunks(6)
+            .network(),
+    )
+}
+
+// ---- Wrappers ------------------------------------------------------------
+
+/// `cupboard.get`: open-source ORM wrapper that hides a database call
+/// (SageMath #84).
+pub fn cupboard_get() -> ApiSpec {
+    ApiSpec::new(
+        "nl.qbusict.cupboard.Cupboard.get",
+        212,
+        ApiKind::Wrapper,
+        CostSpec::none(),
+    )
+}
+
+/// A generic open-source library wrapper.
+pub fn wrapper(symbol: &str, line: u32) -> ApiSpec {
+    ApiSpec::new(symbol, line, ApiKind::Wrapper, CostSpec::none())
+}
+
+/// A closed-source library wrapper (invisible to offline scanners).
+pub fn closed_wrapper(symbol: &str, line: u32) -> ApiSpec {
+    ApiSpec::new(symbol, line, ApiKind::Wrapper, CostSpec::none()).closed()
+}
+
+/// A self-developed lengthy operation (heavy loop in app code).
+pub fn self_developed(symbol: &str, line: u32, cpu_ms: u64, profile: ProfileKind) -> ApiSpec {
+    ApiSpec::new(
+        symbol,
+        line,
+        ApiKind::SelfDeveloped,
+        CostSpec::cpu(Dist::new(cpu_ms * MS, 0.3), profile),
+    )
+}
+
+/// All UI APIs in the catalog (the training set needs ≥ 11).
+pub fn all_ui_apis() -> Vec<ApiSpec> {
+    vec![
+        ui_set_text(),
+        ui_inflate(),
+        ui_init_seekbar(),
+        ui_enable_orientation(),
+        ui_scroll_list(),
+        ui_notify_dataset(),
+        ui_measure(),
+        ui_layout_children(),
+        ui_draw_map_tiles(),
+        ui_set_content_view(),
+        ui_bind_view_holder(),
+        ui_fragment_commit(),
+        ui_webview_layout(),
+        ui_start_animation(),
+    ]
+}
+
+/// All well-known blocking APIs (the offline database contents).
+pub fn all_known_blocking_apis() -> Vec<ApiSpec> {
+    vec![
+        camera_open(),
+        camera_set_parameters(),
+        mediaplayer_prepare(),
+        bitmap_decode_file(),
+        bluetooth_accept(),
+        sqlite_query(),
+        sqlite_insert_with_on_conflict(),
+        file_read(),
+        file_write(),
+        prefs_commit(),
+        asset_open(),
+    ]
+}
+
+/// All catalog blocking APIs that offline detectors do not know.
+pub fn all_unknown_blocking_apis() -> Vec<ApiSpec> {
+    vec![
+        html_clean(),
+        gson_to_json(),
+        json_parse_large(),
+        feed_parse(),
+        geocode_lookup(),
+        gpx_load(),
+        route_parse(),
+        exif_parse(),
+        thumbnail_resize(),
+        icu_transliterate(),
+        regex_match_heavy(),
+        markdown_render(),
+        cert_verify(),
+        zip_inflate(),
+        video_meta_parse(),
+        repo_stat_scan(),
+        report_fetch(),
+        html_transform(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_sizes() {
+        assert!(all_ui_apis().len() >= 11, "training needs ≥ 11 UI APIs");
+        assert!(all_known_blocking_apis().len() >= 10);
+        assert!(all_unknown_blocking_apis().len() >= 15);
+    }
+
+    #[test]
+    fn ui_apis_are_ui() {
+        for api in all_ui_apis() {
+            assert!(api.is_ui(), "{} misclassified", api.symbol);
+            assert!(api.cost.frames.base > 0, "{} posts no frames", api.symbol);
+        }
+    }
+
+    #[test]
+    fn known_apis_have_years_unknown_have_none() {
+        for api in all_known_blocking_apis() {
+            assert!(
+                api.known_blocking_in(2017),
+                "{} should be in the 2017 DB",
+                api.symbol
+            );
+        }
+        for api in all_unknown_blocking_apis() {
+            assert!(
+                !api.known_blocking_in(2017),
+                "{} should NOT be in the 2017 DB",
+                api.symbol
+            );
+        }
+    }
+
+    #[test]
+    fn symbols_are_unique_across_catalog() {
+        let mut names: Vec<String> = all_ui_apis()
+            .into_iter()
+            .chain(all_known_blocking_apis())
+            .chain(all_unknown_blocking_apis())
+            .map(|a| a.symbol)
+            .collect();
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn api_set_assigns_dense_ids() {
+        let mut set = ApiSet::new();
+        let a = set.add(ui_set_text());
+        let b = set.add(camera_open());
+        assert_eq!(a, ApiId(0));
+        assert_eq!(b, ApiId(1));
+        let v = set.into_vec();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[1].symbol, "android.hardware.Camera.open");
+    }
+
+    #[test]
+    fn camera_open_timeline_matches_paper() {
+        // Available since 2008, marked blocking only after 2011: an
+        // offline scanner from 2010 misses it.
+        let api = camera_open();
+        assert!(!api.known_blocking_in(2010));
+        assert!(api.known_blocking_in(2011));
+    }
+}

@@ -1,0 +1,275 @@
+//! User traces and run assembly.
+//!
+//! The paper tests apps "in the wild": 20 users interacting with their
+//! apps over 60 days. We generate seeded user sessions — weighted action
+//! choices separated by think time — and assemble them into a ready
+//! [`Simulator`] plus the per-execution ground truth the evaluation
+//! scores against.
+
+use hd_simrt::{ActionUid, ExecId, FrameTable, SimConfig, SimRng, SimTime, Simulator, MILLIS};
+use serde::{Deserialize, Serialize};
+
+use crate::app::App;
+use crate::compile::{CompiledApp, ExecTruth};
+
+/// A schedule of action arrivals for one run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// `(arrival time, action uid)` pairs, time-ordered.
+    pub arrivals: Vec<(SimTime, ActionUid)>,
+}
+
+impl Schedule {
+    /// Number of scheduled actions.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+}
+
+/// Parameters for user-trace generation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceParams {
+    /// Number of action executions.
+    pub actions: usize,
+    /// Minimum think time between actions, ms.
+    pub think_min_ms: u64,
+    /// Maximum think time between actions, ms.
+    pub think_max_ms: u64,
+}
+
+impl Default for TraceParams {
+    fn default() -> Self {
+        TraceParams {
+            actions: 60,
+            think_min_ms: 1_500,
+            think_max_ms: 4_000,
+        }
+    }
+}
+
+/// Generates a weighted random user session over `app`'s actions.
+pub fn generate_schedule(app: &App, params: TraceParams, rng: &mut SimRng) -> Schedule {
+    assert!(!app.actions.is_empty(), "app '{}' has no actions", app.name);
+    let total_weight: f64 = app.actions.iter().map(|a| a.weight).sum();
+    let mut arrivals = Vec::with_capacity(params.actions);
+    let mut t = SimTime::from_ms(rng.uniform_u64(200, 1_000));
+    for _ in 0..params.actions {
+        let mut pick = rng.uniform_f64(0.0, total_weight);
+        let mut chosen = app.actions.last().expect("non-empty").uid;
+        for a in &app.actions {
+            if pick < a.weight {
+                chosen = a.uid;
+                break;
+            }
+            pick -= a.weight;
+        }
+        arrivals.push((t, chosen));
+        let think = rng.uniform_u64(
+            params.think_min_ms,
+            params.think_max_ms.max(params.think_min_ms + 1),
+        );
+        t += think * MILLIS;
+    }
+    Schedule { arrivals }
+}
+
+/// A schedule that executes every action of the app round-robin, useful
+/// for deterministic coverage (training, examples).
+pub fn round_robin_schedule(app: &App, repetitions: usize, gap_ms: u64) -> Schedule {
+    let mut arrivals = Vec::new();
+    let mut t = SimTime::from_ms(500);
+    for _ in 0..repetitions {
+        for a in &app.actions {
+            arrivals.push((t, a.uid));
+            t += gap_ms * MILLIS;
+        }
+    }
+    Schedule { arrivals }
+}
+
+/// A simulator loaded with a schedule, plus the ground truth of every
+/// scheduled execution.
+pub struct BuiltRun {
+    /// The simulator, ready for probes and `run()`.
+    pub sim: Simulator,
+    /// Ground truth, indexed by `exec_id - 1` (executions are numbered
+    /// in arrival order).
+    pub truths: Vec<ExecTruth>,
+}
+
+impl BuiltRun {
+    /// Ground truth of an execution.
+    pub fn truth(&self, exec: ExecId) -> &ExecTruth {
+        &self.truths[(exec.0 - 1) as usize]
+    }
+}
+
+/// Samples every scheduled execution of `app` and loads a simulator.
+///
+/// `seed` controls both the cost sampling and the simulator's internal
+/// stream, so a `(app, schedule, seed)` triple is fully reproducible.
+pub fn build_run(
+    compiled: &CompiledApp,
+    schedule: &Schedule,
+    sim_cfg: SimConfig,
+    seed: u64,
+) -> BuiltRun {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let table: FrameTable = compiled.frame_table();
+    let mut sim = Simulator::new(SimConfig { seed, ..sim_cfg }, table);
+    let mut truths = Vec::with_capacity(schedule.arrivals.len());
+    for &(at, uid) in &schedule.arrivals {
+        let (req, truth) = compiled.sample(uid, &mut rng);
+        truths.push(truth);
+        sim.schedule_action(at, req);
+    }
+    BuiltRun { sim, truths }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionSpec, Call, EventSpec};
+    use crate::api::{ApiKind, ApiSpec, CostSpec};
+    use crate::dist::Dist;
+    use crate::profile::ProfileKind;
+
+    fn two_action_app() -> App {
+        let apis = vec![
+            ApiSpec::new(
+                "android.widget.TextView.setText",
+                1,
+                ApiKind::Ui,
+                CostSpec::ui(Dist::fixed(10 * MILLIS), Dist::fixed(3), 4 * MILLIS),
+            ),
+            ApiSpec::new(
+                "x.Slow.parse",
+                2,
+                ApiKind::Blocking { known_since: None },
+                CostSpec::cpu(Dist::fixed(300 * MILLIS), ProfileKind::Compute),
+            ),
+        ];
+        App {
+            name: "Two".into(),
+            package: "x".into(),
+            category: "Tools".into(),
+            downloads: 10,
+            commit: "c".into(),
+            apis,
+            actions: vec![
+                ActionSpec::new(
+                    0,
+                    "light",
+                    vec![EventSpec::new(
+                        "x.Main.onTap",
+                        5,
+                        vec![Call::direct(crate::api::ApiId(0))],
+                    )],
+                )
+                .weighted(3.0),
+                ActionSpec::new(
+                    1,
+                    "heavy",
+                    vec![EventSpec::new(
+                        "x.Main.onOpen",
+                        9,
+                        vec![Call::direct(crate::api::ApiId(1)).bug("two-1")],
+                    )],
+                ),
+            ],
+            bugs: vec![crate::app::BugSpec {
+                id: "two-1".into(),
+                issue: 1,
+                api: crate::api::ApiId(1),
+                action: ActionUid(1),
+                description: "slow parse".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn weighted_schedule_respects_weights() {
+        let app = two_action_app();
+        let mut rng = SimRng::seed_from_u64(5);
+        let sched = generate_schedule(
+            &app,
+            TraceParams {
+                actions: 4000,
+                think_min_ms: 10,
+                think_max_ms: 20,
+            },
+            &mut rng,
+        );
+        let light = sched
+            .arrivals
+            .iter()
+            .filter(|(_, uid)| *uid == ActionUid(0))
+            .count();
+        let frac = light as f64 / 4000.0;
+        assert!((0.70..0.80).contains(&frac), "light fraction {frac}");
+        // Arrivals are time-ordered.
+        for w in sched.arrivals.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn round_robin_covers_all_actions() {
+        let app = two_action_app();
+        let sched = round_robin_schedule(&app, 3, 1000);
+        assert_eq!(sched.len(), 6);
+        let heavy = sched
+            .arrivals
+            .iter()
+            .filter(|(_, uid)| *uid == ActionUid(1))
+            .count();
+        assert_eq!(heavy, 3);
+    }
+
+    #[test]
+    fn build_run_aligns_truth_with_records() {
+        let app = two_action_app();
+        let compiled = CompiledApp::new(app);
+        let sched = round_robin_schedule(compiled.app(), 2, 2000);
+        let mut run = build_run(&compiled, &sched, SimConfig::default(), 7);
+        run.sim.run();
+        let records = run.sim.records();
+        assert_eq!(records.len(), 4);
+        assert_eq!(run.truths.len(), 4);
+        for rec in records {
+            let truth = run.truth(rec.exec_id);
+            assert_eq!(truth.uid, rec.uid);
+            if truth.is_buggy(100 * MILLIS) {
+                assert!(
+                    rec.max_response_ns() > 100 * MILLIS,
+                    "buggy exec should hang: {}",
+                    rec.max_response_ns()
+                );
+            } else {
+                assert!(rec.max_response_ns() < 100 * MILLIS);
+            }
+        }
+    }
+
+    #[test]
+    fn build_run_is_reproducible() {
+        let compiled = CompiledApp::new(two_action_app());
+        let sched = round_robin_schedule(compiled.app(), 2, 1500);
+        let responses = |seed| {
+            let mut run = build_run(&compiled, &sched, SimConfig::default(), seed);
+            run.sim.run();
+            run.sim
+                .records()
+                .iter()
+                .map(|r| r.max_response_ns())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(responses(11), responses(11));
+        assert_ne!(responses(11), responses(12));
+    }
+}

@@ -1,0 +1,66 @@
+//! Common output format for runtime detectors.
+//!
+//! Every runtime detector (Hang Doctor and the baselines) ultimately
+//! *traces* some set of action executions — collecting stack traces it
+//! believes belong to soft hang bugs. The evaluation scores those traced
+//! executions against ground truth.
+
+use std::collections::HashSet;
+
+use hd_simrt::{ActionUid, ExecId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One traced (flagged) soft-hang occurrence.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TracedHang {
+    /// Execution flagged.
+    pub exec_id: ExecId,
+    /// Action kind.
+    pub uid: ActionUid,
+    /// Action name.
+    pub action_name: String,
+    /// Response time of the flagged input event (0 for utilization-only
+    /// flags that saw no timeout violation).
+    pub response_ns: u64,
+    /// When the flag was raised.
+    pub at: SimTime,
+    /// Stack samples collected for this occurrence.
+    pub samples: usize,
+}
+
+/// Everything a runtime detector produced.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DetectionLog {
+    /// Traced occurrences, in order.
+    pub traced: Vec<TracedHang>,
+    /// Utilization threshold violations observed (UT baselines).
+    pub util_violations: u64,
+}
+
+impl DetectionLog {
+    /// The set of flagged executions.
+    pub fn flagged_execs(&self) -> HashSet<ExecId> {
+        self.traced.iter().map(|t| t.exec_id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flagged_execs_dedups() {
+        let mut log = DetectionLog::default();
+        for i in [1, 1, 2] {
+            log.traced.push(TracedHang {
+                exec_id: ExecId(i),
+                uid: ActionUid(0),
+                action_name: "a".into(),
+                response_ns: 0,
+                at: SimTime::ZERO,
+                samples: 0,
+            });
+        }
+        assert_eq!(log.flagged_execs().len(), 2);
+    }
+}

@@ -1,0 +1,26 @@
+//! # hd-baselines — the detectors Hang Doctor is compared against
+//!
+//! * [`TimeoutDetector`] (TI): flag and trace every input event whose
+//!   response exceeds a fixed timeout (5 s = Android ANR; 100 ms = the
+//!   perceivable-delay detector of Table 2).
+//! * [`UtilizationDetector`] (UTL / UTH / UTL+TI / UTH+TI): static
+//!   thresholds over periodic resource-utilization polls of the main
+//!   thread.
+//! * [`perfchecker`]: the offline scanner that name-matches known
+//!   blocking APIs in scannable source — the primary detection approach
+//!   Hang Doctor supplements.
+//!
+//! All runtime baselines report through the shared [`DetectionLog`] and
+//! charge monitoring costs through the same `CostModel` as Hang Doctor,
+//! so detection quality (Figures 8a/8b) and overhead (Figure 8c) are
+//! directly comparable.
+
+pub mod detector;
+pub mod perfchecker;
+pub mod timeout;
+pub mod utilization;
+
+pub use detector::{DetectionLog, TracedHang};
+pub use perfchecker::{missed_bugs, scan_app, OfflineFinding};
+pub use timeout::TimeoutDetector;
+pub use utilization::{UtMode, UtThresholds, UtilizationDetector};

@@ -1,0 +1,173 @@
+//! Offline soft-hang-bug detection (the PerfChecker-style baseline).
+//!
+//! Offline detectors scan the app's code for calls to *well-known*
+//! blocking APIs on the main thread (Liu et al., ICSE '14). They fail in
+//! exactly the three ways Section 1 lists: APIs not yet known as
+//! blocking, blocking calls hidden inside closed-source libraries, and
+//! self-developed lengthy operations. This scanner operates on the app
+//! model's call sites and a [`BlockingApiDb`], reproducing all three
+//! failure modes.
+
+use hangdoctor::BlockingApiDb;
+use hd_appmodel::App;
+use hd_simrt::ActionUid;
+use serde::{Deserialize, Serialize};
+
+/// One offline finding: a known blocking API called on the main thread.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OfflineFinding {
+    /// App scanned.
+    pub app: String,
+    /// Action whose handler makes the call.
+    pub action: ActionUid,
+    /// Action name.
+    pub action_name: String,
+    /// The known blocking API found.
+    pub api_symbol: String,
+    /// Ground-truth bug id of the call site, if it is a real bug.
+    pub bug_id: Option<String>,
+}
+
+/// Scans an app against the database, returning every detectable call.
+///
+/// A call is detectable when the API's name is in the database, the call
+/// site (including every wrapper on the path) is in scannable source,
+/// and the call has not already been offloaded to a worker.
+pub fn scan_app(app: &App, db: &BlockingApiDb) -> Vec<OfflineFinding> {
+    let mut findings = Vec::new();
+    for action in &app.actions {
+        for event in &action.events {
+            for call in &event.calls {
+                if call.offloaded {
+                    continue;
+                }
+                if !app.call_visible(call) {
+                    continue;
+                }
+                let api = app.api(call.api);
+                if !db.contains(&api.symbol) {
+                    continue;
+                }
+                findings.push(OfflineFinding {
+                    app: app.name.clone(),
+                    action: action.uid,
+                    action_name: action.name.clone(),
+                    api_symbol: api.symbol.clone(),
+                    bug_id: call.bug_id.clone(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Ground-truth bugs of `app` that the offline scan misses.
+pub fn missed_bugs<'a>(app: &'a App, db: &BlockingApiDb) -> Vec<&'a hd_appmodel::BugSpec> {
+    let found: Vec<String> = scan_app(app, db)
+        .into_iter()
+        .filter_map(|f| f.bug_id)
+        .collect();
+    app.bugs
+        .iter()
+        .filter(|b| !found.iter().any(|f| f == &b.id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_appmodel::corpus::{table1, table5};
+
+    fn db() -> BlockingApiDb {
+        BlockingApiDb::documented(2017)
+    }
+
+    #[test]
+    fn table1_bugs_are_all_found_offline() {
+        // Table 1 apps carry only well-known bugs: a modern offline scan
+        // finds every one.
+        for app in table1::apps() {
+            assert!(
+                missed_bugs(&app, &db()).is_empty(),
+                "{} has offline-missed bugs",
+                app.name
+            );
+        }
+    }
+
+    #[test]
+    fn k9_clean_bug_is_missed_offline() {
+        let app = table5::k9mail();
+        let missed = missed_bugs(&app, &db());
+        assert_eq!(missed.len(), 2, "both K9 bugs use unknown APIs");
+        assert!(missed.iter().any(|b| b.id.contains("clean")));
+    }
+
+    #[test]
+    fn offline_miss_counts_match_table5() {
+        let total_missed: usize = table5::apps()
+            .iter()
+            .map(|a| missed_bugs(a, &db()).len())
+            .sum();
+        assert_eq!(total_missed, 23, "Table 5: 23 of 34 missed offline");
+    }
+
+    #[test]
+    fn nested_open_wrapper_is_scannable() {
+        // SageMath's cupboard.get hides insertWithOnConflict, but the
+        // library is open source: the scan follows it.
+        let app = table5::sagemath();
+        let findings = scan_app(&app, &db());
+        assert!(findings
+            .iter()
+            .any(|f| f.bug_id.as_deref() == Some("sagemath-84-cupboard")));
+    }
+
+    #[test]
+    fn closed_library_hides_calls() {
+        // Mark a wrapper closed: the same call disappears from the scan.
+        let mut app = table5::sagemath();
+        let wrapper_id = app
+            .apis
+            .iter()
+            .position(|a| a.symbol.contains("cupboard"))
+            .unwrap();
+        app.apis[wrapper_id].closed_source = true;
+        let findings = scan_app(&app, &db());
+        assert!(!findings
+            .iter()
+            .any(|f| f.bug_id.as_deref() == Some("sagemath-84-cupboard")));
+    }
+
+    #[test]
+    fn an_old_database_misses_camera_open() {
+        // Before 2011 camera.open was not documented as blocking: an
+        // offline tool of that vintage misses the A Better Camera bug.
+        let app = table1::a_better_camera();
+        let old = BlockingApiDb::documented(2010);
+        let missed = missed_bugs(&app, &old);
+        assert!(missed.iter().any(|b| b.id == "abc-open"));
+        let new = BlockingApiDb::documented(2012);
+        let missed = missed_bugs(&app, &new);
+        assert!(!missed.iter().any(|b| b.id == "abc-open"));
+    }
+
+    #[test]
+    fn fixed_apps_have_no_findings_for_fixed_bugs() {
+        let app = table1::a_better_camera().with_all_bugs_fixed();
+        let findings = scan_app(&app, &db());
+        assert!(findings.iter().all(|f| f.bug_id.is_none()));
+    }
+
+    #[test]
+    fn runtime_discoveries_improve_the_scan() {
+        // After Hang Doctor adds HtmlCleaner.clean to the database, the
+        // offline scan starts catching the K9 bug — the feedback loop of
+        // Figure 2(a).
+        let app = table5::k9mail();
+        let mut db = db();
+        db.add_discovered("org.htmlcleaner.HtmlCleaner.clean", "K9-mail");
+        let missed = missed_bugs(&app, &db);
+        assert!(!missed.iter().any(|b| b.id.contains("clean")));
+    }
+}

@@ -1,0 +1,174 @@
+//! The Timeout-based (TI) baseline.
+//!
+//! Detects a potential soft hang bug whenever an input event's response
+//! time exceeds a fixed timeout, and collects stack traces for the rest
+//! of the hang. With a 5 s timeout this is Android's ANR watchdog; with
+//! 100 ms it is the Jovic-style detector of Section 2.2 — it catches
+//! every bug but drowns in UI false positives (Table 2).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hd_perfmon::{CostModel, StackSampler};
+use hd_simrt::{MessageInfo, Probe, ProbeCtx};
+
+use crate::detector::{DetectionLog, TracedHang};
+
+const SAMPLER_TOKEN: u64 = 1;
+const WATCH_TOKEN_BASE: u64 = 1_000;
+
+/// The TI baseline probe.
+pub struct TimeoutDetector {
+    timeout_ns: u64,
+    costs: CostModel,
+    sampler: StackSampler,
+    watch_token: u64,
+    next_token: u64,
+    dispatch: Option<MessageInfo>,
+    sampling: bool,
+    out: Rc<RefCell<DetectionLog>>,
+}
+
+impl TimeoutDetector {
+    /// Creates a TI detector with the given timeout.
+    pub fn new(
+        timeout_ns: u64,
+        sample_period_ns: u64,
+        costs: CostModel,
+    ) -> (TimeoutDetector, Rc<RefCell<DetectionLog>>) {
+        let out = Rc::new(RefCell::new(DetectionLog::default()));
+        (
+            TimeoutDetector {
+                timeout_ns,
+                costs,
+                sampler: StackSampler::new(sample_period_ns, SAMPLER_TOKEN, costs),
+                watch_token: 0,
+                next_token: WATCH_TOKEN_BASE,
+                dispatch: None,
+                sampling: false,
+                out: out.clone(),
+            },
+            out,
+        )
+    }
+}
+
+impl Probe for TimeoutDetector {
+    fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo) {
+        ctx.charge_cpu(self.costs.response_hook_ns);
+        self.next_token += 1;
+        self.watch_token = self.next_token;
+        ctx.set_timer(ctx.now() + self.timeout_ns, self.watch_token);
+        self.dispatch = Some(info.clone());
+        self.sampling = false;
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProbeCtx<'_>, token: u64) {
+        if token == SAMPLER_TOKEN {
+            self.sampler.on_timer(ctx, token);
+            return;
+        }
+        if self.dispatch.is_none() || token != self.watch_token || self.sampling {
+            return;
+        }
+        self.sampling = true;
+        self.sampler.begin(ctx);
+    }
+
+    fn on_dispatch_end(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo, response_ns: u64) {
+        ctx.charge_cpu(self.costs.response_hook_ns);
+        let Some(current) = self.dispatch.take() else {
+            return;
+        };
+        debug_assert_eq!(current.exec_id, info.exec_id);
+        if self.sampling {
+            let samples = self.sampler.end();
+            self.out.borrow_mut().traced.push(TracedHang {
+                exec_id: info.exec_id,
+                uid: info.action_uid,
+                action_name: info.action_name.clone(),
+                response_ns,
+                at: ctx.now(),
+                samples: samples.len(),
+            });
+            self.sampling = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_appmodel::corpus::table1;
+    use hd_appmodel::{build_run, round_robin_schedule, CompiledApp};
+    use hd_simrt::{SimConfig, MILLIS, SECONDS};
+
+    fn run_ti(
+        app: hd_appmodel::App,
+        timeout_ns: u64,
+        seed: u64,
+    ) -> (DetectionLog, Vec<hd_appmodel::ExecTruth>) {
+        let compiled = CompiledApp::new(app);
+        let sched = round_robin_schedule(compiled.app(), 3, 3_000);
+        let mut run = build_run(&compiled, &sched, SimConfig::default(), seed);
+        let (probe, out) = TimeoutDetector::new(timeout_ns, 10 * MILLIS, CostModel::default());
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        let log = out.borrow().clone();
+        (log, run.truths)
+    }
+
+    #[test]
+    fn anr_timeout_misses_everything() {
+        // 5 s ANR: none of Seadroid's hangs reach it.
+        let (log, _) = run_ti(table1::seadroid(), 5 * SECONDS, 1);
+        assert!(log.traced.is_empty());
+    }
+
+    #[test]
+    fn one_second_timeout_catches_seadroid_only_bug() {
+        let (log, truths) = run_ti(table1::seadroid(), SECONDS, 2);
+        assert!(!log.traced.is_empty());
+        for t in &log.traced {
+            let truth = &truths[(t.exec_id.0 - 1) as usize];
+            assert!(
+                truth.is_buggy(100 * MILLIS),
+                "1 s flag must be the sync bug"
+            );
+            assert!(t.response_ns > SECONDS);
+        }
+    }
+
+    #[test]
+    fn hundred_ms_timeout_traces_bugs_and_ui() {
+        let (log, truths) = run_ti(table1::fbreaderj(), 100 * MILLIS, 3);
+        let flagged = log.flagged_execs();
+        let buggy = flagged
+            .iter()
+            .filter(|e| truths[(e.0 - 1) as usize].is_buggy(100 * MILLIS))
+            .count();
+        let ui = flagged.len() - buggy;
+        assert!(buggy >= 5, "bug flags {buggy}");
+        assert!(ui >= 3, "expected UI false positives, got {ui}");
+        // Every traced hang has samples.
+        assert!(log.traced.iter().all(|t| t.samples >= 1));
+    }
+
+    #[test]
+    fn websms_commit_detected_at_100ms_not_500ms() {
+        let (log100, truths) = run_ti(table1::websms(), 100 * MILLIS, 4);
+        let bug_flags = log100
+            .flagged_execs()
+            .iter()
+            .filter(|e| truths[(e.0 - 1) as usize].is_buggy(100 * MILLIS))
+            .count();
+        assert!(bug_flags >= 1);
+        let (log500, truths) = run_ti(table1::websms(), 500 * MILLIS, 4);
+        let bug_flags = log500
+            .flagged_execs()
+            .iter()
+            .filter(|e| truths[(e.0 - 1) as usize].is_buggy(100 * MILLIS))
+            .count();
+        assert_eq!(bug_flags, 0, "the ~200 ms commit must escape 500 ms");
+    }
+}

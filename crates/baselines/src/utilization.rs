@@ -1,0 +1,439 @@
+//! The Utilization-based (UT) baselines and their timeout combinations.
+//!
+//! UT (after Pelleg et al. and Zhu et al.) periodically polls the main
+//! thread's resource usage every 100 ms and flags a potential soft hang
+//! bug when any utilization exceeds a static threshold:
+//!
+//! * **UTL** uses *low* thresholds (the minimum usage ever observed
+//!   during a soft hang bug) — it misses nothing but flags nearly every
+//!   action, including sub-100 ms ones;
+//! * **UTH** uses *high* thresholds (90% of the peak usage observed
+//!   during bugs) — near-zero false positives but it misses every bug
+//!   that does not saturate a resource (all the I/O-bound ones).
+//!
+//! **UTL+TI / UTH+TI** poll only while an input event has already been
+//! running for 100 ms, so the polling overhead collapses, but the
+//! utilization test still cannot tell blocked-on-I/O bugs from idle time.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hd_perfmon::{CostModel, ResourceUsage, StackSampler};
+use hd_simrt::{ActionInfo, ActionRecord, MessageInfo, Probe, ProbeCtx, SimTime, MILLIS};
+use serde::{Deserialize, Serialize};
+
+use crate::detector::{DetectionLog, TracedHang};
+
+const SAMPLER_TOKEN: u64 = 1;
+const POLL_TOKEN_BASE: u64 = 10_000;
+const WATCH_TOKEN_BASE: u64 = 1_000_000_000;
+
+/// Static utilization thresholds (violation = any metric exceeds).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UtThresholds {
+    /// Main-thread CPU utilization over the poll window.
+    pub cpu_util: f64,
+    /// Main-thread page faults per millisecond over the window.
+    pub fault_rate_per_ms: f64,
+}
+
+impl UtThresholds {
+    /// Low thresholds: the minimum utilization observed during soft hang
+    /// bugs (I/O-bound hangs barely use the CPU).
+    pub fn low() -> UtThresholds {
+        UtThresholds {
+            cpu_util: 0.06,
+            fault_rate_per_ms: 0.25,
+        }
+    }
+
+    /// High thresholds: 90% of the peak utilization observed during soft
+    /// hang bugs.
+    ///
+    /// A busy main thread saturates a core whether it runs a blocking
+    /// operation or legitimate heavy UI work, so no high CPU threshold
+    /// separates the two — the variant is effectively driven by the
+    /// memory channel, which only memory-bound hangs saturate. This is
+    /// exactly why the paper finds UTH misses ~62% of the bugs.
+    pub fn high() -> UtThresholds {
+        UtThresholds {
+            cpu_util: 2.0,
+            fault_rate_per_ms: 9.9,
+        }
+    }
+
+    /// Whether a window's usage violates the thresholds.
+    pub fn violated(&self, usage: &ResourceUsage, window_ns: u64) -> bool {
+        usage.cpu_utilization(window_ns) > self.cpu_util
+            || usage.fault_rate_per_ms(window_ns) > self.fault_rate_per_ms
+    }
+}
+
+/// When the detector polls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UtMode {
+    /// Poll every 100 ms while any action executes (plain UT).
+    Continuous,
+    /// Poll only once an input event has exceeded the timeout (UT+TI).
+    OnHang {
+        /// The TI timeout, ns.
+        timeout_ns: u64,
+    },
+}
+
+/// The UT / UT+TI baseline probe.
+pub struct UtilizationDetector {
+    thresholds: UtThresholds,
+    mode: UtMode,
+    poll_period_ns: u64,
+    costs: CostModel,
+    sampler: StackSampler,
+    out: Rc<RefCell<DetectionLog>>,
+
+    // Current-window state.
+    active: bool,
+    last_activity_end: SimTime,
+    expected_poll: u64,
+    next_poll: u64,
+    next_watch: u64,
+    expected_watch: u64,
+    prev_usage: ResourceUsage,
+    prev_at: SimTime,
+    current_exec: Option<MessageInfo>,
+    flagged_exec: bool,
+    traced_idx: Option<usize>,
+}
+
+impl UtilizationDetector {
+    /// Creates a detector; see [`UtMode`] and [`UtThresholds`].
+    pub fn new(
+        thresholds: UtThresholds,
+        mode: UtMode,
+        costs: CostModel,
+    ) -> (UtilizationDetector, Rc<RefCell<DetectionLog>>) {
+        let out = Rc::new(RefCell::new(DetectionLog::default()));
+        (
+            UtilizationDetector {
+                thresholds,
+                mode,
+                poll_period_ns: 100 * MILLIS,
+                costs,
+                sampler: StackSampler::new(10 * MILLIS, SAMPLER_TOKEN, costs),
+                out: out.clone(),
+                active: false,
+                last_activity_end: SimTime::ZERO,
+                expected_poll: 0,
+                next_poll: POLL_TOKEN_BASE,
+                next_watch: WATCH_TOKEN_BASE,
+                expected_watch: 0,
+                prev_usage: ResourceUsage::default(),
+                prev_at: SimTime::ZERO,
+                current_exec: None,
+                flagged_exec: false,
+                traced_idx: None,
+            },
+            out,
+        )
+    }
+
+    /// UTL.
+    pub fn low(costs: CostModel) -> (UtilizationDetector, Rc<RefCell<DetectionLog>>) {
+        Self::new(UtThresholds::low(), UtMode::Continuous, costs)
+    }
+
+    /// UTH.
+    pub fn high(costs: CostModel) -> (UtilizationDetector, Rc<RefCell<DetectionLog>>) {
+        Self::new(UtThresholds::high(), UtMode::Continuous, costs)
+    }
+
+    /// UTL+TI.
+    pub fn low_ti(costs: CostModel) -> (UtilizationDetector, Rc<RefCell<DetectionLog>>) {
+        Self::new(
+            UtThresholds::low(),
+            UtMode::OnHang {
+                timeout_ns: 100 * MILLIS,
+            },
+            costs,
+        )
+    }
+
+    /// UTH+TI.
+    pub fn high_ti(costs: CostModel) -> (UtilizationDetector, Rc<RefCell<DetectionLog>>) {
+        Self::new(
+            UtThresholds::high(),
+            UtMode::OnHang {
+                timeout_ns: 100 * MILLIS,
+            },
+            costs,
+        )
+    }
+
+    fn arm_poll(&mut self, ctx: &mut ProbeCtx<'_>) {
+        self.next_poll += 1;
+        self.expected_poll = self.next_poll;
+        ctx.set_timer(ctx.now() + self.poll_period_ns, self.expected_poll);
+    }
+
+    fn begin_window(&mut self, ctx: &mut ProbeCtx<'_>) {
+        self.active = true;
+        let main = ctx.main_tid();
+        self.prev_usage = ResourceUsage::sample(ctx, main, &self.costs);
+        self.prev_at = ctx.now();
+        self.arm_poll(ctx);
+    }
+
+    /// Polls once; returns whether the thresholds were violated.
+    ///
+    /// Windows shorter than the `/proc` accounting granularity are not
+    /// checked (a near-empty window trivially shows ~100% utilization).
+    fn poll(&mut self, ctx: &mut ProbeCtx<'_>) -> bool {
+        const MIN_WINDOW_NS: u64 = 40 * MILLIS;
+        let main = ctx.main_tid();
+        let usage = ResourceUsage::sample(ctx, main, &self.costs);
+        let window = ctx.now() - self.prev_at;
+        let delta = usage.since(&self.prev_usage);
+        self.prev_usage = usage;
+        self.prev_at = ctx.now();
+        if window < MIN_WINDOW_NS {
+            return false;
+        }
+        let violated = self.thresholds.violated(&delta, window);
+        if violated {
+            self.out.borrow_mut().util_violations += 1;
+        }
+        violated
+    }
+
+    fn flag(&mut self, ctx: &mut ProbeCtx<'_>, response_ns: u64) {
+        if self.flagged_exec {
+            return;
+        }
+        let Some(info) = &self.current_exec else {
+            return;
+        };
+        self.flagged_exec = true;
+        let mut out = self.out.borrow_mut();
+        out.traced.push(TracedHang {
+            exec_id: info.exec_id,
+            uid: info.action_uid,
+            action_name: info.action_name.clone(),
+            response_ns,
+            at: ctx.now(),
+            samples: 0,
+        });
+        self.traced_idx = Some(out.traced.len() - 1);
+        drop(out);
+        if !self.sampler.is_active() {
+            self.sampler.begin(ctx);
+        }
+    }
+
+    fn stop_tracing(&mut self) {
+        let samples = self.sampler.end();
+        if let Some(idx) = self.traced_idx {
+            self.out.borrow_mut().traced[idx].samples += samples.len();
+        }
+    }
+}
+
+impl Probe for UtilizationDetector {
+    fn on_action_begin(&mut self, ctx: &mut ProbeCtx<'_>, _info: &ActionInfo) {
+        self.flagged_exec = false;
+        self.traced_idx = None;
+        if self.mode == UtMode::Continuous {
+            // Plain UT polls continuously, not just while actions run:
+            // charge the polls that happened during the idle gap (they
+            // observed zero utilization and are not re-simulated).
+            let gap = ctx.now() - self.last_activity_end;
+            let idle_polls = gap / self.poll_period_ns;
+            ctx.charge_cpu(idle_polls * self.costs.util_poll_ns);
+            ctx.charge_mem(idle_polls * self.costs.util_poll_bytes);
+            self.begin_window(ctx);
+        }
+    }
+
+    fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo) {
+        ctx.charge_cpu(self.costs.response_hook_ns);
+        self.current_exec = Some(info.clone());
+        if let UtMode::OnHang { timeout_ns } = self.mode {
+            self.next_watch += 1;
+            self.expected_watch = self.next_watch;
+            ctx.set_timer(ctx.now() + timeout_ns, self.expected_watch);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProbeCtx<'_>, token: u64) {
+        if token == SAMPLER_TOKEN {
+            self.sampler.on_timer(ctx, token);
+            return;
+        }
+        if token == self.expected_watch {
+            // The TI half fired: the current event is hanging; start
+            // polling utilization for its duration.
+            if self.current_exec.is_some() && !self.active {
+                self.begin_window(ctx);
+            }
+            return;
+        }
+        if token != self.expected_poll || !self.active {
+            return;
+        }
+        let violated = self.poll(ctx);
+        if violated {
+            self.flag(ctx, 0);
+        } else if self.sampler.is_active() {
+            self.stop_tracing();
+        }
+        self.arm_poll(ctx);
+    }
+
+    fn on_dispatch_end(&mut self, ctx: &mut ProbeCtx<'_>, _info: &MessageInfo, response_ns: u64) {
+        ctx.charge_cpu(self.costs.response_hook_ns);
+        if let UtMode::OnHang { .. } = self.mode {
+            self.expected_watch = 0;
+            if self.active {
+                // Final partial-window check, then stop.
+                if self.poll(ctx) {
+                    self.flag(ctx, response_ns);
+                }
+                if self.sampler.is_active() {
+                    self.stop_tracing();
+                }
+                if let (Some(idx), true) = (self.traced_idx, self.flagged_exec) {
+                    self.out.borrow_mut().traced[idx].response_ns = response_ns;
+                }
+                self.active = false;
+                self.expected_poll = 0;
+            }
+        }
+        self.current_exec = None;
+    }
+
+    fn on_action_end(&mut self, ctx: &mut ProbeCtx<'_>, record: &ActionRecord) {
+        if self.mode == UtMode::Continuous && self.active {
+            // Final partial-window check so short actions are not missed
+            // between polls.
+            if self.poll(ctx) {
+                self.current_exec = Some(MessageInfo {
+                    exec_id: record.exec_id,
+                    action_uid: record.uid,
+                    action_name: record.name.clone(),
+                    event_index: 0,
+                    num_events: record.event_responses.len(),
+                });
+                self.flag(ctx, record.max_response_ns());
+            }
+            if self.sampler.is_active() {
+                self.stop_tracing();
+            }
+            if let (Some(idx), true) = (self.traced_idx, self.flagged_exec) {
+                self.out.borrow_mut().traced[idx].response_ns = record.max_response_ns();
+            }
+            self.active = false;
+            self.expected_poll = 0;
+        }
+        self.last_activity_end = ctx.now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_appmodel::corpus::{table1, table5};
+    use hd_appmodel::{build_run, round_robin_schedule, CompiledApp};
+    use hd_simrt::SimConfig;
+
+    fn run_ut(
+        app: hd_appmodel::App,
+        make: fn(CostModel) -> (UtilizationDetector, Rc<RefCell<DetectionLog>>),
+        seed: u64,
+    ) -> (DetectionLog, Vec<hd_appmodel::ExecTruth>, usize) {
+        let compiled = CompiledApp::new(app);
+        let sched = round_robin_schedule(compiled.app(), 3, 3_000);
+        let n = sched.len();
+        let mut run = build_run(&compiled, &sched, SimConfig::default(), seed);
+        let (probe, out) = make(CostModel::default());
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        let log = out.borrow().clone();
+        (log, run.truths, n)
+    }
+
+    #[test]
+    fn utl_flags_nearly_everything() {
+        let (log, _truths, n) = run_ut(table1::fbreaderj(), UtilizationDetector::low, 5);
+        let flagged = log.flagged_execs().len();
+        assert!(flagged as f64 > 0.8 * n as f64, "UTL flagged {flagged}/{n}");
+        assert!(log.util_violations > 0);
+    }
+
+    #[test]
+    fn uth_catches_memory_bugs_and_misses_io_bugs() {
+        // K9's bugs are memory-bound: UTH catches them.
+        let (log, truths, _) = run_ut(table5::k9mail(), UtilizationDetector::high, 6);
+        let caught = log
+            .flagged_execs()
+            .iter()
+            .filter(|e| truths[(e.0 - 1) as usize].is_buggy(100 * MILLIS))
+            .count();
+        assert!(caught >= 2, "UTH should catch memory bugs, got {caught}");
+
+        // CycleStreets' new bugs are I/O-bound: UTH misses them all.
+        let (log, truths, _) = run_ut(table5::cyclestreets(), UtilizationDetector::high, 7);
+        let io_caught = log
+            .flagged_execs()
+            .iter()
+            .filter(|e| {
+                truths[(e.0 - 1) as usize]
+                    .culprit(100 * MILLIS)
+                    .map(|b| b.contains("geocode") || b.contains("gpx") || b.contains("route"))
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(io_caught, 0, "UTH must miss blocked-on-I/O bugs");
+    }
+
+    #[test]
+    fn uth_has_few_false_positives() {
+        let (log, truths, _) = run_ut(table1::fbreaderj(), UtilizationDetector::high, 8);
+        let fps: Vec<&TracedHang> = log
+            .traced
+            .iter()
+            .filter(|t| !truths[(t.exec_id.0 - 1) as usize].is_buggy(100 * MILLIS))
+            .collect();
+        assert!(fps.len() <= 2, "UTH false positives {fps:#?}");
+    }
+
+    #[test]
+    fn utl_ti_only_flags_hanging_executions() {
+        let (log, _truths, _) = run_ut(table1::fbreaderj(), UtilizationDetector::low_ti, 9);
+        assert!(!log.traced.is_empty());
+        for t in &log.traced {
+            assert!(
+                t.response_ns > 100 * MILLIS,
+                "UT+TI flag without timeout violation: {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn uth_ti_cheaper_than_utl() {
+        // UTH+TI polls only during hangs and traces almost never, so its
+        // monitoring cost must be far below UTL's.
+        let compiled = CompiledApp::new(table1::fbreaderj());
+        let sched = round_robin_schedule(compiled.app(), 3, 3_000);
+        let cost_of = |make: fn(CostModel) -> (UtilizationDetector, Rc<RefCell<DetectionLog>>)| {
+            let mut run = build_run(&compiled, &sched, SimConfig::default(), 10);
+            let (probe, _out) = make(CostModel::default());
+            run.sim.add_probe(Box::new(probe));
+            run.sim.run();
+            run.sim.monitor_cost().cpu_ns
+        };
+        let utl = cost_of(UtilizationDetector::low);
+        let uth_ti = cost_of(UtilizationDetector::high_ti);
+        assert!(
+            (uth_ti as f64) < 0.25 * utl as f64,
+            "UTH+TI {uth_ti} vs UTL {utl}"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Criterion benchmarks of the detector hot paths.
+//!
+//! The paper's overhead argument rests on the relative cost of Hang
+//! Doctor's per-action work (a three-event counter check) versus
+//! continuous polling or unconditional stack tracing. These benches
+//! measure the algorithmic pieces directly: the S-Checker filter, the
+//! Trace Analyzer's occurrence-factor analysis, the Pearson ranking, and
+//! end-to-end instrumented traces per detector.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hangdoctor::{
+    analyze, rank_events, CounterDiffs, DiffMode, SChecker, SymptomThresholds, TrainingSample,
+};
+use hd_appmodel::corpus::table5;
+use hd_appmodel::{round_robin_schedule, CompiledApp};
+use hd_bench::{run_detector_compiled, DetectorKind};
+use hd_perfmon::StackSample;
+use hd_simrt::{FrameTable, SimTime, MILLIS};
+
+fn bench_schecker(c: &mut Criterion) {
+    let checker = SChecker::new(SymptomThresholds::default());
+    let diffs = CounterDiffs {
+        context_switches: 42.0,
+        task_clock: 3.1e8,
+        page_faults: 612.0,
+    };
+    c.bench_function("schecker_filter_check", |b| {
+        b.iter(|| black_box(checker.check(black_box(diffs))));
+    });
+}
+
+fn bench_trace_analysis(c: &mut Criterion) {
+    // A realistic hang: 130 samples, one dominant API plus UI frames.
+    let mut table = FrameTable::new();
+    let looper = table.intern_new("android.os.Looper.loop", "Looper.java", 193);
+    let dispatch = table.intern_new("android.os.Handler.dispatchMessage", "Handler.java", 105);
+    let handler = table.intern_new("com.fsck.k9.MessageView.onOpen", "MessageView.java", 371);
+    let clean = table.intern_new("org.htmlcleaner.HtmlCleaner.clean", "HtmlCleaner.java", 25);
+    let set_text = table.intern_new("android.widget.TextView.setText", "TextView.java", 4100);
+    let samples: Vec<StackSample> = (0..130)
+        .map(|i| StackSample {
+            at: SimTime::from_ms(i * 10),
+            frames: vec![
+                looper,
+                dispatch,
+                handler,
+                if i % 20 == 0 { set_text } else { clean },
+            ],
+        })
+        .collect();
+    c.bench_function("trace_analyzer_130_samples", |b| {
+        b.iter(|| {
+            black_box(analyze(&samples, 0.5, Some("com.fsck.k9."), |id| {
+                table.get(id).clone()
+            }))
+        });
+    });
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    // Synthetic 160-sample training matrix over all 46 events.
+    let mut rng = hd_simrt::SimRng::seed_from_u64(5);
+    let samples: Vec<TrainingSample> = (0..160)
+        .map(|i| {
+            let label = i % 2 == 0;
+            let diff: Vec<f64> = (0..hd_simrt::NUM_EVENTS)
+                .map(|e| {
+                    let base = if label { 100.0 + e as f64 } else { -40.0 };
+                    base * rng.jitter(0.4)
+                })
+                .collect();
+            TrainingSample {
+                label,
+                diff: diff.clone(),
+                main_only: diff,
+                source: "bench".into(),
+            }
+        })
+        .collect();
+    c.bench_function("pearson_rank_46_events_160_samples", |b| {
+        b.iter(|| black_box(rank_events(&samples, DiffMode::MainMinusRender)));
+    });
+}
+
+fn bench_detector_end_to_end(c: &mut Criterion) {
+    let compiled = CompiledApp::new(table5::k9mail());
+    let schedule = round_robin_schedule(compiled.app(), 1, 2_000);
+    let mut group = c.benchmark_group("instrumented_trace");
+    group.sample_size(20);
+    for kind in [
+        DetectorKind::None,
+        DetectorKind::Ti(100 * MILLIS),
+        DetectorKind::UtLow,
+        DetectorKind::HangDoctor,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    black_box(run_detector_compiled(&compiled, &schedule, 42, kind, None).flagged)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schecker,
+    bench_trace_analysis,
+    bench_correlation,
+    bench_detector_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks of whole experiment drivers.
+//!
+//! One bench per paper table/figure (quick parameterizations), so
+//! `cargo bench` exercises the full regeneration path of every result
+//! and reports how long each takes on the host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments_quick");
+    group.sample_size(10);
+    group.bench_function("fig1", |b| b.iter(|| black_box(hd_bench::fig1::run(42))));
+    group.bench_function("fig5", |b| b.iter(|| black_box(hd_bench::fig5::run(42))));
+    group.bench_function("fig6", |b| b.iter(|| black_box(hd_bench::fig6::run(42))));
+    group.bench_function("fig7", |b| b.iter(|| black_box(hd_bench::fig7::run(42))));
+    group.finish();
+
+    let mut group = c.benchmark_group("experiments_heavy");
+    group.sample_size(10);
+    group.bench_function("table2_quick", |b| {
+        b.iter(|| black_box(hd_bench::table2::run(42, 2).totals()))
+    });
+    group.bench_function("table3_quick", |b| {
+        b.iter(|| black_box(hd_bench::table3::run(42, 2).samples))
+    });
+    group.bench_function("table4_quick", |b| {
+        b.iter(|| black_box(hd_bench::table4::run(42, 2)))
+    });
+    group.bench_function("fig4_quick", |b| {
+        b.iter(|| black_box(hd_bench::fig4::run(42, 2).filter_recall))
+    });
+    group.bench_function("table6_quick", |b| {
+        b.iter(|| black_box(hd_bench::table6::run(42, 2).totals()))
+    });
+    group.bench_function("fig8_quick", |b| {
+        b.iter(|| black_box(hd_bench::fig8::run(42, 2).avg_overhead()))
+    });
+    group.bench_function("table5_study_apps_quick", |b| {
+        b.iter(|| black_box(hd_bench::table5::run_study_apps(42, 2).total_detected()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

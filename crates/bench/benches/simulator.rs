@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the simulation substrate.
+//!
+//! These measure the *host-side* cost of the reproduction itself (how
+//! fast we can simulate device time), which bounds how large a field
+//! study the harness can run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hd_appmodel::corpus::{table1, table5};
+use hd_appmodel::{build_run, round_robin_schedule, CompiledApp};
+use hd_simrt::SimConfig;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_app_trace");
+    for (name, app) in [
+        ("k9mail", table5::k9mail()),
+        ("cyclestreets", table5::cyclestreets()),
+        ("a_better_camera", table1::a_better_camera()),
+    ] {
+        let compiled = CompiledApp::new(app);
+        let schedule = round_robin_schedule(compiled.app(), 2, 2_000);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &schedule, |b, sched| {
+            b.iter(|| {
+                let mut run = build_run(&compiled, sched, SimConfig::default(), 42);
+                black_box(run.sim.run())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("compile_app_model", |b| {
+        b.iter(|| black_box(CompiledApp::new(table5::k9mail())));
+    });
+    c.bench_function("sample_action_execution", |b| {
+        let compiled = CompiledApp::new(table5::k9mail());
+        let uid = compiled.app().actions[0].uid;
+        let mut rng = hd_simrt::SimRng::seed_from_u64(1);
+        b.iter(|| black_box(compiled.sample(uid, &mut rng)));
+    });
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    c.bench_function("build_full_114_app_corpus", |b| {
+        b.iter(|| black_box(hd_appmodel::corpus::full_corpus(42).len()));
+    });
+}
+
+criterion_group!(benches, bench_simulation, bench_compile, bench_corpus);
+criterion_main!(benches);

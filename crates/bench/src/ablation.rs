@@ -1,0 +1,598 @@
+//! Ablation studies of Hang Doctor's design choices.
+//!
+//! Each ablation isolates one design decision the paper argues for:
+//!
+//! * **phase-2-only** — skip the S-Checker and trace every hang of every
+//!   action from its first occurrence. The paper argues this "would be
+//!   similar to the Timeout baseline" (Section 4.1); our measurement
+//!   refines that: it matches TI's recall exactly, but because the
+//!   Diagnoser's verdicts still move actions to Normal it pays fewer
+//!   repeated UI traces than TI — at a cost still above the full
+//!   two-phase pipeline.
+//! * **single-counter filters** — run the S-Checker with only one of the
+//!   three conditions: the paper reports that context-switches alone
+//!   would miss 5 of the 23 validation bugs (Section 4.4).
+//! * **begin-of-action sampling** — read the counters after a fixed
+//!   prefix of the action instead of at its end: the paper's Figure 5
+//!   argument for accumulating to the end.
+//! * **occurrence-threshold sweep** — how the Trace Analyzer's root-cause
+//!   quality depends on the occurrence-factor threshold.
+//! * **sampling-period sweep** — Diagnoser trace quality and cost versus
+//!   the stack-sampling period.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hangdoctor::{ActionState, HangDoctor, HangDoctorConfig, SChecker, SymptomThresholds};
+use hd_appmodel::corpus::table5;
+use hd_appmodel::{build_run, generate_schedule, CompiledApp, Schedule, TraceParams};
+use hd_metrics::score;
+use hd_perfmon::{CostModel, PerfSession};
+use hd_simrt::{
+    ActionInfo, ActionRecord, HwEvent, Probe, ProbeCtx, SimConfig, SimRng, SimTime, MILLIS,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::common::{render_table, run_detector_compiled, DetectorKind};
+use crate::table6;
+
+// ---- phase-2-only --------------------------------------------------------
+
+/// Comparison of full Hang Doctor, phase-2-only, and TI on one app.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Phase2OnlyResult {
+    /// App used.
+    pub app: String,
+    /// `(tp, fp, overhead%)` for full Hang Doctor.
+    pub full: (usize, usize, f64),
+    /// Same for the phase-2-only variant.
+    pub phase2_only: (usize, usize, f64),
+    /// Same for TI(100 ms).
+    pub ti: (usize, usize, f64),
+}
+
+impl Phase2OnlyResult {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let rows = vec![
+            ("Hang Doctor", self.full),
+            ("phase-2 only", self.phase2_only),
+            ("TI(100ms)", self.ti),
+        ]
+        .into_iter()
+        .map(|(n, (tp, fp, oh))| {
+            vec![
+                n.to_string(),
+                tp.to_string(),
+                fp.to_string(),
+                format!("{oh:.2}%"),
+            ]
+        })
+        .collect::<Vec<_>>();
+        format!(
+            "Ablation: phase-2-only vs full ({})\n{}",
+            self.app,
+            render_table(&["variant", "tp", "fp", "overhead"], &rows)
+        )
+    }
+}
+
+/// Runs the phase-2-only ablation.
+pub fn phase2_only(seed: u64, executions_per_action: usize) -> Phase2OnlyResult {
+    let app = table5::cyclestreets();
+    let compiled = CompiledApp::new(app.clone());
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xab1);
+    let schedule = generate_schedule(
+        &app,
+        TraceParams {
+            actions: executions_per_action * app.actions.len(),
+            think_min_ms: 1_500,
+            think_max_ms: 3_000,
+        },
+        &mut rng,
+    );
+    let stat = |flagged: &std::collections::HashSet<hd_simrt::ExecId>,
+                records: &[hd_simrt::ActionRecord],
+                truths: &[hd_appmodel::ExecTruth],
+                oh: f64| {
+        let c = score(records, truths, flagged);
+        (c.tp, c.fp, oh)
+    };
+
+    let full = run_detector_compiled(&compiled, &schedule, seed, DetectorKind::HangDoctor, None);
+    let ti = run_detector_compiled(
+        &compiled,
+        &schedule,
+        seed,
+        DetectorKind::Ti(100 * MILLIS),
+        None,
+    );
+
+    // Phase-2-only: preset every action to Suspicious so the Diagnoser
+    // traces every hang from the first occurrence.
+    let mut run = build_run(&compiled, &schedule, SimConfig::default(), seed);
+    let (mut probe, out) = HangDoctor::new(
+        HangDoctorConfig::default(),
+        &app.name,
+        &app.package,
+        1,
+        None,
+    );
+    for action in &app.actions {
+        probe.preset_state(action.uid, ActionState::Suspicious);
+    }
+    run.sim.add_probe(Box::new(probe));
+    run.sim.run();
+    let hd_out = out.borrow();
+    let flagged: std::collections::HashSet<_> =
+        hd_out.detections.iter().map(|d| d.exec_id).collect();
+    let p2 = stat(
+        &flagged,
+        run.sim.records(),
+        &run.truths,
+        hd_metrics::OverheadReport::from_sim(&run.sim).avg_pct(),
+    );
+
+    Phase2OnlyResult {
+        app: app.name.clone(),
+        full: stat(
+            &full.flagged,
+            &full.records,
+            &full.truths,
+            full.overhead.avg_pct(),
+        ),
+        phase2_only: p2,
+        ti: stat(&ti.flagged, &ti.records, &ti.truths, ti.overhead.avg_pct()),
+    }
+}
+
+// ---- single-counter filters ----------------------------------------------
+
+/// Validation-bug coverage of restricted filters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SingleCounterResult {
+    /// Bugs missed when only context-switches is used.
+    pub missed_cs_only: Vec<String>,
+    /// Bugs missed when only task-clock is used.
+    pub missed_tc_only: Vec<String>,
+    /// Bugs missed when only page-faults is used.
+    pub missed_pf_only: Vec<String>,
+    /// Bugs missed by the full three-condition filter.
+    pub missed_full: Vec<String>,
+}
+
+impl SingleCounterResult {
+    /// Renders the coverage table.
+    pub fn render(&self) -> String {
+        let row = |name: &str, missed: &[String]| {
+            vec![
+                name.to_string(),
+                missed.len().to_string(),
+                missed.join(", "),
+            ]
+        };
+        format!(
+            "Ablation: single-counter S-Checker (23 validation bugs)\n{}",
+            render_table(
+                &["filter", "missed", "which"],
+                &[
+                    row("cs only", &self.missed_cs_only),
+                    row("tc only", &self.missed_tc_only),
+                    row("pf only", &self.missed_pf_only),
+                    row("cs|tc|pf", &self.missed_full),
+                ]
+            )
+        )
+    }
+}
+
+/// Runs the single-counter ablation over the Table 6 signatures.
+pub fn single_counter(seed: u64, executions: usize) -> SingleCounterResult {
+    let t6 = table6::run(seed, executions);
+    let missed = |f: &dyn Fn(&table6::BugSignature) -> bool| {
+        t6.signatures
+            .iter()
+            .filter(|s| !f(s))
+            .map(|s| s.bug.clone())
+            .collect()
+    };
+    SingleCounterResult {
+        missed_cs_only: missed(&|s| s.by_cs),
+        missed_tc_only: missed(&|s| s.by_tc),
+        missed_pf_only: missed(&|s| s.by_pf),
+        missed_full: missed(&|s| s.recognized()),
+    }
+}
+
+// ---- begin-of-action sampling --------------------------------------------
+
+/// A probe that applies the S-Checker filter to counters accumulated
+/// over only the first `prefix_ns` of the action (the strategy the paper
+/// rejects in Section 3.3.1's Discussion).
+struct EarlyChecker {
+    prefix_ns: u64,
+    checker: SChecker,
+    session: Option<PerfSession>,
+    token: u64,
+    expected: u64,
+    verdict_taken: bool,
+    suspicious_flags: Rc<RefCell<Vec<(hd_simrt::ActionUid, bool)>>>,
+}
+
+impl Probe for EarlyChecker {
+    fn on_action_begin(&mut self, ctx: &mut ProbeCtx<'_>, info: &ActionInfo) {
+        let threads = [ctx.main_tid(), ctx.render_tid()];
+        self.session = Some(PerfSession::start(
+            ctx,
+            &threads,
+            &SymptomThresholds::EVENTS,
+            CostModel::default(),
+        ));
+        self.verdict_taken = false;
+        self.token += 1;
+        self.expected = self.token;
+        ctx.set_timer(ctx.now() + self.prefix_ns, self.token);
+        self.suspicious_flags.borrow_mut().push((info.uid, false));
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProbeCtx<'_>, token: u64) {
+        if token != self.expected || self.verdict_taken {
+            return;
+        }
+        let Some(session) = &self.session else {
+            return;
+        };
+        self.verdict_taken = true;
+        let main = ctx.main_tid();
+        let render = ctx.render_tid();
+        let diffs = hangdoctor::CounterDiffs {
+            context_switches: session.read_diff(ctx, main, render, HwEvent::ContextSwitches),
+            task_clock: session.read_diff(ctx, main, render, HwEvent::TaskClock),
+            page_faults: session.read_diff(ctx, main, render, HwEvent::PageFaults),
+        };
+        let verdict = self.checker.check(diffs);
+        if let Some(last) = self.suspicious_flags.borrow_mut().last_mut() {
+            last.1 = verdict.suspicious;
+        }
+    }
+
+    fn on_action_end(&mut self, _ctx: &mut ProbeCtx<'_>, _record: &ActionRecord) {
+        self.session = None;
+    }
+}
+
+/// False-positive comparison: early-prefix vs end-of-action filtering.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EarlySamplingResult {
+    /// UI-action executions flagged suspicious by the early checker.
+    pub early_fp: usize,
+    /// UI-action executions flagged suspicious by the end-of-action
+    /// checker (full Hang Doctor semantics).
+    pub end_fp: usize,
+    /// UI executions examined.
+    pub ui_execs: usize,
+}
+
+impl EarlySamplingResult {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        format!(
+            "Ablation: begin-of-action sampling\n  UI executions: {}\n  flagged by 150 ms-prefix filter: {}\n  flagged by end-of-action filter: {}\n",
+            self.ui_execs, self.early_fp, self.end_fp
+        )
+    }
+}
+
+/// Runs the early-sampling ablation over K9's render-dominant UI action.
+pub fn early_sampling(seed: u64, executions: usize) -> EarlySamplingResult {
+    let app = table5::k9mail();
+    let compiled = CompiledApp::new(app.clone());
+    let folders = app
+        .actions
+        .iter()
+        .find(|a| a.name == "open folders")
+        .expect("k9 folders")
+        .uid;
+    let schedule = Schedule {
+        arrivals: (0..executions as u64)
+            .map(|i| (SimTime::from_ms(200 + i * 3_000), folders))
+            .collect(),
+    };
+
+    // Early-prefix variant.
+    let mut run = build_run(&compiled, &schedule, SimConfig::default(), seed);
+    let flags = Rc::new(RefCell::new(Vec::new()));
+    run.sim.add_probe(Box::new(EarlyChecker {
+        prefix_ns: 150 * MILLIS,
+        checker: SChecker::new(SymptomThresholds::default()),
+        session: None,
+        token: 40_000,
+        expected: 0,
+        verdict_taken: false,
+        suspicious_flags: flags.clone(),
+    }));
+    run.sim.run();
+    let early_fp = flags.borrow().iter().filter(|(_, s)| *s).count();
+    let ui_execs = flags.borrow().len();
+
+    // End-of-action variant: full Hang Doctor; suspicious marks on this
+    // pure-UI trace are its false positives.
+    let mut run = build_run(&compiled, &schedule, SimConfig::default(), seed);
+    let (probe, out) = HangDoctor::new(
+        HangDoctorConfig::default(),
+        &app.name,
+        &app.package,
+        1,
+        None,
+    );
+    run.sim.add_probe(Box::new(probe));
+    run.sim.run();
+    let end_fp = out.borrow().suspicious_marks as usize;
+
+    EarlySamplingResult {
+        early_fp,
+        end_fp,
+        ui_execs,
+    }
+}
+
+// ---- occurrence-threshold sweep -------------------------------------------
+
+/// Diagnosis outcomes per occurrence-factor threshold.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThresholdSweepRow {
+    /// Threshold value.
+    pub threshold: f64,
+    /// Diagnoses naming the correct ground-truth root cause.
+    pub correct: usize,
+    /// Diagnoses naming something else.
+    pub incorrect: usize,
+}
+
+/// The occurrence-threshold sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OccurrenceSweep {
+    /// One row per threshold.
+    pub rows: Vec<ThresholdSweepRow>,
+}
+
+impl OccurrenceSweep {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.1}", r.threshold),
+                    r.correct.to_string(),
+                    r.incorrect.to_string(),
+                ]
+            })
+            .collect();
+        format!(
+            "Ablation: Trace Analyzer occurrence threshold\n{}",
+            render_table(&["threshold", "correct root cause", "incorrect"], &rows)
+        )
+    }
+}
+
+/// Sweeps the occurrence threshold over the K9 clean bug diagnosis.
+pub fn occurrence_sweep(seed: u64, executions: usize) -> OccurrenceSweep {
+    let app = table5::k9mail();
+    let compiled = CompiledApp::new(app.clone());
+    let open_email = app
+        .actions
+        .iter()
+        .find(|a| a.name == "open email")
+        .unwrap()
+        .uid;
+    let schedule = Schedule {
+        arrivals: (0..executions as u64 + 1)
+            .map(|i| (SimTime::from_ms(200 + i * 4_000), open_email))
+            .collect(),
+    };
+    let mut rows = Vec::new();
+    for &threshold in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+        let cfg = HangDoctorConfig {
+            occurrence_threshold: threshold,
+            ..Default::default()
+        };
+        let mut run = build_run(&compiled, &schedule, SimConfig::default(), seed);
+        let (probe, out) = HangDoctor::new(cfg, &app.name, &app.package, 1, None);
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        let out = out.borrow();
+        let (mut correct, mut incorrect) = (0usize, 0usize);
+        for d in out.detections.iter().filter(|d| d.is_bug()) {
+            if d.root
+                .as_ref()
+                .map(|r| r.symbol.contains("HtmlCleaner.clean"))
+                .unwrap_or(false)
+            {
+                correct += 1;
+            } else {
+                incorrect += 1;
+            }
+        }
+        rows.push(ThresholdSweepRow {
+            threshold,
+            correct,
+            incorrect,
+        });
+    }
+    OccurrenceSweep { rows }
+}
+
+// ---- sampling-period sweep -------------------------------------------------
+
+/// Diagnoser cost/quality per stack-sampling period.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PeriodSweepRow {
+    /// Sampling period, ms.
+    pub period_ms: u64,
+    /// Stack samples collected in total.
+    pub samples: u64,
+    /// Correct diagnoses.
+    pub correct: usize,
+    /// Monitoring overhead, percent.
+    pub overhead_pct: f64,
+}
+
+/// The sampling-period sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PeriodSweep {
+    /// One row per period.
+    pub rows: Vec<PeriodSweepRow>,
+}
+
+impl PeriodSweep {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{} ms", r.period_ms),
+                    r.samples.to_string(),
+                    r.correct.to_string(),
+                    format!("{:.2}%", r.overhead_pct),
+                ]
+            })
+            .collect();
+        format!(
+            "Ablation: Trace Collector sampling period\n{}",
+            render_table(
+                &["period", "samples", "correct diagnoses", "overhead"],
+                &rows
+            )
+        )
+    }
+}
+
+/// Sweeps the Diagnoser's sampling period on the K9 clean bug.
+pub fn period_sweep(seed: u64, executions: usize) -> PeriodSweep {
+    let app = table5::k9mail();
+    let compiled = CompiledApp::new(app.clone());
+    let open_email = app
+        .actions
+        .iter()
+        .find(|a| a.name == "open email")
+        .unwrap()
+        .uid;
+    let schedule = Schedule {
+        arrivals: (0..executions as u64 + 1)
+            .map(|i| (SimTime::from_ms(200 + i * 4_000), open_email))
+            .collect(),
+    };
+    let mut rows = Vec::new();
+    for &period_ms in &[2u64, 5, 10, 25, 50] {
+        let cfg = HangDoctorConfig {
+            sample_period_ns: period_ms * MILLIS,
+            ..Default::default()
+        };
+        let mut run = build_run(&compiled, &schedule, SimConfig::default(), seed);
+        let (probe, out) = HangDoctor::new(cfg, &app.name, &app.package, 1, None);
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        let out = out.borrow();
+        let correct = out
+            .detections
+            .iter()
+            .filter(|d| {
+                d.root
+                    .as_ref()
+                    .map(|r| r.symbol.contains("HtmlCleaner.clean"))
+                    .unwrap_or(false)
+            })
+            .count();
+        rows.push(PeriodSweepRow {
+            period_ms,
+            samples: run.sim.monitor_cost().stack_samples,
+            correct,
+            overhead_pct: hd_metrics::OverheadReport::from_sim(&run.sim).avg_pct(),
+        });
+    }
+    PeriodSweep { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase2_only_sits_between_hang_doctor_and_ti() {
+        let r = phase2_only(42, 8);
+        // Without the S-Checker, every hang of every action is traced
+        // from its first occurrence: true positives match TI exactly
+        // (no phase-1 false negatives).
+        assert_eq!(r.phase2_only.0, r.ti.0, "{r:?}");
+        // The full pipeline loses only each bug's first manifestation.
+        assert!(r.full.0 as f64 >= 0.8 * r.ti.0 as f64, "{r:?}");
+        // Phase-2-only must trace each UI action at least once before
+        // the Trace Analyzer can discard it, so it pays more false
+        // positives and more overhead than the full pipeline...
+        assert!(r.phase2_only.1 >= r.full.1, "{r:?}");
+        assert!(r.phase2_only.2 > r.full.2, "{r:?}");
+        // ...while TI, which never learns, traces every UI hang forever.
+        assert!(r.ti.1 > 3 * r.phase2_only.1, "{r:?}");
+    }
+
+    #[test]
+    fn context_switches_alone_misses_the_page_fault_bugs() {
+        let r = single_counter(42, 8);
+        // The paper: using only the context-switch counter would miss 5
+        // bugs (1 AndStatus, 3 Omni-Notes, 1 RadioDroid).
+        assert_eq!(r.missed_cs_only.len(), 5, "{:?}", r.missed_cs_only);
+        assert!(r.missed_cs_only.iter().all(|b| b.contains("Omni-Notes")
+            || b.contains("AndStatus")
+            || b.contains("RadioDroid")));
+        // The full filter misses nothing.
+        assert!(r.missed_full.is_empty(), "{:?}", r.missed_full);
+        // No single counter suffices.
+        assert!(!r.missed_tc_only.is_empty());
+        assert!(!r.missed_pf_only.is_empty());
+    }
+
+    #[test]
+    fn early_sampling_inflates_false_positives() {
+        let r = early_sampling(42, 10);
+        assert!(r.ui_execs >= 10);
+        // Figure 5(b)'s point: the beginning of a UI action looks like a
+        // bug, so an early-prefix filter flags far more UI executions
+        // than the end-of-action filter.
+        assert!(
+            r.early_fp > 2 * r.end_fp,
+            "early {} vs end {}",
+            r.early_fp,
+            r.end_fp
+        );
+    }
+
+    #[test]
+    fn occurrence_threshold_is_forgiving_for_dominant_apis() {
+        let s = occurrence_sweep(42, 4);
+        // clean dominates its hang (~100% occurrence), so every
+        // threshold ≤ 0.9 names it correctly.
+        for row in &s.rows {
+            assert!(
+                row.correct >= 3 && row.incorrect == 0,
+                "threshold {:.1}: {row:?}",
+                row.threshold
+            );
+        }
+    }
+
+    #[test]
+    fn coarser_sampling_is_cheaper_but_still_correct_for_long_hangs() {
+        let s = period_sweep(42, 3);
+        // Sample counts fall monotonically with the period...
+        for w in s.rows.windows(2) {
+            assert!(w[0].samples > w[1].samples, "{:?}", s.rows);
+            assert!(w[0].overhead_pct > w[1].overhead_pct);
+        }
+        // ...while a 1.3 s hang still diagnoses correctly even at 50 ms.
+        assert!(s.rows.last().unwrap().correct >= 2, "{:?}", s.rows);
+    }
+}

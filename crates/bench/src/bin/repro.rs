@@ -1,0 +1,181 @@
+//! Command-line driver regenerating every table and figure of the
+//! Hang Doctor evaluation.
+//!
+//! ```text
+//! repro [--seed N] [--quick|--full] [--json] <experiment>...
+//! repro all
+//! ```
+//!
+//! Experiments: `fig1 table2 table3 table4 fig4 fig5 table5 fig6 fig7
+//! table6 fig8` (or `all`). `--quick` shrinks trace lengths; `--full`
+//! runs the field study over the whole 114-app corpus.
+
+use std::process::ExitCode;
+
+struct Opts {
+    seed: u64,
+    quick: bool,
+    full: bool,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--seed N] [--quick|--full] [--json] <experiment>...\n\
+         experiments: fig1 table1 fig2b table2 table3 table4 fig4 fig5 table5 fig6 fig7
+         table6 fig8 generality ablations all"
+    );
+    std::process::exit(2);
+}
+
+fn emit<T: serde::Serialize>(opts: &Opts, value: &T, text: String) {
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(value).expect("serializable result")
+        );
+    } else {
+        println!("{text}");
+    }
+}
+
+fn run_one(name: &str, opts: &Opts) -> Result<(), String> {
+    let seed = opts.seed;
+    let (e_small, e_mid, e_big) = if opts.quick { (4, 4, 6) } else { (6, 8, 12) };
+    match name {
+        "fig1" => {
+            let r = hd_bench::fig1::run(seed);
+            emit(opts, &r, r.render());
+        }
+        "table1" => {
+            let r = hd_bench::table1::run(seed);
+            emit(opts, &r, r.render());
+        }
+        "fig2b" => {
+            let r = hd_bench::fig2b::run(seed, 6);
+            emit(opts, &r, r.render());
+        }
+        "table2" => {
+            let r = hd_bench::table2::run(seed, e_big.max(6));
+            emit(opts, &r, r.render());
+        }
+        "table3" => {
+            let r = hd_bench::table3::run(seed, e_small);
+            emit(opts, &r, r.render());
+        }
+        "table4" => {
+            let r = hd_bench::table4::run(seed, e_small);
+            emit(opts, &r, r.render());
+        }
+        "fig4" => {
+            let r = hd_bench::fig4::run(seed, e_small);
+            emit(opts, &r, r.render());
+        }
+        "fig5" => {
+            let r = hd_bench::fig5::run(seed);
+            emit(opts, &r, r.render());
+        }
+        "table5" => {
+            let r = if opts.full {
+                hd_bench::table5::run(seed, e_mid)
+            } else {
+                hd_bench::table5::run_study_apps(seed, e_mid.max(8))
+            };
+            emit(opts, &r, r.render());
+        }
+        "fig6" => {
+            let r = hd_bench::fig6::run(seed);
+            emit(opts, &r, r.render());
+        }
+        "fig7" => {
+            let r = hd_bench::fig7::run(seed);
+            emit(opts, &r, r.render());
+        }
+        "table6" => {
+            let r = hd_bench::table6::run(seed, e_mid);
+            emit(opts, &r, r.render());
+        }
+        "fig8" => {
+            let r = hd_bench::fig8::run(seed, e_big);
+            emit(opts, &r, r.render());
+        }
+        "generality" => {
+            let r = hd_bench::generality::run(seed, e_mid);
+            emit(opts, &r, r.render());
+        }
+        "ablations" => {
+            let r = hd_bench::ablation::phase2_only(seed, e_mid);
+            emit(opts, &r, r.render());
+            let r = hd_bench::ablation::single_counter(seed, e_mid);
+            emit(opts, &r, r.render());
+            let r = hd_bench::ablation::early_sampling(seed, e_mid.max(8));
+            emit(opts, &r, r.render());
+            let r = hd_bench::ablation::occurrence_sweep(seed, e_small);
+            emit(opts, &r, r.render());
+            let r = hd_bench::ablation::period_sweep(seed, e_small);
+            emit(opts, &r, r.render());
+        }
+        other => return Err(format!("unknown experiment '{other}'")),
+    }
+    Ok(())
+}
+
+const ALL: [&str; 14] = [
+    "fig1",
+    "table1",
+    "fig2b",
+    "table2",
+    "table3",
+    "table4",
+    "fig4",
+    "fig5",
+    "table5",
+    "fig6",
+    "fig7",
+    "table6",
+    "fig8",
+    "ablations",
+];
+
+fn main() -> ExitCode {
+    let mut opts = Opts {
+        seed: 42,
+        quick: false,
+        full: false,
+        json: false,
+    };
+    let mut experiments: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                opts.seed = v;
+            }
+            "--quick" => opts.quick = true,
+            "--full" => opts.full = true,
+            "--json" => opts.json = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        usage();
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    for (i, name) in experiments.iter().enumerate() {
+        if i > 0 && !opts.json {
+            println!("\n{}\n", "=".repeat(72));
+        }
+        if let Err(e) = run_one(name, &opts) {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,217 @@
+//! Figure 5: context-switch traces over one action execution.
+//!
+//! Time series of the main and render threads' cumulative context
+//! switches during (a) a soft-hang-bug action and (b) a UI-API action.
+//! The UI action *looks* like a bug at the beginning — the handler runs
+//! developer code before any render work is posted — which is why the
+//! S-Checker must accumulate until the end of the action rather than
+//! sample only its start (Section 3.3.1, Discussion).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hd_appmodel::corpus::table5;
+use hd_appmodel::{build_run, CompiledApp, Schedule};
+use hd_simrt::{ActionInfo, ActionRecord, HwEvent, Probe, ProbeCtx, SimConfig, SimTime, MILLIS};
+use serde::{Deserialize, Serialize};
+
+/// One sampled point.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CsPoint {
+    /// Time since action begin, ms.
+    pub t_ms: f64,
+    /// Main thread cumulative context switches in the window.
+    pub main: f64,
+    /// Render thread cumulative context switches.
+    pub render: f64,
+}
+
+/// One action's series.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CsTrace {
+    /// Action label.
+    pub label: String,
+    /// Samples every `period_ms`.
+    pub points: Vec<CsPoint>,
+}
+
+impl CsTrace {
+    /// The main−render difference at the end of the series.
+    pub fn final_diff(&self) -> f64 {
+        self.points.last().map(|p| p.main - p.render).unwrap_or(0.0)
+    }
+
+    /// The earliest window (first ~30% of points) difference — the
+    /// misleading beginning of the action.
+    pub fn early_diff(&self) -> f64 {
+        let k = (self.points.len() / 3).max(1);
+        self.points
+            .get(k - 1)
+            .map(|p| p.main - p.render)
+            .unwrap_or(0.0)
+    }
+}
+
+/// The figure's two traces.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig5 {
+    /// (a) the soft hang bug.
+    pub bug: CsTrace,
+    /// (b) the UI-API action.
+    pub ui: CsTrace,
+}
+
+impl Fig5 {
+    /// Renders both series.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 5 — context-switch traces (main vs render)\n");
+        for trace in [&self.bug, &self.ui] {
+            out.push_str(&format!(
+                "\n[{}]\n  t(ms)   main  render  diff\n",
+                trace.label
+            ));
+            for p in &trace.points {
+                out.push_str(&format!(
+                    "  {:>6.0} {:>6.0} {:>7.0} {:>5.0}\n",
+                    p.t_ms,
+                    p.main,
+                    p.render,
+                    p.main - p.render
+                ));
+            }
+        }
+        out
+    }
+}
+
+struct CsSampler {
+    period_ns: u64,
+    token: u64,
+    active: bool,
+    began: SimTime,
+    base_main: f64,
+    base_render: f64,
+    points: Rc<RefCell<Vec<CsPoint>>>,
+}
+
+impl CsSampler {
+    fn push_point(&mut self, ctx: &mut ProbeCtx<'_>) {
+        let main = ctx.counter(ctx.main_tid(), HwEvent::ContextSwitches) - self.base_main;
+        let render = ctx.counter(ctx.render_tid(), HwEvent::ContextSwitches) - self.base_render;
+        let t_ms = (ctx.now() - self.began) as f64 / MILLIS as f64;
+        self.points
+            .borrow_mut()
+            .push(CsPoint { t_ms, main, render });
+    }
+}
+
+impl Probe for CsSampler {
+    fn on_action_begin(&mut self, ctx: &mut ProbeCtx<'_>, _info: &ActionInfo) {
+        self.active = true;
+        self.began = ctx.now();
+        self.base_main = ctx.counter(ctx.main_tid(), HwEvent::ContextSwitches);
+        self.base_render = ctx.counter(ctx.render_tid(), HwEvent::ContextSwitches);
+        self.token += 1;
+        ctx.set_timer(ctx.now() + self.period_ns, self.token);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProbeCtx<'_>, token: u64) {
+        if !self.active || token != self.token {
+            return;
+        }
+        self.push_point(ctx);
+        self.token += 1;
+        ctx.set_timer(ctx.now() + self.period_ns, self.token);
+    }
+
+    fn on_action_end(&mut self, ctx: &mut ProbeCtx<'_>, _record: &ActionRecord) {
+        self.push_point(ctx);
+        self.active = false;
+    }
+}
+
+fn trace_action(app: hd_appmodel::App, action_name: &str, label: &str, seed: u64) -> CsTrace {
+    let compiled = CompiledApp::new(app);
+    let uid = compiled
+        .app()
+        .actions
+        .iter()
+        .find(|a| a.name == action_name)
+        .unwrap_or_else(|| panic!("no action '{action_name}'"))
+        .uid;
+    let schedule = Schedule {
+        arrivals: vec![(SimTime::from_ms(50), uid)],
+    };
+    let mut run = build_run(&compiled, &schedule, SimConfig::default(), seed);
+    let points = Rc::new(RefCell::new(Vec::new()));
+    run.sim.add_probe(Box::new(CsSampler {
+        period_ns: 50 * MILLIS,
+        token: 500,
+        active: false,
+        began: SimTime::ZERO,
+        base_main: 0.0,
+        base_render: 0.0,
+        points: points.clone(),
+    }));
+    run.sim.run();
+    let points = points.borrow().clone();
+    CsTrace {
+        label: label.to_string(),
+        points,
+    }
+}
+
+/// Runs the Figure 5 experiment: K9's clean bug vs a map UI action.
+pub fn run(seed: u64) -> Fig5 {
+    Fig5 {
+        bug: trace_action(
+            table5::k9mail(),
+            "open email",
+            "soft hang bug (HtmlCleaner.clean)",
+            seed,
+        ),
+        ui: trace_action(
+            table5::cyclestreets(),
+            "pan map",
+            "UI-API (MapView.dispatchDraw)",
+            seed,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bug_trace_shows_positive_diff_throughout() {
+        let f = run(42);
+        assert!(f.bug.points.len() >= 5, "{} points", f.bug.points.len());
+        assert!(f.bug.final_diff() > 0.0, "final {:.0}", f.bug.final_diff());
+        assert!(f.bug.early_diff() >= 0.0);
+    }
+
+    #[test]
+    fn ui_trace_begins_like_a_bug() {
+        // Figure 5(b): the UI action's early window shows bug symptoms
+        // (the main thread runs before posting render work).
+        let f = run(42);
+        assert!(
+            f.ui.early_diff() >= 0.0,
+            "early diff {:.0} should look buggy",
+            f.ui.early_diff()
+        );
+    }
+
+    #[test]
+    fn series_are_monotone_in_time() {
+        let f = run(7);
+        for trace in [&f.bug, &f.ui] {
+            for w in trace.points.windows(2) {
+                assert!(w[0].t_ms <= w[1].t_ms);
+                assert!(w[0].main <= w[1].main);
+                assert!(w[0].render <= w[1].render);
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Figure 7: action state transitions minimize trace collection.
+//!
+//! The K9-mail `open folders` and `open inbox` actions both hang
+//! (> 100 ms) but are UI work. Folders is render-dominant: the S-Checker
+//! clears it immediately (U→N) and no stack traces are ever collected.
+//! Inbox renders through a WebView on the main thread: the S-Checker
+//! raises a false positive (U→S), the Diagnoser traces it once,
+//! recognizes the WebView class, and clears it (S→N) — after which
+//! further executions cost nothing.
+
+use hangdoctor::ActionState;
+use hd_appmodel::corpus::table5;
+use hd_appmodel::{CompiledApp, Schedule};
+use hd_simrt::{ActionUid, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::common::{run_detector_compiled, DetectorKind};
+
+/// One step of the timeline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimelineStep {
+    /// Action name.
+    pub action: String,
+    /// Response time, ms.
+    pub response_ms: f64,
+    /// State the action was in when the execution began.
+    pub state_before: String,
+    /// State after the execution.
+    pub state_after: String,
+    /// Stack traces collected during this execution.
+    pub traces: usize,
+}
+
+/// The figure's data.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig7 {
+    /// The execution timeline.
+    pub steps: Vec<TimelineStep>,
+    /// Total stack traces collected.
+    pub total_traces: usize,
+    /// Stack traces a plain 100 ms timeout detector would have collected
+    /// on the same trace.
+    pub ti_traces: usize,
+}
+
+impl Fig7 {
+    /// Renders the timeline.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Figure 7 — state transitions minimize stack-trace collection\n");
+        for s in &self.steps {
+            out.push_str(&format!(
+                "  {:<14} {:>5.0} ms  {:>13} -> {:<13} traces: {}\n",
+                s.action, s.response_ms, s.state_before, s.state_after, s.traces
+            ));
+        }
+        out.push_str(&format!(
+            "Hang Doctor collected {} stack traces; TI(100ms) would collect {}.\n",
+            self.total_traces, self.ti_traces
+        ));
+        out
+    }
+}
+
+fn state_name(s: ActionState) -> String {
+    match s {
+        ActionState::Uncategorized => "Uncategorized".into(),
+        ActionState::Normal => "Normal".into(),
+        ActionState::Suspicious => "Suspicious".into(),
+        ActionState::HangBug => "HangBug".into(),
+    }
+}
+
+/// Runs the Figure 7 trace: alternating folders/inbox executions.
+pub fn run(seed: u64) -> Fig7 {
+    let compiled = CompiledApp::new(table5::k9mail());
+    let uid_of = |name: &str| -> ActionUid {
+        compiled
+            .app()
+            .actions
+            .iter()
+            .find(|a| a.name == name)
+            .unwrap_or_else(|| panic!("missing action {name}"))
+            .uid
+    };
+    let folders = uid_of("open folders");
+    let inbox = uid_of("open inbox");
+    let mut arrivals = Vec::new();
+    for i in 0..4u64 {
+        arrivals.push((SimTime::from_ms(300 + i * 8_000), folders));
+        arrivals.push((SimTime::from_ms(2_300 + i * 8_000), inbox));
+    }
+    let schedule = Schedule { arrivals };
+    let outcome = run_detector_compiled(&compiled, &schedule, seed, DetectorKind::HangDoctor, None);
+    let hd = outcome.hd.expect("hd output");
+
+    // Reconstruct per-execution states by replaying the transition log.
+    let mut steps = Vec::new();
+    let mut total_traces = 0;
+    for rec in &outcome.records {
+        let traces = hd
+            .detections
+            .iter()
+            .filter(|d| d.exec_id == rec.exec_id)
+            .map(|d| d.samples)
+            .sum::<usize>();
+        total_traces += traces;
+        steps.push(TimelineStep {
+            action: rec.name.clone(),
+            response_ms: rec.max_response_ns() as f64 / 1e6,
+            state_before: String::new(),
+            state_after: String::new(),
+            traces,
+        });
+    }
+    // States: replay transitions in order of occurrence per action.
+    let mut current: std::collections::HashMap<ActionUid, ActionState> = Default::default();
+    let mut transition_iter = hd.states.transitions().iter().peekable();
+    // Transitions happen during executions in record order; walk records
+    // and consume transitions for that uid greedily (each execution
+    // causes at most one transition here).
+    for (rec, step) in outcome.records.iter().zip(steps.iter_mut()) {
+        let before = *current.entry(rec.uid).or_insert(ActionState::Uncategorized);
+        step.state_before = state_name(before);
+        if let Some(t) = transition_iter.peek() {
+            if t.uid == rec.uid {
+                current.insert(rec.uid, t.to);
+                transition_iter.next();
+            }
+        }
+        step.state_after = state_name(*current.get(&rec.uid).unwrap());
+    }
+
+    // Reference: a plain TI(100ms) run over the same schedule.
+    let ti = run_detector_compiled(
+        &compiled,
+        &schedule,
+        seed,
+        DetectorKind::Ti(100 * hd_simrt::MILLIS),
+        None,
+    );
+    let ti_traces = ti
+        .log
+        .as_ref()
+        .map(|l| l.traced.iter().map(|t| t.samples).sum())
+        .unwrap_or(0);
+
+    Fig7 {
+        steps,
+        total_traces,
+        ti_traces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbg_fig7_timeline() {
+        let f = run(42);
+        eprintln!("{}", f.render());
+    }
+
+    #[test]
+    fn folders_cleared_by_schecker_inbox_by_diagnoser() {
+        let f = run(42);
+        assert_eq!(f.steps.len(), 8);
+        // Folders is render-dominant: on its first soft hang the
+        // S-Checker clears it straight to Normal, and it is never traced.
+        let folders: Vec<&TimelineStep> = f
+            .steps
+            .iter()
+            .filter(|s| s.action == "open folders")
+            .collect();
+        for s in &folders {
+            assert_eq!(s.traces, 0, "folders must never be traced: {s:?}");
+        }
+        let first_folder_hang = folders
+            .iter()
+            .find(|s| s.response_ms > 100.0)
+            .expect("at least one folders hang");
+        assert_eq!(first_folder_hang.state_after, "Normal");
+        // Inbox is WebView-heavy: its first hang trips the S-Checker
+        // (U -> Suspicious), the Diagnoser traces it exactly once and
+        // clears it (S -> Normal); later executions cost nothing.
+        let inbox: Vec<&TimelineStep> = f
+            .steps
+            .iter()
+            .filter(|s| s.action == "open inbox")
+            .collect();
+        let susp_idx = inbox
+            .iter()
+            .position(|s| s.state_after == "Suspicious")
+            .expect("inbox becomes Suspicious: {inbox:?}");
+        assert_eq!(inbox[susp_idx].state_before, "Uncategorized");
+        assert_eq!(inbox[susp_idx].traces, 0);
+        let diag = &inbox[susp_idx + 1];
+        assert_eq!(diag.state_before, "Suspicious");
+        assert_eq!(diag.state_after, "Normal", "{inbox:?}");
+        assert!(diag.traces > 0);
+        for s in &inbox[susp_idx + 2..] {
+            assert_eq!(s.traces, 0, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn hang_doctor_traces_far_less_than_ti() {
+        let f = run(42);
+        assert!(
+            f.total_traces * 3 <= f.ti_traces,
+            "HD {} vs TI {}",
+            f.total_traces,
+            f.ti_traces
+        );
+    }
+}

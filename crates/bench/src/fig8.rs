@@ -1,0 +1,240 @@
+//! Figure 8: detection performance and overhead of every runtime
+//! detector, normalized to TI(100 ms).
+//!
+//! Five representative apps (AndStatus, CycleStreets, K9-mail,
+//! Omni-Notes, UOITDC Booking) run the same user traces under each
+//! detector. TI traces every soft hang, so it has no false negatives and
+//! normalizes the true/false-positive axes. The paper's shape:
+//!
+//! * (a) Hang Doctor traces ~80% of the true-positive hangs (losing only
+//!   each bug's first manifestation to the S-Checker); UTH/UTH+TI miss
+//!   most bugs.
+//! * (b) Hang Doctor traces < 10% of the false-positive hangs; UTL
+//!   traces many times more than TI.
+//! * (c) Overhead: UTL ≫ UTH ≫ TI > HD > UTH+TI.
+
+use hd_appmodel::corpus::table5;
+use hd_appmodel::{generate_schedule, App, CompiledApp, TraceParams};
+use hd_metrics::score;
+use hd_simrt::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::common::{render_table, run_detector_compiled, DetectorKind};
+
+/// Per-app, per-detector measurements.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Cell {
+    /// Detector name.
+    pub detector: String,
+    /// Flagged true-positive occurrences.
+    pub tp: usize,
+    /// Flagged false-positive occurrences.
+    pub fp: usize,
+    /// Overhead (average of CPU% and memory%).
+    pub overhead_pct: f64,
+}
+
+/// One app's row of cells.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AppRow {
+    /// App name.
+    pub app: String,
+    /// One cell per detector, `DetectorKind::figure8_set` order.
+    pub cells: Vec<Cell>,
+}
+
+/// The figure's data.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig8 {
+    /// Per-app rows.
+    pub rows: Vec<AppRow>,
+}
+
+impl Fig8 {
+    fn ti_index() -> usize {
+        0
+    }
+
+    /// Average of a metric over apps, normalized per app to TI.
+    pub fn normalized_avg(&self, metric: impl Fn(&Cell) -> f64) -> Vec<(String, f64)> {
+        let n_detectors = self.rows[0].cells.len();
+        let mut out = Vec::new();
+        for d in 0..n_detectors {
+            let mut sum = 0.0;
+            let mut count = 0.0;
+            for row in &self.rows {
+                let ti = metric(&row.cells[Self::ti_index()]);
+                if ti > 0.0 {
+                    sum += metric(&row.cells[d]) / ti;
+                    count += 1.0;
+                }
+            }
+            out.push((
+                self.rows[0].cells[d].detector.clone(),
+                if count > 0.0 { sum / count } else { 0.0 },
+            ));
+        }
+        out
+    }
+
+    /// Average absolute overhead per detector.
+    pub fn avg_overhead(&self) -> Vec<(String, f64)> {
+        let n_detectors = self.rows[0].cells.len();
+        (0..n_detectors)
+            .map(|d| {
+                let avg = self
+                    .rows
+                    .iter()
+                    .map(|r| r.cells[d].overhead_pct)
+                    .sum::<f64>()
+                    / self.rows.len() as f64;
+                (self.rows[0].cells[d].detector.clone(), avg)
+            })
+            .collect()
+    }
+
+    /// Renders the three panels.
+    pub fn render(&self) -> String {
+        let tp = self.normalized_avg(|c| c.tp as f64);
+        let fp = self.normalized_avg(|c| c.fp as f64);
+        let oh = self.avg_overhead();
+        let mut rows = Vec::new();
+        for i in 0..tp.len() {
+            rows.push(vec![
+                tp[i].0.clone(),
+                format!("{:.2}", tp[i].1),
+                format!("{:.2}", fp[i].1),
+                format!("{:.2}%", oh[i].1),
+            ]);
+        }
+        let mut out = format!(
+            "Figure 8 — detection performance and overhead (averages over {} apps)\n{}",
+            self.rows.len(),
+            render_table(
+                &["detector", "(a) TP / TI", "(b) FP / TI", "(c) overhead"],
+                &rows
+            )
+        );
+        out.push_str("\nPer-app raw counts:\n");
+        for row in &self.rows {
+            out.push_str(&format!("  {}\n", row.app));
+            for c in &row.cells {
+                out.push_str(&format!(
+                    "    {:<8} tp={:<4} fp={:<4} overhead={:.2}%\n",
+                    c.detector, c.tp, c.fp, c.overhead_pct
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The five representative apps of Figure 8.
+pub fn figure8_apps() -> Vec<App> {
+    vec![
+        table5::andstatus(),
+        table5::cyclestreets(),
+        table5::k9mail(),
+        table5::omninotes(),
+        table5::uoitdc(),
+    ]
+}
+
+/// Runs the comparison.
+pub fn run(seed: u64, executions_per_action: usize) -> Fig8 {
+    let mut rows = Vec::new();
+    for app in figure8_apps() {
+        let compiled = CompiledApp::new(app.clone());
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xf18 ^ app.name.len() as u64);
+        let schedule = generate_schedule(
+            &app,
+            TraceParams {
+                actions: executions_per_action * app.actions.len(),
+                think_min_ms: 1_500,
+                think_max_ms: 3_500,
+            },
+            &mut rng,
+        );
+        let mut cells = Vec::new();
+        for kind in DetectorKind::figure8_set() {
+            let outcome = run_detector_compiled(&compiled, &schedule, seed, kind, None);
+            let confusion = score(&outcome.records, &outcome.truths, &outcome.flagged);
+            cells.push(Cell {
+                detector: kind.name(),
+                tp: confusion.tp,
+                fp: confusion.fp,
+                overhead_pct: outcome.overhead.avg_pct(),
+            });
+        }
+        rows.push(AppRow {
+            app: app.name.clone(),
+            cells,
+        });
+    }
+    Fig8 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_name(v: &[(String, f64)], name: &str) -> f64 {
+        v.iter().find(|(n, _)| n == name).map(|(_, x)| *x).unwrap()
+    }
+
+    #[test]
+    fn figure8_shape_matches_paper() {
+        let f = run(42, 12);
+        let tp = f.normalized_avg(|c| c.tp as f64);
+        let fp = f.normalized_avg(|c| c.fp as f64);
+        let oh = f.avg_overhead();
+
+        // (a) True positives: HD traces most of the bug hangs; UTH and
+        // UTH+TI miss the majority.
+        let hd_tp = by_name(&tp, "HD");
+        assert!((0.6..=1.0).contains(&hd_tp), "HD TP ratio {hd_tp:.2}");
+        assert!(by_name(&tp, "UTH") < 0.55, "UTH {:.2}", by_name(&tp, "UTH"));
+        assert!(by_name(&tp, "UTH+TI") < 0.55);
+        assert!(hd_tp > by_name(&tp, "UTH+TI") + 0.2, "paper: HD ≫ UTH+TI");
+        // UTL misses nothing.
+        assert!(by_name(&tp, "UTL") > 0.9);
+
+        // (b) False positives: HD prunes almost everything; UTL floods.
+        let hd_fp = by_name(&fp, "HD");
+        assert!(hd_fp < 0.15, "HD FP ratio {hd_fp:.2}");
+        let utl_fp = by_name(&fp, "UTL");
+        assert!(utl_fp > 3.0, "UTL FP ratio {utl_fp:.2}");
+        assert!(by_name(&fp, "UTL+TI") < utl_fp);
+
+        // (c) Overhead ordering: UTL > UTH > TI > HD > UTH+TI.
+        let ov = |n: &str| by_name(&oh, n);
+        assert!(
+            ov("UTL") > ov("UTH"),
+            "UTL {:.2} UTH {:.2}",
+            ov("UTL"),
+            ov("UTH")
+        );
+        assert!(ov("UTH") > ov("TI(100ms)"));
+        assert!(
+            ov("TI(100ms)") > ov("HD"),
+            "TI {:.2} HD {:.2}",
+            ov("TI(100ms)"),
+            ov("HD")
+        );
+        assert!(
+            ov("HD") > ov("UTH+TI"),
+            "HD {:.2} UTH+TI {:.2}",
+            ov("HD"),
+            ov("UTH+TI")
+        );
+    }
+
+    #[test]
+    fn render_lists_all_detectors() {
+        let f = run(7, 4);
+        let s = f.render();
+        for d in DetectorKind::figure8_set() {
+            assert!(s.contains(&d.name()), "missing {}", d.name());
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # hd-bench — experiment harness for every table and figure
+//!
+//! One module per experiment in the paper's evaluation, each with a
+//! `run(...)` driver returning a serializable result and a `render()`
+//! text table matching the paper's presentation:
+//!
+//! | module   | reproduces |
+//! |----------|------------|
+//! | [`table1`] | the motivation apps and their bug inventory |
+//! | [`fig1`]   | A Better Camera buggy/fixed trace |
+//! | [`fig2b`]  | the AndStatus fleet report |
+//! | [`table2`] | timeout sweep of TI |
+//! | [`table3`] | correlation ranking (main−render vs main-only) |
+//! | [`table4`] | training-set sensitivity |
+//! | [`fig4`]   | symptom thresholds over the training set |
+//! | [`fig5`]   | context-switch time series |
+//! | [`table5`] | 114-app field study |
+//! | [`fig6`]   | K9-mail walk-through |
+//! | [`fig7`]   | state transitions minimizing trace collection |
+//! | [`table6`] | per-counter recognition of the 23 validation bugs |
+//! | [`fig8`]   | detection performance and overhead comparison |
+//! | [`generality`] | the unchanged filter on three device profiles |
+//!
+//! [`ablation`] adds studies of the design choices (phase-2-only,
+//! single-counter filters, begin-of-action sampling, threshold and
+//! sampling-period sweeps). The `repro` binary drives everything from
+//! the command line.
+
+pub mod ablation;
+pub mod common;
+pub mod fig1;
+pub mod fig2b;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod generality;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+
+pub use common::{render_table, run_detector, run_detector_compiled, DetectorKind, RunOutcome};

@@ -1,0 +1,113 @@
+//! Table 1: the motivation-study apps and their known soft hang bugs.
+//!
+//! The paper's Table 1 lists the eight apps (with commit ids) whose
+//! well-known bugs drive the Table 2 timeout study. We print the corpus
+//! inventory plus, for each app, the bugs and the response-time range of
+//! one manifestation of each — verifying the durations that make Table 2
+//! come out (only Seadroid above 1 s, only Seadroid+FrostWire above
+//! 500 ms).
+
+use hd_appmodel::corpus::table1;
+use hd_appmodel::{build_run, CompiledApp, Schedule};
+use hd_simrt::{SimConfig, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::common::render_table;
+
+/// One app row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// App name.
+    pub app: String,
+    /// Commit under test.
+    pub commit: String,
+    /// Known bugs and one measured hang duration each, ms.
+    pub bugs: Vec<(String, f64)>,
+}
+
+/// The inventory.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Per-app rows.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Renders the inventory.
+    pub fn render(&self) -> String {
+        let mut rows = Vec::new();
+        for r in &self.rows {
+            for (i, (bug, ms)) in r.bugs.iter().enumerate() {
+                rows.push(vec![
+                    if i == 0 { r.app.clone() } else { String::new() },
+                    if i == 0 {
+                        r.commit.clone()
+                    } else {
+                        String::new()
+                    },
+                    bug.clone(),
+                    format!("{ms:.0} ms"),
+                ]);
+            }
+        }
+        format!(
+            "Table 1 — motivation apps and their known soft hang bugs\n{}",
+            render_table(&["App Name", "Commit", "bug", "hang"], &rows)
+        )
+    }
+
+    /// Total bugs listed.
+    pub fn total_bugs(&self) -> usize {
+        self.rows.iter().map(|r| r.bugs.len()).sum()
+    }
+}
+
+/// Measures one manifestation of every Table 1 bug.
+pub fn run(seed: u64) -> Table1 {
+    let mut rows = Vec::new();
+    for app in table1::apps() {
+        let compiled = CompiledApp::new(app.clone());
+        let mut bugs = Vec::new();
+        for bug in &app.bugs {
+            let schedule = Schedule {
+                arrivals: vec![(SimTime::from_ms(100), bug.action)],
+            };
+            let mut run = build_run(&compiled, &schedule, SimConfig::default(), seed);
+            run.sim.run();
+            bugs.push((
+                bug.id.clone(),
+                run.sim.records()[0].max_response_ns() as f64 / 1e6,
+            ));
+        }
+        rows.push(Table1Row {
+            app: app.name.clone(),
+            commit: app.commit.clone(),
+            bugs,
+        });
+    }
+    Table1 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_matches_paper() {
+        let t = run(42);
+        assert_eq!(t.rows.len(), 8);
+        assert_eq!(t.total_bugs(), 19);
+        // Only Seadroid exceeds one second.
+        for r in &t.rows {
+            for (bug, ms) in &r.bugs {
+                if *ms > 1_000.0 {
+                    assert!(bug.contains("seadroid"), "{bug}: {ms:.0} ms");
+                }
+                assert!(*ms > 100.0, "{bug} must hang: {ms:.0} ms");
+            }
+        }
+        let commits: Vec<&str> = t.rows.iter().map(|r| r.commit.as_str()).collect();
+        assert!(commits.contains(&"3e2b654"), "DroidWall commit");
+        assert!(commits.contains(&"9f8e3b0"), "A Better Camera commit");
+    }
+}

@@ -1,0 +1,162 @@
+//! Table 2: how the timeout value drives the Timeout-based detector.
+//!
+//! For each Table 1 app and each timeout in {5 s, 1 s, 500 ms, 100 ms},
+//! run TI over the same user trace and count the distinct true bugs
+//! flagged and the distinct UI actions falsely flagged. The paper's
+//! shape: long timeouts miss (almost) everything; 100 ms catches all 19
+//! known bugs but floods the log with UI false positives.
+
+use hd_appmodel::corpus::table1;
+use hd_appmodel::{generate_schedule, CompiledApp, TraceParams};
+use hd_metrics::{bugs_flagged, bugs_manifested, ui_actions_flagged};
+use hd_simrt::SimRng;
+use hd_simrt::{MILLIS, SECONDS};
+use serde::{Deserialize, Serialize};
+
+use crate::common::{render_table, run_detector_compiled, DetectorKind};
+
+/// The four timeouts of Table 2.
+pub const TIMEOUTS: [u64; 4] = [5 * SECONDS, SECONDS, 500 * MILLIS, 100 * MILLIS];
+
+/// One app's row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// App name.
+    pub app: String,
+    /// Ground-truth bugs in the app.
+    pub total_bugs: usize,
+    /// Distinct true bugs flagged per timeout (5 s, 1 s, 500 ms, 100 ms).
+    pub tp: [usize; 4],
+    /// Distinct UI actions falsely flagged per timeout.
+    pub fp: [usize; 4],
+}
+
+/// The whole table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Per-app rows, Table 1 order.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2 {
+    /// Column totals: `(tp, fp)` per timeout.
+    pub fn totals(&self) -> ([usize; 4], [usize; 4]) {
+        let mut tp = [0; 4];
+        let mut fp = [0; 4];
+        for row in &self.rows {
+            for i in 0..4 {
+                tp[i] += row.tp[i];
+                fp[i] += row.fp[i];
+            }
+        }
+        (tp, fp)
+    }
+
+    /// Total ground-truth bugs across all apps (paper: 19).
+    pub fn total_bugs(&self) -> usize {
+        self.rows.iter().map(|r| r.total_bugs).sum()
+    }
+
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let headers = [
+            "App Name", "TP 5s", "TP 1s", "TP 500ms", "TP 100ms", "FP 5s", "FP 1s", "FP 500ms",
+            "FP 100ms",
+        ];
+        let mut rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut cells = vec![r.app.clone()];
+                cells.extend(r.tp.iter().map(|v| v.to_string()));
+                cells.extend(r.fp.iter().map(|v| v.to_string()));
+                cells
+            })
+            .collect();
+        let (tp, fp) = self.totals();
+        let total_bugs = self.total_bugs();
+        let mut total_row = vec!["TOTAL".to_string()];
+        total_row.extend(tp.iter().map(|v| format!("{v}/{total_bugs}")));
+        total_row.extend(fp.iter().map(|v| v.to_string()));
+        rows.push(total_row);
+        format!(
+            "Table 2 — Timeout-based detection vs timeout value\n{}",
+            render_table(&headers, &rows)
+        )
+    }
+}
+
+/// Runs the experiment. `executions_per_action` controls trace length.
+pub fn run(seed: u64, executions_per_action: usize) -> Table2 {
+    let mut rows = Vec::new();
+    for app in table1::apps() {
+        let compiled = CompiledApp::new(app.clone());
+        let mut rng = SimRng::seed_from_u64(seed ^ app.name.len() as u64);
+        let schedule = generate_schedule(
+            &app,
+            TraceParams {
+                actions: executions_per_action * app.actions.len(),
+                think_min_ms: 1_200,
+                think_max_ms: 3_000,
+            },
+            &mut rng,
+        );
+        let mut tp = [0; 4];
+        let mut fp = [0; 4];
+        for (i, &timeout) in TIMEOUTS.iter().enumerate() {
+            let outcome =
+                run_detector_compiled(&compiled, &schedule, seed, DetectorKind::Ti(timeout), None);
+            tp[i] = bugs_flagged(&outcome.records, &outcome.truths, &outcome.flagged).len();
+            fp[i] = ui_actions_flagged(&outcome.records, &outcome.truths, &outcome.flagged).len();
+        }
+        // Sanity channel: bugs that manifested in this trace at all.
+        let baseline = run_detector_compiled(&compiled, &schedule, seed, DetectorKind::None, None);
+        let _manifested = bugs_manifested(&baseline.records, &baseline.truths);
+        rows.push(Table2Row {
+            app: app.name.clone(),
+            total_bugs: app.bugs.len(),
+            tp,
+            fp,
+        });
+    }
+    Table2 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape_matches_paper() {
+        let t = run(42, 6);
+        assert_eq!(t.rows.len(), 8);
+        assert_eq!(t.total_bugs(), 19);
+        let (tp, fp) = t.totals();
+        // 5 s (ANR) misses everything.
+        assert_eq!(tp[0], 0, "5 s TP {tp:?}");
+        assert_eq!(fp[0], 0);
+        // 1 s catches only the > 1 s Seadroid bug, no FPs.
+        assert!(tp[1] <= 2 && tp[1] >= 1, "1 s TP {tp:?}");
+        assert_eq!(fp[1], 0, "1 s FP {fp:?}");
+        // 500 ms catches the two long bugs and a few UI actions.
+        assert!(tp[2] >= 2 && tp[2] <= 4, "500 ms TP {tp:?}");
+        assert!(fp[2] >= 2, "500 ms FP {fp:?}");
+        // 100 ms catches every bug but explodes in false positives.
+        assert_eq!(tp[3], 19, "100 ms TP {tp:?}");
+        assert!(fp[3] >= 20, "100 ms FP {fp:?}");
+        assert!(fp[3] > 3 * fp[2], "FP must explode at 100 ms");
+        // Monotonicity in the timeout.
+        for i in 0..3 {
+            assert!(tp[i] <= tp[i + 1]);
+            assert!(fp[i] <= fp[i + 1]);
+        }
+    }
+
+    #[test]
+    fn render_includes_totals() {
+        let t = run(7, 3);
+        let s = t.render();
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains("A Better Camera"));
+    }
+}

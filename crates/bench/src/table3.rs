@@ -1,0 +1,134 @@
+//! Table 3: correlation analysis of performance events with soft hang
+//! bugs — main−render differences (a) versus main-thread-only (b).
+
+use hangdoctor::{collect_samples, rank_events, training_set, DiffMode, TrainingSample};
+use hd_simrt::HwEvent;
+use serde::{Deserialize, Serialize};
+
+use crate::common::render_table;
+
+/// One ranked column of Table 3.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RankedColumn {
+    /// `(event name, Pearson coefficient)`, descending.
+    pub top: Vec<(String, f64)>,
+    /// Mean coefficient of the top 10.
+    pub average_top10: f64,
+}
+
+fn column(samples: &[TrainingSample], mode: DiffMode, k: usize) -> RankedColumn {
+    let ranked = rank_events(samples, mode);
+    let top: Vec<(String, f64)> = ranked
+        .iter()
+        .take(k)
+        .map(|(e, c)| (e.name().to_string(), *c))
+        .collect();
+    let average_top10 = ranked.iter().take(10).map(|(_, c)| c).sum::<f64>() / 10.0;
+    RankedColumn { top, average_top10 }
+}
+
+/// The full Table 3 result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table3 {
+    /// (a) main − render.
+    pub diff: RankedColumn,
+    /// (b) main only.
+    pub main_only: RankedColumn,
+    /// Samples used.
+    pub samples: usize,
+    /// Bug-labeled samples.
+    pub bug_samples: usize,
+}
+
+impl Table3 {
+    /// Renders both columns side by side.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = (0..self.diff.top.len())
+            .map(|i| {
+                let (de, dc) = &self.diff.top[i];
+                let (me, mc) = self
+                    .main_only
+                    .top
+                    .get(i)
+                    .cloned()
+                    .unwrap_or((String::new(), 0.0));
+                vec![de.clone(), format!("{dc:.3}"), me, format!("{mc:.3}")]
+            })
+            .collect();
+        format!(
+            "Table 3 — Top correlated events ({} samples, {} bug-labeled)\n{}\nAverage top-10: main-render {:.3}, main-only {:.3}\n",
+            self.samples,
+            self.bug_samples,
+            render_table(
+                &["(a) main-render", "corr", "(b) main-only", "corr"],
+                &rows
+            ),
+            self.diff.average_top10,
+            self.main_only.average_top10,
+        )
+    }
+}
+
+/// Runs the correlation analysis over the paper's training set.
+pub fn run(seed: u64, executions: usize) -> Table3 {
+    let samples = collect_samples(&training_set(), executions, seed);
+    let bug_samples = samples.iter().filter(|s| s.label).count();
+    Table3 {
+        diff: column(&samples, DiffMode::MainMinusRender, 10),
+        main_only: column(&samples, DiffMode::MainOnly, 10),
+        samples: samples.len(),
+        bug_samples,
+    }
+}
+
+/// Convenience: the collected samples themselves (reused by Table 4 and
+/// Figure 4).
+pub fn samples(seed: u64, executions: usize) -> Vec<TrainingSample> {
+    collect_samples(&training_set(), executions, seed)
+}
+
+/// Whether an event is one of the paper's nine kernel software events.
+pub fn is_kernel_name(name: &str) -> bool {
+    HwEvent::from_name(name)
+        .map(|e| e.is_kernel())
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shape_matches_paper() {
+        let t = run(42, 6);
+        assert!(t.samples >= 80, "samples {}", t.samples);
+        // Context switches must top the main-render ranking.
+        assert_eq!(t.diff.top[0].0, "context-switches", "{:?}", t.diff.top);
+        assert!(t.diff.top[0].1 > 0.4);
+        // Monitoring main+render must beat main-only on average, as the
+        // paper reports (~14% better).
+        assert!(
+            t.diff.average_top10 > t.main_only.average_top10,
+            "diff {:.3} vs main {:.3}",
+            t.diff.average_top10,
+            t.main_only.average_top10
+        );
+        // Kernel scheduling events must be prominent in the top 10.
+        let kernel_in_top = t
+            .diff
+            .top
+            .iter()
+            .filter(|(name, _)| is_kernel_name(name))
+            .count();
+        assert!(kernel_in_top >= 2, "top10 = {:?}", t.diff.top);
+    }
+
+    #[test]
+    fn render_mentions_both_columns() {
+        let t = run(7, 4);
+        let s = t.render();
+        assert!(s.contains("main-render"));
+        assert!(s.contains("main-only"));
+        assert!(s.contains("context-switches"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Table 4: sensitivity of the correlation analysis to the training set.
+//!
+//! Re-run the ranking on random 75% and 50% subsamples; the analysis is
+//! robust if the top-correlated events stay (largely) the same.
+
+use hangdoctor::{rank_events, subsample, DiffMode, TrainingSample};
+use hd_simrt::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::common::render_table;
+use crate::table3;
+
+/// The sensitivity-analysis result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table4 {
+    /// Full-set top events.
+    pub full: Vec<(String, f64)>,
+    /// 75%-subsample top events.
+    pub seventy_five: Vec<(String, f64)>,
+    /// 50%-subsample top events.
+    pub fifty: Vec<(String, f64)>,
+}
+
+fn top(samples: &[TrainingSample], k: usize) -> Vec<(String, f64)> {
+    rank_events(samples, DiffMode::MainMinusRender)
+        .into_iter()
+        .take(k)
+        .map(|(e, c)| (e.name().to_string(), c))
+        .collect()
+}
+
+/// Overlap size between the top-`k` event name sets of two rankings.
+pub fn top_overlap(a: &[(String, f64)], b: &[(String, f64)], k: usize) -> usize {
+    let sa: std::collections::HashSet<&str> = a.iter().take(k).map(|(n, _)| n.as_str()).collect();
+    b.iter()
+        .take(k)
+        .filter(|(n, _)| sa.contains(n.as_str()))
+        .count()
+}
+
+impl Table4 {
+    /// Renders the three rankings side by side.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = (0..self.full.len())
+            .map(|i| {
+                let cell = |v: &Vec<(String, f64)>| {
+                    v.get(i)
+                        .map(|(n, c)| format!("{n} {c:.3}"))
+                        .unwrap_or_default()
+                };
+                vec![
+                    cell(&self.full),
+                    cell(&self.seventy_five),
+                    cell(&self.fifty),
+                ]
+            })
+            .collect();
+        format!(
+            "Table 4 — Training-set sensitivity (top-5 overlap: 75% = {}/5, 50% = {}/5)\n{}",
+            top_overlap(&self.full, &self.seventy_five, 5),
+            top_overlap(&self.full, &self.fifty, 5),
+            render_table(&["full set", "75% set", "50% set"], &rows)
+        )
+    }
+}
+
+/// Runs the sensitivity analysis on fresh training samples.
+pub fn run(seed: u64, executions: usize) -> Table4 {
+    let samples = table3::samples(seed, executions);
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x5e5e);
+    let s75 = subsample(&samples, 0.75, &mut rng);
+    let s50 = subsample(&samples, 0.50, &mut rng);
+    Table4 {
+        full: top(&samples, 10),
+        seventy_five: top(&s75, 10),
+        fifty: top(&s50, 10),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rankings_are_stable_under_subsampling() {
+        let t = run(42, 6);
+        // The paper's claim: the top-5 events keep their standing across
+        // training sets. Require strong (not necessarily perfect)
+        // overlap.
+        assert!(
+            top_overlap(&t.full, &t.seventy_five, 5) >= 4,
+            "75%: {:?} vs {:?}",
+            &t.full[..5],
+            &t.seventy_five[..5]
+        );
+        assert!(
+            top_overlap(&t.full, &t.fifty, 5) >= 3,
+            "50%: {:?} vs {:?}",
+            &t.full[..5],
+            &t.fifty[..5]
+        );
+    }
+
+    #[test]
+    fn overlap_helper() {
+        let a = vec![("x".to_string(), 1.0), ("y".to_string(), 0.5)];
+        let b = vec![("y".to_string(), 0.4), ("z".to_string(), 0.3)];
+        assert_eq!(top_overlap(&a, &b, 2), 1);
+        assert_eq!(top_overlap(&a, &b, 1), 0);
+    }
+
+    #[test]
+    fn render_shows_overlaps() {
+        let t = run(7, 4);
+        assert!(t.render().contains("top-5 overlap"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Table 5: the field study — Hang Doctor over the 114-app corpus.
+//!
+//! Every app runs a generated user trace with Hang Doctor installed and
+//! a fleet-wide shared blocking-API database. Reported per app: bugs
+//! detected (BD) and how many of those a PerfChecker-style offline scan
+//! misses (MO). The paper finds 34 new bugs across 16 apps, 23 (68%)
+//! missed offline; the Table 1 apps contribute their 19 known bugs.
+
+use std::collections::BTreeSet;
+
+use hangdoctor::{shared, BlockingApiDb, SharedApiDb};
+use hd_appmodel::corpus::{full_corpus, table5};
+use hd_appmodel::{generate_schedule, App, TraceParams};
+use hd_metrics::bugs_manifested;
+use hd_simrt::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::common::{render_table, run_detector, DetectorKind};
+
+/// One studied app's outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table5Row {
+    /// App name.
+    pub app: String,
+    /// Version under test.
+    pub commit: String,
+    /// Play-store category.
+    pub category: String,
+    /// Ground-truth bugs in the app.
+    pub ground_truth_bugs: usize,
+    /// Distinct bugs Hang Doctor detected (BD).
+    pub detected: BTreeSet<String>,
+    /// Of those, bugs a 2017 offline scan misses (MO).
+    pub missed_offline: usize,
+    /// Bugs that manifested in the trace (detectability ceiling).
+    pub manifested: usize,
+}
+
+/// The field-study outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table5 {
+    /// Apps where Hang Doctor found bugs (the table's rows).
+    pub rows: Vec<Table5Row>,
+    /// Apps tested in total.
+    pub apps_tested: usize,
+    /// New blocking APIs added to the shared database.
+    pub new_apis: Vec<(String, String)>,
+}
+
+impl Table5 {
+    /// Total bugs detected.
+    pub fn total_detected(&self) -> usize {
+        self.rows.iter().map(|r| r.detected.len()).sum()
+    }
+
+    /// Total detected bugs missed offline.
+    pub fn total_missed_offline(&self) -> usize {
+        self.rows.iter().map(|r| r.missed_offline).sum()
+    }
+
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.app.clone(),
+                    r.commit.clone(),
+                    r.category.clone(),
+                    format!("{} ({})", r.detected.len(), r.missed_offline),
+                    format!("{}/{}", r.manifested, r.ground_truth_bugs),
+                ]
+            })
+            .collect();
+        format!(
+            "Table 5 — Field study over {} apps\n{}\nTotal: {} bugs detected ({} missed by offline detection, {:.0}%)\nNew blocking APIs learned: {}\n",
+            self.apps_tested,
+            render_table(
+                &["App Name", "Commit", "Category", "BD (MO)", "manifested/GT"],
+                &rows
+            ),
+            self.total_detected(),
+            self.total_missed_offline(),
+            100.0 * self.total_missed_offline() as f64 / self.total_detected().max(1) as f64,
+            self.new_apis.len(),
+        )
+    }
+}
+
+fn study_app(app: &App, seed: u64, executions_per_action: usize, db: &SharedApiDb) -> Table5Row {
+    let mut rng = SimRng::seed_from_u64(seed ^ (app.name.len() as u64) << 3);
+    let schedule = generate_schedule(
+        app,
+        TraceParams {
+            actions: executions_per_action * app.actions.len(),
+            think_min_ms: 1_500,
+            think_max_ms: 3_500,
+        },
+        &mut rng,
+    );
+    let outcome = run_detector(
+        app,
+        &schedule,
+        seed,
+        DetectorKind::HangDoctor,
+        Some(db.clone()),
+    );
+    let hd = outcome.hd.as_ref().expect("hang doctor output");
+    // A bug counts as detected when a bug-verdict detection landed on an
+    // execution whose ground-truth culprit is that bug.
+    let mut detected = BTreeSet::new();
+    for d in hd.detections.iter().filter(|d| d.is_bug()) {
+        let truth = &outcome.truths[(d.exec_id.0 - 1) as usize];
+        if let Some(culprit) = truth.culprit(hd_metrics::PERCEIVABLE_NS) {
+            detected.insert(culprit.to_string());
+        }
+    }
+    let offline_db = BlockingApiDb::documented(2017);
+    let missed_names: BTreeSet<String> = hd_baselines::missed_bugs(app, &offline_db)
+        .into_iter()
+        .map(|b| b.id.clone())
+        .collect();
+    let missed_offline = detected
+        .iter()
+        .filter(|b| missed_names.contains(*b))
+        .count();
+    let manifested = bugs_manifested(&outcome.records, &outcome.truths).len();
+    Table5Row {
+        app: app.name.clone(),
+        commit: app.commit.clone(),
+        category: app.category.clone(),
+        ground_truth_bugs: app.bugs.len(),
+        detected,
+        missed_offline,
+        manifested,
+    }
+}
+
+/// Runs the field study over the full corpus.
+pub fn run(seed: u64, executions_per_action: usize) -> Table5 {
+    let corpus = full_corpus(seed);
+    let db = shared(BlockingApiDb::documented(2017));
+    let mut rows = Vec::new();
+    for app in &corpus {
+        let row = study_app(app, seed, executions_per_action, &db);
+        if !row.detected.is_empty() {
+            rows.push(row);
+        }
+    }
+    let new_apis = db
+        .lock()
+        .discovered()
+        .into_iter()
+        .map(|(s, a)| (s.to_string(), a.to_string()))
+        .collect();
+    Table5 {
+        rows,
+        apps_tested: corpus.len(),
+        new_apis,
+    }
+}
+
+/// Runs the study over the Table 5 apps only (fast variant).
+pub fn run_study_apps(seed: u64, executions_per_action: usize) -> Table5 {
+    let apps = table5::apps();
+    let db = shared(BlockingApiDb::documented(2017));
+    let rows = apps
+        .iter()
+        .map(|a| study_app(a, seed, executions_per_action, &db))
+        .filter(|r| !r.detected.is_empty())
+        .collect();
+    let new_apis = db
+        .lock()
+        .discovered()
+        .into_iter()
+        .map(|(s, a)| (s.to_string(), a.to_string()))
+        .collect();
+    Table5 {
+        rows,
+        apps_tested: apps.len(),
+        new_apis,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_apps_yield_table5_shape() {
+        let t = run_study_apps(42, 10);
+        // All sixteen study apps show bugs.
+        assert!(t.rows.len() >= 14, "{} apps with findings", t.rows.len());
+        let detected = t.total_detected();
+        assert!(detected >= 28, "detected {detected} of 34 study bugs");
+        // The majority of what Hang Doctor finds is missed offline
+        // (paper: 68%).
+        let mo = t.total_missed_offline();
+        let pct = mo as f64 / detected as f64;
+        assert!(
+            (0.5..=0.85).contains(&pct),
+            "missed-offline share {pct:.2} ({mo}/{detected})"
+        );
+        // Previously unknown APIs were learned into the database.
+        assert!(t.new_apis.len() >= 8, "learned {} APIs", t.new_apis.len());
+        assert!(t
+            .new_apis
+            .iter()
+            .any(|(s, _)| s.contains("HtmlCleaner.clean")));
+    }
+
+    #[test]
+    fn k9_row_matches_paper() {
+        let t = run_study_apps(42, 10);
+        let k9 = t.rows.iter().find(|r| r.app == "K9-mail").unwrap();
+        assert_eq!(k9.ground_truth_bugs, 2);
+        assert_eq!(k9.detected.len(), 2, "{:?}", k9.detected);
+        assert_eq!(k9.missed_offline, 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Automatic filter adaptation (Section 3.3.1, "Automatic Adaptation of
+//! the Filter").
+//!
+//! Deployed devices keep collecting labeled samples in the background
+//! (periodic extra data collection whose period makes its overhead
+//! negligible). When the current filter shows false negatives or
+//! excessive false positives on fresh data:
+//!
+//! * **light adaptation** (cheap, on-device): keep the same events,
+//!   re-fit each condition's threshold;
+//! * **heavy adaptation** (expensive, server-side): redo the full
+//!   correlation ranking and greedy event selection, possibly choosing
+//!   different events.
+
+use serde::{Deserialize, Serialize};
+
+use crate::correlation::{
+    best_threshold, rank_events, select_filter, Condition, DiffMode, Filter, TrainingSample,
+};
+
+/// Result of an adaptation pass.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationOutcome {
+    /// Confusion before: `(tp, fp, fn, tn)`.
+    pub before: (usize, usize, usize, usize),
+    /// Confusion after.
+    pub after: (usize, usize, usize, usize),
+    /// The adapted filter.
+    pub filter: Filter,
+    /// Whether a heavy adaptation is still recommended (light pass could
+    /// not eliminate false negatives).
+    pub needs_heavy: bool,
+}
+
+/// Light adaptation: re-fits thresholds of the existing conditions on
+/// fresh labeled samples, keeping the event set fixed.
+pub fn light_adaptation(
+    filter: &Filter,
+    samples: &[TrainingSample],
+    mode: DiffMode,
+) -> AdaptationOutcome {
+    let before = filter.evaluate(samples, mode);
+    let mut adapted = Filter::default();
+    for cond in &filter.conditions {
+        // Fit each event's threshold against the bugs not yet covered by
+        // the previously re-fitted conditions.
+        let uncovered: Vec<TrainingSample> = samples
+            .iter()
+            .filter(|s| !s.label || !adapted.matches(s.values(mode)))
+            .cloned()
+            .collect();
+        let refit = if uncovered.is_empty() {
+            *cond
+        } else {
+            best_threshold(&uncovered, cond.event, mode)
+        };
+        adapted.conditions.push(refit);
+    }
+    let after = adapted.evaluate(samples, mode);
+    // Keep the better of (old, refit) by FN + FP.
+    let cost = |(_, fp, fneg, _): (usize, usize, usize, usize)| fneg + fp;
+    let (filter, after) = if cost(after) <= cost(before) {
+        (adapted, after)
+    } else {
+        (filter.clone(), before)
+    };
+    AdaptationOutcome {
+        before,
+        after,
+        needs_heavy: after.2 > 0,
+        filter,
+    }
+}
+
+/// Heavy adaptation: full re-ranking and re-selection on the fresh
+/// samples (run server-side in the paper's design).
+pub fn heavy_adaptation(
+    samples: &[TrainingSample],
+    mode: DiffMode,
+    max_events: usize,
+) -> AdaptationOutcome {
+    let ranked = rank_events(samples, mode);
+    let filter = select_filter(samples, &ranked, mode, max_events);
+    let after = filter.evaluate(samples, mode);
+    AdaptationOutcome {
+        before: after,
+        after,
+        needs_heavy: false,
+        filter,
+    }
+}
+
+/// Converts the paper's fixed three-event thresholds into a [`Filter`].
+pub fn paper_filter(t: crate::config::SymptomThresholds) -> Filter {
+    Filter {
+        conditions: vec![
+            Condition {
+                event: hd_simrt::HwEvent::ContextSwitches,
+                threshold: t.context_switch_diff,
+            },
+            Condition {
+                event: hd_simrt::HwEvent::TaskClock,
+                threshold: t.task_clock_diff,
+            },
+            Condition {
+                event: hd_simrt::HwEvent::PageFaults,
+                threshold: t.page_fault_diff,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_simrt::{HwEvent, NUM_EVENTS};
+
+    fn sample(label: bool, cs: f64, pf: f64) -> TrainingSample {
+        let mut diff = vec![0.0; NUM_EVENTS];
+        diff[HwEvent::ContextSwitches.index()] = cs;
+        diff[HwEvent::PageFaults.index()] = pf;
+        TrainingSample {
+            label,
+            diff: diff.clone(),
+            main_only: diff,
+            source: "t".into(),
+        }
+    }
+
+    #[test]
+    fn light_adaptation_fixes_threshold_drift() {
+        // A device where UI ops have slightly positive cs diffs: the
+        // paper's cs > 0 threshold produces false positives that a
+        // nudged threshold eliminates.
+        let filter = Filter {
+            conditions: vec![Condition {
+                event: HwEvent::ContextSwitches,
+                threshold: 0.0,
+            }],
+        };
+        let mut samples = Vec::new();
+        for i in 0..10 {
+            samples.push(sample(true, 40.0 + i as f64, 0.0));
+            samples.push(sample(false, 3.0 + (i % 3) as f64, 0.0));
+        }
+        let out = light_adaptation(&filter, &samples, DiffMode::MainMinusRender);
+        assert!(out.before.1 > 0, "expected initial false positives");
+        assert_eq!(out.after.1, 0, "light adaptation should remove FPs");
+        assert_eq!(out.after.2, 0);
+        assert!(!out.needs_heavy);
+        assert!(out.filter.conditions[0].threshold > 5.0);
+    }
+
+    #[test]
+    fn light_adaptation_flags_need_for_heavy() {
+        // A bug class invisible to the filter's events: threshold
+        // tweaking cannot fix it.
+        let filter = Filter {
+            conditions: vec![Condition {
+                event: HwEvent::ContextSwitches,
+                threshold: 0.0,
+            }],
+        };
+        // Bug context switches sit strictly below the UI range: any
+        // threshold catching them triggers on every UI sample too.
+        let mut samples = vec![sample(true, -70.0, 900.0), sample(true, -65.0, 800.0)];
+        for i in 0..6 {
+            samples.push(sample(false, -60.0 + 2.0 * i as f64, 100.0 + i as f64));
+        }
+        let out = light_adaptation(&filter, &samples, DiffMode::MainMinusRender);
+        assert!(out.needs_heavy);
+        let heavy = heavy_adaptation(&samples, DiffMode::MainMinusRender, 6);
+        assert_eq!(heavy.after.2, 0, "heavy adaptation must cover the bugs");
+        assert!(heavy
+            .filter
+            .conditions
+            .iter()
+            .any(|c| c.event == HwEvent::PageFaults));
+    }
+
+    #[test]
+    fn light_adaptation_never_regresses() {
+        // If refitting would be worse (degenerate fresh data), keep the
+        // original filter.
+        let filter = Filter {
+            conditions: vec![Condition {
+                event: HwEvent::ContextSwitches,
+                threshold: 10.0,
+            }],
+        };
+        let samples = vec![sample(true, 40.0, 0.0), sample(false, -10.0, 0.0)];
+        let out = light_adaptation(&filter, &samples, DiffMode::MainMinusRender);
+        let cost_before = out.before.2 + out.before.1;
+        let cost_after = out.after.2 + out.after.1;
+        assert!(cost_after <= cost_before);
+    }
+
+    #[test]
+    fn paper_filter_matches_thresholds() {
+        let f = paper_filter(crate::config::SymptomThresholds::default());
+        assert_eq!(f.conditions.len(), 3);
+        let mut diff = vec![0.0; NUM_EVENTS];
+        diff[HwEvent::PageFaults.index()] = 501.0;
+        assert!(f.matches(&diff));
+        diff[HwEvent::PageFaults.index()] = 499.0;
+        assert!(!f.matches(&diff));
+    }
+}

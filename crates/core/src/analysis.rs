@@ -1,0 +1,355 @@
+//! Second phase: the Trace Analyzer (Section 3.4.1).
+//!
+//! Given the stack traces collected during one soft hang, the analyzer
+//! computes each frame's *occurrence factor* — the fraction of traces
+//! containing it — and determines the root cause:
+//!
+//! * a single API with a high occurrence factor is the root cause (e.g.
+//!   `camera.open` in ~60% of Figure 1's traces, `clean` in 96% of
+//!   Figure 6's);
+//! * a low top occurrence factor means many light calls inside one
+//!   self-developed operation: the most common *caller* function is
+//!   reported instead;
+//! * UI-class root causes (View/Widget classes — recognizable by class
+//!   name even for previously unseen APIs) are classified as legitimate
+//!   UI work, not bugs.
+
+use std::collections::HashMap;
+
+use hd_perfmon::StackSample;
+use hd_simrt::{Frame, FrameId};
+use serde::{Deserialize, Serialize};
+
+/// Framework scaffolding present in every trace, never a root cause.
+const SCAFFOLDING: [&str; 2] = [
+    "android.os.Looper.loop",
+    "android.os.Handler.dispatchMessage",
+];
+
+/// Classification of a diagnosed root cause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RootKind {
+    /// Legitimate UI work that must stay on the main thread.
+    UiApi,
+    /// A blocking API that should move to a worker thread.
+    BlockingApi,
+    /// A self-developed lengthy operation (reported via its caller).
+    SelfDeveloped,
+}
+
+/// The diagnosed root cause of one soft hang.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RootCause {
+    /// Fully qualified symbol of the culprit.
+    pub symbol: String,
+    /// Source file.
+    pub file: String,
+    /// Line number.
+    pub line: u32,
+    /// Occurrence factor of the culprit across the collected traces.
+    pub occurrence_factor: f64,
+    /// Classification.
+    pub kind: RootKind,
+}
+
+impl RootCause {
+    /// Whether this diagnosis is a soft hang bug (not UI work).
+    pub fn is_bug(&self) -> bool {
+        self.kind != RootKind::UiApi
+    }
+}
+
+/// Returns whether a frame belongs to a UI class.
+///
+/// UI APIs "are grouped in a few classes (e.g., View and Widget
+/// classes)"; new UI APIs are recognizable from the class name alone.
+pub fn is_ui_frame(frame: &Frame) -> bool {
+    const UI_PACKAGES: [&str; 7] = [
+        "android.view.",
+        "android.widget.",
+        "android.webkit.",
+        "android.animation.",
+        "android.app.",
+        "android.support.",
+        "androidx.",
+    ];
+    if UI_PACKAGES.iter().any(|p| frame.class_name.starts_with(p)) {
+        return true;
+    }
+    // New UI classes outside the framework: recognize View/Widget/Layout
+    // naming (e.g. org.osmdroid.views.MapView).
+    let class_leaf = frame
+        .class_name
+        .rsplit('.')
+        .next()
+        .unwrap_or(&frame.class_name);
+    ["View", "Widget", "Layout", "Canvas"]
+        .iter()
+        .any(|m| class_leaf.contains(m))
+}
+
+fn is_scaffolding(symbol: &str) -> bool {
+    SCAFFOLDING.contains(&symbol)
+}
+
+/// Analyzes the stack traces collected during one soft hang.
+///
+/// `resolve` maps a frame id to its frame (normally backed by the
+/// simulator's frame table); `app_package` is the app's own package
+/// prefix — a root cause inside it is the app's own code, i.e. a
+/// self-developed lengthy operation rather than a blocking API. Returns
+/// `None` when no traces were collected (nothing to diagnose).
+pub fn analyze(
+    samples: &[StackSample],
+    occurrence_threshold: f64,
+    app_package: Option<&str>,
+    mut resolve: impl FnMut(FrameId) -> Frame,
+) -> Option<RootCause> {
+    if samples.is_empty() {
+        return None;
+    }
+    let n = samples.len() as f64;
+
+    // Occurrence factor per frame id and per-leaf/caller tallies.
+    let mut present: HashMap<FrameId, usize> = HashMap::new();
+    let mut leaf_count: HashMap<FrameId, usize> = HashMap::new();
+    let mut caller_count: HashMap<FrameId, usize> = HashMap::new();
+    for s in samples {
+        let mut seen = std::collections::HashSet::new();
+        for &f in &s.frames {
+            if seen.insert(f) {
+                *present.entry(f).or_default() += 1;
+            }
+        }
+        if let Some(&leaf) = s.frames.last() {
+            *leaf_count.entry(leaf).or_default() += 1;
+            if s.frames.len() >= 2 {
+                *caller_count
+                    .entry(s.frames[s.frames.len() - 2])
+                    .or_default() += 1;
+            }
+        }
+    }
+
+    // Candidate root cause: the leaf frame with the highest occurrence
+    // factor (ties broken deterministically by id).
+    let mut leaves: Vec<(FrameId, usize)> =
+        leaf_count.iter().map(|(&f, _)| (f, present[&f])).collect();
+    leaves.sort_by_key(|&(f, c)| (std::cmp::Reverse(c), f));
+    let (top_leaf, top_present) = *leaves.first()?;
+    let top_frame = resolve(top_leaf);
+    let top_occurrence = top_present as f64 / n;
+
+    let in_app = |frame: &Frame| {
+        app_package
+            .map(|p| frame.symbol.starts_with(p))
+            .unwrap_or(false)
+    };
+
+    if top_occurrence >= occurrence_threshold && !is_scaffolding(&top_frame.symbol) {
+        // A single heavy API dominates the hang.
+        let kind = if is_ui_frame(&top_frame) {
+            RootKind::UiApi
+        } else if in_app(&top_frame) {
+            RootKind::SelfDeveloped
+        } else {
+            RootKind::BlockingApi
+        };
+        return Some(RootCause {
+            symbol: top_frame.symbol,
+            file: top_frame.file,
+            line: top_frame.line,
+            occurrence_factor: top_occurrence,
+            kind,
+        });
+    }
+
+    // Many light APIs: find the most common caller function with a high
+    // occurrence factor — the self-developed operation to move off the
+    // main thread.
+    let mut callers: Vec<(FrameId, usize)> = caller_count
+        .iter()
+        .map(|(&f, _)| (f, present[&f]))
+        .collect();
+    callers.sort_by_key(|&(f, c)| (std::cmp::Reverse(c), f));
+    for (caller, count) in callers {
+        let frame = resolve(caller);
+        if is_scaffolding(&frame.symbol) {
+            continue;
+        }
+        let occurrence = count as f64 / n;
+        if occurrence < occurrence_threshold {
+            break;
+        }
+        let kind = if is_ui_frame(&frame) {
+            RootKind::UiApi
+        } else {
+            RootKind::SelfDeveloped
+        };
+        return Some(RootCause {
+            symbol: frame.symbol,
+            file: frame.file,
+            line: frame.line,
+            occurrence_factor: occurrence,
+            kind,
+        });
+    }
+
+    // Fall back to the top leaf even below the threshold.
+    let kind = if is_ui_frame(&top_frame) {
+        RootKind::UiApi
+    } else {
+        RootKind::SelfDeveloped
+    };
+    Some(RootCause {
+        symbol: top_frame.symbol,
+        file: top_frame.file,
+        line: top_frame.line,
+        occurrence_factor: top_occurrence,
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_simrt::{FrameTable, SimTime};
+
+    fn sample(at_ms: u64, frames: Vec<FrameId>) -> StackSample {
+        StackSample {
+            at: SimTime::from_ms(at_ms),
+            frames,
+        }
+    }
+
+    fn table() -> (FrameTable, Vec<FrameId>) {
+        let mut t = FrameTable::new();
+        let ids = vec![
+            t.intern_new("android.os.Looper.loop", "Looper.java", 193), // 0
+            t.intern_new("android.os.Handler.dispatchMessage", "Handler.java", 105), // 1
+            t.intern_new("com.app.Main.onOpen", "Main.java", 12),       // 2
+            t.intern_new("org.htmlcleaner.HtmlCleaner.clean", "HtmlCleaner.java", 25), // 3
+            t.intern_new("android.widget.TextView.setText", "TextView.java", 4100), // 4
+            t.intern_new("com.app.Main.buildIndex", "Main.java", 57),   // 5
+            t.intern_new("java.lang.String.indexOf", "String.java", 1), // 6
+            t.intern_new("java.util.HashMap.put", "HashMap.java", 2),   // 7
+            t.intern_new(
+                "org.osmdroid.views.MapView.dispatchDraw",
+                "MapView.java",
+                990,
+            ), // 8
+        ];
+        (t, ids)
+    }
+
+    #[test]
+    fn dominant_blocking_api_is_root_cause() {
+        let (t, f) = table();
+        let base = vec![f[0], f[1], f[2]];
+        let mut samples = Vec::new();
+        for i in 0..60 {
+            let mut frames = base.clone();
+            frames.push(f[3]); // clean on top
+            samples.push(sample(i, frames));
+        }
+        // A couple of UI samples at the edges.
+        for i in 60..62 {
+            let mut frames = base.clone();
+            frames.push(f[4]);
+            samples.push(sample(i, frames));
+        }
+        let root = analyze(&samples, 0.5, None, |id| t.get(id).clone()).unwrap();
+        assert_eq!(root.symbol, "org.htmlcleaner.HtmlCleaner.clean");
+        assert_eq!(root.kind, RootKind::BlockingApi);
+        assert!(root.occurrence_factor > 0.9);
+        assert!(root.is_bug());
+        assert_eq!(root.file, "HtmlCleaner.java");
+        assert_eq!(root.line, 25);
+    }
+
+    #[test]
+    fn ui_api_root_cause_is_not_a_bug() {
+        let (t, f) = table();
+        let samples: Vec<StackSample> = (0..40)
+            .map(|i| sample(i, vec![f[0], f[1], f[2], f[4]]))
+            .collect();
+        let root = analyze(&samples, 0.5, None, |id| t.get(id).clone()).unwrap();
+        assert_eq!(root.kind, RootKind::UiApi);
+        assert!(!root.is_bug());
+    }
+
+    #[test]
+    fn new_ui_class_recognized_by_name() {
+        let (t, f) = table();
+        let samples: Vec<StackSample> = (0..40)
+            .map(|i| sample(i, vec![f[0], f[1], f[2], f[8]]))
+            .collect();
+        let root = analyze(&samples, 0.5, None, |id| t.get(id).clone()).unwrap();
+        // osmdroid MapView is not an android.* class but is a View.
+        assert_eq!(root.kind, RootKind::UiApi);
+    }
+
+    #[test]
+    fn self_developed_operation_reported_via_caller() {
+        let (t, f) = table();
+        // buildIndex (frame 5) calls many light APIs; no single leaf
+        // dominates, but the caller is always buildIndex.
+        let mut samples = Vec::new();
+        for i in 0..30 {
+            let leaf = if i % 2 == 0 { f[6] } else { f[7] };
+            samples.push(sample(i, vec![f[0], f[1], f[2], f[5], leaf]));
+        }
+        let root = analyze(&samples, 0.7, Some("com.app."), |id| t.get(id).clone()).unwrap();
+        assert_eq!(root.symbol, "com.app.Main.buildIndex");
+        assert_eq!(root.kind, RootKind::SelfDeveloped);
+        assert!(root.is_bug());
+        assert!(root.occurrence_factor > 0.9);
+    }
+
+    #[test]
+    fn in_app_dominant_leaf_is_self_developed() {
+        let (t, f) = table();
+        // buildIndex itself dominates the traces (a pure heavy loop).
+        let samples: Vec<StackSample> = (0..30)
+            .map(|i| sample(i, vec![f[0], f[1], f[2], f[5]]))
+            .collect();
+        let root = analyze(&samples, 0.5, Some("com.app."), |id| t.get(id).clone()).unwrap();
+        assert_eq!(root.symbol, "com.app.Main.buildIndex");
+        assert_eq!(root.kind, RootKind::SelfDeveloped);
+    }
+
+    #[test]
+    fn empty_samples_yield_nothing() {
+        let (t, _) = table();
+        assert_eq!(analyze(&[], 0.5, None, |id| t.get(id).clone()), None);
+    }
+
+    #[test]
+    fn ui_frame_heuristics() {
+        assert!(is_ui_frame(&Frame::new(
+            "android.widget.ListView.layoutChildren",
+            "ListView.java",
+            1
+        )));
+        assert!(is_ui_frame(&Frame::new(
+            "org.osmdroid.views.MapView.dispatchDraw",
+            "MapView.java",
+            1
+        )));
+        assert!(!is_ui_frame(&Frame::new(
+            "android.graphics.BitmapFactory.decodeFile",
+            "BitmapFactory.java",
+            1
+        )));
+        assert!(!is_ui_frame(&Frame::new(
+            "android.hardware.Camera.open",
+            "Camera.java",
+            1
+        )));
+        assert!(!is_ui_frame(&Frame::new(
+            "com.google.gson.Gson.toJson",
+            "Gson.java",
+            1
+        )));
+    }
+}

@@ -1,0 +1,164 @@
+//! The known-blocking-API database shared with offline detectors.
+//!
+//! Offline tools find soft hang bugs by name-matching against this
+//! database. Hang Doctor closes the loop: every previously unknown
+//! blocking API it diagnoses in the wild is added, "so that also
+//! developers of other apps can be warned" (Section 3.2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Provenance of a database entry.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DbOrigin {
+    /// Present in the vendor documentation as of the given year.
+    Documented(u16),
+    /// Added at runtime by Hang Doctor, discovered in the named app.
+    HangDoctor {
+        /// App where the API was first diagnosed.
+        app: String,
+    },
+}
+
+/// The blocking-API database.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BlockingApiDb {
+    entries: HashMap<String, DbOrigin>,
+}
+
+impl BlockingApiDb {
+    /// Creates an empty database.
+    pub fn new() -> BlockingApiDb {
+        BlockingApiDb::default()
+    }
+
+    /// The database as it stood at study time: every API documented as
+    /// blocking by `year` in the shared catalog.
+    pub fn documented(year: u16) -> BlockingApiDb {
+        let mut db = BlockingApiDb::new();
+        for api in hd_appmodel::registry::all_known_blocking_apis() {
+            if let hd_appmodel::ApiKind::Blocking {
+                known_since: Some(y),
+            } = api.kind
+            {
+                if y <= year {
+                    db.entries.insert(api.symbol, DbOrigin::Documented(y));
+                }
+            }
+        }
+        db
+    }
+
+    /// Whether `symbol` is known blocking.
+    pub fn contains(&self, symbol: &str) -> bool {
+        self.entries.contains_key(symbol)
+    }
+
+    /// Adds a runtime-discovered blocking API; returns `true` if it was
+    /// new.
+    pub fn add_discovered(&mut self, symbol: &str, app: &str) -> bool {
+        if self.entries.contains_key(symbol) {
+            return false;
+        }
+        self.entries.insert(
+            symbol.to_string(),
+            DbOrigin::HangDoctor {
+                app: app.to_string(),
+            },
+        );
+        true
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries discovered at runtime by Hang Doctor, sorted by symbol.
+    pub fn discovered(&self) -> Vec<(&str, &str)> {
+        let mut v: Vec<(&str, &str)> = self
+            .entries
+            .iter()
+            .filter_map(|(sym, origin)| match origin {
+                DbOrigin::HangDoctor { app } => Some((sym.as_str(), app.as_str())),
+                DbOrigin::Documented(_) => None,
+            })
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// A database handle shareable across app runs (the fleet-wide DB).
+pub type SharedApiDb = Arc<Mutex<BlockingApiDb>>;
+
+/// Creates a shared handle over a database.
+pub fn shared(db: BlockingApiDb) -> SharedApiDb {
+    Arc::new(Mutex::new(db))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documented_db_matches_catalog_years() {
+        let db2017 = BlockingApiDb::documented(2017);
+        assert!(db2017.contains("android.hardware.Camera.open"));
+        assert!(db2017.contains("android.graphics.BitmapFactory.decodeFile"));
+        assert!(!db2017.contains("org.htmlcleaner.HtmlCleaner.clean"));
+
+        // In 2010 camera.open was not yet documented as blocking.
+        let db2010 = BlockingApiDb::documented(2010);
+        assert!(!db2010.contains("android.hardware.Camera.open"));
+        assert!(db2010.contains("java.io.FileInputStream.read"));
+        assert!(db2010.len() < db2017.len());
+    }
+
+    #[test]
+    fn runtime_discoveries_accumulate_once() {
+        let mut db = BlockingApiDb::documented(2017);
+        let before = db.len();
+        assert!(db.add_discovered("org.htmlcleaner.HtmlCleaner.clean", "K9-mail"));
+        assert!(!db.add_discovered("org.htmlcleaner.HtmlCleaner.clean", "Other"));
+        assert_eq!(db.len(), before + 1);
+        assert_eq!(
+            db.discovered(),
+            vec![("org.htmlcleaner.HtmlCleaner.clean", "K9-mail")]
+        );
+    }
+
+    #[test]
+    fn documented_entries_are_not_rediscovered() {
+        let mut db = BlockingApiDb::documented(2017);
+        assert!(!db.add_discovered("android.hardware.Camera.open", "App"));
+        assert!(db.discovered().is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut db = BlockingApiDb::documented(2017);
+        db.add_discovered("com.google.gson.Gson.toJson", "Sage Math");
+        let json = serde_json::to_string(&db).unwrap();
+        let back: BlockingApiDb = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), db.len());
+        assert!(back.contains("com.google.gson.Gson.toJson"));
+    }
+
+    #[test]
+    fn shared_handle_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let h = shared(BlockingApiDb::new());
+        assert_send_sync(&h);
+        h.lock().add_discovered("a.B.c", "App");
+        assert_eq!(h.lock().len(), 1);
+    }
+}

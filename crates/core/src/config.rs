@@ -1,0 +1,112 @@
+//! Hang Doctor configuration.
+
+use hd_perfmon::CostModel;
+use hd_simrt::{HwEvent, MILLIS};
+use serde::{Deserialize, Serialize};
+
+/// The three soft-hang-bug symptom thresholds of Section 3.3.1.
+///
+/// Each applies to the *main-minus-render* accumulated difference of one
+/// performance event over the action window; if at least one fires, the
+/// action has hang-bug symptoms.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SymptomThresholds {
+    /// Context-switch difference must exceed this (paper: positive, > 0).
+    pub context_switch_diff: f64,
+    /// Task-clock difference must exceed this (paper: > 1.7e8 ns).
+    pub task_clock_diff: f64,
+    /// Page-fault difference must exceed this (paper: > 500).
+    pub page_fault_diff: f64,
+}
+
+impl Default for SymptomThresholds {
+    fn default() -> Self {
+        SymptomThresholds {
+            context_switch_diff: 0.0,
+            task_clock_diff: 1.7e8,
+            page_fault_diff: 500.0,
+        }
+    }
+}
+
+impl SymptomThresholds {
+    /// The event monitored by each threshold, in threshold order.
+    pub const EVENTS: [HwEvent; 3] = [
+        HwEvent::ContextSwitches,
+        HwEvent::TaskClock,
+        HwEvent::PageFaults,
+    ];
+
+    /// Returns the threshold for `event`, if it is one of the three.
+    pub fn threshold_for(&self, event: HwEvent) -> Option<f64> {
+        match event {
+            HwEvent::ContextSwitches => Some(self.context_switch_diff),
+            HwEvent::TaskClock => Some(self.task_clock_diff),
+            HwEvent::PageFaults => Some(self.page_fault_diff),
+            _ => None,
+        }
+    }
+}
+
+/// Full Hang Doctor configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HangDoctorConfig {
+    /// The minimum human-perceivable delay (100 ms).
+    pub timeout_ns: u64,
+    /// Symptom thresholds used by the S-Checker.
+    pub thresholds: SymptomThresholds,
+    /// Stack sampling period of the Trace Collector.
+    pub sample_period_ns: u64,
+    /// Minimum occurrence factor for a single API to be named root cause
+    /// (below it, the Trace Analyzer reports the most common caller —
+    /// a self-developed operation).
+    pub occurrence_threshold: f64,
+    /// Executions after which a Normal action is reset to Uncategorized
+    /// (paper: e.g. every 20 executions).
+    pub normal_reset_executions: u32,
+    /// Whether to also monitor the main thread's network activity
+    /// (footnote 2 of the paper: network-on-main-thread bugs are
+    /// well-known; the extension flags any action whose handler
+    /// transfers bytes on the main thread).
+    pub monitor_network: bool,
+    /// Shared monitoring cost model.
+    pub costs: CostModel,
+}
+
+impl Default for HangDoctorConfig {
+    fn default() -> Self {
+        HangDoctorConfig {
+            timeout_ns: 100 * MILLIS,
+            thresholds: SymptomThresholds::default(),
+            sample_period_ns: 10 * MILLIS,
+            occurrence_threshold: 0.5,
+            normal_reset_executions: 20,
+            monitor_network: false,
+            costs: CostModel::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = HangDoctorConfig::default();
+        assert_eq!(cfg.timeout_ns, 100 * MILLIS);
+        assert_eq!(cfg.thresholds.context_switch_diff, 0.0);
+        assert_eq!(cfg.thresholds.task_clock_diff, 1.7e8);
+        assert_eq!(cfg.thresholds.page_fault_diff, 500.0);
+        assert_eq!(cfg.normal_reset_executions, 20);
+    }
+
+    #[test]
+    fn threshold_lookup() {
+        let t = SymptomThresholds::default();
+        assert_eq!(t.threshold_for(HwEvent::ContextSwitches), Some(0.0));
+        assert_eq!(t.threshold_for(HwEvent::TaskClock), Some(1.7e8));
+        assert_eq!(t.threshold_for(HwEvent::PageFaults), Some(500.0));
+        assert_eq!(t.threshold_for(HwEvent::Instructions), None);
+    }
+}

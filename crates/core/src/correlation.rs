@@ -1,0 +1,411 @@
+//! Correlation analysis and filter construction (Section 3.3.1).
+//!
+//! The S-Checker's design procedure: collect per-soft-hang samples of all
+//! 46 performance events (as main−render differences and as main-only
+//! values), compute each event's Pearson correlation with the hang-bug
+//! label, rank them (Table 3), check ranking stability under training-set
+//! subsampling (Table 4), then greedily pick thresholds starting from the
+//! most correlated event until every training bug is caught by at least
+//! one condition (Figure 4).
+
+use hd_simrt::{HwEvent, SimRng};
+
+#[cfg(test)]
+use hd_simrt::NUM_EVENTS;
+use serde::{Deserialize, Serialize};
+
+/// One labeled soft-hang sample.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainingSample {
+    /// `true` = the hang was caused by a soft hang bug, `false` = UI.
+    pub label: bool,
+    /// Accumulated main−render difference of every event over the
+    /// action window (length [`NUM_EVENTS`]).
+    pub diff: Vec<f64>,
+    /// Accumulated main-thread-only value of every event (length
+    /// [`NUM_EVENTS`]).
+    pub main_only: Vec<f64>,
+    /// Provenance (app/action) for bookkeeping.
+    pub source: String,
+}
+
+/// Which measurement the analysis runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiffMode {
+    /// Main thread minus render thread (Table 3(a)).
+    MainMinusRender,
+    /// Main thread only (Table 3(b)).
+    MainOnly,
+}
+
+impl TrainingSample {
+    /// Returns the value vector for the requested mode.
+    pub fn values(&self, mode: DiffMode) -> &[f64] {
+        match mode {
+            DiffMode::MainMinusRender => &self.diff,
+            DiffMode::MainOnly => &self.main_only,
+        }
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Returns 0 when either series is constant (undefined correlation).
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "series lengths differ");
+    let n = x.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx).powi(2);
+        vy += (b - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Correlation of every event with the hang-bug label, sorted by
+/// descending coefficient (a Table 3 column).
+pub fn rank_events(samples: &[TrainingSample], mode: DiffMode) -> Vec<(HwEvent, f64)> {
+    let labels: Vec<f64> = samples
+        .iter()
+        .map(|s| if s.label { 1.0 } else { 0.0 })
+        .collect();
+    let mut ranked: Vec<(HwEvent, f64)> = HwEvent::ALL
+        .iter()
+        .map(|&ev| {
+            let xs: Vec<f64> = samples.iter().map(|s| s.values(mode)[ev.index()]).collect();
+            (ev, pearson(&xs, &labels))
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked
+}
+
+/// Draws a random subsample of `fraction` of the samples (sensitivity
+/// analysis, Table 4).
+pub fn subsample(
+    samples: &[TrainingSample],
+    fraction: f64,
+    rng: &mut SimRng,
+) -> Vec<TrainingSample> {
+    let keep = ((samples.len() as f64) * fraction).round().max(2.0) as usize;
+    let mut idx: Vec<usize> = (0..samples.len()).collect();
+    // Fisher-Yates prefix shuffle.
+    for i in 0..keep.min(samples.len()) {
+        let j = i + rng.index(samples.len() - i);
+        idx.swap(i, j);
+    }
+    idx.truncate(keep.min(samples.len()));
+    idx.into_iter().map(|i| samples[i].clone()).collect()
+}
+
+/// One threshold condition: `value > threshold` ⇒ hang-bug symptom.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Event tested.
+    pub event: HwEvent,
+    /// Strict lower threshold.
+    pub threshold: f64,
+}
+
+/// A disjunctive filter: suspicious iff any condition fires.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub struct Filter {
+    /// Conditions, in selection order.
+    pub conditions: Vec<Condition>,
+}
+
+impl Filter {
+    /// Whether a sample (in the filter's mode) shows symptoms.
+    ///
+    /// `values` is indexed by [`HwEvent::index`] (length [`NUM_EVENTS`]).
+    pub fn matches(&self, values: &[f64]) -> bool {
+        self.conditions
+            .iter()
+            .any(|c| values[c.event.index()] > c.threshold)
+    }
+
+    /// Confusion counts over labeled samples: `(tp, fp, fn, tn)`.
+    pub fn evaluate(
+        &self,
+        samples: &[TrainingSample],
+        mode: DiffMode,
+    ) -> (usize, usize, usize, usize) {
+        let mut tp = 0;
+        let mut fp = 0;
+        let mut fneg = 0;
+        let mut tn = 0;
+        for s in samples {
+            match (s.label, self.matches(s.values(mode))) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fneg += 1,
+                (false, false) => tn += 1,
+            }
+        }
+        (tp, fp, fneg, tn)
+    }
+}
+
+/// Finds the threshold for `event` minimizing `FN + FP` over the given
+/// samples (the greedy selection loop, not the per-event threshold,
+/// enforces the paper's primary goal of eliminating false negatives by
+/// adding further events).
+pub fn best_threshold(samples: &[TrainingSample], event: HwEvent, mode: DiffMode) -> Condition {
+    let mut values: Vec<f64> = samples
+        .iter()
+        .map(|s| s.values(mode)[event.index()])
+        .collect();
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    values.dedup();
+    // Candidates: below everything, midpoints, above everything.
+    let mut candidates = Vec::with_capacity(values.len() + 1);
+    if let (Some(first), Some(last)) = (values.first(), values.last()) {
+        candidates.push(first - 1.0);
+        for w in values.windows(2) {
+            candidates.push((w[0] + w[1]) / 2.0);
+        }
+        candidates.push(last + 1.0);
+    } else {
+        candidates.push(0.0);
+    }
+    let mut best = Condition {
+        event,
+        threshold: candidates[0],
+    };
+    let mut best_cost = usize::MAX;
+    for &t in &candidates {
+        let mut fp = 0;
+        let mut fneg = 0;
+        for s in samples {
+            let fired = s.values(mode)[event.index()] > t;
+            match (s.label, fired) {
+                (false, true) => fp += 1,
+                (true, false) => fneg += 1,
+                _ => {}
+            }
+        }
+        let cost = fneg + fp;
+        if cost < best_cost {
+            best_cost = cost;
+            best = Condition {
+                event,
+                threshold: t,
+            };
+        }
+    }
+    best
+}
+
+/// Greedy filter construction: take events in ranked order, thresholding
+/// each on the still-uncovered bugs, until every training bug is caught
+/// by at least one condition (or `max_events` is reached).
+pub fn select_filter(
+    samples: &[TrainingSample],
+    ranked: &[(HwEvent, f64)],
+    mode: DiffMode,
+    max_events: usize,
+) -> Filter {
+    let mut filter = Filter::default();
+    // Events whose names differ but whose counts are near-duplicates
+    // (cpu-clock vs task-clock) add nothing; skip an event whose
+    // correlation with an already-selected one is ~1.
+    let mut used: Vec<HwEvent> = Vec::new();
+    for &(event, _) in ranked {
+        if filter.conditions.len() >= max_events {
+            break;
+        }
+        let uncovered: Vec<TrainingSample> = samples
+            .iter()
+            .filter(|s| !s.label || !filter.matches(s.values(mode)))
+            .cloned()
+            .collect();
+        let (_, _, fneg, _) = filter.evaluate(samples, mode);
+        if !filter.conditions.is_empty() && fneg == 0 {
+            break;
+        }
+        // Skip near-duplicate events.
+        let xs: Vec<f64> = samples
+            .iter()
+            .map(|s| s.values(mode)[event.index()])
+            .collect();
+        let dup = used.iter().any(|&u| {
+            let ys: Vec<f64> = samples.iter().map(|s| s.values(mode)[u.index()]).collect();
+            pearson(&xs, &ys) > 0.995
+        });
+        if dup {
+            continue;
+        }
+        let cond = best_threshold(&uncovered, event, mode);
+        used.push(event);
+        filter.conditions.push(cond);
+    }
+    filter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(label: bool, assign: &[(HwEvent, f64)]) -> TrainingSample {
+        let mut diff = vec![0.0; NUM_EVENTS];
+        for &(ev, v) in assign {
+            diff[ev.index()] = v;
+        }
+        TrainingSample {
+            label,
+            diff: diff.clone(),
+            main_only: diff,
+            source: "test".into(),
+        }
+    }
+
+    #[test]
+    fn pearson_basics() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+        let c = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&x, &c), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn ranking_puts_separating_event_first() {
+        let mut samples = Vec::new();
+        for i in 0..20 {
+            let bug = i % 2 == 0;
+            samples.push(sample(
+                bug,
+                &[
+                    // Context switches separate perfectly.
+                    (HwEvent::ContextSwitches, if bug { 50.0 } else { -20.0 }),
+                    // Instructions are noise.
+                    (HwEvent::Instructions, (i % 5) as f64),
+                ],
+            ));
+        }
+        let ranked = rank_events(&samples, DiffMode::MainMinusRender);
+        assert_eq!(ranked[0].0, HwEvent::ContextSwitches);
+        assert!(ranked[0].1 > 0.95);
+    }
+
+    #[test]
+    fn best_threshold_separates_cleanly() {
+        let samples = vec![
+            sample(true, &[(HwEvent::PageFaults, 900.0)]),
+            sample(true, &[(HwEvent::PageFaults, 700.0)]),
+            sample(false, &[(HwEvent::PageFaults, 100.0)]),
+            sample(false, &[(HwEvent::PageFaults, 250.0)]),
+        ];
+        let cond = best_threshold(&samples, HwEvent::PageFaults, DiffMode::MainMinusRender);
+        assert!(cond.threshold > 250.0 && cond.threshold < 700.0);
+        let filter = Filter {
+            conditions: vec![cond],
+        };
+        let (tp, fp, fneg, tn) = filter.evaluate(&samples, DiffMode::MainMinusRender);
+        assert_eq!((tp, fp, fneg, tn), (2, 0, 0, 2));
+    }
+
+    #[test]
+    fn select_filter_adds_events_until_no_false_negatives() {
+        // Bug type A: high context switches; bug type B: page-fault
+        // bound, with context switches interleaved among the UI samples
+        // so no single cs threshold can cover both types cheaply.
+        let mut samples = Vec::new();
+        for i in 0..8 {
+            samples.push(sample(
+                true,
+                &[
+                    (HwEvent::ContextSwitches, 40.0 + i as f64),
+                    (HwEvent::PageFaults, 100.0),
+                ],
+            ));
+        }
+        for i in 0..4 {
+            samples.push(sample(
+                true,
+                &[
+                    (HwEvent::ContextSwitches, -42.0 - 3.0 * i as f64),
+                    (HwEvent::PageFaults, 800.0 + i as f64),
+                ],
+            ));
+        }
+        for i in 0..12 {
+            samples.push(sample(
+                false,
+                &[
+                    (HwEvent::ContextSwitches, -40.0 - i as f64),
+                    (HwEvent::PageFaults, 150.0),
+                ],
+            ));
+        }
+        let ranked = rank_events(&samples, DiffMode::MainMinusRender);
+        let filter = select_filter(&samples, &ranked, DiffMode::MainMinusRender, 6);
+        let (_, fp, fneg, _) = filter.evaluate(&samples, DiffMode::MainMinusRender);
+        assert_eq!(fneg, 0, "filter {filter:?}");
+        assert_eq!(fp, 0);
+        assert!(filter.conditions.len() >= 2);
+        let events: Vec<HwEvent> = filter.conditions.iter().map(|c| c.event).collect();
+        assert!(events.contains(&HwEvent::ContextSwitches));
+        assert!(events.contains(&HwEvent::PageFaults));
+    }
+
+    #[test]
+    fn subsample_sizes_and_determinism() {
+        let samples: Vec<TrainingSample> = (0..40).map(|i| sample(i % 2 == 0, &[])).collect();
+        let mut rng = SimRng::seed_from_u64(5);
+        let s75 = subsample(&samples, 0.75, &mut rng);
+        assert_eq!(s75.len(), 30);
+        let mut rng2 = SimRng::seed_from_u64(5);
+        let again = subsample(&samples, 0.75, &mut rng2);
+        assert_eq!(
+            s75.iter().map(|s| s.label).collect::<Vec<_>>(),
+            again.iter().map(|s| s.label).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn near_duplicate_events_are_skipped() {
+        // cpu-clock duplicates task-clock exactly; selection must not
+        // pick both (the paper omits cpu-clock for the same reason).
+        let mut samples = Vec::new();
+        for i in 0..10 {
+            let bug = i % 2 == 0;
+            let v = if bug { 2e8 + i as f64 } else { 0.5e8 };
+            samples.push(sample(
+                bug,
+                &[(HwEvent::TaskClock, v), (HwEvent::CpuClock, v)],
+            ));
+        }
+        // Force a situation where one event cannot cover everything by
+        // marking one bug sample low on task-clock but high on faults.
+        samples.push(sample(
+            true,
+            &[
+                (HwEvent::TaskClock, 0.4e8),
+                (HwEvent::CpuClock, 0.4e8),
+                (HwEvent::PageFaults, 900.0),
+            ],
+        ));
+        let ranked = rank_events(&samples, DiffMode::MainMinusRender);
+        let filter = select_filter(&samples, &ranked, DiffMode::MainMinusRender, 6);
+        let picked: Vec<HwEvent> = filter.conditions.iter().map(|c| c.event).collect();
+        assert!(
+            !(picked.contains(&HwEvent::TaskClock) && picked.contains(&HwEvent::CpuClock)),
+            "picked both clocks: {picked:?}"
+        );
+    }
+}

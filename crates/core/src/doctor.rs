@@ -1,0 +1,745 @@
+//! The Hang Doctor runtime probe: two-phase detection and diagnosis.
+//!
+//! Installed into the app process like the real system (a lightweight
+//! in-app component, no OS modification), it:
+//!
+//! 1. tracks every input event's response time via the Looper dispatch
+//!    hook (Response Time Monitor);
+//! 2. for *Uncategorized* actions, counts the three selected performance
+//!    events on the main and render threads and applies the S-Checker
+//!    filter at the end of any execution whose response exceeded 100 ms;
+//! 3. for *Suspicious* and *HangBug* actions, arms a 100 ms watchdog per
+//!    input event and, if it fires mid-dispatch, collects main-thread
+//!    stack traces until the hang ends, then runs the Trace Analyzer;
+//! 4. maintains the per-action state machine, the Hang Bug Report, and
+//!    the shared known-blocking-API database.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hd_perfmon::{PerfSession, StackSampler};
+use hd_simrt::{
+    ActionInfo, ActionRecord, ActionUid, ExecId, HwEvent, MessageInfo, Probe, ProbeCtx, SimTime,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::{analyze, RootCause, RootKind};
+use crate::apidb::SharedApiDb;
+use crate::config::HangDoctorConfig;
+use crate::report::HangBugReport;
+use crate::schecker::{CounterDiffs, SChecker, SymptomVerdict};
+use crate::state::{ActionState, StateTable};
+
+/// Token reserved for the stack sampler's periodic timer.
+const SAMPLER_TOKEN: u64 = 1;
+/// Watch-dog tokens start here and increase per dispatch.
+const WATCH_TOKEN_BASE: u64 = 1_000;
+
+/// One deep analysis performed by the Diagnoser (a traced soft hang).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Execution during which the hang was traced.
+    pub exec_id: ExecId,
+    /// Action kind.
+    pub uid: ActionUid,
+    /// Action name.
+    pub action_name: String,
+    /// Input event index within the action.
+    pub event_index: usize,
+    /// Response time of the hanging input event, ns.
+    pub response_ns: u64,
+    /// When the dispatch ended.
+    pub at: SimTime,
+    /// Number of stack traces collected.
+    pub samples: usize,
+    /// Diagnosis (None only if no sample could be collected).
+    pub root: Option<RootCause>,
+}
+
+impl Detection {
+    /// Whether the Diagnoser concluded this hang is a soft hang bug.
+    pub fn is_bug(&self) -> bool {
+        self.root.as_ref().map(|r| r.is_bug()).unwrap_or(false)
+    }
+}
+
+/// A network-on-main-thread warning (footnote-2 extension).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkWarning {
+    /// Action whose handler used the network on the main thread.
+    pub uid: ActionUid,
+    /// Action name.
+    pub action_name: String,
+    /// Execution where it was first observed.
+    pub exec_id: ExecId,
+    /// Bytes transferred during that execution.
+    pub bytes: u64,
+}
+
+/// Everything Hang Doctor produced during a run.
+#[derive(Clone, Debug, Default)]
+pub struct HdOutput {
+    /// Deep analyses, in order.
+    pub detections: Vec<Detection>,
+    /// S-Checker verdicts that marked an action Suspicious.
+    pub suspicious_marks: u64,
+    /// Total S-Checker filter evaluations.
+    pub schecker_checks: u64,
+    /// Soft hangs observed (any action state).
+    pub hangs_observed: u64,
+    /// The developer-facing report.
+    pub report: HangBugReport,
+    /// Final action states (snapshot at simulation end).
+    pub states: StateTable,
+    /// All S-Checker verdicts with their diffs (for adaptation studies).
+    pub verdicts: Vec<(ActionUid, SymptomVerdict)>,
+    /// Network-on-main warnings (one per offending action), when the
+    /// extension is enabled.
+    pub network_warnings: Vec<NetworkWarning>,
+}
+
+struct CurrentAction {
+    uid: ActionUid,
+    name: String,
+    state_at_begin: ActionState,
+    session: Option<PerfSession>,
+    had_hang: bool,
+    net_bytes_at_begin: u64,
+}
+
+struct CurrentDispatch {
+    exec_id: ExecId,
+    event_index: usize,
+    watch_token: u64,
+    sampling: bool,
+}
+
+/// The Hang Doctor probe.
+pub struct HangDoctor {
+    cfg: HangDoctorConfig,
+    checker: SChecker,
+    device: u32,
+    app_package: String,
+    states: StateTable,
+    sampler: StackSampler,
+    current: Option<CurrentAction>,
+    dispatch: Option<CurrentDispatch>,
+    next_watch_token: u64,
+    apidb: Option<SharedApiDb>,
+    net_warned: std::collections::HashSet<ActionUid>,
+    out: Rc<RefCell<HdOutput>>,
+}
+
+impl HangDoctor {
+    /// Creates a Hang Doctor instance for one app on one device.
+    ///
+    /// Returns the probe (install with `Simulator::add_probe`) and a
+    /// handle to its output, readable after the run.
+    pub fn new(
+        cfg: HangDoctorConfig,
+        app_name: &str,
+        app_package: &str,
+        device: u32,
+        apidb: Option<SharedApiDb>,
+    ) -> (HangDoctor, Rc<RefCell<HdOutput>>) {
+        let out = Rc::new(RefCell::new(HdOutput {
+            report: HangBugReport::new(app_name),
+            ..Default::default()
+        }));
+        let sampler = StackSampler::new(cfg.sample_period_ns, SAMPLER_TOKEN, cfg.costs);
+        let checker = SChecker::new(cfg.thresholds);
+        (
+            HangDoctor {
+                cfg,
+                checker,
+                device,
+                app_package: format!("{}.", app_package.trim_end_matches('.')),
+                states: StateTable::new(),
+                sampler,
+                current: None,
+                dispatch: None,
+                next_watch_token: WATCH_TOKEN_BASE,
+                apidb,
+                net_warned: Default::default(),
+                out: out.clone(),
+            },
+            out,
+        )
+    }
+
+    /// Pre-seeds an action's state (e.g. restoring a persisted table).
+    pub fn preset_state(&mut self, uid: ActionUid, state: ActionState) {
+        self.states.transition(uid, state, "preset");
+    }
+
+    /// Restores a previous session's state table and report (see
+    /// [`crate::persistence::DeviceSnapshot`]).
+    pub fn restore(&mut self, states: crate::state::StateTable, report: HangBugReport) {
+        self.states = states;
+        self.out.borrow_mut().report = report;
+    }
+
+    fn finish_diagnosis(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo, response_ns: u64) {
+        let samples = self.sampler.end();
+        let root = analyze(
+            &samples,
+            self.cfg.occurrence_threshold,
+            Some(&self.app_package),
+            |id| ctx.frame(id).clone(),
+        );
+        let detection = Detection {
+            exec_id: info.exec_id,
+            uid: info.action_uid,
+            action_name: info.action_name.clone(),
+            event_index: info.event_index,
+            response_ns,
+            at: ctx.now(),
+            samples: samples.len(),
+            root: root.clone(),
+        };
+        let mut out = self.out.borrow_mut();
+        match &root {
+            Some(r) if r.is_bug() => {
+                self.states
+                    .transition(info.action_uid, ActionState::HangBug, "Diagnoser");
+                out.report
+                    .record_bug(self.device, info.action_uid, r, response_ns);
+                if r.kind == RootKind::BlockingApi {
+                    if let Some(db) = &self.apidb {
+                        db.lock().add_discovered(&r.symbol, &out.report.app.clone());
+                    }
+                }
+            }
+            Some(_) => {
+                // A UI operation: clear the action so future executions
+                // are not traced (Path B of Figure 3).
+                self.states
+                    .transition(info.action_uid, ActionState::Normal, "Diagnoser");
+            }
+            None => {}
+        }
+        out.detections.push(detection);
+    }
+}
+
+impl Probe for HangDoctor {
+    fn on_action_begin(&mut self, ctx: &mut ProbeCtx<'_>, info: &ActionInfo) {
+        let state = self.states.state(info.uid);
+        self.out
+            .borrow_mut()
+            .report
+            .note_execution(info.uid, &info.name);
+        let session = if state == ActionState::Uncategorized {
+            let threads = [ctx.main_tid(), ctx.render_tid()];
+            Some(PerfSession::start(
+                ctx,
+                &threads,
+                &crate::config::SymptomThresholds::EVENTS,
+                self.cfg.costs,
+            ))
+        } else {
+            None
+        };
+        let net_bytes_at_begin = if self.cfg.monitor_network {
+            ctx.net_bytes(ctx.main_tid())
+        } else {
+            0
+        };
+        self.current = Some(CurrentAction {
+            uid: info.uid,
+            name: info.name.clone(),
+            state_at_begin: state,
+            session,
+            had_hang: false,
+            net_bytes_at_begin,
+        });
+    }
+
+    fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo) {
+        ctx.charge_cpu(self.cfg.costs.response_hook_ns);
+        let state = self.states.state(info.action_uid);
+        if matches!(state, ActionState::Suspicious | ActionState::HangBug) {
+            self.next_watch_token += 1;
+            let token = self.next_watch_token;
+            ctx.set_timer(ctx.now() + self.cfg.timeout_ns, token);
+            self.dispatch = Some(CurrentDispatch {
+                exec_id: info.exec_id,
+                event_index: info.event_index,
+                watch_token: token,
+                sampling: false,
+            });
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProbeCtx<'_>, token: u64) {
+        if token == SAMPLER_TOKEN {
+            self.sampler.on_timer(ctx, token);
+            return;
+        }
+        let Some(dispatch) = &mut self.dispatch else {
+            return; // Stale watchdog: the event finished in time.
+        };
+        if token != dispatch.watch_token || dispatch.sampling {
+            return;
+        }
+        // The input event has been running for 100 ms: a soft hang is in
+        // progress — start the Trace Collector.
+        dispatch.sampling = true;
+        self.sampler.begin(ctx);
+    }
+
+    fn on_dispatch_end(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo, response_ns: u64) {
+        ctx.charge_cpu(self.cfg.costs.response_hook_ns);
+        if response_ns > self.cfg.timeout_ns {
+            self.out.borrow_mut().hangs_observed += 1;
+            if let Some(cur) = &mut self.current {
+                cur.had_hang = true;
+            }
+        }
+        if let Some(dispatch) = self.dispatch.take() {
+            debug_assert_eq!(dispatch.exec_id, info.exec_id);
+            debug_assert_eq!(dispatch.event_index, info.event_index);
+            if dispatch.sampling {
+                self.finish_diagnosis(ctx, info, response_ns);
+            }
+        }
+    }
+
+    fn on_action_end(&mut self, ctx: &mut ProbeCtx<'_>, record: &ActionRecord) {
+        let Some(cur) = self.current.take() else {
+            return;
+        };
+        debug_assert_eq!(cur.uid, record.uid);
+        if self.cfg.monitor_network && !self.net_warned.contains(&cur.uid) {
+            let bytes = ctx
+                .net_bytes(ctx.main_tid())
+                .saturating_sub(cur.net_bytes_at_begin);
+            if bytes > 0 {
+                self.net_warned.insert(cur.uid);
+                self.out.borrow_mut().network_warnings.push(NetworkWarning {
+                    uid: cur.uid,
+                    action_name: cur.name.clone(),
+                    exec_id: record.exec_id,
+                    bytes,
+                });
+            }
+        }
+        match cur.state_at_begin {
+            ActionState::Uncategorized => {
+                if cur.had_hang {
+                    let session = cur.session.expect("uncategorized action has a session");
+                    let main = ctx.main_tid();
+                    let render = ctx.render_tid();
+                    let diffs = CounterDiffs {
+                        context_switches: session.read_diff(
+                            ctx,
+                            main,
+                            render,
+                            HwEvent::ContextSwitches,
+                        ),
+                        task_clock: session.read_diff(ctx, main, render, HwEvent::TaskClock),
+                        page_faults: session.read_diff(ctx, main, render, HwEvent::PageFaults),
+                    };
+                    let verdict = self.checker.check(diffs);
+                    let mut out = self.out.borrow_mut();
+                    out.schecker_checks += 1;
+                    if verdict.suspicious {
+                        out.suspicious_marks += 1;
+                        self.states
+                            .transition(cur.uid, ActionState::Suspicious, "S-Checker");
+                    } else {
+                        self.states
+                            .transition(cur.uid, ActionState::Normal, "S-Checker");
+                    }
+                    out.verdicts.push((cur.uid, verdict));
+                }
+                // Without a hang the action stays Uncategorized and will
+                // be monitored again next time.
+            }
+            ActionState::Normal => {
+                self.states
+                    .note_normal_execution(cur.uid, self.cfg.normal_reset_executions);
+            }
+            ActionState::Suspicious | ActionState::HangBug => {
+                // Transitions were handled at dispatch end.
+            }
+        }
+    }
+
+    fn on_sim_end(&mut self, _ctx: &mut ProbeCtx<'_>) {
+        self.out.borrow_mut().states = self.states.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_appmodel::corpus::{table1, table5};
+    use hd_appmodel::{build_run, round_robin_schedule, CompiledApp};
+    use hd_simrt::{SimConfig, MILLIS};
+
+    fn run_doctor(
+        app: hd_appmodel::App,
+        reps: usize,
+        seed: u64,
+    ) -> (Rc<RefCell<HdOutput>>, Vec<hd_appmodel::ExecTruth>) {
+        let compiled = CompiledApp::new(app);
+        let sched = round_robin_schedule(compiled.app(), reps, 3_000);
+        let mut run = build_run(&compiled, &sched, SimConfig::default(), seed);
+        let (probe, out) = HangDoctor::new(
+            HangDoctorConfig::default(),
+            &compiled.app().name,
+            &compiled.app().package,
+            1,
+            None,
+        );
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        (out, run.truths)
+    }
+
+    #[test]
+    fn k9_clean_bug_is_detected_and_diagnosed() {
+        let (out, _) = run_doctor(table5::k9mail(), 4, 11);
+        let out = out.borrow();
+        // The open-email action must end in the HangBug state.
+        let bug_actions = out.states.in_state(ActionState::HangBug);
+        assert!(!bug_actions.is_empty(), "no HangBug actions");
+        // HtmlCleaner.clean must be among the diagnosed root causes.
+        let syms: Vec<&str> = out
+            .detections
+            .iter()
+            .filter(|d| d.is_bug())
+            .filter_map(|d| d.root.as_ref())
+            .map(|r| r.symbol.as_str())
+            .collect();
+        assert!(
+            syms.contains(&"org.htmlcleaner.HtmlCleaner.clean"),
+            "diagnosed: {syms:?}"
+        );
+        // And appear in the developer report.
+        let rows = out.report.entries();
+        assert!(rows.iter().any(|r| r.symbol.contains("HtmlCleaner.clean")));
+    }
+
+    #[test]
+    fn first_hang_only_marks_suspicious_no_traces() {
+        // A single execution of each action: the Diagnoser never gets a
+        // second chance, so zero stack traces are collected.
+        let (out, _) = run_doctor(table5::k9mail(), 1, 3);
+        let out = out.borrow();
+        assert!(out.detections.is_empty());
+        assert!(out.suspicious_marks > 0);
+    }
+
+    #[test]
+    fn heavy_render_ui_actions_become_normal_without_tracing() {
+        // K9's folder/inbox UI actions hang (> 100 ms) but are render
+        // dominant: the S-Checker filters them straight to Normal.
+        let (out, _) = run_doctor(table5::k9mail(), 3, 7);
+        let out = out.borrow();
+        let normal = out.states.in_state(ActionState::Normal);
+        assert!(!normal.is_empty(), "expected Normal UI actions");
+        // No UI action may end in HangBug.
+        for d in &out.detections {
+            if d.is_bug() {
+                assert!(
+                    !d.root.as_ref().unwrap().symbol.contains("android.widget"),
+                    "UI API misdiagnosed: {:?}",
+                    d.root
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tricky_map_ui_is_pruned_by_diagnoser() {
+        // CycleStreets map panning is main-thread heavy: it trips the
+        // S-Checker (false positive) but the Diagnoser's stack analysis
+        // recognizes the MapView class and clears it.
+        let (out, _) = run_doctor(table5::cyclestreets(), 4, 19);
+        let out = out.borrow();
+        let ui_detections: Vec<&Detection> = out
+            .detections
+            .iter()
+            .filter(|d| d.root.as_ref().map(|r| !r.is_bug()).unwrap_or(false))
+            .collect();
+        assert!(
+            !ui_detections.is_empty(),
+            "expected at least one pruned UI diagnosis"
+        );
+        for d in ui_detections {
+            assert_eq!(out.states.state(d.uid), ActionState::Normal);
+        }
+    }
+
+    #[test]
+    fn unknown_api_is_added_to_shared_db() {
+        let db = crate::apidb::shared(crate::apidb::BlockingApiDb::documented(2017));
+        let compiled = CompiledApp::new(table5::k9mail());
+        let sched = round_robin_schedule(compiled.app(), 4, 3_000);
+        let mut run = build_run(&compiled, &sched, SimConfig::default(), 11);
+        let (probe, _out) = HangDoctor::new(
+            HangDoctorConfig::default(),
+            "K9-mail",
+            "com.fsck.k9",
+            1,
+            Some(db.clone()),
+        );
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        let db = db.lock();
+        assert!(db.contains("org.htmlcleaner.HtmlCleaner.clean"));
+        assert!(db
+            .discovered()
+            .iter()
+            .any(|(s, app)| s.contains("HtmlCleaner") && *app == "K9-mail"));
+    }
+
+    #[test]
+    fn self_developed_bug_not_added_to_db_but_reported() {
+        let db = crate::apidb::shared(crate::apidb::BlockingApiDb::documented(2017));
+        let compiled = CompiledApp::new(table5::qksms());
+        let sched = round_robin_schedule(compiled.app(), 5, 3_000);
+        let mut run = build_run(&compiled, &sched, SimConfig::default(), 23);
+        let (probe, out) = HangDoctor::new(
+            HangDoctorConfig::default(),
+            "QKSMS",
+            "com.moez.QKSMS",
+            1,
+            Some(db.clone()),
+        );
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        let out = out.borrow();
+        let self_dev: Vec<&Detection> = out
+            .detections
+            .iter()
+            .filter(|d| d.root.as_ref().map(|r| r.kind) == Some(RootKind::SelfDeveloped))
+            .collect();
+        assert!(
+            !self_dev.is_empty(),
+            "expected the SearchIndexer self-developed bug"
+        );
+        // Self-developed operations are reported to the developer only,
+        // never to the shared API database.
+        assert!(!db
+            .lock()
+            .contains("com.moez.QKSMS.util.SearchIndexer.buildIndex"));
+        assert!(out
+            .report
+            .entries()
+            .iter()
+            .any(|e| e.symbol.contains("SearchIndexer")));
+    }
+
+    #[test]
+    fn diagnosis_response_time_is_plausible() {
+        let (out, truths) = run_doctor(table5::k9mail(), 4, 31);
+        let out = out.borrow();
+        for d in out.detections.iter().filter(|d| d.is_bug()) {
+            assert!(d.response_ns > 100 * MILLIS);
+            assert!(d.samples >= 5, "too few samples: {}", d.samples);
+            let truth = &truths[(d.exec_id.0 - 1) as usize];
+            assert!(
+                truth.is_buggy(90 * MILLIS),
+                "diagnosed a non-buggy exec as bug"
+            );
+        }
+    }
+
+    #[test]
+    fn abc_resume_detects_camera_open() {
+        let (out, _) = run_doctor(table1::a_better_camera(), 4, 41);
+        let out = out.borrow();
+        let syms: Vec<&str> = out
+            .detections
+            .iter()
+            .filter(|d| d.is_bug())
+            .filter_map(|d| d.root.as_ref())
+            .map(|r| r.symbol.as_str())
+            .collect();
+        assert!(
+            syms.contains(&"android.hardware.Camera.open"),
+            "diagnosed: {syms:?}"
+        );
+    }
+
+    #[test]
+    fn occasional_bug_dwells_in_suspicious_until_it_hangs_again() {
+        // An action whose bug manifests only sometimes: the S-Checker
+        // marks it Suspicious on its first hang; executions without a
+        // hang leave it Suspicious (Figure 3, Path B/C waiting loop);
+        // the next hang is traced and diagnosed.
+        use hd_appmodel::{
+            ActionSpec, ApiId, ApiKind, ApiSpec, App, BugSpec, Call, CostSpec, Dist, EventSpec,
+            ProfileKind,
+        };
+        use hd_simrt::ActionUid;
+        let apis = vec![
+            ApiSpec::new(
+                "android.widget.TextView.setText",
+                1,
+                ApiKind::Ui,
+                CostSpec::ui(Dist::fixed(6 * MILLIS), Dist::fixed(4), 4 * MILLIS),
+            ),
+            ApiSpec::new(
+                "org.occ.Lib.parse",
+                9,
+                ApiKind::Blocking { known_since: None },
+                CostSpec::cpu(Dist::fixed(400 * MILLIS), ProfileKind::MemoryHeavy)
+                    .occasional(0.5, 0.05),
+            ),
+        ];
+        let app = App {
+            name: "Occ".into(),
+            package: "org.occ".into(),
+            category: "Tools".into(),
+            downloads: 10,
+            commit: "c".into(),
+            apis,
+            actions: vec![ActionSpec::new(
+                0,
+                "open",
+                vec![EventSpec::new(
+                    "org.occ.Main.onOpen",
+                    5,
+                    vec![Call::direct(ApiId(0)), Call::direct(ApiId(1)).bug("occ-1")],
+                )],
+            )],
+            bugs: vec![BugSpec {
+                id: "occ-1".into(),
+                issue: 1,
+                api: ApiId(1),
+                action: ActionUid(0),
+                description: "occasional parse".into(),
+            }],
+        };
+        let (out, truths) = run_doctor(app, 12, 97);
+        let out = out.borrow();
+        // The bug manifested several times and was eventually diagnosed.
+        assert!(out
+            .states
+            .in_state(ActionState::HangBug)
+            .contains(&ActionUid(0)));
+        let bug_detections = out.detections.iter().filter(|d| d.is_bug()).count();
+        assert!(bug_detections >= 1, "{:?}", out.detections);
+        // There was at least one Suspicious-state execution without a
+        // hang (light path) before the diagnosis: the number of hangs
+        // observed is strictly smaller than executions.
+        let manifested = truths.iter().filter(|t| t.is_buggy(100 * MILLIS)).count();
+        assert!(manifested < truths.len(), "all executions manifested");
+        assert!(manifested >= 2, "need at least two hangs for diagnosis");
+        // Every detection targeted a manifesting execution.
+        for d in out.detections.iter().filter(|d| d.is_bug()) {
+            assert!(truths[(d.exec_id.0 - 1) as usize].is_buggy(100 * MILLIS));
+        }
+    }
+
+    #[test]
+    fn network_on_main_extension_flags_offenders_once() {
+        use hd_appmodel::registry;
+        use hd_appmodel::{
+            ActionSpec, ApiId, ApiKind, ApiSpec, App, BugSpec, Call, CostSpec, Dist, EventSpec,
+        };
+        use hd_simrt::ActionUid;
+        let apis = vec![
+            ApiSpec::new(
+                "android.widget.TextView.setText",
+                1,
+                ApiKind::Ui,
+                CostSpec::ui(Dist::fixed(6 * MILLIS), Dist::fixed(4), 4 * MILLIS),
+            ),
+            registry::http_fetch(),
+        ];
+        let app = App {
+            name: "Legacy".into(),
+            package: "org.legacy".into(),
+            category: "Tools".into(),
+            downloads: 10,
+            commit: "c".into(),
+            apis,
+            actions: vec![
+                ActionSpec::new(
+                    0,
+                    "refresh feed",
+                    vec![EventSpec::new(
+                        "org.legacy.Main.onRefresh",
+                        5,
+                        vec![
+                            Call::direct(ApiId(0)),
+                            Call::direct(ApiId(1)).bug("legacy-net"),
+                        ],
+                    )],
+                ),
+                ActionSpec::new(
+                    1,
+                    "open settings",
+                    vec![EventSpec::new(
+                        "org.legacy.Main.onSettings",
+                        9,
+                        vec![Call::direct(ApiId(0))],
+                    )],
+                ),
+            ],
+            bugs: vec![BugSpec {
+                id: "legacy-net".into(),
+                issue: 1,
+                api: ApiId(1),
+                action: ActionUid(0),
+                description: "HTTP on the main thread".into(),
+            }],
+        };
+        let compiled = CompiledApp::new(app.clone());
+        let sched = round_robin_schedule(&app, 3, 3_000);
+        let mut run = build_run(&compiled, &sched, SimConfig::default(), 61);
+        let cfg = HangDoctorConfig {
+            monitor_network: true,
+            ..Default::default()
+        };
+        let (probe, out) = HangDoctor::new(cfg, &app.name, &app.package, 1, None);
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        let out = out.borrow();
+        // Exactly one warning, for the offending action, despite three
+        // executions.
+        assert_eq!(out.network_warnings.len(), 1, "{:?}", out.network_warnings);
+        let w = &out.network_warnings[0];
+        assert_eq!(w.action_name, "refresh feed");
+        assert!(w.bytes > 1_000, "bytes {}", w.bytes);
+        // The ordinary pipeline also catches the hang itself (the HTTP
+        // call blocks for ~350 ms).
+        assert!(out
+            .detections
+            .iter()
+            .any(|d| d.is_bug() && d.action_name == "refresh feed"));
+    }
+
+    #[test]
+    fn network_monitoring_is_off_by_default() {
+        let (out, _) = run_doctor(table5::k9mail(), 2, 5);
+        assert!(out.borrow().network_warnings.is_empty());
+    }
+
+    #[test]
+    fn normal_actions_are_reset_for_reexamination() {
+        let cfg = HangDoctorConfig {
+            normal_reset_executions: 3,
+            ..Default::default()
+        };
+        let compiled = CompiledApp::new(table5::k9mail());
+        let sched = round_robin_schedule(compiled.app(), 8, 2_500);
+        let mut run = build_run(&compiled, &sched, SimConfig::default(), 13);
+        let (probe, out) = HangDoctor::new(cfg, "K9-mail", "com.fsck.k9", 1, None);
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        let out = out.borrow();
+        let resets = out
+            .states
+            .transitions()
+            .iter()
+            .filter(|t| t.by == "reset")
+            .count();
+        assert!(resets > 0, "expected Normal→Uncategorized resets");
+    }
+}

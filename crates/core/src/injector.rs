@@ -1,0 +1,163 @@
+//! The App Injector (Figure 2(a), offline component).
+//!
+//! "Android apps handle user actions by implementing special listeners,
+//! handlers, and callback functions [...] App Injector assigns a Unique
+//! ID (UID) to every action. Then, at runtime, a look-up table is created
+//! to save various information about the actions" (Section 3.5). The
+//! injector walks an app's handler entry points, assigns each action a
+//! stable UID derived from its position among the instrumented handlers,
+//! and reports what it instrumented — this is what a build-time bytecode
+//! pass does on a real APK.
+
+use std::collections::HashMap;
+
+use hd_appmodel::App;
+use hd_simrt::ActionUid;
+use serde::{Deserialize, Serialize};
+
+/// One instrumented handler.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedAction {
+    /// UID assigned to the action.
+    pub uid: u64,
+    /// The action's name.
+    pub action: String,
+    /// Handler symbols the action's input events enter through.
+    pub handlers: Vec<String>,
+}
+
+/// Result of injecting one app.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InjectionReport {
+    /// App name.
+    pub app: String,
+    /// Instrumented actions, in UID order.
+    pub actions: Vec<InjectedAction>,
+}
+
+impl InjectionReport {
+    /// Number of instrumented actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether nothing was instrumented.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+/// Build-time injector: assigns UIDs and builds the handler→UID map.
+#[derive(Clone, Debug, Default)]
+pub struct AppInjector {
+    by_handler: HashMap<String, ActionUid>,
+}
+
+impl AppInjector {
+    /// Creates an empty injector.
+    pub fn new() -> AppInjector {
+        AppInjector::default()
+    }
+
+    /// Instruments `app`: assigns dense UIDs in declaration order (the
+    /// deterministic order a bytecode pass visits handlers), rewrites
+    /// the app's action/bug UID references, and returns the report.
+    ///
+    /// Injection is idempotent: instrumenting an already-instrumented
+    /// app yields the same UIDs.
+    pub fn inject(&mut self, app: &mut App) -> InjectionReport {
+        let mut report = InjectionReport {
+            app: app.name.clone(),
+            actions: Vec::with_capacity(app.actions.len()),
+        };
+        let mut remap: HashMap<ActionUid, ActionUid> = HashMap::new();
+        for (i, action) in app.actions.iter_mut().enumerate() {
+            let uid = ActionUid(i as u64);
+            remap.insert(action.uid, uid);
+            action.uid = uid;
+            let handlers: Vec<String> = action.events.iter().map(|e| e.handler.clone()).collect();
+            for h in &handlers {
+                self.by_handler.insert(h.clone(), uid);
+            }
+            report.actions.push(InjectedAction {
+                uid: uid.0,
+                action: action.name.clone(),
+                handlers,
+            });
+        }
+        for bug in &mut app.bugs {
+            if let Some(&new) = remap.get(&bug.action) {
+                bug.action = new;
+            }
+        }
+        report
+    }
+
+    /// Runtime look-up: which action does a handler belong to?
+    pub fn lookup(&self, handler_symbol: &str) -> Option<ActionUid> {
+        self.by_handler.get(handler_symbol).copied()
+    }
+
+    /// Number of instrumented handler entry points.
+    pub fn handlers_instrumented(&self) -> usize {
+        self.by_handler.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_appmodel::corpus::table5;
+    use hd_appmodel::CompiledApp;
+
+    #[test]
+    fn injection_assigns_dense_uids_and_remaps_bugs() {
+        // Scramble the UIDs as if the model came from elsewhere; the
+        // injector must re-derive a dense, deterministic numbering.
+        let mut app = table5::k9mail();
+        for a in &mut app.actions {
+            a.uid = ActionUid(5000 + a.uid.0);
+        }
+        for bug in &mut app.bugs {
+            bug.action = ActionUid(5000 + bug.action.0);
+        }
+        let mut injector = AppInjector::new();
+        let report = injector.inject(&mut app);
+        assert_eq!(report.len(), app.actions.len());
+        for (i, a) in app.actions.iter().enumerate() {
+            assert_eq!(a.uid, ActionUid(i as u64));
+        }
+        // Bug references were rewritten consistently.
+        assert!(app.validate().is_empty(), "{:?}", app.validate());
+        // The instrumented app still compiles and runs.
+        let _ = CompiledApp::new(app.clone());
+    }
+
+    #[test]
+    fn runtime_lookup_resolves_handlers() {
+        let mut app = table5::qksms();
+        let mut injector = AppInjector::new();
+        injector.inject(&mut app);
+        for action in &app.actions {
+            for ev in &action.events {
+                assert_eq!(
+                    injector.lookup(&ev.handler),
+                    Some(action.uid),
+                    "{}",
+                    ev.handler
+                );
+            }
+        }
+        assert!(injector.lookup("com.unknown.Main.onNothing").is_none());
+        assert!(injector.handlers_instrumented() >= app.actions.len());
+    }
+
+    #[test]
+    fn injection_is_idempotent() {
+        let mut app = table5::merchant();
+        let mut injector = AppInjector::new();
+        let first = injector.inject(&mut app);
+        let again = injector.inject(&mut app);
+        assert_eq!(first.actions, again.actions);
+    }
+}

@@ -1,0 +1,157 @@
+//! Persistence of Hang Doctor's per-device state across app sessions.
+//!
+//! The runtime look-up table (action UID → state) and the accumulated
+//! Hang Bug Report outlive one app session on a real device: an action
+//! diagnosed as a Hang Bug yesterday is deeply analyzed again today
+//! without re-learning. A [`DeviceSnapshot`] captures both and restores
+//! them into a fresh [`HangDoctor`].
+
+use serde::{Deserialize, Serialize};
+
+use hd_simrt::ActionUid;
+
+use crate::doctor::{HangDoctor, HdOutput};
+use crate::report::HangBugReport;
+use crate::state::{ActionState, StateTable};
+
+/// Serialized per-device Hang Doctor state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceSnapshot {
+    /// App the snapshot belongs to.
+    pub app: String,
+    /// Device id.
+    pub device: u32,
+    /// `(uid, state, normal-execution count)` triples.
+    pub states: Vec<(u64, ActionState, u32)>,
+    /// The report accumulated so far.
+    pub report: HangBugReport,
+}
+
+impl DeviceSnapshot {
+    /// Captures the end-of-session output of a Hang Doctor run.
+    pub fn capture(out: &HdOutput, device: u32) -> DeviceSnapshot {
+        DeviceSnapshot {
+            app: out.report.app.clone(),
+            device,
+            states: out
+                .states
+                .export()
+                .into_iter()
+                .map(|(uid, s, n)| (uid.0, s, n))
+                .collect(),
+            report: out.report.clone(),
+        }
+    }
+
+    /// The state table encoded in this snapshot.
+    pub fn state_table(&self) -> StateTable {
+        let entries: Vec<(ActionUid, ActionState, u32)> = self
+            .states
+            .iter()
+            .map(|&(uid, s, n)| (ActionUid(uid), s, n))
+            .collect();
+        StateTable::import(&entries)
+    }
+
+    /// Restores the snapshot into a fresh probe for the next session.
+    pub fn restore_into(&self, doctor: &mut HangDoctor) {
+        doctor.restore(self.state_table(), self.report.clone());
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(json: &str) -> Result<DeviceSnapshot, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HangDoctorConfig;
+    use hd_appmodel::corpus::table5;
+    use hd_appmodel::{build_run, round_robin_schedule, CompiledApp};
+    use hd_simrt::SimConfig;
+
+    #[test]
+    fn state_survives_a_session_restart() {
+        let app = table5::k9mail();
+        let compiled = CompiledApp::new(app.clone());
+
+        // Session 1: learn (the clean bug needs two hangs to diagnose).
+        let sched = round_robin_schedule(&app, 3, 3_000);
+        let mut run = build_run(&compiled, &sched, SimConfig::default(), 21);
+        let (probe, out) = HangDoctor::new(
+            HangDoctorConfig::default(),
+            &app.name,
+            &app.package,
+            1,
+            None,
+        );
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        let snapshot = DeviceSnapshot::capture(&out.borrow(), 1);
+        let json = snapshot.to_json();
+        let hangbug_actions = snapshot
+            .states
+            .iter()
+            .filter(|(_, s, _)| *s == ActionState::HangBug)
+            .count();
+        assert!(hangbug_actions >= 1, "session 1 learned nothing");
+
+        // Session 2 (app restarted): the restored doctor goes straight to
+        // the Diagnoser on the first hang of the known HangBug action.
+        let restored = DeviceSnapshot::from_json(&json).unwrap();
+        let sched2 = round_robin_schedule(&app, 1, 3_000);
+        let mut run2 = build_run(&compiled, &sched2, SimConfig::default(), 22);
+        let (mut probe2, out2) = HangDoctor::new(
+            HangDoctorConfig::default(),
+            &app.name,
+            &app.package,
+            1,
+            None,
+        );
+        restored.restore_into(&mut probe2);
+        run2.sim.add_probe(Box::new(probe2));
+        run2.sim.run();
+        let out2 = out2.borrow();
+        // With one repetition per action a fresh doctor could not have
+        // produced a diagnosis (first hang only marks Suspicious); the
+        // restored one does.
+        assert!(
+            out2.detections.iter().any(|d| d.is_bug()),
+            "restored doctor should diagnose on the first hang"
+        );
+        // The report keeps accumulating on top of session 1's counts.
+        let clean_row = out2
+            .report
+            .entries()
+            .into_iter()
+            .find(|e| e.symbol.contains("HtmlCleaner"))
+            .expect("clean in restored report");
+        let session1_row = snapshot
+            .report
+            .entries()
+            .into_iter()
+            .find(|e| e.symbol.contains("HtmlCleaner"))
+            .expect("clean in session-1 report");
+        assert!(clean_row.hangs > session1_row.hangs);
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let out = HdOutput {
+            report: HangBugReport::new("X"),
+            ..Default::default()
+        };
+        let snap = DeviceSnapshot::capture(&out, 3);
+        let back = DeviceSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.app, "X");
+        assert_eq!(back.device, 3);
+        assert!(back.states.is_empty());
+    }
+}

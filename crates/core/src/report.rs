@@ -1,0 +1,272 @@
+//! The Hang Bug Report (Figure 2(b)).
+//!
+//! Per app, the report aggregates diagnosed soft hang bugs across user
+//! devices: for each root cause it tracks how many devices saw it and in
+//! what percentage of the affected action's executions it manifested,
+//! sorted by occurrence.
+
+use std::collections::{HashMap, HashSet};
+
+use hd_simrt::ActionUid;
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::{RootCause, RootKind};
+
+/// One aggregated report row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReportEntry {
+    /// Root-cause symbol (e.g. `org.andstatus.app.util.MyHtml.transform`).
+    pub symbol: String,
+    /// Source location of the culprit.
+    pub file: String,
+    /// Line number.
+    pub line: u32,
+    /// Classification (blocking API vs self-developed operation).
+    pub kind: RootKind,
+    /// Action the bug manifests in.
+    pub action: String,
+    /// Devices that reported this bug.
+    pub devices: usize,
+    /// Soft hangs attributed to this root cause.
+    pub hangs: u64,
+    /// Executions of the affected action observed (for the percentage).
+    pub action_executions: u64,
+    /// Mean hang duration, ns.
+    pub mean_hang_ns: u64,
+}
+
+impl ReportEntry {
+    /// Percentage of the action's executions that hung on this bug.
+    pub fn occurrence_pct(&self) -> f64 {
+        if self.action_executions == 0 {
+            return 0.0;
+        }
+        100.0 * self.hangs as f64 / self.action_executions as f64
+    }
+}
+
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct EntryAcc {
+    file: String,
+    line: u32,
+    kind: Option<RootKind>,
+    action: String,
+    devices: HashSet<u32>,
+    hangs: u64,
+    total_hang_ns: u64,
+}
+
+/// Aggregated per-app hang bug report maintained for the developer.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct HangBugReport {
+    /// App the report belongs to.
+    pub app: String,
+    entries: HashMap<String, EntryAcc>,
+    action_executions: HashMap<ActionUid, u64>,
+    action_names: HashMap<ActionUid, String>,
+    bug_actions: HashMap<String, ActionUid>,
+}
+
+impl HangBugReport {
+    /// Creates an empty report for `app`.
+    pub fn new(app: &str) -> HangBugReport {
+        HangBugReport {
+            app: app.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Notes one execution of an action (denominator of the occurrence
+    /// percentage).
+    pub fn note_execution(&mut self, uid: ActionUid, name: &str) {
+        *self.action_executions.entry(uid).or_default() += 1;
+        self.action_names
+            .entry(uid)
+            .or_insert_with(|| name.to_string());
+    }
+
+    /// Records one diagnosed soft hang bug occurrence from `device`.
+    pub fn record_bug(&mut self, device: u32, uid: ActionUid, root: &RootCause, hang_ns: u64) {
+        debug_assert!(root.is_bug(), "UI diagnoses must not be reported");
+        let acc = self.entries.entry(root.symbol.clone()).or_default();
+        acc.file = root.file.clone();
+        acc.line = root.line;
+        acc.kind = Some(root.kind);
+        acc.devices.insert(device);
+        acc.hangs += 1;
+        acc.total_hang_ns += hang_ns;
+        self.bug_actions.insert(root.symbol.clone(), uid);
+    }
+
+    /// Merges another device's report into this one (fleet aggregation).
+    pub fn merge(&mut self, other: &HangBugReport) {
+        for (uid, n) in &other.action_executions {
+            *self.action_executions.entry(*uid).or_default() += n;
+        }
+        for (uid, name) in &other.action_names {
+            self.action_names
+                .entry(*uid)
+                .or_insert_with(|| name.clone());
+        }
+        for (sym, acc) in &other.entries {
+            let mine = self.entries.entry(sym.clone()).or_default();
+            mine.file = acc.file.clone();
+            mine.line = acc.line;
+            mine.kind = acc.kind;
+            mine.devices.extend(&acc.devices);
+            mine.hangs += acc.hangs;
+            mine.total_hang_ns += acc.total_hang_ns;
+        }
+        for (sym, uid) in &other.bug_actions {
+            self.bug_actions.entry(sym.clone()).or_insert(*uid);
+        }
+    }
+
+    /// Report rows ordered by occurrence percentage (Figure 2(b)).
+    pub fn entries(&self) -> Vec<ReportEntry> {
+        let mut rows: Vec<ReportEntry> = self
+            .entries
+            .iter()
+            .map(|(sym, acc)| {
+                let uid = self.bug_actions.get(sym);
+                let action_executions = uid
+                    .and_then(|u| self.action_executions.get(u))
+                    .copied()
+                    .unwrap_or(0);
+                let action = uid
+                    .and_then(|u| self.action_names.get(u))
+                    .cloned()
+                    .unwrap_or_default();
+                ReportEntry {
+                    symbol: sym.clone(),
+                    file: acc.file.clone(),
+                    line: acc.line,
+                    kind: acc.kind.unwrap_or(RootKind::BlockingApi),
+                    action,
+                    devices: acc.devices.len(),
+                    hangs: acc.hangs,
+                    action_executions,
+                    mean_hang_ns: acc.total_hang_ns.checked_div(acc.hangs).unwrap_or(0),
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.occurrence_pct()
+                .partial_cmp(&a.occurrence_pct())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.symbol.cmp(&b.symbol))
+        });
+        rows
+    }
+
+    /// Renders a developer-facing text table.
+    pub fn render(&self) -> String {
+        let mut out = format!("Hang Bug Report — {}\n", self.app);
+        out.push_str(&format!(
+            "{:<55} {:>8} {:>7} {:>9}  {}\n",
+            "root cause", "devices", "occur%", "mean(ms)", "action"
+        ));
+        for e in self.entries() {
+            out.push_str(&format!(
+                "{:<55} {:>8} {:>6.1}% {:>9.1}  {}\n",
+                format!("{} ({}:{})", e.symbol, e.file, e.line),
+                e.devices,
+                e.occurrence_pct(),
+                e.mean_hang_ns as f64 / 1e6,
+                e.action,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root(symbol: &str) -> RootCause {
+        RootCause {
+            symbol: symbol.to_string(),
+            file: "X.java".into(),
+            line: 10,
+            occurrence_factor: 0.9,
+            kind: RootKind::BlockingApi,
+        }
+    }
+
+    #[test]
+    fn occurrence_percentage_over_action_executions() {
+        let mut r = HangBugReport::new("AndStatus");
+        for _ in 0..100 {
+            r.note_execution(ActionUid(1), "open conversation");
+        }
+        for _ in 0..75 {
+            r.record_bug(1, ActionUid(1), &root("a.b.transform"), 200_000_000);
+        }
+        let rows = r.entries();
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0].occurrence_pct() - 75.0).abs() < 1e-9);
+        assert_eq!(rows[0].mean_hang_ns, 200_000_000);
+        assert_eq!(rows[0].action, "open conversation");
+    }
+
+    #[test]
+    fn rows_sorted_by_occurrence() {
+        let mut r = HangBugReport::new("App");
+        for _ in 0..10 {
+            r.note_execution(ActionUid(1), "a1");
+            r.note_execution(ActionUid(2), "a2");
+        }
+        for _ in 0..2 {
+            r.record_bug(1, ActionUid(1), &root("low.occurrence"), 1);
+        }
+        for _ in 0..9 {
+            r.record_bug(1, ActionUid(2), &root("high.occurrence"), 1);
+        }
+        let rows = r.entries();
+        assert_eq!(rows[0].symbol, "high.occurrence");
+        assert_eq!(rows[1].symbol, "low.occurrence");
+    }
+
+    #[test]
+    fn merge_unions_devices_and_sums_hangs() {
+        let mut a = HangBugReport::new("App");
+        a.note_execution(ActionUid(1), "act");
+        a.record_bug(1, ActionUid(1), &root("x.y.z"), 100);
+        let mut b = HangBugReport::new("App");
+        b.note_execution(ActionUid(1), "act");
+        b.record_bug(2, ActionUid(1), &root("x.y.z"), 300);
+        a.merge(&b);
+        let rows = a.entries();
+        assert_eq!(rows[0].devices, 2);
+        assert_eq!(rows[0].hangs, 2);
+        assert_eq!(rows[0].action_executions, 2);
+        assert_eq!(rows[0].mean_hang_ns, 200);
+    }
+
+    #[test]
+    fn render_contains_figure_2b_columns() {
+        let mut r = HangBugReport::new("AndStatus");
+        r.note_execution(ActionUid(1), "open conversation");
+        r.record_bug(
+            7,
+            ActionUid(1),
+            &root("org.andstatus.app.util.MyHtml.transform"),
+            1_000_000,
+        );
+        let text = r.render();
+        assert!(text.contains("devices"));
+        assert!(text.contains("occur%"));
+        assert!(text.contains("MyHtml.transform"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut r = HangBugReport::new("App");
+        r.note_execution(ActionUid(1), "act");
+        r.record_bug(1, ActionUid(1), &root("x.y.z"), 5);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: HangBugReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entries(), r.entries());
+    }
+}

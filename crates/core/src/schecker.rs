@@ -1,0 +1,164 @@
+//! First phase: the S-Checker's soft hang filter.
+//!
+//! The filter reads the three selected performance-event differences
+//! (main thread minus render thread, accumulated over the whole action
+//! execution — Section 3.3.1 explains why sampling only the beginning of
+//! the action misleads) and reports hang-bug symptoms when at least one
+//! threshold fires.
+
+use hd_simrt::HwEvent;
+use serde::{Deserialize, Serialize};
+
+use crate::config::SymptomThresholds;
+
+/// The three differences the filter examines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CounterDiffs {
+    /// Context-switch difference (main − render).
+    pub context_switches: f64,
+    /// Task-clock difference, ns.
+    pub task_clock: f64,
+    /// Page-fault difference.
+    pub page_faults: f64,
+}
+
+impl CounterDiffs {
+    /// Returns the difference for one of the three monitored events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is not one of the monitored three.
+    pub fn get(&self, event: HwEvent) -> f64 {
+        match event {
+            HwEvent::ContextSwitches => self.context_switches,
+            HwEvent::TaskClock => self.task_clock,
+            HwEvent::PageFaults => self.page_faults,
+            other => panic!("{} is not an S-Checker event", other.name()),
+        }
+    }
+}
+
+/// The S-Checker's verdict for one soft hang.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SymptomVerdict {
+    /// Whether any symptom fired (action becomes Suspicious).
+    pub suspicious: bool,
+    /// Which events fired their thresholds.
+    pub triggered: Vec<HwEvent>,
+    /// The examined differences (kept for reports/adaptation).
+    pub diffs: CounterDiffs,
+}
+
+/// Stateless symptom filter.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub struct SChecker {
+    /// Thresholds in force.
+    pub thresholds: SymptomThresholds,
+}
+
+impl SChecker {
+    /// Creates a filter with the given thresholds.
+    pub fn new(thresholds: SymptomThresholds) -> SChecker {
+        SChecker { thresholds }
+    }
+
+    /// Applies the filter to one action's accumulated differences.
+    pub fn check(&self, diffs: CounterDiffs) -> SymptomVerdict {
+        let mut triggered = Vec::new();
+        if diffs.context_switches > self.thresholds.context_switch_diff {
+            triggered.push(HwEvent::ContextSwitches);
+        }
+        if diffs.task_clock > self.thresholds.task_clock_diff {
+            triggered.push(HwEvent::TaskClock);
+        }
+        if diffs.page_faults > self.thresholds.page_fault_diff {
+            triggered.push(HwEvent::PageFaults);
+        }
+        SymptomVerdict {
+            suspicious: !triggered.is_empty(),
+            triggered,
+            diffs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker() -> SChecker {
+        SChecker::new(SymptomThresholds::default())
+    }
+
+    #[test]
+    fn ui_operation_pattern_is_clean() {
+        // Render-dominant UI work: all differences negative.
+        let v = checker().check(CounterDiffs {
+            context_switches: -25.0,
+            task_clock: -1.2e8,
+            page_faults: -220.0,
+        });
+        assert!(!v.suspicious);
+        assert!(v.triggered.is_empty());
+    }
+
+    #[test]
+    fn io_bug_trips_context_switches_only() {
+        let v = checker().check(CounterDiffs {
+            context_switches: 9.0,
+            task_clock: 0.3e8,
+            page_faults: 60.0,
+        });
+        assert!(v.suspicious);
+        assert_eq!(v.triggered, vec![HwEvent::ContextSwitches]);
+    }
+
+    #[test]
+    fn compute_bug_trips_cs_and_task_clock() {
+        let v = checker().check(CounterDiffs {
+            context_switches: 120.0,
+            task_clock: 4.0e8,
+            page_faults: 250.0,
+        });
+        assert_eq!(
+            v.triggered,
+            vec![HwEvent::ContextSwitches, HwEvent::TaskClock]
+        );
+    }
+
+    #[test]
+    fn memory_bug_in_render_heavy_action_trips_page_faults_only() {
+        let v = checker().check(CounterDiffs {
+            context_switches: -30.0,
+            task_clock: -0.8e8,
+            page_faults: 700.0,
+        });
+        assert!(v.suspicious);
+        assert_eq!(v.triggered, vec![HwEvent::PageFaults]);
+    }
+
+    #[test]
+    fn thresholds_are_strict_inequalities() {
+        let v = checker().check(CounterDiffs {
+            context_switches: 0.0,
+            task_clock: 1.7e8,
+            page_faults: 500.0,
+        });
+        assert!(!v.suspicious, "boundary values must not trigger");
+    }
+
+    #[test]
+    fn custom_thresholds_apply() {
+        let c = SChecker::new(SymptomThresholds {
+            context_switch_diff: 50.0,
+            task_clock_diff: 5.0e8,
+            page_fault_diff: 2_000.0,
+        });
+        let v = c.check(CounterDiffs {
+            context_switches: 40.0,
+            task_clock: 4.0e8,
+            page_faults: 1_500.0,
+        });
+        assert!(!v.suspicious);
+    }
+}

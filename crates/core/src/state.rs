@@ -1,0 +1,232 @@
+//! Per-action state machine (Figure 3).
+//!
+//! Every user action moves between four states. `Uncategorized` actions
+//! are analyzed by the cheap S-Checker; `Suspicious` and `HangBug`
+//! actions by the expensive Diagnoser; `Normal` actions are not analyzed
+//! at all (minimum overhead), but are periodically reset to
+//! `Uncategorized` so occasionally-manifesting bugs get re-examined.
+
+use std::collections::HashMap;
+
+use hd_simrt::ActionUid;
+use serde::{Deserialize, Serialize};
+
+/// State of one action kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ActionState {
+    /// Never analyzed (or reset): S-Checker territory.
+    #[default]
+    Uncategorized,
+    /// S-Checker saw no hang-bug symptoms (or Diagnoser cleared it).
+    Normal,
+    /// Symptoms seen; awaiting in-depth diagnosis on the next hang.
+    Suspicious,
+    /// Diagnosed soft hang bug; always deeply analyzed.
+    HangBug,
+}
+
+/// One transition, kept for audit/novelty tests.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transition {
+    /// The action.
+    pub uid: ActionUid,
+    /// State before.
+    pub from: ActionState,
+    /// State after.
+    pub to: ActionState,
+    /// Which component caused it (`"S-Checker"`, `"Diagnoser"`,
+    /// `"reset"`).
+    pub by: &'static str,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Entry {
+    state: ActionState,
+    normal_executions: u32,
+}
+
+/// The runtime look-up table created by the App Injector: UID → state.
+#[derive(Clone, Debug, Default)]
+pub struct StateTable {
+    entries: HashMap<ActionUid, Entry>,
+    transitions: Vec<Transition>,
+}
+
+impl StateTable {
+    /// Creates an empty table.
+    pub fn new() -> StateTable {
+        StateTable::default()
+    }
+
+    /// Current state of `uid` (actions start `Uncategorized`).
+    pub fn state(&self, uid: ActionUid) -> ActionState {
+        self.entries.get(&uid).map(|e| e.state).unwrap_or_default()
+    }
+
+    /// Records a state transition caused by `by`.
+    pub fn transition(&mut self, uid: ActionUid, to: ActionState, by: &'static str) {
+        let entry = self.entries.entry(uid).or_default();
+        let from = entry.state;
+        entry.state = to;
+        if to == ActionState::Normal && from != ActionState::Normal {
+            entry.normal_executions = 0;
+        }
+        self.transitions.push(Transition { uid, from, to, by });
+    }
+
+    /// Notes one execution of a `Normal` action; after the configured
+    /// number, the action resets to `Uncategorized` (paper Section 3.2).
+    ///
+    /// Returns `true` if a reset happened.
+    pub fn note_normal_execution(&mut self, uid: ActionUid, reset_after: u32) -> bool {
+        let entry = self.entries.entry(uid).or_default();
+        if entry.state != ActionState::Normal {
+            return false;
+        }
+        entry.normal_executions += 1;
+        if entry.normal_executions >= reset_after {
+            self.transition(uid, ActionState::Uncategorized, "reset");
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All transitions, in order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Exports `(uid, state, normal-execution count)` triples, sorted by
+    /// uid, for persistence across app sessions.
+    pub fn export(&self) -> Vec<(ActionUid, ActionState, u32)> {
+        let mut v: Vec<(ActionUid, ActionState, u32)> = self
+            .entries
+            .iter()
+            .map(|(&uid, e)| (uid, e.state, e.normal_executions))
+            .collect();
+        v.sort_by_key(|(uid, _, _)| *uid);
+        v
+    }
+
+    /// Rebuilds a table from exported triples (the transition log starts
+    /// fresh).
+    pub fn import(entries: &[(ActionUid, ActionState, u32)]) -> StateTable {
+        let mut t = StateTable::new();
+        for &(uid, state, normal_executions) in entries {
+            t.entries.insert(
+                uid,
+                Entry {
+                    state,
+                    normal_executions,
+                },
+            );
+        }
+        t
+    }
+
+    /// Actions currently in a given state.
+    pub fn in_state(&self, state: ActionState) -> Vec<ActionUid> {
+        let mut v: Vec<ActionUid> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.state == state)
+            .map(|(&uid, _)| uid)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_start_uncategorized() {
+        let t = StateTable::new();
+        assert_eq!(t.state(ActionUid(5)), ActionState::Uncategorized);
+    }
+
+    #[test]
+    fn transitions_are_recorded() {
+        let mut t = StateTable::new();
+        t.transition(ActionUid(1), ActionState::Suspicious, "S-Checker");
+        t.transition(ActionUid(1), ActionState::HangBug, "Diagnoser");
+        assert_eq!(t.state(ActionUid(1)), ActionState::HangBug);
+        assert_eq!(t.transitions().len(), 2);
+        assert_eq!(t.transitions()[0].from, ActionState::Uncategorized);
+        assert_eq!(t.transitions()[1].by, "Diagnoser");
+    }
+
+    #[test]
+    fn normal_resets_after_n_executions() {
+        let mut t = StateTable::new();
+        t.transition(ActionUid(2), ActionState::Normal, "S-Checker");
+        for _ in 0..19 {
+            assert!(!t.note_normal_execution(ActionUid(2), 20));
+        }
+        assert!(t.note_normal_execution(ActionUid(2), 20));
+        assert_eq!(t.state(ActionUid(2)), ActionState::Uncategorized);
+    }
+
+    #[test]
+    fn reset_counter_restarts_on_reentry() {
+        let mut t = StateTable::new();
+        t.transition(ActionUid(3), ActionState::Normal, "S-Checker");
+        for _ in 0..10 {
+            t.note_normal_execution(ActionUid(3), 20);
+        }
+        // Re-entering Normal (e.g. via Diagnoser) restarts the counter.
+        t.transition(ActionUid(3), ActionState::Suspicious, "S-Checker");
+        t.transition(ActionUid(3), ActionState::Normal, "Diagnoser");
+        for _ in 0..19 {
+            assert!(!t.note_normal_execution(ActionUid(3), 20));
+        }
+        assert!(t.note_normal_execution(ActionUid(3), 20));
+    }
+
+    #[test]
+    fn non_normal_actions_do_not_reset() {
+        let mut t = StateTable::new();
+        t.transition(ActionUid(4), ActionState::HangBug, "Diagnoser");
+        for _ in 0..100 {
+            assert!(!t.note_normal_execution(ActionUid(4), 20));
+        }
+        assert_eq!(t.state(ActionUid(4)), ActionState::HangBug);
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let mut t = StateTable::new();
+        t.transition(ActionUid(1), ActionState::HangBug, "Diagnoser");
+        t.transition(ActionUid(2), ActionState::Normal, "S-Checker");
+        for _ in 0..7 {
+            t.note_normal_execution(ActionUid(2), 20);
+        }
+        let exported = t.export();
+        let back = StateTable::import(&exported);
+        assert_eq!(back.state(ActionUid(1)), ActionState::HangBug);
+        assert_eq!(back.state(ActionUid(2)), ActionState::Normal);
+        // The reset counter survives: 13 more executions trigger reset.
+        let mut back = back;
+        for _ in 0..12 {
+            assert!(!back.note_normal_execution(ActionUid(2), 20));
+        }
+        assert!(back.note_normal_execution(ActionUid(2), 20));
+        // The transition log starts fresh after import.
+        assert_eq!(StateTable::import(&exported).transitions().len(), 0);
+    }
+
+    #[test]
+    fn in_state_lists_sorted() {
+        let mut t = StateTable::new();
+        t.transition(ActionUid(9), ActionState::Normal, "S-Checker");
+        t.transition(ActionUid(2), ActionState::Normal, "S-Checker");
+        assert_eq!(
+            t.in_state(ActionState::Normal),
+            vec![ActionUid(2), ActionUid(9)]
+        );
+        assert!(t.in_state(ActionState::HangBug).is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Sample collection for the correlation analysis.
+//!
+//! Training uses 10 well-known soft hang bugs (from the Table 5 apps,
+//! all detectable offline) and 11 UI-APIs; validation uses the 23
+//! previously unknown bugs (Section 3.3.1 / Table 6). Each labeled
+//! action is executed repeatedly in the lab; every execution that shows
+//! a soft hang contributes one sample of all 46 event differences.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hd_appmodel::corpus::{is_offline_missed, table5};
+use hd_appmodel::{build_run, App, CompiledApp, Schedule};
+use hd_perfmon::{CostModel, PerfSession};
+use hd_simrt::{
+    ActionInfo, ActionRecord, ActionUid, HwEvent, MessageInfo, Probe, ProbeCtx, SimConfig, SimTime,
+    MILLIS, NUM_EVENTS,
+};
+
+use crate::correlation::TrainingSample;
+
+/// One labeled action to collect samples from.
+#[derive(Clone, Debug)]
+pub struct LabeledAction {
+    /// The app containing the action.
+    pub app: App,
+    /// The action to execute.
+    pub action: ActionUid,
+    /// `true` = hangs of this action are soft hang bugs.
+    pub label: bool,
+    /// Human-readable name (for sample provenance).
+    pub name: String,
+}
+
+fn labeled(app: App, action_name: &str, label: bool) -> LabeledAction {
+    let action = app
+        .actions
+        .iter()
+        .find(|a| a.name == action_name)
+        .unwrap_or_else(|| panic!("{} has no action '{action_name}'", app.name))
+        .uid;
+    let name = format!("{}/{}", app.name, action_name);
+    LabeledAction {
+        app,
+        action,
+        label,
+        name,
+    }
+}
+
+/// The training set: 10 well-known bugs + 11 UI-API actions.
+pub fn training_set() -> Vec<LabeledAction> {
+    vec![
+        // 10 known soft hang bugs (offline-detectable).
+        labeled(table5::andstatus(), "scroll timeline", true),
+        labeled(table5::dashclock(), "save widget config", true),
+        labeled(table5::cyclestreets(), "open itinerary", true),
+        labeled(table5::owntracks(), "export config", true),
+        labeled(table5::stickercamera(), "open camera", true),
+        labeled(table5::stickercamera(), "edit photo", true),
+        labeled(table5::stickercamera(), "save sticker", true),
+        labeled(table5::antennapod(), "mark episode played", true),
+        labeled(table5::sagemath(), "open worksheet list", true),
+        labeled(table5::radiodroid(), "load playlist", true),
+        // 11 UI-API actions.
+        labeled(table5::k9mail(), "open folders", false),
+        labeled(table5::k9mail(), "open inbox", false),
+        labeled(table5::cyclestreets(), "pan map", false),
+        labeled(table5::cyclestreets(), "zoom map", false),
+        labeled(table5::andstatus(), "open timeline", false),
+        labeled(table5::omninotes(), "open editor", false),
+        labeled(table5::qksms(), "open conversation list", false),
+        labeled(table5::merchant(), "open catalog", false),
+        labeled(table5::skytube(), "browse channel", false),
+        labeled(table5::uoitdc(), "open booking form", false),
+        labeled(table5::gitosc(), "open commits", false),
+    ]
+}
+
+/// The validation set: every Table 5 bug missed by offline detection
+/// (the 23 previously unknown bugs), labeled via its containing action.
+pub fn validation_set() -> Vec<LabeledAction> {
+    let mut out = Vec::new();
+    for app in table5::apps() {
+        for bug in &app.bugs {
+            if !is_offline_missed(&app, bug) {
+                continue;
+            }
+            let action = app
+                .action(bug.action)
+                .expect("bug references existing action");
+            out.push(LabeledAction {
+                app: app.clone(),
+                action: action.uid,
+                label: true,
+                name: format!("{}/{}", app.name, bug.id),
+            });
+        }
+    }
+    out
+}
+
+struct Collector {
+    label: bool,
+    name: String,
+    timeout_ns: u64,
+    session: Option<PerfSession>,
+    had_hang: bool,
+    out: Rc<RefCell<Vec<TrainingSample>>>,
+}
+
+impl Probe for Collector {
+    fn on_action_begin(&mut self, ctx: &mut ProbeCtx<'_>, _info: &ActionInfo) {
+        // Counting all 46 events means 37 PMU events share 6 registers:
+        // the collected hardware events carry multiplexing error, exactly
+        // like a simpleperf collection on the LG V10 — this is why the
+        // exactly-counted kernel events end up most correlated (Table 3).
+        let threads = [ctx.main_tid(), ctx.render_tid()];
+        self.session = Some(PerfSession::start(
+            ctx,
+            &threads,
+            &HwEvent::ALL,
+            CostModel::default(),
+        ));
+        self.had_hang = false;
+    }
+
+    fn on_dispatch_end(&mut self, _ctx: &mut ProbeCtx<'_>, _info: &MessageInfo, response_ns: u64) {
+        if response_ns > self.timeout_ns {
+            self.had_hang = true;
+        }
+    }
+
+    fn on_action_end(&mut self, ctx: &mut ProbeCtx<'_>, _record: &ActionRecord) {
+        let Some(session) = self.session.take() else {
+            return;
+        };
+        if !self.had_hang {
+            return;
+        }
+        let main = ctx.main_tid();
+        let render = ctx.render_tid();
+        let mut diff = vec![0.0; NUM_EVENTS];
+        let mut main_only = vec![0.0; NUM_EVENTS];
+        for ev in HwEvent::ALL {
+            let dm = session.read(ctx, main, ev);
+            let dr = session.read(ctx, render, ev);
+            diff[ev.index()] = dm - dr;
+            main_only[ev.index()] = dm;
+        }
+        self.out.borrow_mut().push(TrainingSample {
+            label: self.label,
+            diff,
+            main_only,
+            source: self.name.clone(),
+        });
+    }
+}
+
+/// Executes each labeled action `executions` times and collects one
+/// sample per observed soft hang.
+pub fn collect_samples(set: &[LabeledAction], executions: usize, seed: u64) -> Vec<TrainingSample> {
+    let mut samples = Vec::new();
+    for (i, spec) in set.iter().enumerate() {
+        let compiled = CompiledApp::new(spec.app.clone());
+        let mut arrivals = Vec::with_capacity(executions);
+        let mut t = SimTime::from_ms(300);
+        for _ in 0..executions {
+            arrivals.push((t, spec.action));
+            t += 2_500 * MILLIS;
+        }
+        let schedule = Schedule { arrivals };
+        let mut run = build_run(
+            &compiled,
+            &schedule,
+            SimConfig::default(),
+            seed.wrapping_add(i as u64 * 7919),
+        );
+        let out = Rc::new(RefCell::new(Vec::new()));
+        run.sim.add_probe(Box::new(Collector {
+            label: spec.label,
+            name: spec.name.clone(),
+            timeout_ns: 100 * MILLIS,
+            session: None,
+            had_hang: false,
+            out: out.clone(),
+        }));
+        run.sim.run();
+        samples.extend(out.borrow().iter().cloned());
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::{rank_events, DiffMode};
+
+    #[test]
+    fn set_sizes_match_paper() {
+        let train = training_set();
+        assert_eq!(train.iter().filter(|s| s.label).count(), 10);
+        assert_eq!(train.iter().filter(|s| !s.label).count(), 11);
+        let valid = validation_set();
+        assert_eq!(valid.len(), 23, "validation = the 23 unknown bugs");
+        assert!(valid.iter().all(|s| s.label));
+    }
+
+    #[test]
+    fn training_and_validation_do_not_share_bugs() {
+        let train = training_set();
+        let valid = validation_set();
+        for v in &valid {
+            assert!(
+                !train.iter().any(|t| t.label && t.name == v.name),
+                "{} in both sets",
+                v.name
+            );
+        }
+    }
+
+    #[test]
+    fn collection_yields_labeled_hang_samples() {
+        // A small collection run: one bug action and one UI action.
+        let set = vec![
+            labeled(table5::k9mail(), "open email", true),
+            labeled(table5::k9mail(), "open folders", false),
+        ];
+        let samples = collect_samples(&set, 6, 42);
+        let bugs = samples.iter().filter(|s| s.label).count();
+        let uis = samples.iter().filter(|s| !s.label).count();
+        assert!(bugs >= 4, "bug samples {bugs}");
+        assert!(uis >= 4, "ui samples {uis}");
+        // Bug samples must show higher cs difference than UI samples on
+        // average.
+        let avg = |label: bool| {
+            let v: Vec<f64> = samples
+                .iter()
+                .filter(|s| s.label == label)
+                .map(|s| s.diff[HwEvent::ContextSwitches.index()])
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(true) > 0.0, "bug cs diff should be positive");
+        assert!(avg(false) < 0.0, "ui cs diff should be negative");
+    }
+
+    #[test]
+    fn full_training_ranking_matches_table3_shape() {
+        // Table 3: context-switches is the most correlated event and
+        // monitoring main+render beats monitoring only the main thread.
+        let samples = collect_samples(&training_set(), 6, 42);
+        assert!(samples.len() > 60, "only {} samples", samples.len());
+        let ranked = rank_events(&samples, DiffMode::MainMinusRender);
+        assert_eq!(
+            ranked[0].0,
+            HwEvent::ContextSwitches,
+            "top: {:?}",
+            &ranked[..5]
+        );
+        let ranked_main = rank_events(&samples, DiffMode::MainOnly);
+        let avg = |r: &[(HwEvent, f64)]| r.iter().take(10).map(|(_, c)| c).sum::<f64>() / 10.0;
+        assert!(
+            avg(&ranked) > avg(&ranked_main),
+            "diff avg {:.3} vs main-only avg {:.3}",
+            avg(&ranked),
+            avg(&ranked_main)
+        );
+    }
+}

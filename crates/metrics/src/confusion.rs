@@ -1,0 +1,267 @@
+//! Ground-truth scoring of detector output.
+//!
+//! Every action execution is classified from the sampled ground truth
+//! and the observed responses:
+//!
+//! * **BugHang** — a bug call blocked the main thread ≥ the perceivable
+//!   delay and the action indeed hung;
+//! * **UiHang** — the action hung but only UI work ran (flagging it is a
+//!   false positive);
+//! * **NoHang** — nothing perceivable happened.
+//!
+//! A detector's flagged executions are then counted into a
+//! [`Confusion`] matrix; per-bug roll-ups give the "bugs detected"
+//! numbers of Tables 2, 5 and 6.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use hd_appmodel::ExecTruth;
+use hd_simrt::{ActionRecord, ExecId, MILLIS};
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth class of one execution.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecClass {
+    /// A soft hang caused by the named bug.
+    BugHang(String),
+    /// A soft hang caused by UI work only.
+    UiHang,
+    /// No perceivable hang.
+    NoHang,
+}
+
+/// Confusion counts over flagged executions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Flagged bug-hangs.
+    pub tp: usize,
+    /// Flagged UI-hangs or hang-free executions.
+    pub fp: usize,
+    /// Unflagged bug-hangs.
+    pub fn_: usize,
+    /// Unflagged non-bug executions.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Recall over bug-hang occurrences.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// Precision over flagged occurrences.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+}
+
+/// The default perceivable-delay threshold (100 ms).
+pub const PERCEIVABLE_NS: u64 = 100 * MILLIS;
+
+/// Classifies one execution.
+pub fn classify(record: &ActionRecord, truth: &ExecTruth) -> ExecClass {
+    debug_assert_eq!(record.uid, truth.uid);
+    let hung = record.has_soft_hang(PERCEIVABLE_NS);
+    match truth.culprit(PERCEIVABLE_NS) {
+        Some(bug) if hung => ExecClass::BugHang(bug.to_string()),
+        _ if hung => ExecClass::UiHang,
+        _ => ExecClass::NoHang,
+    }
+}
+
+/// Classifies every completed execution (`truths[exec_id - 1]` layout).
+pub fn classify_all(records: &[ActionRecord], truths: &[ExecTruth]) -> Vec<(ExecId, ExecClass)> {
+    records
+        .iter()
+        .map(|r| {
+            let truth = &truths[(r.exec_id.0 - 1) as usize];
+            (r.exec_id, classify(r, truth))
+        })
+        .collect()
+}
+
+/// Scores a detector's flagged executions against ground truth.
+pub fn score(
+    records: &[ActionRecord],
+    truths: &[ExecTruth],
+    flagged: &HashSet<ExecId>,
+) -> Confusion {
+    let mut c = Confusion::default();
+    for (exec, class) in classify_all(records, truths) {
+        let hit = flagged.contains(&exec);
+        match (class, hit) {
+            (ExecClass::BugHang(_), true) => c.tp += 1,
+            (ExecClass::BugHang(_), false) => c.fn_ += 1,
+            (_, true) => c.fp += 1,
+            (_, false) => c.tn += 1,
+        }
+    }
+    c
+}
+
+/// Distinct ground-truth bugs among the flagged bug-hang executions.
+pub fn bugs_flagged(
+    records: &[ActionRecord],
+    truths: &[ExecTruth],
+    flagged: &HashSet<ExecId>,
+) -> BTreeSet<String> {
+    classify_all(records, truths)
+        .into_iter()
+        .filter(|(exec, _)| flagged.contains(exec))
+        .filter_map(|(_, class)| match class {
+            ExecClass::BugHang(bug) => Some(bug),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Distinct ground-truth bugs that manifested at least once.
+pub fn bugs_manifested(records: &[ActionRecord], truths: &[ExecTruth]) -> BTreeSet<String> {
+    classify_all(records, truths)
+        .into_iter()
+        .filter_map(|(_, class)| match class {
+            ExecClass::BugHang(bug) => Some(bug),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Distinct action names among flagged non-bug executions (the
+/// false-positive roll-up of Table 2).
+pub fn ui_actions_flagged(
+    records: &[ActionRecord],
+    truths: &[ExecTruth],
+    flagged: &HashSet<ExecId>,
+) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let by_exec: BTreeMap<ExecId, &ActionRecord> = records.iter().map(|r| (r.exec_id, r)).collect();
+    for (exec, class) in classify_all(records, truths) {
+        if !flagged.contains(&exec) {
+            continue;
+        }
+        if !matches!(class, ExecClass::BugHang(_)) {
+            names.insert(by_exec[&exec].name.clone());
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_simrt::{ActionUid, SimTime};
+
+    fn record(exec: u64, uid: u64, name: &str, resp_ms: u64) -> ActionRecord {
+        ActionRecord {
+            exec_id: ExecId(exec),
+            uid: ActionUid(uid),
+            name: name.into(),
+            posted: SimTime::ZERO,
+            began: SimTime::ZERO,
+            ended: SimTime::from_ms(resp_ms),
+            event_responses: vec![resp_ms * MILLIS],
+        }
+    }
+
+    fn truth(uid: u64, bug: Option<(&str, u64)>) -> ExecTruth {
+        ExecTruth {
+            uid: ActionUid(uid),
+            action_name: "a".into(),
+            bug_ns: bug
+                .map(|(id, ms)| vec![(id.to_string(), ms * MILLIS)])
+                .unwrap_or_default(),
+            other_main_ns: 0,
+        }
+    }
+
+    fn fixture() -> (Vec<ActionRecord>, Vec<ExecTruth>) {
+        let records = vec![
+            record(1, 0, "open", 400), // bug hang
+            record(2, 1, "view", 150), // ui hang
+            record(3, 2, "tap", 30),   // no hang
+            record(4, 0, "open", 350), // bug hang
+        ];
+        let truths = vec![
+            truth(0, Some(("b1", 300))),
+            truth(1, None),
+            truth(2, None),
+            truth(0, Some(("b2", 280))),
+        ];
+        (records, truths)
+    }
+
+    #[test]
+    fn classification_rules() {
+        let (records, truths) = fixture();
+        let classes = classify_all(&records, &truths);
+        assert_eq!(classes[0].1, ExecClass::BugHang("b1".into()));
+        assert_eq!(classes[1].1, ExecClass::UiHang);
+        assert_eq!(classes[2].1, ExecClass::NoHang);
+    }
+
+    #[test]
+    fn bug_below_threshold_with_hang_is_ui() {
+        // A 50 ms bug inside a 150 ms UI hang: the hang is not the bug's.
+        let records = vec![record(1, 0, "open", 150)];
+        let truths = vec![truth(0, Some(("tiny", 50)))];
+        assert_eq!(classify_all(&records, &truths)[0].1, ExecClass::UiHang);
+    }
+
+    #[test]
+    fn scoring_counts_all_quadrants() {
+        let (records, truths) = fixture();
+        let flagged: HashSet<ExecId> = [ExecId(1), ExecId(2)].into_iter().collect();
+        let c = score(&records, &truths, &flagged);
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                fn_: 1,
+                tn: 1
+            }
+        );
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bug_rollups() {
+        let (records, truths) = fixture();
+        assert_eq!(
+            bugs_manifested(&records, &truths),
+            ["b1".to_string(), "b2".to_string()].into_iter().collect()
+        );
+        let flagged: HashSet<ExecId> = [ExecId(4)].into_iter().collect();
+        assert_eq!(
+            bugs_flagged(&records, &truths, &flagged),
+            ["b2".to_string()].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn ui_rollup_names_actions() {
+        let (records, truths) = fixture();
+        let flagged: HashSet<ExecId> = [ExecId(2), ExecId(3)].into_iter().collect();
+        let names = ui_actions_flagged(&records, &truths, &flagged);
+        assert_eq!(
+            names,
+            ["view".to_string(), "tap".to_string()]
+                .into_iter()
+                .collect()
+        );
+    }
+
+    #[test]
+    fn empty_confusion_degenerates_gracefully() {
+        let c = Confusion::default();
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+    }
+}

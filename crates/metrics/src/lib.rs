@@ -1,0 +1,18 @@
+//! # hd-metrics — evaluation metrology
+//!
+//! Scoring machinery shared by every experiment: ground-truth
+//! classification of action executions and confusion counting
+//! ([`confusion`]), monitoring-overhead accounting per the paper's
+//! with/without methodology ([`overhead`]), and descriptive statistics
+//! ([`stats`]).
+
+pub mod confusion;
+pub mod overhead;
+pub mod stats;
+
+pub use confusion::{
+    bugs_flagged, bugs_manifested, classify, classify_all, score, ui_actions_flagged, Confusion,
+    ExecClass, PERCEIVABLE_NS,
+};
+pub use overhead::OverheadReport;
+pub use stats::{frac_above, mean, percentile, std_dev};

@@ -1,0 +1,72 @@
+//! Cost model for monitoring activity.
+//!
+//! Every observation a detector makes on a real phone costs CPU and
+//! memory; the paper's overhead comparison (Figure 8c) is entirely about
+//! these costs. All detectors in this reproduction — Hang Doctor and the
+//! baselines — use the same cost model so the comparison is apples to
+//! apples: what differs is *how often* each detector pays each cost.
+
+use serde::{Deserialize, Serialize};
+
+use hd_simrt::MICROS;
+
+/// Costs charged against the app process per monitoring operation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Starting/stopping a perf-event counting session (simpleperf
+    /// spawn + ioctl setup), per session.
+    pub session_start_ns: u64,
+    /// Reading one event counter of one thread.
+    pub counter_read_ns: u64,
+    /// Memory traffic of one counter read, in bytes.
+    pub counter_read_bytes: u64,
+    /// Collecting one main-thread stack trace (ptrace attach + unwind).
+    pub stack_sample_ns: u64,
+    /// Memory traffic of one stack sample, in bytes.
+    pub stack_sample_bytes: u64,
+    /// One resource-utilization poll (read of `/proc/<pid>/stat` + `io`).
+    pub util_poll_ns: u64,
+    /// Memory traffic of one utilization poll, in bytes.
+    pub util_poll_bytes: u64,
+    /// Reading the response time of one dispatched message (the
+    /// `setMessageLogging` hook body).
+    pub response_hook_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            session_start_ns: 150 * MICROS,
+            counter_read_ns: 25 * MICROS,
+            counter_read_bytes: 512,
+            stack_sample_ns: 900 * MICROS,
+            stack_sample_bytes: 24 * 1024,
+            util_poll_ns: 1_200 * MICROS,
+            util_poll_bytes: 6 * 1024,
+            response_hook_ns: 4 * MICROS,
+        }
+    }
+}
+
+/// Relative error scale of multiplexed PMU counters.
+///
+/// When more PMU events are enabled than registers exist, each event is
+/// counted only a fraction of the time and scaled up; the estimate's
+/// error grows as the duty cycle shrinks.
+pub const MULTIPLEX_NOISE: f64 = 0.8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_order_sensibly() {
+        let c = CostModel::default();
+        // A stack sample is far more expensive than a counter read,
+        // which is more expensive than the response hook.
+        assert!(c.stack_sample_ns > 10 * c.counter_read_ns);
+        assert!(c.counter_read_ns > c.response_hook_ns);
+        // A /proc poll costs more than a perf counter read.
+        assert!(c.util_poll_ns > c.counter_read_ns);
+    }
+}

@@ -1,0 +1,24 @@
+//! # hd-perfmon — simulated performance-event monitoring stack
+//!
+//! The observation layer between the simulated runtime (`hd-simrt`) and
+//! the detectors. It models what simpleperf and `/proc` give Hang Doctor
+//! on a real device:
+//!
+//! * [`PerfSession`] — start/stop counting of selected events on selected
+//!   threads, with exact kernel software events and PMU register
+//!   multiplexing (6 registers vs up to 37 hardware events);
+//! * [`StackSampler`] — periodic main-thread stack-trace collection for
+//!   the Diagnoser's Trace Collector;
+//! * [`ResourceUsage`] — coarse utilization polls for the UT baselines;
+//! * [`CostModel`] — the shared price list that makes overhead
+//!   comparisons across detectors meaningful (Figure 8c).
+
+pub mod config;
+pub mod sampler;
+pub mod session;
+pub mod usage;
+
+pub use config::{CostModel, MULTIPLEX_NOISE};
+pub use sampler::{StackSample, StackSampler};
+pub use session::PerfSession;
+pub use usage::ResourceUsage;

@@ -1,0 +1,309 @@
+//! Perf-event counting sessions (the simpleperf analog).
+//!
+//! Hang Doctor "exploits this executable to start and stop the monitoring
+//! of performance events during a user action" (Section 3.5). A
+//! [`PerfSession`] snapshots baselines at start and returns per-event
+//! deltas at read time. Kernel software events are exact; PMU events
+//! suffer register multiplexing when more are enabled than the 6
+//! available registers, modeled as a scaled estimate with noise
+//! proportional to the lost duty cycle.
+
+use std::collections::HashMap;
+
+use hd_simrt::{HwEvent, ProbeCtx, ThreadId, PMU_REGISTERS};
+
+use crate::config::{CostModel, MULTIPLEX_NOISE};
+
+/// An active counting session over a set of threads and events.
+#[derive(Clone, Debug)]
+pub struct PerfSession {
+    events: Vec<HwEvent>,
+    threads: Vec<ThreadId>,
+    baselines: HashMap<(ThreadId, HwEvent), f64>,
+    duty: f64,
+    costs: CostModel,
+}
+
+impl PerfSession {
+    /// Starts counting `events` on `threads`, charging the session-start
+    /// cost and snapshotting baselines.
+    pub fn start(
+        ctx: &mut ProbeCtx<'_>,
+        threads: &[ThreadId],
+        events: &[HwEvent],
+        costs: CostModel,
+    ) -> PerfSession {
+        ctx.charge_cpu(costs.session_start_ns);
+        let pmu_events = events.iter().filter(|e| e.is_pmu()).count();
+        let duty = if pmu_events <= PMU_REGISTERS {
+            1.0
+        } else {
+            PMU_REGISTERS as f64 / pmu_events as f64
+        };
+        let mut baselines = HashMap::new();
+        for &tid in threads {
+            for &ev in events {
+                baselines.insert((tid, ev), ctx.counter(tid, ev));
+            }
+        }
+        PerfSession {
+            events: events.to_vec(),
+            threads: threads.to_vec(),
+            baselines,
+            duty,
+            costs,
+        }
+    }
+
+    /// The multiplexing duty cycle of this session's PMU events.
+    pub fn duty(&self) -> f64 {
+        self.duty
+    }
+
+    /// The events this session counts.
+    pub fn events(&self) -> &[HwEvent] {
+        &self.events
+    }
+
+    /// The threads this session observes.
+    pub fn threads(&self) -> &[ThreadId] {
+        &self.threads
+    }
+
+    /// Reads the measured delta of `event` on `tid` since session start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(tid, event)` was not part of the session.
+    pub fn read(&self, ctx: &mut ProbeCtx<'_>, tid: ThreadId, event: HwEvent) -> f64 {
+        let base = *self
+            .baselines
+            .get(&(tid, event))
+            .expect("reading an event that was not enabled");
+        ctx.charge_cpu(self.costs.counter_read_ns);
+        ctx.charge_mem(self.costs.counter_read_bytes);
+        ctx.note_counter_read();
+        let truth = (ctx.counter(tid, event) - base).max(0.0);
+        if event.is_kernel() || self.duty >= 1.0 {
+            truth
+        } else {
+            // Scaled estimate: observed/duty, with error growing as the
+            // duty cycle shrinks (perf's "scaled from x%" behaviour).
+            let err = MULTIPLEX_NOISE * (1.0 - self.duty);
+            (truth * ctx.jitter(err)).max(0.0)
+        }
+    }
+
+    /// Reads the main-minus-render difference of `event`.
+    ///
+    /// This is the quantity the S-Checker thresholds: a positive value
+    /// means the main thread saw more of the event than the render
+    /// thread over the session window.
+    pub fn read_diff(
+        &self,
+        ctx: &mut ProbeCtx<'_>,
+        main: ThreadId,
+        render: ThreadId,
+        event: HwEvent,
+    ) -> f64 {
+        self.read(ctx, main, event) - self.read(ctx, render, event)
+    }
+
+    /// Reads every `(thread, event)` pair, in declaration order.
+    pub fn read_all(&self, ctx: &mut ProbeCtx<'_>) -> Vec<(ThreadId, HwEvent, f64)> {
+        let mut out = Vec::with_capacity(self.threads.len() * self.events.len());
+        for &tid in &self.threads {
+            for &ev in &self.events {
+                out.push((tid, ev, self.read(ctx, tid, ev)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use hd_simrt::{
+        ActionRequest, ActionUid, FrameTable, MemProfile, MessageInfo, Probe, SimConfig, SimTime,
+        Simulator, Step, MILLIS,
+    };
+
+    /// Runs one compute-heavy action with a probe that opens a session at
+    /// dispatch begin and reads it at dispatch end.
+    fn run_with_events(events: Vec<HwEvent>) -> Vec<(HwEvent, f64, f64)> {
+        struct P {
+            events: Vec<HwEvent>,
+            session: Option<PerfSession>,
+            out: Rc<RefCell<Vec<(HwEvent, f64, f64)>>>,
+        }
+        impl Probe for P {
+            fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, _info: &MessageInfo) {
+                let threads = [ctx.main_tid(), ctx.render_tid()];
+                self.session = Some(PerfSession::start(
+                    ctx,
+                    &threads,
+                    &self.events,
+                    CostModel::default(),
+                ));
+            }
+            fn on_dispatch_end(
+                &mut self,
+                ctx: &mut ProbeCtx<'_>,
+                _info: &MessageInfo,
+                _response_ns: u64,
+            ) {
+                let s = self.session.take().unwrap();
+                let main = ctx.main_tid();
+                let render = ctx.render_tid();
+                for &ev in s.events() {
+                    let m = s.read(ctx, main, ev);
+                    let r = s.read(ctx, render, ev);
+                    self.out.borrow_mut().push((ev, m, r));
+                }
+            }
+        }
+        let mut table = FrameTable::new();
+        let f = table.intern_new("app.Main.work", "Main.java", 1);
+        let mut sim = Simulator::new(SimConfig::default(), table);
+        let out = Rc::new(RefCell::new(Vec::new()));
+        sim.add_probe(Box::new(P {
+            events,
+            session: None,
+            out: out.clone(),
+        }));
+        sim.schedule_action(
+            SimTime::from_ms(1),
+            ActionRequest {
+                uid: ActionUid(1),
+                name: "work".into(),
+                events: vec![vec![
+                    Step::Push(f),
+                    Step::Cpu {
+                        ns: 200 * MILLIS,
+                        profile: MemProfile::compute(),
+                    },
+                    Step::Pop,
+                ]],
+            },
+        );
+        sim.run();
+        let reads = out.borrow().clone();
+        reads
+    }
+
+    #[test]
+    fn kernel_events_are_exact_deltas() {
+        let reads = run_with_events(vec![HwEvent::TaskClock]);
+        let (_, main, render) = reads[0];
+        // Main ran ~200ms of CPU during the window; render did nothing.
+        assert!(main >= 200.0 * MILLIS as f64, "main task-clock {main}");
+        assert!(main < 260.0 * MILLIS as f64, "main task-clock {main}");
+        assert_eq!(render, 0.0);
+    }
+
+    #[test]
+    fn small_pmu_sets_are_unscaled() {
+        let reads = run_with_events(vec![HwEvent::Instructions, HwEvent::CacheMisses]);
+        for (ev, main, _render) in reads {
+            assert!(main > 0.0, "{} should have counted", ev.name());
+        }
+    }
+
+    #[test]
+    fn oversubscribed_pmu_sets_lose_accuracy() {
+        // Two identical-seed runs, one with 3 PMU events, one with 20:
+        // the 3-event read of instructions is (nearly) the truth, the
+        // 20-event one deviates noticeably more.
+        let small = run_with_events(vec![
+            HwEvent::Instructions,
+            HwEvent::CacheMisses,
+            HwEvent::CacheReferences,
+        ]);
+        let big_events: Vec<HwEvent> = HwEvent::ALL
+            .iter()
+            .copied()
+            .filter(|e| e.is_pmu())
+            .take(20)
+            .collect();
+        let big = run_with_events(big_events);
+        let small_instr = small
+            .iter()
+            .find(|(e, _, _)| *e == HwEvent::Instructions)
+            .unwrap()
+            .1;
+        let big_instr = big
+            .iter()
+            .find(|(e, _, _)| *e == HwEvent::Instructions)
+            .unwrap()
+            .1;
+        // Both in the right ballpark...
+        assert!(small_instr > 0.0 && big_instr > 0.0);
+        // ...but the oversubscribed estimate differs from the small-set
+        // one by more than the small set's own jitter would explain.
+        let rel = (big_instr - small_instr).abs() / small_instr;
+        assert!(rel > 0.001, "rel deviation {rel}");
+    }
+
+    #[test]
+    fn duty_cycle_computation() {
+        // Only kernel events: no PMU pressure regardless of count.
+        let kernel: Vec<HwEvent> = HwEvent::ALL
+            .iter()
+            .copied()
+            .filter(|e| e.is_kernel())
+            .collect();
+        let reads = run_with_events(kernel.clone());
+        assert_eq!(reads.len(), kernel.len());
+    }
+
+    #[test]
+    fn reads_charge_costs() {
+        struct P;
+        impl Probe for P {
+            fn on_dispatch_end(
+                &mut self,
+                ctx: &mut ProbeCtx<'_>,
+                _info: &MessageInfo,
+                _response_ns: u64,
+            ) {
+                let threads = [ctx.main_tid()];
+                let s = PerfSession::start(
+                    ctx,
+                    &threads,
+                    &[HwEvent::ContextSwitches],
+                    CostModel::default(),
+                );
+                let _ = s.read(ctx, ctx.main_tid(), HwEvent::ContextSwitches);
+            }
+        }
+        let mut table = FrameTable::new();
+        let f = table.intern_new("a.B.c", "B.java", 1);
+        let mut sim = Simulator::new(SimConfig::default(), table);
+        sim.add_probe(Box::new(P));
+        sim.schedule_action(
+            SimTime::from_ms(1),
+            ActionRequest {
+                uid: ActionUid(1),
+                name: "t".into(),
+                events: vec![vec![
+                    Step::Push(f),
+                    Step::Cpu {
+                        ns: 5 * MILLIS,
+                        profile: MemProfile::ui(),
+                    },
+                    Step::Pop,
+                ]],
+            },
+        );
+        sim.run();
+        let cost = sim.monitor_cost();
+        let model = CostModel::default();
+        assert_eq!(cost.counter_reads, 1);
+        assert_eq!(cost.cpu_ns, model.session_start_ns + model.counter_read_ns);
+        assert_eq!(cost.mem_bytes, model.counter_read_bytes);
+    }
+}

@@ -1,0 +1,100 @@
+//! Coarse resource-utilization sampling (`/proc` analog).
+//!
+//! The utilization-based baselines (UT in the paper, after Pelleg et al.
+//! and Zhu et al.) periodically read the main thread's CPU time and
+//! memory traffic and compare them against static thresholds. This
+//! module provides that read, priced per the shared [`CostModel`].
+
+use hd_simrt::{HwEvent, ProbeCtx, ThreadId};
+use serde::{Deserialize, Serialize};
+
+use crate::config::CostModel;
+
+/// One utilization snapshot of a thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Accumulated CPU time, ns (from `/proc/<pid>/stat`).
+    pub cpu_ns: f64,
+    /// Accumulated memory accesses (traffic proxy, from `/proc/<pid>/io`).
+    pub mem_accesses: f64,
+    /// Accumulated page faults (memory-pressure proxy).
+    pub page_faults: f64,
+}
+
+impl ResourceUsage {
+    /// Samples the utilization counters of `tid`, charging the poll cost.
+    pub fn sample(ctx: &mut ProbeCtx<'_>, tid: ThreadId, costs: &CostModel) -> ResourceUsage {
+        ctx.charge_cpu(costs.util_poll_ns);
+        ctx.charge_mem(costs.util_poll_bytes);
+        ResourceUsage {
+            cpu_ns: ctx.counter(tid, HwEvent::TaskClock),
+            mem_accesses: ctx.counter(tid, HwEvent::RawMemAccess),
+            page_faults: ctx.counter(tid, HwEvent::PageFaults),
+        }
+    }
+
+    /// Returns the delta `self - earlier` (element-wise, clamped at 0).
+    pub fn since(&self, earlier: &ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            cpu_ns: (self.cpu_ns - earlier.cpu_ns).max(0.0),
+            mem_accesses: (self.mem_accesses - earlier.mem_accesses).max(0.0),
+            page_faults: (self.page_faults - earlier.page_faults).max(0.0),
+        }
+    }
+
+    /// CPU utilization over a window of `window_ns`.
+    pub fn cpu_utilization(&self, window_ns: u64) -> f64 {
+        if window_ns == 0 {
+            return 0.0;
+        }
+        self.cpu_ns / window_ns as f64
+    }
+
+    /// Page faults per millisecond over a window of `window_ns`.
+    pub fn fault_rate_per_ms(&self, window_ns: u64) -> f64 {
+        if window_ns == 0 {
+            return 0.0;
+        }
+        self.page_faults / (window_ns as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_clamps_negative() {
+        let a = ResourceUsage {
+            cpu_ns: 10.0,
+            mem_accesses: 5.0,
+            page_faults: 2.0,
+        };
+        let b = ResourceUsage {
+            cpu_ns: 4.0,
+            mem_accesses: 9.0,
+            page_faults: 7.0,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.cpu_ns, 0.0);
+        assert_eq!(d.mem_accesses, 4.0);
+        assert_eq!(d.page_faults, 5.0);
+        let d = a.since(&b);
+        assert_eq!(d.cpu_ns, 6.0);
+        assert_eq!(d.mem_accesses, 0.0);
+        assert_eq!(d.page_faults, 0.0);
+    }
+
+    #[test]
+    fn utilization_over_window() {
+        let u = ResourceUsage {
+            cpu_ns: 50.0,
+            mem_accesses: 0.0,
+            page_faults: 8.0,
+        };
+        assert!((u.cpu_utilization(100) - 0.5).abs() < 1e-12);
+        assert_eq!(u.cpu_utilization(0), 0.0);
+        assert!((u.fault_rate_per_ms(2_000_000) - 4.0).abs() < 1e-12);
+        assert_eq!(u.fault_rate_per_ms(0), 0.0);
+    }
+}

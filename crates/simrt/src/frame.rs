@@ -1,0 +1,153 @@
+//! Synthetic stack frames and the interning table.
+//!
+//! The Diagnoser's Trace Analyzer reasons about *which method of which
+//! class* was on the main thread's stack during a soft hang, and reports
+//! the file and line of the root cause. Frames are interned so a stack is
+//! just a `Vec<FrameId>` that can be copied cheaply at every sample.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an interned frame in a [`FrameTable`].
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct FrameId(pub u32);
+
+/// One synthetic stack frame: a method with its declaring class and
+/// source location.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Frame {
+    /// Fully qualified method, e.g. `android.hardware.Camera.open`.
+    pub symbol: String,
+    /// Declaring class, e.g. `android.hardware.Camera`.
+    pub class_name: String,
+    /// Source file, e.g. `Camera.java`.
+    pub file: String,
+    /// Line number within `file`.
+    pub line: u32,
+}
+
+impl Frame {
+    /// Builds a frame, deriving the class name from the symbol's prefix.
+    pub fn new(symbol: impl Into<String>, file: impl Into<String>, line: u32) -> Frame {
+        let symbol = symbol.into();
+        let class_name = symbol
+            .rsplit_once('.')
+            .map(|(class, _method)| class.to_string())
+            .unwrap_or_else(|| symbol.clone());
+        Frame {
+            symbol,
+            class_name,
+            file: file.into(),
+            line,
+        }
+    }
+
+    /// Returns just the method name (the last dotted component).
+    pub fn method(&self) -> &str {
+        self.symbol
+            .rsplit_once('.')
+            .map(|(_, m)| m)
+            .unwrap_or(&self.symbol)
+    }
+}
+
+/// Interning table mapping frames to dense [`FrameId`]s.
+#[derive(Clone, Debug, Default)]
+pub struct FrameTable {
+    frames: Vec<Frame>,
+    index: HashMap<Frame, FrameId>,
+}
+
+impl FrameTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `frame`, returning its id (existing or fresh).
+    pub fn intern(&mut self, frame: Frame) -> FrameId {
+        if let Some(&id) = self.index.get(&frame) {
+            return id;
+        }
+        let id = FrameId(self.frames.len() as u32);
+        self.frames.push(frame.clone());
+        self.index.insert(frame, id);
+        id
+    }
+
+    /// Convenience for [`FrameTable::intern`] with [`Frame::new`].
+    pub fn intern_new(&mut self, symbol: &str, file: &str, line: u32) -> FrameId {
+        self.intern(Frame::new(symbol, file, line))
+    }
+
+    /// Resolves an id back to its frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn get(&self, id: FrameId) -> &Frame {
+        &self.frames[id.0 as usize]
+    }
+
+    /// Returns the number of interned frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Returns whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Iterates over `(id, frame)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (FrameId, &Frame)> {
+        self.frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FrameId(i as u32), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_name_derivation() {
+        let f = Frame::new("android.hardware.Camera.open", "Camera.java", 120);
+        assert_eq!(f.class_name, "android.hardware.Camera");
+        assert_eq!(f.method(), "open");
+    }
+
+    #[test]
+    fn classless_symbol_is_its_own_class() {
+        let f = Frame::new("mainloop", "main.c", 1);
+        assert_eq!(f.class_name, "mainloop");
+        assert_eq!(f.method(), "mainloop");
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut t = FrameTable::new();
+        let a = t.intern_new("a.B.c", "B.java", 10);
+        let b = t.intern_new("a.B.c", "B.java", 10);
+        let c = t.intern_new("a.B.c", "B.java", 11);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a).symbol, "a.B.c");
+    }
+
+    #[test]
+    fn iteration_preserves_order() {
+        let mut t = FrameTable::new();
+        let ids: Vec<FrameId> = (0..5)
+            .map(|i| t.intern_new(&format!("pkg.C.m{i}"), "C.java", i))
+            .collect();
+        let seen: Vec<FrameId> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, seen);
+    }
+}

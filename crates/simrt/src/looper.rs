@@ -1,0 +1,173 @@
+//! Looper, messages, and user actions.
+//!
+//! A *user action* (tap, scroll, resume...) is delivered to the app as one
+//! or more *input events*; each input event is a message executed, in
+//! queue order, by the main thread. Mirroring Android's
+//! `Looper.setMessageLogging` hook, the simulator reports the dispatch
+//! begin/end of every message to the installed probes, which is exactly
+//! the information Hang Doctor's Response Time Monitor consumes.
+//!
+//! The *response time of an input event* is the interval from dequeue to
+//! completion; the *response time of an action* is the maximum over its
+//! input events (Section 2.2 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+use crate::work::Step;
+
+/// Stable identifier of a user action *kind* within an app, assigned by
+/// the App Injector (e.g. "open email", "scroll timeline").
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ActionUid(pub u64);
+
+/// Identifier of one *execution* of an action.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ExecId(pub u64);
+
+/// Metadata attached to each message so probes can attribute dispatches
+/// to actions.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageInfo {
+    /// Execution this message belongs to.
+    pub exec_id: ExecId,
+    /// Action kind.
+    pub action_uid: ActionUid,
+    /// Action name (for reports).
+    pub action_name: String,
+    /// Index of this input event within the action.
+    pub event_index: usize,
+    /// Total number of input events in the action.
+    pub num_events: usize,
+}
+
+impl MessageInfo {
+    /// Returns whether this is the action's last input event.
+    pub fn is_last(&self) -> bool {
+        self.event_index + 1 == self.num_events
+    }
+}
+
+/// One input-event message: metadata plus the compiled steps to run on
+/// the main thread.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Attribution metadata.
+    pub info: MessageInfo,
+    /// Steps executed on the main thread.
+    pub steps: Vec<Step>,
+}
+
+/// A user action as posted to the simulator.
+#[derive(Clone, Debug)]
+pub struct ActionRequest {
+    /// Action kind identifier (App Injector UID).
+    pub uid: ActionUid,
+    /// Action name.
+    pub name: String,
+    /// Compiled steps of each input event, in delivery order.
+    pub events: Vec<Vec<Step>>,
+}
+
+/// Summary of an action at its begin, handed to probes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ActionInfo {
+    /// Execution id.
+    pub exec_id: ExecId,
+    /// Action kind.
+    pub uid: ActionUid,
+    /// Action name.
+    pub name: String,
+    /// Number of input events.
+    pub num_events: usize,
+}
+
+/// Completed record of one action execution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ActionRecord {
+    /// Execution id.
+    pub exec_id: ExecId,
+    /// Action kind.
+    pub uid: ActionUid,
+    /// Action name.
+    pub name: String,
+    /// When the action was posted to the message queue.
+    pub posted: SimTime,
+    /// When the first input event was dequeued.
+    pub began: SimTime,
+    /// When the action ended (main and render idle, or next action
+    /// detected).
+    pub ended: SimTime,
+    /// Response time of each input event, in ns (dequeue to completion).
+    pub event_responses: Vec<u64>,
+}
+
+impl ActionRecord {
+    /// Returns the action's response time: the maximum input-event
+    /// response (paper, Section 2.2).
+    pub fn max_response_ns(&self) -> u64 {
+        self.event_responses.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Returns whether any input event exceeded `timeout_ns`.
+    pub fn has_soft_hang(&self, timeout_ns: u64) -> bool {
+        self.event_responses.iter().any(|&r| r > timeout_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(responses: Vec<u64>) -> ActionRecord {
+        ActionRecord {
+            exec_id: ExecId(1),
+            uid: ActionUid(7),
+            name: "open email".into(),
+            posted: SimTime::ZERO,
+            began: SimTime::from_ms(1),
+            ended: SimTime::from_ms(500),
+            event_responses: responses,
+        }
+    }
+
+    #[test]
+    fn max_response_is_max_over_events() {
+        let r = record(vec![40_000_000, 1_300_000_000, 90_000_000]);
+        assert_eq!(r.max_response_ns(), 1_300_000_000);
+    }
+
+    #[test]
+    fn empty_action_has_zero_response() {
+        assert_eq!(record(vec![]).max_response_ns(), 0);
+    }
+
+    #[test]
+    fn soft_hang_threshold_is_strict() {
+        let r = record(vec![100_000_000]);
+        assert!(!r.has_soft_hang(100_000_000));
+        let r = record(vec![100_000_001]);
+        assert!(r.has_soft_hang(100_000_000));
+    }
+
+    #[test]
+    fn is_last_flags_final_event() {
+        let info = MessageInfo {
+            exec_id: ExecId(0),
+            action_uid: ActionUid(0),
+            action_name: "a".into(),
+            event_index: 2,
+            num_events: 3,
+        };
+        assert!(info.is_last());
+        let info = MessageInfo {
+            event_index: 1,
+            ..info
+        };
+        assert!(!info.is_last());
+    }
+}

@@ -1,0 +1,92 @@
+//! Probe interface: how detectors observe the simulated runtime.
+//!
+//! A probe models code running *inside the app process* (Hang Doctor runs
+//! as "an additional, separate, and lightweight thread within the app").
+//! It receives Looper dispatch callbacks and timer callbacks, can read
+//! per-thread performance counters and the main thread's stack, and must
+//! charge the CPU/memory cost of everything it does through
+//! [`crate::simulator::ProbeCtx::charge_cpu`] /
+//! [`crate::simulator::ProbeCtx::charge_mem`] so that monitoring overhead
+//! can be measured exactly like the paper does.
+
+use serde::{Deserialize, Serialize};
+
+use crate::looper::{ActionInfo, ActionRecord, MessageInfo};
+use crate::simulator::ProbeCtx;
+
+/// Observer hooks into the simulated app runtime.
+///
+/// All methods default to no-ops so probes implement only what they need.
+#[allow(unused_variables)]
+pub trait Probe {
+    /// The first input event of an action was dequeued.
+    fn on_action_begin(&mut self, ctx: &mut ProbeCtx<'_>, info: &ActionInfo) {}
+
+    /// An input-event message was dequeued for execution on the main
+    /// thread (Looper `>>>>> Dispatching` analog).
+    fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo) {}
+
+    /// An input-event message finished executing (`<<<<< Finished`),
+    /// with its response time.
+    fn on_dispatch_end(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo, response_ns: u64) {}
+
+    /// The action ended: main and render threads went idle, or the next
+    /// action was detected.
+    fn on_action_end(&mut self, ctx: &mut ProbeCtx<'_>, record: &ActionRecord) {}
+
+    /// A timer previously armed with `set_timer` fired.
+    fn on_timer(&mut self, ctx: &mut ProbeCtx<'_>, token: u64) {}
+
+    /// The simulation drained all app work and is about to stop.
+    fn on_sim_end(&mut self, ctx: &mut ProbeCtx<'_>) {}
+}
+
+/// Accumulated cost of everything the probes did, charged against the
+/// app process to compute monitoring overhead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MonitorCost {
+    /// CPU time consumed by monitoring, in ns.
+    pub cpu_ns: u64,
+    /// Extra memory traffic caused by monitoring, in bytes.
+    pub mem_bytes: u64,
+    /// Number of counter reads performed.
+    pub counter_reads: u64,
+    /// Number of stack samples collected.
+    pub stack_samples: u64,
+    /// Number of timer callbacks delivered.
+    pub timer_fires: u64,
+}
+
+impl MonitorCost {
+    /// Merges another cost record into this one.
+    pub fn merge(&mut self, other: &MonitorCost) {
+        self.cpu_ns += other.cpu_ns;
+        self.mem_bytes += other.mem_bytes;
+        self.counter_reads += other.counter_reads;
+        self.stack_samples += other.stack_samples;
+        self.timer_fires += other.timer_fires;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MonitorCost {
+            cpu_ns: 10,
+            mem_bytes: 20,
+            counter_reads: 1,
+            stack_samples: 2,
+            timer_fires: 3,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.cpu_ns, 20);
+        assert_eq!(a.mem_bytes, 40);
+        assert_eq!(a.counter_reads, 2);
+        assert_eq!(a.stack_samples, 4);
+        assert_eq!(a.timer_fires, 6);
+    }
+}

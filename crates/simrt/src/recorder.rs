@@ -1,0 +1,241 @@
+//! Execution timeline recording.
+//!
+//! [`TimelineRecorder`] is a passive probe that captures every dispatch
+//! and action as a time span — the raw material of the paper's execution
+//! traces (Figures 1, 6(a), 7). It charges no monitoring cost: it is an
+//! analysis convenience of the reproduction, not a modeled detector.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::looper::{ActionRecord, ActionUid, ExecId, MessageInfo};
+use crate::probe::Probe;
+use crate::simulator::ProbeCtx;
+use crate::time::{SimTime, MILLIS};
+
+/// One input-event dispatch on the main thread.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DispatchSpan {
+    /// Execution the dispatch belongs to.
+    pub exec_id: ExecId,
+    /// Action kind.
+    pub uid: ActionUid,
+    /// Action name.
+    pub action_name: String,
+    /// Input-event index.
+    pub event_index: usize,
+    /// Dequeue time.
+    pub began: SimTime,
+    /// Completion time.
+    pub ended: SimTime,
+}
+
+impl DispatchSpan {
+    /// The event's response time, ns.
+    pub fn response_ns(&self) -> u64 {
+        self.ended - self.began
+    }
+
+    /// Whether this dispatch is a soft hang at the given threshold.
+    pub fn is_hang(&self, timeout_ns: u64) -> bool {
+        self.response_ns() > timeout_ns
+    }
+}
+
+/// The recorded timeline of one run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    /// All dispatches, in completion order.
+    pub dispatches: Vec<DispatchSpan>,
+    /// All completed actions.
+    pub actions: Vec<ActionRecord>,
+}
+
+impl Timeline {
+    /// Dispatches that hung at the 100 ms perceivable threshold.
+    pub fn hangs(&self) -> Vec<&DispatchSpan> {
+        self.dispatches
+            .iter()
+            .filter(|d| d.is_hang(100 * MILLIS))
+            .collect()
+    }
+
+    /// Renders an ASCII Gantt of the dispatches, `width` columns wide.
+    ///
+    /// Hanging dispatches render as `#`, responsive ones as `=`.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let Some(first) = self.dispatches.first() else {
+            return String::from("(empty timeline)\n");
+        };
+        let start = first.began;
+        let end = self
+            .dispatches
+            .iter()
+            .map(|d| d.ended)
+            .max()
+            .unwrap_or(start);
+        let total = (end - start).max(1);
+        let col = |t: SimTime| -> usize {
+            ((t - start) as u128 * (width.max(2) as u128 - 1) / total as u128) as usize
+        };
+        let mut out = String::new();
+        for d in &self.dispatches {
+            let (a, b) = (col(d.began), col(d.ended).max(col(d.began) + 1));
+            let mut lane = vec![b' '; width];
+            let glyph = if d.is_hang(100 * MILLIS) { b'#' } else { b'=' };
+            for cell in lane.iter_mut().take(b.min(width)).skip(a) {
+                *cell = glyph;
+            }
+            out.push_str(&format!(
+                "{:<22} |{}| {:>6.0} ms\n",
+                format!("{}[{}]", d.action_name, d.event_index),
+                String::from_utf8_lossy(&lane),
+                d.response_ns() as f64 / 1e6,
+            ));
+        }
+        out
+    }
+}
+
+/// The recording probe; clone the handle before installing.
+pub struct TimelineRecorder {
+    open: Option<(MessageInfo, SimTime)>,
+    out: Rc<RefCell<Timeline>>,
+}
+
+impl TimelineRecorder {
+    /// Creates a recorder and the shared handle to its timeline.
+    pub fn new() -> (TimelineRecorder, Rc<RefCell<Timeline>>) {
+        let out = Rc::new(RefCell::new(Timeline::default()));
+        (
+            TimelineRecorder {
+                open: None,
+                out: out.clone(),
+            },
+            out,
+        )
+    }
+}
+
+impl Probe for TimelineRecorder {
+    fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo) {
+        self.open = Some((info.clone(), ctx.now()));
+    }
+
+    fn on_dispatch_end(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo, _response_ns: u64) {
+        if let Some((open_info, began)) = self.open.take() {
+            debug_assert_eq!(open_info.exec_id, info.exec_id);
+            self.out.borrow_mut().dispatches.push(DispatchSpan {
+                exec_id: info.exec_id,
+                uid: info.action_uid,
+                action_name: info.action_name.clone(),
+                event_index: info.event_index,
+                began,
+                ended: ctx.now(),
+            });
+        }
+    }
+
+    fn on_action_end(&mut self, _ctx: &mut ProbeCtx<'_>, record: &ActionRecord) {
+        self.out.borrow_mut().actions.push(record.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameTable;
+    use crate::looper::ActionRequest;
+    use crate::simulator::{SimConfig, Simulator};
+    use crate::work::{MemProfile, Step};
+
+    fn run_recorded() -> Timeline {
+        let mut table = FrameTable::new();
+        let f = table.intern_new("a.B.c", "B.java", 1);
+        let mut sim = Simulator::new(SimConfig::default(), table);
+        let (rec, out) = TimelineRecorder::new();
+        sim.add_probe(Box::new(rec));
+        sim.schedule_action(
+            SimTime::from_ms(5),
+            ActionRequest {
+                uid: ActionUid(1),
+                name: "two-event".into(),
+                events: vec![
+                    vec![
+                        Step::Push(f),
+                        Step::Cpu {
+                            ns: 180 * MILLIS,
+                            profile: MemProfile::compute(),
+                        },
+                        Step::Pop,
+                    ],
+                    vec![
+                        Step::Push(f),
+                        Step::Cpu {
+                            ns: 20 * MILLIS,
+                            profile: MemProfile::ui(),
+                        },
+                        Step::Pop,
+                    ],
+                ],
+            },
+        );
+        sim.run();
+        let t = out.borrow().clone();
+        t
+    }
+
+    #[test]
+    fn records_every_dispatch_with_correct_spans() {
+        let t = run_recorded();
+        assert_eq!(t.dispatches.len(), 2);
+        assert_eq!(t.actions.len(), 1);
+        let first = &t.dispatches[0];
+        assert!(first.is_hang(100 * MILLIS));
+        assert!(first.response_ns() >= 180 * MILLIS);
+        let second = &t.dispatches[1];
+        assert!(!second.is_hang(100 * MILLIS));
+        // The second dispatch starts after the first ends.
+        assert!(second.began >= first.ended);
+        assert_eq!(t.hangs().len(), 1);
+    }
+
+    #[test]
+    fn recorder_charges_no_monitoring_cost() {
+        let mut table = FrameTable::new();
+        let f = table.intern_new("a.B.c", "B.java", 1);
+        let mut sim = Simulator::new(SimConfig::default(), table);
+        let (rec, _out) = TimelineRecorder::new();
+        sim.add_probe(Box::new(rec));
+        sim.schedule_action(
+            SimTime::from_ms(1),
+            ActionRequest {
+                uid: ActionUid(1),
+                name: "t".into(),
+                events: vec![vec![
+                    Step::Push(f),
+                    Step::Cpu {
+                        ns: 10 * MILLIS,
+                        profile: MemProfile::ui(),
+                    },
+                    Step::Pop,
+                ]],
+            },
+        );
+        sim.run();
+        assert_eq!(sim.monitor_cost().cpu_ns, 0);
+    }
+
+    #[test]
+    fn ascii_rendering_marks_hangs() {
+        let t = run_recorded();
+        let art = t.render_ascii(40);
+        assert!(art.contains('#'), "{art}");
+        assert!(art.contains('='), "{art}");
+        assert!(art.contains("two-event[0]"));
+        let empty = Timeline::default();
+        assert_eq!(empty.render_ascii(40), "(empty timeline)\n");
+    }
+}

@@ -1,0 +1,161 @@
+//! Seeded randomness for the simulation.
+//!
+//! Every stochastic decision in the simulator flows through [`SimRng`], a
+//! thin wrapper over [`rand::rngs::StdRng`] that adds the handful of
+//! distributions the runtime model needs (jitter factors, approximate
+//! normals). Seeding the simulator therefore fixes the entire run.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic random source used throughout the simulation.
+#[derive(Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator from this one.
+    ///
+    /// Used to give each app/user trace its own stream so that adding a
+    /// probe or extra sampling does not perturb unrelated draws.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.inner.random::<u64>())
+    }
+
+    /// Returns a uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Returns a uniform integer in `[lo, hi]`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.random_range(lo..=hi)
+    }
+
+    /// Returns a multiplicative jitter factor in `[1 - j, 1 + j]`.
+    ///
+    /// `j` is clamped to `[0, 0.95]` so the factor stays positive.
+    pub fn jitter(&mut self, j: f64) -> f64 {
+        let j = j.clamp(0.0, 0.95);
+        self.uniform_f64(1.0 - j, 1.0 + j)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.inner.random::<f64>() < p
+    }
+
+    /// Draws an approximately normal sample via the Box-Muller transform.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        // Box-Muller: two independent uniforms to one normal deviate.
+        let u1: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.inner.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Draws a positive log-normal-ish factor with the given spread.
+    pub fn lognormal_factor(&mut self, sigma: f64) -> f64 {
+        self.normal(0.0, sigma).exp()
+    }
+
+    /// Returns a uniformly chosen index below `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.inner.random_range(0..len)
+    }
+
+    /// Returns a raw 64-bit draw (for deriving sub-seeds).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(8);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = rng.jitter(0.2);
+            assert!((0.8..=1.2).contains(&f), "jitter {f} out of band");
+        }
+    }
+
+    #[test]
+    fn jitter_clamps_extreme_spread() {
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(rng.jitter(5.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SimRng::seed_from_u64(5);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 4);
+    }
+}

@@ -1,0 +1,1434 @@
+//! The discrete-event simulator: scheduler, event queue, and probe seam.
+//!
+//! One [`Simulator`] hosts a single app process (main + render + worker
+//! threads) plus per-core pinned system threads that model the rest of
+//! the device. User actions are scheduled onto the timeline, executed on
+//! the main thread in message-queue order, and observed by installed
+//! [`Probe`]s exactly the way Hang Doctor observes a real app: dispatch
+//! begin/end hooks, per-thread performance counters, stack samples, and
+//! timers.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::counters::HwEvent;
+use crate::frame::{Frame, FrameId, FrameTable};
+use crate::looper::{
+    ActionInfo, ActionRecord, ActionRequest, ActionUid, ExecId, Message, MessageInfo,
+};
+use crate::probe::{MonitorCost, Probe};
+use crate::rng::SimRng;
+use crate::thread::{
+    ExecState, SimThread, ThreadId, ThreadKind, ThreadState, WorkItem, WorkSource,
+};
+use crate::time::{SimTime, MICROS, MILLIS, SECONDS};
+use crate::work::{MemProfile, Step};
+
+/// Static configuration of a simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Seed for the run's random stream.
+    pub seed: u64,
+    /// Number of CPU cores.
+    pub cores: usize,
+    /// Round-robin timeslice.
+    pub timeslice_ns: u64,
+    /// Nominal wake period of each per-core system thread.
+    pub system_period_ns: u64,
+    /// Nominal CPU burst of each system wake.
+    pub system_burst_ns: u64,
+    /// Number of background worker threads in the app.
+    pub workers: usize,
+    /// Hard horizon: the run stops (truncated) past this time.
+    pub max_sim_ns: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 42,
+            cores: 2,
+            timeslice_ns: 10 * MILLIS,
+            system_period_ns: 6 * MILLIS,
+            system_burst_ns: 350 * MICROS,
+            workers: 2,
+            max_sim_ns: 48 * 3600 * SECONDS,
+        }
+    }
+}
+
+/// Result of [`Simulator::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Simulated time when the run stopped.
+    pub ended_at: SimTime,
+    /// Whether the hard horizon truncated the run.
+    pub truncated: bool,
+    /// Number of completed action executions.
+    pub actions_completed: usize,
+}
+
+/// Priorities: workers < main/render < system.
+const PRIO_WORKER: u8 = 1;
+const PRIO_APP: u8 = 2;
+const PRIO_SYSTEM: u8 = 3;
+const NUM_PRIOS: usize = 4;
+
+#[derive(Debug)]
+enum Ev {
+    /// A running thread's segment-or-slice boundary on `core`.
+    Core { core: usize, gen: u64 },
+    /// Wake a blocked thread (I/O done or system-pulse period).
+    Wake { tid: usize },
+    /// A user action arrives at the message queue.
+    Arrive(ActionRequest),
+    /// A probe timer fires.
+    ProbeTimer { probe: usize, token: u64 },
+}
+
+struct QEntry {
+    at: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed so the BinaryHeap pops the earliest (time, seq) first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct CoreSlot {
+    running: Option<usize>,
+    gen: u64,
+    slice_end: SimTime,
+    accrue_from: SimTime,
+}
+
+#[derive(Debug)]
+struct ActiveAction {
+    exec_id: ExecId,
+    uid: ActionUid,
+    name: String,
+    posted: SimTime,
+    began: Option<SimTime>,
+    responses: Vec<u64>,
+    num_events: usize,
+    events_done: usize,
+    finished_main: Option<SimTime>,
+}
+
+#[derive(Debug)]
+enum Notice {
+    ActionBegin(ActionInfo),
+    DispatchBegin(MessageInfo),
+    DispatchEnd(MessageInfo, u64),
+    ActionEnd(ActionRecord),
+    Timer { probe: usize, token: u64 },
+}
+
+pub(crate) struct World {
+    cfg: SimConfig,
+    now: SimTime,
+    queue: BinaryHeap<QEntry>,
+    seq: u64,
+    threads: Vec<SimThread>,
+    ready: [VecDeque<usize>; NUM_PRIOS],
+    cores: Vec<CoreSlot>,
+    main_q: VecDeque<Message>,
+    render_q: VecDeque<u64>,
+    worker_q: VecDeque<Vec<Step>>,
+    actions: VecDeque<ActiveAction>,
+    frames: FrameTable,
+    rng: SimRng,
+    monitor: MonitorCost,
+    records: Vec<ActionRecord>,
+    notices: Vec<Notice>,
+    pending_arrivals: usize,
+    pending_probe_timers: usize,
+    next_exec: u64,
+    main_tid: usize,
+    render_tid: usize,
+    worker_tids: Vec<usize>,
+}
+
+impl World {
+    fn new(cfg: SimConfig, frames: FrameTable) -> World {
+        let mut threads = Vec::new();
+        let main_tid = threads.len();
+        threads.push(SimThread::new(
+            ThreadId(main_tid),
+            "main",
+            ThreadKind::Main,
+            PRIO_APP,
+            WorkSource::MainLooper,
+        ));
+        let render_tid = threads.len();
+        threads.push(SimThread::new(
+            ThreadId(render_tid),
+            "RenderThread",
+            ThreadKind::Render,
+            PRIO_APP,
+            WorkSource::RenderQueue,
+        ));
+        let mut worker_tids = Vec::new();
+        for i in 0..cfg.workers {
+            let tid = threads.len();
+            worker_tids.push(tid);
+            threads.push(SimThread::new(
+                ThreadId(tid),
+                format!("AsyncTask #{}", i + 1),
+                ThreadKind::Worker,
+                PRIO_WORKER,
+                WorkSource::WorkerQueue,
+            ));
+        }
+        let mut world = World {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            threads,
+            ready: Default::default(),
+            cores: vec![CoreSlot::default(); cfg.cores],
+            main_q: VecDeque::new(),
+            render_q: VecDeque::new(),
+            worker_q: VecDeque::new(),
+            actions: VecDeque::new(),
+            frames,
+            rng: SimRng::seed_from_u64(cfg.seed),
+            monitor: MonitorCost::default(),
+            records: Vec::new(),
+            notices: Vec::new(),
+            pending_arrivals: 0,
+            pending_probe_timers: 0,
+            next_exec: 0,
+            main_tid,
+            render_tid,
+            worker_tids,
+            cfg,
+        };
+        // One pinned system thread per core, with staggered first wakes,
+        // models device background activity (IRQ/kworker style).
+        for core in 0..world.cfg.cores {
+            let tid = world.threads.len();
+            let mut t = SimThread::new(
+                ThreadId(tid),
+                format!("kworker/{core}"),
+                ThreadKind::System,
+                PRIO_SYSTEM,
+                WorkSource::Pulse {
+                    period_ns: world.cfg.system_period_ns,
+                    jitter: 0.45,
+                    burst_ns: world.cfg.system_burst_ns,
+                    profile: MemProfile::system(),
+                },
+            );
+            t.affinity = Some(core);
+            t.state = ThreadState::Blocked;
+            world.threads.push(t);
+            let offset = world.rng.uniform_u64(0, world.cfg.system_period_ns.max(1));
+            world.push_ev(SimTime(offset), Ev::Wake { tid });
+        }
+        world
+    }
+
+    fn push_ev(&mut self, at: SimTime, ev: Ev) {
+        let at = at.max(self.now);
+        self.seq += 1;
+        self.queue.push(QEntry {
+            at,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    fn app_quiet(&self) -> bool {
+        if self.pending_arrivals > 0 || self.pending_probe_timers > 0 {
+            return false;
+        }
+        if !self.actions.is_empty()
+            || !self.main_q.is_empty()
+            || !self.render_q.is_empty()
+            || !self.worker_q.is_empty()
+        {
+            return false;
+        }
+        self.threads
+            .iter()
+            .filter(|t| t.is_app())
+            .all(|t| t.exec.is_none() && t.state == ThreadState::Waiting)
+    }
+
+    // ---- scheduling primitives ------------------------------------------
+
+    fn prio(&self, tid: usize) -> u8 {
+        self.threads[tid].priority
+    }
+
+    fn allowed(&self, tid: usize, core: usize) -> bool {
+        match self.threads[tid].affinity {
+            Some(c) => c == core,
+            None => true,
+        }
+    }
+
+    fn make_ready(&mut self, tid: usize) {
+        debug_assert!(!matches!(
+            self.threads[tid].state,
+            ThreadState::Running { .. }
+        ));
+        self.threads[tid].state = ThreadState::Ready;
+        let p = self.prio(tid) as usize;
+        self.ready[p].push_back(tid);
+    }
+
+    /// Accrues CPU time of the thread running on `core` up to `self.now`.
+    fn accrue_running(&mut self, core: usize) {
+        let Some(tid) = self.cores[core].running else {
+            return;
+        };
+        let elapsed = self.now - self.cores[core].accrue_from;
+        self.cores[core].accrue_from = self.now;
+        if elapsed == 0 {
+            return;
+        }
+        let th = &mut self.threads[tid];
+        let exec = th.exec.as_mut().expect("running thread has no exec");
+        match exec.steps.front_mut() {
+            Some(Step::Cpu { ns, profile }) => {
+                let profile = *profile;
+                *ns = ns.saturating_sub(elapsed);
+                profile.accrue(&mut th.counters, elapsed, &mut self.rng);
+            }
+            other => panic!("running thread front step is {other:?}, not Cpu"),
+        }
+    }
+
+    fn accrue_all_running(&mut self) {
+        for core in 0..self.cores.len() {
+            self.accrue_running(core);
+        }
+    }
+
+    /// Takes the thread off its core (if running), optionally counting a
+    /// context switch. The caller sets the new state.
+    fn off_cpu(&mut self, tid: usize, count_cs: bool) {
+        if let ThreadState::Running { core } = self.threads[tid].state {
+            self.accrue_running(core);
+            self.cores[core].running = None;
+            self.cores[core].gen += 1;
+            self.threads[tid].last_core = Some(core);
+        }
+        if count_cs {
+            self.threads[tid]
+                .counters
+                .add(HwEvent::ContextSwitches, 1.0);
+        }
+    }
+
+    fn find_free_core(&self, tid: usize) -> Option<usize> {
+        (0..self.cores.len()).find(|&c| self.cores[c].running.is_none() && self.allowed(tid, c))
+    }
+
+    fn find_victim_core(&self, tid: usize) -> Option<usize> {
+        let p = self.prio(tid);
+        (0..self.cores.len())
+            .filter(|&c| self.allowed(tid, c))
+            .filter_map(|c| self.cores[c].running.map(|v| (c, self.prio(v))))
+            .filter(|&(_, vp)| vp < p)
+            .min_by_key(|&(_, vp)| vp)
+            .map(|(c, _)| c)
+    }
+
+    fn preempt(&mut self, core: usize) {
+        let victim = self.cores[core].running.expect("preempting an empty core");
+        self.off_cpu(victim, true);
+        self.threads[victim].state = ThreadState::Ready;
+        let p = self.prio(victim) as usize;
+        self.ready[p].push_back(victim);
+    }
+
+    fn start_run(&mut self, tid: usize, core: usize) {
+        debug_assert!(self.cores[core].running.is_none());
+        let th = &mut self.threads[tid];
+        if let Some(last) = th.last_core {
+            if last != core {
+                th.counters.add(HwEvent::CpuMigrations, 1.0);
+            }
+        }
+        th.state = ThreadState::Running { core };
+        th.last_core = Some(core);
+        let remaining = match th.exec.as_ref().and_then(|e| e.steps.front()) {
+            Some(Step::Cpu { ns, .. }) => *ns,
+            other => panic!("scheduling thread whose front step is {other:?}"),
+        };
+        let slot = &mut self.cores[core];
+        slot.running = Some(tid);
+        slot.gen += 1;
+        slot.slice_end = self.now + self.cfg.timeslice_ns;
+        slot.accrue_from = self.now;
+        let gen = slot.gen;
+        let boundary = (self.now + remaining).min(slot.slice_end);
+        self.push_ev(boundary, Ev::Core { core, gen });
+    }
+
+    fn schedule(&mut self) {
+        loop {
+            let mut placed = false;
+            'prio: for p in (0..NUM_PRIOS).rev() {
+                for k in 0..self.ready[p].len() {
+                    let tid = self.ready[p][k];
+                    if let Some(core) = self.find_free_core(tid) {
+                        self.ready[p].remove(k);
+                        self.start_run(tid, core);
+                        placed = true;
+                        break 'prio;
+                    }
+                    if let Some(core) = self.find_victim_core(tid) {
+                        self.ready[p].remove(k);
+                        self.preempt(core);
+                        self.start_run(tid, core);
+                        placed = true;
+                        break 'prio;
+                    }
+                }
+            }
+            if !placed {
+                return;
+            }
+        }
+    }
+
+    /// Returns whether a ready thread with priority >= `p` could run on
+    /// `core` (used to decide if an expired slice forces a requeue).
+    fn contention_for(&self, core: usize, p: u8) -> bool {
+        (p as usize..NUM_PRIOS).any(|q| self.ready[q].iter().any(|&tid| self.allowed(tid, core)))
+    }
+
+    // ---- work-item execution --------------------------------------------
+
+    fn block_thread(&mut self, tid: usize, ns: u64) {
+        let was_running = matches!(self.threads[tid].state, ThreadState::Running { .. });
+        self.off_cpu(tid, true);
+        if !was_running {
+            // The thread blocked without holding a core (e.g. first step
+            // of a message is I/O); it still context-switched once.
+            debug_assert!(!matches!(
+                self.threads[tid].state,
+                ThreadState::Running { .. }
+            ));
+        }
+        self.threads[tid].state = ThreadState::Blocked;
+        self.push_ev(self.now + ns, Ev::Wake { tid });
+    }
+
+    fn go_idle(&mut self, tid: usize) {
+        let was_running = matches!(self.threads[tid].state, ThreadState::Running { .. });
+        self.off_cpu(tid, was_running);
+        self.threads[tid].state = ThreadState::Waiting;
+    }
+
+    /// Wakes an idle queue-fed thread so it notices newly posted work.
+    fn nudge(&mut self, tid: usize) {
+        if self.threads[tid].state == ThreadState::Waiting && self.threads[tid].exec.is_none() {
+            self.advance_thread(tid);
+        }
+    }
+
+    fn begin_message(&mut self, tid: usize, msg: Message) {
+        // A dispatch for a newer action force-ends any earlier action that
+        // already finished its main-thread work ("a new action is
+        // detected").
+        while let Some(front) = self.actions.front() {
+            if front.exec_id == msg.info.exec_id {
+                break;
+            }
+            debug_assert!(
+                front.finished_main.is_some(),
+                "messages of action {:?} dispatched before {:?} finished",
+                msg.info.exec_id,
+                front.exec_id
+            );
+            self.end_front_action();
+        }
+        let act = self
+            .actions
+            .front_mut()
+            .expect("message without active action");
+        if act.began.is_none() {
+            act.began = Some(self.now);
+            self.notices.push(Notice::ActionBegin(ActionInfo {
+                exec_id: act.exec_id,
+                uid: act.uid,
+                name: act.name.clone(),
+                num_events: act.num_events,
+            }));
+        }
+        self.notices.push(Notice::DispatchBegin(msg.info.clone()));
+        self.threads[tid].exec = Some(ExecState::new(
+            msg.steps,
+            WorkItem::Message(msg.info),
+            self.now,
+        ));
+    }
+
+    fn end_front_action(&mut self) {
+        let act = self.actions.pop_front().expect("no action to end");
+        let record = ActionRecord {
+            exec_id: act.exec_id,
+            uid: act.uid,
+            name: act.name,
+            posted: act.posted,
+            began: act.began.unwrap_or(act.posted),
+            ended: self.now,
+            event_responses: act.responses,
+        };
+        self.records.push(record.clone());
+        self.notices.push(Notice::ActionEnd(record));
+    }
+
+    fn render_idle(&self) -> bool {
+        self.render_q.is_empty() && self.threads[self.render_tid].exec.is_none()
+    }
+
+    fn main_idle(&self) -> bool {
+        self.main_q.is_empty() && self.threads[self.main_tid].exec.is_none()
+    }
+
+    fn check_quiesce(&mut self) {
+        while let Some(front) = self.actions.front() {
+            if front.finished_main.is_some() && self.render_idle() && self.main_idle() {
+                self.end_front_action();
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Finishes the thread's current item (bookkeeping + notices) and
+    /// clears `exec`.
+    fn complete_item(&mut self, tid: usize) {
+        let exec = self.threads[tid].exec.take().expect("no item to complete");
+        match exec.item {
+            WorkItem::Message(info) => {
+                let response = self.now - exec.began;
+                let act = self
+                    .actions
+                    .front_mut()
+                    .expect("message completion without action");
+                debug_assert_eq!(act.exec_id, info.exec_id);
+                act.responses.push(response);
+                act.events_done += 1;
+                if act.events_done == act.num_events {
+                    act.finished_main = Some(self.now);
+                }
+                self.notices.push(Notice::DispatchEnd(info, response));
+            }
+            WorkItem::RenderFrame | WorkItem::WorkerTask | WorkItem::SystemBurst => {}
+        }
+    }
+
+    /// Pulls the thread's next work item from its source. Returns `true`
+    /// if an item was assigned (so stepping can continue) or `false`
+    /// after parking the thread.
+    fn pull_next_item(&mut self, tid: usize) -> bool {
+        let source = self.threads[tid].source.clone();
+        match source {
+            WorkSource::MainLooper => {
+                if let Some(msg) = self.main_q.pop_front() {
+                    self.begin_message(tid, msg);
+                    true
+                } else {
+                    self.go_idle(tid);
+                    self.check_quiesce();
+                    false
+                }
+            }
+            WorkSource::RenderQueue => {
+                if let Some(frame_ns) = self.render_q.pop_front() {
+                    self.threads[tid].exec = Some(ExecState::new(
+                        vec![Step::Cpu {
+                            ns: frame_ns,
+                            profile: MemProfile::render(),
+                        }],
+                        WorkItem::RenderFrame,
+                        self.now,
+                    ));
+                    true
+                } else {
+                    self.go_idle(tid);
+                    self.check_quiesce();
+                    false
+                }
+            }
+            WorkSource::WorkerQueue => {
+                if let Some(steps) = self.worker_q.pop_front() {
+                    self.threads[tid].exec =
+                        Some(ExecState::new(steps, WorkItem::WorkerTask, self.now));
+                    true
+                } else {
+                    self.go_idle(tid);
+                    false
+                }
+            }
+            WorkSource::Pulse {
+                period_ns, jitter, ..
+            } => {
+                let was_running = matches!(self.threads[tid].state, ThreadState::Running { .. });
+                self.off_cpu(tid, was_running);
+                self.threads[tid].state = ThreadState::Blocked;
+                let period = (period_ns as f64 * self.rng.jitter(jitter)) as u64;
+                self.push_ev(self.now + period.max(1), Ev::Wake { tid });
+                false
+            }
+        }
+    }
+
+    /// Drives a thread through instantaneous steps until it needs the
+    /// CPU, blocks, or parks.
+    fn advance_thread(&mut self, tid: usize) {
+        enum Ctl {
+            Again,
+            Pull,
+            Complete,
+            NeedCpu,
+            Block(u64),
+            Render { frames: u32, frame_ns: u64 },
+            Worker(Vec<Step>),
+        }
+        loop {
+            let ctl = {
+                let th = &mut self.threads[tid];
+                match th.exec.as_mut() {
+                    None => Ctl::Pull,
+                    Some(exec) => match exec.steps.pop_front() {
+                        None => Ctl::Complete,
+                        Some(Step::Push(f)) => {
+                            exec.stack.push(f);
+                            Ctl::Again
+                        }
+                        Some(Step::Pop) => {
+                            exec.stack.pop();
+                            Ctl::Again
+                        }
+                        Some(Step::Cpu { ns: 0, .. }) => Ctl::Again,
+                        Some(step @ Step::Cpu { .. }) => {
+                            exec.steps.push_front(step);
+                            Ctl::NeedCpu
+                        }
+                        Some(Step::Io { ns }) => Ctl::Block(ns),
+                        Some(Step::NetIo { ns, bytes }) => {
+                            th.net_bytes += bytes;
+                            Ctl::Block(ns)
+                        }
+                        Some(Step::PostRender { frames, frame_ns }) => {
+                            Ctl::Render { frames, frame_ns }
+                        }
+                        Some(Step::PostWorker(steps)) => Ctl::Worker(steps),
+                    },
+                }
+            };
+            match ctl {
+                Ctl::Again => {}
+                Ctl::Pull => {
+                    if !self.pull_next_item(tid) {
+                        return;
+                    }
+                }
+                Ctl::Complete => self.complete_item(tid),
+                Ctl::NeedCpu => {
+                    if !matches!(self.threads[tid].state, ThreadState::Running { .. })
+                        && self.threads[tid].state != ThreadState::Ready
+                    {
+                        self.make_ready(tid);
+                    }
+                    return;
+                }
+                Ctl::Block(ns) => {
+                    self.block_thread(tid, ns);
+                    return;
+                }
+                Ctl::Render { frames, frame_ns } => {
+                    for _ in 0..frames {
+                        self.render_q.push_back(frame_ns);
+                    }
+                    let render = self.render_tid;
+                    self.nudge(render);
+                }
+                Ctl::Worker(steps) => {
+                    self.worker_q.push_back(steps);
+                    if let Some(&w) = self
+                        .worker_tids
+                        .clone()
+                        .iter()
+                        .find(|&&w| self.threads[w].state == ThreadState::Waiting)
+                    {
+                        self.nudge(w);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- event handlers --------------------------------------------------
+
+    fn handle_core(&mut self, core: usize, gen: u64) {
+        if self.cores[core].gen != gen {
+            return;
+        }
+        let tid = self.cores[core].running.expect("core event without thread");
+        self.accrue_running(core);
+        let finished = matches!(
+            self.threads[tid]
+                .exec
+                .as_ref()
+                .and_then(|e| e.steps.front()),
+            Some(Step::Cpu { ns: 0, .. })
+        );
+        if finished {
+            self.advance_thread(tid);
+        }
+        if let ThreadState::Running { core: c } = self.threads[tid].state {
+            debug_assert_eq!(c, core);
+            let p = self.prio(tid);
+            let slot = self.cores[core];
+            let remaining = match self.threads[tid]
+                .exec
+                .as_ref()
+                .and_then(|e| e.steps.front())
+            {
+                Some(Step::Cpu { ns, .. }) => *ns,
+                other => panic!("running thread front step is {other:?}"),
+            };
+            if self.now >= slot.slice_end && self.contention_for(core, p) {
+                self.off_cpu(tid, true);
+                self.threads[tid].state = ThreadState::Ready;
+                self.ready[p as usize].push_back(tid);
+                self.schedule();
+            } else {
+                let slot = &mut self.cores[core];
+                if self.now >= slot.slice_end {
+                    slot.slice_end = self.now + self.cfg.timeslice_ns;
+                }
+                let slice_end = slot.slice_end;
+                let gen = slot.gen;
+                let boundary = (self.now + remaining).min(slice_end);
+                self.push_ev(boundary, Ev::Core { core, gen });
+            }
+        } else {
+            self.schedule();
+        }
+    }
+
+    fn handle_wake(&mut self, tid: usize) {
+        if self.threads[tid].exec.is_none()
+            && matches!(self.threads[tid].source, WorkSource::Pulse { .. })
+        {
+            let (burst_ns, profile) = match &self.threads[tid].source {
+                WorkSource::Pulse {
+                    burst_ns, profile, ..
+                } => (*burst_ns, *profile),
+                _ => unreachable!(),
+            };
+            let ns = (burst_ns as f64 * self.rng.jitter(0.5)) as u64;
+            self.threads[tid].exec = Some(ExecState::new(
+                vec![Step::Cpu {
+                    ns: ns.max(1),
+                    profile,
+                }],
+                WorkItem::SystemBurst,
+                self.now,
+            ));
+        }
+        self.advance_thread(tid);
+        self.schedule();
+    }
+
+    fn handle_arrive(&mut self, req: ActionRequest) {
+        self.pending_arrivals -= 1;
+        self.next_exec += 1;
+        let exec_id = ExecId(self.next_exec);
+        let num_events = req.events.len();
+        self.actions.push_back(ActiveAction {
+            exec_id,
+            uid: req.uid,
+            name: req.name.clone(),
+            posted: self.now,
+            began: None,
+            responses: Vec::new(),
+            num_events,
+            events_done: 0,
+            finished_main: None,
+        });
+        for (i, steps) in req.events.into_iter().enumerate() {
+            self.main_q.push_back(Message {
+                info: MessageInfo {
+                    exec_id,
+                    action_uid: req.uid,
+                    action_name: req.name.clone(),
+                    event_index: i,
+                    num_events,
+                },
+                steps,
+            });
+        }
+        if num_events == 0 {
+            // Degenerate action: record it as instantly complete.
+            let act = self.actions.back_mut().unwrap();
+            act.began = Some(self.now);
+            act.finished_main = Some(self.now);
+            self.check_quiesce();
+            return;
+        }
+        let main = self.main_tid;
+        self.nudge(main);
+        self.schedule();
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Core { core, gen } => self.handle_core(core, gen),
+            Ev::Wake { tid } => self.handle_wake(tid),
+            Ev::Arrive(req) => self.handle_arrive(req),
+            Ev::ProbeTimer { probe, token } => {
+                self.pending_probe_timers -= 1;
+                self.monitor.timer_fires += 1;
+                self.notices.push(Notice::Timer { probe, token });
+            }
+        }
+    }
+}
+
+/// Per-callback access handed to [`Probe`]s.
+pub struct ProbeCtx<'a> {
+    world: &'a mut World,
+    probe_idx: usize,
+}
+
+impl ProbeCtx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// The app's main thread.
+    pub fn main_tid(&self) -> ThreadId {
+        ThreadId(self.world.main_tid)
+    }
+
+    /// The app's render thread.
+    pub fn render_tid(&self) -> ThreadId {
+        ThreadId(self.world.render_tid)
+    }
+
+    /// The app's background worker threads.
+    pub fn worker_tids(&self) -> Vec<ThreadId> {
+        self.world
+            .worker_tids
+            .iter()
+            .map(|&t| ThreadId(t))
+            .collect()
+    }
+
+    /// Reads the ground-truth accumulated count of `event` on `tid`.
+    ///
+    /// Monitoring layers (e.g. the simpleperf analog in `hd-perfmon`)
+    /// add read cost and multiplexing error on top of this.
+    pub fn counter(&mut self, tid: ThreadId, event: HwEvent) -> f64 {
+        self.world.accrue_all_running();
+        self.world.threads[tid.0].counters.get(event)
+    }
+
+    /// Bytes `tid` has transferred over the network so far (the
+    /// `/proc/uid_stat` analog used by the network-on-main extension).
+    pub fn net_bytes(&self, tid: ThreadId) -> u64 {
+        self.world.threads[tid.0].net_bytes
+    }
+
+    /// Snapshot of the main thread's current call stack.
+    pub fn main_stack(&self) -> Vec<FrameId> {
+        self.world.threads[self.world.main_tid].stack().to_vec()
+    }
+
+    /// Resolves a frame id.
+    pub fn frame(&self, id: FrameId) -> &Frame {
+        self.world.frames.get(id)
+    }
+
+    /// Arms a one-shot timer for this probe at absolute time `at`.
+    pub fn set_timer(&mut self, at: SimTime, token: u64) {
+        self.world.pending_probe_timers += 1;
+        let probe = self.probe_idx;
+        self.world.push_ev(at, Ev::ProbeTimer { probe, token });
+    }
+
+    /// Charges monitoring CPU cost against the app.
+    pub fn charge_cpu(&mut self, ns: u64) {
+        self.world.monitor.cpu_ns += ns;
+    }
+
+    /// Charges monitoring memory traffic against the app.
+    pub fn charge_mem(&mut self, bytes: u64) {
+        self.world.monitor.mem_bytes += bytes;
+    }
+
+    /// Notes one performance-counter read (for overhead bookkeeping).
+    pub fn note_counter_read(&mut self) {
+        self.world.monitor.counter_reads += 1;
+    }
+
+    /// Notes one collected stack sample (for overhead bookkeeping).
+    pub fn note_stack_sample(&mut self) {
+        self.world.monitor.stack_samples += 1;
+    }
+
+    /// Deterministic per-run jitter for monitoring-cost models.
+    pub fn jitter(&mut self, j: f64) -> f64 {
+        self.world.rng.jitter(j)
+    }
+}
+
+/// The simulator: a [`World`] plus installed probes.
+pub struct Simulator {
+    world: World,
+    probes: Vec<Box<dyn Probe>>,
+    ran: bool,
+}
+
+impl Simulator {
+    /// Creates a simulator hosting one app process.
+    ///
+    /// `frames` is the interned frame table produced when the app model
+    /// was compiled; probes resolve stack samples against it.
+    pub fn new(cfg: SimConfig, frames: FrameTable) -> Simulator {
+        Simulator {
+            world: World::new(cfg, frames),
+            probes: Vec::new(),
+            ran: false,
+        }
+    }
+
+    /// Installs a probe; returns its index (timer callbacks are routed
+    /// per probe).
+    pub fn add_probe(&mut self, probe: Box<dyn Probe>) -> usize {
+        self.probes.push(probe);
+        self.probes.len() - 1
+    }
+
+    /// Schedules a user action to arrive at `at`.
+    pub fn schedule_action(&mut self, at: SimTime, req: ActionRequest) {
+        self.world.pending_arrivals += 1;
+        self.world.push_ev(at, Ev::Arrive(req));
+    }
+
+    /// Runs until all app work (and probe timers) drain, or the horizon
+    /// is hit.
+    pub fn run(&mut self) -> RunSummary {
+        debug_assert!(!self.ran, "Simulator::run called twice");
+        self.ran = true;
+        let mut truncated = false;
+        loop {
+            if self.world.app_quiet() {
+                break;
+            }
+            let Some(entry) = self.world.queue.pop() else {
+                break;
+            };
+            debug_assert!(entry.at >= self.world.now, "time went backwards");
+            self.world.now = entry.at;
+            if self.world.now.as_ns() > self.world.cfg.max_sim_ns {
+                truncated = true;
+                break;
+            }
+            self.world.handle(entry.ev);
+            self.drain_notices();
+        }
+        for i in 0..self.probes.len() {
+            let mut ctx = ProbeCtx {
+                world: &mut self.world,
+                probe_idx: i,
+            };
+            self.probes[i].on_sim_end(&mut ctx);
+        }
+        RunSummary {
+            ended_at: self.world.now,
+            truncated,
+            actions_completed: self.world.records.len(),
+        }
+    }
+
+    fn drain_notices(&mut self) {
+        while !self.world.notices.is_empty() {
+            let batch: Vec<Notice> = std::mem::take(&mut self.world.notices);
+            for notice in batch {
+                match notice {
+                    Notice::ActionBegin(info) => {
+                        for i in 0..self.probes.len() {
+                            let mut ctx = ProbeCtx {
+                                world: &mut self.world,
+                                probe_idx: i,
+                            };
+                            self.probes[i].on_action_begin(&mut ctx, &info);
+                        }
+                    }
+                    Notice::DispatchBegin(info) => {
+                        for i in 0..self.probes.len() {
+                            let mut ctx = ProbeCtx {
+                                world: &mut self.world,
+                                probe_idx: i,
+                            };
+                            self.probes[i].on_dispatch_begin(&mut ctx, &info);
+                        }
+                    }
+                    Notice::DispatchEnd(info, response) => {
+                        for i in 0..self.probes.len() {
+                            let mut ctx = ProbeCtx {
+                                world: &mut self.world,
+                                probe_idx: i,
+                            };
+                            self.probes[i].on_dispatch_end(&mut ctx, &info, response);
+                        }
+                    }
+                    Notice::ActionEnd(record) => {
+                        for i in 0..self.probes.len() {
+                            let mut ctx = ProbeCtx {
+                                world: &mut self.world,
+                                probe_idx: i,
+                            };
+                            self.probes[i].on_action_end(&mut ctx, &record);
+                        }
+                    }
+                    Notice::Timer { probe, token } => {
+                        let mut ctx = ProbeCtx {
+                            world: &mut self.world,
+                            probe_idx: probe,
+                        };
+                        self.probes[probe].on_timer(&mut ctx, token);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Completed action records, in completion order.
+    pub fn records(&self) -> &[ActionRecord] {
+        &self.world.records
+    }
+
+    /// Accumulated monitoring cost of all probes.
+    pub fn monitor_cost(&self) -> MonitorCost {
+        self.world.monitor
+    }
+
+    /// The interned frame table.
+    pub fn frame_table(&self) -> &FrameTable {
+        &self.world.frames
+    }
+
+    /// Reads the final ground-truth count of `event` on `tid`.
+    pub fn thread_counter(&self, tid: ThreadId, event: HwEvent) -> f64 {
+        self.world.threads[tid.0].counters.get(event)
+    }
+
+    /// The app's main thread id.
+    pub fn main_tid(&self) -> ThreadId {
+        ThreadId(self.world.main_tid)
+    }
+
+    /// The app's render thread id.
+    pub fn render_tid(&self) -> ThreadId {
+        ThreadId(self.world.render_tid)
+    }
+
+    /// Total CPU time consumed by app threads, in ns.
+    pub fn app_cpu_ns(&self) -> u64 {
+        self.world
+            .threads
+            .iter()
+            .filter(|t| t.is_app())
+            .map(|t| t.counters.get(HwEvent::TaskClock))
+            .sum::<f64>() as u64
+    }
+
+    /// Total memory accesses issued by app threads (traffic proxy).
+    pub fn app_mem_accesses(&self) -> f64 {
+        self.world
+            .threads
+            .iter()
+            .filter(|t| t.is_app())
+            .map(|t| t.counters.get(HwEvent::RawMemAccess))
+            .sum()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::looper::ActionUid;
+    use crate::work::nominal_duration;
+
+    fn ui_event(table: &mut FrameTable, cpu_ms: u64, frames: u32) -> Vec<Step> {
+        let handler = table.intern_new("app.Main.onClick", "Main.java", 40);
+        let api = table.intern_new("android.view.View.setText", "View.java", 10);
+        vec![
+            Step::Push(handler),
+            Step::Push(api),
+            Step::Cpu {
+                ns: cpu_ms * MILLIS,
+                profile: MemProfile::ui(),
+            },
+            Step::PostRender {
+                frames,
+                frame_ns: 4 * MILLIS,
+            },
+            Step::Pop,
+            Step::Pop,
+        ]
+    }
+
+    fn io_event(table: &mut FrameTable, io_ms: u64) -> Vec<Step> {
+        let handler = table.intern_new("app.Main.onResume", "Main.java", 80);
+        let api = table.intern_new("android.hardware.Camera.open", "Camera.java", 120);
+        vec![
+            Step::Push(handler),
+            Step::Push(api),
+            Step::Cpu {
+                ns: MILLIS,
+                profile: MemProfile::io_stub(),
+            },
+            Step::Io { ns: io_ms * MILLIS },
+            Step::Pop,
+            Step::Pop,
+        ]
+    }
+
+    fn one_action_sim(events: Vec<Vec<Step>>, table: FrameTable) -> Simulator {
+        let mut sim = Simulator::new(SimConfig::default(), table);
+        sim.schedule_action(
+            SimTime::from_ms(10),
+            ActionRequest {
+                uid: ActionUid(1),
+                name: "tap".into(),
+                events,
+            },
+        );
+        sim
+    }
+
+    #[test]
+    fn single_ui_action_completes_with_plausible_response() {
+        let mut table = FrameTable::new();
+        let ev = ui_event(&mut table, 30, 5);
+        let (cpu, io) = nominal_duration(&ev);
+        assert_eq!(cpu, 30 * MILLIS);
+        assert_eq!(io, 0);
+        let mut sim = one_action_sim(vec![ev], table);
+        let summary = sim.run();
+        assert!(!summary.truncated);
+        assert_eq!(summary.actions_completed, 1);
+        let rec = &sim.records()[0];
+        // Response covers the CPU work plus some preemption dilation.
+        let resp = rec.max_response_ns();
+        assert!(resp >= 30 * MILLIS, "resp={resp}");
+        assert!(resp < 90 * MILLIS, "resp={resp}");
+        // The action ends only after the render thread drains its frames.
+        assert!(rec.ended.as_ns() >= rec.began.as_ns() + resp);
+    }
+
+    #[test]
+    fn io_block_counts_context_switch_and_extends_response() {
+        let mut table = FrameTable::new();
+        let ev = io_event(&mut table, 250);
+        let mut sim = one_action_sim(vec![ev], table);
+        sim.run();
+        let rec = &sim.records()[0];
+        assert!(rec.max_response_ns() >= 251 * MILLIS);
+        let cs = sim.thread_counter(sim.main_tid(), HwEvent::ContextSwitches);
+        assert!(cs >= 1.0, "main cs = {cs}");
+        // Render thread did nothing.
+        assert_eq!(
+            sim.thread_counter(sim.render_tid(), HwEvent::TaskClock),
+            0.0
+        );
+    }
+
+    #[test]
+    fn render_work_accrues_on_render_thread() {
+        let mut table = FrameTable::new();
+        let ev = ui_event(&mut table, 10, 20);
+        let mut sim = one_action_sim(vec![ev], table);
+        sim.run();
+        let render_clock = sim.thread_counter(sim.render_tid(), HwEvent::TaskClock);
+        assert!(
+            (render_clock - (20.0 * 4.0 * MILLIS as f64)).abs() < 1e-6,
+            "render task-clock = {render_clock}"
+        );
+        let main_clock = sim.thread_counter(sim.main_tid(), HwEvent::TaskClock);
+        assert!(render_clock > main_clock);
+    }
+
+    #[test]
+    fn heavy_main_work_accumulates_context_switches() {
+        let mut table = FrameTable::new();
+        let handler = table.intern_new("app.Main.compute", "Main.java", 5);
+        let ev = vec![
+            Step::Push(handler),
+            Step::Cpu {
+                ns: 400 * MILLIS,
+                profile: MemProfile::compute(),
+            },
+            Step::Pop,
+        ];
+        let mut sim = one_action_sim(vec![ev], table);
+        sim.run();
+        let cs = sim.thread_counter(sim.main_tid(), HwEvent::ContextSwitches);
+        // Pinned system threads preempt roughly every few ms of runtime.
+        assert!(cs > 40.0, "main cs = {cs}");
+    }
+
+    #[test]
+    fn responses_measured_per_event_from_dequeue() {
+        let mut table = FrameTable::new();
+        let e0 = ui_event(&mut table, 50, 2);
+        let e1 = ui_event(&mut table, 5, 1);
+        let mut sim = one_action_sim(vec![e0, e1], table);
+        sim.run();
+        let rec = &sim.records()[0];
+        assert_eq!(rec.event_responses.len(), 2);
+        // Event 1 waits for event 0 but its response starts at dequeue,
+        // so it stays short.
+        assert!(rec.event_responses[0] > rec.event_responses[1]);
+        assert!(rec.event_responses[1] < 20 * MILLIS);
+    }
+
+    #[test]
+    fn worker_offload_keeps_main_responsive() {
+        let mut table = FrameTable::new();
+        let handler = table.intern_new("app.Main.onResume", "Main.java", 80);
+        let cam = table.intern_new("android.hardware.Camera.open", "Camera.java", 120);
+        let ev = vec![
+            Step::Push(handler),
+            Step::PostWorker(vec![
+                Step::Push(cam),
+                Step::Io { ns: 250 * MILLIS },
+                Step::Pop,
+            ]),
+            Step::Cpu {
+                ns: 20 * MILLIS,
+                profile: MemProfile::ui(),
+            },
+            Step::PostRender {
+                frames: 4,
+                frame_ns: 4 * MILLIS,
+            },
+            Step::Pop,
+        ];
+        let mut sim = one_action_sim(vec![ev], table);
+        sim.run();
+        let rec = &sim.records()[0];
+        assert!(
+            rec.max_response_ns() < 100 * MILLIS,
+            "resp = {}",
+            rec.max_response_ns()
+        );
+    }
+
+    #[test]
+    fn dispatch_probe_sees_begin_and_end() {
+        #[derive(Default)]
+        struct Recorder {
+            begins: usize,
+            ends: usize,
+            last_response: u64,
+            action_begins: usize,
+            action_ends: usize,
+        }
+        // Shared handle so we can inspect after the run.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct P(Rc<RefCell<Recorder>>);
+        impl Probe for P {
+            fn on_action_begin(&mut self, _ctx: &mut ProbeCtx<'_>, _info: &ActionInfo) {
+                self.0.borrow_mut().action_begins += 1;
+            }
+            fn on_dispatch_begin(&mut self, _ctx: &mut ProbeCtx<'_>, _info: &MessageInfo) {
+                self.0.borrow_mut().begins += 1;
+            }
+            fn on_dispatch_end(
+                &mut self,
+                _ctx: &mut ProbeCtx<'_>,
+                _info: &MessageInfo,
+                response_ns: u64,
+            ) {
+                let mut r = self.0.borrow_mut();
+                r.ends += 1;
+                r.last_response = response_ns;
+            }
+            fn on_action_end(&mut self, _ctx: &mut ProbeCtx<'_>, _record: &ActionRecord) {
+                self.0.borrow_mut().action_ends += 1;
+            }
+        }
+        let mut table = FrameTable::new();
+        let ev0 = ui_event(&mut table, 10, 1);
+        let ev1 = ui_event(&mut table, 10, 1);
+        let shared = Rc::new(RefCell::new(Recorder::default()));
+        let mut sim = one_action_sim(vec![ev0, ev1], table);
+        sim.add_probe(Box::new(P(shared.clone())));
+        sim.run();
+        let r = shared.borrow();
+        assert_eq!(r.begins, 2);
+        assert_eq!(r.ends, 2);
+        assert_eq!(r.action_begins, 1);
+        assert_eq!(r.action_ends, 1);
+        assert!(r.last_response >= 10 * MILLIS);
+    }
+
+    #[test]
+    fn probe_timer_fires_and_reads_stack() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct Sampler {
+            fired: Rc<RefCell<Vec<usize>>>,
+        }
+        impl Probe for Sampler {
+            fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, _info: &MessageInfo) {
+                let at = ctx.now() + 5 * MILLIS;
+                ctx.set_timer(at, 7);
+            }
+            fn on_timer(&mut self, ctx: &mut ProbeCtx<'_>, token: u64) {
+                assert_eq!(token, 7);
+                self.fired.borrow_mut().push(ctx.main_stack().len());
+            }
+        }
+        let mut table = FrameTable::new();
+        let ev = ui_event(&mut table, 30, 1);
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = one_action_sim(vec![ev], table);
+        sim.add_probe(Box::new(Sampler {
+            fired: fired.clone(),
+        }));
+        sim.run();
+        let fired = fired.borrow();
+        assert_eq!(fired.len(), 1);
+        // Mid-dispatch the stack holds the handler and the API frame.
+        assert_eq!(fired[0], 2);
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_same_seed() {
+        let build = || {
+            let mut table = FrameTable::new();
+            let ev = io_event(&mut table, 100);
+            let ev2 = ui_event(&mut table, 25, 8);
+            let mut sim = Simulator::new(SimConfig::default(), table);
+            sim.schedule_action(
+                SimTime::from_ms(5),
+                ActionRequest {
+                    uid: ActionUid(1),
+                    name: "a".into(),
+                    events: vec![ev],
+                },
+            );
+            sim.schedule_action(
+                SimTime::from_ms(600),
+                ActionRequest {
+                    uid: ActionUid(2),
+                    name: "b".into(),
+                    events: vec![ev2],
+                },
+            );
+            sim.run();
+            (
+                sim.records()
+                    .iter()
+                    .map(|r| r.max_response_ns())
+                    .collect::<Vec<_>>(),
+                sim.thread_counter(sim.main_tid(), HwEvent::Instructions),
+            )
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn back_to_back_actions_force_end_previous() {
+        let mut table = FrameTable::new();
+        let ev0 = ui_event(&mut table, 20, 30);
+        let ev1 = ui_event(&mut table, 5, 1);
+        let mut sim = Simulator::new(SimConfig::default(), table);
+        sim.schedule_action(
+            SimTime::from_ms(1),
+            ActionRequest {
+                uid: ActionUid(1),
+                name: "slow-render".into(),
+                events: vec![ev0],
+            },
+        );
+        // Arrives while the render thread is still chewing frames.
+        sim.schedule_action(
+            SimTime::from_ms(30),
+            ActionRequest {
+                uid: ActionUid(2),
+                name: "next".into(),
+                events: vec![ev1],
+            },
+        );
+        let summary = sim.run();
+        assert_eq!(summary.actions_completed, 2);
+        let recs = sim.records();
+        assert_eq!(recs[0].uid, ActionUid(1));
+        assert_eq!(recs[1].uid, ActionUid(2));
+        assert!(recs[0].ended <= recs[1].began + 1);
+    }
+
+    #[test]
+    fn empty_action_is_recorded() {
+        let table = FrameTable::new();
+        let mut sim = one_action_sim(vec![], table);
+        let summary = sim.run();
+        assert_eq!(summary.actions_completed, 1);
+        assert_eq!(sim.records()[0].max_response_ns(), 0);
+    }
+
+    #[test]
+    fn monitor_charges_accumulate() {
+        struct Charger;
+        impl Probe for Charger {
+            fn on_dispatch_end(
+                &mut self,
+                ctx: &mut ProbeCtx<'_>,
+                _info: &MessageInfo,
+                _response_ns: u64,
+            ) {
+                ctx.charge_cpu(1000);
+                ctx.charge_mem(64);
+                ctx.note_counter_read();
+            }
+        }
+        let mut table = FrameTable::new();
+        let ev = ui_event(&mut table, 5, 1);
+        let mut sim = one_action_sim(vec![ev], table);
+        sim.add_probe(Box::new(Charger));
+        sim.run();
+        let cost = sim.monitor_cost();
+        assert_eq!(cost.cpu_ns, 1000);
+        assert_eq!(cost.mem_bytes, 64);
+        assert_eq!(cost.counter_reads, 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! All simulated time is kept in nanoseconds since simulated boot. The
+//! simulator never reads the host clock, so runs are fully deterministic.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// One microsecond in nanoseconds.
+pub const MICROS: u64 = 1_000;
+/// One millisecond in nanoseconds.
+pub const MILLIS: u64 = 1_000_000;
+/// One second in nanoseconds.
+pub const SECONDS: u64 = 1_000_000_000;
+
+/// An instant on the simulated timeline, in nanoseconds since boot.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulated boot instant.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Returns the instant `ms` milliseconds after boot.
+    pub fn from_ms(ms: u64) -> Self {
+        SimTime(ms * MILLIS)
+    }
+
+    /// Returns the instant `us` microseconds after boot.
+    pub fn from_us(us: u64) -> Self {
+        SimTime(us * MICROS)
+    }
+
+    /// Returns the instant `s` seconds after boot.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * SECONDS)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time as fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / MILLIS as f64
+    }
+
+    /// Returns the time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / SECONDS as f64
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, ns: u64) -> SimTime {
+        SimTime(self.0 + ns)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, ns: u64) {
+        self.0 += ns;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.0 / MILLIS;
+        let frac = (self.0 % MILLIS) / 1_000;
+        write!(f, "{ms}.{frac:03}ms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_ms(5).as_ns(), 5 * MILLIS);
+        assert_eq!(SimTime::from_us(7).as_ns(), 7 * MICROS);
+        assert_eq!(SimTime::from_secs(2).as_ns(), 2 * SECONDS);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = SimTime::from_ms(10);
+        assert_eq!((t + MILLIS).as_ns(), 11 * MILLIS);
+        assert_eq!(t - SimTime::from_ms(4), 6 * MILLIS);
+        // Subtraction saturates instead of panicking.
+        assert_eq!(SimTime::from_ms(1) - SimTime::from_ms(2), 0);
+        assert_eq!(SimTime::from_ms(2).since(SimTime::from_ms(5)), 0);
+    }
+
+    #[test]
+    fn fractional_views() {
+        let t = SimTime::from_us(1500);
+        assert!((t.as_ms_f64() - 1.5).abs() < 1e-9);
+        assert!((SimTime::from_ms(1500).as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_millisecond_based() {
+        assert_eq!(SimTime::from_us(1500).to_string(), "1.500ms");
+        assert_eq!(SimTime::ZERO.to_string(), "0.000ms");
+    }
+
+    #[test]
+    fn ordering_follows_raw_ns() {
+        assert!(SimTime::from_ms(1) < SimTime::from_ms(2));
+        assert!(SimTime(1) > SimTime::ZERO);
+    }
+}

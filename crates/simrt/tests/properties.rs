@@ -1,0 +1,166 @@
+//! Property-based tests of the raw simulator: random step programs must
+//! uphold the scheduler/counter invariants under any core count.
+
+use proptest::prelude::*;
+
+use hd_simrt::{
+    ActionRequest, ActionUid, FrameTable, HwEvent, MemProfile, SimConfig, SimTime, Simulator, Step,
+    MILLIS,
+};
+
+/// A single random timed step.
+fn arb_step(frame_count: u32) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u64..80).prop_map(|ms| Step::Cpu {
+            ns: ms * MILLIS,
+            profile: MemProfile::ui(),
+        }),
+        (1u64..60).prop_map(|ms| Step::Cpu {
+            ns: ms * MILLIS,
+            profile: MemProfile::memory_heavy(),
+        }),
+        (1u64..120).prop_map(|ms| Step::Io { ns: ms * MILLIS }),
+        (1u32..12, 1u64..6).prop_map(|(frames, ms)| Step::PostRender {
+            frames,
+            frame_ns: ms * MILLIS,
+        }),
+        (0..frame_count).prop_map(|f| Step::Push(hd_simrt::FrameId(f))),
+    ]
+}
+
+/// A balanced random step program: pushes get matching pops appended.
+fn arb_event() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(arb_step(3), 1..8).prop_map(|mut steps| {
+        let pushes = steps.iter().filter(|s| matches!(s, Step::Push(_))).count();
+        for _ in 0..pushes {
+            steps.push(Step::Pop);
+        }
+        steps
+    })
+}
+
+fn sim_with(events: Vec<Vec<Step>>, cores: usize, seed: u64) -> Simulator {
+    let mut table = FrameTable::new();
+    for i in 0..3 {
+        table.intern_new(&format!("p.C.m{i}"), "C.java", i);
+    }
+    let mut sim = Simulator::new(
+        SimConfig {
+            seed,
+            cores,
+            ..SimConfig::default()
+        },
+        table,
+    );
+    sim.schedule_action(
+        SimTime::from_ms(10),
+        ActionRequest {
+            uid: ActionUid(1),
+            name: "random".into(),
+            events,
+        },
+    );
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any balanced step program terminates, on 1, 2, or 4 cores, with
+    /// consistent accounting.
+    #[test]
+    fn random_programs_terminate_on_any_core_count(
+        events in proptest::collection::vec(arb_event(), 1..4),
+        cores in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let total_cpu: u64 = events
+            .iter()
+            .flatten()
+            .map(Step::cpu_ns)
+            .sum();
+        let total_io: u64 = events.iter().flatten().map(Step::io_ns).sum();
+        let render_cpu: u64 = events
+            .iter()
+            .flatten()
+            .map(|s| match s {
+                Step::PostRender { frames, frame_ns } => u64::from(*frames) * frame_ns,
+                _ => 0,
+            })
+            .sum();
+
+        let mut sim = sim_with(events.clone(), cores, seed);
+        let summary = sim.run();
+        prop_assert!(!summary.truncated, "program did not terminate");
+        prop_assert_eq!(summary.actions_completed, 1);
+
+        let rec = &sim.records()[0];
+        prop_assert_eq!(rec.event_responses.len(), events.len());
+        // Each event's response is at least its own busy time.
+        for (ev, &resp) in events.iter().zip(&rec.event_responses) {
+            let busy: u64 = ev.iter().map(|s| s.cpu_ns() + s.io_ns()).sum();
+            prop_assert!(resp >= busy, "response {resp} < busy {busy}");
+        }
+        // Main-thread task clock equals exactly the main CPU work.
+        let main_clock = sim.thread_counter(sim.main_tid(), HwEvent::TaskClock);
+        prop_assert!((main_clock - total_cpu as f64).abs() < 1.0);
+        // Render-thread task clock equals the posted frame work.
+        let render_clock = sim.thread_counter(sim.render_tid(), HwEvent::TaskClock);
+        prop_assert!((render_clock - render_cpu as f64).abs() < 1.0);
+        // The action cannot end before all its busy time elapsed.
+        prop_assert!(rec.ended - rec.began >= total_cpu + total_io);
+        // Each I/O block is at least one main-thread context switch.
+        let io_blocks = events
+            .iter()
+            .flatten()
+            .filter(|s| matches!(s, Step::Io { .. }))
+            .count() as f64;
+        let cs = sim.thread_counter(sim.main_tid(), HwEvent::ContextSwitches);
+        prop_assert!(cs >= io_blocks, "cs {cs} < io blocks {io_blocks}");
+    }
+
+    /// Counters never decrease and page-fault identities hold at the end
+    /// of any program.
+    #[test]
+    fn counter_identities(
+        events in proptest::collection::vec(arb_event(), 1..3),
+        seed in 0u64..10_000,
+    ) {
+        let mut sim = sim_with(events, 2, seed);
+        sim.run();
+        for tid in [sim.main_tid(), sim.render_tid()] {
+            let pf = sim.thread_counter(tid, HwEvent::PageFaults);
+            let minor = sim.thread_counter(tid, HwEvent::MinorFaults);
+            let major = sim.thread_counter(tid, HwEvent::MajorFaults);
+            prop_assert!((pf - (minor + major)).abs() < 1e-6);
+            prop_assert!(sim.thread_counter(tid, HwEvent::TaskClock) >= 0.0);
+            prop_assert!(
+                (sim.thread_counter(tid, HwEvent::TaskClock)
+                    - sim.thread_counter(tid, HwEvent::CpuClock))
+                .abs()
+                    < 1e-6
+            );
+        }
+    }
+
+    /// More cores never increase a single action's response time
+    /// (the main thread stops being preempted into a queue).
+    #[test]
+    fn single_action_response_no_worse_with_more_cores(
+        events in proptest::collection::vec(arb_event(), 1..3),
+        seed in 0u64..1_000,
+    ) {
+        let resp = |cores: usize| {
+            let mut sim = sim_with(events.clone(), cores, seed);
+            sim.run();
+            sim.records()[0].max_response_ns()
+        };
+        let one = resp(1);
+        let four = resp(4);
+        // Allow jitter slack: different core counts draw different noise.
+        prop_assert!(
+            four as f64 <= one as f64 * 1.25 + (20 * MILLIS) as f64,
+            "4 cores {four} much slower than 1 core {one}"
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! Scheduler and runtime edge cases that unit tests don't reach.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hd_simrt::{
+    ActionRequest, ActionUid, FrameTable, HwEvent, MemProfile, MessageInfo, Probe, ProbeCtx,
+    SimConfig, SimTime, Simulator, Step, TimelineRecorder, MILLIS,
+};
+
+fn table_with_frames() -> (FrameTable, hd_simrt::FrameId) {
+    let mut t = FrameTable::new();
+    let f = t.intern_new("edge.App.handler", "App.java", 1);
+    (t, f)
+}
+
+fn cpu(ms: u64) -> Step {
+    Step::Cpu {
+        ns: ms * MILLIS,
+        profile: MemProfile::ui(),
+    }
+}
+
+#[test]
+fn single_core_serializes_main_and_render() {
+    // On one core the render thread can only drain frames when the main
+    // thread is off-CPU, so the action's end stretches past main+render
+    // work combined.
+    let (t, f) = table_with_frames();
+    let mut sim = Simulator::new(
+        SimConfig {
+            cores: 1,
+            ..SimConfig::default()
+        },
+        t,
+    );
+    sim.schedule_action(
+        SimTime::from_ms(1),
+        ActionRequest {
+            uid: ActionUid(1),
+            name: "serial".into(),
+            events: vec![vec![
+                Step::Push(f),
+                cpu(50),
+                Step::PostRender {
+                    frames: 10,
+                    frame_ns: 4 * MILLIS,
+                },
+                cpu(30),
+                Step::Pop,
+            ]],
+        },
+    );
+    let summary = sim.run();
+    assert!(!summary.truncated);
+    let rec = &sim.records()[0];
+    // 80 ms main + 40 ms render must fit within the action window.
+    assert!(rec.ended - rec.began >= 120 * MILLIS);
+    // Render work ran despite the contention.
+    assert!(sim.thread_counter(sim.render_tid(), HwEvent::TaskClock) >= (40 * MILLIS) as f64);
+}
+
+#[test]
+fn worker_pool_handles_more_tasks_than_workers() {
+    // Four offloaded blocking tasks over two workers: everything
+    // completes and the main thread stays responsive.
+    let (t, f) = table_with_frames();
+    let mut sim = Simulator::new(SimConfig::default(), t);
+    let worker_task = vec![Step::Io { ns: 120 * MILLIS }, cpu(10)];
+    sim.schedule_action(
+        SimTime::from_ms(1),
+        ActionRequest {
+            uid: ActionUid(1),
+            name: "offload-burst".into(),
+            events: vec![vec![
+                Step::Push(f),
+                Step::PostWorker(worker_task.clone()),
+                Step::PostWorker(worker_task.clone()),
+                Step::PostWorker(worker_task.clone()),
+                Step::PostWorker(worker_task),
+                cpu(20),
+                Step::Pop,
+            ]],
+        },
+    );
+    let summary = sim.run();
+    assert!(!summary.truncated, "worker backlog must drain");
+    assert!(sim.records()[0].max_response_ns() < 100 * MILLIS);
+    // All four tasks ran: worker CPU totals 4 × 10 ms.
+    let worker_cpu: f64 = (0..2)
+        .map(|i| {
+            sim.thread_counter(
+                hd_simrt::ThreadId(sim.main_tid().0 + 2 + i),
+                HwEvent::TaskClock,
+            )
+        })
+        .sum();
+    assert!((worker_cpu - (40 * MILLIS) as f64).abs() < 1e3);
+}
+
+#[test]
+fn zero_and_tiny_durations_are_harmless() {
+    let (t, f) = table_with_frames();
+    let mut sim = Simulator::new(SimConfig::default(), t);
+    sim.schedule_action(
+        SimTime::from_ms(1),
+        ActionRequest {
+            uid: ActionUid(1),
+            name: "tiny".into(),
+            events: vec![vec![
+                Step::Push(f),
+                Step::Cpu {
+                    ns: 0,
+                    profile: MemProfile::ui(),
+                },
+                Step::Io { ns: 1 },
+                Step::Cpu {
+                    ns: 1,
+                    profile: MemProfile::ui(),
+                },
+                Step::PostRender {
+                    frames: 0,
+                    frame_ns: 4 * MILLIS,
+                },
+                Step::Pop,
+            ]],
+        },
+    );
+    let summary = sim.run();
+    assert_eq!(summary.actions_completed, 1);
+    assert!(sim.records()[0].max_response_ns() < 5 * MILLIS);
+}
+
+#[test]
+fn back_to_back_actions_queue_fifo() {
+    // Ten actions posted at the same instant execute in posting order.
+    let (t, f) = table_with_frames();
+    let mut sim = Simulator::new(SimConfig::default(), t);
+    let (rec, out) = TimelineRecorder::new();
+    sim.add_probe(Box::new(rec));
+    for i in 0..10u64 {
+        sim.schedule_action(
+            SimTime::from_ms(5),
+            ActionRequest {
+                uid: ActionUid(i),
+                name: format!("burst {i}"),
+                events: vec![vec![Step::Push(f), cpu(8), Step::Pop]],
+            },
+        );
+    }
+    let summary = sim.run();
+    assert_eq!(summary.actions_completed, 10);
+    let timeline = out.borrow();
+    for (i, d) in timeline.dispatches.iter().enumerate() {
+        assert_eq!(d.uid, ActionUid(i as u64), "out of order at {i}");
+        if i > 0 {
+            assert!(d.began >= timeline.dispatches[i - 1].ended);
+        }
+    }
+}
+
+#[test]
+fn probe_timer_in_the_past_fires_immediately_not_never() {
+    struct PastTimer {
+        fired: Rc<RefCell<bool>>,
+    }
+    impl Probe for PastTimer {
+        fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, _info: &MessageInfo) {
+            // Deliberately set a timer at t=0, far in the past.
+            ctx.set_timer(SimTime::ZERO, 9);
+        }
+        fn on_timer(&mut self, _ctx: &mut ProbeCtx<'_>, token: u64) {
+            assert_eq!(token, 9);
+            *self.fired.borrow_mut() = true;
+        }
+    }
+    let (t, f) = table_with_frames();
+    let mut sim = Simulator::new(SimConfig::default(), t);
+    let fired = Rc::new(RefCell::new(false));
+    sim.add_probe(Box::new(PastTimer {
+        fired: fired.clone(),
+    }));
+    sim.schedule_action(
+        SimTime::from_ms(50),
+        ActionRequest {
+            uid: ActionUid(1),
+            name: "t".into(),
+            events: vec![vec![Step::Push(f), cpu(5), Step::Pop]],
+        },
+    );
+    sim.run();
+    assert!(*fired.borrow(), "past-dated timer must be clamped to now");
+}
+
+#[test]
+fn action_at_time_zero_works() {
+    let (t, f) = table_with_frames();
+    let mut sim = Simulator::new(SimConfig::default(), t);
+    sim.schedule_action(
+        SimTime::ZERO,
+        ActionRequest {
+            uid: ActionUid(1),
+            name: "boot".into(),
+            events: vec![vec![Step::Push(f), cpu(12), Step::Pop]],
+        },
+    );
+    let summary = sim.run();
+    assert_eq!(summary.actions_completed, 1);
+    assert!(sim.records()[0].began.as_ns() <= MILLIS);
+}
+
+#[test]
+fn deep_nested_stacks_survive_sampling() {
+    // A 40-frame-deep call chain: samples capture the full depth.
+    struct DepthProbe {
+        max_depth: Rc<RefCell<usize>>,
+    }
+    impl Probe for DepthProbe {
+        fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, _info: &MessageInfo) {
+            ctx.set_timer(ctx.now() + 10 * MILLIS, 1);
+        }
+        fn on_timer(&mut self, ctx: &mut ProbeCtx<'_>, _token: u64) {
+            let d = ctx.main_stack().len();
+            let mut m = self.max_depth.borrow_mut();
+            if d > *m {
+                *m = d;
+            }
+        }
+    }
+    let mut t = FrameTable::new();
+    let mut steps = Vec::new();
+    for i in 0..40 {
+        steps.push(Step::Push(t.intern_new(
+            &format!("deep.Chain.level{i}"),
+            "Chain.java",
+            i,
+        )));
+    }
+    steps.push(cpu(30));
+    for _ in 0..40 {
+        steps.push(Step::Pop);
+    }
+    let mut sim = Simulator::new(SimConfig::default(), t);
+    let max_depth = Rc::new(RefCell::new(0));
+    sim.add_probe(Box::new(DepthProbe {
+        max_depth: max_depth.clone(),
+    }));
+    sim.schedule_action(
+        SimTime::from_ms(1),
+        ActionRequest {
+            uid: ActionUid(1),
+            name: "deep".into(),
+            events: vec![steps],
+        },
+    );
+    sim.run();
+    assert_eq!(*max_depth.borrow(), 40);
+}
+
+#[test]
+fn preemption_rate_is_invariant_to_core_count() {
+    // Device housekeeping is modeled as one pinned system thread per
+    // core, so a busy thread is preempted at the same per-CPU-time rate
+    // whichever core it lands on: the context-switch signal the
+    // S-Checker relies on does not depend on the device's core count
+    // (the paper's cross-device generality claim, Section 3.3.1).
+    let run = |cores: usize| {
+        let mut table = FrameTable::new();
+        let f = table.intern_new("edge.App.h", "App.java", 1);
+        let mut sim = Simulator::new(
+            SimConfig {
+                cores,
+                ..SimConfig::default()
+            },
+            table,
+        );
+        sim.schedule_action(
+            SimTime::from_ms(1),
+            ActionRequest {
+                uid: ActionUid(1),
+                name: "busy".into(),
+                events: vec![vec![
+                    Step::Push(f),
+                    Step::Cpu {
+                        ns: 300 * MILLIS,
+                        profile: MemProfile::compute(),
+                    },
+                    Step::Pop,
+                ]],
+            },
+        );
+        sim.run();
+        (
+            sim.thread_counter(sim.main_tid(), HwEvent::ContextSwitches),
+            sim.thread_counter(sim.main_tid(), HwEvent::CpuMigrations),
+        )
+    };
+    let (cs2, _mig2) = run(2);
+    let (cs8, _mig8) = run(8);
+    let ratio = cs8 / cs2;
+    assert!(
+        (0.7..1.3).contains(&ratio),
+        "cs rate should be core-count invariant: 2-core {cs2}, 8-core {cs8}"
+    );
+    // And there is real preemption happening at all (not idle).
+    assert!(cs2 > 20.0, "cs2 = {cs2}");
+}

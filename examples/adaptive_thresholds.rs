@@ -1,0 +1,86 @@
+//! Automatic filter adaptation (paper Section 3.3.1, "Automatic
+//! Adaptation of the Filter").
+//!
+//! A device whose scheduler behaves differently (busier system load, so
+//! UI work also accumulates positive context-switch differences) makes
+//! the shipped `cs > 0` threshold produce false positives. The periodic
+//! background data collection notices; a *light* adaptation re-fits the
+//! thresholds on-device, and if false negatives remain, a *heavy*
+//! (server-side) adaptation re-runs the full event selection.
+//!
+//! Run with: `cargo run --release --example adaptive_thresholds`
+
+use hang_doctor_repro::hangdoctor::adaptation::paper_filter;
+use hang_doctor_repro::hangdoctor::{
+    collect_samples, heavy_adaptation, light_adaptation, rank_events, training_set, DiffMode,
+    SymptomThresholds, TrainingSample,
+};
+use hang_doctor_repro::simrt::HwEvent;
+
+/// Simulates the drifted device by shifting every sample's context-switch
+/// difference upward (a device whose background load preempts the main
+/// thread more).
+fn drift(samples: &[TrainingSample], cs_shift: f64) -> Vec<TrainingSample> {
+    samples
+        .iter()
+        .map(|s| {
+            let mut s = s.clone();
+            s.diff[HwEvent::ContextSwitches.index()] += cs_shift;
+            s.main_only[HwEvent::ContextSwitches.index()] += cs_shift;
+            s
+        })
+        .collect()
+}
+
+fn report(tag: &str, c: (usize, usize, usize, usize)) {
+    let (tp, fp, fneg, tn) = c;
+    println!("{tag}: tp={tp} fp={fp} fn={fneg} tn={tn}");
+}
+
+fn main() {
+    // Background data collection: labeled samples from the device.
+    println!("collecting labeled samples (periodic background collection)...");
+    let baseline = collect_samples(&training_set(), 5, 42);
+    println!("  {} samples collected\n", baseline.len());
+
+    let shipped = paper_filter(SymptomThresholds::default());
+    println!("shipped filter: {:?}\n", shipped.conditions);
+
+    // On the reference device the shipped thresholds work.
+    report(
+        "reference device ",
+        shipped.evaluate(&baseline, DiffMode::MainMinusRender),
+    );
+
+    // A drifted device: UI work now also shows positive cs differences.
+    let drifted = drift(&baseline, 35.0);
+    report(
+        "drifted device   ",
+        shipped.evaluate(&drifted, DiffMode::MainMinusRender),
+    );
+
+    // Light adaptation: same events, re-fitted thresholds, on-device.
+    let light = light_adaptation(&shipped, &drifted, DiffMode::MainMinusRender);
+    println!("\nlight adaptation: {:?}", light.filter.conditions);
+    report("after light      ", light.after);
+
+    if light.needs_heavy {
+        // Heavy adaptation: full re-ranking and event re-selection,
+        // run server-side on the uploaded samples.
+        let heavy = heavy_adaptation(&drifted, DiffMode::MainMinusRender, 4);
+        println!("\nheavy adaptation selected: {:?}", heavy.filter.conditions);
+        report("after heavy      ", heavy.after);
+    } else {
+        println!("\nlight adaptation sufficed; no server-side pass needed");
+    }
+
+    // For context: what the drifted device's own correlation ranking
+    // looks like (the heavy pass would start from this).
+    println!("\ndrifted-device top-5 correlated events:");
+    for (e, c) in rank_events(&drifted, DiffMode::MainMinusRender)
+        .iter()
+        .take(5)
+    {
+        println!("  {:<20} {:+.3}", e.name(), c);
+    }
+}

@@ -1,0 +1,73 @@
+//! A multi-device field study with fleet report aggregation.
+//!
+//! The paper deploys Hang Doctor on 20 users' devices for 60 days and
+//! aggregates the per-device findings into one Hang Bug Report per app
+//! (Figure 2(b): occurrence percentages across devices). This example
+//! runs AndStatus on several simulated devices — each with its own seed
+//! and usage pattern — merges the reports, and prints the fleet view.
+//!
+//! Run with: `cargo run --release --example field_study`
+
+use hang_doctor_repro::appmodel::corpus::table5;
+use hang_doctor_repro::appmodel::{build_run, generate_schedule, CompiledApp, TraceParams};
+use hang_doctor_repro::hangdoctor::{
+    shared, BlockingApiDb, HangBugReport, HangDoctor, HangDoctorConfig,
+};
+use hang_doctor_repro::simrt::{SimConfig, SimRng};
+
+const DEVICES: u32 = 6;
+
+fn main() {
+    let app = table5::andstatus();
+    let compiled = CompiledApp::new(app.clone());
+    let db = shared(BlockingApiDb::documented(2017));
+
+    let mut fleet = HangBugReport::new(&app.name);
+    for device in 1..=DEVICES {
+        // Each device has its own usage pattern and seed.
+        let mut rng = SimRng::seed_from_u64(1000 + device as u64);
+        let schedule = generate_schedule(
+            &app,
+            TraceParams {
+                actions: 70,
+                think_min_ms: 1_200,
+                think_max_ms: 4_500,
+            },
+            &mut rng,
+        );
+        let mut run = build_run(
+            &compiled,
+            &schedule,
+            SimConfig {
+                seed: 9_000 + device as u64,
+                ..SimConfig::default()
+            },
+            9_000 + device as u64,
+        );
+        let (probe, output) = HangDoctor::new(
+            HangDoctorConfig::default(),
+            &app.name,
+            &app.package,
+            device,
+            Some(db.clone()),
+        );
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        let out = output.borrow();
+        println!(
+            "device {device}: {} executions, {} deep analyses, {} bug rows",
+            run.sim.records().len(),
+            out.detections.len(),
+            out.report.entries().len()
+        );
+        fleet.merge(&out.report);
+    }
+
+    println!("\n== fleet-aggregated report ({DEVICES} devices) ==");
+    println!("{}", fleet.render());
+
+    println!("== blocking APIs learned fleet-wide ==");
+    for (symbol, found_in) in db.lock().discovered() {
+        println!("  {symbol}   (first diagnosed in {found_in})");
+    }
+}

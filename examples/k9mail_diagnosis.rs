@@ -1,0 +1,107 @@
+//! The full K9-mail diagnosis loop (paper Sections 4.3 and 3.2).
+//!
+//! Walks through what Hang Doctor does step by step on the `open email`
+//! action, then closes the loop the paper describes in Figure 2(a): the
+//! previously unknown `HtmlCleaner.clean` API is added to the shared
+//! blocking-API database, after which the *offline* scanner starts
+//! catching the bug in other apps too.
+//!
+//! Run with: `cargo run --release --example k9mail_diagnosis`
+
+use hang_doctor_repro::appmodel::corpus::table5;
+use hang_doctor_repro::appmodel::{build_run, CompiledApp, Schedule};
+use hang_doctor_repro::baselines::{missed_bugs, scan_app};
+use hang_doctor_repro::hangdoctor::{shared, BlockingApiDb, HangDoctor, HangDoctorConfig};
+use hang_doctor_repro::simrt::{SimConfig, SimTime};
+
+fn main() {
+    let app = table5::k9mail();
+    let compiled = CompiledApp::new(app.clone());
+
+    // Before: what a 2017 PerfChecker-style offline scan sees.
+    let offline = BlockingApiDb::documented(2017);
+    println!("== offline scan, before Hang Doctor ==");
+    println!(
+        "findings: {} | ground-truth bugs missed: {:?}\n",
+        scan_app(&app, &offline).len(),
+        missed_bugs(&app, &offline)
+            .iter()
+            .map(|b| b.id.as_str())
+            .collect::<Vec<_>>()
+    );
+
+    // Drive three "open email" executions with Hang Doctor attached to a
+    // fleet-shared database.
+    let open_email = app
+        .actions
+        .iter()
+        .find(|a| a.name == "open email")
+        .expect("k9 model has 'open email'")
+        .uid;
+    let schedule = Schedule {
+        arrivals: (0..3)
+            .map(|i| (SimTime::from_ms(500 + i * 5_000), open_email))
+            .collect(),
+    };
+    let db = shared(BlockingApiDb::documented(2017));
+    let mut run = build_run(&compiled, &schedule, SimConfig::default(), 42);
+    let (probe, output) = HangDoctor::new(
+        HangDoctorConfig::default(),
+        &app.name,
+        &app.package,
+        1,
+        Some(db.clone()),
+    );
+    run.sim.add_probe(Box::new(probe));
+    run.sim.run();
+
+    println!("== runtime detection ==");
+    let out = output.borrow();
+    for (i, rec) in run.sim.records().iter().enumerate() {
+        println!(
+            "execution {}: response {:.0} ms",
+            i + 1,
+            rec.max_response_ns() as f64 / 1e6
+        );
+    }
+    for (uid, verdict) in &out.verdicts {
+        println!(
+            "S-Checker (action {:?}): cs diff {:+.0}, task-clock diff {:+.2e}, page-fault diff {:+.0} -> {}",
+            uid,
+            verdict.diffs.context_switches,
+            verdict.diffs.task_clock,
+            verdict.diffs.page_faults,
+            if verdict.suspicious { "SUSPICIOUS" } else { "normal" }
+        );
+    }
+    for d in &out.detections {
+        let root = d.root.as_ref().expect("diagnosis");
+        println!(
+            "Diagnoser: {} stack traces; root cause {} ({}:{}) occurrence {:.0}% -> {:?}",
+            d.samples,
+            root.symbol,
+            root.file,
+            root.line,
+            100.0 * root.occurrence_factor,
+            root.kind,
+        );
+    }
+    println!("\n{}", out.report.render());
+
+    // After: the shared database learned the new API; the offline scan
+    // now catches the bug (Figure 2(a)'s feedback arrow).
+    println!("== offline scan, after Hang Doctor's update ==");
+    let learned = db.lock();
+    println!(
+        "database grew to {} entries; newly discovered: {:?}",
+        learned.len(),
+        learned.discovered()
+    );
+    println!(
+        "ground-truth bugs still missed offline: {:?}",
+        missed_bugs(&app, &learned)
+            .iter()
+            .map(|b| b.id.as_str())
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,26 @@
+//! # hang-doctor-repro — top-level facade
+//!
+//! Reproduction of *Hang Doctor: Runtime Detection and Diagnosis of Soft
+//! Hangs for Smartphone Apps* (Brocanelli & Wang, EuroSys '18) as a Rust
+//! workspace. This crate re-exports the member crates so examples,
+//! integration tests, and downstream users have one import surface:
+//!
+//! * [`simrt`] — the simulated Android-like runtime (scheduler, Looper,
+//!   performance counters, probes);
+//! * [`perfmon`] — the simpleperf-analog monitoring stack;
+//! * [`appmodel`] — app models and the 114-app study corpus;
+//! * [`hangdoctor`] — the paper's contribution (S-Checker + Diagnoser);
+//! * [`baselines`] — TI / UT detectors and the offline scanner;
+//! * [`metrics`] — ground-truth scoring and overhead accounting;
+//! * [`bench`] — drivers regenerating every table and figure.
+//!
+//! Quick start: see `examples/quickstart.rs`, or run
+//! `cargo run --release -p hd-bench --bin repro -- all`.
+
+pub use hangdoctor;
+pub use hd_appmodel as appmodel;
+pub use hd_baselines as baselines;
+pub use hd_bench as bench;
+pub use hd_metrics as metrics;
+pub use hd_perfmon as perfmon;
+pub use hd_simrt as simrt;

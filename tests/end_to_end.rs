@@ -1,0 +1,240 @@
+//! Cross-crate integration tests: the full pipeline from app model to
+//! diagnosed report, exercised through the public facade.
+
+use hang_doctor_repro::appmodel::corpus::{full_corpus, table1, table5};
+use hang_doctor_repro::appmodel::{
+    build_run, generate_schedule, round_robin_schedule, CompiledApp, TraceParams,
+};
+use hang_doctor_repro::baselines::{missed_bugs, TimeoutDetector};
+use hang_doctor_repro::hangdoctor::{
+    shared, ActionState, BlockingApiDb, HangDoctor, HangDoctorConfig,
+};
+use hang_doctor_repro::metrics::{bugs_flagged, score, OverheadReport, PERCEIVABLE_NS};
+use hang_doctor_repro::perfmon::CostModel;
+use hang_doctor_repro::simrt::{SimConfig, SimRng, MILLIS};
+
+#[test]
+fn hang_doctor_full_pipeline_on_k9() {
+    let app = table5::k9mail();
+    let compiled = CompiledApp::new(app.clone());
+    let schedule = round_robin_schedule(&app, 4, 3_000);
+    let db = shared(BlockingApiDb::documented(2017));
+    let mut run = build_run(&compiled, &schedule, SimConfig::default(), 1);
+    let (probe, out) = HangDoctor::new(
+        HangDoctorConfig::default(),
+        &app.name,
+        &app.package,
+        1,
+        Some(db.clone()),
+    );
+    run.sim.add_probe(Box::new(probe));
+    let summary = run.sim.run();
+    assert!(!summary.truncated);
+    assert_eq!(summary.actions_completed, schedule.len());
+
+    let out = out.borrow();
+    // Both K9 bugs end in the HangBug state and in the report.
+    assert_eq!(out.states.in_state(ActionState::HangBug).len(), 2);
+    let report_symbols: Vec<String> = out
+        .report
+        .entries()
+        .iter()
+        .map(|e| e.symbol.clone())
+        .collect();
+    assert!(report_symbols.iter().any(|s| s.contains("HtmlCleaner")));
+    assert!(report_symbols.iter().any(|s| s.contains("JSONObject")));
+    // The unknown APIs reached the shared database.
+    assert!(db.lock().contains("org.htmlcleaner.HtmlCleaner.clean"));
+    // Report serializes round-trip.
+    let json = serde_json::to_string(&out.report).unwrap();
+    let back: hang_doctor_repro::hangdoctor::HangBugReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.entries(), out.report.entries());
+}
+
+#[test]
+fn hd_flags_are_a_subset_of_ti_flags_with_better_precision() {
+    // TI(100ms) traces every soft hang; Hang Doctor must never flag an
+    // execution TI would not flag, and its precision must be higher.
+    let app = table5::cyclestreets();
+    let compiled = CompiledApp::new(app.clone());
+    let mut rng = SimRng::seed_from_u64(33);
+    let schedule = generate_schedule(
+        &app,
+        TraceParams {
+            actions: 80,
+            think_min_ms: 1_500,
+            think_max_ms: 3_000,
+        },
+        &mut rng,
+    );
+    let hd = hang_doctor_repro::bench::run_detector_compiled(
+        &compiled,
+        &schedule,
+        33,
+        hang_doctor_repro::bench::DetectorKind::HangDoctor,
+        None,
+    );
+    let ti = hang_doctor_repro::bench::run_detector_compiled(
+        &compiled,
+        &schedule,
+        33,
+        hang_doctor_repro::bench::DetectorKind::Ti(100 * MILLIS),
+        None,
+    );
+    for exec in &hd.flagged {
+        assert!(
+            ti.flagged.contains(exec),
+            "HD flagged {exec:?} but TI did not"
+        );
+    }
+    let hd_score = score(&hd.records, &hd.truths, &hd.flagged);
+    let ti_score = score(&ti.records, &ti.truths, &ti.flagged);
+    assert!(
+        hd_score.precision() > ti_score.precision(),
+        "HD {:.2} vs TI {:.2}",
+        hd_score.precision(),
+        ti_score.precision()
+    );
+    // And HD recovers the same distinct bugs.
+    let hd_bugs = bugs_flagged(&hd.records, &hd.truths, &hd.flagged);
+    let ti_bugs = bugs_flagged(&ti.records, &ti.truths, &ti.flagged);
+    assert_eq!(hd_bugs, ti_bugs, "HD and TI disagree on distinct bugs");
+}
+
+#[test]
+fn fixed_apps_stop_hanging_and_stop_being_flagged() {
+    // The developer workflow: fix what Hang Doctor reported and verify
+    // "the modified app did not show any more soft hangs" (Section 4.2).
+    let app = table5::uoitdc();
+    let fixed = app.with_all_bugs_fixed();
+    let compiled = CompiledApp::new(fixed.clone());
+    let schedule = round_robin_schedule(&fixed, 4, 3_000);
+    let mut run = build_run(&compiled, &schedule, SimConfig::default(), 5);
+    let (probe, out) = HangDoctor::new(
+        HangDoctorConfig::default(),
+        &fixed.name,
+        &fixed.package,
+        1,
+        None,
+    );
+    run.sim.add_probe(Box::new(probe));
+    run.sim.run();
+    let out = out.borrow();
+    // No bug diagnoses and no bug-caused hangs at all.
+    assert!(
+        out.detections.iter().all(|d| !d.is_bug()),
+        "{:?}",
+        out.detections
+    );
+    for truth in &run.truths {
+        assert!(!truth.is_buggy(PERCEIVABLE_NS));
+    }
+    assert!(out.report.entries().is_empty());
+}
+
+#[test]
+fn offline_scan_improves_after_field_study() {
+    // Figure 2(a)'s loop: run Hang Doctor on K9 and SageMath, then
+    // re-scan SkyTube-like apps... here: total offline misses across the
+    // study apps must strictly decrease after the learned DB update.
+    let db = shared(BlockingApiDb::documented(2017));
+    let before: usize = table5::apps()
+        .iter()
+        .map(|a| missed_bugs(a, &db.lock()).len())
+        .sum();
+    for app in [table5::k9mail(), table5::sagemath()] {
+        let compiled = CompiledApp::new(app.clone());
+        let schedule = round_robin_schedule(&app, 3, 3_000);
+        let mut run = build_run(&compiled, &schedule, SimConfig::default(), 9);
+        let (probe, _out) = HangDoctor::new(
+            HangDoctorConfig::default(),
+            &app.name,
+            &app.package,
+            1,
+            Some(db.clone()),
+        );
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+    }
+    let after: usize = table5::apps()
+        .iter()
+        .map(|a| missed_bugs(a, &db.lock()).len())
+        .sum();
+    assert!(
+        after < before,
+        "offline misses should drop: {before} -> {after}"
+    );
+}
+
+#[test]
+fn overhead_is_deterministic_and_bounded() {
+    let app = table1::websms();
+    let compiled = CompiledApp::new(app.clone());
+    let schedule = round_robin_schedule(&app, 3, 2_500);
+    let run_once = || {
+        let mut run = build_run(&compiled, &schedule, SimConfig::default(), 77);
+        let (probe, _out) = HangDoctor::new(
+            HangDoctorConfig::default(),
+            &app.name,
+            &app.package,
+            1,
+            None,
+        );
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        OverheadReport::from_sim(&run.sim)
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b, "overhead must be reproducible");
+    assert!(a.avg_pct() < 15.0, "overhead {:.2}%", a.avg_pct());
+}
+
+#[test]
+fn healthy_corpus_apps_produce_no_bug_reports() {
+    // The 90 generated field apps are bug-free; Hang Doctor must not
+    // report anything on them (sampling a few).
+    let corpus = full_corpus(42);
+    let healthy: Vec<_> = corpus
+        .iter()
+        .filter(|a| a.bugs.is_empty())
+        .take(4)
+        .collect();
+    assert_eq!(healthy.len(), 4);
+    for app in healthy {
+        let compiled = CompiledApp::new(app.clone());
+        let schedule = round_robin_schedule(app, 3, 2_500);
+        let mut run = build_run(&compiled, &schedule, SimConfig::default(), 55);
+        let (probe, out) = HangDoctor::new(
+            HangDoctorConfig::default(),
+            &app.name,
+            &app.package,
+            1,
+            None,
+        );
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        let out = out.borrow();
+        assert!(
+            out.report.entries().is_empty(),
+            "{}: spurious report {:?}",
+            app.name,
+            out.report.entries()
+        );
+        assert!(out.states.in_state(ActionState::HangBug).is_empty());
+    }
+}
+
+#[test]
+fn ti_with_anr_timeout_matches_android_behaviour() {
+    // Android's 5 s ANR tool sees nothing on any study app trace.
+    for app in [table5::k9mail(), table5::omninotes()] {
+        let compiled = CompiledApp::new(app.clone());
+        let schedule = round_robin_schedule(&app, 2, 2_500);
+        let mut run = build_run(&compiled, &schedule, SimConfig::default(), 3);
+        let (probe, out) = TimeoutDetector::new(5_000 * MILLIS, 10 * MILLIS, CostModel::default());
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        assert!(out.borrow().traced.is_empty(), "{}", app.name);
+    }
+}

@@ -1,0 +1,252 @@
+//! Property-based tests over the simulation substrate and the analysis
+//! algorithms, spanning crates through the public facade.
+
+use proptest::prelude::*;
+
+use hang_doctor_repro::appmodel::{
+    build_run, ActionSpec, ApiId, ApiKind, ApiSpec, App, BugSpec, Call, CompiledApp, CostSpec,
+    Dist, EventSpec, ProfileKind, Schedule,
+};
+use hang_doctor_repro::hangdoctor::{pearson, CounterDiffs, Filter, SChecker, SymptomThresholds};
+use hang_doctor_repro::simrt::{nominal_duration, SimConfig, SimTime, MILLIS, NUM_EVENTS};
+
+/// Strategy: one API with random (bounded) costs.
+fn arb_api(idx: usize) -> impl Strategy<Value = ApiSpec> {
+    (
+        0u64..200, // cpu ms
+        0u64..300, // io ms
+        0u32..30,  // frames
+        prop_oneof![
+            Just(ProfileKind::Ui),
+            Just(ProfileKind::Compute),
+            Just(ProfileKind::MemoryHeavy),
+            Just(ProfileKind::IoStub),
+        ],
+        1u32..6, // io chunks
+    )
+        .prop_map(move |(cpu, io, frames, profile, chunks)| {
+            ApiSpec::new(
+                &format!("gen.pkg.Class{idx}.method{idx}"),
+                10 + idx as u32,
+                ApiKind::Blocking { known_since: None },
+                CostSpec {
+                    cpu: Dist::new(cpu * MILLIS, 0.2),
+                    io: Dist::new(io * MILLIS, 0.2),
+                    profile,
+                    frames: Dist::new(frames as u64, 0.2),
+                    frame_ns: 4 * MILLIS,
+                    manifest_p: 1.0,
+                    light_scale: 1.0,
+                    io_chunks: chunks,
+                    network: false,
+                },
+            )
+        })
+}
+
+/// Strategy: a small random app (1-3 actions, 1-3 calls each).
+fn arb_app() -> impl Strategy<Value = App> {
+    let apis = proptest::collection::vec(0usize..4, 1..4).prop_flat_map(|_| {
+        (
+            arb_api(0),
+            arb_api(1),
+            arb_api(2),
+            proptest::collection::vec(
+                (0usize..3, proptest::collection::vec(0usize..3, 1..4)),
+                1..4,
+            ),
+        )
+    });
+    apis.prop_map(|(a0, a1, a2, action_specs)| {
+        let apis = vec![a0, a1, a2];
+        let actions = action_specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_h, calls))| {
+                ActionSpec::new(
+                    i as u64,
+                    &format!("action {i}"),
+                    vec![EventSpec::new(
+                        &format!("gen.app.Main.handler{i}"),
+                        (i + 1) as u32,
+                        calls.into_iter().map(|c| Call::direct(ApiId(c))).collect(),
+                    )],
+                )
+            })
+            .collect();
+        App {
+            name: "GenApp".into(),
+            package: "gen.app".into(),
+            category: "Tools".into(),
+            downloads: 1,
+            commit: "deadbee".into(),
+            apis,
+            actions,
+            bugs: Vec::<BugSpec>::new(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every scheduled execution completes, in order, with a response at
+    /// least as long as its sampled main-thread work.
+    #[test]
+    fn simulation_completes_all_actions(app in arb_app(), seed in 0u64..1000) {
+        let compiled = CompiledApp::new(app.clone());
+        let mut arrivals = Vec::new();
+        let mut t = SimTime::from_ms(100);
+        for a in &app.actions {
+            arrivals.push((t, a.uid));
+            t += 3_000 * MILLIS;
+        }
+        let schedule = Schedule { arrivals };
+        let mut run = build_run(&compiled, &schedule, SimConfig::default(), seed);
+        let summary = run.sim.run();
+        prop_assert!(!summary.truncated);
+        prop_assert_eq!(summary.actions_completed, app.actions.len());
+        for (i, rec) in run.sim.records().iter().enumerate() {
+            prop_assert_eq!(rec.exec_id.0, i as u64 + 1);
+            // Completion order equals arrival order.
+            prop_assert_eq!(rec.uid, schedule.arrivals[i].1);
+            prop_assert!(rec.ended.as_ns() >= rec.began.as_ns());
+        }
+    }
+
+    /// The same (app, schedule, seed) triple reproduces identical
+    /// timelines and counters.
+    #[test]
+    fn simulation_is_deterministic(app in arb_app(), seed in 0u64..1000) {
+        let compiled = CompiledApp::new(app.clone());
+        let uid = app.actions[0].uid;
+        let schedule = Schedule { arrivals: vec![(SimTime::from_ms(50), uid)] };
+        let run_once = || {
+            let mut run = build_run(&compiled, &schedule, SimConfig::default(), seed);
+            run.sim.run();
+            (
+                run.sim.records().iter().map(|r| r.max_response_ns()).collect::<Vec<_>>(),
+                run.sim.app_cpu_ns(),
+                run.sim.thread_counter(run.sim.main_tid(), hang_doctor_repro::simrt::HwEvent::ContextSwitches),
+            )
+        };
+        prop_assert_eq!(run_once(), run_once());
+    }
+
+    /// The response of a single-event action is bounded below by the
+    /// event's nominal busy time (CPU + I/O cannot be skipped).
+    #[test]
+    fn response_at_least_nominal_busy(app in arb_app(), seed in 0u64..1000) {
+        let compiled = CompiledApp::new(app.clone());
+        let uid = app.actions[0].uid;
+        let schedule = Schedule { arrivals: vec![(SimTime::from_ms(50), uid)] };
+        let mut run = build_run(&compiled, &schedule, SimConfig::default(), seed);
+        // Recompute the sampled request with the same derivation seed to
+        // get the nominal duration.
+        let mut rng = hang_doctor_repro::simrt::SimRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let (req, _) = compiled.sample(uid, &mut rng);
+        let (cpu, io) = nominal_duration(&req.events[0]);
+        run.sim.run();
+        let resp = run.sim.records()[0].max_response_ns();
+        prop_assert!(
+            resp >= cpu + io,
+            "response {} < nominal busy {}",
+            resp,
+            cpu + io
+        );
+        // And bounded above by a generous dilation factor.
+        prop_assert!(resp <= (cpu + io) * 3 + 50 * MILLIS);
+    }
+
+    /// Pearson is always within [-1, 1] and symmetric.
+    #[test]
+    fn pearson_bounds(pairs in proptest::collection::vec((-1e9f64..1e9, -1e9f64..1e9), 2..64)) {
+        let xs: Vec<f64> = pairs.iter().map(|(a, _)| *a).collect();
+        let ys: Vec<f64> = pairs.iter().map(|(_, b)| *b).collect();
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0001..=1.0001).contains(&r), "r = {r}");
+        let r2 = pearson(&ys, &xs);
+        prop_assert!((r - r2).abs() < 1e-9);
+    }
+
+    /// The S-Checker is monotone: raising any difference never turns a
+    /// suspicious verdict clean.
+    #[test]
+    fn schecker_is_monotone(
+        cs in -500.0f64..500.0,
+        tc in -5e8f64..5e8,
+        pf in -5e3f64..5e3,
+        bump in 0.0f64..1e9,
+    ) {
+        let checker = SChecker::new(SymptomThresholds::default());
+        let base = checker.check(CounterDiffs { context_switches: cs, task_clock: tc, page_faults: pf });
+        let bumped = checker.check(CounterDiffs {
+            context_switches: cs + bump.min(1e3),
+            task_clock: tc + bump,
+            page_faults: pf + bump.min(1e5),
+        });
+        if base.suspicious {
+            prop_assert!(bumped.suspicious);
+        }
+    }
+
+    /// Filter confusion counts always partition the sample set.
+    #[test]
+    fn filter_confusion_partitions(
+        labels in proptest::collection::vec(any::<bool>(), 1..60),
+        threshold in -100.0f64..100.0,
+    ) {
+        use hang_doctor_repro::hangdoctor::{Condition, DiffMode, TrainingSample};
+        use hang_doctor_repro::simrt::HwEvent;
+        let samples: Vec<TrainingSample> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &label)| {
+                let mut diff = vec![0.0; NUM_EVENTS];
+                diff[HwEvent::ContextSwitches.index()] = (i as f64) - 30.0;
+                TrainingSample { label, diff: diff.clone(), main_only: diff, source: String::new() }
+            })
+            .collect();
+        let filter = Filter {
+            conditions: vec![Condition { event: HwEvent::ContextSwitches, threshold }],
+        };
+        let (tp, fp, fneg, tn) = filter.evaluate(&samples, DiffMode::MainMinusRender);
+        prop_assert_eq!(tp + fp + fneg + tn, samples.len());
+        let bugs = labels.iter().filter(|&&l| l).count();
+        prop_assert_eq!(tp + fneg, bugs);
+    }
+
+    /// Offloading every call keeps the app responsive regardless of the
+    /// sampled costs (the "fix" always works).
+    #[test]
+    fn offloading_everything_always_fixes(app in arb_app(), seed in 0u64..500) {
+        let mut fixed = app.clone();
+        for action in &mut fixed.actions {
+            for ev in &mut action.events {
+                for call in &mut ev.calls {
+                    call.offloaded = true;
+                }
+            }
+        }
+        let compiled = CompiledApp::new(fixed.clone());
+        let uid = fixed.actions[0].uid;
+        let schedule = Schedule { arrivals: vec![(SimTime::from_ms(50), uid)] };
+        let mut run = build_run(&compiled, &schedule, SimConfig::default(), seed);
+        run.sim.run();
+        let resp = run.sim.records()[0].max_response_ns();
+        prop_assert!(resp < 50 * MILLIS, "offloaded app still hangs: {resp}");
+    }
+}
+
+/// Deterministic (non-proptest) sanity for the generated-app strategy:
+/// compiled apps always validate.
+#[test]
+fn generated_apps_validate() {
+    use proptest::strategy::ValueTree;
+    use proptest::test_runner::TestRunner;
+    let mut runner = TestRunner::deterministic();
+    for _ in 0..50 {
+        let app = arb_app().new_tree(&mut runner).unwrap().current();
+        assert!(app.validate().is_empty());
+    }
+}
