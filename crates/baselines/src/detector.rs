@@ -1,14 +1,29 @@
-//! Common output format for runtime detectors.
+//! Common output format and driver API for runtime detectors.
 //!
 //! Every runtime detector (Hang Doctor and the baselines) ultimately
 //! *traces* some set of action executions — collecting stack traces it
 //! believes belong to soft hang bugs. The evaluation scores those traced
 //! executions against ground truth.
+//!
+//! The [`Detector`] trait is the uniform driver interface: every
+//! detector is a [`Probe`] that can be [`install`]ed into a simulator
+//! and, after the run, [`finish`]ed into a [`DetectorOutput`]. The
+//! evaluation harness and the fleet engine drive all detectors only
+//! through this trait, so adding a detector means implementing it once.
+//!
+//! [`finish`]: Detector::finish
 
+use std::cell::RefCell;
 use std::collections::HashSet;
+use std::rc::Rc;
 
-use hd_simrt::{ActionUid, ExecId, SimTime};
+use hangdoctor::HdOutput;
+use hd_simrt::{
+    ActionInfo, ActionRecord, ActionUid, ExecId, MessageInfo, Probe, ProbeCtx, SimTime, Simulator,
+};
 use serde::{Deserialize, Serialize};
+
+use crate::perfchecker::OfflineFinding;
 
 /// One traced (flagged) soft-hang occurrence.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -44,9 +59,210 @@ impl DetectionLog {
     }
 }
 
+/// Everything a finished detector produced, by detector family.
+#[derive(Clone, Debug)]
+pub enum DetectorOutput {
+    /// Nothing was recorded (e.g. no detector installed).
+    None,
+    /// A baseline's detection log (TI, UT variants).
+    Log(DetectionLog),
+    /// The full Hang Doctor artifact.
+    HangDoctor(Box<HdOutput>),
+    /// Findings of an offline (static) scan.
+    Offline(Vec<OfflineFinding>),
+}
+
+impl DetectorOutput {
+    /// The executions this detector flagged/traced, across families.
+    ///
+    /// Offline scans flag call sites, not executions, so they contribute
+    /// nothing here.
+    pub fn flagged_execs(&self) -> HashSet<ExecId> {
+        match self {
+            DetectorOutput::None | DetectorOutput::Offline(_) => HashSet::new(),
+            DetectorOutput::Log(log) => log.flagged_execs(),
+            DetectorOutput::HangDoctor(hd) => hd.detections.iter().map(|d| d.exec_id).collect(),
+        }
+    }
+
+    /// The baseline log, if this was a baseline.
+    pub fn into_log(self) -> Option<DetectionLog> {
+        match self {
+            DetectorOutput::Log(log) => Some(log),
+            _ => None,
+        }
+    }
+
+    /// The Hang Doctor artifact, if this was Hang Doctor.
+    pub fn into_hang_doctor(self) -> Option<HdOutput> {
+        match self {
+            DetectorOutput::HangDoctor(hd) => Some(*hd),
+            _ => None,
+        }
+    }
+}
+
+/// A soft-hang detector drivable by the evaluation harness.
+///
+/// Implementors observe the run through the inherited [`Probe`] hooks
+/// and surrender their accumulated result through [`finish`]. The
+/// harness never touches a detector's concrete output type.
+///
+/// [`finish`]: Detector::finish
+pub trait Detector: Probe {
+    /// Display name matching the paper's figures (e.g. `"HD"`, `"UTL+TI"`).
+    fn name(&self) -> String;
+
+    /// Consumes the detector, returning everything it recorded.
+    fn finish(self: Box<Self>) -> DetectorOutput;
+}
+
+impl Detector for hangdoctor::HangDoctor {
+    fn name(&self) -> String {
+        "HD".to_string()
+    }
+
+    fn finish(self: Box<Self>) -> DetectorOutput {
+        DetectorOutput::HangDoctor(Box::new(self.output()))
+    }
+}
+
+/// The probe half of an installed detector: forwards every hook to the
+/// detector shared with the [`InstalledDetector`] handle.
+struct ForwardProbe {
+    slot: Rc<RefCell<Option<Box<dyn Detector>>>>,
+}
+
+impl Probe for ForwardProbe {
+    fn on_action_begin(&mut self, ctx: &mut ProbeCtx<'_>, info: &ActionInfo) {
+        if let Some(d) = self.slot.borrow_mut().as_mut() {
+            d.on_action_begin(ctx, info);
+        }
+    }
+
+    fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo) {
+        if let Some(d) = self.slot.borrow_mut().as_mut() {
+            d.on_dispatch_begin(ctx, info);
+        }
+    }
+
+    fn on_dispatch_end(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo, response_ns: u64) {
+        if let Some(d) = self.slot.borrow_mut().as_mut() {
+            d.on_dispatch_end(ctx, info, response_ns);
+        }
+    }
+
+    fn on_action_end(&mut self, ctx: &mut ProbeCtx<'_>, record: &ActionRecord) {
+        if let Some(d) = self.slot.borrow_mut().as_mut() {
+            d.on_action_end(ctx, record);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProbeCtx<'_>, token: u64) {
+        if let Some(d) = self.slot.borrow_mut().as_mut() {
+            d.on_timer(ctx, token);
+        }
+    }
+
+    fn on_sim_end(&mut self, ctx: &mut ProbeCtx<'_>) {
+        if let Some(d) = self.slot.borrow_mut().as_mut() {
+            d.on_sim_end(ctx);
+        }
+    }
+}
+
+/// Handle to a detector installed in a simulator; call
+/// [`InstalledDetector::finish`] after the run.
+pub struct InstalledDetector {
+    name: String,
+    slot: Rc<RefCell<Option<Box<dyn Detector>>>>,
+}
+
+impl InstalledDetector {
+    /// The detector's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Finishes the detector and returns its output.
+    pub fn finish(self) -> DetectorOutput {
+        match self.slot.borrow_mut().take() {
+            Some(d) => d.finish(),
+            None => DetectorOutput::None,
+        }
+    }
+}
+
+/// Installs a detector into a simulator, returning the handle to finish
+/// it after the run.
+///
+/// `Simulator::add_probe` takes ownership of its probe, so the detector
+/// is parked in a shared slot: a thin forwarding probe delegates every
+/// hook to it, and the returned handle takes it back out at the end.
+pub fn install(detector: Box<dyn Detector>, sim: &mut Simulator) -> InstalledDetector {
+    let name = detector.name();
+    let slot = Rc::new(RefCell::new(Some(detector)));
+    sim.add_probe(Box::new(ForwardProbe { slot: slot.clone() }));
+    InstalledDetector { name, slot }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hd_appmodel::corpus::table5;
+    use hd_appmodel::{build_run, round_robin_schedule, CompiledApp};
+    use hd_perfmon::CostModel;
+    use hd_simrt::{SimConfig, MILLIS};
+
+    #[test]
+    fn install_finish_roundtrip_matches_direct_handle() {
+        // Driving a detector through the trait must observe exactly the
+        // same run as reading its own output handle.
+        let compiled = CompiledApp::new(table5::k9mail());
+        let sched = round_robin_schedule(compiled.app(), 3, 3_000);
+        let mut run = build_run(&compiled, &sched, SimConfig::default(), 11);
+        let (det, handle) =
+            crate::TimeoutDetector::new(100 * MILLIS, 10 * MILLIS, CostModel::default());
+        let installed = install(Box::new(det), &mut run.sim);
+        assert_eq!(installed.name(), "TI(100ms)");
+        run.sim.run();
+        let direct = handle.borrow().clone();
+        let via_trait = installed.finish().into_log().unwrap();
+        assert!(!direct.traced.is_empty());
+        assert_eq!(via_trait.traced, direct.traced);
+        assert_eq!(via_trait.util_violations, direct.util_violations);
+    }
+
+    #[test]
+    fn hang_doctor_implements_detector() {
+        let compiled = CompiledApp::new(table5::k9mail());
+        let sched = round_robin_schedule(compiled.app(), 3, 3_000);
+        let mut run = build_run(&compiled, &sched, SimConfig::default(), 12);
+        let (det, _handle) = hangdoctor::HangDoctor::new(
+            hangdoctor::HangDoctorConfig::default(),
+            "K9-mail",
+            "com.fsck.k9",
+            1,
+            None,
+        );
+        let installed = install(Box::new(det), &mut run.sim);
+        assert_eq!(installed.name(), "HD");
+        run.sim.run();
+        let hd = installed.finish().into_hang_doctor().unwrap();
+        assert!(hd.schecker_checks > 0);
+    }
+
+    #[test]
+    fn offline_scanner_implements_detector() {
+        let app = table5::sagemath();
+        let db = hangdoctor::BlockingApiDb::documented(2017);
+        let scanner = Box::new(crate::OfflineScanner::new(&app, &db));
+        assert_eq!(Detector::name(scanner.as_ref()), "PerfChecker");
+        match scanner.finish() {
+            DetectorOutput::Offline(findings) => assert!(!findings.is_empty()),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
 
     #[test]
     fn flagged_execs_dedups() {

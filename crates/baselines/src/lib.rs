@@ -20,7 +20,9 @@ pub mod perfchecker;
 pub mod timeout;
 pub mod utilization;
 
-pub use detector::{DetectionLog, TracedHang};
-pub use perfchecker::{missed_bugs, scan_app, OfflineFinding};
+pub use detector::{
+    install, DetectionLog, Detector, DetectorOutput, InstalledDetector, TracedHang,
+};
+pub use perfchecker::{missed_bugs, scan_app, OfflineFinding, OfflineScanner};
 pub use timeout::TimeoutDetector;
 pub use utilization::{UtMode, UtThresholds, UtilizationDetector};

@@ -10,8 +10,10 @@
 
 use hangdoctor::BlockingApiDb;
 use hd_appmodel::App;
-use hd_simrt::ActionUid;
+use hd_simrt::{ActionUid, Probe};
 use serde::{Deserialize, Serialize};
+
+use crate::detector::{Detector, DetectorOutput};
 
 /// One offline finding: a known blocking API called on the main thread.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,6 +61,37 @@ pub fn scan_app(app: &App, db: &BlockingApiDb) -> Vec<OfflineFinding> {
         }
     }
     findings
+}
+
+/// The offline scan packaged as a [`Detector`], so harnesses that drive
+/// everything through the trait can include the static baseline.
+///
+/// The scan runs up front (it needs no runtime observations); the probe
+/// hooks are all no-ops and the findings come back from
+/// [`Detector::finish`] as [`DetectorOutput::Offline`].
+pub struct OfflineScanner {
+    findings: Vec<OfflineFinding>,
+}
+
+impl OfflineScanner {
+    /// Scans `app` against `db` immediately.
+    pub fn new(app: &App, db: &BlockingApiDb) -> OfflineScanner {
+        OfflineScanner {
+            findings: scan_app(app, db),
+        }
+    }
+}
+
+impl Probe for OfflineScanner {}
+
+impl Detector for OfflineScanner {
+    fn name(&self) -> String {
+        "PerfChecker".to_string()
+    }
+
+    fn finish(self: Box<Self>) -> DetectorOutput {
+        DetectorOutput::Offline(self.findings)
+    }
 }
 
 /// Ground-truth bugs of `app` that the offline scan misses.

@@ -12,7 +12,7 @@ use std::rc::Rc;
 use hd_perfmon::{CostModel, StackSampler};
 use hd_simrt::{MessageInfo, Probe, ProbeCtx};
 
-use crate::detector::{DetectionLog, TracedHang};
+use crate::detector::{DetectionLog, Detector, DetectorOutput, TracedHang};
 
 const SAMPLER_TOKEN: u64 = 1;
 const WATCH_TOKEN_BASE: u64 = 1_000;
@@ -50,6 +50,21 @@ impl TimeoutDetector {
             },
             out,
         )
+    }
+}
+
+impl Detector for TimeoutDetector {
+    fn name(&self) -> String {
+        const SECOND: u64 = 1_000_000_000;
+        if self.timeout_ns >= SECOND {
+            format!("TI({}s)", self.timeout_ns / SECOND)
+        } else {
+            format!("TI({}ms)", self.timeout_ns / 1_000_000)
+        }
+    }
+
+    fn finish(self: Box<Self>) -> DetectorOutput {
+        DetectorOutput::Log(self.out.borrow().clone())
     }
 }
 

@@ -22,7 +22,7 @@ use hd_perfmon::{CostModel, ResourceUsage, StackSampler};
 use hd_simrt::{ActionInfo, ActionRecord, MessageInfo, Probe, ProbeCtx, SimTime, MILLIS};
 use serde::{Deserialize, Serialize};
 
-use crate::detector::{DetectionLog, TracedHang};
+use crate::detector::{DetectionLog, Detector, DetectorOutput, TracedHang};
 
 const SAMPLER_TOKEN: u64 = 1;
 const POLL_TOKEN_BASE: u64 = 10_000;
@@ -233,6 +233,26 @@ impl UtilizationDetector {
         if let Some(idx) = self.traced_idx {
             self.out.borrow_mut().traced[idx].samples += samples.len();
         }
+    }
+}
+
+impl Detector for UtilizationDetector {
+    fn name(&self) -> String {
+        let level = if self.thresholds == UtThresholds::low() {
+            "UTL"
+        } else if self.thresholds == UtThresholds::high() {
+            "UTH"
+        } else {
+            "UT"
+        };
+        match self.mode {
+            UtMode::Continuous => level.to_string(),
+            UtMode::OnHang { .. } => format!("{level}+TI"),
+        }
+    }
+
+    fn finish(self: Box<Self>) -> DetectorOutput {
+        DetectorOutput::Log(self.out.borrow().clone())
     }
 }
 

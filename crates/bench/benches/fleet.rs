@@ -1,0 +1,49 @@
+//! Fleet-engine thread-scaling benchmark.
+//!
+//! Runs the same small corpus × device matrix at 1/2/4/8 worker threads.
+//! On a multi-core host the wall time should drop near-linearly until
+//! the core count is reached; on a single-core container the curve is
+//! flat — the merged results are byte-identical either way, which the
+//! fleet's integration tests assert separately.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hangdoctor::HangDoctorConfig;
+use hd_fleet::{run_fleet, DeviceProfile, FleetSpec};
+use std::hint::black_box;
+
+fn spec(threads: usize) -> FleetSpec {
+    FleetSpec {
+        apps: vec![
+            hd_appmodel::corpus::table5::k9mail(),
+            hd_appmodel::corpus::table5::omninotes(),
+            hd_appmodel::corpus::table5::cyclestreets(),
+            hd_appmodel::corpus::table5::andstatus(),
+        ],
+        profiles: DeviceProfile::default_set(),
+        devices_per_app: 8,
+        executions_per_action: 2,
+        root_seed: 42,
+        threads,
+        config: HangDoctorConfig::default(),
+        apidb_year: 2017,
+    }
+}
+
+fn fleet_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_scaling");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let spec = spec(threads);
+                b.iter(|| black_box(run_fleet(&spec)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fleet_scaling);
+criterion_main!(benches);

@@ -394,10 +394,10 @@ pub fn occurrence_sweep(seed: u64, executions: usize) -> OccurrenceSweep {
     };
     let mut rows = Vec::new();
     for &threshold in &[0.1, 0.3, 0.5, 0.7, 0.9] {
-        let cfg = HangDoctorConfig {
-            occurrence_threshold: threshold,
-            ..Default::default()
-        };
+        let cfg = HangDoctorConfig::builder()
+            .occurrence_threshold(threshold)
+            .build()
+            .unwrap();
         let mut run = build_run(&compiled, &schedule, SimConfig::default(), seed);
         let (probe, out) = HangDoctor::new(cfg, &app.name, &app.package, 1, None);
         run.sim.add_probe(Box::new(probe));
@@ -488,10 +488,10 @@ pub fn period_sweep(seed: u64, executions: usize) -> PeriodSweep {
     };
     let mut rows = Vec::new();
     for &period_ms in &[2u64, 5, 10, 25, 50] {
-        let cfg = HangDoctorConfig {
-            sample_period_ns: period_ms * MILLIS,
-            ..Default::default()
-        };
+        let cfg = HangDoctorConfig::builder()
+            .sample_period_ns(period_ms * MILLIS)
+            .build()
+            .unwrap();
         let mut run = build_run(&compiled, &schedule, SimConfig::default(), seed);
         let (probe, out) = HangDoctor::new(cfg, &app.name, &app.package, 1, None);
         run.sim.add_probe(Box::new(probe));

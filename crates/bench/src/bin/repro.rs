@@ -17,13 +17,16 @@ struct Opts {
     quick: bool,
     full: bool,
     json: bool,
+    devices: u32,
+    threads: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--seed N] [--quick|--full] [--json] <experiment>...\n\
+        "usage: repro [--seed N] [--quick|--full] [--json] [--devices N] [--threads N] <experiment>...\n\
          experiments: fig1 table1 fig2b table2 table3 table4 fig4 fig5 table5 fig6 fig7
-         table6 fig8 generality ablations all"
+         table6 fig8 generality ablations fleet all\n\
+         --devices/--threads apply to the fleet experiment (defaults 8/1)"
     );
     std::process::exit(2);
 }
@@ -103,6 +106,14 @@ fn run_one(name: &str, opts: &Opts) -> Result<(), String> {
             let r = hd_bench::generality::run(seed, e_mid);
             emit(opts, &r, r.render());
         }
+        "fleet" => {
+            let mut spec = hd_fleet::FleetSpec::study(opts.devices, opts.threads, seed);
+            if opts.quick {
+                spec.executions_per_action = 2;
+            }
+            let r = hd_fleet::run_fleet(&spec);
+            emit(opts, &r, r.render());
+        }
         "ablations" => {
             let r = hd_bench::ablation::phase2_only(seed, e_mid);
             emit(opts, &r, r.render());
@@ -143,6 +154,8 @@ fn main() -> ExitCode {
         quick: false,
         full: false,
         json: false,
+        devices: 8,
+        threads: 1,
     };
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -153,6 +166,18 @@ fn main() -> ExitCode {
                     usage()
                 };
                 opts.seed = v;
+            }
+            "--devices" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()).filter(|v| *v > 0) else {
+                    usage()
+                };
+                opts.devices = v;
+            }
+            "--threads" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()).filter(|v| *v > 0) else {
+                    usage()
+                };
+                opts.threads = v;
             }
             "--quick" => opts.quick = true,
             "--full" => opts.full = true,

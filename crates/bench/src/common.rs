@@ -4,7 +4,9 @@ use std::collections::HashSet;
 
 use hangdoctor::{HangDoctor, HangDoctorConfig, HdOutput, SharedApiDb};
 use hd_appmodel::{build_run, App, CompiledApp, ExecTruth, Schedule};
-use hd_baselines::{DetectionLog, TimeoutDetector, UtilizationDetector};
+use hd_baselines::{
+    install, DetectionLog, Detector, DetectorOutput, TimeoutDetector, UtilizationDetector,
+};
 use hd_metrics::OverheadReport;
 use hd_perfmon::CostModel;
 use hd_simrt::{ActionRecord, ExecId, MonitorCost, SimConfig, MILLIS};
@@ -59,6 +61,39 @@ impl DetectorKind {
             DetectorKind::HangDoctor,
         ]
     }
+
+    /// Constructs the detector behind this kind (`None` for
+    /// [`DetectorKind::None`]).
+    ///
+    /// Everything downstream drives the result exclusively through the
+    /// [`Detector`] trait.
+    pub fn build(
+        &self,
+        app: &App,
+        costs: CostModel,
+        apidb: Option<SharedApiDb>,
+    ) -> Option<Box<dyn Detector>> {
+        match self {
+            DetectorKind::None => None,
+            DetectorKind::Ti(timeout) => Some(Box::new(
+                TimeoutDetector::new(*timeout, 10 * MILLIS, costs).0,
+            )),
+            DetectorKind::UtLow => Some(Box::new(UtilizationDetector::low(costs).0)),
+            DetectorKind::UtHigh => Some(Box::new(UtilizationDetector::high(costs).0)),
+            DetectorKind::UtLowTi => Some(Box::new(UtilizationDetector::low_ti(costs).0)),
+            DetectorKind::UtHighTi => Some(Box::new(UtilizationDetector::high_ti(costs).0)),
+            DetectorKind::HangDoctor => Some(Box::new(
+                HangDoctor::new(
+                    HangDoctorConfig::default(),
+                    &app.name,
+                    &app.package,
+                    1,
+                    apidb,
+                )
+                .0,
+            )),
+        }
+    }
 }
 
 /// Everything one instrumented run produced.
@@ -101,63 +136,19 @@ pub fn run_detector_compiled(
 ) -> RunOutcome {
     let mut run = build_run(compiled, schedule, SimConfig::default(), seed);
     let costs = CostModel::default();
-    enum Handle {
-        None,
-        Log(std::rc::Rc<std::cell::RefCell<DetectionLog>>),
-        Hd(std::rc::Rc<std::cell::RefCell<HdOutput>>),
-    }
-    let handle = match kind {
-        DetectorKind::None => Handle::None,
-        DetectorKind::Ti(timeout) => {
-            let (probe, out) = TimeoutDetector::new(timeout, 10 * MILLIS, costs);
-            run.sim.add_probe(Box::new(probe));
-            Handle::Log(out)
-        }
-        DetectorKind::UtLow => {
-            let (probe, out) = UtilizationDetector::low(costs);
-            run.sim.add_probe(Box::new(probe));
-            Handle::Log(out)
-        }
-        DetectorKind::UtHigh => {
-            let (probe, out) = UtilizationDetector::high(costs);
-            run.sim.add_probe(Box::new(probe));
-            Handle::Log(out)
-        }
-        DetectorKind::UtLowTi => {
-            let (probe, out) = UtilizationDetector::low_ti(costs);
-            run.sim.add_probe(Box::new(probe));
-            Handle::Log(out)
-        }
-        DetectorKind::UtHighTi => {
-            let (probe, out) = UtilizationDetector::high_ti(costs);
-            run.sim.add_probe(Box::new(probe));
-            Handle::Log(out)
-        }
-        DetectorKind::HangDoctor => {
-            let app = compiled.app();
-            let (probe, out) = HangDoctor::new(
-                HangDoctorConfig::default(),
-                &app.name,
-                &app.package,
-                1,
-                apidb,
-            );
-            run.sim.add_probe(Box::new(probe));
-            Handle::Hd(out)
-        }
-    };
+    let installed = kind
+        .build(compiled.app(), costs, apidb)
+        .map(|det| install(det, &mut run.sim));
     run.sim.run();
-    let (flagged, log, hd) = match handle {
-        Handle::None => (HashSet::new(), None, None),
-        Handle::Log(out) => {
-            let log = out.borrow().clone();
-            (log.flagged_execs(), Some(log), None)
-        }
-        Handle::Hd(out) => {
-            let hd = out.borrow().clone();
-            let flagged = hd.detections.iter().map(|d| d.exec_id).collect();
-            (flagged, None, Some(hd))
-        }
+    let output = match installed {
+        Some(handle) => handle.finish(),
+        None => DetectorOutput::None,
+    };
+    let flagged = output.flagged_execs();
+    let (log, hd): (Option<DetectionLog>, Option<HdOutput>) = match output {
+        DetectorOutput::Log(log) => (Some(log), None),
+        DetectorOutput::HangDoctor(hd) => (None, Some(*hd)),
+        DetectorOutput::None | DetectorOutput::Offline(_) => (None, None),
     };
     RunOutcome {
         records: run.sim.records().to_vec(),
@@ -213,6 +204,18 @@ mod tests {
         assert_eq!(DetectorKind::Ti(100 * MILLIS).name(), "TI(100ms)");
         assert_eq!(DetectorKind::HangDoctor.name(), "HD");
         assert_eq!(DetectorKind::figure8_set().len(), 6);
+    }
+
+    #[test]
+    fn kind_names_match_trait_names() {
+        let app = table5::merchant();
+        for kind in DetectorKind::figure8_set() {
+            let det = kind.build(&app, CostModel::default(), None).unwrap();
+            assert_eq!(det.name(), kind.name(), "{kind:?}");
+        }
+        assert!(DetectorKind::None
+            .build(&app, CostModel::default(), None)
+            .is_none());
     }
 
     #[test]

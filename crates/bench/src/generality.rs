@@ -10,6 +10,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use hangdoctor::{validation_set, CounterDiffs, SChecker, SymptomThresholds};
 use hd_appmodel::corpus::table5;
 use hd_appmodel::{build_run, App, CompiledApp, Schedule};
 use hd_perfmon::{CostModel, PerfSession};
@@ -17,7 +18,6 @@ use hd_simrt::device::DeviceProfile;
 use hd_simrt::{
     ActionInfo, ActionRecord, ActionUid, HwEvent, MessageInfo, Probe, ProbeCtx, SimTime, MILLIS,
 };
-use hangdoctor::{validation_set, CounterDiffs, SChecker, SymptomThresholds};
 use serde::{Deserialize, Serialize};
 
 use crate::common::render_table;
@@ -171,7 +171,10 @@ pub fn run(seed: u64, executions: usize) -> Generality {
                 executions,
                 seed.wrapping_add(17 * i as u64),
             );
-            let hits = diffs.iter().filter(|d| checker.check(**d).suspicious).count();
+            let hits = diffs
+                .iter()
+                .filter(|d| checker.check(**d).suspicious)
+                .count();
             if !diffs.is_empty() && 2 * hits > diffs.len() {
                 recognized += 1;
             }
@@ -180,9 +183,18 @@ pub fn run(seed: u64, executions: usize) -> Generality {
         let mut ui_fp = 0;
         let mut ui_total = 0;
         for (j, (app, uid)) in ui_probes().into_iter().enumerate() {
-            let diffs = hang_diffs(&app, uid, &device, executions, seed.wrapping_add(91 * j as u64));
+            let diffs = hang_diffs(
+                &app,
+                uid,
+                &device,
+                executions,
+                seed.wrapping_add(91 * j as u64),
+            );
             ui_total += diffs.len();
-            ui_fp += diffs.iter().filter(|d| checker.check(**d).suspicious).count();
+            ui_fp += diffs
+                .iter()
+                .filter(|d| checker.check(**d).suspicious)
+                .count();
         }
         rows.push(DeviceRow {
             device: device.name.to_string(),

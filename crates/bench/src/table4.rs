@@ -83,7 +83,9 @@ mod tests {
 
     #[test]
     fn rankings_are_stable_under_subsampling() {
-        let t = run(42, 6);
+        // 12 executions per action: halving the training set must leave
+        // enough samples that near-tied events don't swap into the top 5.
+        let t = run(42, 12);
         // The paper's claim: the top-5 events keep their standing across
         // training sets. Require strong (not necessarily perfect)
         // overlap.

@@ -27,7 +27,10 @@ const SCAFFOLDING: [&str; 2] = [
 ];
 
 /// Classification of a diagnosed root cause.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Ord` follows declaration order and is used by the report merge to
+/// resolve classification conflicts deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum RootKind {
     /// Legitimate UI work that must stay on the main thread.
     UiApi,

@@ -82,6 +82,35 @@ impl BlockingApiDb {
         self.entries.is_empty()
     }
 
+    /// Merges another database into this one (fleet aggregation).
+    ///
+    /// Deduplicates by symbol. On conflicting provenance the resolution
+    /// is deterministic and order-independent: documentation beats a
+    /// runtime discovery, earlier documentation years beat later ones,
+    /// and between two discoveries the lexicographically smallest app
+    /// name wins. `merge` is therefore associative, commutative, and
+    /// idempotent.
+    pub fn merge(&mut self, other: &BlockingApiDb) {
+        fn rank(origin: &DbOrigin) -> (u8, u16, &str) {
+            match origin {
+                DbOrigin::Documented(year) => (0, *year, ""),
+                DbOrigin::HangDoctor { app } => (1, 0, app.as_str()),
+            }
+        }
+        for (sym, origin) in &other.entries {
+            match self.entries.entry(sym.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                    if rank(origin) < rank(occupied.get()) {
+                        occupied.insert(origin.clone());
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(vacant) => {
+                    vacant.insert(origin.clone());
+                }
+            }
+        }
+    }
+
     /// Entries discovered at runtime by Hang Doctor, sorted by symbol.
     pub fn discovered(&self) -> Vec<(&str, &str)> {
         let mut v: Vec<(&str, &str)> = self
@@ -141,6 +170,41 @@ mod tests {
         let mut db = BlockingApiDb::documented(2017);
         assert!(!db.add_discovered("android.hardware.Camera.open", "App"));
         assert!(db.discovered().is_empty());
+    }
+
+    #[test]
+    fn merge_dedups_and_resolves_conflicts_order_independently() {
+        let mut a = BlockingApiDb::new();
+        a.add_discovered("x.Y.z", "Zulip");
+        a.add_discovered("p.Q.r", "K9-mail");
+        let mut b = BlockingApiDb::new();
+        b.add_discovered("x.Y.z", "AndStatus");
+        b.entries
+            .insert("p.Q.r".to_string(), DbOrigin::Documented(2015));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+
+        for db in [&ab, &ba] {
+            assert_eq!(db.len(), 2);
+            // Smallest app name wins between discoveries.
+            assert_eq!(
+                db.entries["x.Y.z"],
+                DbOrigin::HangDoctor {
+                    app: "AndStatus".to_string()
+                }
+            );
+            // Documentation beats discovery.
+            assert_eq!(db.entries["p.Q.r"], DbOrigin::Documented(2015));
+        }
+
+        // Idempotent.
+        let snapshot = serde_json::to_string(&ab).unwrap();
+        ab.merge(&b);
+        ab.merge(&a);
+        assert_eq!(serde_json::to_string(&ab).unwrap(), snapshot);
     }
 
     #[test]

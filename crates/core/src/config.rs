@@ -87,6 +87,155 @@ impl Default for HangDoctorConfig {
     }
 }
 
+impl HangDoctorConfig {
+    /// Starts a validating builder seeded with the paper defaults.
+    pub fn builder() -> HangDoctorConfigBuilder {
+        HangDoctorConfigBuilder {
+            cfg: HangDoctorConfig::default(),
+        }
+    }
+}
+
+/// A configuration rejected by [`HangDoctorConfigBuilder::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `timeout_ns` was zero: every dispatch would count as a hang.
+    ZeroTimeout,
+    /// `sample_period_ns` was zero: the Trace Collector would sample at
+    /// an infinite rate.
+    ZeroSamplePeriod,
+    /// The sampling period exceeded the hang timeout, so a traced hang
+    /// could finish with no samples at all.
+    SamplePeriodAboveTimeout {
+        /// Offending period.
+        sample_period_ns: u64,
+        /// The configured timeout.
+        timeout_ns: u64,
+    },
+    /// A symptom threshold was negative or NaN (named field).
+    InvalidThreshold(&'static str),
+    /// `occurrence_threshold` was outside `(0, 1]`.
+    InvalidOccurrenceThreshold(f64),
+    /// `normal_reset_executions` was zero: Normal actions would be reset
+    /// on every execution, i.e. tracing would never stop.
+    ZeroNormalReset,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroTimeout => write!(f, "timeout_ns must be positive"),
+            ConfigError::ZeroSamplePeriod => write!(f, "sample_period_ns must be positive"),
+            ConfigError::SamplePeriodAboveTimeout {
+                sample_period_ns,
+                timeout_ns,
+            } => write!(
+                f,
+                "sample_period_ns ({sample_period_ns}) must not exceed timeout_ns ({timeout_ns})"
+            ),
+            ConfigError::InvalidThreshold(name) => {
+                write!(f, "threshold {name} must be a non-negative number")
+            }
+            ConfigError::InvalidOccurrenceThreshold(v) => {
+                write!(f, "occurrence_threshold {v} must be in (0, 1]")
+            }
+            ConfigError::ZeroNormalReset => {
+                write!(f, "normal_reset_executions must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`HangDoctorConfig`] that validates on [`build`].
+///
+/// [`build`]: HangDoctorConfigBuilder::build
+#[derive(Clone, Debug)]
+pub struct HangDoctorConfigBuilder {
+    cfg: HangDoctorConfig,
+}
+
+impl HangDoctorConfigBuilder {
+    /// Sets the hang timeout (minimum human-perceivable delay).
+    pub fn timeout_ns(mut self, v: u64) -> Self {
+        self.cfg.timeout_ns = v;
+        self
+    }
+
+    /// Sets all three symptom thresholds at once.
+    pub fn thresholds(mut self, t: SymptomThresholds) -> Self {
+        self.cfg.thresholds = t;
+        self
+    }
+
+    /// Sets the Trace Collector's stack sampling period.
+    pub fn sample_period_ns(mut self, v: u64) -> Self {
+        self.cfg.sample_period_ns = v;
+        self
+    }
+
+    /// Sets the Trace Analyzer's occurrence-factor threshold.
+    pub fn occurrence_threshold(mut self, v: f64) -> Self {
+        self.cfg.occurrence_threshold = v;
+        self
+    }
+
+    /// Sets how many executions pass before a Normal action is
+    /// re-examined.
+    pub fn normal_reset_executions(mut self, v: u32) -> Self {
+        self.cfg.normal_reset_executions = v;
+        self
+    }
+
+    /// Enables or disables the network-on-main-thread extension.
+    pub fn monitor_network(mut self, v: bool) -> Self {
+        self.cfg.monitor_network = v;
+        self
+    }
+
+    /// Sets the monitoring cost model.
+    pub fn costs(mut self, v: CostModel) -> Self {
+        self.cfg.costs = v;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<HangDoctorConfig, ConfigError> {
+        let c = self.cfg;
+        if c.timeout_ns == 0 {
+            return Err(ConfigError::ZeroTimeout);
+        }
+        if c.sample_period_ns == 0 {
+            return Err(ConfigError::ZeroSamplePeriod);
+        }
+        if c.sample_period_ns > c.timeout_ns {
+            return Err(ConfigError::SamplePeriodAboveTimeout {
+                sample_period_ns: c.sample_period_ns,
+                timeout_ns: c.timeout_ns,
+            });
+        }
+        for (name, v) in [
+            ("context_switch_diff", c.thresholds.context_switch_diff),
+            ("task_clock_diff", c.thresholds.task_clock_diff),
+            ("page_fault_diff", c.thresholds.page_fault_diff),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ConfigError::InvalidThreshold(name));
+            }
+        }
+        if !(c.occurrence_threshold > 0.0 && c.occurrence_threshold <= 1.0) {
+            return Err(ConfigError::InvalidOccurrenceThreshold(
+                c.occurrence_threshold,
+            ));
+        }
+        if c.normal_reset_executions == 0 {
+            return Err(ConfigError::ZeroNormalReset);
+        }
+        Ok(c)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +248,113 @@ mod tests {
         assert_eq!(cfg.thresholds.task_clock_diff, 1.7e8);
         assert_eq!(cfg.thresholds.page_fault_diff, 500.0);
         assert_eq!(cfg.normal_reset_executions, 20);
+    }
+
+    #[test]
+    fn builder_defaults_equal_default() {
+        let built = HangDoctorConfig::builder().build().unwrap();
+        let def = HangDoctorConfig::default();
+        assert_eq!(built.timeout_ns, def.timeout_ns);
+        assert_eq!(built.sample_period_ns, def.sample_period_ns);
+        assert_eq!(built.thresholds, def.thresholds);
+        assert_eq!(built.occurrence_threshold, def.occurrence_threshold);
+        assert_eq!(built.normal_reset_executions, def.normal_reset_executions);
+        assert_eq!(built.monitor_network, def.monitor_network);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_values() {
+        assert_eq!(
+            HangDoctorConfig::builder()
+                .timeout_ns(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroTimeout
+        );
+        assert_eq!(
+            HangDoctorConfig::builder()
+                .sample_period_ns(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroSamplePeriod
+        );
+        assert_eq!(
+            HangDoctorConfig::builder()
+                .sample_period_ns(200 * MILLIS)
+                .build()
+                .unwrap_err(),
+            ConfigError::SamplePeriodAboveTimeout {
+                sample_period_ns: 200 * MILLIS,
+                timeout_ns: 100 * MILLIS,
+            }
+        );
+        assert_eq!(
+            HangDoctorConfig::builder()
+                .thresholds(SymptomThresholds {
+                    task_clock_diff: -1.0,
+                    ..Default::default()
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidThreshold("task_clock_diff")
+        );
+        assert_eq!(
+            HangDoctorConfig::builder()
+                .thresholds(SymptomThresholds {
+                    page_fault_diff: f64::NAN,
+                    ..Default::default()
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidThreshold("page_fault_diff")
+        );
+        assert_eq!(
+            HangDoctorConfig::builder()
+                .occurrence_threshold(0.0)
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidOccurrenceThreshold(0.0)
+        );
+        assert_eq!(
+            HangDoctorConfig::builder()
+                .occurrence_threshold(1.5)
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidOccurrenceThreshold(1.5)
+        );
+        assert_eq!(
+            HangDoctorConfig::builder()
+                .normal_reset_executions(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroNormalReset
+        );
+    }
+
+    #[test]
+    fn builder_accepts_and_applies_custom_values() {
+        let cfg = HangDoctorConfig::builder()
+            .timeout_ns(150 * MILLIS)
+            .sample_period_ns(5 * MILLIS)
+            .occurrence_threshold(0.7)
+            .normal_reset_executions(5)
+            .monitor_network(true)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.timeout_ns, 150 * MILLIS);
+        assert_eq!(cfg.sample_period_ns, 5 * MILLIS);
+        assert_eq!(cfg.occurrence_threshold, 0.7);
+        assert_eq!(cfg.normal_reset_executions, 5);
+        assert!(cfg.monitor_network);
+    }
+
+    #[test]
+    fn config_error_display() {
+        let e = HangDoctorConfig::builder()
+            .timeout_ns(0)
+            .build()
+            .unwrap_err();
+        assert!(e.to_string().contains("timeout_ns"));
     }
 
     #[test]

@@ -98,6 +98,13 @@ pub struct HdOutput {
     pub network_warnings: Vec<NetworkWarning>,
 }
 
+// Fleet workers hand finished outputs back across threads; keep every
+// field of the run artifact thread-transferable.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<HdOutput>();
+};
+
 struct CurrentAction {
     uid: ActionUid,
     name: String,
@@ -167,6 +174,12 @@ impl HangDoctor {
         )
     }
 
+    /// A snapshot of everything produced so far — the same data the
+    /// handle returned by [`HangDoctor::new`] reads.
+    pub fn output(&self) -> HdOutput {
+        self.out.borrow().clone()
+    }
+
     /// Pre-seeds an action's state (e.g. restoring a persisted table).
     pub fn preset_state(&mut self, uid: ActionUid, state: ActionState) {
         self.states.transition(uid, state, "preset");
@@ -228,7 +241,7 @@ impl Probe for HangDoctor {
         self.out
             .borrow_mut()
             .report
-            .note_execution(info.uid, &info.name);
+            .note_execution(self.device, info.uid, &info.name);
         let session = if state == ActionState::Uncategorized {
             let threads = [ctx.main_tid(), ctx.render_tid()];
             Some(PerfSession::start(
@@ -693,10 +706,10 @@ mod tests {
         let compiled = CompiledApp::new(app.clone());
         let sched = round_robin_schedule(&app, 3, 3_000);
         let mut run = build_run(&compiled, &sched, SimConfig::default(), 61);
-        let cfg = HangDoctorConfig {
-            monitor_network: true,
-            ..Default::default()
-        };
+        let cfg = HangDoctorConfig::builder()
+            .monitor_network(true)
+            .build()
+            .unwrap();
         let (probe, out) = HangDoctor::new(cfg, &app.name, &app.package, 1, None);
         run.sim.add_probe(Box::new(probe));
         run.sim.run();
@@ -723,10 +736,10 @@ mod tests {
 
     #[test]
     fn normal_actions_are_reset_for_reexamination() {
-        let cfg = HangDoctorConfig {
-            normal_reset_executions: 3,
-            ..Default::default()
-        };
+        let cfg = HangDoctorConfig::builder()
+            .normal_reset_executions(3)
+            .build()
+            .unwrap();
         let compiled = CompiledApp::new(table5::k9mail());
         let sched = round_robin_schedule(compiled.app(), 8, 2_500);
         let mut run = build_run(&compiled, &sched, SimConfig::default(), 13);

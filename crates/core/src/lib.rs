@@ -39,7 +39,7 @@ pub mod trainer;
 pub use adaptation::{heavy_adaptation, light_adaptation, AdaptationOutcome};
 pub use analysis::{analyze, is_ui_frame, RootCause, RootKind};
 pub use apidb::{shared, BlockingApiDb, DbOrigin, SharedApiDb};
-pub use config::{HangDoctorConfig, SymptomThresholds};
+pub use config::{ConfigError, HangDoctorConfig, HangDoctorConfigBuilder, SymptomThresholds};
 pub use correlation::{
     best_threshold, pearson, rank_events, select_filter, subsample, Condition, DiffMode, Filter,
     TrainingSample,

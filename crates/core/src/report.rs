@@ -4,8 +4,18 @@
 //! devices: for each root cause it tracks how many devices saw it and in
 //! what percentage of the affected action's executions it manifested,
 //! sorted by occurrence.
+//!
+//! All evidence is kept **per device**, and [`HangBugReport::merge`] is
+//! a join-semilattice join: for every (root cause, device) and (action,
+//! device) cell it takes the element-wise maximum of the two counters.
+//! Two snapshots of the same device's monotonically growing state merge
+//! to the later snapshot, and reports from different devices union.
+//! That makes `merge` associative, commutative, and idempotent, so the
+//! fleet engine can combine shard results in any grouping/order — and
+//! retry a shard — without changing the outcome.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 
 use hd_simrt::ActionUid;
 use serde::{Deserialize, Serialize};
@@ -45,15 +55,51 @@ impl ReportEntry {
     }
 }
 
+/// What one device contributed to one root cause. Merging takes the
+/// field-wise-lexicographic maximum (`Ord` derive), treating the larger
+/// record as the later snapshot of the same device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+struct DeviceEvidence {
+    hangs: u64,
+    total_hang_ns: u64,
+}
+
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 struct EntryAcc {
     file: String,
     line: u32,
     kind: Option<RootKind>,
-    action: String,
-    devices: HashSet<u32>,
-    hangs: u64,
-    total_hang_ns: u64,
+    devices: HashMap<u32, DeviceEvidence>,
+}
+
+impl EntryAcc {
+    fn hangs(&self) -> u64 {
+        self.devices.values().map(|e| e.hangs).sum()
+    }
+
+    fn total_hang_ns(&self) -> u64 {
+        self.devices.values().map(|e| e.total_hang_ns).sum()
+    }
+
+    /// Semilattice join with another accumulator for the same symbol.
+    fn join(&mut self, other: &EntryAcc) {
+        // Location conflicts (same symbol diagnosed at two sites) resolve
+        // to the smallest (file, line) so that merge order cannot matter.
+        if !other.file.is_empty()
+            && (self.file.is_empty() || (&other.file, other.line) < (&self.file, self.line))
+        {
+            self.file = other.file.clone();
+            self.line = other.line;
+        }
+        self.kind = match (self.kind, other.kind) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        for (device, evidence) in &other.devices {
+            let mine = self.devices.entry(*device).or_default();
+            *mine = (*mine).max(*evidence);
+        }
+    }
 }
 
 /// Aggregated per-app hang bug report maintained for the developer.
@@ -62,7 +108,7 @@ pub struct HangBugReport {
     /// App the report belongs to.
     pub app: String,
     entries: HashMap<String, EntryAcc>,
-    action_executions: HashMap<ActionUid, u64>,
+    action_executions: HashMap<ActionUid, HashMap<u32, u64>>,
     action_names: HashMap<ActionUid, String>,
     bug_actions: HashMap<String, ActionUid>,
 }
@@ -76,10 +122,15 @@ impl HangBugReport {
         }
     }
 
-    /// Notes one execution of an action (denominator of the occurrence
-    /// percentage).
-    pub fn note_execution(&mut self, uid: ActionUid, name: &str) {
-        *self.action_executions.entry(uid).or_default() += 1;
+    /// Notes one execution of an action on `device` (denominator of the
+    /// occurrence percentage).
+    pub fn note_execution(&mut self, device: u32, uid: ActionUid, name: &str) {
+        *self
+            .action_executions
+            .entry(uid)
+            .or_default()
+            .entry(device)
+            .or_default() += 1;
         self.action_names
             .entry(uid)
             .or_insert_with(|| name.to_string());
@@ -92,33 +143,55 @@ impl HangBugReport {
         acc.file = root.file.clone();
         acc.line = root.line;
         acc.kind = Some(root.kind);
-        acc.devices.insert(device);
-        acc.hangs += 1;
-        acc.total_hang_ns += hang_ns;
+        let evidence = acc.devices.entry(device).or_default();
+        evidence.hangs += 1;
+        evidence.total_hang_ns += hang_ns;
         self.bug_actions.insert(root.symbol.clone(), uid);
     }
 
-    /// Merges another device's report into this one (fleet aggregation).
+    /// Merges another report for the same app into this one (fleet
+    /// aggregation). Associative, commutative, and idempotent: every
+    /// per-device counter joins by maximum, and tie-breaks (names,
+    /// locations, classifications) resolve to the smallest value.
     pub fn merge(&mut self, other: &HangBugReport) {
-        for (uid, n) in &other.action_executions {
-            *self.action_executions.entry(*uid).or_default() += n;
+        for (uid, devices) in &other.action_executions {
+            let mine = self.action_executions.entry(*uid).or_default();
+            for (device, count) in devices {
+                let cell = mine.entry(*device).or_default();
+                *cell = (*cell).max(*count);
+            }
         }
         for (uid, name) in &other.action_names {
-            self.action_names
-                .entry(*uid)
-                .or_insert_with(|| name.clone());
+            match self.action_names.entry(*uid) {
+                Entry::Occupied(mut occupied) => {
+                    if name < occupied.get() {
+                        occupied.insert(name.clone());
+                    }
+                }
+                Entry::Vacant(vacant) => {
+                    vacant.insert(name.clone());
+                }
+            }
         }
         for (sym, acc) in &other.entries {
-            let mine = self.entries.entry(sym.clone()).or_default();
-            mine.file = acc.file.clone();
-            mine.line = acc.line;
-            mine.kind = acc.kind;
-            mine.devices.extend(&acc.devices);
-            mine.hangs += acc.hangs;
-            mine.total_hang_ns += acc.total_hang_ns;
+            match self.entries.entry(sym.clone()) {
+                Entry::Occupied(mut occupied) => occupied.get_mut().join(acc),
+                Entry::Vacant(vacant) => {
+                    vacant.insert(acc.clone());
+                }
+            }
         }
         for (sym, uid) in &other.bug_actions {
-            self.bug_actions.entry(sym.clone()).or_insert(*uid);
+            match self.bug_actions.entry(sym.clone()) {
+                Entry::Occupied(mut occupied) => {
+                    if uid.0 < occupied.get().0 {
+                        occupied.insert(*uid);
+                    }
+                }
+                Entry::Vacant(vacant) => {
+                    vacant.insert(*uid);
+                }
+            }
         }
     }
 
@@ -131,12 +204,13 @@ impl HangBugReport {
                 let uid = self.bug_actions.get(sym);
                 let action_executions = uid
                     .and_then(|u| self.action_executions.get(u))
-                    .copied()
+                    .map(|devices| devices.values().sum())
                     .unwrap_or(0);
                 let action = uid
                     .and_then(|u| self.action_names.get(u))
                     .cloned()
                     .unwrap_or_default();
+                let hangs = acc.hangs();
                 ReportEntry {
                     symbol: sym.clone(),
                     file: acc.file.clone(),
@@ -144,9 +218,9 @@ impl HangBugReport {
                     kind: acc.kind.unwrap_or(RootKind::BlockingApi),
                     action,
                     devices: acc.devices.len(),
-                    hangs: acc.hangs,
+                    hangs,
                     action_executions,
-                    mean_hang_ns: acc.total_hang_ns.checked_div(acc.hangs).unwrap_or(0),
+                    mean_hang_ns: acc.total_hang_ns().checked_div(hangs).unwrap_or(0),
                 }
             })
             .collect();
@@ -198,7 +272,7 @@ mod tests {
     fn occurrence_percentage_over_action_executions() {
         let mut r = HangBugReport::new("AndStatus");
         for _ in 0..100 {
-            r.note_execution(ActionUid(1), "open conversation");
+            r.note_execution(1, ActionUid(1), "open conversation");
         }
         for _ in 0..75 {
             r.record_bug(1, ActionUid(1), &root("a.b.transform"), 200_000_000);
@@ -214,8 +288,8 @@ mod tests {
     fn rows_sorted_by_occurrence() {
         let mut r = HangBugReport::new("App");
         for _ in 0..10 {
-            r.note_execution(ActionUid(1), "a1");
-            r.note_execution(ActionUid(2), "a2");
+            r.note_execution(1, ActionUid(1), "a1");
+            r.note_execution(1, ActionUid(2), "a2");
         }
         for _ in 0..2 {
             r.record_bug(1, ActionUid(1), &root("low.occurrence"), 1);
@@ -231,10 +305,10 @@ mod tests {
     #[test]
     fn merge_unions_devices_and_sums_hangs() {
         let mut a = HangBugReport::new("App");
-        a.note_execution(ActionUid(1), "act");
+        a.note_execution(1, ActionUid(1), "act");
         a.record_bug(1, ActionUid(1), &root("x.y.z"), 100);
         let mut b = HangBugReport::new("App");
-        b.note_execution(ActionUid(1), "act");
+        b.note_execution(2, ActionUid(1), "act");
         b.record_bug(2, ActionUid(1), &root("x.y.z"), 300);
         a.merge(&b);
         let rows = a.entries();
@@ -245,9 +319,53 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_idempotent_per_device() {
+        let mut a = HangBugReport::new("App");
+        a.note_execution(1, ActionUid(1), "act");
+        a.note_execution(1, ActionUid(1), "act");
+        a.record_bug(1, ActionUid(1), &root("x.y.z"), 100);
+        let snapshot = a.clone();
+        // Merging a report with itself (same device) must change nothing:
+        // it is the same evidence, not new evidence.
+        a.merge(&snapshot);
+        a.merge(&snapshot);
+        let rows = a.entries();
+        assert_eq!(rows[0].devices, 1);
+        assert_eq!(rows[0].hangs, 1);
+        assert_eq!(rows[0].action_executions, 2);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&snapshot).unwrap()
+        );
+    }
+
+    #[test]
+    fn merge_takes_later_snapshot_of_same_device() {
+        let mut early = HangBugReport::new("App");
+        early.note_execution(3, ActionUid(1), "act");
+        early.record_bug(3, ActionUid(1), &root("x.y.z"), 100);
+        let mut late = early.clone();
+        late.note_execution(3, ActionUid(1), "act");
+        late.record_bug(3, ActionUid(1), &root("x.y.z"), 300);
+        // Merge in either order: the later snapshot wins, nothing doubles.
+        let mut ab = early.clone();
+        ab.merge(&late);
+        let mut ba = late.clone();
+        ba.merge(&early);
+        assert_eq!(
+            serde_json::to_string(&ab).unwrap(),
+            serde_json::to_string(&ba).unwrap()
+        );
+        let rows = ab.entries();
+        assert_eq!(rows[0].hangs, 2);
+        assert_eq!(rows[0].action_executions, 2);
+        assert_eq!(rows[0].mean_hang_ns, 200);
+    }
+
+    #[test]
     fn render_contains_figure_2b_columns() {
         let mut r = HangBugReport::new("AndStatus");
-        r.note_execution(ActionUid(1), "open conversation");
+        r.note_execution(7, ActionUid(1), "open conversation");
         r.record_bug(
             7,
             ActionUid(1),
@@ -263,7 +381,7 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let mut r = HangBugReport::new("App");
-        r.note_execution(ActionUid(1), "act");
+        r.note_execution(1, ActionUid(1), "act");
         r.record_bug(1, ActionUid(1), &root("x.y.z"), 5);
         let json = serde_json::to_string(&r).unwrap();
         let back: HangBugReport = serde_json::from_str(&json).unwrap();

@@ -1,0 +1,518 @@
+//! # hd-fleet — the sharded parallel fleet engine
+//!
+//! The paper's field study (Section 4.3) runs Hang Doctor on many
+//! devices at once and aggregates what they report. This crate scales
+//! that story to a simulated fleet: a **corpus × device-profile ×
+//! user-trace matrix** is enumerated into independent jobs, the jobs are
+//! distributed over a scoped worker pool through a shared lock-free
+//! queue (dynamic load balancing: idle workers steal the next pending
+//! job), and every per-device artifact is merged losslessly at the end.
+//!
+//! ## Determinism
+//!
+//! The merged half of a [`FleetReport`] is **bit-identical across thread
+//! counts**:
+//!
+//! * every device's seed derives only from the fleet's root seed and the
+//!   device's stable index (see [`device_seed`]) — never from scheduling;
+//! * per-device runs share nothing mutable — each job gets its own
+//!   simulator, its own Hang Doctor, and its own blocking-API database;
+//! * the merge operators ([`HangBugReport::merge`],
+//!   [`BlockingApiDb::merge`]) are associative, commutative, and
+//!   idempotent, and results are folded in stable job-index order.
+//!
+//! Wall-clock measurements live in the separate [`FleetTiming`] half,
+//! which is excluded from determinism comparisons by construction.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use crossbeam::queue::SegQueue;
+use hangdoctor::{shared, BlockingApiDb, HangBugReport, HangDoctor, HangDoctorConfig};
+use hd_appmodel::{build_run, generate_schedule, App, CompiledApp, TraceParams};
+use hd_baselines::install;
+use hd_metrics::{score, Confusion};
+use hd_simrt::{ExecId, SimConfig, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// A simulated device class (the device-profile axis of the matrix).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Profile name (e.g. `"low-end"`).
+    pub name: String,
+    /// CPU cores of the device.
+    pub cores: usize,
+    /// Background worker threads the app gets on this device.
+    pub workers: usize,
+}
+
+impl DeviceProfile {
+    /// The default three-tier fleet mix: low-end, mid-range, flagship.
+    pub fn default_set() -> Vec<DeviceProfile> {
+        vec![
+            DeviceProfile {
+                name: "low-end".into(),
+                cores: 2,
+                workers: 1,
+            },
+            DeviceProfile {
+                name: "mid-range".into(),
+                cores: 4,
+                workers: 2,
+            },
+            DeviceProfile {
+                name: "flagship".into(),
+                cores: 8,
+                workers: 4,
+            },
+        ]
+    }
+}
+
+/// What to run: the full matrix and how to run it.
+#[derive(Clone, Debug)]
+pub struct FleetSpec {
+    /// The app corpus.
+    pub apps: Vec<App>,
+    /// Device profiles, assigned round-robin over each app's devices.
+    pub profiles: Vec<DeviceProfile>,
+    /// Simulated devices per app.
+    pub devices_per_app: u32,
+    /// User-trace length: executions per action per device.
+    pub executions_per_action: usize,
+    /// Root seed; every per-device seed derives from it.
+    pub root_seed: u64,
+    /// Worker threads (1 = serial reference).
+    pub threads: usize,
+    /// Hang Doctor configuration installed on every device.
+    pub config: HangDoctorConfig,
+    /// Vintage of the documented blocking-API database each device
+    /// starts from.
+    pub apidb_year: u16,
+}
+
+impl FleetSpec {
+    /// A spec over the Table 5 study corpus with paper-default settings.
+    pub fn study(devices_per_app: u32, threads: usize, root_seed: u64) -> FleetSpec {
+        FleetSpec {
+            apps: hd_appmodel::corpus::table5::apps(),
+            profiles: DeviceProfile::default_set(),
+            devices_per_app,
+            executions_per_action: 4,
+            root_seed,
+            threads,
+            config: HangDoctorConfig::default(),
+            apidb_year: 2017,
+        }
+    }
+
+    /// Total number of jobs (= devices) in the matrix.
+    pub fn jobs(&self) -> usize {
+        self.apps.len() * self.devices_per_app as usize
+    }
+}
+
+/// Derives the seed of the device with stable index `index`.
+///
+/// One SplitMix64 scramble of `root_seed` offset by the golden-ratio
+/// increment per index: consecutive indices land far apart in the seed
+/// space, and the result depends on nothing but `(root_seed, index)` —
+/// the cornerstone of thread-count-independent results.
+pub fn device_seed(root_seed: u64, index: u64) -> u64 {
+    let mut z =
+        root_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What one device run produced (one cell of the matrix).
+struct JobResult {
+    index: usize,
+    app_idx: usize,
+    report: HangBugReport,
+    confusion: Confusion,
+    detections: u64,
+    hangs_observed: u64,
+    simulated_ns: u64,
+    db: BlockingApiDb,
+}
+
+/// Per-app slice of the merged fleet results.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AppFleetSummary {
+    /// App name.
+    pub app: String,
+    /// Devices that ran this app.
+    pub devices: u32,
+    /// Losslessly merged hang bug report over all devices.
+    pub report: HangBugReport,
+    /// Summed confusion counts over the app's devices.
+    pub confusion: Confusion,
+    /// Deep analyses across the app's devices.
+    pub detections: u64,
+}
+
+/// The deterministic half of a [`FleetReport`]: everything here is
+/// bit-identical for a given spec regardless of thread count.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MergedFleet {
+    /// Root seed the fleet derived from.
+    pub root_seed: u64,
+    /// Devices per app.
+    pub devices_per_app: u32,
+    /// Total jobs run.
+    pub jobs: usize,
+    /// Per-app summaries, corpus order.
+    pub apps: Vec<AppFleetSummary>,
+    /// Fleet-wide blocking-API database after merging every device's
+    /// discoveries (the Figure 2(a) feedback loop at fleet scale).
+    pub apidb: BlockingApiDb,
+    /// Fleet-wide confusion totals.
+    pub confusion: Confusion,
+    /// Deep analyses across the fleet.
+    pub detections: u64,
+    /// Soft hangs observed across the fleet.
+    pub hangs_observed: u64,
+    /// Total simulated device time, ns.
+    pub simulated_ns: u64,
+}
+
+/// Per-worker (shard) execution statistics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardStat {
+    /// Worker index.
+    pub worker: usize,
+    /// Jobs this worker pulled from the queue.
+    pub jobs: usize,
+    /// Time the worker spent running jobs, ms.
+    pub busy_ms: u64,
+}
+
+/// The wall-clock half of a [`FleetReport`]; varies run to run and is
+/// excluded from determinism comparisons.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FleetTiming {
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall time, ms.
+    pub wall_ms: u64,
+    /// Simulated device-hours completed per wall-clock second — the
+    /// fleet's throughput.
+    pub device_hours_per_wall_second: f64,
+    /// Per-worker statistics.
+    pub shards: Vec<ShardStat>,
+}
+
+/// Everything a fleet run produced.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Deterministic merged results.
+    pub merged: MergedFleet,
+    /// Wall-clock measurements.
+    pub timing: FleetTiming,
+}
+
+impl FleetReport {
+    /// Renders a human-readable fleet summary.
+    pub fn render(&self) -> String {
+        let m = &self.merged;
+        let t = &self.timing;
+        let mut out = format!(
+            "Fleet — {} apps x {} devices = {} jobs on {} thread(s)\n\
+             wall {:.1} s, {:.2} simulated device-hours ({:.2} device-hours/s)\n\
+             confusion: tp={} fp={} fn={} tn={} (recall {:.2}, precision {:.2})\n\
+             deep analyses: {}; hangs observed: {}; APIs discovered fleet-wide: {}\n",
+            m.apps.len(),
+            m.devices_per_app,
+            m.jobs,
+            t.threads,
+            t.wall_ms as f64 / 1e3,
+            m.simulated_ns as f64 / 3.6e12,
+            t.device_hours_per_wall_second,
+            m.confusion.tp,
+            m.confusion.fp,
+            m.confusion.fn_,
+            m.confusion.tn,
+            m.confusion.recall(),
+            m.confusion.precision(),
+            m.detections,
+            m.hangs_observed,
+            m.apidb.discovered().len(),
+        );
+        for shard in &t.shards {
+            out.push_str(&format!(
+                "  worker {}: {} jobs, busy {} ms\n",
+                shard.worker, shard.jobs, shard.busy_ms
+            ));
+        }
+        for app in &m.apps {
+            let bugs = app.report.entries().len();
+            out.push_str(&format!(
+                "  {:<24} devices={:<3} bugs={:<3} tp={:<4} fp={:<4}\n",
+                app.app, app.devices, bugs, app.confusion.tp, app.confusion.fp
+            ));
+        }
+        out
+    }
+}
+
+fn add_confusion(into: &mut Confusion, c: &Confusion) {
+    into.tp += c.tp;
+    into.fp += c.fp;
+    into.fn_ += c.fn_;
+    into.tn += c.tn;
+}
+
+/// Runs one cell of the matrix: `spec.apps[app_idx]` on the device with
+/// stable index `index`.
+fn run_job(spec: &FleetSpec, index: usize, app_idx: usize) -> JobResult {
+    let app = &spec.apps[app_idx];
+    let device_in_app = index % spec.devices_per_app as usize;
+    let profile = &spec.profiles[device_in_app % spec.profiles.len()];
+    let seed = device_seed(spec.root_seed, index as u64);
+    // Device ids are 1-based and globally unique, so the merged report's
+    // per-device evidence cells never collide across the fleet.
+    let device_id = index as u32 + 1;
+
+    let compiled = CompiledApp::new(app.clone());
+    let mut rng = SimRng::seed_from_u64(seed);
+    let schedule = generate_schedule(
+        app,
+        TraceParams {
+            actions: spec.executions_per_action * app.actions.len(),
+            ..TraceParams::default()
+        },
+        &mut rng,
+    );
+    let sim_cfg = SimConfig {
+        cores: profile.cores,
+        workers: profile.workers,
+        ..SimConfig::default()
+    };
+    let mut run = build_run(&compiled, &schedule, sim_cfg, seed);
+
+    let db = shared(BlockingApiDb::documented(spec.apidb_year));
+    let (doctor, _handle) = HangDoctor::new(
+        spec.config.clone(),
+        &app.name,
+        &app.package,
+        device_id,
+        Some(db.clone()),
+    );
+    let installed = install(Box::new(doctor), &mut run.sim);
+    let summary = run.sim.run();
+
+    let hd = installed
+        .finish()
+        .into_hang_doctor()
+        .expect("fleet installs Hang Doctor");
+    let flagged: HashSet<ExecId> = hd.detections.iter().map(|d| d.exec_id).collect();
+    let confusion = score(run.sim.records(), &run.truths, &flagged);
+    let db = db.lock().clone();
+    JobResult {
+        index,
+        app_idx,
+        report: hd.report,
+        confusion,
+        detections: hd.detections.len() as u64,
+        hangs_observed: hd.hangs_observed,
+        simulated_ns: summary.ended_at.0,
+        db,
+    }
+}
+
+/// Merges job results (already sorted by stable index) into the
+/// deterministic fleet artifact.
+fn merge_results(spec: &FleetSpec, results: &[JobResult]) -> MergedFleet {
+    let mut apps: Vec<AppFleetSummary> = spec
+        .apps
+        .iter()
+        .map(|app| AppFleetSummary {
+            app: app.name.clone(),
+            devices: 0,
+            report: HangBugReport::new(&app.name),
+            confusion: Confusion::default(),
+            detections: 0,
+        })
+        .collect();
+    let mut apidb = BlockingApiDb::documented(spec.apidb_year);
+    let mut confusion = Confusion::default();
+    let mut detections = 0u64;
+    let mut hangs_observed = 0u64;
+    let mut simulated_ns = 0u64;
+    for result in results {
+        let slot = &mut apps[result.app_idx];
+        slot.devices += 1;
+        slot.report.merge(&result.report);
+        add_confusion(&mut slot.confusion, &result.confusion);
+        slot.detections += result.detections;
+        apidb.merge(&result.db);
+        add_confusion(&mut confusion, &result.confusion);
+        detections += result.detections;
+        hangs_observed += result.hangs_observed;
+        simulated_ns += result.simulated_ns;
+    }
+    MergedFleet {
+        root_seed: spec.root_seed,
+        devices_per_app: spec.devices_per_app,
+        jobs: results.len(),
+        apps,
+        apidb,
+        confusion,
+        detections,
+        hangs_observed,
+        simulated_ns,
+    }
+}
+
+/// Runs the fleet: enumerates the matrix, executes every job on the
+/// worker pool, and merges the results.
+///
+/// # Panics
+///
+/// Panics if the spec has no apps, no profiles, or zero devices.
+pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
+    assert!(!spec.apps.is_empty(), "fleet needs at least one app");
+    assert!(
+        !spec.profiles.is_empty(),
+        "fleet needs at least one profile"
+    );
+    assert!(spec.devices_per_app > 0, "fleet needs at least one device");
+    let threads = spec.threads.max(1);
+    let total_jobs = spec.jobs();
+    let started = Instant::now();
+
+    // The shared job queue: workers pull the next pending (index,
+    // app_idx) pair as soon as they go idle, so a shard is whatever mix
+    // of cells a worker ends up grabbing — long-running apps never pin
+    // the whole fleet behind one thread.
+    let queue: SegQueue<(usize, usize)> = SegQueue::new();
+    for app_idx in 0..spec.apps.len() {
+        for d in 0..spec.devices_per_app as usize {
+            let index = app_idx * spec.devices_per_app as usize + d;
+            queue.push((index, app_idx));
+        }
+    }
+
+    let mut results: Vec<JobResult> = Vec::with_capacity(total_jobs);
+    let mut shards: Vec<ShardStat> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let queue = &queue;
+            handles.push(scope.spawn(move |_| {
+                let begun = Instant::now();
+                let mut mine = Vec::new();
+                while let Some((index, app_idx)) = queue.pop() {
+                    mine.push(run_job(spec, index, app_idx));
+                }
+                (
+                    ShardStat {
+                        worker,
+                        jobs: mine.len(),
+                        busy_ms: begun.elapsed().as_millis() as u64,
+                    },
+                    mine,
+                )
+            }));
+        }
+        for handle in handles {
+            let (stat, mut mine) = handle.join().expect("fleet worker panicked");
+            shards.push(stat);
+            results.append(&mut mine);
+        }
+    })
+    .expect("fleet scope panicked");
+
+    // Stable fold order: whatever interleaving the workers produced,
+    // merging happens in job-index order. (The merge operators are
+    // order-independent anyway; sorting makes the determinism argument
+    // not depend on that.)
+    results.sort_by_key(|r| r.index);
+    debug_assert_eq!(results.len(), total_jobs);
+
+    let merged = merge_results(spec, &results);
+    let wall = started.elapsed();
+    let wall_seconds = wall.as_secs_f64().max(1e-9);
+    let device_hours = merged.simulated_ns as f64 / 3.6e12;
+    FleetReport {
+        merged,
+        timing: FleetTiming {
+            threads,
+            wall_ms: wall.as_millis() as u64,
+            device_hours_per_wall_second: device_hours / wall_seconds,
+            shards,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_appmodel::corpus::table5;
+
+    fn small_spec(threads: usize) -> FleetSpec {
+        FleetSpec {
+            apps: vec![table5::k9mail(), table5::omninotes()],
+            profiles: DeviceProfile::default_set(),
+            devices_per_app: 3,
+            executions_per_action: 2,
+            root_seed: 42,
+            threads,
+            config: HangDoctorConfig::default(),
+            apidb_year: 2017,
+        }
+    }
+
+    #[test]
+    fn device_seeds_are_distinct_and_stable_across_calls() {
+        assert_eq!(device_seed(42, 0), device_seed(42, 0));
+        assert_ne!(device_seed(42, 0), device_seed(42, 1));
+        assert_ne!(device_seed(42, 0), device_seed(43, 0));
+        let seeds: std::collections::HashSet<u64> = (0..1_000).map(|i| device_seed(7, i)).collect();
+        assert_eq!(seeds.len(), 1_000, "seeds must not collide");
+    }
+
+    #[test]
+    fn fleet_runs_and_detects() {
+        let report = run_fleet(&small_spec(1));
+        assert_eq!(report.merged.jobs, 6);
+        assert_eq!(report.merged.apps.len(), 2);
+        assert!(
+            report.merged.confusion.tp > 0,
+            "{:?}",
+            report.merged.confusion
+        );
+        assert!(report.merged.detections > 0);
+        assert!(report.merged.simulated_ns > 0);
+        assert!(report.timing.device_hours_per_wall_second > 0.0);
+        let k9 = &report.merged.apps[0];
+        assert_eq!(k9.app, "K9-mail");
+        assert_eq!(k9.devices, 3);
+        assert!(!k9.report.entries().is_empty(), "K9 bugs must be reported");
+        // K9's HtmlCleaner bug is not documented: the fleet discovers it.
+        assert!(report
+            .merged
+            .apidb
+            .discovered()
+            .iter()
+            .any(|(sym, _)| sym.contains("HtmlCleaner")));
+    }
+
+    #[test]
+    fn shards_cover_all_jobs() {
+        let report = run_fleet(&small_spec(3));
+        assert_eq!(report.timing.shards.len(), 3);
+        let pulled: usize = report.timing.shards.iter().map(|s| s.jobs).sum();
+        assert_eq!(pulled, report.merged.jobs);
+    }
+
+    #[test]
+    fn render_mentions_throughput() {
+        let report = run_fleet(&small_spec(2));
+        let s = report.render();
+        assert!(s.contains("device-hours"));
+        assert!(s.contains("K9-mail"));
+    }
+}

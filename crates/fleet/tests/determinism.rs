@@ -1,0 +1,58 @@
+//! The fleet's headline guarantee: the merged results of an N-thread run
+//! are byte-identical to the serial run.
+
+use hangdoctor::HangDoctorConfig;
+use hd_fleet::{run_fleet, DeviceProfile, FleetSpec};
+
+fn spec(threads: usize) -> FleetSpec {
+    FleetSpec {
+        apps: vec![
+            hd_appmodel::corpus::table5::k9mail(),
+            hd_appmodel::corpus::table5::omninotes(),
+            hd_appmodel::corpus::table5::cyclestreets(),
+        ],
+        profiles: DeviceProfile::default_set(),
+        devices_per_app: 4,
+        executions_per_action: 2,
+        root_seed: 42,
+        threads,
+        config: HangDoctorConfig::default(),
+        apidb_year: 2017,
+    }
+}
+
+#[test]
+fn eight_thread_fleet_is_byte_identical_to_serial() {
+    let serial = run_fleet(&spec(1));
+    let parallel = run_fleet(&spec(8));
+    let serial_json = serde_json::to_string_pretty(&serial.merged).unwrap();
+    let parallel_json = serde_json::to_string_pretty(&parallel.merged).unwrap();
+    assert!(
+        serial.merged.confusion.tp > 0,
+        "the comparison must not be vacuous: {:?}",
+        serial.merged.confusion
+    );
+    assert_eq!(serial_json, parallel_json);
+}
+
+#[test]
+fn rerun_with_same_spec_is_byte_identical() {
+    let a = run_fleet(&spec(4));
+    let b = run_fleet(&spec(4));
+    assert_eq!(
+        serde_json::to_string(&a.merged).unwrap(),
+        serde_json::to_string(&b.merged).unwrap()
+    );
+}
+
+#[test]
+fn different_root_seed_changes_results() {
+    let a = run_fleet(&spec(2));
+    let mut other = spec(2);
+    other.root_seed = 43;
+    let b = run_fleet(&other);
+    assert_ne!(
+        serde_json::to_string(&a.merged).unwrap(),
+        serde_json::to_string(&b.merged).unwrap()
+    );
+}

@@ -33,13 +33,12 @@ fn main() {
     //    developer embeds it into an app: no OS modification, just an
     //    extra lightweight component.
     let mut run = build_run(&compiled, &schedule, SimConfig::default(), 7);
-    let (probe, output) = HangDoctor::new(
-        HangDoctorConfig::default(),
-        &app.name,
-        &app.package,
-        /* device id */ 1,
-        None,
-    );
+    let cfg = HangDoctorConfig::builder()
+        .monitor_network(true)
+        .build()
+        .expect("paper-default configuration is valid");
+    let (probe, output) =
+        HangDoctor::new(cfg, &app.name, &app.package, /* device id */ 1, None);
     run.sim.add_probe(Box::new(probe));
 
     // 4. Run the session.

@@ -1,0 +1,195 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the criterion API surface the workspace benches use —
+//! `Criterion`, benchmark groups, `BenchmarkId`, `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros — measuring with
+//! plain wall-clock timing instead of criterion's statistical engine.
+//! Each benchmark warms up briefly, then reports the mean time per
+//! iteration over a fixed measurement window.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher {
+    sample_size: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: one untimed call (also forces lazy init).
+        std::hint::black_box(routine());
+
+        let budget = Duration::from_millis(200);
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if iters >= self.sample_size || start.elapsed() >= budget {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_nanos() / u128::from(iters);
+        println!(
+            "    time: {} per iter ({iters} iterations)",
+            format_ns(per_iter)
+        );
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the iteration target for the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        println!("{}/{}", self.name, id.id);
+        f(&mut Bencher {
+            sample_size: self.sample_size,
+        });
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("{}/{}", self.name, id.id);
+        f(
+            &mut Bencher {
+                sample_size: self.sample_size,
+            },
+            input,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{name}");
+        f(&mut Bencher {
+            sample_size: self.sample_size,
+        });
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion. Cargo
+/// passes `--bench` (and possibly filters) on the command line; they
+/// are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let _args: Vec<String> = ::std::env::args().collect();
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the two pieces the fleet engine uses:
+//!
+//! * [`thread::scope`] — scoped spawning with the crossbeam call shape
+//!   (`scope(|s| ...)` returns `thread::Result<R>`, and `s.spawn(|_| ...)`
+//!   passes the scope back into the closure), implemented on top of
+//!   `std::thread::scope`.
+//! * [`queue::SegQueue`] — an unbounded MPMC queue. The real crate is
+//!   lock-free; this stand-in is a mutex-wrapped `VecDeque`, which has
+//!   identical semantics and is plenty for work distribution at fleet
+//!   shard granularity.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::marker::PhantomData;
+    use std::thread as stdthread;
+
+    /// Result of a scope body or a joined scoped thread.
+    pub type Result<T> = stdthread::Result<T>;
+
+    /// A scope handle passed to [`scope`] closures; spawn borrows
+    /// non-`'static` data that outlives the scope.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a scope.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again,
+        /// matching crossbeam's `|s| ...` signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Creates a scope in which non-`'static` data can be borrowed by
+    /// spawned threads. All threads are joined before `scope` returns.
+    ///
+    /// Unlike `std::thread::scope`, the crossbeam form returns
+    /// `Result<R>`; the std implementation already propagates panics
+    /// from unjoined threads, so the body's value arrives as `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Concurrent queues, mirroring `crossbeam::queue`.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue (mutex-backed stand-in for the
+    /// lock-free original).
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends an element to the back of the queue.
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        /// Removes the element at the front, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Returns the number of queued elements.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// Returns true if the queue holds no elements.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            match self.inner.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3];
+        let total = thread::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<u64>());
+            let h2 = s.spawn(|_| data.len() as u64);
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn segqueue_is_fifo_across_threads() {
+        let q = SegQueue::new();
+        for i in 0..100u32 {
+            q.push(i);
+        }
+        let drained = thread::scope(|s| {
+            let h = s.spawn(|_| {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(drained.len(), 100);
+        assert!(drained.windows(2).all(|w| w[0] < w[1]));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,424 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize` / `Deserialize` impls against the value-tree
+//! traits in the workspace's `serde` shim. Because the build
+//! environment has no crates.io access, this proc macro cannot use
+//! `syn`/`quote`; it parses the derive input token stream by hand.
+//!
+//! Supported shapes (everything the workspace derives on):
+//! named-field structs, tuple structs (single-field newtypes serialize
+//! transparently), unit structs, and enums with unit / newtype / tuple
+//! / struct variants (externally tagged, like real serde). `#[serde]`
+//! attributes and generic types are intentionally unsupported and
+//! produce a compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the derive target.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn ident_of(tok: &TokenTree) -> Option<String> {
+    match tok {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skips `#[...]` attribute sequences (including doc comments, which
+/// arrive as `#[doc = "..."]`).
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len() {
+        match (&toks[i], &toks[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && ident_of(&toks[i]).as_deref() == Some("pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+
+    let kw = ident_of(&toks[i]).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("expected item name");
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "serde shim derive does not support generic type `{name}`"
+        );
+    }
+
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_segments(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive supports struct/enum only, got `{other}`"),
+    };
+
+    Item { name, shape }
+}
+
+/// Parses `name: Type, ...` field lists, tolerating attributes,
+/// visibility, and generic types containing commas (angle-bracket depth
+/// is tracked; `>` never takes the depth below zero, so `->` in
+/// function types is harmless).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        i = skip_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let field = ident_of(&toks[i]).expect("expected field name");
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{field}`, got {other:?}"),
+        }
+        fields.push(field);
+        i = skip_to_top_level_comma(&toks, i);
+    }
+    fields
+}
+
+/// Advances past one type/expression to just after the next top-level
+/// comma (or to the end).
+fn skip_to_top_level_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth: usize = 0;
+    while i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Counts comma-separated segments (tuple-struct / tuple-variant arity).
+fn count_top_level_segments(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        count += 1;
+        i = skip_to_top_level_comma(&toks, i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("expected variant name");
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_segments(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip any explicit discriminant (`= expr`) up to the comma.
+        i = skip_to_top_level_comma(&toks, i);
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const IMPL_ATTRS: &str = "#[automatically_derived]\n#[allow(warnings, clippy::all)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{name}::{vname} => \
+             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![\
+             (::std::string::String::from(\"{vname}\"), \
+             ::serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                .collect();
+            format!(
+                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vname}\"), \
+                 ::serde::Value::Array(::std::vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds = fields.join(", ");
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vname}\"), \
+                 ::serde::Value::Object(::std::vec![{}]))]),",
+                pairs.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__pairs, \"{f}\")?,"))
+                .collect();
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Object(__pairs) => \
+                 ::std::result::Result::Ok({name} {{ {} }}),\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected object for struct {name}\")),\n\
+                 }}",
+                inits.join(" ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Array(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected {n}-element array for struct {name}\")),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| de_tagged_arm(name, v))
+                .collect();
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                 \"unknown variant `{{__s}}` of enum {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n\
+                 {}\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                 \"unknown variant `{{__tag}}` of enum {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected variant of enum {name}\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn de_tagged_arm(name: &str, v: &Variant) -> Option<String> {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => None,
+        VariantKind::Tuple(1) => Some(format!(
+            "\"{vname}\" => ::std::result::Result::Ok(\
+             {name}::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+        )),
+        VariantKind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            Some(format!(
+                "\"{vname}\" => match __inner {{\n\
+                 ::serde::Value::Array(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({name}::{vname}({})),\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected {n}-element array for variant {name}::{vname}\")),\n\
+                 }},",
+                items.join(", ")
+            ))
+        }
+        VariantKind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__fields, \"{f}\")?,"))
+                .collect();
+            Some(format!(
+                "\"{vname}\" => match __inner {{\n\
+                 ::serde::Value::Object(__fields) => \
+                 ::std::result::Result::Ok({name}::{vname} {{ {} }}),\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected object for variant {name}::{vname}\")),\n\
+                 }},",
+                inits.join(" ")
+            ))
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`hangdoctor`] — the paper's contribution (S-Checker + Diagnoser);
 //! * [`baselines`] — TI / UT detectors and the offline scanner;
 //! * [`metrics`] — ground-truth scoring and overhead accounting;
+//! * [`fleet`] — the sharded parallel fleet engine (corpus × device
+//!   matrix on a worker pool, lossless result merging);
 //! * [`bench`] — drivers regenerating every table and figure.
 //!
 //! Quick start: see `examples/quickstart.rs`, or run
@@ -21,6 +23,7 @@ pub use hangdoctor;
 pub use hd_appmodel as appmodel;
 pub use hd_baselines as baselines;
 pub use hd_bench as bench;
+pub use hd_fleet as fleet;
 pub use hd_metrics as metrics;
 pub use hd_perfmon as perfmon;
 pub use hd_simrt as simrt;

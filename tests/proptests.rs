@@ -238,6 +238,204 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Merge algebra. The fleet engine folds shard results in job order but
+// must be free to regroup, reorder, or retry shards; that is sound only
+// if the merge operators form join-semilattices. Generate random small
+// reports/databases and check associativity, commutativity, and
+// idempotence via the canonical JSON encoding (the shim's serde sorts
+// map keys, so equal values encode to equal strings).
+
+use hang_doctor_repro::hangdoctor::{BlockingApiDb, HangBugReport, RootCause, RootKind};
+use hang_doctor_repro::simrt::ActionUid;
+
+/// One mutation applied while building a random report.
+#[derive(Clone, Debug)]
+enum ReportOp {
+    /// `note_execution(device, uid, name)`.
+    Exec { device: u32, uid: u64, name: usize },
+    /// `record_bug(device, uid, root, hang_ns)`.
+    Bug {
+        device: u32,
+        uid: u64,
+        sym: usize,
+        file: usize,
+        line: u32,
+        kind: bool,
+        hang_ms: u64,
+    },
+}
+
+const OP_NAMES: [&str; 3] = ["open inbox", "send mail", "sync folders"];
+const OP_SYMBOLS: [&str; 3] = ["com.a.A.x", "com.b.B.y", "com.c.C.z"];
+const OP_FILES: [&str; 2] = ["A.java", "B.java"];
+
+fn arb_report_op() -> impl Strategy<Value = ReportOp> {
+    prop_oneof![
+        (1u32..5, 0u64..4, 0usize..OP_NAMES.len()).prop_map(|(device, uid, name)| ReportOp::Exec {
+            device,
+            uid,
+            name
+        }),
+        (
+            1u32..5,
+            0u64..4,
+            0usize..OP_SYMBOLS.len(),
+            0usize..OP_FILES.len(),
+            1u32..50,
+            any::<bool>(),
+            1u64..400,
+        )
+            .prop_map(|(device, uid, sym, file, line, kind, hang_ms)| {
+                ReportOp::Bug {
+                    device,
+                    uid,
+                    sym,
+                    file,
+                    line,
+                    kind,
+                    hang_ms,
+                }
+            }),
+    ]
+}
+
+fn build_report(ops: &[ReportOp]) -> HangBugReport {
+    let mut report = HangBugReport::new("GenApp");
+    for op in ops {
+        match op {
+            ReportOp::Exec { device, uid, name } => {
+                report.note_execution(*device, ActionUid(*uid), OP_NAMES[*name]);
+            }
+            ReportOp::Bug {
+                device,
+                uid,
+                sym,
+                file,
+                line,
+                kind,
+                hang_ms,
+            } => {
+                let root = RootCause {
+                    symbol: OP_SYMBOLS[*sym].to_string(),
+                    file: OP_FILES[*file].to_string(),
+                    line: *line,
+                    occurrence_factor: 1.0,
+                    kind: if *kind {
+                        RootKind::BlockingApi
+                    } else {
+                        RootKind::SelfDeveloped
+                    },
+                };
+                report.record_bug(*device, ActionUid(*uid), &root, hang_ms * MILLIS);
+            }
+        }
+    }
+    report
+}
+
+fn arb_report() -> impl Strategy<Value = HangBugReport> {
+    proptest::collection::vec(arb_report_op(), 0..12).prop_map(|ops| build_report(&ops))
+}
+
+/// One mutation applied while building a random API database.
+#[derive(Clone, Debug)]
+enum DbOp {
+    Documented(u16),
+    Discovered { sym: usize, app: usize },
+}
+
+const DB_APPS: [&str; 3] = ["K9-mail", "AndStatus", "Zulip"];
+
+fn arb_apidb() -> impl Strategy<Value = BlockingApiDb> {
+    let op = prop_oneof![
+        (2009u16..2018).prop_map(DbOp::Documented),
+        (0usize..OP_SYMBOLS.len(), 0usize..DB_APPS.len())
+            .prop_map(|(sym, app)| DbOp::Discovered { sym, app }),
+    ];
+    proptest::collection::vec(op, 0..8).prop_map(|ops| {
+        let mut db = BlockingApiDb::new();
+        for op in &ops {
+            match op {
+                DbOp::Documented(year) => db.merge(&BlockingApiDb::documented(*year)),
+                DbOp::Discovered { sym, app } => {
+                    db.add_discovered(OP_SYMBOLS[*sym], DB_APPS[*app]);
+                }
+            }
+        }
+        db
+    })
+}
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("serializable")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c) for hang bug reports.
+    #[test]
+    fn report_merge_is_associative(
+        a in arb_report(), b in arb_report(), c in arb_report(),
+    ) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(json(&left), json(&right));
+    }
+
+    /// a ⊔ b == b ⊔ a for hang bug reports.
+    #[test]
+    fn report_merge_is_commutative(a in arb_report(), b in arb_report()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(json(&ab), json(&ba));
+    }
+
+    /// a ⊔ a == a for hang bug reports (shard retries are harmless).
+    #[test]
+    fn report_merge_is_idempotent(a in arb_report()) {
+        let before = json(&a);
+        let mut merged = a.clone();
+        merged.merge(&a);
+        prop_assert_eq!(json(&merged), before);
+    }
+
+    /// The same three laws for the blocking-API database.
+    #[test]
+    fn apidb_merge_is_a_semilattice_join(
+        a in arb_apidb(), b in arb_apidb(), c in arb_apidb(),
+    ) {
+        // Associative.
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(json(&left), json(&right));
+        // Commutative.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(json(&ab), json(&ba));
+        // Idempotent.
+        let before = json(&ab);
+        ab.merge(&a);
+        ab.merge(&b);
+        prop_assert_eq!(json(&ab), before);
+    }
+}
+
 /// Deterministic (non-proptest) sanity for the generated-app strategy:
 /// compiled apps always validate.
 #[test]
