@@ -6,6 +6,8 @@
 //! how much main-thread blocking each bug contributed to that execution,
 //! which the evaluation harness scores detectors against.
 
+use std::sync::Arc;
+
 use hd_simrt::{ActionRequest, ActionUid, FrameId, FrameTable, SimRng, Step, MICROS};
 use serde::{Deserialize, Serialize};
 
@@ -54,10 +56,15 @@ impl ExecTruth {
 }
 
 /// An app with its frames interned, ready to generate executions.
+///
+/// Compile once, share everywhere: the frame table is behind an `Arc`
+/// so every simulator seeded from this app holds the same immutable
+/// table, and the fleet engine shares one `Arc<CompiledApp>` across all
+/// device×trace jobs of an app.
 #[derive(Clone, Debug)]
 pub struct CompiledApp {
     app: App,
-    table: FrameTable,
+    table: Arc<FrameTable>,
     api_frames: Vec<FrameId>,
     /// `handler_frames[action_index][event_index]`.
     handler_frames: Vec<Vec<FrameId>>,
@@ -111,7 +118,7 @@ impl CompiledApp {
             .collect();
         CompiledApp {
             app,
-            table,
+            table: Arc::new(table),
             api_frames,
             handler_frames,
             looper_frame,
@@ -124,9 +131,10 @@ impl CompiledApp {
         &self.app
     }
 
-    /// A clone of the frame table, to seed a `Simulator`.
-    pub fn frame_table(&self) -> FrameTable {
-        self.table.clone()
+    /// A shared handle to the frame table, to seed a `Simulator`.
+    /// Cheap: bumps a refcount instead of deep-cloning the table.
+    pub fn frame_table(&self) -> Arc<FrameTable> {
+        Arc::clone(&self.table)
     }
 
     /// The frame id of an API.

@@ -6,7 +6,7 @@
 //! [`Simulator`] plus the per-execution ground truth the evaluation
 //! scores against.
 
-use hd_simrt::{ActionUid, ExecId, FrameTable, SimConfig, SimRng, SimTime, Simulator, MILLIS};
+use hd_simrt::{ActionUid, ExecId, SimConfig, SimRng, SimTime, Simulator, MILLIS};
 use serde::{Deserialize, Serialize};
 
 use crate::app::App;
@@ -120,8 +120,9 @@ pub fn build_run(
     seed: u64,
 ) -> BuiltRun {
     let mut rng = SimRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
-    let table: FrameTable = compiled.frame_table();
-    let mut sim = Simulator::new(SimConfig { seed, ..sim_cfg }, table);
+    // Shared Arc handle: no per-run deep clone of the frame table.
+    let mut sim = Simulator::new(SimConfig { seed, ..sim_cfg }, compiled.frame_table());
+    sim.reserve_actions(schedule.arrivals.len());
     let mut truths = Vec::with_capacity(schedule.arrivals.len());
     for &(at, uid) in &schedule.arrivals {
         let (req, truth) = compiled.sample(uid, &mut rng);

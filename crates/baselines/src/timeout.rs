@@ -74,7 +74,7 @@ impl Probe for TimeoutDetector {
         self.next_token += 1;
         self.watch_token = self.next_token;
         ctx.set_timer(ctx.now() + self.timeout_ns, self.watch_token);
-        self.dispatch = Some(info.clone());
+        self.dispatch = Some(*info);
         self.sampling = false;
     }
 
@@ -101,7 +101,7 @@ impl Probe for TimeoutDetector {
             self.out.borrow_mut().traced.push(TracedHang {
                 exec_id: info.exec_id,
                 uid: info.action_uid,
-                action_name: info.action_name.clone(),
+                action_name: ctx.action_name(info.action_name).to_string(),
                 response_ns,
                 at: ctx.now(),
                 samples: samples.len(),

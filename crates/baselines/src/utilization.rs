@@ -212,11 +212,12 @@ impl UtilizationDetector {
             return;
         };
         self.flagged_exec = true;
+        let action_name = ctx.action_name(info.action_name).to_string();
         let mut out = self.out.borrow_mut();
         out.traced.push(TracedHang {
             exec_id: info.exec_id,
             uid: info.action_uid,
-            action_name: info.action_name.clone(),
+            action_name,
             response_ns,
             at: ctx.now(),
             samples: 0,
@@ -274,7 +275,7 @@ impl Probe for UtilizationDetector {
 
     fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo) {
         ctx.charge_cpu(self.costs.response_hook_ns);
-        self.current_exec = Some(info.clone());
+        self.current_exec = Some(*info);
         if let UtMode::OnHang { timeout_ns } = self.mode {
             self.next_watch += 1;
             self.expected_watch = self.next_watch;
@@ -337,7 +338,7 @@ impl Probe for UtilizationDetector {
                 self.current_exec = Some(MessageInfo {
                     exec_id: record.exec_id,
                     action_uid: record.uid,
-                    action_name: record.name.clone(),
+                    action_name: record.name,
                     event_index: 0,
                     num_events: record.event_responses.len(),
                 });

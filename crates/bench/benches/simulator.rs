@@ -6,10 +6,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use hd_appmodel::corpus::{table1, table5};
 use hd_appmodel::{build_run, round_robin_schedule, CompiledApp};
-use hd_simrt::SimConfig;
+use hd_simrt::{
+    ActionRequest, ActionUid, FrameTable, MemProfile, SimConfig, SimTime, Simulator, Step, MICROS,
+};
 
 fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_app_trace");
@@ -30,6 +33,45 @@ fn bench_simulation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Number of input events dispatched per iteration of the
+/// `dispatch_kernel` bench; divide the reported time by this to get the
+/// event-kernel dispatch throughput in events/sec.
+const KERNEL_EVENTS: usize = 4_000;
+
+/// Measures the event-kernel inner loop in isolation: thousands of
+/// tiny CPU-only dispatches, so the cost is dominated by the queue,
+/// scheduler, and notice machinery rather than the simulated work.
+/// Hot-loop regressions show up here independent of the fleet bench.
+fn bench_dispatch_kernel(c: &mut Criterion) {
+    let mut table = FrameTable::new();
+    let handler = table.intern_new("app.Main.onTick", "Main.java", 7);
+    let table = Arc::new(table);
+    c.bench_function("dispatch_kernel_4000_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig::default(), Arc::clone(&table));
+            sim.reserve_actions(KERNEL_EVENTS);
+            for i in 0..KERNEL_EVENTS {
+                sim.schedule_action(
+                    SimTime::from_ms(1 + 2 * i as u64),
+                    ActionRequest {
+                        uid: ActionUid(i as u64 % 8),
+                        name: "tick".into(),
+                        events: vec![vec![
+                            Step::Push(handler),
+                            Step::Cpu {
+                                ns: 100 * MICROS,
+                                profile: MemProfile::ui(),
+                            },
+                            Step::Pop,
+                        ]],
+                    },
+                );
+            }
+            black_box(sim.run())
+        });
+    });
+}
+
 fn bench_compile(c: &mut Criterion) {
     c.bench_function("compile_app_model", |b| {
         b.iter(|| black_box(CompiledApp::new(table5::k9mail())));
@@ -48,5 +90,11 @@ fn bench_corpus(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_simulation, bench_compile, bench_corpus);
+criterion_group!(
+    benches,
+    bench_simulation,
+    bench_dispatch_kernel,
+    bench_compile,
+    bench_corpus
+);
 criterion_main!(benches);

@@ -2,14 +2,20 @@
 //! Hang Doctor evaluation.
 //!
 //! ```text
-//! repro [--seed N] [--quick|--full] [--json] <experiment>...
+//! repro [--seed N] [--quick|--full] [--json [path]] <experiment>...
 //! repro all
 //! ```
 //!
 //! Experiments: `fig1 table2 table3 table4 fig4 fig5 table5 fig6 fig7
 //! table6 fig8` (or `all`). `--quick` shrinks trace lengths; `--full`
 //! runs the field study over the whole 114-app corpus.
+//!
+//! `--json` prints results as JSON; `--json <path>` writes them to
+//! `<path>` instead. `bench-summary` runs the fleet and writes the
+//! machine-readable perf snapshot `BENCH_fleet.json` (throughput, wall
+//! time, per-shard busy time, job count) — the repo's perf trajectory.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Opts {
@@ -17,29 +23,49 @@ struct Opts {
     quick: bool,
     full: bool,
     json: bool,
+    json_path: Option<PathBuf>,
     devices: u32,
     threads: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--seed N] [--quick|--full] [--json] [--devices N] [--threads N] <experiment>...\n\
+        "usage: repro [--seed N] [--quick|--full] [--json [path]] [--devices N] [--threads N] <experiment>...\n\
          experiments: fig1 table1 fig2b table2 table3 table4 fig4 fig5 table5 fig6 fig7
-         table6 fig8 generality ablations fleet all\n\
-         --devices/--threads apply to the fleet experiment (defaults 8/1)"
+         table6 fig8 generality ablations fleet bench-summary all\n\
+         --devices/--threads apply to the fleet and bench-summary experiments (defaults 8/1)\n\
+         bench-summary writes BENCH_fleet.json (override the path with --json <path>)"
     );
     std::process::exit(2);
 }
 
+fn is_experiment(name: &str) -> bool {
+    ALL.contains(&name) || matches!(name, "fleet" | "generality" | "bench-summary" | "all")
+}
+
 fn emit<T: serde::Serialize>(opts: &Opts, value: &T, text: String) {
     if opts.json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(value).expect("serializable result")
-        );
+        let json = serde_json::to_string_pretty(value).expect("serializable result");
+        match &opts.json_path {
+            Some(path) => {
+                std::fs::write(path, format!("{json}\n"))
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+                println!("wrote {}", path.display());
+            }
+            None => println!("{json}"),
+        }
     } else {
         println!("{text}");
     }
+}
+
+/// Runs the fleet study (honouring `--quick/--devices/--threads`).
+fn fleet_report(opts: &Opts, seed: u64) -> hd_fleet::FleetReport {
+    let mut spec = hd_fleet::FleetSpec::study(opts.devices, opts.threads, seed);
+    if opts.quick {
+        spec.executions_per_action = 2;
+    }
+    hd_fleet::run_fleet(&spec)
 }
 
 fn run_one(name: &str, opts: &Opts) -> Result<(), String> {
@@ -107,12 +133,27 @@ fn run_one(name: &str, opts: &Opts) -> Result<(), String> {
             emit(opts, &r, r.render());
         }
         "fleet" => {
-            let mut spec = hd_fleet::FleetSpec::study(opts.devices, opts.threads, seed);
-            if opts.quick {
-                spec.executions_per_action = 2;
-            }
-            let r = hd_fleet::run_fleet(&spec);
+            let r = fleet_report(opts, seed);
             emit(opts, &r, r.render());
+        }
+        "bench-summary" => {
+            let r = fleet_report(opts, seed);
+            let summary = r.bench_summary();
+            let path = opts
+                .json_path
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("BENCH_fleet.json"));
+            let json = serde_json::to_string_pretty(&summary).expect("serializable bench summary");
+            std::fs::write(&path, format!("{json}\n"))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!(
+                "wrote {}: {} jobs on {} thread(s), wall {} ms, {:.2} device-hours/s",
+                path.display(),
+                summary.jobs,
+                summary.threads,
+                summary.wall_ms,
+                summary.device_hours_per_wall_second,
+            );
         }
         "ablations" => {
             let r = hd_bench::ablation::phase2_only(seed, e_mid);
@@ -154,11 +195,12 @@ fn main() -> ExitCode {
         quick: false,
         full: false,
         json: false,
+        json_path: None,
         devices: 8,
         threads: 1,
     };
     let mut experiments: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seed" => {
@@ -181,7 +223,16 @@ fn main() -> ExitCode {
             }
             "--quick" => opts.quick = true,
             "--full" => opts.full = true,
-            "--json" => opts.json = true,
+            "--json" => {
+                opts.json = true;
+                // An optional operand: `--json out.json` writes to the
+                // file; a following experiment name or flag means stdout.
+                if let Some(next) = args.peek() {
+                    if !next.starts_with('-') && !is_experiment(next) {
+                        opts.json_path = Some(PathBuf::from(args.next().expect("peeked")));
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => experiments.push(other.to_string()),

@@ -97,6 +97,15 @@ pub fn run(seed: u64) -> Fig7 {
     // Reconstruct per-execution states by replaying the transition log.
     let mut steps = Vec::new();
     let mut total_traces = 0;
+    let name_of = |uid: ActionUid| -> String {
+        compiled
+            .app()
+            .actions
+            .iter()
+            .find(|a| a.uid == uid)
+            .map(|a| a.name.clone())
+            .unwrap_or_default()
+    };
     for rec in &outcome.records {
         let traces = hd
             .detections
@@ -106,7 +115,7 @@ pub fn run(seed: u64) -> Fig7 {
             .sum::<usize>();
         total_traces += traces;
         steps.push(TimelineStep {
-            action: rec.name.clone(),
+            action: name_of(rec.uid),
             response_ms: rec.max_response_ns() as f64 / 1e6,
             state_before: String::new(),
             state_after: String::new(),

@@ -107,7 +107,7 @@ const _: () = {
 
 struct CurrentAction {
     uid: ActionUid,
-    name: String,
+    name: hd_simrt::NameId,
     state_at_begin: ActionState,
     session: Option<PerfSession>,
     had_hang: bool,
@@ -203,7 +203,7 @@ impl HangDoctor {
         let detection = Detection {
             exec_id: info.exec_id,
             uid: info.action_uid,
-            action_name: info.action_name.clone(),
+            action_name: ctx.action_name(info.action_name).to_string(),
             event_index: info.event_index,
             response_ns,
             at: ctx.now(),
@@ -238,10 +238,11 @@ impl HangDoctor {
 impl Probe for HangDoctor {
     fn on_action_begin(&mut self, ctx: &mut ProbeCtx<'_>, info: &ActionInfo) {
         let state = self.states.state(info.uid);
-        self.out
-            .borrow_mut()
-            .report
-            .note_execution(self.device, info.uid, &info.name);
+        self.out.borrow_mut().report.note_execution(
+            self.device,
+            info.uid,
+            ctx.action_name(info.name),
+        );
         let session = if state == ActionState::Uncategorized {
             let threads = [ctx.main_tid(), ctx.render_tid()];
             Some(PerfSession::start(
@@ -260,7 +261,7 @@ impl Probe for HangDoctor {
         };
         self.current = Some(CurrentAction {
             uid: info.uid,
-            name: info.name.clone(),
+            name: info.name,
             state_at_begin: state,
             session,
             had_hang: false,
@@ -329,9 +330,10 @@ impl Probe for HangDoctor {
                 .saturating_sub(cur.net_bytes_at_begin);
             if bytes > 0 {
                 self.net_warned.insert(cur.uid);
+                let action_name = ctx.action_name(cur.name).to_string();
                 self.out.borrow_mut().network_warnings.push(NetworkWarning {
                     uid: cur.uid,
-                    action_name: cur.name.clone(),
+                    action_name,
                     exec_id: record.exec_id,
                     bytes,
                 });

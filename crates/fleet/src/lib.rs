@@ -25,6 +25,7 @@
 //! which is excluded from determinism comparisons by construction.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::queue::SegQueue;
@@ -213,6 +214,43 @@ pub struct FleetReport {
     pub timing: FleetTiming,
 }
 
+/// Machine-readable performance snapshot of one fleet run — the schema
+/// of `BENCH_fleet.json`, the repo's perf-trajectory entry. Emitted by
+/// `repro bench-summary` and archived by CI so throughput regressions
+/// are visible across commits.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchSummary {
+    /// Schema tag, bumped on incompatible changes.
+    pub schema: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Jobs (devices) run.
+    pub jobs: usize,
+    /// End-to-end wall time, ms.
+    pub wall_ms: u64,
+    /// Total simulated device time, hours.
+    pub simulated_device_hours: f64,
+    /// Fleet throughput: simulated device-hours per wall second.
+    pub device_hours_per_wall_second: f64,
+    /// Per-shard busy time and job counts.
+    pub shards: Vec<ShardStat>,
+}
+
+impl FleetReport {
+    /// Collapses the run into its [`BenchSummary`] perf snapshot.
+    pub fn bench_summary(&self) -> BenchSummary {
+        BenchSummary {
+            schema: "hang-doctor/fleet-bench/v1".into(),
+            threads: self.timing.threads,
+            jobs: self.merged.jobs,
+            wall_ms: self.timing.wall_ms,
+            simulated_device_hours: self.merged.simulated_ns as f64 / 3.6e12,
+            device_hours_per_wall_second: self.timing.device_hours_per_wall_second,
+            shards: self.timing.shards.clone(),
+        }
+    }
+}
+
 impl FleetReport {
     /// Renders a human-readable fleet summary.
     pub fn render(&self) -> String {
@@ -257,6 +295,41 @@ impl FleetReport {
     }
 }
 
+/// Compiles every app of the corpus exactly once, fanning the work out
+/// over `threads` workers; the result is the fleet's immutable
+/// compile-once cache, indexed like `apps`.
+fn compile_corpus(apps: &[App], threads: usize) -> Vec<Arc<CompiledApp>> {
+    let queue: SegQueue<usize> = SegQueue::new();
+    for app_idx in 0..apps.len() {
+        queue.push(app_idx);
+    }
+    let mut slots: Vec<Option<Arc<CompiledApp>>> = vec![None; apps.len()];
+    crossbeam::thread::scope(|scope| {
+        let workers = threads.min(apps.len()).max(1);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let queue = &queue;
+            handles.push(scope.spawn(move |_| {
+                let mut mine = Vec::new();
+                while let Some(app_idx) = queue.pop() {
+                    mine.push((app_idx, Arc::new(CompiledApp::new(apps[app_idx].clone()))));
+                }
+                mine
+            }));
+        }
+        for handle in handles {
+            for (app_idx, compiled) in handle.join().expect("compile worker panicked") {
+                slots[app_idx] = Some(compiled);
+            }
+        }
+    })
+    .expect("compile scope panicked");
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every app compiled"))
+        .collect()
+}
+
 fn add_confusion(into: &mut Confusion, c: &Confusion) {
     into.tp += c.tp;
     into.fp += c.fp;
@@ -264,10 +337,14 @@ fn add_confusion(into: &mut Confusion, c: &Confusion) {
     into.tn += c.tn;
 }
 
-/// Runs one cell of the matrix: `spec.apps[app_idx]` on the device with
-/// stable index `index`.
-fn run_job(spec: &FleetSpec, index: usize, app_idx: usize) -> JobResult {
-    let app = &spec.apps[app_idx];
+/// Runs one cell of the matrix: the already-compiled
+/// `spec.apps[app_idx]` on the device with stable index `index`.
+///
+/// `compiled` comes from the fleet's compile-once cache: the same
+/// immutable `Arc<CompiledApp>` is shared read-only by every device of
+/// the app, so no job ever re-clones or re-compiles the app model.
+fn run_job(spec: &FleetSpec, compiled: &CompiledApp, index: usize, app_idx: usize) -> JobResult {
+    let app = compiled.app();
     let device_in_app = index % spec.devices_per_app as usize;
     let profile = &spec.profiles[device_in_app % spec.profiles.len()];
     let seed = device_seed(spec.root_seed, index as u64);
@@ -275,7 +352,6 @@ fn run_job(spec: &FleetSpec, index: usize, app_idx: usize) -> JobResult {
     // per-device evidence cells never collide across the fleet.
     let device_id = index as u32 + 1;
 
-    let compiled = CompiledApp::new(app.clone());
     let mut rng = SimRng::seed_from_u64(seed);
     let schedule = generate_schedule(
         app,
@@ -290,7 +366,7 @@ fn run_job(spec: &FleetSpec, index: usize, app_idx: usize) -> JobResult {
         workers: profile.workers,
         ..SimConfig::default()
     };
-    let mut run = build_run(&compiled, &schedule, sim_cfg, seed);
+    let mut run = build_run(compiled, &schedule, sim_cfg, seed);
 
     let db = shared(BlockingApiDb::documented(spec.apidb_year));
     let (doctor, _handle) = HangDoctor::new(
@@ -383,6 +459,13 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
     let total_jobs = spec.jobs();
     let started = Instant::now();
 
+    // Compile-once corpus cache: each app is compiled exactly once per
+    // fleet run (in parallel on the same pool the jobs use) and shared
+    // read-only as an `Arc<CompiledApp>` across all of its device×trace
+    // jobs. Compilation is a pure function of the app, so the cache
+    // cannot perturb determinism.
+    let compiled = compile_corpus(&spec.apps, threads);
+
     // The shared job queue: workers pull the next pending (index,
     // app_idx) pair as soon as they go idle, so a shard is whatever mix
     // of cells a worker ends up grabbing — long-running apps never pin
@@ -401,11 +484,12 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
         let mut handles = Vec::with_capacity(threads);
         for worker in 0..threads {
             let queue = &queue;
+            let compiled = &compiled;
             handles.push(scope.spawn(move |_| {
                 let begun = Instant::now();
                 let mut mine = Vec::new();
                 while let Some((index, app_idx)) = queue.pop() {
-                    mine.push(run_job(spec, index, app_idx));
+                    mine.push(run_job(spec, &compiled[app_idx], index, app_idx));
                 }
                 (
                     ShardStat {

@@ -1,0 +1,50 @@
+//! Golden fixture: the merged report of a small fleet run, checked in
+//! byte-for-byte. Any change to these bytes means the science changed —
+//! performance work must leave this file untouched.
+//!
+//! Regenerate (only when a deliberate behavior change lands) with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p hd-fleet --test golden
+//! ```
+
+use hangdoctor::HangDoctorConfig;
+use hd_fleet::{run_fleet, DeviceProfile, FleetSpec};
+
+fn spec() -> FleetSpec {
+    FleetSpec {
+        apps: vec![
+            hd_appmodel::corpus::table5::k9mail(),
+            hd_appmodel::corpus::table5::omninotes(),
+        ],
+        profiles: DeviceProfile::default_set(),
+        devices_per_app: 2,
+        executions_per_action: 2,
+        root_seed: 7,
+        threads: 2,
+        config: HangDoctorConfig::default(),
+        apidb_year: 2017,
+    }
+}
+
+const FIXTURE: &str = include_str!("fixtures/fleet_small.json");
+
+#[test]
+fn merged_report_matches_checked_in_fixture() {
+    let report = run_fleet(&spec());
+    let json = serde_json::to_string_pretty(&report.merged).expect("serializable report");
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/fixtures/fleet_small.json"
+        );
+        std::fs::write(path, format!("{json}\n")).expect("write fixture");
+        return;
+    }
+    assert_eq!(
+        format!("{json}\n"),
+        FIXTURE,
+        "merged FleetReport drifted from the golden fixture; if the change \
+         is intentional, regenerate with GOLDEN_REGEN=1"
+    );
+}

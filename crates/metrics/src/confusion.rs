@@ -13,7 +13,7 @@
 //! [`Confusion`] matrix; per-bug roll-ups give the "bugs detected"
 //! numbers of Tables 2, 5 and 6.
 
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashSet};
 
 use hd_appmodel::ExecTruth;
 use hd_simrt::{ActionRecord, ExecId, MILLIS};
@@ -140,13 +140,14 @@ pub fn ui_actions_flagged(
     flagged: &HashSet<ExecId>,
 ) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
-    let by_exec: BTreeMap<ExecId, &ActionRecord> = records.iter().map(|r| (r.exec_id, r)).collect();
     for (exec, class) in classify_all(records, truths) {
         if !flagged.contains(&exec) {
             continue;
         }
         if !matches!(class, ExecClass::BugHang(_)) {
-            names.insert(by_exec[&exec].name.clone());
+            // Records carry interned name ids; the ground truth has the
+            // resolved name of the same execution (`truths[exec_id - 1]`).
+            names.insert(truths[(exec.0 - 1) as usize].action_name.clone());
         }
     }
     names
@@ -155,13 +156,13 @@ pub fn ui_actions_flagged(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hd_simrt::{ActionUid, SimTime};
+    use hd_simrt::{ActionUid, NameId, SimTime};
 
-    fn record(exec: u64, uid: u64, name: &str, resp_ms: u64) -> ActionRecord {
+    fn record(exec: u64, uid: u64, resp_ms: u64) -> ActionRecord {
         ActionRecord {
             exec_id: ExecId(exec),
             uid: ActionUid(uid),
-            name: name.into(),
+            name: NameId(uid as u32),
             posted: SimTime::ZERO,
             began: SimTime::ZERO,
             ended: SimTime::from_ms(resp_ms),
@@ -169,10 +170,10 @@ mod tests {
         }
     }
 
-    fn truth(uid: u64, bug: Option<(&str, u64)>) -> ExecTruth {
+    fn truth(uid: u64, name: &str, bug: Option<(&str, u64)>) -> ExecTruth {
         ExecTruth {
             uid: ActionUid(uid),
-            action_name: "a".into(),
+            action_name: name.into(),
             bug_ns: bug
                 .map(|(id, ms)| vec![(id.to_string(), ms * MILLIS)])
                 .unwrap_or_default(),
@@ -182,16 +183,16 @@ mod tests {
 
     fn fixture() -> (Vec<ActionRecord>, Vec<ExecTruth>) {
         let records = vec![
-            record(1, 0, "open", 400), // bug hang
-            record(2, 1, "view", 150), // ui hang
-            record(3, 2, "tap", 30),   // no hang
-            record(4, 0, "open", 350), // bug hang
+            record(1, 0, 400), // bug hang
+            record(2, 1, 150), // ui hang
+            record(3, 2, 30),  // no hang
+            record(4, 0, 350), // bug hang
         ];
         let truths = vec![
-            truth(0, Some(("b1", 300))),
-            truth(1, None),
-            truth(2, None),
-            truth(0, Some(("b2", 280))),
+            truth(0, "open", Some(("b1", 300))),
+            truth(1, "view", None),
+            truth(2, "tap", None),
+            truth(0, "open", Some(("b2", 280))),
         ];
         (records, truths)
     }
@@ -208,8 +209,8 @@ mod tests {
     #[test]
     fn bug_below_threshold_with_hang_is_ui() {
         // A 50 ms bug inside a 150 ms UI hang: the hang is not the bug's.
-        let records = vec![record(1, 0, "open", 150)];
-        let truths = vec![truth(0, Some(("tiny", 50)))];
+        let records = vec![record(1, 0, 150)];
+        let truths = vec![truth(0, "open", Some(("tiny", 50)))];
         assert_eq!(classify_all(&records, &truths)[0].1, ExecClass::UiHang);
     }
 

@@ -23,6 +23,7 @@ pub mod counters;
 pub mod device;
 pub mod frame;
 pub mod looper;
+pub mod name;
 pub mod probe;
 pub mod recorder;
 pub mod rng;
@@ -37,6 +38,7 @@ pub use frame::{Frame, FrameId, FrameTable};
 pub use looper::{
     ActionInfo, ActionRecord, ActionRequest, ActionUid, ExecId, Message, MessageInfo,
 };
+pub use name::{NameId, NameTable};
 pub use probe::{MonitorCost, Probe};
 pub use recorder::{DispatchSpan, Timeline, TimelineRecorder};
 pub use rng::SimRng;

@@ -13,6 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::name::NameId;
 use crate::time::SimTime;
 use crate::work::Step;
 
@@ -31,14 +32,18 @@ pub struct ExecId(pub u64);
 
 /// Metadata attached to each message so probes can attribute dispatches
 /// to actions.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Copy`-cheap: the hot loop hands this to probes on every dispatch, so
+/// it carries an interned [`NameId`] rather than an owned `String`
+/// (resolve it with [`crate::simulator::ProbeCtx::action_name`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MessageInfo {
     /// Execution this message belongs to.
     pub exec_id: ExecId,
     /// Action kind.
     pub action_uid: ActionUid,
-    /// Action name (for reports).
-    pub action_name: String,
+    /// Interned action name (for reports).
+    pub action_name: NameId,
     /// Index of this input event within the action.
     pub event_index: usize,
     /// Total number of input events in the action.
@@ -73,15 +78,15 @@ pub struct ActionRequest {
     pub events: Vec<Vec<Step>>,
 }
 
-/// Summary of an action at its begin, handed to probes.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Summary of an action at its begin, handed to probes. `Copy`-cheap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ActionInfo {
     /// Execution id.
     pub exec_id: ExecId,
     /// Action kind.
     pub uid: ActionUid,
-    /// Action name.
-    pub name: String,
+    /// Interned action name.
+    pub name: NameId,
     /// Number of input events.
     pub num_events: usize,
 }
@@ -93,8 +98,9 @@ pub struct ActionRecord {
     pub exec_id: ExecId,
     /// Action kind.
     pub uid: ActionUid,
-    /// Action name.
-    pub name: String,
+    /// Interned action name (resolve via the simulator's
+    /// [`crate::NameTable`]; serialized as its `u32` id).
+    pub name: NameId,
     /// When the action was posted to the message queue.
     pub posted: SimTime,
     /// When the first input event was dequeued.
@@ -127,7 +133,7 @@ mod tests {
         ActionRecord {
             exec_id: ExecId(1),
             uid: ActionUid(7),
-            name: "open email".into(),
+            name: NameId(0),
             posted: SimTime::ZERO,
             began: SimTime::from_ms(1),
             ended: SimTime::from_ms(500),
@@ -159,7 +165,7 @@ mod tests {
         let info = MessageInfo {
             exec_id: ExecId(0),
             action_uid: ActionUid(0),
-            action_name: "a".into(),
+            action_name: NameId(0),
             event_index: 2,
             num_events: 3,
         };

@@ -1,0 +1,103 @@
+//! Interned action names.
+//!
+//! Action names are reporting metadata: the hot loop only ever needs an
+//! identity to thread through messages, notices, and records, and the
+//! string itself is resolved at the rare points where a human-readable
+//! report is built. Mirroring [`crate::FrameTable`], names are interned
+//! once at schedule time so every per-event payload carries a `Copy`
+//! 4-byte id instead of a heap-allocated `String`.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an interned action name in a [`NameTable`].
+///
+/// Serializes transparently as its `u32`, so records stay compact.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct NameId(pub u32);
+
+/// Interning table mapping action names to dense [`NameId`]s.
+///
+/// Interning happens on the single simulation thread in schedule order,
+/// so ids are deterministic for a given input sequence.
+#[derive(Clone, Debug, Default)]
+pub struct NameTable {
+    names: Vec<String>,
+    index: HashMap<String, NameId>,
+}
+
+impl NameTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh). Allocates
+    /// only the first time a name is seen.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = NameId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Resolves an id back to its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn get(&self, id: NameId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Returns the number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (NameId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NameId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut t = NameTable::new();
+        let a = t.intern("open email");
+        let b = t.intern("open email");
+        let c = t.intern("scroll");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a), "open email");
+        assert_eq!(t.get(c), "scroll");
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut t = NameTable::new();
+        let ids: Vec<NameId> = (0..4).map(|i| t.intern(&format!("act{i}"))).collect();
+        assert_eq!(ids, vec![NameId(0), NameId(1), NameId(2), NameId(3)]);
+        let seen: Vec<NameId> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, seen);
+    }
+}

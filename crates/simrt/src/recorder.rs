@@ -121,16 +121,17 @@ impl TimelineRecorder {
 
 impl Probe for TimelineRecorder {
     fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo) {
-        self.open = Some((info.clone(), ctx.now()));
+        self.open = Some((*info, ctx.now()));
     }
 
     fn on_dispatch_end(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo, _response_ns: u64) {
         if let Some((open_info, began)) = self.open.take() {
             debug_assert_eq!(open_info.exec_id, info.exec_id);
+            let action_name = ctx.action_name(info.action_name).to_string();
             self.out.borrow_mut().dispatches.push(DispatchSpan {
                 exec_id: info.exec_id,
                 uid: info.action_uid,
-                action_name: info.action_name.clone(),
+                action_name,
                 event_index: info.event_index,
                 began,
                 ended: ctx.now(),

@@ -9,12 +9,14 @@
 //! timers.
 
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use crate::counters::HwEvent;
 use crate::frame::{Frame, FrameId, FrameTable};
 use crate::looper::{
     ActionInfo, ActionRecord, ActionRequest, ActionUid, ExecId, Message, MessageInfo,
 };
+use crate::name::{NameId, NameTable};
 use crate::probe::{MonitorCost, Probe};
 use crate::rng::SimRng;
 use crate::thread::{
@@ -73,14 +75,21 @@ const PRIO_APP: u8 = 2;
 const PRIO_SYSTEM: u8 = 3;
 const NUM_PRIOS: usize = 4;
 
+/// An [`ActionRequest`] with its name already interned, as carried on
+/// the event queue (the hot path never touches the `String` again).
+#[derive(Debug)]
+struct ArrivedRequest {
+    uid: ActionUid,
+    name: NameId,
+    events: Vec<Vec<Step>>,
+}
+
 #[derive(Debug)]
 enum Ev {
     /// A running thread's segment-or-slice boundary on `core`.
     Core { core: usize, gen: u64 },
     /// Wake a blocked thread (I/O done or system-pulse period).
     Wake { tid: usize },
-    /// A user action arrives at the message queue.
-    Arrive(ActionRequest),
     /// A probe timer fires.
     ProbeTimer { probe: usize, token: u64 },
 }
@@ -121,7 +130,7 @@ struct CoreSlot {
 struct ActiveAction {
     exec_id: ExecId,
     uid: ActionUid,
-    name: String,
+    name: NameId,
     posted: SimTime,
     began: Option<SimTime>,
     responses: Vec<u64>,
@@ -151,11 +160,23 @@ pub(crate) struct World {
     render_q: VecDeque<u64>,
     worker_q: VecDeque<Vec<Step>>,
     actions: VecDeque<ActiveAction>,
-    frames: FrameTable,
+    /// User actions staged before the run, sorted by `(at, seq)` when
+    /// `run` starts. Keeping them out of the transient-event heap keeps
+    /// that heap a handful of entries deep for the whole run.
+    arrivals: VecDeque<(SimTime, u64, ArrivedRequest)>,
+    frames: Arc<FrameTable>,
+    names: NameTable,
     rng: SimRng,
     monitor: MonitorCost,
     records: Vec<ActionRecord>,
+    /// Recycled step buffers for system bursts and render frames, so the
+    /// steady-state event loop never touches the allocator.
+    spare_steps: Vec<VecDeque<Step>>,
     notices: Vec<Notice>,
+    /// Set once a probe is installed; when clear, the hot loop skips
+    /// notice construction entirely (including the per-action
+    /// `ActionRecord` clone).
+    notices_enabled: bool,
     pending_arrivals: usize,
     pending_probe_timers: usize,
     next_exec: u64,
@@ -165,7 +186,7 @@ pub(crate) struct World {
 }
 
 impl World {
-    fn new(cfg: SimConfig, frames: FrameTable) -> World {
+    fn new(cfg: SimConfig, frames: Arc<FrameTable>) -> World {
         let mut threads = Vec::new();
         let main_tid = threads.len();
         threads.push(SimThread::new(
@@ -206,11 +227,15 @@ impl World {
             render_q: VecDeque::new(),
             worker_q: VecDeque::new(),
             actions: VecDeque::new(),
+            arrivals: VecDeque::new(),
             frames,
+            names: NameTable::new(),
             rng: SimRng::seed_from_u64(cfg.seed),
             monitor: MonitorCost::default(),
             records: Vec::new(),
+            spare_steps: Vec::new(),
             notices: Vec::new(),
+            notices_enabled: false,
             pending_arrivals: 0,
             pending_probe_timers: 0,
             next_exec: 0,
@@ -304,13 +329,12 @@ impl World {
         if elapsed == 0 {
             return;
         }
-        let th = &mut self.threads[tid];
-        let exec = th.exec.as_mut().expect("running thread has no exec");
+        let SimThread { exec, counters, .. } = &mut self.threads[tid];
+        let exec = exec.as_mut().expect("running thread has no exec");
         match exec.steps.front_mut() {
             Some(Step::Cpu { ns, profile }) => {
-                let profile = *profile;
                 *ns = ns.saturating_sub(elapsed);
-                profile.accrue(&mut th.counters, elapsed, &mut self.rng);
+                profile.accrue(counters, elapsed, &mut self.rng);
             }
             other => panic!("running thread front step is {other:?}, not Cpu"),
         }
@@ -339,17 +363,26 @@ impl World {
     }
 
     fn find_free_core(&self, tid: usize) -> Option<usize> {
-        (0..self.cores.len()).find(|&c| self.cores[c].running.is_none() && self.allowed(tid, c))
+        // Pinned threads (the per-core system threads, woken millions of
+        // times per run) have exactly one candidate core.
+        match self.threads[tid].affinity {
+            Some(c) => self.cores[c].running.is_none().then_some(c),
+            None => (0..self.cores.len()).find(|&c| self.cores[c].running.is_none()),
+        }
     }
 
     fn find_victim_core(&self, tid: usize) -> Option<usize> {
         let p = self.prio(tid);
-        (0..self.cores.len())
-            .filter(|&c| self.allowed(tid, c))
-            .filter_map(|c| self.cores[c].running.map(|v| (c, self.prio(v))))
-            .filter(|&(_, vp)| vp < p)
-            .min_by_key(|&(_, vp)| vp)
-            .map(|(c, _)| c)
+        match self.threads[tid].affinity {
+            Some(c) => self.cores[c]
+                .running
+                .and_then(|v| (self.prio(v) < p).then_some(c)),
+            None => (0..self.cores.len())
+                .filter_map(|c| self.cores[c].running.map(|v| (c, self.prio(v))))
+                .filter(|&(_, vp)| vp < p)
+                .min_by_key(|&(_, vp)| vp)
+                .map(|(c, _)| c),
+        }
     }
 
     fn preempt(&mut self, core: usize) {
@@ -469,14 +502,18 @@ impl World {
             .expect("message without active action");
         if act.began.is_none() {
             act.began = Some(self.now);
-            self.notices.push(Notice::ActionBegin(ActionInfo {
-                exec_id: act.exec_id,
-                uid: act.uid,
-                name: act.name.clone(),
-                num_events: act.num_events,
-            }));
+            if self.notices_enabled {
+                self.notices.push(Notice::ActionBegin(ActionInfo {
+                    exec_id: act.exec_id,
+                    uid: act.uid,
+                    name: act.name,
+                    num_events: act.num_events,
+                }));
+            }
         }
-        self.notices.push(Notice::DispatchBegin(msg.info.clone()));
+        if self.notices_enabled {
+            self.notices.push(Notice::DispatchBegin(msg.info));
+        }
         self.threads[tid].exec = Some(ExecState::new(
             msg.steps,
             WorkItem::Message(msg.info),
@@ -495,8 +532,11 @@ impl World {
             ended: self.now,
             event_responses: act.responses,
         };
-        self.records.push(record.clone());
-        self.notices.push(Notice::ActionEnd(record));
+        // The clone is paid only when a probe will consume the notice.
+        if self.notices_enabled {
+            self.notices.push(Notice::ActionEnd(record.clone()));
+        }
+        self.records.push(record);
     }
 
     fn render_idle(&self) -> bool {
@@ -520,7 +560,13 @@ impl World {
     /// Finishes the thread's current item (bookkeeping + notices) and
     /// clears `exec`.
     fn complete_item(&mut self, tid: usize) {
-        let exec = self.threads[tid].exec.take().expect("no item to complete");
+        let mut exec = self.threads[tid].exec.take().expect("no item to complete");
+        // Return the (now empty) step buffer to the recycling pool; the
+        // pool is bounded so long runs cannot hoard memory.
+        if exec.steps.capacity() > 0 && self.spare_steps.len() < 16 {
+            exec.steps.clear();
+            self.spare_steps.push(std::mem::take(&mut exec.steps));
+        }
         match exec.item {
             WorkItem::Message(info) => {
                 let response = self.now - exec.began;
@@ -534,7 +580,9 @@ impl World {
                 if act.events_done == act.num_events {
                     act.finished_main = Some(self.now);
                 }
-                self.notices.push(Notice::DispatchEnd(info, response));
+                if self.notices_enabled {
+                    self.notices.push(Notice::DispatchEnd(info, response));
+                }
             }
             WorkItem::RenderFrame | WorkItem::WorkerTask | WorkItem::SystemBurst => {}
         }
@@ -544,9 +592,28 @@ impl World {
     /// if an item was assigned (so stepping can continue) or `false`
     /// after parking the thread.
     fn pull_next_item(&mut self, tid: usize) -> bool {
-        let source = self.threads[tid].source.clone();
+        // Only the scalar parameters of the source are needed; copying
+        // the whole `WorkSource` (with its embedded profile) per pull
+        // would be measurable on the pulse path.
+        enum Src {
+            Main,
+            Render,
+            Worker,
+            Pulse { period_ns: u64, jitter: f64 },
+        }
+        let source = match &self.threads[tid].source {
+            WorkSource::MainLooper => Src::Main,
+            WorkSource::RenderQueue => Src::Render,
+            WorkSource::WorkerQueue => Src::Worker,
+            WorkSource::Pulse {
+                period_ns, jitter, ..
+            } => Src::Pulse {
+                period_ns: *period_ns,
+                jitter: *jitter,
+            },
+        };
         match source {
-            WorkSource::MainLooper => {
+            Src::Main => {
                 if let Some(msg) = self.main_q.pop_front() {
                     self.begin_message(tid, msg);
                     true
@@ -556,13 +623,15 @@ impl World {
                     false
                 }
             }
-            WorkSource::RenderQueue => {
+            Src::Render => {
                 if let Some(frame_ns) = self.render_q.pop_front() {
-                    self.threads[tid].exec = Some(ExecState::new(
-                        vec![Step::Cpu {
-                            ns: frame_ns,
-                            profile: MemProfile::render(),
-                        }],
+                    let mut steps = self.spare_steps.pop().unwrap_or_default();
+                    steps.push_back(Step::Cpu {
+                        ns: frame_ns,
+                        profile: MemProfile::render(),
+                    });
+                    self.threads[tid].exec = Some(ExecState::from_deque(
+                        steps,
                         WorkItem::RenderFrame,
                         self.now,
                     ));
@@ -573,7 +642,7 @@ impl World {
                     false
                 }
             }
-            WorkSource::WorkerQueue => {
+            Src::Worker => {
                 if let Some(steps) = self.worker_q.pop_front() {
                     self.threads[tid].exec =
                         Some(ExecState::new(steps, WorkItem::WorkerTask, self.now));
@@ -583,9 +652,7 @@ impl World {
                     false
                 }
             }
-            WorkSource::Pulse {
-                period_ns, jitter, ..
-            } => {
+            Src::Pulse { period_ns, jitter } => {
                 let was_running = matches!(self.threads[tid].state, ThreadState::Running { .. });
                 self.off_cpu(tid, was_running);
                 self.threads[tid].state = ThreadState::Blocked;
@@ -609,34 +676,50 @@ impl World {
             Worker(Vec<Step>),
         }
         loop {
+            // Peek at the front step and only dequeue it once its fate is
+            // known: the hot Cpu path never moves the (large) `Step` value
+            // in and out of the deque.
             let ctl = {
                 let th = &mut self.threads[tid];
                 match th.exec.as_mut() {
                     None => Ctl::Pull,
-                    Some(exec) => match exec.steps.pop_front() {
+                    Some(exec) => match exec.steps.front_mut() {
                         None => Ctl::Complete,
-                        Some(Step::Push(f)) => {
+                        Some(&mut Step::Cpu { ns, .. }) => {
+                            if ns == 0 {
+                                exec.steps.pop_front();
+                                Ctl::Again
+                            } else {
+                                Ctl::NeedCpu
+                            }
+                        }
+                        Some(&mut Step::Push(f)) => {
+                            exec.steps.pop_front();
                             exec.stack.push(f);
                             Ctl::Again
                         }
-                        Some(Step::Pop) => {
+                        Some(&mut Step::Pop) => {
+                            exec.steps.pop_front();
                             exec.stack.pop();
                             Ctl::Again
                         }
-                        Some(Step::Cpu { ns: 0, .. }) => Ctl::Again,
-                        Some(step @ Step::Cpu { .. }) => {
-                            exec.steps.push_front(step);
-                            Ctl::NeedCpu
+                        Some(&mut Step::Io { ns }) => {
+                            exec.steps.pop_front();
+                            Ctl::Block(ns)
                         }
-                        Some(Step::Io { ns }) => Ctl::Block(ns),
-                        Some(Step::NetIo { ns, bytes }) => {
+                        Some(&mut Step::NetIo { ns, bytes }) => {
+                            exec.steps.pop_front();
                             th.net_bytes += bytes;
                             Ctl::Block(ns)
                         }
-                        Some(Step::PostRender { frames, frame_ns }) => {
+                        Some(&mut Step::PostRender { frames, frame_ns }) => {
+                            exec.steps.pop_front();
                             Ctl::Render { frames, frame_ns }
                         }
-                        Some(Step::PostWorker(steps)) => Ctl::Worker(steps),
+                        Some(Step::PostWorker(_)) => match exec.steps.pop_front() {
+                            Some(Step::PostWorker(steps)) => Ctl::Worker(steps),
+                            _ => unreachable!("front was PostWorker"),
+                        },
                     },
                 }
             };
@@ -669,12 +752,10 @@ impl World {
                 }
                 Ctl::Worker(steps) => {
                     self.worker_q.push_back(steps);
-                    if let Some(&w) = self
-                        .worker_tids
-                        .clone()
-                        .iter()
-                        .find(|&&w| self.threads[w].state == ThreadState::Waiting)
-                    {
+                    let idle = (0..self.worker_tids.len())
+                        .map(|i| self.worker_tids[i])
+                        .find(|&w| self.threads[w].state == ThreadState::Waiting);
+                    if let Some(w) = idle {
                         self.nudge(w);
                     }
                 }
@@ -743,11 +824,13 @@ impl World {
                 _ => unreachable!(),
             };
             let ns = (burst_ns as f64 * self.rng.jitter(0.5)) as u64;
-            self.threads[tid].exec = Some(ExecState::new(
-                vec![Step::Cpu {
-                    ns: ns.max(1),
-                    profile,
-                }],
+            let mut steps = self.spare_steps.pop().unwrap_or_default();
+            steps.push_back(Step::Cpu {
+                ns: ns.max(1),
+                profile,
+            });
+            self.threads[tid].exec = Some(ExecState::from_deque(
+                steps,
                 WorkItem::SystemBurst,
                 self.now,
             ));
@@ -756,7 +839,7 @@ impl World {
         self.schedule();
     }
 
-    fn handle_arrive(&mut self, req: ActionRequest) {
+    fn handle_arrive(&mut self, req: ArrivedRequest) {
         self.pending_arrivals -= 1;
         self.next_exec += 1;
         let exec_id = ExecId(self.next_exec);
@@ -764,7 +847,7 @@ impl World {
         self.actions.push_back(ActiveAction {
             exec_id,
             uid: req.uid,
-            name: req.name.clone(),
+            name: req.name,
             posted: self.now,
             began: None,
             responses: Vec::new(),
@@ -777,7 +860,7 @@ impl World {
                 info: MessageInfo {
                     exec_id,
                     action_uid: req.uid,
-                    action_name: req.name.clone(),
+                    action_name: req.name,
                     event_index: i,
                     num_events,
                 },
@@ -801,7 +884,6 @@ impl World {
         match ev {
             Ev::Core { core, gen } => self.handle_core(core, gen),
             Ev::Wake { tid } => self.handle_wake(tid),
-            Ev::Arrive(req) => self.handle_arrive(req),
             Ev::ProbeTimer { probe, token } => {
                 self.pending_probe_timers -= 1;
                 self.monitor.timer_fires += 1;
@@ -867,6 +949,12 @@ impl ProbeCtx<'_> {
         self.world.frames.get(id)
     }
 
+    /// Resolves an interned action name (as carried by `MessageInfo`,
+    /// `ActionInfo`, and `ActionRecord`).
+    pub fn action_name(&self, id: NameId) -> &str {
+        self.world.names.get(id)
+    }
+
     /// Arms a one-shot timer for this probe at absolute time `at`.
     pub fn set_timer(&mut self, at: SimTime, token: u64) {
         self.world.pending_probe_timers += 1;
@@ -911,26 +999,57 @@ impl Simulator {
     /// Creates a simulator hosting one app process.
     ///
     /// `frames` is the interned frame table produced when the app model
-    /// was compiled; probes resolve stack samples against it.
-    pub fn new(cfg: SimConfig, frames: FrameTable) -> Simulator {
+    /// was compiled; probes resolve stack samples against it. Accepts
+    /// either an owned table or a shared `Arc` handle (the compiled-app
+    /// cache passes the same `Arc` to every device in a fleet).
+    pub fn new(cfg: SimConfig, frames: impl Into<Arc<FrameTable>>) -> Simulator {
         Simulator {
-            world: World::new(cfg, frames),
+            world: World::new(cfg, frames.into()),
             probes: Vec::new(),
             ran: false,
         }
     }
 
     /// Installs a probe; returns its index (timer callbacks are routed
-    /// per probe).
+    /// per probe). Installing any probe enables notice delivery, which
+    /// the hot loop otherwise skips.
     pub fn add_probe(&mut self, probe: Box<dyn Probe>) -> usize {
+        self.world.notices_enabled = true;
         self.probes.push(probe);
         self.probes.len() - 1
     }
 
+    /// Pre-sizes the event queue and record storage for a run that will
+    /// schedule about `actions` user actions, so the hot loop never
+    /// reallocates them mid-run.
+    pub fn reserve_actions(&mut self, actions: usize) {
+        self.world.arrivals.reserve(actions);
+        self.world.queue.reserve(2 * self.world.cfg.cores + 16);
+        self.world.records.reserve(actions);
+    }
+
     /// Schedules a user action to arrive at `at`.
+    ///
+    /// The action name is interned here, once; everything downstream
+    /// (messages, notices, records) carries the 4-byte [`NameId`].
     pub fn schedule_action(&mut self, at: SimTime, req: ActionRequest) {
+        debug_assert!(!self.ran, "schedule_action after run");
+        let name = self.world.names.intern(&req.name);
         self.world.pending_arrivals += 1;
-        self.world.push_ev(at, Ev::Arrive(req));
+        // Arrivals take a sequence number from the same counter as heap
+        // events so the (at, seq) total order is exactly what a single
+        // shared queue would have produced.
+        let at = at.max(self.world.now);
+        self.world.seq += 1;
+        self.world.arrivals.push_back((
+            at,
+            self.world.seq,
+            ArrivedRequest {
+                uid: req.uid,
+                name,
+                events: req.events,
+            },
+        ));
     }
 
     /// Runs until all app work (and probe timers) drain, or the horizon
@@ -939,21 +1058,46 @@ impl Simulator {
         debug_assert!(!self.ran, "Simulator::run called twice");
         self.ran = true;
         let mut truncated = false;
+        // Arrivals were staged in schedule order; establish (at, seq)
+        // order once so the merge below pops the global minimum.
+        self.world
+            .arrivals
+            .make_contiguous()
+            .sort_unstable_by_key(|&(at, seq, _)| (at, seq));
         loop {
             if self.world.app_quiet() {
                 break;
             }
-            let Some(entry) = self.world.queue.pop() else {
-                break;
+            // The next event is the earlier of the staged-arrival head and
+            // the transient-event heap top; (at, seq) is a total order, so
+            // this is exactly the order one shared queue would produce.
+            let take_arrival = match (self.world.arrivals.front(), self.world.queue.peek()) {
+                (Some(&(a_at, a_seq, _)), Some(top)) => (a_at, a_seq) < (top.at, top.seq),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
             };
-            debug_assert!(entry.at >= self.world.now, "time went backwards");
-            self.world.now = entry.at;
+            let at = if take_arrival {
+                self.world.arrivals.front().expect("checked above").0
+            } else {
+                self.world.queue.peek().expect("checked above").at
+            };
+            debug_assert!(at >= self.world.now, "time went backwards");
+            self.world.now = at;
             if self.world.now.as_ns() > self.world.cfg.max_sim_ns {
                 truncated = true;
                 break;
             }
-            self.world.handle(entry.ev);
-            self.drain_notices();
+            if take_arrival {
+                let (_, _, req) = self.world.arrivals.pop_front().expect("checked above");
+                self.world.handle_arrive(req);
+            } else {
+                let entry = self.world.queue.pop().expect("checked above");
+                self.world.handle(entry.ev);
+            }
+            if !self.world.notices.is_empty() {
+                self.drain_notices();
+            }
         }
         for i in 0..self.probes.len() {
             let mut ctx = ProbeCtx {
@@ -1034,7 +1178,17 @@ impl Simulator {
 
     /// The interned frame table.
     pub fn frame_table(&self) -> &FrameTable {
-        &self.world.frames
+        self.world.frames.as_ref()
+    }
+
+    /// The interned action-name table (ids in schedule order).
+    pub fn name_table(&self) -> &NameTable {
+        &self.world.names
+    }
+
+    /// Resolves an interned action name.
+    pub fn action_name(&self, id: NameId) -> &str {
+        self.world.names.get(id)
     }
 
     /// Reads the final ground-truth count of `event` on `tid`.

@@ -106,6 +106,18 @@ impl ExecState {
             began,
         }
     }
+
+    /// Creates execution state reusing an already-allocated deque (the
+    /// simulator recycles burst/frame buffers to keep the event loop
+    /// allocation-free).
+    pub fn from_deque(steps: VecDeque<Step>, item: WorkItem, began: SimTime) -> Self {
+        ExecState {
+            steps,
+            stack: Vec::new(),
+            item,
+            began,
+        }
+    }
 }
 
 /// One simulated thread.
