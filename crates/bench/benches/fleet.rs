@@ -26,6 +26,7 @@ fn spec(threads: usize) -> FleetSpec {
         threads,
         config: HangDoctorConfig::default(),
         apidb_year: 2017,
+        faults: hangdoctor::FaultConfig::none(),
     }
 }
 

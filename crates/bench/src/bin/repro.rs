@@ -2,13 +2,16 @@
 //! Hang Doctor evaluation.
 //!
 //! ```text
-//! repro [--seed N] [--quick|--full] [--json [path]] <experiment>...
+//! repro [--seed N] [--quick|--full] [--chaos RATE] [--json [path]] <experiment>...
 //! repro all
 //! ```
 //!
 //! Experiments: `fig1 table2 table3 table4 fig4 fig5 table5 fig6 fig7
-//! table6 fig8` (or `all`). `--quick` shrinks trace lengths; `--full`
-//! runs the field study over the whole 114-app corpus.
+//! table6 fig8 chaos` (or `all`). `--quick` shrinks trace lengths;
+//! `--full` runs the field study over the whole 114-app corpus.
+//! `--chaos RATE` injects deterministic observation faults at the given
+//! per-category rate into the `fleet`/`bench-summary` experiments and
+//! sets the rate of the `chaos` differential (default 0.05).
 //!
 //! `--json` prints results as JSON; `--json <path>` writes them to
 //! `<path>` instead. `bench-summary` runs the fleet and writes the
@@ -26,14 +29,17 @@ struct Opts {
     json_path: Option<PathBuf>,
     devices: u32,
     threads: usize,
+    chaos: Option<f64>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--seed N] [--quick|--full] [--json [path]] [--devices N] [--threads N] <experiment>...\n\
+        "usage: repro [--seed N] [--quick|--full] [--chaos RATE] [--json [path]] [--devices N] [--threads N] <experiment>...\n\
          experiments: fig1 table1 fig2b table2 table3 table4 fig4 fig5 table5 fig6 fig7
-         table6 fig8 generality ablations fleet bench-summary all\n\
+         table6 fig8 generality ablations chaos fleet bench-summary all\n\
          --devices/--threads apply to the fleet and bench-summary experiments (defaults 8/1)\n\
+         --chaos RATE injects observation faults into fleet/bench-summary and sets the\n\
+         rate of the chaos differential (RATE in [0,1], default 0.05)\n\
          bench-summary writes BENCH_fleet.json (override the path with --json <path>)"
     );
     std::process::exit(2);
@@ -59,11 +65,14 @@ fn emit<T: serde::Serialize>(opts: &Opts, value: &T, text: String) {
     }
 }
 
-/// Runs the fleet study (honouring `--quick/--devices/--threads`).
+/// Runs the fleet study (honouring `--quick/--devices/--threads/--chaos`).
 fn fleet_report(opts: &Opts, seed: u64) -> hd_fleet::FleetReport {
     let mut spec = hd_fleet::FleetSpec::study(opts.devices, opts.threads, seed);
     if opts.quick {
         spec.executions_per_action = 2;
+    }
+    if let Some(rate) = opts.chaos {
+        spec.faults = hangdoctor::FaultConfig::chaos(rate);
     }
     hd_fleet::run_fleet(&spec)
 }
@@ -132,6 +141,11 @@ fn run_one(name: &str, opts: &Opts) -> Result<(), String> {
             let r = hd_bench::generality::run(seed, e_mid);
             emit(opts, &r, r.render());
         }
+        "chaos" => {
+            let rate = opts.chaos.unwrap_or(0.05);
+            let r = hd_bench::chaos::run(seed, rate, e_small);
+            emit(opts, &r, r.render());
+        }
         "fleet" => {
             let r = fleet_report(opts, seed);
             emit(opts, &r, r.render());
@@ -172,7 +186,7 @@ fn run_one(name: &str, opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-const ALL: [&str; 14] = [
+const ALL: [&str; 15] = [
     "fig1",
     "table1",
     "fig2b",
@@ -187,6 +201,7 @@ const ALL: [&str; 14] = [
     "table6",
     "fig8",
     "ablations",
+    "chaos",
 ];
 
 fn main() -> ExitCode {
@@ -198,6 +213,7 @@ fn main() -> ExitCode {
         json_path: None,
         devices: 8,
         threads: 1,
+        chaos: None,
     };
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1).peekable();
@@ -220,6 +236,16 @@ fn main() -> ExitCode {
                     usage()
                 };
                 opts.threads = v;
+            }
+            "--chaos" => {
+                let Some(v) = args
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|v| (0.0..=1.0).contains(v))
+                else {
+                    usage()
+                };
+                opts.chaos = Some(v);
             }
             "--quick" => opts.quick = true,
             "--full" => opts.full = true,

@@ -1,0 +1,175 @@
+//! Chaos-vs-clean differential: what each fault category costs.
+//!
+//! The fault layer (`hd-faults`) can degrade every observation Hang
+//! Doctor makes; the graceful-degradation machinery (retry-with-backoff,
+//! partial S-Checks, session aborts) is supposed to contain the damage.
+//! This harness quantifies the containment: the same fleet matrix is run
+//! once clean, once per fault category (that category alone at the given
+//! rate), and once with everything at once — identical corpus, seeds and
+//! schedules throughout, so precision/recall movement is attributable to
+//! the injected category alone.
+
+use hangdoctor::{FaultCategory, FaultConfig, HangDoctorConfig};
+use hd_fleet::{run_fleet, DeviceProfile, FleetSpec};
+use hd_metrics::{ChaosDelta, ChaosDifferential};
+use serde::{Deserialize, Serialize};
+
+use crate::common::render_table;
+
+/// The chaos differential study.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChaosStudy {
+    /// Injection rate every faulted run used.
+    pub rate: f64,
+    /// Clean baseline plus one delta per category (and an `"all"` row).
+    pub differential: ChaosDifferential,
+}
+
+impl ChaosStudy {
+    /// Renders the per-category differential table.
+    pub fn render(&self) -> String {
+        let clean = &self.differential.clean;
+        let rows: Vec<Vec<String>> = self
+            .differential
+            .deltas
+            .iter()
+            .map(|d| {
+                vec![
+                    d.category.clone(),
+                    d.injected.to_string(),
+                    d.recovered.to_string(),
+                    format!("{:.3}", d.faulted.precision()),
+                    format!("{:.3}", d.faulted.recall()),
+                    format!("{:+.3}", -d.precision_loss(clean)),
+                    format!("{:+.3}", -d.recall_loss(clean)),
+                ]
+            })
+            .collect();
+        format!(
+            "Chaos differential at rate {:.2} — clean precision {:.3}, recall {:.3}\n{}",
+            self.rate,
+            clean.precision(),
+            clean.recall(),
+            render_table(
+                &[
+                    "category",
+                    "injected",
+                    "recovered",
+                    "precision",
+                    "recall",
+                    "Δprecision",
+                    "Δrecall",
+                ],
+                &rows
+            )
+        )
+    }
+}
+
+fn spec(seed: u64, executions: usize, faults: FaultConfig) -> FleetSpec {
+    FleetSpec {
+        apps: vec![
+            hd_appmodel::corpus::table5::k9mail(),
+            hd_appmodel::corpus::table5::omninotes(),
+            hd_appmodel::corpus::table5::cyclestreets(),
+        ],
+        profiles: DeviceProfile::default_set(),
+        devices_per_app: 2,
+        executions_per_action: executions,
+        root_seed: seed,
+        threads: 2,
+        config: HangDoctorConfig::default(),
+        apidb_year: 2017,
+        faults,
+    }
+}
+
+fn measure(
+    seed: u64,
+    executions: usize,
+    category: &str,
+    rate: f64,
+    faults: FaultConfig,
+) -> ChaosDelta {
+    let report = run_fleet(&spec(seed, executions, faults));
+    // A zero-rate "faulted" run legitimately carries no chaos report.
+    let tally = report.chaos.map(|c| c.tally).unwrap_or_default();
+    ChaosDelta {
+        category: category.to_string(),
+        rate,
+        faulted: report.merged.confusion,
+        injected: tally.injected(),
+        recovered: tally.recovered(),
+    }
+}
+
+/// Runs the differential: one clean fleet, one per-category fleet, one
+/// all-categories fleet — all on the identical `(corpus, seed)` matrix.
+pub fn run(seed: u64, rate: f64, executions: usize) -> ChaosStudy {
+    let clean = run_fleet(&spec(seed, executions, FaultConfig::none()));
+    assert!(clean.chaos.is_none());
+    let mut deltas = Vec::new();
+    for &category in &FaultCategory::ALL {
+        deltas.push(measure(
+            seed,
+            executions,
+            category.name(),
+            rate,
+            FaultConfig::only(category, rate),
+        ));
+    }
+    deltas.push(measure(
+        seed,
+        executions,
+        "all",
+        rate,
+        FaultConfig::chaos(rate),
+    ));
+    ChaosStudy {
+        rate,
+        differential: ChaosDifferential {
+            clean: clean.merged.confusion,
+            deltas,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differential_covers_every_category_plus_all() {
+        let study = run(42, 0.3, 2);
+        let d = &study.differential;
+        assert_eq!(d.deltas.len(), FaultCategory::ALL.len() + 1);
+        // The baseline must not be vacuous.
+        assert!(d.clean.tp > 0, "{:?}", d.clean);
+        // High-frequency injection points must have fired.
+        for name in ["counter-read", "stale-counter", "dropped-sample", "all"] {
+            let delta = d.delta(name).expect(name);
+            assert!(delta.injected > 0, "{name}: {delta:?}");
+        }
+        // Counter-read failures at 30% are mostly absorbed by retries.
+        assert!(d.delta("counter-read").unwrap().recovered > 0);
+        // A single-category run must tally only its own category: the
+        // clock-jitter row recovers nothing (jitter is silent).
+        let jitter = d.delta("clock-jitter").unwrap();
+        assert_eq!(jitter.recovered, 0, "{jitter:?}");
+        // Rendering mentions the movement columns.
+        let text = study.render();
+        assert!(text.contains("Δrecall"));
+        assert!(text.contains("counter-read"));
+    }
+
+    #[test]
+    fn zero_rate_differential_is_lossless() {
+        let study = run(7, 0.0, 2);
+        for delta in &study.differential.deltas {
+            assert_eq!(delta.injected, 0);
+            assert_eq!(delta.faulted, study.differential.clean, "{delta:?}");
+        }
+        assert_eq!(study.differential.worst_recall_loss(), 0.0);
+        assert_eq!(study.differential.worst_precision_loss(), 0.0);
+    }
+}

@@ -23,10 +23,12 @@
 //!
 //! [`ablation`] adds studies of the design choices (phase-2-only,
 //! single-counter filters, begin-of-action sampling, threshold and
-//! sampling-period sweeps). The `repro` binary drives everything from
-//! the command line.
+//! sampling-period sweeps), and [`chaos`] the chaos-vs-clean
+//! differential quantifying precision/recall loss per injected fault
+//! category. The `repro` binary drives everything from the command line.
 
 pub mod ablation;
+pub mod chaos;
 pub mod common;
 pub mod fig1;
 pub mod fig2b;

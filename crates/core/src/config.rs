@@ -69,6 +69,18 @@ pub struct HangDoctorConfig {
     /// well-known; the extension flags any action whose handler
     /// transfers bytes on the main thread).
     pub monitor_network: bool,
+    /// Graceful-degradation policy: how many times a failed counter read
+    /// is retried before the counter is given up for the window.
+    pub counter_retries: u32,
+    /// Base backoff charged (as monitoring CPU) before each counter-read
+    /// retry; doubles per attempt.
+    pub retry_backoff_ns: u64,
+    /// Minimum surviving stack samples a lossy diagnosis session needs;
+    /// below it the session is aborted and the action re-armed.
+    pub min_diagnosis_samples: usize,
+    /// Maximum tolerated fraction of dropped samples in a diagnosis
+    /// session; above it the session is aborted and the action re-armed.
+    pub max_sample_loss: f64,
     /// Shared monitoring cost model.
     pub costs: CostModel,
 }
@@ -82,6 +94,10 @@ impl Default for HangDoctorConfig {
             occurrence_threshold: 0.5,
             normal_reset_executions: 20,
             monitor_network: false,
+            counter_retries: 2,
+            retry_backoff_ns: 100_000, // 0.1 ms, doubling per attempt
+            min_diagnosis_samples: 3,
+            max_sample_loss: 0.5,
             costs: CostModel::default(),
         }
     }
@@ -119,6 +135,11 @@ pub enum ConfigError {
     /// `normal_reset_executions` was zero: Normal actions would be reset
     /// on every execution, i.e. tracing would never stop.
     ZeroNormalReset,
+    /// `min_diagnosis_samples` was zero: a session that lost every
+    /// sample would still be analyzed.
+    ZeroMinDiagnosisSamples,
+    /// `max_sample_loss` was outside `[0, 1]` or NaN.
+    InvalidSampleLoss(f64),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -141,6 +162,12 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroNormalReset => {
                 write!(f, "normal_reset_executions must be positive")
+            }
+            ConfigError::ZeroMinDiagnosisSamples => {
+                write!(f, "min_diagnosis_samples must be positive")
+            }
+            ConfigError::InvalidSampleLoss(v) => {
+                write!(f, "max_sample_loss {v} must be in [0, 1]")
             }
         }
     }
@@ -194,6 +221,31 @@ impl HangDoctorConfigBuilder {
         self
     }
 
+    /// Sets the counter-read retry budget (0 = never retry).
+    pub fn counter_retries(mut self, v: u32) -> Self {
+        self.cfg.counter_retries = v;
+        self
+    }
+
+    /// Sets the base retry backoff (doubles per attempt).
+    pub fn retry_backoff_ns(mut self, v: u64) -> Self {
+        self.cfg.retry_backoff_ns = v;
+        self
+    }
+
+    /// Sets the minimum surviving samples a lossy diagnosis session
+    /// needs to be analyzed.
+    pub fn min_diagnosis_samples(mut self, v: usize) -> Self {
+        self.cfg.min_diagnosis_samples = v;
+        self
+    }
+
+    /// Sets the maximum tolerated dropped-sample fraction.
+    pub fn max_sample_loss(mut self, v: f64) -> Self {
+        self.cfg.max_sample_loss = v;
+        self
+    }
+
     /// Sets the monitoring cost model.
     pub fn costs(mut self, v: CostModel) -> Self {
         self.cfg.costs = v;
@@ -231,6 +283,12 @@ impl HangDoctorConfigBuilder {
         }
         if c.normal_reset_executions == 0 {
             return Err(ConfigError::ZeroNormalReset);
+        }
+        if c.min_diagnosis_samples == 0 {
+            return Err(ConfigError::ZeroMinDiagnosisSamples);
+        }
+        if !c.max_sample_loss.is_finite() || !(0.0..=1.0).contains(&c.max_sample_loss) {
+            return Err(ConfigError::InvalidSampleLoss(c.max_sample_loss));
         }
         Ok(c)
     }
@@ -329,6 +387,27 @@ mod tests {
                 .unwrap_err(),
             ConfigError::ZeroNormalReset
         );
+        assert_eq!(
+            HangDoctorConfig::builder()
+                .min_diagnosis_samples(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroMinDiagnosisSamples
+        );
+        assert_eq!(
+            HangDoctorConfig::builder()
+                .max_sample_loss(1.5)
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidSampleLoss(1.5)
+        );
+        assert!(matches!(
+            HangDoctorConfig::builder()
+                .max_sample_loss(f64::NAN)
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidSampleLoss(_)
+        ));
     }
 
     #[test]
@@ -339,6 +418,10 @@ mod tests {
             .occurrence_threshold(0.7)
             .normal_reset_executions(5)
             .monitor_network(true)
+            .counter_retries(4)
+            .retry_backoff_ns(50_000)
+            .min_diagnosis_samples(2)
+            .max_sample_loss(0.25)
             .build()
             .unwrap();
         assert_eq!(cfg.timeout_ns, 150 * MILLIS);
@@ -346,6 +429,10 @@ mod tests {
         assert_eq!(cfg.occurrence_threshold, 0.7);
         assert_eq!(cfg.normal_reset_executions, 5);
         assert!(cfg.monitor_network);
+        assert_eq!(cfg.counter_retries, 4);
+        assert_eq!(cfg.retry_backoff_ns, 50_000);
+        assert_eq!(cfg.min_diagnosis_samples, 2);
+        assert_eq!(cfg.max_sample_loss, 0.25);
     }
 
     #[test]

@@ -17,9 +17,11 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use hd_faults::{FaultPlan, FaultTally};
 use hd_perfmon::{PerfSession, StackSampler};
 use hd_simrt::{
     ActionInfo, ActionRecord, ActionUid, ExecId, HwEvent, MessageInfo, Probe, ProbeCtx, SimTime,
+    ThreadId,
 };
 use serde::{Deserialize, Serialize};
 
@@ -27,7 +29,7 @@ use crate::analysis::{analyze, RootCause, RootKind};
 use crate::apidb::SharedApiDb;
 use crate::config::HangDoctorConfig;
 use crate::report::HangBugReport;
-use crate::schecker::{CounterDiffs, SChecker, SymptomVerdict};
+use crate::schecker::{PartialCounterDiffs, SChecker, SymptomVerdict};
 use crate::state::{ActionState, StateTable};
 
 /// Token reserved for the stack sampler's periodic timer.
@@ -96,6 +98,9 @@ pub struct HdOutput {
     /// Network-on-main warnings (one per offending action), when the
     /// extension is enabled.
     pub network_warnings: Vec<NetworkWarning>,
+    /// Per-category fault and recovery counts (all-zero unless a fault
+    /// plan was injected with [`HangDoctor::inject_faults`]).
+    pub faults: FaultTally,
 }
 
 // Fleet workers hand finished outputs back across threads; keep every
@@ -134,6 +139,7 @@ pub struct HangDoctor {
     next_watch_token: u64,
     apidb: Option<SharedApiDb>,
     net_warned: std::collections::HashSet<ActionUid>,
+    faults: FaultPlan,
     out: Rc<RefCell<HdOutput>>,
 }
 
@@ -168,6 +174,7 @@ impl HangDoctor {
                 next_watch_token: WATCH_TOKEN_BASE,
                 apidb,
                 net_warned: Default::default(),
+                faults: FaultPlan::disabled(),
                 out: out.clone(),
             },
             out,
@@ -192,8 +199,76 @@ impl HangDoctor {
         self.out.borrow_mut().report = report;
     }
 
+    /// Arms the doctor with a fault-injection plan (chaos mode).
+    ///
+    /// Call before the run starts; the default plan is disabled and
+    /// injects nothing, making the fault layer behaviorally invisible.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Reads one counter with the bounded retry-with-backoff policy:
+    /// each failed attempt is retried up to `counter_retries` times,
+    /// charging `retry_backoff_ns << (attempt - 1)` of monitoring CPU
+    /// before each retry. Returns `None` when the budget runs out.
+    fn read_counter(
+        &mut self,
+        ctx: &mut ProbeCtx<'_>,
+        session: &PerfSession,
+        tid: ThreadId,
+        event: HwEvent,
+    ) -> Option<f64> {
+        let mut attempt = 0u32;
+        loop {
+            match session.read_with(ctx, &mut self.faults, tid, event) {
+                Some(value) => {
+                    if attempt > 0 {
+                        self.faults.tally.counter_reads_recovered += 1;
+                    }
+                    return Some(value);
+                }
+                None if attempt >= self.cfg.counter_retries => {
+                    self.faults.tally.counter_reads_lost += 1;
+                    return None;
+                }
+                None => {
+                    attempt += 1;
+                    self.faults.tally.counter_read_retries += 1;
+                    ctx.charge_cpu(self.cfg.retry_backoff_ns << (attempt - 1));
+                }
+            }
+        }
+    }
+
+    /// Main-minus-render difference of one event; `None` if either
+    /// thread's counter could not be read even after retries.
+    fn read_diff(
+        &mut self,
+        ctx: &mut ProbeCtx<'_>,
+        session: &PerfSession,
+        main: ThreadId,
+        render: ThreadId,
+        event: HwEvent,
+    ) -> Option<f64> {
+        let main_value = self.read_counter(ctx, session, main, event)?;
+        let render_value = self.read_counter(ctx, session, render, event)?;
+        Some(main_value - render_value)
+    }
+
     fn finish_diagnosis(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo, response_ns: u64) {
-        let samples = self.sampler.end();
+        let window = self.sampler.end_window();
+        if window.dropped > 0
+            && (window.samples.len() < self.cfg.min_diagnosis_samples
+                || window.loss_fraction() > self.cfg.max_sample_loss)
+        {
+            // The Trace Collector lost too much: rather than emit a
+            // low-confidence root cause, abort the session and leave the
+            // action's state untouched — the watchdog re-arms on its
+            // next hang.
+            self.faults.tally.sessions_aborted += 1;
+            return;
+        }
+        let samples = window.samples;
         let root = analyze(
             &samples,
             self.cfg.occurrence_threshold,
@@ -275,7 +350,10 @@ impl Probe for HangDoctor {
         if matches!(state, ActionState::Suspicious | ActionState::HangBug) {
             self.next_watch_token += 1;
             let token = self.next_watch_token;
-            ctx.set_timer(ctx.now() + self.cfg.timeout_ns, token);
+            // The watchdog deadline is subject to clock jitter: a skewed
+            // monotonic clock fires the 100 ms alarm early or late.
+            let deadline = self.faults.jitter_deadline(ctx.now() + self.cfg.timeout_ns);
+            ctx.set_timer(deadline, token);
             self.dispatch = Some(CurrentDispatch {
                 exec_id: info.exec_id,
                 event_index: info.event_index,
@@ -287,7 +365,7 @@ impl Probe for HangDoctor {
 
     fn on_timer(&mut self, ctx: &mut ProbeCtx<'_>, token: u64) {
         if token == SAMPLER_TOKEN {
-            self.sampler.on_timer(ctx, token);
+            self.sampler.on_timer_with(ctx, token, &mut self.faults);
             return;
         }
         let Some(dispatch) = &mut self.dispatch else {
@@ -299,7 +377,7 @@ impl Probe for HangDoctor {
         // The input event has been running for 100 ms: a soft hang is in
         // progress — start the Trace Collector.
         dispatch.sampling = true;
-        self.sampler.begin(ctx);
+        self.sampler.begin_with(ctx, &mut self.faults);
     }
 
     fn on_dispatch_end(&mut self, ctx: &mut ProbeCtx<'_>, info: &MessageInfo, response_ns: u64) {
@@ -345,28 +423,51 @@ impl Probe for HangDoctor {
                     let session = cur.session.expect("uncategorized action has a session");
                     let main = ctx.main_tid();
                     let render = ctx.render_tid();
-                    let diffs = CounterDiffs {
-                        context_switches: session.read_diff(
+                    let partial = PartialCounterDiffs {
+                        context_switches: self.read_diff(
                             ctx,
+                            &session,
                             main,
                             render,
                             HwEvent::ContextSwitches,
                         ),
-                        task_clock: session.read_diff(ctx, main, render, HwEvent::TaskClock),
-                        page_faults: session.read_diff(ctx, main, render, HwEvent::PageFaults),
+                        task_clock: self.read_diff(ctx, &session, main, render, HwEvent::TaskClock),
+                        page_faults: self.read_diff(
+                            ctx,
+                            &session,
+                            main,
+                            render,
+                            HwEvent::PageFaults,
+                        ),
                     };
-                    let verdict = self.checker.check(diffs);
-                    let mut out = self.out.borrow_mut();
-                    out.schecker_checks += 1;
-                    if verdict.suspicious {
-                        out.suspicious_marks += 1;
-                        self.states
-                            .transition(cur.uid, ActionState::Suspicious, "S-Checker");
-                    } else {
-                        self.states
-                            .transition(cur.uid, ActionState::Normal, "S-Checker");
+                    match self.checker.check_partial(partial) {
+                        Some(verdict) => {
+                            if verdict.degraded {
+                                self.faults.tally.degraded_verdicts += 1;
+                            }
+                            let mut out = self.out.borrow_mut();
+                            out.schecker_checks += 1;
+                            if verdict.suspicious {
+                                out.suspicious_marks += 1;
+                                self.states.transition(
+                                    cur.uid,
+                                    ActionState::Suspicious,
+                                    "S-Checker",
+                                );
+                            } else {
+                                self.states
+                                    .transition(cur.uid, ActionState::Normal, "S-Checker");
+                            }
+                            out.verdicts.push((cur.uid, verdict));
+                        }
+                        None => {
+                            // Every counter read was lost: there is no
+                            // evidence either way, so the check is
+                            // abandoned and the action stays
+                            // Uncategorized for the next execution.
+                            self.faults.tally.checks_abandoned += 1;
+                        }
                     }
-                    out.verdicts.push((cur.uid, verdict));
                 }
                 // Without a hang the action stays Uncategorized and will
                 // be monitored again next time.
@@ -382,7 +483,9 @@ impl Probe for HangDoctor {
     }
 
     fn on_sim_end(&mut self, _ctx: &mut ProbeCtx<'_>) {
-        self.out.borrow_mut().states = self.states.clone();
+        let mut out = self.out.borrow_mut();
+        out.states = self.states.clone();
+        out.faults = self.faults.tally();
     }
 }
 
@@ -411,6 +514,28 @@ mod tests {
         run.sim.add_probe(Box::new(probe));
         run.sim.run();
         (out, run.truths)
+    }
+
+    fn run_doctor_faulted(
+        app: hd_appmodel::App,
+        reps: usize,
+        seed: u64,
+        faults: hd_faults::FaultConfig,
+    ) -> Rc<RefCell<HdOutput>> {
+        let compiled = CompiledApp::new(app);
+        let sched = round_robin_schedule(compiled.app(), reps, 3_000);
+        let mut run = build_run(&compiled, &sched, SimConfig::default(), seed);
+        let (mut probe, out) = HangDoctor::new(
+            HangDoctorConfig::default(),
+            &compiled.app().name,
+            &compiled.app().package,
+            1,
+            None,
+        );
+        probe.inject_faults(FaultPlan::for_job(faults, seed, 0));
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        out
     }
 
     #[test]
@@ -734,6 +859,102 @@ mod tests {
     fn network_monitoring_is_off_by_default() {
         let (out, _) = run_doctor(table5::k9mail(), 2, 5);
         assert!(out.borrow().network_warnings.is_empty());
+    }
+
+    #[test]
+    fn disabled_fault_plan_is_behaviorally_invisible() {
+        use hd_faults::FaultConfig;
+        let (clean, _) = run_doctor(table5::k9mail(), 4, 11);
+        let faulted = run_doctor_faulted(table5::k9mail(), 4, 11, FaultConfig::none());
+        let (clean, faulted) = (clean.borrow(), faulted.borrow());
+        assert_eq!(clean.detections, faulted.detections);
+        assert_eq!(clean.verdicts, faulted.verdicts);
+        assert_eq!(
+            clean.states.in_state(ActionState::HangBug),
+            faulted.states.in_state(ActionState::HangBug)
+        );
+        assert!(faulted.faults.is_empty());
+    }
+
+    #[test]
+    fn aborted_diagnosis_rearms_suspicious_action() {
+        // Every stack sample drops: each traced session is abandoned, so
+        // no detection is ever emitted and the action must stay armed in
+        // Suspicious — never leaking to Normal or HangBug on partial
+        // evidence.
+        use hd_faults::{FaultCategory, FaultConfig};
+        let out = run_doctor_faulted(
+            table5::k9mail(),
+            4,
+            11,
+            FaultConfig::only(FaultCategory::DroppedSample, 1.0),
+        );
+        let out = out.borrow();
+        assert!(out.detections.is_empty(), "{:?}", out.detections);
+        assert!(out.faults.sessions_aborted > 0);
+        assert!(out.states.in_state(ActionState::HangBug).is_empty());
+        assert!(!out.states.in_state(ActionState::Suspicious).is_empty());
+        assert!(out.states.transitions().iter().all(|t| t.by != "Diagnoser"));
+    }
+
+    #[test]
+    fn all_counters_failing_leaves_action_uncategorized() {
+        // Every counter read fails, even after retries: the S-Checker has
+        // no evidence at all, abandons every check, and the action stays
+        // Uncategorized for re-examination.
+        use hd_faults::{FaultCategory, FaultConfig};
+        let out = run_doctor_faulted(
+            table5::k9mail(),
+            3,
+            7,
+            FaultConfig::only(FaultCategory::CounterRead, 1.0),
+        );
+        let out = out.borrow();
+        assert!(out.faults.checks_abandoned > 0);
+        assert_eq!(out.schecker_checks, 0);
+        assert!(out.verdicts.is_empty());
+        assert_eq!(out.suspicious_marks, 0);
+        assert!(out.states.in_state(ActionState::Suspicious).is_empty());
+        assert!(out.states.in_state(ActionState::Normal).is_empty());
+        assert!(out.states.in_state(ActionState::HangBug).is_empty());
+        // With the default budget of 2 retries, each lost read burns the
+        // whole budget.
+        assert_eq!(
+            out.faults.counter_read_failures,
+            out.faults.counter_read_retries + out.faults.counter_reads_lost
+        );
+        assert!(out.faults.counter_reads_recovered == 0);
+    }
+
+    #[test]
+    fn moderate_read_failures_are_mostly_recovered_by_retries() {
+        use hd_faults::{FaultCategory, FaultConfig};
+        let out = run_doctor_faulted(
+            table5::k9mail(),
+            4,
+            11,
+            FaultConfig::only(FaultCategory::CounterRead, 0.35),
+        );
+        let out = out.borrow();
+        assert!(out.faults.counter_read_failures > 0);
+        assert!(out.faults.counter_reads_recovered > 0, "{:?}", out.faults);
+        // Retry accounting: every failed attempt is either retried or
+        // terminal.
+        assert_eq!(
+            out.faults.counter_read_failures,
+            out.faults.counter_read_retries + out.faults.counter_reads_lost
+        );
+        // The filter still ran on whatever survived.
+        assert!(out.schecker_checks > 0);
+    }
+
+    #[test]
+    fn chaos_run_completes_and_tallies_every_injection() {
+        use hd_faults::FaultConfig;
+        let out = run_doctor_faulted(table5::k9mail(), 4, 19, FaultConfig::chaos(0.1));
+        let out = out.borrow();
+        assert!(out.faults.injected() > 0);
+        assert!(out.hangs_observed > 0);
     }
 
     #[test]

@@ -45,9 +45,10 @@ pub use correlation::{
     TrainingSample,
 };
 pub use doctor::{Detection, HangDoctor, HdOutput};
+pub use hd_faults::{fault_seed, FaultCategory, FaultConfig, FaultPlan, FaultRates, FaultTally};
 pub use injector::{AppInjector, InjectionReport};
 pub use persistence::DeviceSnapshot;
 pub use report::{HangBugReport, ReportEntry};
-pub use schecker::{CounterDiffs, SChecker, SymptomVerdict};
+pub use schecker::{CounterDiffs, PartialCounterDiffs, SChecker, SymptomVerdict};
 pub use state::{ActionState, StateTable, Transition};
 pub use trainer::{collect_samples, training_set, validation_set, LabeledAction};

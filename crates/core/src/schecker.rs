@@ -38,6 +38,52 @@ impl CounterDiffs {
     }
 }
 
+/// The three differences when counter reads can fail: `None` means the
+/// counter could not be read (even after retries) on at least one of the
+/// two threads, so no difference exists for it this window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PartialCounterDiffs {
+    /// Context-switch difference (main − render), if both reads survived.
+    pub context_switches: Option<f64>,
+    /// Task-clock difference, ns, if both reads survived.
+    pub task_clock: Option<f64>,
+    /// Page-fault difference, if both reads survived.
+    pub page_faults: Option<f64>,
+}
+
+impl PartialCounterDiffs {
+    /// A partial view with every counter present.
+    pub fn complete(diffs: CounterDiffs) -> PartialCounterDiffs {
+        PartialCounterDiffs {
+            context_switches: Some(diffs.context_switches),
+            task_clock: Some(diffs.task_clock),
+            page_faults: Some(diffs.page_faults),
+        }
+    }
+
+    /// How many of the three counters survived.
+    pub fn surviving(&self) -> usize {
+        [
+            self.context_switches.is_some(),
+            self.task_clock.is_some(),
+            self.page_faults.is_some(),
+        ]
+        .iter()
+        .filter(|&&p| p)
+        .count()
+    }
+
+    /// Whether every counter was lost.
+    pub fn is_empty(&self) -> bool {
+        self.surviving() == 0
+    }
+
+    /// Whether at least one counter was lost.
+    pub fn is_degraded(&self) -> bool {
+        self.surviving() < 3
+    }
+}
+
 /// The S-Checker's verdict for one soft hang.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SymptomVerdict {
@@ -45,8 +91,14 @@ pub struct SymptomVerdict {
     pub suspicious: bool,
     /// Which events fired their thresholds.
     pub triggered: Vec<HwEvent>,
-    /// The examined differences (kept for reports/adaptation).
+    /// The examined differences (kept for reports/adaptation). Counters
+    /// lost to read failures appear as `0.0` here; `degraded` records
+    /// that they were not examined.
     pub diffs: CounterDiffs,
+    /// Whether the verdict was issued from a partial counter set (at
+    /// least one counter read was lost, so unfired symptoms may simply
+    /// have been unobservable).
+    pub degraded: bool,
 }
 
 /// Stateless symptom filter.
@@ -78,7 +130,50 @@ impl SChecker {
             suspicious: !triggered.is_empty(),
             triggered,
             diffs,
+            degraded: false,
         }
+    }
+
+    /// Applies the filter to whatever counters survived their reads.
+    ///
+    /// Missing counters are simply not examined (they cannot fire), and
+    /// the verdict is flagged `degraded` so downstream consumers know a
+    /// clean verdict might have seen more. Returns `None` when every
+    /// counter was lost — there is no evidence to judge, so the check is
+    /// abandoned and the action stays Uncategorized for the next window.
+    pub fn check_partial(&self, partial: PartialCounterDiffs) -> Option<SymptomVerdict> {
+        if partial.is_empty() {
+            return None;
+        }
+        let mut triggered = Vec::new();
+        if partial
+            .context_switches
+            .is_some_and(|d| d > self.thresholds.context_switch_diff)
+        {
+            triggered.push(HwEvent::ContextSwitches);
+        }
+        if partial
+            .task_clock
+            .is_some_and(|d| d > self.thresholds.task_clock_diff)
+        {
+            triggered.push(HwEvent::TaskClock);
+        }
+        if partial
+            .page_faults
+            .is_some_and(|d| d > self.thresholds.page_fault_diff)
+        {
+            triggered.push(HwEvent::PageFaults);
+        }
+        Some(SymptomVerdict {
+            suspicious: !triggered.is_empty(),
+            triggered,
+            diffs: CounterDiffs {
+                context_switches: partial.context_switches.unwrap_or(0.0),
+                task_clock: partial.task_clock.unwrap_or(0.0),
+                page_faults: partial.page_faults.unwrap_or(0.0),
+            },
+            degraded: partial.is_degraded(),
+        })
     }
 }
 
@@ -145,6 +240,47 @@ mod tests {
             page_faults: 500.0,
         });
         assert!(!v.suspicious, "boundary values must not trigger");
+    }
+
+    #[test]
+    fn partial_check_with_all_counters_matches_full_check() {
+        let diffs = CounterDiffs {
+            context_switches: 120.0,
+            task_clock: 4.0e8,
+            page_faults: 250.0,
+        };
+        let full = checker().check(diffs);
+        let partial = checker()
+            .check_partial(PartialCounterDiffs::complete(diffs))
+            .unwrap();
+        assert_eq!(full, partial);
+        assert!(!partial.degraded);
+    }
+
+    #[test]
+    fn partial_check_judges_only_surviving_counters() {
+        // Task-clock would have fired, but its read was lost: only the
+        // surviving page-fault counter is examined.
+        let v = checker()
+            .check_partial(PartialCounterDiffs {
+                context_switches: None,
+                task_clock: None,
+                page_faults: Some(700.0),
+            })
+            .unwrap();
+        assert!(v.suspicious);
+        assert!(v.degraded);
+        assert_eq!(v.triggered, vec![HwEvent::PageFaults]);
+        assert_eq!(v.diffs.task_clock, 0.0);
+    }
+
+    #[test]
+    fn partial_check_with_no_counters_is_abandoned() {
+        assert_eq!(
+            checker().check_partial(PartialCounterDiffs::default()),
+            None
+        );
+        assert!(PartialCounterDiffs::default().is_empty());
     }
 
     #[test]

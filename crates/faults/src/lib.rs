@@ -1,0 +1,564 @@
+//! # hd-faults — deterministic fault injection for the monitoring stack
+//!
+//! On real phones the observation layer Hang Doctor depends on is
+//! unreliable: `perf_event_open` reads fail under PMU contention, stack
+//! samples arrive late or truncated when the sampling thread is starved,
+//! and timers skew against the monotonic clock. This crate models those
+//! failures as a **seed-deterministic fault schedule** so every layer of
+//! the pipeline can be tested — and hardened — against them without
+//! giving up reproducibility.
+//!
+//! ## Determinism
+//!
+//! A [`FaultPlan`] owns its own [`SimRng`] stream, seeded from
+//! `(root_seed, job index)` through [`fault_seed`] exactly like fleet
+//! device seeds. Two consequences:
+//!
+//! * the fault schedule of a job depends on nothing but the seed pair and
+//!   the sequence of injection points the job reaches — never on thread
+//!   count or scheduling, so chaos fleets merge byte-identically;
+//! * a plan whose rates are all zero draws **nothing** from its RNG and
+//!   mutates no state, so a faults-disabled run is bit-exact with a build
+//!   that has no fault layer at all.
+//!
+//! ## Categories
+//!
+//! | category | models | degradation path |
+//! |---|---|---|
+//! | counter-read failure | `perf_event_open`/read errors | bounded retry with backoff, then partial S-Check |
+//! | stale counter | snapshot captured partway through the window | silent (quantified by the chaos differential) |
+//! | dropped sample | sampler starved, sample lost | Diagnoser aborts lossy sessions and re-arms |
+//! | truncated sample | partial stack unwind | occurrence-factor analysis absorbs it |
+//! | sampler latency | late sampler start | window simply starts late |
+//! | clock jitter | monotonic timer skew | watchdog/sampler deadlines shift |
+
+use hd_simrt::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The kinds of fault the plan can inject, one per monitoring failure
+/// mode observed on real devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultCategory {
+    /// A performance-counter read fails outright.
+    CounterRead,
+    /// A counter read succeeds but returns a stale snapshot that misses
+    /// the tail of the measurement window.
+    StaleCounter,
+    /// A stack sample is attempted but lost.
+    DroppedSample,
+    /// A stack sample arrives with only the outermost frames.
+    TruncatedSample,
+    /// The sampler starts late after being armed.
+    SamplerLatency,
+    /// A monitoring timer deadline skews against the monotonic clock.
+    ClockJitter,
+}
+
+impl FaultCategory {
+    /// Every category, in declaration order.
+    pub const ALL: [FaultCategory; 6] = [
+        FaultCategory::CounterRead,
+        FaultCategory::StaleCounter,
+        FaultCategory::DroppedSample,
+        FaultCategory::TruncatedSample,
+        FaultCategory::SamplerLatency,
+        FaultCategory::ClockJitter,
+    ];
+
+    /// Stable kebab-case name (used in reports and the differential
+    /// harness).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultCategory::CounterRead => "counter-read",
+            FaultCategory::StaleCounter => "stale-counter",
+            FaultCategory::DroppedSample => "dropped-sample",
+            FaultCategory::TruncatedSample => "truncated-sample",
+            FaultCategory::SamplerLatency => "sampler-latency",
+            FaultCategory::ClockJitter => "clock-jitter",
+        }
+    }
+}
+
+/// Per-category injection probabilities, each in `[0, 1]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// Probability that one counter read attempt fails.
+    pub counter_read_failure: f64,
+    /// Probability that a successful counter read is stale.
+    pub stale_counter: f64,
+    /// Probability that a stack sample is dropped.
+    pub dropped_sample: f64,
+    /// Probability that a stack sample is truncated.
+    pub truncated_sample: f64,
+    /// Probability that a sampler window starts late.
+    pub sampler_latency: f64,
+    /// Probability that a timer deadline is jittered.
+    pub clock_jitter: f64,
+}
+
+impl FaultRates {
+    /// Returns the rate configured for `category`.
+    pub fn rate(&self, category: FaultCategory) -> f64 {
+        match category {
+            FaultCategory::CounterRead => self.counter_read_failure,
+            FaultCategory::StaleCounter => self.stale_counter,
+            FaultCategory::DroppedSample => self.dropped_sample,
+            FaultCategory::TruncatedSample => self.truncated_sample,
+            FaultCategory::SamplerLatency => self.sampler_latency,
+            FaultCategory::ClockJitter => self.clock_jitter,
+        }
+    }
+
+    fn set_rate(&mut self, category: FaultCategory, rate: f64) {
+        let r = match category {
+            FaultCategory::CounterRead => &mut self.counter_read_failure,
+            FaultCategory::StaleCounter => &mut self.stale_counter,
+            FaultCategory::DroppedSample => &mut self.dropped_sample,
+            FaultCategory::TruncatedSample => &mut self.truncated_sample,
+            FaultCategory::SamplerLatency => &mut self.sampler_latency,
+            FaultCategory::ClockJitter => &mut self.clock_jitter,
+        };
+        *r = rate.clamp(0.0, 1.0);
+    }
+}
+
+/// Fault-injection configuration: rates plus the magnitude parameters of
+/// the individual fault kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Per-category injection rates.
+    pub rates: FaultRates,
+    /// A stale snapshot misses up to this fraction of the measurement
+    /// window (the served delta is scaled by `1 - U(0, max)`).
+    pub max_stale_fraction: f64,
+    /// Maximum extra delay before a late sampler window starts, ns.
+    pub max_sampler_latency_ns: u64,
+    /// Maximum absolute timer-deadline skew, ns.
+    pub max_clock_jitter_ns: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            rates: FaultRates::default(),
+            max_stale_fraction: 0.6,
+            max_sampler_latency_ns: 20_000_000, // 20 ms
+            max_clock_jitter_ns: 4_000_000,     // 4 ms
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A configuration that injects nothing (the production default).
+    pub fn none() -> FaultConfig {
+        FaultConfig::default()
+    }
+
+    /// Chaos mode: every category injects at `rate` (clamped to
+    /// `[0, 1]`), with default magnitudes.
+    pub fn chaos(rate: f64) -> FaultConfig {
+        let rate = rate.clamp(0.0, 1.0);
+        FaultConfig {
+            rates: FaultRates {
+                counter_read_failure: rate,
+                stale_counter: rate,
+                dropped_sample: rate,
+                truncated_sample: rate,
+                sampler_latency: rate,
+                clock_jitter: rate,
+            },
+            ..FaultConfig::default()
+        }
+    }
+
+    /// A configuration that injects only `category`, at `rate` — the
+    /// building block of the chaos-vs-clean differential harness.
+    pub fn only(category: FaultCategory, rate: f64) -> FaultConfig {
+        let mut cfg = FaultConfig::none();
+        cfg.rates.set_rate(category, rate);
+        cfg
+    }
+
+    /// Whether any category has a positive rate.
+    pub fn enabled(&self) -> bool {
+        FaultCategory::ALL.iter().any(|&c| self.rates.rate(c) > 0.0)
+    }
+}
+
+/// Per-category fault and recovery counts for one device run (or, after
+/// [`FaultTally::merge`], for a whole fleet).
+///
+/// "Injected" counters record faults the plan actually delivered;
+/// "recovery" counters record the graceful-degradation actions the
+/// detector took in response. Silent faults (stale counters, truncated
+/// samples) have no recovery counter — their cost is visible only in the
+/// chaos-vs-clean differential.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultTally {
+    /// Counter read attempts that failed.
+    pub counter_read_failures: u64,
+    /// Retry attempts made after a failed read.
+    pub counter_read_retries: u64,
+    /// Reads salvaged by at least one retry.
+    pub counter_reads_recovered: u64,
+    /// Reads abandoned after the retry budget ran out.
+    pub counter_reads_lost: u64,
+    /// Stale counter snapshots served.
+    pub stale_snapshots: u64,
+    /// Stack samples dropped.
+    pub samples_dropped: u64,
+    /// Stack samples truncated.
+    pub samples_truncated: u64,
+    /// Sampler windows that started late.
+    pub sampler_delays: u64,
+    /// Timer deadlines that were jittered.
+    pub clock_jitters: u64,
+    /// S-Checker verdicts issued from a partial counter set.
+    pub degraded_verdicts: u64,
+    /// S-Checker evaluations abandoned because no counter read survived.
+    pub checks_abandoned: u64,
+    /// Diagnosis sessions aborted (and re-armed) for losing too many
+    /// samples.
+    pub sessions_aborted: u64,
+}
+
+impl FaultTally {
+    /// Adds another tally into this one (associative and commutative, so
+    /// fleet merges are order-independent).
+    pub fn merge(&mut self, other: &FaultTally) {
+        self.counter_read_failures += other.counter_read_failures;
+        self.counter_read_retries += other.counter_read_retries;
+        self.counter_reads_recovered += other.counter_reads_recovered;
+        self.counter_reads_lost += other.counter_reads_lost;
+        self.stale_snapshots += other.stale_snapshots;
+        self.samples_dropped += other.samples_dropped;
+        self.samples_truncated += other.samples_truncated;
+        self.sampler_delays += other.sampler_delays;
+        self.clock_jitters += other.clock_jitters;
+        self.degraded_verdicts += other.degraded_verdicts;
+        self.checks_abandoned += other.checks_abandoned;
+        self.sessions_aborted += other.sessions_aborted;
+    }
+
+    /// Total faults injected across all categories.
+    pub fn injected(&self) -> u64 {
+        self.counter_read_failures
+            + self.stale_snapshots
+            + self.samples_dropped
+            + self.samples_truncated
+            + self.sampler_delays
+            + self.clock_jitters
+    }
+
+    /// Total graceful-degradation actions taken in response.
+    pub fn recovered(&self) -> u64 {
+        self.counter_reads_recovered
+            + self.degraded_verdicts
+            + self.checks_abandoned
+            + self.sessions_aborted
+    }
+
+    /// Whether nothing was injected or recovered.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultTally::default()
+    }
+}
+
+/// Derives the fault-plan seed of the job with stable index `job`.
+///
+/// Same SplitMix64 scramble as fleet device seeds but domain-separated
+/// by a constant, so a job's fault schedule is independent of its
+/// simulator stream while still being a pure function of
+/// `(root_seed, job)`.
+pub fn fault_seed(root_seed: u64, job: u64) -> u64 {
+    let mut z = (root_seed ^ 0xFA17_5EED_0D15_EA5Eu64)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(job.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The per-job fault schedule: a configuration, a private RNG stream,
+/// and the running tally of what was injected and recovered.
+///
+/// Every injection-point method is a no-op (and draws nothing) when the
+/// corresponding rate is zero, so a disabled plan is behaviorally
+/// invisible.
+#[derive(Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: SimRng,
+    /// Running fault/recovery counts. Public so the detector can record
+    /// its recovery actions (degraded verdicts, aborted sessions) into
+    /// the same ledger the injection points write.
+    pub tally: FaultTally,
+}
+
+impl FaultPlan {
+    /// Creates a plan with an explicit seed.
+    pub fn new(cfg: FaultConfig, seed: u64) -> FaultPlan {
+        FaultPlan {
+            cfg,
+            rng: SimRng::seed_from_u64(seed),
+            tally: FaultTally::default(),
+        }
+    }
+
+    /// Creates the plan of fleet job `job` under `root_seed` — the
+    /// deterministic derivation every chaos fleet uses.
+    pub fn for_job(cfg: FaultConfig, root_seed: u64, job: u64) -> FaultPlan {
+        FaultPlan::new(cfg, fault_seed(root_seed, job))
+    }
+
+    /// A plan that never injects anything.
+    pub fn disabled() -> FaultPlan {
+        FaultPlan::new(FaultConfig::none(), 0)
+    }
+
+    /// Whether any fault category is active.
+    pub fn is_enabled(&self) -> bool {
+        self.cfg.enabled()
+    }
+
+    /// The configuration this plan runs under.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of the current tally.
+    pub fn tally(&self) -> FaultTally {
+        self.tally
+    }
+
+    fn fires(&mut self, rate: f64) -> bool {
+        // Zero-rate categories must not consume RNG state: a plan with a
+        // category disabled produces the same schedule for the others.
+        rate > 0.0 && self.rng.chance(rate)
+    }
+
+    /// Injection point: does this counter read attempt fail?
+    pub fn counter_read_fails(&mut self) -> bool {
+        if self.fires(self.cfg.rates.counter_read_failure) {
+            self.tally.counter_read_failures += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Injection point: scale factor for a stale counter snapshot, if
+    /// this read is served stale. The factor is the fraction of the
+    /// window the snapshot actually covered.
+    pub fn stale_fraction(&mut self) -> Option<f64> {
+        if self.fires(self.cfg.rates.stale_counter) {
+            self.tally.stale_snapshots += 1;
+            let missing = self.rng.uniform_f64(0.0, self.cfg.max_stale_fraction);
+            Some(1.0 - missing)
+        } else {
+            None
+        }
+    }
+
+    /// Injection point: is this stack sample dropped?
+    pub fn drop_sample(&mut self) -> bool {
+        if self.fires(self.cfg.rates.dropped_sample) {
+            self.tally.samples_dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Injection point: is this stack sample truncated?
+    pub fn truncate_sample(&mut self) -> bool {
+        if self.fires(self.cfg.rates.truncated_sample) {
+            self.tally.samples_truncated += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Injection point: extra start-up latency of a sampler window, if
+    /// this one starts late.
+    pub fn sampler_latency_ns(&mut self) -> Option<u64> {
+        if self.fires(self.cfg.rates.sampler_latency) {
+            self.tally.sampler_delays += 1;
+            Some(
+                self.rng
+                    .uniform_u64(1, self.cfg.max_sampler_latency_ns.max(1)),
+            )
+        } else {
+            None
+        }
+    }
+
+    /// Injection point: skews a timer deadline against the monotonic
+    /// clock, returning the (possibly unchanged) deadline.
+    pub fn jitter_deadline(&mut self, at: SimTime) -> SimTime {
+        if self.fires(self.cfg.rates.clock_jitter) {
+            self.tally.clock_jitters += 1;
+            let max = self.cfg.max_clock_jitter_ns.max(1);
+            let magnitude = self.rng.uniform_u64(1, max);
+            if self.rng.chance(0.5) {
+                SimTime(at.0.saturating_add(magnitude))
+            } else {
+                SimTime(at.0.saturating_sub(magnitude))
+            }
+        } else {
+            at
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives every injection point once and returns a fingerprint of
+    /// the decisions.
+    fn drive(plan: &mut FaultPlan, rounds: usize) -> Vec<u64> {
+        let mut fp = Vec::new();
+        for i in 0..rounds {
+            fp.push(plan.counter_read_fails() as u64);
+            fp.push(plan.stale_fraction().map(|f| f.to_bits()).unwrap_or(0));
+            fp.push(plan.drop_sample() as u64);
+            fp.push(plan.truncate_sample() as u64);
+            fp.push(plan.sampler_latency_ns().unwrap_or(0));
+            fp.push(plan.jitter_deadline(SimTime(i as u64 * 1_000_000)).0);
+        }
+        fp
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FaultPlan::for_job(FaultConfig::chaos(0.3), 7, 4);
+        let mut b = FaultPlan::for_job(FaultConfig::chaos(0.3), 7, 4);
+        assert_eq!(drive(&mut a, 200), drive(&mut b, 200));
+        assert_eq!(a.tally(), b.tally());
+    }
+
+    #[test]
+    fn different_jobs_differ() {
+        let mut a = FaultPlan::for_job(FaultConfig::chaos(0.5), 7, 0);
+        let mut b = FaultPlan::for_job(FaultConfig::chaos(0.5), 7, 1);
+        assert_ne!(drive(&mut a, 200), drive(&mut b, 200));
+    }
+
+    #[test]
+    fn disabled_plan_is_inert() {
+        let mut plan = FaultPlan::disabled();
+        assert!(!plan.is_enabled());
+        for _ in 0..100 {
+            assert!(!plan.counter_read_fails());
+            assert!(plan.stale_fraction().is_none());
+            assert!(!plan.drop_sample());
+            assert!(!plan.truncate_sample());
+            assert!(plan.sampler_latency_ns().is_none());
+            assert_eq!(plan.jitter_deadline(SimTime(42)), SimTime(42));
+        }
+        assert!(plan.tally().is_empty());
+    }
+
+    #[test]
+    fn zero_rate_category_does_not_perturb_others() {
+        // Disabling one category must leave the schedule of the others
+        // untouched (no RNG draws on the zero-rate path).
+        let mut full = FaultConfig::chaos(0.4);
+        full.rates.stale_counter = 0.0;
+        let mut only = FaultConfig::none();
+        only.rates.counter_read_failure = 0.4;
+        let mut a = FaultPlan::new(full, 99);
+        let mut b = FaultPlan::new(only, 99);
+        let da: Vec<bool> = (0..300).map(|_| a.counter_read_fails()).collect();
+        let db: Vec<bool> = (0..300).map(|_| b.counter_read_fails()).collect();
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn rates_are_clamped() {
+        let cfg = FaultConfig::chaos(7.0);
+        assert_eq!(cfg.rates.counter_read_failure, 1.0);
+        let mut plan = FaultPlan::new(cfg, 1);
+        assert!(plan.counter_read_fails());
+        let cfg = FaultConfig::only(FaultCategory::DroppedSample, -3.0);
+        assert!(!cfg.enabled());
+    }
+
+    #[test]
+    fn only_activates_a_single_category() {
+        for &cat in &FaultCategory::ALL {
+            let cfg = FaultConfig::only(cat, 0.5);
+            assert!(cfg.enabled());
+            for &other in &FaultCategory::ALL {
+                let expect = if other == cat { 0.5 } else { 0.0 };
+                assert_eq!(cfg.rates.rate(other), expect, "{}", other.name());
+            }
+        }
+    }
+
+    #[test]
+    fn stale_fraction_stays_in_band() {
+        let mut plan = FaultPlan::new(FaultConfig::chaos(1.0), 3);
+        for _ in 0..500 {
+            let f = plan.stale_fraction().expect("rate 1.0 always fires");
+            assert!((0.4..=1.0).contains(&f), "fraction {f}");
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_configured_bound() {
+        let mut plan = FaultPlan::new(FaultConfig::chaos(1.0), 5);
+        let base = SimTime(1_000_000_000);
+        for _ in 0..500 {
+            let at = plan.jitter_deadline(base);
+            let skew = at.0.abs_diff(base.0);
+            assert!((1..=4_000_000).contains(&skew), "skew {skew}");
+        }
+    }
+
+    #[test]
+    fn tally_merge_is_commutative_and_identity_preserving() {
+        let mut a = FaultPlan::new(FaultConfig::chaos(0.7), 11);
+        let mut b = FaultPlan::new(FaultConfig::chaos(0.7), 12);
+        drive(&mut a, 50);
+        drive(&mut b, 50);
+        let (ta, tb) = (a.tally(), b.tally());
+        let mut ab = ta;
+        ab.merge(&tb);
+        let mut ba = tb;
+        ba.merge(&ta);
+        assert_eq!(ab, ba);
+        let mut with_id = ta;
+        with_id.merge(&FaultTally::default());
+        assert_eq!(with_id, ta);
+        assert!(ab.injected() >= ta.injected());
+    }
+
+    #[test]
+    fn fault_seed_is_domain_separated_from_device_seed() {
+        // Must differ from the undomain-separated SplitMix64 the fleet
+        // uses for device seeds, and be stable and collision-free.
+        assert_eq!(fault_seed(42, 3), fault_seed(42, 3));
+        assert_ne!(fault_seed(42, 3), fault_seed(42, 4));
+        assert_ne!(fault_seed(42, 3), fault_seed(43, 3));
+        let seeds: std::collections::HashSet<u64> = (0..1_000).map(|i| fault_seed(7, i)).collect();
+        assert_eq!(seeds.len(), 1_000);
+    }
+
+    #[test]
+    fn category_names_are_stable() {
+        let names: Vec<&str> = FaultCategory::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "counter-read",
+                "stale-counter",
+                "dropped-sample",
+                "truncated-sample",
+                "sampler-latency",
+                "clock-jitter"
+            ]
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the fault plan's headline guarantee: the fault
+//! schedule of a job is a pure function of `(root_seed, job index)` and
+//! the sequence of injection points reached — independent of thread
+//! count, other jobs, and disabled categories.
+
+use proptest::prelude::*;
+
+use hd_faults::{fault_seed, FaultCategory, FaultConfig, FaultPlan};
+use hd_simrt::SimTime;
+
+/// Replays a mixed injection-point sequence and fingerprints every
+/// decision the plan makes.
+fn fingerprint(plan: &mut FaultPlan, points: &[u8]) -> Vec<u64> {
+    let mut fp = Vec::with_capacity(points.len());
+    for (i, p) in points.iter().enumerate() {
+        let v = match p % 6 {
+            0 => plan.counter_read_fails() as u64,
+            1 => plan.stale_fraction().map(|f| f.to_bits()).unwrap_or(0),
+            2 => plan.drop_sample() as u64,
+            3 => plan.truncate_sample() as u64,
+            4 => plan.sampler_latency_ns().unwrap_or(0),
+            _ => plan.jitter_deadline(SimTime(i as u64 * 500_000)).0,
+        };
+        fp.push(v);
+    }
+    fp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same `(root_seed, job)` ⇒ identical fault schedule, regardless of
+    /// how many *other* plans exist or in what order they are driven
+    /// (the stand-in for "at any thread count": plans share no state).
+    #[test]
+    fn schedule_is_pure_function_of_seed_and_job(
+        root_seed in 0u64..1_000_000,
+        job in 0u64..4096,
+        points in proptest::collection::vec(0u8..6, 1..200),
+        interleaved_jobs in proptest::collection::vec(0u64..4096, 0..8),
+    ) {
+        let cfg = FaultConfig::chaos(0.35);
+        let mut solo = FaultPlan::for_job(cfg, root_seed, job);
+        let solo_fp = fingerprint(&mut solo, &points);
+
+        // Drive a crowd of other jobs' plans first, in arbitrary order:
+        // the target job's schedule must not care.
+        let mut others: Vec<FaultPlan> = interleaved_jobs
+            .iter()
+            .map(|&j| FaultPlan::for_job(cfg, root_seed, j))
+            .collect();
+        for other in &mut others {
+            fingerprint(other, &points);
+        }
+        let mut again = FaultPlan::for_job(cfg, root_seed, job);
+        let again_fp = fingerprint(&mut again, &points);
+
+        prop_assert_eq!(&solo_fp, &again_fp);
+        prop_assert_eq!(solo.tally(), again.tally());
+    }
+
+    /// Distinct jobs get distinct seeds (no schedule collisions from the
+    /// derivation itself).
+    #[test]
+    fn distinct_jobs_get_distinct_seeds(
+        root_seed in 0u64..1_000_000,
+        a in 0u64..100_000,
+        b in 0u64..100_000,
+    ) {
+        if a != b {
+            prop_assert_ne!(fault_seed(root_seed, a), fault_seed(root_seed, b));
+        } else {
+            prop_assert_eq!(fault_seed(root_seed, a), fault_seed(root_seed, b));
+        }
+    }
+
+    /// A category at rate zero never fires and never perturbs the other
+    /// categories' draws.
+    #[test]
+    fn zero_rate_categories_are_transparent(
+        seed in 0u64..100_000,
+        cat_idx in 0usize..6,
+        points in proptest::collection::vec(0u8..6, 1..150),
+    ) {
+        let cat = FaultCategory::ALL[cat_idx];
+        let mut with_zero = FaultConfig::chaos(0.4);
+        with_zero.rates = {
+            let mut r = with_zero.rates;
+            match cat {
+                FaultCategory::CounterRead => r.counter_read_failure = 0.0,
+                FaultCategory::StaleCounter => r.stale_counter = 0.0,
+                FaultCategory::DroppedSample => r.dropped_sample = 0.0,
+                FaultCategory::TruncatedSample => r.truncated_sample = 0.0,
+                FaultCategory::SamplerLatency => r.sampler_latency = 0.0,
+                FaultCategory::ClockJitter => r.clock_jitter = 0.0,
+            }
+            r
+        };
+        let mut plan = FaultPlan::new(with_zero, seed);
+        fingerprint(&mut plan, &points);
+        let t = plan.tally();
+        let fired = match cat {
+            FaultCategory::CounterRead => t.counter_read_failures,
+            FaultCategory::StaleCounter => t.stale_snapshots,
+            FaultCategory::DroppedSample => t.samples_dropped,
+            FaultCategory::TruncatedSample => t.samples_truncated,
+            FaultCategory::SamplerLatency => t.sampler_delays,
+            FaultCategory::ClockJitter => t.clock_jitters,
+        };
+        prop_assert_eq!(fired, 0u64);
+    }
+
+    /// Tally merge is associative: (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c).
+    #[test]
+    fn tally_merge_is_associative(
+        sa in 0u64..10_000, sb in 0u64..10_000, sc in 0u64..10_000,
+        points in proptest::collection::vec(0u8..6, 1..100),
+    ) {
+        let cfg = FaultConfig::chaos(0.6);
+        let tally_of = |seed: u64| {
+            let mut p = FaultPlan::new(cfg, seed);
+            fingerprint(&mut p, &points);
+            p.tally()
+        };
+        let (a, b, c) = (tally_of(sa), tally_of(sb), tally_of(sc));
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+}

@@ -32,6 +32,7 @@ use crossbeam::queue::SegQueue;
 use hangdoctor::{shared, BlockingApiDb, HangBugReport, HangDoctor, HangDoctorConfig};
 use hd_appmodel::{build_run, generate_schedule, App, CompiledApp, TraceParams};
 use hd_baselines::install;
+use hd_faults::{FaultConfig, FaultPlan, FaultTally};
 use hd_metrics::{score, Confusion};
 use hd_simrt::{ExecId, SimConfig, SimRng};
 use serde::{Deserialize, Serialize};
@@ -90,6 +91,11 @@ pub struct FleetSpec {
     /// Vintage of the documented blocking-API database each device
     /// starts from.
     pub apidb_year: u16,
+    /// Fault-injection configuration installed on every device (chaos
+    /// mode). Each job derives its own deterministic [`FaultPlan`] from
+    /// `(root_seed, job index)`; the all-zero default injects nothing
+    /// and leaves the fleet bit-exact with a fault-free build.
+    pub faults: FaultConfig,
 }
 
 impl FleetSpec {
@@ -104,6 +110,7 @@ impl FleetSpec {
             threads,
             config: HangDoctorConfig::default(),
             apidb_year: 2017,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -137,6 +144,7 @@ struct JobResult {
     hangs_observed: u64,
     simulated_ns: u64,
     db: BlockingApiDb,
+    faults: FaultTally,
 }
 
 /// Per-app slice of the merged fleet results.
@@ -205,11 +213,25 @@ pub struct FleetTiming {
     pub shards: Vec<ShardStat>,
 }
 
+/// Fault-injection outcome of a chaos fleet run: the configuration in
+/// force and the fleet-wide merged tally (job-index fold order, so it is
+/// deterministic like the merged half).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// The fault configuration every device ran under.
+    pub config: FaultConfig,
+    /// Per-category fault and recovery counts summed over the fleet.
+    pub tally: FaultTally,
+}
+
 /// Everything a fleet run produced.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FleetReport {
     /// Deterministic merged results.
     pub merged: MergedFleet,
+    /// Chaos-mode fault accounting; `None` when faults are disabled, so
+    /// clean reports are byte-identical to a fault-free build's.
+    pub chaos: Option<ChaosReport>,
     /// Wall-clock measurements.
     pub timing: FleetTiming,
 }
@@ -278,6 +300,29 @@ impl FleetReport {
             m.hangs_observed,
             m.apidb.discovered().len(),
         );
+        if let Some(chaos) = &self.chaos {
+            let tally = &chaos.tally;
+            out.push_str(&format!(
+                "chaos: {} faults injected, {} degradation actions\n\
+                 \x20 counter reads: {} failed, {} retried, {} recovered, {} lost; {} stale\n\
+                 \x20 samples: {} dropped, {} truncated; {} late windows; {} jittered timers\n\
+                 \x20 recovery: {} degraded verdicts, {} checks abandoned, {} sessions aborted\n",
+                tally.injected(),
+                tally.recovered(),
+                tally.counter_read_failures,
+                tally.counter_read_retries,
+                tally.counter_reads_recovered,
+                tally.counter_reads_lost,
+                tally.stale_snapshots,
+                tally.samples_dropped,
+                tally.samples_truncated,
+                tally.sampler_delays,
+                tally.clock_jitters,
+                tally.degraded_verdicts,
+                tally.checks_abandoned,
+                tally.sessions_aborted,
+            ));
+        }
         for shard in &t.shards {
             out.push_str(&format!(
                 "  worker {}: {} jobs, busy {} ms\n",
@@ -369,13 +414,21 @@ fn run_job(spec: &FleetSpec, compiled: &CompiledApp, index: usize, app_idx: usiz
     let mut run = build_run(compiled, &schedule, sim_cfg, seed);
 
     let db = shared(BlockingApiDb::documented(spec.apidb_year));
-    let (doctor, _handle) = HangDoctor::new(
+    let (mut doctor, _handle) = HangDoctor::new(
         spec.config.clone(),
         &app.name,
         &app.package,
         device_id,
         Some(db.clone()),
     );
+    // Every job gets its own deterministic fault schedule, derived like
+    // the device seed from (root_seed, index) — a disabled config makes
+    // the plan inert, so clean fleets are untouched.
+    doctor.inject_faults(FaultPlan::for_job(
+        spec.faults,
+        spec.root_seed,
+        index as u64,
+    ));
     let installed = install(Box::new(doctor), &mut run.sim);
     let summary = run.sim.run();
 
@@ -395,6 +448,7 @@ fn run_job(spec: &FleetSpec, compiled: &CompiledApp, index: usize, app_idx: usiz
         hangs_observed: hd.hangs_observed,
         simulated_ns: summary.ended_at.0,
         db,
+        faults: hd.faults,
     }
 }
 
@@ -517,11 +571,24 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
     debug_assert_eq!(results.len(), total_jobs);
 
     let merged = merge_results(spec, &results);
+    let chaos = if spec.faults.enabled() {
+        let mut tally = FaultTally::default();
+        for result in &results {
+            tally.merge(&result.faults);
+        }
+        Some(ChaosReport {
+            config: spec.faults,
+            tally,
+        })
+    } else {
+        None
+    };
     let wall = started.elapsed();
     let wall_seconds = wall.as_secs_f64().max(1e-9);
     let device_hours = merged.simulated_ns as f64 / 3.6e12;
     FleetReport {
         merged,
+        chaos,
         timing: FleetTiming {
             threads,
             wall_ms: wall.as_millis() as u64,
@@ -546,6 +613,7 @@ mod tests {
             threads,
             config: HangDoctorConfig::default(),
             apidb_year: 2017,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -598,5 +666,45 @@ mod tests {
         let s = report.render();
         assert!(s.contains("device-hours"));
         assert!(s.contains("K9-mail"));
+        assert!(!s.contains("chaos"), "clean runs must not mention chaos");
+    }
+
+    #[test]
+    fn clean_fleet_reports_no_chaos() {
+        let report = run_fleet(&small_spec(2));
+        assert!(report.chaos.is_none());
+    }
+
+    #[test]
+    fn chaos_fleet_completes_and_tallies_per_category() {
+        let mut spec = small_spec(2);
+        spec.faults = FaultConfig::chaos(0.05);
+        let report = run_fleet(&spec);
+        let chaos = report.chaos.as_ref().expect("chaos report present");
+        assert_eq!(chaos.config, FaultConfig::chaos(0.05));
+        let t = &chaos.tally;
+        assert!(t.injected() > 0, "{t:?}");
+        // At 5% every category must have fired somewhere in 6 jobs.
+        assert!(t.counter_read_failures > 0, "{t:?}");
+        assert!(t.stale_snapshots > 0, "{t:?}");
+        assert!(t.samples_dropped > 0, "{t:?}");
+        assert!(t.clock_jitters > 0, "{t:?}");
+        // And the fleet still detects despite the faults.
+        assert!(report.merged.detections > 0);
+        assert!(report.render().contains("chaos"));
+    }
+
+    #[test]
+    fn chaos_tally_is_thread_count_independent() {
+        let mut serial = small_spec(1);
+        serial.faults = FaultConfig::chaos(0.1);
+        let mut parallel = small_spec(4);
+        parallel.faults = FaultConfig::chaos(0.1);
+        let a = run_fleet(&serial);
+        let b = run_fleet(&parallel);
+        assert_eq!(
+            a.chaos.as_ref().unwrap().tally,
+            b.chaos.as_ref().unwrap().tally
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! The fleet's headline guarantee: the merged results of an N-thread run
 //! are byte-identical to the serial run.
 
-use hangdoctor::HangDoctorConfig;
+use hangdoctor::{FaultConfig, HangDoctorConfig};
 use hd_fleet::{run_fleet, DeviceProfile, FleetSpec};
 
 fn spec(threads: usize) -> FleetSpec {
@@ -18,6 +18,14 @@ fn spec(threads: usize) -> FleetSpec {
         threads,
         config: HangDoctorConfig::default(),
         apidb_year: 2017,
+        faults: FaultConfig::none(),
+    }
+}
+
+fn chaos_spec(threads: usize) -> FleetSpec {
+    FleetSpec {
+        faults: FaultConfig::chaos(0.1),
+        ..spec(threads)
     }
 }
 
@@ -33,6 +41,39 @@ fn eight_thread_fleet_is_byte_identical_to_serial() {
         serial.merged.confusion
     );
     assert_eq!(serial_json, parallel_json);
+}
+
+#[test]
+fn eight_thread_chaos_fleet_is_byte_identical_to_serial() {
+    // Fault schedules derive from (root_seed, job index) only, so even a
+    // chaos fleet — merged science AND fault tallies — is byte-identical
+    // across thread counts.
+    let serial = run_fleet(&chaos_spec(1));
+    let parallel = run_fleet(&chaos_spec(8));
+    assert!(
+        serial.chaos.as_ref().unwrap().tally.injected() > 0,
+        "the chaos comparison must not be vacuous"
+    );
+    assert_eq!(
+        serde_json::to_string_pretty(&serial.merged).unwrap(),
+        serde_json::to_string_pretty(&parallel.merged).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string_pretty(&serial.chaos).unwrap(),
+        serde_json::to_string_pretty(&parallel.chaos).unwrap()
+    );
+}
+
+#[test]
+fn chaos_and_clean_fleets_differ() {
+    // Sanity: 10% chaos must actually perturb the merged science, or the
+    // injection points are dead.
+    let clean = run_fleet(&spec(2));
+    let chaos = run_fleet(&chaos_spec(2));
+    assert_ne!(
+        serde_json::to_string(&clean.merged).unwrap(),
+        serde_json::to_string(&chaos.merged).unwrap()
+    );
 }
 
 #[test]

@@ -1,6 +1,8 @@
-//! Golden fixture: the merged report of a small fleet run, checked in
-//! byte-for-byte. Any change to these bytes means the science changed —
-//! performance work must leave this file untouched.
+//! Golden fixtures: the merged report of a small fleet run (clean and
+//! chaos mode), checked in byte-for-byte. Any change to these bytes
+//! means the science changed — performance work must leave them
+//! untouched, and the fault-injection layer must leave the *clean*
+//! fixture untouched even as code paths gain fault hooks.
 //!
 //! Regenerate (only when a deliberate behavior change lands) with:
 //!
@@ -8,7 +10,7 @@
 //! GOLDEN_REGEN=1 cargo test -p hd-fleet --test golden
 //! ```
 
-use hangdoctor::HangDoctorConfig;
+use hangdoctor::{FaultConfig, HangDoctorConfig};
 use hd_fleet::{run_fleet, DeviceProfile, FleetSpec};
 
 fn spec() -> FleetSpec {
@@ -24,27 +26,48 @@ fn spec() -> FleetSpec {
         threads: 2,
         config: HangDoctorConfig::default(),
         apidb_year: 2017,
+        faults: FaultConfig::none(),
     }
 }
 
 const FIXTURE: &str = include_str!("fixtures/fleet_small.json");
+const CHAOS_FIXTURE: &str = include_str!("fixtures/fleet_chaos.json");
+
+fn check_or_regen(rendered: String, fixture: &str, name: &str) {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(path, rendered).expect("write fixture");
+        return;
+    }
+    assert_eq!(
+        rendered, fixture,
+        "{name} drifted from the golden fixture; if the change is \
+         intentional, regenerate with GOLDEN_REGEN=1"
+    );
+}
 
 #[test]
 fn merged_report_matches_checked_in_fixture() {
     let report = run_fleet(&spec());
+    assert!(report.chaos.is_none(), "clean run must carry no chaos data");
     let json = serde_json::to_string_pretty(&report.merged).expect("serializable report");
-    if std::env::var_os("GOLDEN_REGEN").is_some() {
-        let path = concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/tests/fixtures/fleet_small.json"
-        );
-        std::fs::write(path, format!("{json}\n")).expect("write fixture");
-        return;
-    }
-    assert_eq!(
-        format!("{json}\n"),
-        FIXTURE,
-        "merged FleetReport drifted from the golden fixture; if the change \
-         is intentional, regenerate with GOLDEN_REGEN=1"
+    check_or_regen(format!("{json}\n"), FIXTURE, "fleet_small.json");
+}
+
+#[test]
+fn chaos_report_matches_checked_in_fixture() {
+    // Same matrix, 5% chaos: the merged science under faults AND the
+    // per-category fault/recovery tallies are both pinned.
+    let mut chaos_spec = spec();
+    chaos_spec.faults = FaultConfig::chaos(0.05);
+    let report = run_fleet(&chaos_spec);
+    let chaos = report.chaos.as_ref().expect("chaos run carries tallies");
+    assert!(chaos.tally.injected() > 0, "{:?}", chaos.tally);
+    let merged = serde_json::to_string_pretty(&report.merged).expect("serializable report");
+    let tallies = serde_json::to_string_pretty(chaos).expect("serializable chaos report");
+    check_or_regen(
+        format!("{merged}\n{tallies}\n"),
+        CHAOS_FIXTURE,
+        "fleet_chaos.json",
     );
 }

@@ -1,0 +1,160 @@
+//! Chaos-vs-clean differential accounting.
+//!
+//! A chaos run degrades the observation layer; the question the
+//! differential answers is *how much science that costs*: for each fault
+//! category, the precision and recall of a faulted fleet are compared
+//! against the clean fleet on the identical `(corpus, seeds)` matrix.
+//! Because the fault schedule is the only difference between the two
+//! runs, any delta is attributable to that category (and to how
+//! gracefully the detector degraded under it).
+//!
+//! This module is pure arithmetic over [`Confusion`] counts — categories
+//! are plain strings so the metrology layer stays decoupled from the
+//! fault-injection crate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::confusion::Confusion;
+
+/// Precision/recall movement of one fault category relative to the clean
+/// run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChaosDelta {
+    /// Fault category name (kebab-case, e.g. `"counter-read"`), or
+    /// `"all"` for the everything-at-once chaos row.
+    pub category: String,
+    /// Injection rate the faulted run used.
+    pub rate: f64,
+    /// Confusion of the faulted run.
+    pub faulted: Confusion,
+    /// Faults actually injected in the faulted run.
+    pub injected: u64,
+    /// Graceful-degradation actions the detector took in response.
+    pub recovered: u64,
+}
+
+/// The full differential: one clean baseline and one delta per category.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChaosDifferential {
+    /// Confusion of the clean (fault-free) run.
+    pub clean: Confusion,
+    /// Per-category deltas, in injection-category order.
+    pub deltas: Vec<ChaosDelta>,
+}
+
+impl ChaosDelta {
+    /// Precision lost to this category (positive = worse than clean).
+    pub fn precision_loss(&self, clean: &Confusion) -> f64 {
+        clean.precision() - self.faulted.precision()
+    }
+
+    /// Recall lost to this category (positive = worse than clean).
+    pub fn recall_loss(&self, clean: &Confusion) -> f64 {
+        clean.recall() - self.faulted.recall()
+    }
+}
+
+impl ChaosDifferential {
+    /// The delta for `category`, if it was measured.
+    pub fn delta(&self, category: &str) -> Option<&ChaosDelta> {
+        self.deltas.iter().find(|d| d.category == category)
+    }
+
+    /// Worst recall loss across all measured categories (0.0 when no
+    /// category lost recall).
+    pub fn worst_recall_loss(&self) -> f64 {
+        self.deltas
+            .iter()
+            .map(|d| d.recall_loss(&self.clean))
+            .fold(0.0, f64::max)
+    }
+
+    /// Worst precision loss across all measured categories.
+    pub fn worst_precision_loss(&self) -> f64 {
+        self.deltas
+            .iter()
+            .map(|d| d.precision_loss(&self.clean))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn confusion(tp: usize, fp: usize, fn_: usize, tn: usize) -> Confusion {
+        Confusion { tp, fp, fn_, tn }
+    }
+
+    #[test]
+    fn losses_are_relative_to_clean() {
+        let clean = confusion(9, 1, 1, 9); // precision 0.9, recall 0.9
+        let delta = ChaosDelta {
+            category: "counter-read".into(),
+            rate: 0.1,
+            faulted: confusion(6, 2, 4, 8), // precision 0.75, recall 0.6
+            injected: 100,
+            recovered: 40,
+        };
+        assert!((delta.precision_loss(&clean) - 0.15).abs() < 1e-9);
+        assert!((delta.recall_loss(&clean) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_faultless_category_loses_nothing() {
+        let clean = confusion(5, 0, 0, 5);
+        let delta = ChaosDelta {
+            category: "clock-jitter".into(),
+            rate: 0.1,
+            faulted: clean,
+            injected: 12,
+            recovered: 0,
+        };
+        assert_eq!(delta.precision_loss(&clean), 0.0);
+        assert_eq!(delta.recall_loss(&clean), 0.0);
+    }
+
+    #[test]
+    fn worst_losses_scan_all_categories() {
+        let clean = confusion(10, 0, 0, 10);
+        let diff = ChaosDifferential {
+            clean,
+            deltas: vec![
+                ChaosDelta {
+                    category: "a".into(),
+                    rate: 0.1,
+                    faulted: confusion(8, 0, 2, 10), // recall 0.8
+                    injected: 1,
+                    recovered: 0,
+                },
+                ChaosDelta {
+                    category: "b".into(),
+                    rate: 0.1,
+                    faulted: confusion(10, 5, 0, 5), // precision 2/3
+                    injected: 1,
+                    recovered: 0,
+                },
+            ],
+        };
+        assert!((diff.worst_recall_loss() - 0.2).abs() < 1e-9);
+        assert!((diff.worst_precision_loss() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(diff.delta("a").unwrap().faulted.tp, 8);
+        assert!(diff.delta("missing").is_none());
+    }
+
+    #[test]
+    fn an_improvement_reads_as_negative_loss() {
+        // Chaos occasionally helps by chance (e.g. jitter fires the
+        // watchdog earlier); the differential must show that as a
+        // negative loss, not clamp it away.
+        let clean = confusion(8, 2, 2, 8);
+        let delta = ChaosDelta {
+            category: "clock-jitter".into(),
+            rate: 0.1,
+            faulted: confusion(10, 2, 0, 8),
+            injected: 3,
+            recovered: 0,
+        };
+        assert!(delta.recall_loss(&clean) < 0.0);
+    }
+}

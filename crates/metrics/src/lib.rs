@@ -6,10 +6,12 @@
 //! with/without methodology ([`overhead`]), and descriptive statistics
 //! ([`stats`]).
 
+pub mod chaos;
 pub mod confusion;
 pub mod overhead;
 pub mod stats;
 
+pub use chaos::{ChaosDelta, ChaosDifferential};
 pub use confusion::{
     bugs_flagged, bugs_manifested, classify, classify_all, score, ui_actions_flagged, Confusion,
     ExecClass, PERCEIVABLE_NS,

@@ -12,6 +12,12 @@
 //! * [`ResourceUsage`] — coarse utilization polls for the UT baselines;
 //! * [`CostModel`] — the shared price list that makes overhead
 //!   comparisons across detectors meaningful (Figure 8c).
+//!
+//! Both observation primitives have fault-aware variants
+//! ([`PerfSession::read_with`], [`StackSampler::begin_with`]) that
+//! thread an `hd_faults::FaultPlan` through every read and sample so
+//! counter errors, sample loss, and timer skew can be injected
+//! deterministically.
 
 pub mod config;
 pub mod sampler;
@@ -19,6 +25,6 @@ pub mod session;
 pub mod usage;
 
 pub use config::{CostModel, MULTIPLEX_NOISE};
-pub use sampler::{StackSample, StackSampler};
+pub use sampler::{SampleWindow, StackSample, StackSampler};
 pub use session::PerfSession;
 pub use usage::ResourceUsage;

@@ -5,6 +5,7 @@
 //! timer bookkeeping: arm it when a hang is detected, feed it the probe's
 //! timer callbacks, and stop it at dispatch end to get the samples.
 
+use hd_faults::FaultPlan;
 use hd_simrt::{FrameId, ProbeCtx, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -19,6 +20,32 @@ pub struct StackSample {
     pub frames: Vec<FrameId>,
 }
 
+/// Everything one sampling window produced, including what was lost to
+/// injected faults — the Diagnoser uses the loss to decide whether the
+/// window is trustworthy enough to analyze.
+#[derive(Clone, Debug, Default)]
+pub struct SampleWindow {
+    /// Samples that survived.
+    pub samples: Vec<StackSample>,
+    /// Samples attempted but dropped by fault injection.
+    pub dropped: usize,
+    /// Surviving samples that were truncated by fault injection.
+    pub truncated: usize,
+}
+
+impl SampleWindow {
+    /// Fraction of attempted samples that were lost (`0.0` when nothing
+    /// was attempted).
+    pub fn loss_fraction(&self) -> f64 {
+        let attempted = self.samples.len() + self.dropped;
+        if attempted == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / attempted as f64
+        }
+    }
+}
+
 /// Periodic stack-trace collector driven by probe timers.
 #[derive(Clone, Debug)]
 pub struct StackSampler {
@@ -27,6 +54,8 @@ pub struct StackSampler {
     active: bool,
     armed_token: u64,
     samples: Vec<StackSample>,
+    dropped: usize,
+    truncated: usize,
     costs: CostModel,
 }
 
@@ -40,6 +69,8 @@ impl StackSampler {
             active: false,
             armed_token: 0,
             samples: Vec::new(),
+            dropped: 0,
+            truncated: 0,
             costs,
         }
     }
@@ -53,9 +84,34 @@ impl StackSampler {
     /// periodic timer.
     pub fn begin(&mut self, ctx: &mut ProbeCtx<'_>) {
         self.samples.clear();
+        self.dropped = 0;
+        self.truncated = 0;
         self.active = true;
-        self.take_sample(ctx);
-        self.arm(ctx);
+        self.take_sample(ctx, None);
+        self.arm(ctx, None);
+    }
+
+    /// Fault-aware [`begin`]: the window may start late (sampler-start
+    /// latency — the immediate sample is then skipped and the first
+    /// sample arrives with the delayed timer), and every sample is
+    /// subject to drop/truncation faults.
+    ///
+    /// [`begin`]: StackSampler::begin
+    pub fn begin_with(&mut self, ctx: &mut ProbeCtx<'_>, faults: &mut FaultPlan) {
+        self.samples.clear();
+        self.dropped = 0;
+        self.truncated = 0;
+        self.active = true;
+        if let Some(delay_ns) = faults.sampler_latency_ns() {
+            // Late start: no immediate sample; the first one arrives a
+            // period (plus the injected latency) from now.
+            self.armed_token = self.token;
+            let at = ctx.now() + self.period_ns + delay_ns;
+            ctx.set_timer(faults.jitter_deadline(at), self.token);
+            return;
+        }
+        self.take_sample(ctx, Some(faults));
+        self.arm(ctx, Some(faults));
     }
 
     /// Handles a probe timer callback. Returns `true` if the token
@@ -68,15 +124,45 @@ impl StackSampler {
             // A stale timer from a window that already ended.
             return true;
         }
-        self.take_sample(ctx);
-        self.arm(ctx);
+        self.take_sample(ctx, None);
+        self.arm(ctx, None);
+        true
+    }
+
+    /// Fault-aware [`on_timer`].
+    ///
+    /// [`on_timer`]: StackSampler::on_timer
+    pub fn on_timer_with(
+        &mut self,
+        ctx: &mut ProbeCtx<'_>,
+        token: u64,
+        faults: &mut FaultPlan,
+    ) -> bool {
+        if token != self.token {
+            return false;
+        }
+        if !self.active {
+            return true;
+        }
+        self.take_sample(ctx, Some(faults));
+        self.arm(ctx, Some(faults));
         true
     }
 
     /// Ends the window and returns the collected samples.
     pub fn end(&mut self) -> Vec<StackSample> {
+        self.end_window().samples
+    }
+
+    /// Ends the window and returns everything it produced, including the
+    /// fault-loss accounting.
+    pub fn end_window(&mut self) -> SampleWindow {
         self.active = false;
-        std::mem::take(&mut self.samples)
+        SampleWindow {
+            samples: std::mem::take(&mut self.samples),
+            dropped: std::mem::take(&mut self.dropped),
+            truncated: std::mem::take(&mut self.truncated),
+        }
     }
 
     /// Number of samples collected so far in this window.
@@ -89,19 +175,44 @@ impl StackSampler {
         self.samples.is_empty()
     }
 
-    fn take_sample(&mut self, ctx: &mut ProbeCtx<'_>) {
+    fn take_sample(&mut self, ctx: &mut ProbeCtx<'_>, faults: Option<&mut FaultPlan>) {
+        // The attempt is always charged: a dropped sample still cost the
+        // sampling thread its unwind work.
         ctx.charge_cpu(self.costs.stack_sample_ns);
         ctx.charge_mem(self.costs.stack_sample_bytes);
         ctx.note_stack_sample();
+        if let Some(faults) = faults {
+            if faults.drop_sample() {
+                self.dropped += 1;
+                return;
+            }
+            let mut frames = ctx.main_stack();
+            if frames.len() > 1 && faults.truncate_sample() {
+                // A partial unwind keeps only the outermost half of the
+                // stack — the innermost (likely root-cause) frames are
+                // the ones lost.
+                frames.truncate(frames.len().div_ceil(2));
+                self.truncated += 1;
+            }
+            self.samples.push(StackSample {
+                at: ctx.now(),
+                frames,
+            });
+            return;
+        }
         self.samples.push(StackSample {
             at: ctx.now(),
             frames: ctx.main_stack(),
         });
     }
 
-    fn arm(&mut self, ctx: &mut ProbeCtx<'_>) {
+    fn arm(&mut self, ctx: &mut ProbeCtx<'_>, faults: Option<&mut FaultPlan>) {
         self.armed_token = self.token;
         let at = ctx.now() + self.period_ns;
+        let at = match faults {
+            Some(faults) => faults.jitter_deadline(at),
+            None => at,
+        };
         ctx.set_timer(at, self.token);
     }
 }
@@ -224,6 +335,144 @@ mod tests {
         );
         sim.run();
         assert_eq!(*extra.borrow(), 1);
+    }
+
+    #[test]
+    fn dropped_and_truncated_samples_are_tallied() {
+        use hd_faults::{FaultConfig, FaultPlan};
+        struct F {
+            sampler: StackSampler,
+            faults: FaultPlan,
+            out: Rc<RefCell<SampleWindow>>,
+        }
+        impl Probe for F {
+            fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, _info: &MessageInfo) {
+                self.sampler.begin_with(ctx, &mut self.faults);
+            }
+            fn on_dispatch_end(
+                &mut self,
+                _ctx: &mut ProbeCtx<'_>,
+                _info: &MessageInfo,
+                _response_ns: u64,
+            ) {
+                *self.out.borrow_mut() = self.sampler.end_window();
+            }
+            fn on_timer(&mut self, ctx: &mut ProbeCtx<'_>, token: u64) {
+                assert!(self.sampler.on_timer_with(ctx, token, &mut self.faults));
+            }
+        }
+        let mut cfg = FaultConfig::none();
+        cfg.rates.dropped_sample = 0.5;
+        cfg.rates.truncated_sample = 0.5;
+        let mut table = FrameTable::new();
+        let handler = table.intern_new("app.Main.onOpen", "Main.java", 12);
+        let api = table.intern_new("org.HtmlCleaner.clean", "HtmlCleaner.java", 25);
+        let out = Rc::new(RefCell::new(SampleWindow::default()));
+        let mut sim = Simulator::new(SimConfig::default(), table);
+        sim.add_probe(Box::new(F {
+            sampler: StackSampler::new(10 * MILLIS, 1, CostModel::default()),
+            faults: FaultPlan::new(cfg, 17),
+            out: out.clone(),
+        }));
+        sim.schedule_action(
+            SimTime::from_ms(1),
+            ActionRequest {
+                uid: ActionUid(1),
+                name: "open".into(),
+                events: vec![vec![
+                    Step::Push(handler),
+                    Step::Push(api),
+                    Step::Cpu {
+                        ns: 300 * MILLIS,
+                        profile: MemProfile::memory_heavy(),
+                    },
+                    Step::Pop,
+                    Step::Pop,
+                ]],
+            },
+        );
+        sim.run();
+        let window = out.borrow();
+        assert!(window.dropped > 0, "half the samples should drop");
+        assert!(window.truncated > 0, "some samples should truncate");
+        assert!(!window.samples.is_empty());
+        assert!(window.loss_fraction() > 0.1 && window.loss_fraction() < 0.9);
+        // Truncated samples lost their innermost (API) frame.
+        assert!(window.samples.iter().any(|s| s.frames.len() == 1));
+        // Attempt accounting: cost counts attempts, window counts both.
+        let cost = sim.monitor_cost();
+        assert_eq!(
+            cost.stack_samples as usize,
+            window.samples.len() + window.dropped
+        );
+    }
+
+    #[test]
+    fn sampler_latency_skips_the_immediate_sample() {
+        use hd_faults::{FaultCategory, FaultConfig, FaultPlan};
+        struct L {
+            sampler: StackSampler,
+            faults: FaultPlan,
+            first_at: Rc<RefCell<Option<SimTime>>>,
+            begun_at: Rc<RefCell<Option<SimTime>>>,
+        }
+        impl Probe for L {
+            fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, _info: &MessageInfo) {
+                *self.begun_at.borrow_mut() = Some(ctx.now());
+                self.sampler.begin_with(ctx, &mut self.faults);
+                assert!(self.sampler.is_empty(), "late start takes no sample");
+            }
+            fn on_timer(&mut self, ctx: &mut ProbeCtx<'_>, token: u64) {
+                assert!(self.sampler.on_timer_with(ctx, token, &mut self.faults));
+                if self.first_at.borrow().is_none() && !self.sampler.is_empty() {
+                    *self.first_at.borrow_mut() = Some(ctx.now());
+                }
+            }
+            fn on_dispatch_end(
+                &mut self,
+                _ctx: &mut ProbeCtx<'_>,
+                _info: &MessageInfo,
+                _response_ns: u64,
+            ) {
+                // Stop the window so the timer chain does not outlive
+                // the dispatch.
+                let _ = self.sampler.end_window();
+            }
+        }
+        let first_at = Rc::new(RefCell::new(None));
+        let begun_at = Rc::new(RefCell::new(None));
+        let mut table = FrameTable::new();
+        let f = table.intern_new("a.B.c", "B.java", 1);
+        let mut sim = Simulator::new(SimConfig::default(), table);
+        sim.add_probe(Box::new(L {
+            sampler: StackSampler::new(10 * MILLIS, 1, CostModel::default()),
+            faults: FaultPlan::new(FaultConfig::only(FaultCategory::SamplerLatency, 1.0), 4),
+            first_at: first_at.clone(),
+            begun_at: begun_at.clone(),
+        }));
+        sim.schedule_action(
+            SimTime::from_ms(1),
+            ActionRequest {
+                uid: ActionUid(1),
+                name: "t".into(),
+                events: vec![vec![
+                    Step::Push(f),
+                    Step::Cpu {
+                        ns: 200 * MILLIS,
+                        profile: MemProfile::compute(),
+                    },
+                    Step::Pop,
+                ]],
+            },
+        );
+        sim.run();
+        let begun = begun_at.borrow().expect("dispatch began");
+        let first = first_at.borrow().expect("a delayed sample arrived");
+        // First sample must be at least one period late, plus latency.
+        assert!(
+            first.as_ns() > begun.as_ns() + 10 * MILLIS,
+            "first sample at {first:?}, begun {begun:?}"
+        );
     }
 
     #[test]

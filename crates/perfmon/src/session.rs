@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 
+use hd_faults::FaultPlan;
 use hd_simrt::{HwEvent, ProbeCtx, ThreadId, PMU_REGISTERS};
 
 use crate::config::{CostModel, MULTIPLEX_NOISE};
@@ -76,6 +77,36 @@ impl PerfSession {
     ///
     /// Panics if `(tid, event)` was not part of the session.
     pub fn read(&self, ctx: &mut ProbeCtx<'_>, tid: ThreadId, event: HwEvent) -> f64 {
+        self.charge_and_measure(ctx, tid, event)
+    }
+
+    /// Fault-aware read: the attempt is charged like [`read`], but the
+    /// fault plan may fail it outright (`None`, modelling a
+    /// `perf_event_open`/read error under PMU contention) or serve a
+    /// stale snapshot that misses the tail of the window.
+    ///
+    /// [`read`]: PerfSession::read
+    pub fn read_with(
+        &self,
+        ctx: &mut ProbeCtx<'_>,
+        faults: &mut FaultPlan,
+        tid: ThreadId,
+        event: HwEvent,
+    ) -> Option<f64> {
+        if faults.counter_read_fails() {
+            // The failed syscall still costs the caller.
+            ctx.charge_cpu(self.costs.counter_read_ns);
+            ctx.note_counter_read();
+            return None;
+        }
+        let value = self.charge_and_measure(ctx, tid, event);
+        match faults.stale_fraction() {
+            Some(fraction) => Some(value * fraction),
+            None => Some(value),
+        }
+    }
+
+    fn charge_and_measure(&self, ctx: &mut ProbeCtx<'_>, tid: ThreadId, event: HwEvent) -> f64 {
         let base = *self
             .baselines
             .get(&(tid, event))
@@ -258,6 +289,125 @@ mod tests {
             .collect();
         let reads = run_with_events(kernel.clone());
         assert_eq!(reads.len(), kernel.len());
+    }
+
+    #[test]
+    fn faulty_reads_fail_and_stale_reads_shrink() {
+        use hd_faults::{FaultCategory, FaultConfig, FaultPlan};
+        type ReadTriple = (Option<f64>, Option<f64>, f64);
+        struct P {
+            session: Option<PerfSession>,
+            out: Rc<RefCell<Vec<ReadTriple>>>,
+        }
+        impl Probe for P {
+            fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, _info: &MessageInfo) {
+                let threads = [ctx.main_tid()];
+                self.session = Some(PerfSession::start(
+                    ctx,
+                    &threads,
+                    &[HwEvent::TaskClock],
+                    CostModel::default(),
+                ));
+            }
+            fn on_dispatch_end(
+                &mut self,
+                ctx: &mut ProbeCtx<'_>,
+                _info: &MessageInfo,
+                _response_ns: u64,
+            ) {
+                let s = self.session.take().unwrap();
+                let mut failing =
+                    FaultPlan::new(FaultConfig::only(FaultCategory::CounterRead, 1.0), 1);
+                let mut stale =
+                    FaultPlan::new(FaultConfig::only(FaultCategory::StaleCounter, 1.0), 2);
+                let failed = s.read_with(ctx, &mut failing, ctx.main_tid(), HwEvent::TaskClock);
+                let staled = s.read_with(ctx, &mut stale, ctx.main_tid(), HwEvent::TaskClock);
+                let truth = s.read(ctx, ctx.main_tid(), HwEvent::TaskClock);
+                assert_eq!(failing.tally().counter_read_failures, 1);
+                assert_eq!(stale.tally().stale_snapshots, 1);
+                self.out.borrow_mut().push((failed, staled, truth));
+            }
+        }
+        let mut table = FrameTable::new();
+        let f = table.intern_new("a.B.c", "B.java", 1);
+        let mut sim = Simulator::new(SimConfig::default(), table);
+        let out = Rc::new(RefCell::new(Vec::new()));
+        sim.add_probe(Box::new(P {
+            session: None,
+            out: out.clone(),
+        }));
+        sim.schedule_action(
+            SimTime::from_ms(1),
+            ActionRequest {
+                uid: ActionUid(1),
+                name: "t".into(),
+                events: vec![vec![
+                    Step::Push(f),
+                    Step::Cpu {
+                        ns: 50 * MILLIS,
+                        profile: MemProfile::compute(),
+                    },
+                    Step::Pop,
+                ]],
+            },
+        );
+        sim.run();
+        let reads = out.borrow();
+        let (failed, staled, truth) = reads[0];
+        assert_eq!(failed, None, "rate-1.0 counter faults must fail the read");
+        let staled = staled.expect("stale reads still return a value");
+        assert!(truth > 0.0);
+        assert!(
+            staled < truth && staled >= truth * 0.39,
+            "stale {staled} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn disabled_fault_plan_reads_match_plain_reads() {
+        use hd_faults::FaultPlan;
+        struct P;
+        impl Probe for P {
+            fn on_dispatch_end(
+                &mut self,
+                ctx: &mut ProbeCtx<'_>,
+                _info: &MessageInfo,
+                _response_ns: u64,
+            ) {
+                let threads = [ctx.main_tid()];
+                let s = PerfSession::start(
+                    ctx,
+                    &threads,
+                    &[HwEvent::ContextSwitches],
+                    CostModel::default(),
+                );
+                let mut faults = FaultPlan::disabled();
+                let a = s.read_with(ctx, &mut faults, ctx.main_tid(), HwEvent::ContextSwitches);
+                let b = s.read(ctx, ctx.main_tid(), HwEvent::ContextSwitches);
+                assert_eq!(a, Some(b), "kernel events are exact: reads must agree");
+                assert!(faults.tally().is_empty());
+            }
+        }
+        let mut table = FrameTable::new();
+        let f = table.intern_new("a.B.c", "B.java", 1);
+        let mut sim = Simulator::new(SimConfig::default(), table);
+        sim.add_probe(Box::new(P));
+        sim.schedule_action(
+            SimTime::from_ms(1),
+            ActionRequest {
+                uid: ActionUid(1),
+                name: "t".into(),
+                events: vec![vec![
+                    Step::Push(f),
+                    Step::Cpu {
+                        ns: 20 * MILLIS,
+                        profile: MemProfile::io_stub(),
+                    },
+                    Step::Pop,
+                ]],
+            },
+        );
+        sim.run();
     }
 
     #[test]
