@@ -54,6 +54,12 @@ impl Call {
         self.bug_id = Some(id.to_string());
         self
     }
+
+    /// Marks this call site as posted to a worker thread.
+    pub fn offload(mut self) -> Call {
+        self.offloaded = true;
+        self
+    }
 }
 
 /// One input event of an action: a handler symbol plus its calls.

@@ -5,6 +5,7 @@ pub mod builder;
 pub mod synth;
 pub mod table1;
 pub mod table5;
+pub mod vendored;
 
 pub use builder::{AppBuilder, UiPack};
 pub use table5::is_offline_missed;
@@ -24,6 +25,12 @@ pub fn table5_apps() -> Vec<App> {
     table5::apps()
 }
 
+/// The closed-source vendor-SDK apps (outside the pinned study counts;
+/// used by the static↔runtime differential).
+pub fn vendored_apps() -> Vec<App> {
+    vendored::apps()
+}
+
 /// The full 114-app study corpus: Table 1 + Table 5 + generated healthy
 /// apps.
 pub fn full_corpus(seed: u64) -> Vec<App> {
@@ -31,6 +38,16 @@ pub fn full_corpus(seed: u64) -> Vec<App> {
     apps.extend(table5_apps());
     let missing = FULL_STUDY_SIZE - apps.len();
     apps.extend(synth::apps(missing, seed));
+    apps
+}
+
+/// The corpus the static↔runtime differential runs over: every buggy
+/// study app plus the vendored-SDK apps, so all three offline failure
+/// modes (unknown-API, closed-source, self-developed) are populated.
+pub fn differential_corpus() -> Vec<App> {
+    let mut apps = table1_apps();
+    apps.extend(table5_apps());
+    apps.extend(vendored_apps());
     apps
 }
 

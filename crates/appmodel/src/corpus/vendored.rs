@@ -1,0 +1,163 @@
+//! Apps built on closed-source vendor SDKs — the corpus's
+//! `closed-source` bug class.
+//!
+//! Table 1 and Table 5 cover the paper's *unknown-API* and
+//! *self-developed* offline failure modes; this module supplies the
+//! third one (Section 1): blocking calls hidden inside closed-source
+//! libraries, where even a perfect name-matching scanner has nothing to
+//! scan. These apps are kept out of [`super::full_corpus`] (whose
+//! population pins the paper's study counts) and composed explicitly by
+//! the static↔runtime differential.
+
+use crate::action::Call;
+use crate::api::{ApiKind, ApiSpec, CostSpec};
+use crate::app::App;
+use crate::dist::Dist;
+use crate::registry as reg;
+use hd_simrt::MILLIS;
+
+use super::builder::AppBuilder;
+
+/// The closed vendor SDK's own blocking API: a tile cache preload that
+/// hits disk, shipped only as a binary.
+fn vendor_tile_preload() -> ApiSpec {
+    ApiSpec::new(
+        "com.vendor.maps.TileCache.preload",
+        133,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::io(Dist::new(10 * MILLIS, 0.3), Dist::new(260 * MILLIS, 0.3)).chunks(10),
+    )
+    .closed()
+}
+
+/// TrackPro: fitness tracker built on two closed vendor SDKs.
+///
+/// Three ground-truth bugs spanning the offline-visibility spectrum:
+///
+/// * `trackpro-3-commit` — a known blocking API called directly
+///   (offline tools catch it; class `known`);
+/// * `trackpro-7-flush` — a known blocking API hidden behind the closed
+///   analytics SDK's `flush` entry point (class `closed-source`);
+/// * `trackpro-9-preload` — the closed maps SDK blocking internally
+///   (class `closed-source`).
+pub fn trackpro() -> App {
+    let mut b = AppBuilder::new(
+        "TrackPro",
+        "com.trackpro",
+        "Health & Fitness",
+        500_000,
+        "9f21bb4",
+    );
+    let ui = b.ui_pack();
+    let commit = b.api_scaled(reg::prefs_commit(), 1.2);
+    let write = b.api_scaled(reg::file_write(), 1.2);
+    let tracker = b.api(reg::closed_wrapper(
+        "com.vendor.analytics.AnalyticsTracker.flush",
+        71,
+    ));
+    let preload = b.api(vendor_tile_preload());
+    let save = b.action(
+        "save workout",
+        1.0,
+        "WorkoutActivity.onSave",
+        164,
+        vec![
+            Call::direct(ui.set_text),
+            Call::direct(commit).bug("trackpro-3-commit"),
+        ],
+    );
+    b.bug(
+        "trackpro-3-commit",
+        3,
+        commit,
+        save,
+        "workout settings committed synchronously",
+    );
+    let log = b.action(
+        "log activity",
+        1.5,
+        "ActivityLogFragment.onLog",
+        88,
+        vec![
+            Call::direct(ui.notify_dataset),
+            Call::via(vec![tracker], write).bug("trackpro-7-flush"),
+        ],
+    );
+    b.bug(
+        "trackpro-7-flush",
+        7,
+        write,
+        log,
+        "analytics SDK flushes its event file synchronously; the SDK ships closed-source",
+    );
+    let map = b.action(
+        "open route map",
+        1.0,
+        "RouteMapActivity.onResume",
+        212,
+        vec![
+            Call::direct(ui.map_tiles),
+            Call::direct(preload).bug("trackpro-9-preload"),
+        ],
+    );
+    b.bug(
+        "trackpro-9-preload",
+        9,
+        preload,
+        map,
+        "closed maps SDK preloads its tile cache from disk on the main thread",
+    );
+    b.action(
+        "open dashboard",
+        1.0,
+        "DashboardActivity.onCreate",
+        41,
+        vec![Call::direct(ui.inflate), Call::direct(ui.layout_children)],
+    );
+    b.action(
+        "start timer",
+        3.0,
+        "WorkoutActivity.onStart",
+        59,
+        vec![Call::direct(ui.set_text), Call::direct(ui.bind_holder)],
+    );
+    b.build()
+}
+
+/// All vendored-SDK apps.
+pub fn apps() -> Vec<App> {
+    vec![trackpro()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trackpro_validates() {
+        let app = trackpro();
+        assert!(app.validate().is_empty(), "{:?}", app.validate());
+        assert_eq!(app.bugs.len(), 3);
+    }
+
+    #[test]
+    fn closed_bugs_are_invisible_to_scanners() {
+        let app = trackpro();
+        for bug_id in ["trackpro-7-flush", "trackpro-9-preload"] {
+            let call = app
+                .actions
+                .iter()
+                .flat_map(|a| a.calls())
+                .find(|c| c.bug_id.as_deref() == Some(bug_id))
+                .unwrap();
+            assert!(!app.call_visible(call), "{bug_id} should be hidden");
+        }
+        let commit = app
+            .actions
+            .iter()
+            .flat_map(|a| a.calls())
+            .find(|c| c.bug_id.as_deref() == Some("trackpro-3-commit"))
+            .unwrap();
+        assert!(app.call_visible(commit));
+    }
+}

@@ -70,6 +70,8 @@ pub enum DetectorOutput {
     HangDoctor(Box<HdOutput>),
     /// Findings of an offline (static) scan.
     Offline(Vec<OfflineFinding>),
+    /// Full report of an `hd-sast` analyzer run.
+    Sast(Box<hd_sast::SastReport>),
 }
 
 impl DetectorOutput {
@@ -79,7 +81,9 @@ impl DetectorOutput {
     /// nothing here.
     pub fn flagged_execs(&self) -> HashSet<ExecId> {
         match self {
-            DetectorOutput::None | DetectorOutput::Offline(_) => HashSet::new(),
+            DetectorOutput::None | DetectorOutput::Offline(_) | DetectorOutput::Sast(_) => {
+                HashSet::new()
+            }
             DetectorOutput::Log(log) => log.flagged_execs(),
             DetectorOutput::HangDoctor(hd) => hd.detections.iter().map(|d| d.exec_id).collect(),
         }
@@ -97,6 +101,14 @@ impl DetectorOutput {
     pub fn into_hang_doctor(self) -> Option<HdOutput> {
         match self {
             DetectorOutput::HangDoctor(hd) => Some(*hd),
+            _ => None,
+        }
+    }
+
+    /// The analyzer report, if this was an `hd-sast` run.
+    pub fn into_sast(self) -> Option<hd_sast::SastReport> {
+        match self {
+            DetectorOutput::Sast(report) => Some(*report),
             _ => None,
         }
     }
@@ -260,6 +272,24 @@ mod tests {
         assert_eq!(Detector::name(scanner.as_ref()), "PerfChecker");
         match scanner.finish() {
             DetectorOutput::Offline(findings) => assert!(!findings.is_empty()),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sast_scanner_implements_detector() {
+        let app = table5::sagemath();
+        let db = hangdoctor::BlockingApiDb::documented(2017);
+        let scanner = Box::new(crate::SastScanner::new(
+            &app,
+            &db,
+            &hd_sast::SastConfig::default(),
+        ));
+        assert_eq!(Detector::name(scanner.as_ref()), "hd-sast(full)");
+        match scanner.finish() {
+            DetectorOutput::Sast(report) => {
+                assert!(report.bug_ids().contains("sagemath-84-cupboard"));
+            }
             other => panic!("unexpected output {other:?}"),
         }
     }

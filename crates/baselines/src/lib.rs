@@ -23,6 +23,6 @@ pub mod utilization;
 pub use detector::{
     install, DetectionLog, Detector, DetectorOutput, InstalledDetector, TracedHang,
 };
-pub use perfchecker::{missed_bugs, scan_app, OfflineFinding, OfflineScanner};
+pub use perfchecker::{missed_bugs, scan_app, OfflineFinding, OfflineScanner, SastScanner};
 pub use timeout::TimeoutDetector;
 pub use utilization::{UtMode, UtThresholds, UtilizationDetector};

@@ -10,6 +10,7 @@
 
 use hangdoctor::BlockingApiDb;
 use hd_appmodel::App;
+use hd_sast::{RuleProfile, SastConfig};
 use hd_simrt::{ActionUid, Probe};
 use serde::{Deserialize, Serialize};
 
@@ -35,32 +36,27 @@ pub struct OfflineFinding {
 /// A call is detectable when the API's name is in the database, the call
 /// site (including every wrapper on the path) is in scannable source,
 /// and the call has not already been offloaded to a worker.
+///
+/// The scan runs the `hd-sast` engine under its perfchecker-compat rule
+/// profile, which reproduces the historical per-call-site loop exactly —
+/// except that findings are deduplicated on `(action, api_symbol)`, so
+/// an action calling the same known API twice no longer double-counts.
 pub fn scan_app(app: &App, db: &BlockingApiDb) -> Vec<OfflineFinding> {
-    let mut findings = Vec::new();
-    for action in &app.actions {
-        for event in &action.events {
-            for call in &event.calls {
-                if call.offloaded {
-                    continue;
-                }
-                if !app.call_visible(call) {
-                    continue;
-                }
-                let api = app.api(call.api);
-                if !db.contains(&api.symbol) {
-                    continue;
-                }
-                findings.push(OfflineFinding {
-                    app: app.name.clone(),
-                    action: action.uid,
-                    action_name: action.name.clone(),
-                    api_symbol: api.symbol.clone(),
-                    bug_id: call.bug_id.clone(),
-                });
-            }
-        }
-    }
-    findings
+    let config = SastConfig {
+        profile: RuleProfile::PerfCheckerCompat,
+        db_year: 2017,
+    };
+    hd_sast::analyze_with_db(app, db, &config)
+        .findings
+        .into_iter()
+        .map(|f| OfflineFinding {
+            app: app.name.clone(),
+            action: f.action,
+            action_name: f.action_name,
+            api_symbol: f.api_symbol,
+            bug_id: f.bug_id,
+        })
+        .collect()
 }
 
 /// The offline scan packaged as a [`Detector`], so harnesses that drive
@@ -94,6 +90,40 @@ impl Detector for OfflineScanner {
     }
 }
 
+/// The full `hd-sast` analyzer packaged as a [`Detector`], so the fleet
+/// engine and harnesses can race static analysis against the runtime
+/// detectors through the same trait.
+///
+/// Like [`OfflineScanner`], the analysis runs up front and the probe
+/// hooks are no-ops; [`Detector::finish`] returns the whole report as
+/// [`DetectorOutput::Sast`].
+pub struct SastScanner {
+    profile: RuleProfile,
+    report: hd_sast::SastReport,
+}
+
+impl SastScanner {
+    /// Analyzes `app` against `db` immediately under the given profile.
+    pub fn new(app: &App, db: &BlockingApiDb, config: &SastConfig) -> SastScanner {
+        SastScanner {
+            profile: config.profile,
+            report: hd_sast::analyze_with_db(app, db, config),
+        }
+    }
+}
+
+impl Probe for SastScanner {}
+
+impl Detector for SastScanner {
+    fn name(&self) -> String {
+        format!("hd-sast({})", self.profile.as_str())
+    }
+
+    fn finish(self: Box<Self>) -> DetectorOutput {
+        DetectorOutput::Sast(Box::new(self.report))
+    }
+}
+
 /// Ground-truth bugs of `app` that the offline scan misses.
 pub fn missed_bugs<'a>(app: &'a App, db: &BlockingApiDb) -> Vec<&'a hd_appmodel::BugSpec> {
     let found: Vec<String> = scan_app(app, db)
@@ -109,10 +139,125 @@ pub fn missed_bugs<'a>(app: &'a App, db: &BlockingApiDb) -> Vec<&'a hd_appmodel:
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hd_appmodel::corpus::{table1, table5};
+    use hd_appmodel::corpus::{table1, table5, vendored};
 
     fn db() -> BlockingApiDb {
         BlockingApiDb::documented(2017)
+    }
+
+    /// The historical per-call-site scan loop, kept verbatim as the
+    /// reference the engine-backed [`scan_app`] is regression-tested
+    /// against.
+    fn legacy_scan_app(app: &App, db: &BlockingApiDb) -> Vec<OfflineFinding> {
+        let mut findings = Vec::new();
+        for action in &app.actions {
+            for event in &action.events {
+                for call in &event.calls {
+                    if call.offloaded {
+                        continue;
+                    }
+                    if !app.call_visible(call) {
+                        continue;
+                    }
+                    let api = app.api(call.api);
+                    if !db.contains(&api.symbol) {
+                        continue;
+                    }
+                    findings.push(OfflineFinding {
+                        app: app.name.clone(),
+                        action: action.uid,
+                        action_name: action.name.clone(),
+                        api_symbol: api.symbol.clone(),
+                        bug_id: call.bug_id.clone(),
+                    });
+                }
+            }
+        }
+        findings
+    }
+
+    /// The documented dedupe fix, applied to the legacy output: keep the
+    /// first `(action, api_symbol)` occurrence, backfilling `bug_id`.
+    fn dedupe_legacy(findings: Vec<OfflineFinding>) -> Vec<OfflineFinding> {
+        let mut kept: Vec<OfflineFinding> = Vec::new();
+        for f in findings {
+            match kept
+                .iter_mut()
+                .find(|k| k.action == f.action && k.api_symbol == f.api_symbol)
+            {
+                Some(prior) => {
+                    if prior.bug_id.is_none() {
+                        prior.bug_id = f.bug_id;
+                    }
+                }
+                None => kept.push(f),
+            }
+        }
+        kept
+    }
+
+    #[test]
+    fn compat_profile_matches_legacy_scan_modulo_dedupe() {
+        // The acceptance bar: the engine's perfchecker-compat profile is
+        // the legacy scanner. Checked across every corpus app (table1 is
+        // the required set) and two database vintages.
+        let apps: Vec<App> = table1::apps()
+            .into_iter()
+            .chain(table5::apps())
+            .chain(vendored::apps())
+            .collect();
+        for year in [2010, 2017] {
+            let db = BlockingApiDb::documented(year);
+            for app in &apps {
+                assert_eq!(
+                    scan_app(app, &db),
+                    dedupe_legacy(legacy_scan_app(app, &db)),
+                    "{} diverges from legacy at db year {year}",
+                    app.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_calls_to_the_same_api_count_once() {
+        // Regression for the double-count bug: one action calling the
+        // same known API at two call sites used to produce two findings.
+        let mut app = table1::a_better_camera();
+        let action = app
+            .bugs
+            .iter()
+            .find(|b| b.id == "abc-open")
+            .map(|b| b.action)
+            .unwrap();
+        let spec = app.action(action).unwrap().clone();
+        let dup = spec.events[0]
+            .calls
+            .iter()
+            .find(|c| c.bug_id.as_deref() == Some("abc-open"))
+            .unwrap()
+            .clone();
+        let slot = app.actions.iter_mut().find(|a| a.uid == action).unwrap();
+        // Second call site to the same API, untagged, placed *before*
+        // the buggy one: the kept finding must still carry the bug id.
+        let mut untagged = dup.clone();
+        untagged.bug_id = None;
+        slot.events[0].calls.insert(0, untagged);
+        let findings = scan_app(&app, &db());
+        let camera: Vec<&OfflineFinding> = findings
+            .iter()
+            .filter(|f| f.action == action && f.api_symbol.contains("Camera.open"))
+            .collect();
+        assert_eq!(camera.len(), 1, "duplicate call sites must collapse");
+        assert_eq!(camera[0].bug_id.as_deref(), Some("abc-open"));
+        assert_eq!(
+            legacy_scan_app(&app, &db())
+                .iter()
+                .filter(|f| f.action == action && f.api_symbol.contains("Camera.open"))
+                .count(),
+            2,
+            "the legacy loop double-counted"
+        );
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! ```
 //!
 //! Experiments: `fig1 table2 table3 table4 fig4 fig5 table5 fig6 fig7
-//! table6 fig8 chaos` (or `all`). `--quick` shrinks trace lengths;
+//! table6 fig8 chaos sast` (or `all`); `sast-compat` reruns the scan
+//! under the perfchecker-compat rule profile and `sast-diff` scores the
+//! static↔runtime differential per bug class. `--quick` shrinks trace
+//! lengths;
 //! `--full` runs the field study over the whole 114-app corpus.
 //! `--chaos RATE` injects deterministic observation faults at the given
 //! per-category rate into the `fleet`/`bench-summary` experiments and
@@ -36,7 +39,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--seed N] [--quick|--full] [--chaos RATE] [--json [path]] [--devices N] [--threads N] <experiment>...\n\
          experiments: fig1 table1 fig2b table2 table3 table4 fig4 fig5 table5 fig6 fig7
-         table6 fig8 generality ablations chaos fleet bench-summary all\n\
+         table6 fig8 generality ablations chaos sast sast-compat sast-diff fleet bench-summary all\n\
          --devices/--threads apply to the fleet and bench-summary experiments (defaults 8/1)\n\
          --chaos RATE injects observation faults into fleet/bench-summary and sets the\n\
          rate of the chaos differential (RATE in [0,1], default 0.05)\n\
@@ -46,7 +49,11 @@ fn usage() -> ! {
 }
 
 fn is_experiment(name: &str) -> bool {
-    ALL.contains(&name) || matches!(name, "fleet" | "generality" | "bench-summary" | "all")
+    ALL.contains(&name)
+        || matches!(
+            name,
+            "fleet" | "generality" | "bench-summary" | "sast-compat" | "sast-diff" | "all"
+        )
 }
 
 fn emit<T: serde::Serialize>(opts: &Opts, value: &T, text: String) {
@@ -146,6 +153,18 @@ fn run_one(name: &str, opts: &Opts) -> Result<(), String> {
             let r = hd_bench::chaos::run(seed, rate, e_small);
             emit(opts, &r, r.render());
         }
+        "sast" => {
+            let r = hd_bench::sast::run_scan(hd_sast::RuleProfile::Full, 2017);
+            emit(opts, &r, r.render());
+        }
+        "sast-compat" => {
+            let r = hd_bench::sast::run_scan(hd_sast::RuleProfile::PerfCheckerCompat, 2017);
+            emit(opts, &r, r.render());
+        }
+        "sast-diff" => {
+            let r = hd_bench::sast::run_differential(seed, e_small, 2017);
+            emit(opts, &r, hd_bench::sast::render_differential(&r));
+        }
         "fleet" => {
             let r = fleet_report(opts, seed);
             emit(opts, &r, r.render());
@@ -186,7 +205,7 @@ fn run_one(name: &str, opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-const ALL: [&str; 15] = [
+const ALL: [&str; 16] = [
     "fig1",
     "table1",
     "fig2b",
@@ -202,6 +221,7 @@ const ALL: [&str; 15] = [
     "fig8",
     "ablations",
     "chaos",
+    "sast",
 ];
 
 fn main() -> ExitCode {

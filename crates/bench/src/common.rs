@@ -148,7 +148,7 @@ pub fn run_detector_compiled(
     let (log, hd): (Option<DetectionLog>, Option<HdOutput>) = match output {
         DetectorOutput::Log(log) => (Some(log), None),
         DetectorOutput::HangDoctor(hd) => (None, Some(*hd)),
-        DetectorOutput::None | DetectorOutput::Offline(_) => (None, None),
+        DetectorOutput::None | DetectorOutput::Offline(_) | DetectorOutput::Sast(_) => (None, None),
     };
     RunOutcome {
         records: run.sim.records().to_vec(),

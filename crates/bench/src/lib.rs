@@ -25,7 +25,10 @@
 //! single-counter filters, begin-of-action sampling, threshold and
 //! sampling-period sweeps), and [`chaos`] the chaos-vs-clean
 //! differential quantifying precision/recall loss per injected fault
-//! category. The `repro` binary drives everything from the command line.
+//! category. [`sast`] runs the interprocedural static analyzer over the
+//! corpus and the static↔runtime differential scoring both detection
+//! arms per offline-failure-mode bug class. The `repro` binary drives
+//! everything from the command line.
 
 pub mod ablation;
 pub mod chaos;
@@ -38,6 +41,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod generality;
+pub mod sast;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -1,0 +1,256 @@
+//! Static analysis experiments: the corpus-wide `hd-sast` scan and the
+//! static↔runtime differential.
+//!
+//! The scan runs the interprocedural analyzer over every corpus app and
+//! packages the per-app reports (the `repro sast` artifact). The
+//! differential races the full-profile static scan against a Hang Doctor
+//! fleet on the same corpus and scores both arms against ground truth
+//! per bug class: the paper's three offline failure modes — unknown
+//! APIs, closed-source libraries, self-developed lengthy operations —
+//! must fall out as exactly the classes static analysis misses while
+//! runtime detection catches them.
+
+use hangdoctor::{BlockingApiDb, FaultConfig, HangDoctorConfig};
+use hd_appmodel::corpus::differential_corpus;
+use hd_fleet::{bugs_reported, run_fleet, DeviceProfile, FleetSpec};
+use hd_metrics::{AppDifferential, ArmPrecision, BugOutcome, SastDifferential};
+use hd_sast::{analyze_with_db, classify_bug, RuleProfile, SastConfig, SastReport, Severity};
+use serde::{Deserialize, Serialize};
+
+use crate::common::render_table;
+
+/// The corpus-wide scan artifact `repro sast` emits: one analyzer
+/// report per app (each carrying the `hang-doctor/sast/v1` schema tag).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SastScan {
+    /// Rule profile the scan ran under.
+    pub profile: String,
+    /// Vintage of the blocking-API database.
+    pub db_year: u16,
+    /// Per-app reports, corpus order.
+    pub reports: Vec<SastReport>,
+}
+
+impl SastScan {
+    /// Total findings across the corpus.
+    pub fn total_findings(&self) -> usize {
+        self.reports.iter().map(|r| r.findings.len()).sum()
+    }
+
+    /// Findings tagged with a ground-truth bug id.
+    pub fn confirmed(&self) -> usize {
+        self.reports
+            .iter()
+            .flat_map(|r| &r.findings)
+            .filter(|f| f.bug_id.is_some())
+            .count()
+    }
+
+    /// Renders the per-app scan table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .reports
+            .iter()
+            .filter(|r| !r.findings.is_empty())
+            .map(|r| {
+                let errors = r
+                    .findings
+                    .iter()
+                    .filter(|f| f.severity == Severity::Error)
+                    .count();
+                let nested = r.findings.iter().filter(|f| f.depth > 0).count();
+                vec![
+                    r.app.clone(),
+                    r.findings.len().to_string(),
+                    errors.to_string(),
+                    nested.to_string(),
+                    r.bug_ids().len().to_string(),
+                ]
+            })
+            .collect();
+        format!(
+            "hd-sast scan — profile {}, db {} over {} apps\n{}\nTotal: {} findings, {} on ground-truth bugs\n",
+            self.profile,
+            self.db_year,
+            self.reports.len(),
+            render_table(&["app", "findings", "errors", "nested", "bugs"], &rows),
+            self.total_findings(),
+            self.confirmed(),
+        )
+    }
+}
+
+/// Scans the differential corpus under `profile` against a documented
+/// database of the given vintage.
+pub fn run_scan(profile: RuleProfile, db_year: u16) -> SastScan {
+    let db = BlockingApiDb::documented(db_year);
+    let config = SastConfig { profile, db_year };
+    SastScan {
+        profile: profile.as_str().to_string(),
+        db_year,
+        reports: differential_corpus()
+            .iter()
+            .map(|app| analyze_with_db(app, &db, &config))
+            .collect(),
+    }
+}
+
+/// Runs the static↔runtime differential: a full-profile scan and a Hang
+/// Doctor fleet over the same corpus, scored per bug class.
+pub fn run_differential(seed: u64, executions: usize, db_year: u16) -> SastDifferential {
+    let corpus = differential_corpus();
+    let db = BlockingApiDb::documented(db_year);
+    let config = SastConfig {
+        profile: RuleProfile::Full,
+        db_year,
+    };
+    let fleet = run_fleet(&FleetSpec {
+        apps: corpus.clone(),
+        profiles: DeviceProfile::default_set(),
+        devices_per_app: 3,
+        executions_per_action: executions,
+        root_seed: seed,
+        threads: 2,
+        config: HangDoctorConfig::default(),
+        apidb_year: db_year,
+        faults: FaultConfig::none(),
+    });
+    let mut apps = Vec::new();
+    for (app, summary) in corpus.iter().zip(&fleet.merged.apps) {
+        debug_assert_eq!(app.name, summary.app);
+        let report = analyze_with_db(app, &db, &config);
+        let statically_found = report.bug_ids();
+        let runtime_found = bugs_reported(summary, app);
+        let outcomes = app
+            .bugs
+            .iter()
+            .map(|bug| BugOutcome {
+                id: bug.id.clone(),
+                class: classify_bug(app, bug, db_year).as_str().to_string(),
+                static_found: statically_found.contains(&bug.id),
+                runtime_found: runtime_found.contains(&bug.id),
+            })
+            .collect();
+        apps.push(AppDifferential {
+            app: app.name.clone(),
+            outcomes,
+            static_precision: ArmPrecision {
+                flagged: report.findings.len(),
+                true_flags: report
+                    .findings
+                    .iter()
+                    .filter(|f| f.bug_id.is_some())
+                    .count(),
+            },
+            runtime_precision: ArmPrecision {
+                flagged: summary.confusion.tp + summary.confusion.fp,
+                true_flags: summary.confusion.tp,
+            },
+        });
+    }
+    SastDifferential::build(db_year, apps)
+}
+
+/// Renders the per-class differential table.
+pub fn render_differential(d: &SastDifferential) -> String {
+    let rows: Vec<Vec<String>> = d
+        .classes
+        .iter()
+        .map(|c| {
+            vec![
+                c.class.clone(),
+                c.total.to_string(),
+                format!("{:.2}", c.static_recall()),
+                format!("{:.2}", c.runtime_recall()),
+                c.both.to_string(),
+                c.static_only.to_string(),
+                c.runtime_only.to_string(),
+                c.neither.to_string(),
+                format!("{:+.2}", c.recall_delta()),
+            ]
+        })
+        .collect();
+    format!(
+        "Static↔runtime differential — db {}\n{}\nprecision: static {:.3} ({}/{} findings), runtime {:.3} ({}/{} flags), Δ {:+.3}\noverall Δrecall {:+.3}; runtime-only bugs: {}\n",
+        d.db_year,
+        render_table(
+            &[
+                "class",
+                "bugs",
+                "static-recall",
+                "runtime-recall",
+                "both",
+                "static-only",
+                "runtime-only",
+                "neither",
+                "Δrecall",
+            ],
+            &rows
+        ),
+        d.static_precision.precision(),
+        d.static_precision.true_flags,
+        d.static_precision.flagged,
+        d.runtime_precision.precision(),
+        d.runtime_precision.true_flags,
+        d.runtime_precision.flagged,
+        d.precision_delta(),
+        d.recall_delta(),
+        d.runtime_only.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_covers_the_corpus_under_both_profiles() {
+        let full = run_scan(RuleProfile::Full, 2017);
+        let compat = run_scan(RuleProfile::PerfCheckerCompat, 2017);
+        assert_eq!(full.reports.len(), compat.reports.len());
+        assert!(full.total_findings() > 0);
+        // The full profile subsumes the compat profile: the summary walk
+        // sees at least every direct known-API call the legacy scan sees.
+        assert!(
+            full.confirmed() >= compat.confirmed(),
+            "full {} < compat {}",
+            full.confirmed(),
+            compat.confirmed()
+        );
+        // The vendored closed-source bugs stay invisible to both.
+        for scan in [&full, &compat] {
+            let trackpro = scan.reports.iter().find(|r| r.app == "TrackPro").unwrap();
+            let ids = trackpro.bug_ids();
+            assert!(ids.contains("trackpro-3-commit"), "{ids:?}");
+            assert!(!ids.contains("trackpro-7-flush"), "{ids:?}");
+            assert!(!ids.contains("trackpro-9-preload"), "{ids:?}");
+        }
+        let text = full.render();
+        assert!(text.contains("TrackPro"));
+        assert!(text.contains("findings"));
+    }
+
+    #[test]
+    fn differential_shows_the_three_failure_modes() {
+        let d = run_differential(42, 4, 2017);
+        // Known-API bugs: static analysis finds every one.
+        let known = d.class("known").expect("known class present");
+        assert!(
+            (known.static_recall() - 1.0).abs() < 1e-9,
+            "static must find all known bugs: {known:?}"
+        );
+        // The paper's three failure modes are exactly the classes static
+        // analysis misses entirely while the runtime fleet catches them.
+        for class in ["unknown-api", "closed-source", "self-developed"] {
+            let c = d.class(class).expect(class);
+            assert_eq!(c.static_found, 0, "{class} must be invisible statically");
+            assert!(c.runtime_found > 0, "{class} must be caught at runtime");
+        }
+        // Complement sets agree: nothing static-only outside the known
+        // class, and the runtime-only set is non-empty.
+        assert!(!d.runtime_only.is_empty());
+        let text = render_differential(&d);
+        assert!(text.contains("closed-source"));
+        assert!(text.contains("Δrecall"));
+    }
+}

@@ -21,6 +21,13 @@ pub enum DbOrigin {
         /// App where the API was first diagnosed.
         app: String,
     },
+    /// Added by the static analyzer: a confirmed finding proved that the
+    /// named entry symbol (typically a library wrapper) blocks the main
+    /// thread in the named app.
+    StaticAnalysis {
+        /// App whose analysis confirmed the symbol.
+        app: String,
+    },
 }
 
 /// The blocking-API database.
@@ -72,6 +79,21 @@ impl BlockingApiDb {
         true
     }
 
+    /// Adds a symbol confirmed blocking by static analysis; returns
+    /// `true` if it was new.
+    pub fn add_from_static(&mut self, symbol: &str, app: &str) -> bool {
+        if self.entries.contains_key(symbol) {
+            return false;
+        }
+        self.entries.insert(
+            symbol.to_string(),
+            DbOrigin::StaticAnalysis {
+                app: app.to_string(),
+            },
+        );
+        true
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -86,15 +108,16 @@ impl BlockingApiDb {
     ///
     /// Deduplicates by symbol. On conflicting provenance the resolution
     /// is deterministic and order-independent: documentation beats a
-    /// runtime discovery, earlier documentation years beat later ones,
-    /// and between two discoveries the lexicographically smallest app
-    /// name wins. `merge` is therefore associative, commutative, and
-    /// idempotent.
+    /// runtime discovery, which beats a static-analysis confirmation;
+    /// earlier documentation years beat later ones, and within a tier
+    /// the lexicographically smallest app name wins. `merge` is
+    /// therefore associative, commutative, and idempotent.
     pub fn merge(&mut self, other: &BlockingApiDb) {
         fn rank(origin: &DbOrigin) -> (u8, u16, &str) {
             match origin {
                 DbOrigin::Documented(year) => (0, *year, ""),
                 DbOrigin::HangDoctor { app } => (1, 0, app.as_str()),
+                DbOrigin::StaticAnalysis { app } => (2, 0, app.as_str()),
             }
         }
         for (sym, origin) in &other.entries {
@@ -118,7 +141,7 @@ impl BlockingApiDb {
             .iter()
             .filter_map(|(sym, origin)| match origin {
                 DbOrigin::HangDoctor { app } => Some((sym.as_str(), app.as_str())),
-                DbOrigin::Documented(_) => None,
+                DbOrigin::Documented(_) | DbOrigin::StaticAnalysis { .. } => None,
             })
             .collect();
         v.sort();
@@ -205,6 +228,32 @@ mod tests {
         ab.merge(&b);
         ab.merge(&a);
         assert_eq!(serde_json::to_string(&ab).unwrap(), snapshot);
+    }
+
+    #[test]
+    fn static_confirmations_rank_below_runtime_discoveries() {
+        let mut a = BlockingApiDb::new();
+        a.add_from_static("w.W.f", "Zulip");
+        assert!(!a.add_from_static("w.W.f", "Other"));
+        assert!(a.contains("w.W.f"));
+        // Static confirmations are not runtime discoveries.
+        assert!(a.discovered().is_empty());
+
+        let mut b = BlockingApiDb::new();
+        b.add_discovered("w.W.f", "K9-mail");
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for db in [&ab, &ba] {
+            assert_eq!(
+                db.entries["w.W.f"],
+                DbOrigin::HangDoctor {
+                    app: "K9-mail".to_string()
+                },
+                "runtime provenance beats static"
+            );
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! Wall-clock measurements live in the separate [`FleetTiming`] half,
 //! which is excluded from determinism comparisons by construction.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -598,6 +598,30 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
     }
 }
 
+/// Ground-truth bugs of `app` that the fleet's merged runtime report
+/// attributes a root cause to.
+///
+/// A report entry matches a bug when its root-cause symbol is the bug's
+/// API symbol and its action is the bug's action (by name). This reads
+/// only already-merged [`AppFleetSummary`] fields, so static↔runtime
+/// differentials can be scored from an archived fleet artifact without
+/// re-running any device.
+pub fn bugs_reported(summary: &AppFleetSummary, app: &App) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for entry in summary.report.entries() {
+        for bug in &app.bugs {
+            if app.api(bug.api).symbol == entry.symbol
+                && app
+                    .action(bug.action)
+                    .is_some_and(|a| a.name == entry.action)
+            {
+                out.insert(bug.id.clone());
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -650,6 +674,21 @@ mod tests {
             .discovered()
             .iter()
             .any(|(sym, _)| sym.contains("HtmlCleaner")));
+    }
+
+    #[test]
+    fn bugs_reported_maps_entries_back_to_ground_truth() {
+        let spec = small_spec(1);
+        let report = run_fleet(&spec);
+        let k9 = &report.merged.apps[0];
+        let found = bugs_reported(k9, &spec.apps[0]);
+        assert!(
+            found.iter().any(|b| b.contains("clean")),
+            "the HtmlCleaner bug must be attributed: {found:?}"
+        );
+        for id in &found {
+            assert!(spec.apps[0].bug(id).is_some(), "{id} is not a K9 bug");
+        }
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! Static↔runtime differential accounting.
+//!
+//! The paper's core argument is that offline (static) detection and
+//! runtime detection are *complementary*: static analysis finds known
+//! blocking calls without ever running the app, but structurally misses
+//! unknown APIs, closed-source libraries, and self-developed lengthy
+//! operations — exactly what runtime detection catches. This module
+//! scores both arms against ground truth per app and per bug class and
+//! quantifies the complement: Δrecall per class, Δprecision per arm, and
+//! the overlap/complement bug sets.
+//!
+//! Like [`crate::chaos`], this is pure arithmetic over plain data — bug
+//! classes are strings (the analyzer's kebab-case class names), so the
+//! metrology layer stays decoupled from the static-analysis crate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+/// Schema tag of the serialized differential, bumped on incompatible
+/// changes.
+pub const DIFFERENTIAL_SCHEMA: &str = "hang-doctor/sast-differential/v1";
+
+/// One ground-truth bug and which arms found it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BugOutcome {
+    /// Ground-truth bug id.
+    pub id: String,
+    /// Offline-failure-mode class of the bug (kebab-case, e.g.
+    /// `"known"`, `"unknown-api"`, `"closed-source"`, `"self-developed"`).
+    pub class: String,
+    /// The static analyzer flagged it.
+    pub static_found: bool,
+    /// The runtime fleet reported it.
+    pub runtime_found: bool,
+}
+
+/// Flag-level precision of one arm: how much of what it raised was real.
+///
+/// The two arms flag different units (static: call-site findings;
+/// runtime: action executions), so precisions are comparable as rates
+/// but the raw counts are not.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArmPrecision {
+    /// Flags the arm raised.
+    pub flagged: usize,
+    /// Of those, flags on a real ground-truth bug.
+    pub true_flags: usize,
+}
+
+impl ArmPrecision {
+    /// Fraction of flags that were real (1.0 when nothing was flagged).
+    pub fn precision(&self) -> f64 {
+        if self.flagged == 0 {
+            return 1.0;
+        }
+        self.true_flags as f64 / self.flagged as f64
+    }
+
+    /// Accumulates another arm's counts into this one.
+    pub fn add(&mut self, other: &ArmPrecision) {
+        self.flagged += other.flagged;
+        self.true_flags += other.true_flags;
+    }
+}
+
+/// Differential outcome for one app.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AppDifferential {
+    /// App name.
+    pub app: String,
+    /// Per-bug outcomes, ground-truth order.
+    pub outcomes: Vec<BugOutcome>,
+    /// Static-arm precision over this app's findings.
+    pub static_precision: ArmPrecision,
+    /// Runtime-arm precision over this app's flagged executions.
+    pub runtime_precision: ArmPrecision,
+}
+
+/// Recall movement of one bug class between the two arms.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassDelta {
+    /// Bug class name.
+    pub class: String,
+    /// Ground-truth bugs in the class.
+    pub total: usize,
+    /// Found by the static arm.
+    pub static_found: usize,
+    /// Found by the runtime arm.
+    pub runtime_found: usize,
+    /// Found by both arms (overlap).
+    pub both: usize,
+    /// Found only statically (static complement).
+    pub static_only: usize,
+    /// Found only at runtime (runtime complement).
+    pub runtime_only: usize,
+    /// Found by neither arm.
+    pub neither: usize,
+}
+
+impl ClassDelta {
+    /// Static-arm recall over this class (1.0 when the class is empty).
+    pub fn static_recall(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.static_found as f64 / self.total as f64
+    }
+
+    /// Runtime-arm recall over this class.
+    pub fn runtime_recall(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.runtime_found as f64 / self.total as f64
+    }
+
+    /// Recall gained by running over scanning (positive = runtime wins).
+    pub fn recall_delta(&self) -> f64 {
+        self.runtime_recall() - self.static_recall()
+    }
+}
+
+/// The full static↔runtime differential over a corpus.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SastDifferential {
+    /// Schema tag ([`DIFFERENTIAL_SCHEMA`]).
+    pub schema: String,
+    /// Vintage of the blocking-API database the static arm used.
+    pub db_year: u16,
+    /// Per-app outcomes, corpus order.
+    pub apps: Vec<AppDifferential>,
+    /// Per-class rollups, class-name order.
+    pub classes: Vec<ClassDelta>,
+    /// Static-arm precision summed over the corpus.
+    pub static_precision: ArmPrecision,
+    /// Runtime-arm precision summed over the corpus.
+    pub runtime_precision: ArmPrecision,
+    /// Bugs found by both arms.
+    pub both: BTreeSet<String>,
+    /// Bugs only the static arm found.
+    pub static_only: BTreeSet<String>,
+    /// Bugs only the runtime arm found.
+    pub runtime_only: BTreeSet<String>,
+    /// Bugs neither arm found.
+    pub neither: BTreeSet<String>,
+}
+
+impl SastDifferential {
+    /// Rolls per-app outcomes up into the full differential.
+    pub fn build(db_year: u16, apps: Vec<AppDifferential>) -> SastDifferential {
+        let mut classes: BTreeMap<String, ClassDelta> = BTreeMap::new();
+        let mut static_precision = ArmPrecision::default();
+        let mut runtime_precision = ArmPrecision::default();
+        let mut both = BTreeSet::new();
+        let mut static_only = BTreeSet::new();
+        let mut runtime_only = BTreeSet::new();
+        let mut neither = BTreeSet::new();
+        for app in &apps {
+            static_precision.add(&app.static_precision);
+            runtime_precision.add(&app.runtime_precision);
+            for outcome in &app.outcomes {
+                let delta = classes
+                    .entry(outcome.class.clone())
+                    .or_insert_with(|| ClassDelta {
+                        class: outcome.class.clone(),
+                        ..ClassDelta::default()
+                    });
+                delta.total += 1;
+                delta.static_found += outcome.static_found as usize;
+                delta.runtime_found += outcome.runtime_found as usize;
+                let set = match (outcome.static_found, outcome.runtime_found) {
+                    (true, true) => {
+                        delta.both += 1;
+                        &mut both
+                    }
+                    (true, false) => {
+                        delta.static_only += 1;
+                        &mut static_only
+                    }
+                    (false, true) => {
+                        delta.runtime_only += 1;
+                        &mut runtime_only
+                    }
+                    (false, false) => {
+                        delta.neither += 1;
+                        &mut neither
+                    }
+                };
+                set.insert(outcome.id.clone());
+            }
+        }
+        SastDifferential {
+            schema: DIFFERENTIAL_SCHEMA.to_string(),
+            db_year,
+            apps,
+            classes: classes.into_values().collect(),
+            static_precision,
+            runtime_precision,
+            both,
+            static_only,
+            runtime_only,
+            neither,
+        }
+    }
+
+    /// The rollup for `class`, if any bug carried it.
+    pub fn class(&self, class: &str) -> Option<&ClassDelta> {
+        self.classes.iter().find(|c| c.class == class)
+    }
+
+    /// Precision gained by running over scanning (positive = runtime is
+    /// more precise).
+    pub fn precision_delta(&self) -> f64 {
+        self.runtime_precision.precision() - self.static_precision.precision()
+    }
+
+    /// Recall gained by running over scanning, across all classes.
+    pub fn recall_delta(&self) -> f64 {
+        let total: usize = self.classes.iter().map(|c| c.total).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let runtime: usize = self.classes.iter().map(|c| c.runtime_found).sum();
+        let stat: usize = self.classes.iter().map(|c| c.static_found).sum();
+        (runtime as f64 - stat as f64) / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: &str, class: &str, s: bool, r: bool) -> BugOutcome {
+        BugOutcome {
+            id: id.into(),
+            class: class.into(),
+            static_found: s,
+            runtime_found: r,
+        }
+    }
+
+    fn diff() -> SastDifferential {
+        SastDifferential::build(
+            2017,
+            vec![
+                AppDifferential {
+                    app: "A".into(),
+                    outcomes: vec![
+                        outcome("a-1", "known", true, true),
+                        outcome("a-2", "unknown-api", false, true),
+                    ],
+                    static_precision: ArmPrecision {
+                        flagged: 2,
+                        true_flags: 1,
+                    },
+                    runtime_precision: ArmPrecision {
+                        flagged: 10,
+                        true_flags: 9,
+                    },
+                },
+                AppDifferential {
+                    app: "B".into(),
+                    outcomes: vec![
+                        outcome("b-1", "closed-source", false, true),
+                        outcome("b-2", "known", true, false),
+                        outcome("b-3", "self-developed", false, false),
+                    ],
+                    static_precision: ArmPrecision {
+                        flagged: 2,
+                        true_flags: 2,
+                    },
+                    runtime_precision: ArmPrecision {
+                        flagged: 10,
+                        true_flags: 9,
+                    },
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn class_rollups_partition_the_bugs() {
+        let d = diff();
+        let total: usize = d.classes.iter().map(|c| c.total).sum();
+        assert_eq!(total, 5);
+        let known = d.class("known").unwrap();
+        assert_eq!(known.total, 2);
+        assert_eq!(known.both, 1);
+        assert_eq!(known.static_only, 1);
+        assert!((known.static_recall() - 1.0).abs() < 1e-9);
+        assert!((known.recall_delta() + 0.5).abs() < 1e-9);
+        let unknown = d.class("unknown-api").unwrap();
+        assert_eq!(unknown.static_found, 0);
+        assert!((unknown.recall_delta() - 1.0).abs() < 1e-9);
+        assert!(d.class("missing").is_none());
+    }
+
+    #[test]
+    fn overlap_and_complement_sets_are_disjoint_and_complete() {
+        let d = diff();
+        assert_eq!(d.both.len(), 1);
+        assert!(d.both.contains("a-1"));
+        assert_eq!(d.static_only.len(), 1);
+        assert!(d.static_only.contains("b-2"));
+        assert_eq!(
+            d.runtime_only,
+            ["a-2", "b-1"].iter().map(|s| s.to_string()).collect()
+        );
+        assert_eq!(d.neither.len(), 1);
+        assert!(d.neither.contains("b-3"));
+        let mut all = BTreeSet::new();
+        for set in [&d.both, &d.static_only, &d.runtime_only, &d.neither] {
+            for id in set {
+                assert!(all.insert(id.clone()), "{id} in two sets");
+            }
+        }
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn precisions_sum_over_apps() {
+        let d = diff();
+        assert_eq!(d.static_precision.flagged, 4);
+        assert_eq!(d.static_precision.true_flags, 3);
+        assert!((d.static_precision.precision() - 0.75).abs() < 1e-9);
+        assert!((d.runtime_precision.precision() - 0.9).abs() < 1e-9);
+        assert!((d.precision_delta() - 0.15).abs() < 1e-9);
+        // 3 runtime-found vs 2 static-found over 5 bugs.
+        assert!((d.recall_delta() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_arm_has_perfect_precision() {
+        assert!((ArmPrecision::default().precision() - 1.0).abs() < 1e-9);
+        let empty = ClassDelta::default();
+        assert!((empty.static_recall() - 1.0).abs() < 1e-9);
+        assert!((empty.recall_delta()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip_keeps_schema() {
+        let d = diff();
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.contains(DIFFERENTIAL_SCHEMA));
+        let back: SastDifferential = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.both, d.both);
+        assert_eq!(back.classes, d.classes);
+    }
+}

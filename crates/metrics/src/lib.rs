@@ -3,11 +3,13 @@
 //! Scoring machinery shared by every experiment: ground-truth
 //! classification of action executions and confusion counting
 //! ([`confusion`]), monitoring-overhead accounting per the paper's
-//! with/without methodology ([`overhead`]), and descriptive statistics
-//! ([`stats`]).
+//! with/without methodology ([`overhead`]), descriptive statistics
+//! ([`stats`]), and the chaos-vs-clean ([`chaos`]) and static↔runtime
+//! ([`differential`]) differentials.
 
 pub mod chaos;
 pub mod confusion;
+pub mod differential;
 pub mod overhead;
 pub mod stats;
 
@@ -15,6 +17,9 @@ pub use chaos::{ChaosDelta, ChaosDifferential};
 pub use confusion::{
     bugs_flagged, bugs_manifested, classify, classify_all, score, ui_actions_flagged, Confusion,
     ExecClass, PERCEIVABLE_NS,
+};
+pub use differential::{
+    AppDifferential, ArmPrecision, BugOutcome, ClassDelta, SastDifferential, DIFFERENTIAL_SCHEMA,
 };
 pub use overhead::OverheadReport;
 pub use stats::{frac_above, mean, percentile, std_dev};

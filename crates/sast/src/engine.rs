@@ -1,0 +1,570 @@
+//! The analyzer: profiles × call graph × summaries × database → report.
+//!
+//! Both rule profiles walk the same call sites and apply the same three
+//! gates — offload-awareness (an offloaded call sterilizes its subtree),
+//! closed-source opacity, and database membership — they differ only in
+//! *how far they can see*:
+//!
+//! * **perfchecker-compat** judges each concrete call chain in
+//!   isolation, exactly like the legacy `scan_app`;
+//! * **full** judges summary-based reachability from the handler's
+//!   entry frame over the aggregated call graph, so anything a shared
+//!   wrapper was ever observed forwarding to is flagged at every site
+//!   that enters the wrapper (a deliberate over-approximation).
+//!
+//! The paper's three offline failure modes are structural here: an API
+//! absent from the database never matches ([`BugClass::UnknownApi`]), a
+//! closed frame stops both profiles ([`BugClass::ClosedSource`]), and a
+//! self-developed operation has no database name at all
+//! ([`BugClass::SelfDeveloped`]).
+
+use std::collections::HashMap;
+
+use hangdoctor::BlockingApiDb;
+use hd_appmodel::{ApiKind, App, BugSpec};
+use hd_simrt::{ActionUid, MILLIS};
+use serde::{Deserialize, Serialize};
+
+use crate::graph::CallGraph;
+use crate::report::{SastFinding, SastReport, SAST_SCHEMA};
+use crate::rules::{rule_table, RuleProfile, Severity, RULE_DIRECT, RULE_VIA_WRAPPER};
+use crate::summary::{compute_summaries, worst_busy_ns};
+
+/// Perceivable-delay threshold used for severity grading (mirrors
+/// `hd_metrics::PERCEIVABLE_NS`; duplicated so the analyzer does not
+/// depend on the evaluation crate).
+pub const PERCEIVABLE_NS: u64 = 100 * MILLIS;
+
+/// Analyzer configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SastConfig {
+    /// Which rule profile to run.
+    pub profile: RuleProfile,
+    /// Vintage of the blocking-API database ([`BlockingApiDb::documented`]).
+    pub db_year: u16,
+}
+
+impl Default for SastConfig {
+    fn default() -> SastConfig {
+        SastConfig {
+            profile: RuleProfile::Full,
+            db_year: 2017,
+        }
+    }
+}
+
+/// Analyzes one app against the documented database of the configured
+/// year.
+pub fn analyze(app: &App, config: &SastConfig) -> SastReport {
+    analyze_with_db(app, &BlockingApiDb::documented(config.db_year), config)
+}
+
+/// Analyzes one app against an explicit database (e.g. one augmented
+/// with runtime discoveries — the paper's feedback loop).
+///
+/// `config.db_year` is recorded in the report as metadata only; the
+/// membership test uses `db` as given.
+pub fn analyze_with_db(app: &App, db: &BlockingApiDb, config: &SastConfig) -> SastReport {
+    let graph = CallGraph::build(app);
+    let summaries = compute_summaries(app, &graph);
+    let mut findings = Vec::new();
+    for action in &app.actions {
+        for event in &action.events {
+            for call in &event.calls {
+                if call.offloaded {
+                    continue;
+                }
+                match config.profile {
+                    RuleProfile::PerfCheckerCompat => {
+                        if !app.call_visible(call) {
+                            continue;
+                        }
+                        let api = app.api(call.api);
+                        if !db.contains(&api.symbol) {
+                            continue;
+                        }
+                        let entry = call.via.first().copied().unwrap_or(call.api);
+                        findings.push(finding(
+                            app,
+                            action.uid,
+                            &action.name,
+                            &event.handler,
+                            // The legacy scanner has a single name-match
+                            // rule regardless of chain shape.
+                            RULE_DIRECT,
+                            entry.0,
+                            call.api.0,
+                            call.via.len() as u32,
+                            call.bug_id.clone(),
+                        ));
+                    }
+                    RuleProfile::Full => {
+                        let entry = call.via.first().copied().unwrap_or(call.api).0;
+                        if app.apis[entry].closed_source {
+                            continue;
+                        }
+                        for &target in &summaries[entry].reachable {
+                            if !db.contains(&app.apis[target].symbol) {
+                                continue;
+                            }
+                            let depth = graph
+                                .scannable_depth(app, entry, target)
+                                .expect("reachable target must have a scannable path");
+                            let rule = if depth == 0 {
+                                RULE_DIRECT
+                            } else {
+                                RULE_VIA_WRAPPER
+                            };
+                            let bug_id = if target == call.api.0 {
+                                call.bug_id.clone()
+                            } else {
+                                None
+                            };
+                            findings.push(finding(
+                                app,
+                                action.uid,
+                                &action.name,
+                                &event.handler,
+                                rule,
+                                entry,
+                                target,
+                                depth,
+                                bug_id,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    SastReport {
+        schema: SAST_SCHEMA.to_string(),
+        app: app.name.clone(),
+        package: app.package.clone(),
+        profile: config.profile.as_str().to_string(),
+        db_year: config.db_year,
+        rules: rule_table(config.profile),
+        findings: dedupe(findings),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finding(
+    app: &App,
+    action: ActionUid,
+    action_name: &str,
+    handler: &str,
+    rule: &str,
+    entry: usize,
+    target: usize,
+    depth: u32,
+    bug_id: Option<String>,
+) -> SastFinding {
+    let api = &app.apis[target];
+    let est_blocking_ns = worst_busy_ns(api);
+    let severity = if est_blocking_ns >= PERCEIVABLE_NS {
+        Severity::Error
+    } else {
+        Severity::Warning
+    };
+    SastFinding {
+        rule: rule.to_string(),
+        severity,
+        action,
+        action_name: action_name.to_string(),
+        handler: handler.to_string(),
+        entry_symbol: app.apis[entry].symbol.clone(),
+        api_symbol: api.symbol.clone(),
+        file: api.file.clone(),
+        line: api.line,
+        depth,
+        est_blocking_ns,
+        message: format!(
+            "{} blocks the main thread (reached {} frame(s) deep from {}; est. worst case {} ms)",
+            api.symbol,
+            depth,
+            handler,
+            est_blocking_ns / MILLIS
+        ),
+        bug_id,
+    }
+}
+
+/// Deduplicates findings on `(action, api_symbol)`.
+///
+/// The legacy scanner emitted one finding per call site, so an action
+/// calling the same known API twice double-counted in precision/recall.
+/// The first occurrence (stable source order) is kept; its `bug_id` is
+/// backfilled from a later duplicate so dropping repeats never drops
+/// ground-truth coverage.
+fn dedupe(findings: Vec<SastFinding>) -> Vec<SastFinding> {
+    let mut kept: Vec<SastFinding> = Vec::with_capacity(findings.len());
+    let mut index: HashMap<(ActionUid, String), usize> = HashMap::new();
+    for f in findings {
+        match index.entry((f.action, f.api_symbol.clone())) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(kept.len());
+                kept.push(f);
+            }
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                let prior = &mut kept[*slot.get()];
+                if prior.bug_id.is_none() {
+                    prior.bug_id = f.bug_id;
+                }
+            }
+        }
+    }
+    kept
+}
+
+/// The paper's taxonomy of why offline detection misses a bug — plus
+/// `Known` for the bugs it catches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BugClass {
+    /// Rooted in an API documented as blocking by the database year.
+    Known,
+    /// Rooted in an API not (yet) in the database.
+    UnknownApi,
+    /// Every call site is hidden behind a closed-source frame.
+    ClosedSource,
+    /// Rooted in a self-developed lengthy operation (no database name).
+    SelfDeveloped,
+}
+
+impl BugClass {
+    /// All classes, in reporting order.
+    pub const ALL: [BugClass; 4] = [
+        BugClass::Known,
+        BugClass::UnknownApi,
+        BugClass::ClosedSource,
+        BugClass::SelfDeveloped,
+    ];
+
+    /// Stable name used in reports (decouples downstream artifacts from
+    /// this enum).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BugClass::Known => "known",
+            BugClass::UnknownApi => "unknown-api",
+            BugClass::ClosedSource => "closed-source",
+            BugClass::SelfDeveloped => "self-developed",
+        }
+    }
+}
+
+/// Classifies a ground-truth bug by which offline failure mode (if any)
+/// hides it from a scanner with a database of the given year.
+///
+/// Closed-source wins over the API-kind classes: if no call site of the
+/// bug is scannable, the API's name never enters the picture.
+pub fn classify_bug(app: &App, bug: &BugSpec, db_year: u16) -> BugClass {
+    let mut sites = app
+        .actions
+        .iter()
+        .flat_map(|a| a.calls())
+        .filter(|c| c.bug_id.as_deref() == Some(bug.id.as_str()))
+        .peekable();
+    let any = sites.peek().is_some();
+    if any && sites.all(|c| !app.call_visible(c)) {
+        return BugClass::ClosedSource;
+    }
+    match app.api(bug.api).kind {
+        ApiKind::SelfDeveloped => BugClass::SelfDeveloped,
+        ApiKind::Blocking {
+            known_since: Some(y),
+        } if y <= db_year => BugClass::Known,
+        // Undocumented (or documented only after the database vintage):
+        // offline name-matching cannot see it. UI/wrapper-rooted bugs are
+        // rejected by `App::validate`, so the fallthrough is unreachable
+        // on valid models; classify them as unknown rather than panic.
+        _ => BugClass::UnknownApi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_appmodel::corpus::{table1, table5};
+
+    fn full() -> SastConfig {
+        SastConfig::default()
+    }
+
+    fn compat() -> SastConfig {
+        SastConfig {
+            profile: RuleProfile::PerfCheckerCompat,
+            db_year: 2017,
+        }
+    }
+
+    #[test]
+    fn direct_known_bug_is_flagged_by_both_profiles() {
+        let app = table1::a_better_camera();
+        for cfg in [full(), compat()] {
+            let report = analyze(&app, &cfg);
+            assert!(
+                report.bug_ids().contains("abc-open"),
+                "{} missed abc-open",
+                report.profile
+            );
+        }
+    }
+
+    #[test]
+    fn nested_known_bug_carries_the_wrapper_rule() {
+        let app = table5::sagemath();
+        let report = analyze(&app, &full());
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.bug_id.as_deref() == Some("sagemath-84-cupboard"))
+            .expect("cupboard bug flagged");
+        assert_eq!(f.rule, RULE_VIA_WRAPPER);
+        assert!(f.depth >= 1);
+        assert_ne!(f.entry_symbol, f.api_symbol);
+    }
+
+    #[test]
+    fn unknown_api_bugs_stay_invisible_to_both_profiles() {
+        let app = table5::k9mail();
+        for cfg in [full(), compat()] {
+            let report = analyze(&app, &cfg);
+            assert!(
+                !report.bug_ids().iter().any(|b| b.contains("clean")),
+                "HtmlCleaner.clean is not in the 2017 database"
+            );
+        }
+    }
+
+    #[test]
+    fn severity_tracks_the_perceivable_threshold() {
+        for app in table1::apps() {
+            for f in analyze(&app, &full()).findings {
+                let expected = if f.est_blocking_ns >= PERCEIVABLE_NS {
+                    Severity::Error
+                } else {
+                    Severity::Warning
+                };
+                assert_eq!(f.severity, expected, "{}", f.api_symbol);
+            }
+        }
+    }
+
+    #[test]
+    fn db_year_is_honored() {
+        let app = table1::a_better_camera();
+        let old = SastConfig {
+            profile: RuleProfile::Full,
+            db_year: 2010,
+        };
+        assert!(!analyze(&app, &old).bug_ids().contains("abc-open"));
+        assert!(analyze(&app, &full()).bug_ids().contains("abc-open"));
+    }
+
+    #[test]
+    fn runtime_discoveries_reach_the_next_scan() {
+        // The Section 3.2 loop: Hang Doctor diagnoses HtmlCleaner.clean
+        // at runtime, adds it to the shared database, and the *next*
+        // static scan of the same app starts catching the bug.
+        let app = table5::k9mail();
+        let mut db = BlockingApiDb::documented(2017);
+        assert!(!analyze_with_db(&app, &db, &full())
+            .bug_ids()
+            .iter()
+            .any(|b| b.contains("clean")));
+        db.add_discovered("org.htmlcleaner.HtmlCleaner.clean", "K9-mail");
+        assert!(analyze_with_db(&app, &db, &full())
+            .bug_ids()
+            .iter()
+            .any(|b| b.contains("clean")));
+    }
+
+    #[test]
+    fn classify_bug_covers_the_three_failure_modes() {
+        let k9 = table5::k9mail();
+        let clean = k9.bug("k9mail-1007-clean").unwrap();
+        assert_eq!(classify_bug(&k9, clean, 2017), BugClass::UnknownApi);
+
+        let abc = table1::a_better_camera();
+        let open = abc.bug("abc-open").unwrap();
+        assert_eq!(classify_bug(&abc, open, 2017), BugClass::Known);
+        // A 2010 database predates camera.open's documentation.
+        assert_eq!(classify_bug(&abc, open, 2010), BugClass::UnknownApi);
+
+        // Closing every frame of the cupboard chain reclassifies the
+        // sagemath bug as closed-source.
+        let mut sage = table5::sagemath();
+        let idx = sage
+            .apis
+            .iter()
+            .position(|a| a.symbol.contains("cupboard"))
+            .unwrap();
+        sage.apis[idx].closed_source = true;
+        let bug = sage.bug("sagemath-84-cupboard").unwrap();
+        assert_eq!(classify_bug(&sage, bug, 2017), BugClass::ClosedSource);
+    }
+
+    #[test]
+    fn fully_closed_source_app_yields_zero_findings_not_an_error() {
+        use hd_appmodel::corpus::AppBuilder;
+        use hd_appmodel::registry as reg;
+        use hd_appmodel::Call;
+        let mut b = AppBuilder::new("ClosedBox", "com.closedbox", "Tools", 1_000, "deadbee");
+        let ui = b.ui_pack();
+        let sdk = b.api(reg::closed_wrapper("com.vendor.sdk.Engine.run", 10));
+        let write = b.api(reg::file_write());
+        let act = b.action(
+            "run engine",
+            1.0,
+            "MainActivity.onRun",
+            20,
+            vec![
+                Call::direct(ui.set_text),
+                Call::via(vec![sdk], write).bug("closedbox-1-run"),
+            ],
+        );
+        b.bug(
+            "closedbox-1-run",
+            1,
+            write,
+            act,
+            "closed SDK blocks internally",
+        );
+        let app = b.build();
+        assert!(app.validate().is_empty(), "{:?}", app.validate());
+        for cfg in [full(), compat()] {
+            let report = analyze(&app, &cfg);
+            assert!(
+                report.findings.is_empty(),
+                "{}: a scanner with nothing to scan must report nothing, got {:?}",
+                report.profile,
+                report.findings
+            );
+            assert_eq!(report.schema, SAST_SCHEMA);
+            assert!(!report.rules.is_empty(), "rule table still present");
+        }
+    }
+
+    #[test]
+    fn offloaded_call_sterilizes_only_its_own_site() {
+        use hd_appmodel::corpus::AppBuilder;
+        use hd_appmodel::registry as reg;
+        use hd_appmodel::Call;
+        // The developer offloads one prefs.commit call site to a worker,
+        // but a second site still runs on the main thread: the action
+        // stays flagged, exactly once. An action whose only blocking
+        // call is offloaded comes back clean.
+        let mut b = AppBuilder::new("Offloader", "com.offloader", "Tools", 1_000, "f00dfee");
+        let ui = b.ui_pack();
+        let commit = b.api(reg::prefs_commit());
+        let mixed = b.action(
+            "save settings",
+            1.0,
+            "SettingsActivity.onSave",
+            30,
+            vec![
+                Call::direct(commit).offload(),
+                Call::direct(ui.set_text),
+                Call::direct(commit).bug("off-1-commit"),
+            ],
+        );
+        b.bug(
+            "off-1-commit",
+            1,
+            commit,
+            mixed,
+            "second call site still on main",
+        );
+        let clean = b.action(
+            "export settings",
+            1.0,
+            "SettingsActivity.onExport",
+            44,
+            vec![Call::direct(ui.set_text), Call::direct(commit).offload()],
+        );
+        let app = b.build();
+        assert!(app.validate().is_empty(), "{:?}", app.validate());
+        for cfg in [full(), compat()] {
+            let report = analyze(&app, &cfg);
+            let on_mixed: Vec<&SastFinding> = report
+                .findings
+                .iter()
+                .filter(|f| f.action == mixed)
+                .collect();
+            assert_eq!(on_mixed.len(), 1, "{}: {on_mixed:?}", report.profile);
+            assert_eq!(on_mixed[0].bug_id.as_deref(), Some("off-1-commit"));
+            assert!(
+                report.findings.iter().all(|f| f.action != clean),
+                "{}: an offloaded-only action must be clean",
+                report.profile
+            );
+        }
+    }
+
+    #[test]
+    fn shared_wrapper_flags_every_entering_action_in_the_full_profile() {
+        use hd_appmodel::corpus::AppBuilder;
+        use hd_appmodel::registry as reg;
+        use hd_appmodel::Call;
+        // A helper wrapper forwards to a blocking query in one action
+        // and to pure UI work in another. The aggregated call graph is
+        // context-insensitive, so the full profile flags *both* entering
+        // actions (the deliberate over-approximation); the compat
+        // profile stays per-call-site and flags only the blocking one.
+        let mut b = AppBuilder::new("SharedLib", "com.sharedlib", "Tools", 1_000, "0ddba11");
+        let ui = b.ui_pack();
+        let helper = b.api(reg::wrapper("com.sharedlib.util.Helper.refresh", 12));
+        let query = b.api(reg::sqlite_query());
+        let blocking_act = b.action(
+            "open list",
+            1.0,
+            "ListActivity.onCreate",
+            18,
+            vec![
+                Call::direct(ui.inflate),
+                Call::via(vec![helper], query).bug("shared-1-query"),
+            ],
+        );
+        b.bug(
+            "shared-1-query",
+            1,
+            query,
+            blocking_act,
+            "helper queries the db synchronously",
+        );
+        let ui_act = b.action(
+            "toggle view",
+            1.0,
+            "ListActivity.onToggle",
+            27,
+            vec![Call::via(vec![helper], ui.notify_dataset)],
+        );
+        let app = b.build();
+        assert!(app.validate().is_empty(), "{:?}", app.validate());
+
+        let full_report = analyze(&app, &full());
+        let flagged: Vec<ActionUid> = full_report.findings.iter().map(|f| f.action).collect();
+        assert!(flagged.contains(&blocking_act), "{flagged:?}");
+        assert!(
+            flagged.contains(&ui_act),
+            "the shared wrapper must drag the UI-only caller in: {flagged:?}"
+        );
+        let ui_finding = full_report
+            .findings
+            .iter()
+            .find(|f| f.action == ui_act)
+            .unwrap();
+        assert_eq!(ui_finding.rule, RULE_VIA_WRAPPER);
+        assert!(
+            ui_finding.bug_id.is_none(),
+            "the over-approximated site is not a ground-truth bug"
+        );
+
+        let compat_report = analyze(&app, &compat());
+        assert!(compat_report
+            .findings
+            .iter()
+            .all(|f| f.action == blocking_act));
+        assert!(compat_report.bug_ids().contains("shared-1-query"));
+    }
+}

@@ -1,0 +1,195 @@
+//! The per-app call graph the analyzer walks.
+//!
+//! Nodes are the app's APIs (indexed like `App::apis`); edges aggregate
+//! every observed `caller → callee` frame pair across all call sites of
+//! the app. Input-event handlers sit above the graph: each concrete
+//! [`hd_appmodel::Call`] names the first frame a handler enters (a
+//! wrapper chain's outermost frame, or the working API itself for a
+//! direct call).
+//!
+//! Aggregation is what makes the analysis *interprocedural* rather than
+//! per-call-site: a wrapper shared by several call sites has one node
+//! whose successors union everything it was ever observed forwarding to,
+//! so its summary over-approximates — exactly like a summary-based
+//! analyzer that cannot distinguish calling contexts.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use hd_appmodel::App;
+
+/// Aggregated caller→callee edges over an app's API list.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    successors: Vec<BTreeSet<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from every call chain of the app.
+    ///
+    /// Offloaded calls contribute edges too: the code exists either way,
+    /// and offload-awareness is applied where it belongs — at the call
+    /// *site*, when reachability from the handler is judged.
+    pub fn build(app: &App) -> CallGraph {
+        let mut successors = vec![BTreeSet::new(); app.apis.len()];
+        for action in &app.actions {
+            for call in action.calls() {
+                let mut prev: Option<usize> = None;
+                for frame in call.via.iter().map(|w| w.0).chain([call.api.0]) {
+                    if let Some(p) = prev {
+                        successors[p].insert(frame);
+                    }
+                    prev = Some(frame);
+                }
+            }
+        }
+        CallGraph { successors }
+    }
+
+    /// Number of nodes (== the app's API count).
+    pub fn len(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.successors.is_empty()
+    }
+
+    /// The aggregated callees of a node.
+    pub fn successors(&self, node: usize) -> &BTreeSet<usize> {
+        &self.successors[node]
+    }
+
+    /// Minimum number of call edges from `from` to `to`, traversing only
+    /// scannable (open-source) intermediate frames. `Some(0)` when `from
+    /// == to`. Cycle-safe BFS.
+    pub fn scannable_depth(&self, app: &App, from: usize, to: usize) -> Option<u32> {
+        if from == to {
+            return Some(0);
+        }
+        if app.apis[from].closed_source {
+            return None;
+        }
+        let mut seen = vec![false; self.successors.len()];
+        let mut queue = VecDeque::new();
+        seen[from] = true;
+        queue.push_back((from, 0u32));
+        while let Some((node, depth)) = queue.pop_front() {
+            for &next in &self.successors[node] {
+                if next == to {
+                    return Some(depth + 1);
+                }
+                // A closed-source frame is opaque: nothing beyond it is
+                // scannable, so BFS never expands it.
+                if !seen[next] && !app.apis[next].closed_source {
+                    seen[next] = true;
+                    queue.push_back((next, depth + 1));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_appmodel::{ActionSpec, ApiId, ApiKind, ApiSpec, App, Call, CostSpec, EventSpec};
+
+    fn app_with_calls(apis: Vec<ApiSpec>, calls: Vec<Call>) -> App {
+        App {
+            name: "G".into(),
+            package: "org.g".into(),
+            category: "Tools".into(),
+            downloads: 1,
+            commit: "c".into(),
+            apis,
+            actions: vec![ActionSpec::new(
+                0,
+                "a",
+                vec![EventSpec::new("org.g.M.h", 1, calls)],
+            )],
+            bugs: vec![],
+        }
+    }
+
+    fn wrapper(sym: &str) -> ApiSpec {
+        ApiSpec::new(sym, 1, ApiKind::Wrapper, CostSpec::none())
+    }
+
+    fn blocking(sym: &str) -> ApiSpec {
+        ApiSpec::new(
+            sym,
+            1,
+            ApiKind::Blocking {
+                known_since: Some(2010),
+            },
+            CostSpec::none(),
+        )
+    }
+
+    #[test]
+    fn edges_aggregate_across_call_sites() {
+        let app = app_with_calls(
+            vec![wrapper("w.W.f"), blocking("a.A.x"), blocking("b.B.y")],
+            vec![
+                Call::via(vec![ApiId(0)], ApiId(1)),
+                Call::via(vec![ApiId(0)], ApiId(2)),
+                Call::direct(ApiId(1)),
+            ],
+        );
+        let g = CallGraph::build(&app);
+        assert_eq!(g.len(), 3);
+        assert_eq!(
+            g.successors(0).iter().copied().collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert!(g.successors(1).is_empty());
+    }
+
+    #[test]
+    fn depth_follows_shortest_scannable_path() {
+        let app = app_with_calls(
+            vec![wrapper("w.W.f"), wrapper("v.V.g"), blocking("a.A.x")],
+            vec![
+                Call::via(vec![ApiId(0), ApiId(1)], ApiId(2)),
+                Call::via(vec![ApiId(1)], ApiId(2)),
+            ],
+        );
+        let g = CallGraph::build(&app);
+        assert_eq!(g.scannable_depth(&app, 0, 2), Some(2));
+        assert_eq!(g.scannable_depth(&app, 1, 2), Some(1));
+        assert_eq!(g.scannable_depth(&app, 2, 2), Some(0));
+        assert_eq!(g.scannable_depth(&app, 2, 0), None);
+    }
+
+    #[test]
+    fn depth_does_not_tunnel_through_closed_frames() {
+        let app = app_with_calls(
+            vec![
+                wrapper("w.W.f"),
+                wrapper("v.V.g").closed(),
+                blocking("a.A.x"),
+            ],
+            vec![Call::via(vec![ApiId(0), ApiId(1)], ApiId(2))],
+        );
+        let g = CallGraph::build(&app);
+        assert_eq!(g.scannable_depth(&app, 0, 2), None);
+        assert_eq!(g.scannable_depth(&app, 1, 2), None, "closed entry");
+    }
+
+    #[test]
+    fn depth_terminates_on_cycles() {
+        let app = app_with_calls(
+            vec![wrapper("w.W.f"), wrapper("v.V.g"), blocking("a.A.x")],
+            vec![
+                Call::via(vec![ApiId(0), ApiId(1)], ApiId(2)),
+                Call::via(vec![ApiId(1), ApiId(0)], ApiId(2)),
+            ],
+        );
+        let g = CallGraph::build(&app);
+        // w → v and v → w form a cycle; BFS must still terminate.
+        assert_eq!(g.scannable_depth(&app, 0, 2), Some(1));
+        assert_eq!(g.scannable_depth(&app, 1, 2), Some(1));
+    }
+}

@@ -1,0 +1,38 @@
+//! # hd-sast — summary-based interprocedural static soft-hang analysis
+//!
+//! The offline arm of the evaluation: a static analyzer over
+//! [`hd_appmodel`] apps that finds known blocking APIs reachable from
+//! main-thread input handlers, the way PerfChecker-style tools do in the
+//! paper's related work (Section 1).
+//!
+//! The pipeline is classic summary-based analysis:
+//!
+//! 1. [`CallGraph`] — per-app call graph aggregating every observed
+//!    `handler → wrapper* → API` chain;
+//! 2. [`summary`] — bottom-up [`BlockingSummary`] per node (reachable
+//!    blocking work, worst-case cost), fixed-pointed over wrapper
+//!    cycles, truncated at `closed_source` boundaries;
+//! 3. [`engine`] — rule profiles ([`RuleProfile::PerfCheckerCompat`] vs
+//!    [`RuleProfile::Full`]) gate which reachable calls become findings;
+//! 4. [`report`] — versioned SARIF-like JSON ([`SAST_SCHEMA`]), with
+//!    [`SastReport::feed_confirmed`] closing the paper's shared-database
+//!    loop from the static side.
+//!
+//! The three offline failure modes the paper motivates Hang Doctor with
+//! (Section 1) are *structural* consequences of this design, not special
+//! cases: unknown APIs never match the database, closed-source frames
+//! stop propagation, and self-developed operations have no database name
+//! at all. [`classify_bug`] names those classes per ground-truth bug so
+//! the static↔runtime differential in `hd-metrics` can score them.
+
+pub mod engine;
+pub mod graph;
+pub mod report;
+pub mod rules;
+pub mod summary;
+
+pub use engine::{analyze, analyze_with_db, classify_bug, BugClass, SastConfig, PERCEIVABLE_NS};
+pub use graph::CallGraph;
+pub use report::{SastFinding, SastReport, SAST_SCHEMA};
+pub use rules::{rule_table, RuleMeta, RuleProfile, Severity, RULE_DIRECT, RULE_VIA_WRAPPER};
+pub use summary::{compute_summaries, worst_busy_ns, BlockingSummary};

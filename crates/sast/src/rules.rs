@@ -1,0 +1,111 @@
+//! The rule framework: rule identities, severities, and profiles.
+//!
+//! Rules are deliberately few and declarative — the engine does the
+//! analysis, a rule only decides *which* reachable blocking calls become
+//! findings and how loudly. The two built-in profiles bracket the design
+//! space of offline detectors:
+//!
+//! * [`RuleProfile::PerfCheckerCompat`] — the literal PerfChecker-style
+//!   scan: walk each concrete call chain, name-match the working API
+//!   against the database. This is the legacy
+//!   `hd_baselines::scan_app` re-expressed on the engine.
+//! * [`RuleProfile::Full`] — the summary-based interprocedural analysis:
+//!   judge reachability from each handler entry frame through the
+//!   aggregated call graph, so a known-blocking API buried N wrappers
+//!   deep (or shared through a helper) is still flagged.
+
+use serde::{Deserialize, Serialize};
+
+/// How loud a finding is.
+///
+/// `Error` means the estimated main-thread occupancy reaches the
+/// perceivable-delay threshold; `Warning` means the call blocks but the
+/// modeled worst case stays below it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Blocking, but modeled below the perceivable threshold.
+    Warning,
+    /// Blocking at or above the perceivable threshold.
+    Error,
+}
+
+/// Static description of one rule (the SARIF `rules` table).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleMeta {
+    /// Stable rule id, e.g. `"HD-S001"`.
+    pub id: String,
+    /// Short name, e.g. `"known-blocking-on-main"`.
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+}
+
+/// Rule id: a known blocking API called directly from a handler.
+pub const RULE_DIRECT: &str = "HD-S001";
+/// Rule id: a known blocking API reached through wrapper frames.
+pub const RULE_VIA_WRAPPER: &str = "HD-S002";
+
+/// The rule table for a profile (every report embeds it).
+pub fn rule_table(profile: RuleProfile) -> Vec<RuleMeta> {
+    let mut rules = vec![RuleMeta {
+        id: RULE_DIRECT.to_string(),
+        name: "known-blocking-on-main".to_string(),
+        description: "A known blocking API is called directly from a main-thread input handler"
+            .to_string(),
+    }];
+    if matches!(profile, RuleProfile::Full) {
+        rules.push(RuleMeta {
+            id: RULE_VIA_WRAPPER.to_string(),
+            name: "known-blocking-via-wrapper".to_string(),
+            description:
+                "A known blocking API is reachable from a main-thread input handler through \
+                 one or more scannable wrapper frames"
+                    .to_string(),
+        });
+    }
+    rules
+}
+
+/// Which analysis the engine runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleProfile {
+    /// Legacy PerfChecker semantics: concrete call chains only, every
+    /// finding under the single name-match rule [`RULE_DIRECT`].
+    ///
+    /// The scan still follows a concrete chain through scannable
+    /// wrappers (the legacy scanner did too) — what this profile lacks
+    /// is the aggregated-graph reachability of [`RuleProfile::Full`].
+    PerfCheckerCompat,
+    /// Summary-based interprocedural reachability.
+    Full,
+}
+
+impl RuleProfile {
+    /// Stable profile name used in reports and CLI flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleProfile::PerfCheckerCompat => "perfchecker-compat",
+            RuleProfile::Full => "full",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_error_above_warning() {
+        assert!(Severity::Error > Severity::Warning);
+    }
+
+    #[test]
+    fn profiles_expose_their_rule_tables() {
+        let compat = rule_table(RuleProfile::PerfCheckerCompat);
+        assert_eq!(compat.len(), 1);
+        assert_eq!(compat[0].id, RULE_DIRECT);
+        let full = rule_table(RuleProfile::Full);
+        assert_eq!(full.len(), 2);
+        assert!(full.iter().any(|r| r.id == RULE_VIA_WRAPPER));
+    }
+}

@@ -1,0 +1,213 @@
+//! Bottom-up blocking-cost summaries.
+//!
+//! Every node of the [`CallGraph`](crate::CallGraph) gets a
+//! [`BlockingSummary`]: the set of potentially blocking *working* APIs
+//! (blocking or self-developed, never UI) reachable from it through
+//! scannable frames, plus the worst-case main-thread cost among them.
+//! Working APIs seed their own summary; wrapper summaries are the union
+//! of their successors', computed to a fixed point so wrapper cycles
+//! converge instead of recursing forever.
+//!
+//! A **closed-source** node is opaque: its summary is empty and marked
+//! truncated, and nothing behind it leaks upward — which is exactly how
+//! the paper's "calls hidden in closed-source libraries" failure mode
+//! falls out of the analysis structurally.
+
+use std::collections::BTreeSet;
+
+use hd_appmodel::{ApiKind, ApiSpec, App};
+
+use crate::graph::CallGraph;
+
+/// What one node can reach, as far as a scanner can see.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlockingSummary {
+    /// Potentially blocking working APIs reachable through scannable
+    /// frames (node indices into the app's API list).
+    pub reachable: BTreeSet<usize>,
+    /// Worst-case main-thread busy time among `reachable`, ns.
+    pub worst_blocking_ns: u64,
+    /// Whether a closed-source boundary hid part of the subtree.
+    pub truncated: bool,
+}
+
+/// Worst-case (heavy-path) main-thread busy time of one API call, ns.
+pub fn worst_busy_ns(api: &ApiSpec) -> u64 {
+    api.cost.cpu.base + api.cost.io.base
+}
+
+fn seed(app: &App, node: usize) -> BlockingSummary {
+    let api = &app.apis[node];
+    if api.closed_source {
+        return BlockingSummary {
+            truncated: true,
+            ..BlockingSummary::default()
+        };
+    }
+    match api.kind {
+        ApiKind::Blocking { .. } | ApiKind::SelfDeveloped => BlockingSummary {
+            reachable: BTreeSet::from([node]),
+            worst_blocking_ns: worst_busy_ns(api),
+            truncated: false,
+        },
+        // UI APIs must stay on the main thread and are never soft hang
+        // bugs; wrappers do no work of their own.
+        ApiKind::Ui | ApiKind::Wrapper => BlockingSummary::default(),
+    }
+}
+
+/// Computes every node's summary bottom-up.
+///
+/// The propagation is a monotone fixed point: per-node reachable sets
+/// only grow and are bounded by the API universe, so the loop terminates
+/// even when wrappers call each other in cycles.
+pub fn compute_summaries(app: &App, graph: &CallGraph) -> Vec<BlockingSummary> {
+    let n = app.apis.len();
+    let mut summaries: Vec<BlockingSummary> = (0..n).map(|i| seed(app, i)).collect();
+    loop {
+        let mut changed = false;
+        for node in 0..n {
+            let api = &app.apis[node];
+            if api.closed_source || !matches!(api.kind, ApiKind::Wrapper) {
+                continue;
+            }
+            let mut gained: Vec<usize> = Vec::new();
+            let mut worst = summaries[node].worst_blocking_ns;
+            let mut truncated = summaries[node].truncated;
+            for &succ in graph.successors(node) {
+                let s = &summaries[succ];
+                for &r in &s.reachable {
+                    if !summaries[node].reachable.contains(&r) {
+                        gained.push(r);
+                    }
+                }
+                worst = worst.max(s.worst_blocking_ns);
+                truncated |= s.truncated;
+            }
+            let slot = &mut summaries[node];
+            if !gained.is_empty() || worst != slot.worst_blocking_ns || truncated != slot.truncated
+            {
+                slot.reachable.extend(gained);
+                slot.worst_blocking_ns = worst;
+                slot.truncated = truncated;
+                changed = true;
+            }
+        }
+        if !changed {
+            return summaries;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_appmodel::{ActionSpec, ApiId, Call, CostSpec, Dist, EventSpec, ProfileKind};
+    use hd_simrt::MILLIS;
+
+    fn app(apis: Vec<ApiSpec>, calls: Vec<Call>) -> App {
+        App {
+            name: "S".into(),
+            package: "org.s".into(),
+            category: "Tools".into(),
+            downloads: 1,
+            commit: "c".into(),
+            apis,
+            actions: vec![ActionSpec::new(
+                0,
+                "a",
+                vec![EventSpec::new("org.s.M.h", 1, calls)],
+            )],
+            bugs: vec![],
+        }
+    }
+
+    fn wrapper(sym: &str) -> ApiSpec {
+        ApiSpec::new(sym, 1, ApiKind::Wrapper, CostSpec::none())
+    }
+
+    fn blocking(sym: &str, ms: u64) -> ApiSpec {
+        ApiSpec::new(
+            sym,
+            1,
+            ApiKind::Blocking {
+                known_since: Some(2010),
+            },
+            CostSpec::io(Dist::ZERO, Dist::fixed(ms * MILLIS)),
+        )
+    }
+
+    fn ui(sym: &str) -> ApiSpec {
+        ApiSpec::new(
+            sym,
+            1,
+            ApiKind::Ui,
+            CostSpec::cpu(Dist::fixed(5 * MILLIS), ProfileKind::Ui),
+        )
+    }
+
+    #[test]
+    fn wrapper_summary_unions_successors_and_skips_ui() {
+        let a = app(
+            vec![wrapper("w.W.f"), blocking("a.A.x", 200), ui("u.U.t")],
+            vec![
+                Call::via(vec![ApiId(0)], ApiId(1)),
+                Call::via(vec![ApiId(0)], ApiId(2)),
+            ],
+        );
+        let s = compute_summaries(&a, &CallGraph::build(&a));
+        assert_eq!(s[0].reachable, BTreeSet::from([1]));
+        assert_eq!(s[0].worst_blocking_ns, 200 * MILLIS);
+        assert!(!s[0].truncated);
+        assert!(s[2].reachable.is_empty(), "UI work is never a finding");
+    }
+
+    #[test]
+    fn closed_boundary_truncates_the_view() {
+        let a = app(
+            vec![
+                wrapper("w.W.f"),
+                wrapper("v.V.g").closed(),
+                blocking("a.A.x", 300),
+            ],
+            vec![Call::via(vec![ApiId(0), ApiId(1)], ApiId(2))],
+        );
+        let s = compute_summaries(&a, &CallGraph::build(&a));
+        assert!(s[1].reachable.is_empty());
+        assert!(s[1].truncated);
+        assert!(s[0].reachable.is_empty(), "nothing leaks past the boundary");
+        assert!(s[0].truncated, "the truncation is visible upward");
+    }
+
+    #[test]
+    fn cycles_converge() {
+        let a = app(
+            vec![
+                wrapper("w.W.f"),
+                wrapper("v.V.g"),
+                blocking("a.A.x", 150),
+                blocking("b.B.y", 250),
+            ],
+            vec![
+                Call::via(vec![ApiId(0), ApiId(1)], ApiId(2)),
+                Call::via(vec![ApiId(1), ApiId(0)], ApiId(3)),
+            ],
+        );
+        let s = compute_summaries(&a, &CallGraph::build(&a));
+        // Both wrappers see both working APIs through the cycle.
+        assert_eq!(s[0].reachable, BTreeSet::from([2, 3]));
+        assert_eq!(s[1].reachable, BTreeSet::from([2, 3]));
+        assert_eq!(s[0].worst_blocking_ns, 250 * MILLIS);
+    }
+
+    #[test]
+    fn closed_working_api_contributes_nothing() {
+        let a = app(
+            vec![wrapper("w.W.f"), blocking("a.A.x", 300).closed()],
+            vec![Call::via(vec![ApiId(0)], ApiId(1))],
+        );
+        let s = compute_summaries(&a, &CallGraph::build(&a));
+        assert!(s[0].reachable.is_empty());
+        assert!(s[0].truncated);
+    }
+}

@@ -1,0 +1,58 @@
+//! Golden fixture: the full-profile analyzer reports over the Table 1
+//! corpus, checked in byte-for-byte. Any change to these bytes means the
+//! analysis changed — rule renames, severity regrades, summary-
+//! propagation tweaks, and schema drift all surface here. CI greps the
+//! same artifact, so this fixture is the machine-checkable contract of
+//! `repro sast`.
+//!
+//! Regenerate (only when a deliberate behavior change lands) with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p hd-sast --test golden
+//! ```
+
+use hd_sast::{analyze, SastConfig, SastReport, SAST_SCHEMA};
+
+const FIXTURE: &str = include_str!("fixtures/sast_table1.json");
+
+fn check_or_regen(rendered: String, fixture: &str, name: &str) {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(path, rendered).expect("write fixture");
+        return;
+    }
+    assert_eq!(
+        rendered, fixture,
+        "{name} drifted from the golden fixture; if the change is \
+         intentional, regenerate with GOLDEN_REGEN=1"
+    );
+}
+
+#[test]
+fn table1_full_profile_reports_match_checked_in_fixture() {
+    let reports: Vec<SastReport> = hd_appmodel::corpus::table1::apps()
+        .iter()
+        .map(|app| analyze(app, &SastConfig::default()))
+        .collect();
+    assert!(reports.iter().any(|r| !r.findings.is_empty()));
+    let json = serde_json::to_string_pretty(&reports).expect("serializable reports");
+    check_or_regen(format!("{json}\n"), FIXTURE, "sast_table1.json");
+}
+
+#[test]
+fn fixture_schema_keys_are_stable() {
+    // The drift guard CI relies on: the checked-in artifact must carry
+    // the schema tag and the SARIF-like per-finding keys.
+    for key in [
+        SAST_SCHEMA,
+        "\"rule\"",
+        "\"severity\"",
+        "\"file\"",
+        "\"line\"",
+        "\"message\"",
+        "\"est_blocking_ns\"",
+        "\"db_year\"",
+    ] {
+        assert!(FIXTURE.contains(key), "fixture lost {key}");
+    }
+}
