@@ -20,7 +20,16 @@
 //! `<path>` instead. `bench-summary` runs the fleet and writes the
 //! machine-readable perf snapshot `BENCH_fleet.json` (throughput, wall
 //! time, per-shard busy time, job count) — the repo's perf trajectory.
+//!
+//! Telemetry commands: `serve` runs the TCP ingestion server on
+//! `--addr` until a client sends a shutdown frame; `upload` runs the
+//! fleet and uploads every job's report to a running server, then
+//! queries the top-N aggregation; `telemetry-bench` hammers a loopback
+//! server and writes `BENCH_telemetry.json`. `fleet --telemetry`
+//! routes the whole fleet through a loopback server and differentially
+//! checks the networked aggregation against the in-process merge.
 
+use std::net::ToSocketAddrs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -33,6 +42,12 @@ struct Opts {
     devices: u32,
     threads: usize,
     chaos: Option<f64>,
+    telemetry: bool,
+    addr: String,
+    shards: usize,
+    queue: usize,
+    top: usize,
+    shutdown: bool,
 }
 
 fn usage() -> ! {
@@ -40,10 +55,18 @@ fn usage() -> ! {
         "usage: repro [--seed N] [--quick|--full] [--chaos RATE] [--json [path]] [--devices N] [--threads N] <experiment>...\n\
          experiments: fig1 table1 fig2b table2 table3 table4 fig4 fig5 table5 fig6 fig7
          table6 fig8 generality ablations chaos sast sast-compat sast-diff fleet bench-summary all\n\
+         telemetry commands: serve upload telemetry-bench (plus fleet --telemetry)\n\
          --devices/--threads apply to the fleet and bench-summary experiments (defaults 8/1)\n\
          --chaos RATE injects observation faults into fleet/bench-summary and sets the\n\
-         rate of the chaos differential (RATE in [0,1], default 0.05)\n\
-         bench-summary writes BENCH_fleet.json (override the path with --json <path>)"
+         rate of the chaos differential (RATE in [0,1], default 0.05); with --telemetry\n\
+         (or upload) it also enables transport faults at the same rate\n\
+         --telemetry routes the fleet through a loopback TCP server and checks the\n\
+         networked aggregation byte-for-byte against the in-process merge\n\
+         --addr HOST:PORT for serve/upload (default 127.0.0.1:7077)\n\
+         --shards N / --queue N size the serve ingest pool (defaults 4/64)\n\
+         --top N bounds exported hang groups (default 25); upload --shutdown stops the server\n\
+         bench-summary writes BENCH_fleet.json, telemetry-bench writes BENCH_telemetry.json\n\
+         (override either path with --json <path>)"
     );
     std::process::exit(2);
 }
@@ -52,7 +75,15 @@ fn is_experiment(name: &str) -> bool {
     ALL.contains(&name)
         || matches!(
             name,
-            "fleet" | "generality" | "bench-summary" | "sast-compat" | "sast-diff" | "all"
+            "fleet"
+                | "generality"
+                | "bench-summary"
+                | "sast-compat"
+                | "sast-diff"
+                | "serve"
+                | "upload"
+                | "telemetry-bench"
+                | "all"
         )
 }
 
@@ -72,8 +103,8 @@ fn emit<T: serde::Serialize>(opts: &Opts, value: &T, text: String) {
     }
 }
 
-/// Runs the fleet study (honouring `--quick/--devices/--threads/--chaos`).
-fn fleet_report(opts: &Opts, seed: u64) -> hd_fleet::FleetReport {
+/// The fleet study spec (honouring `--quick/--devices/--threads/--chaos`).
+fn study_spec(opts: &Opts, seed: u64) -> hd_fleet::FleetSpec {
     let mut spec = hd_fleet::FleetSpec::study(opts.devices, opts.threads, seed);
     if opts.quick {
         spec.executions_per_action = 2;
@@ -81,7 +112,21 @@ fn fleet_report(opts: &Opts, seed: u64) -> hd_fleet::FleetReport {
     if let Some(rate) = opts.chaos {
         spec.faults = hangdoctor::FaultConfig::chaos(rate);
     }
-    hd_fleet::run_fleet(&spec)
+    spec
+}
+
+/// Runs the fleet study in-process.
+fn fleet_report(opts: &Opts, seed: u64) -> hd_fleet::FleetReport {
+    hd_fleet::run_fleet(&study_spec(opts, seed))
+}
+
+/// Transport fault configuration: `--chaos RATE` also shakes the
+/// telemetry path.
+fn net_config(opts: &Opts) -> hangdoctor::NetFaultConfig {
+    match opts.chaos {
+        Some(rate) => hangdoctor::NetFaultConfig::chaos(rate),
+        None => hangdoctor::NetFaultConfig::none(),
+    }
 }
 
 fn run_one(name: &str, opts: &Opts) -> Result<(), String> {
@@ -166,8 +211,124 @@ fn run_one(name: &str, opts: &Opts) -> Result<(), String> {
             emit(opts, &r, hd_bench::sast::render_differential(&r));
         }
         "fleet" => {
-            let r = fleet_report(opts, seed);
-            emit(opts, &r, r.render());
+            if opts.telemetry {
+                let spec = study_spec(opts, seed);
+                let outcome = hd_telemetry::run_fleet_telemetry(&spec, &net_config(opts), opts.top);
+                if !outcome.byte_identical {
+                    return Err("telemetry differential failed: the networked aggregation \
+                         diverged from the in-process merge"
+                        .to_string());
+                }
+                let text = format!(
+                    "{}\ntelemetry differential: networked report is byte-identical \
+                     to the in-process merge ({} batches, {} duplicates absorbed, {} NACKs)\n\n{}",
+                    outcome.fleet.render(),
+                    outcome.server.ingest.batches_applied,
+                    outcome.server.ingest.duplicates_absorbed,
+                    outcome.server.nacks_sent,
+                    outcome.report.render(),
+                );
+                emit(opts, &outcome.report, text);
+            } else {
+                let r = fleet_report(opts, seed);
+                emit(opts, &r, r.render());
+            }
+        }
+        "serve" => {
+            let server = hd_telemetry::TelemetryServer::start(
+                &opts.addr,
+                hd_telemetry::ServerConfig {
+                    shards: opts.shards,
+                    queue_capacity: opts.queue,
+                    nack_retry_ms: 1,
+                },
+            )
+            .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+            println!(
+                "hd-telemetry server listening on {} ({} shards, queue {}); \
+                 stop it with `repro upload --shutdown` or any shutdown frame",
+                server.local_addr(),
+                opts.shards,
+                opts.queue
+            );
+            let stats = server.join();
+            emit(
+                opts,
+                &stats,
+                format!(
+                    "server stopped: {} connections, {} batches applied \
+                     ({} duplicates absorbed), {} NACKs sent",
+                    stats.connections,
+                    stats.ingest.batches_applied,
+                    stats.ingest.duplicates_absorbed,
+                    stats.nacks_sent
+                ),
+            );
+        }
+        "upload" => {
+            let addr = opts
+                .addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut a| a.next())
+                .ok_or_else(|| format!("cannot resolve {}", opts.addr))?;
+            let spec = study_spec(opts, seed);
+            let (_, jobs) = hd_fleet::run_fleet_with_reports(&spec);
+            let net = net_config(opts);
+            let mut tally = hangdoctor::NetFaultTally::default();
+            for job in &jobs {
+                let cfg = hd_telemetry::UploaderConfig {
+                    net_faults: net,
+                    ..Default::default()
+                };
+                let mut up = hd_telemetry::Uploader::new(addr, job.device as u64, seed, cfg);
+                let batch = hd_telemetry::UploadBatch {
+                    app: job.app.clone(),
+                    device: job.device,
+                    seq: 0,
+                    items: vec![hd_telemetry::TelemetryItem::Report(job.report.clone())],
+                };
+                up.upload(&batch)
+                    .map_err(|e| format!("device {} upload failed: {e}", job.device))?;
+                tally.merge(&up.tally());
+            }
+            let mut client = hd_telemetry::Uploader::plain(addr);
+            let report = client.query(opts.top).map_err(|e| e.to_string())?;
+            let mut text = format!(
+                "uploaded {} device reports to {addr}\n\n{}",
+                jobs.len(),
+                report.render()
+            );
+            if tally.injected() > 0 {
+                text.push_str(&format!(
+                    "\ntransport faults injected: {} connection drops, {} delayed \
+                     deliveries, {} duplicate frames ({} absorbed by idempotent ingest)\n",
+                    tally.connections_dropped,
+                    tally.deliveries_delayed,
+                    tally.frames_duplicated,
+                    tally.duplicates_absorbed
+                ));
+            }
+            if opts.shutdown {
+                client.shutdown().map_err(|e| e.to_string())?;
+                text.push_str("\nserver shutdown requested\n");
+            }
+            emit(opts, &report, text);
+        }
+        "telemetry-bench" => {
+            let mut bench_spec = hd_telemetry::BenchSpec::default();
+            if opts.quick {
+                bench_spec.batches_per_client = 16;
+            }
+            let bench = hd_telemetry::run_telemetry_bench(&bench_spec);
+            let path = opts
+                .json_path
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("BENCH_telemetry.json"));
+            let json = serde_json::to_string_pretty(&bench).expect("serializable bench");
+            std::fs::write(&path, format!("{json}\n"))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!("wrote {}: {}", path.display(), bench.render());
         }
         "bench-summary" => {
             let r = fleet_report(opts, seed);
@@ -234,6 +395,12 @@ fn main() -> ExitCode {
         devices: 8,
         threads: 1,
         chaos: None,
+        telemetry: false,
+        addr: "127.0.0.1:7077".to_string(),
+        shards: 4,
+        queue: 64,
+        top: 25,
+        shutdown: false,
     };
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1).peekable();
@@ -269,6 +436,30 @@ fn main() -> ExitCode {
             }
             "--quick" => opts.quick = true,
             "--full" => opts.full = true,
+            "--telemetry" => opts.telemetry = true,
+            "--shutdown" => opts.shutdown = true,
+            "--addr" => {
+                let Some(v) = args.next() else { usage() };
+                opts.addr = v;
+            }
+            "--shards" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()).filter(|v| *v > 0) else {
+                    usage()
+                };
+                opts.shards = v;
+            }
+            "--queue" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()).filter(|v| *v > 0) else {
+                    usage()
+                };
+                opts.queue = v;
+            }
+            "--top" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()).filter(|v| *v > 0) else {
+                    usage()
+                };
+                opts.top = v;
+            }
             "--json" => {
                 opts.json = true;
                 // An optional operand: `--json out.json` writes to the

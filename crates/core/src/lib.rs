@@ -45,7 +45,10 @@ pub use correlation::{
     TrainingSample,
 };
 pub use doctor::{Detection, HangDoctor, HdOutput};
-pub use hd_faults::{fault_seed, FaultCategory, FaultConfig, FaultPlan, FaultRates, FaultTally};
+pub use hd_faults::{
+    fault_seed, net_fault_seed, BatchFaults, FaultCategory, FaultConfig, FaultPlan, FaultRates,
+    FaultTally, NetFaultCategory, NetFaultConfig, NetFaultPlan, NetFaultRates, NetFaultTally,
+};
 pub use injector::{AppInjector, InjectionReport};
 pub use persistence::DeviceSnapshot;
 pub use report::{HangBugReport, ReportEntry};

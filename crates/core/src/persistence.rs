@@ -143,6 +143,55 @@ mod tests {
     }
 
     #[test]
+    fn populated_snapshot_round_trip_preserves_everything() {
+        use crate::analysis::{RootCause, RootKind};
+
+        // A state table covering every state, with distinct
+        // normal-execution counts, plus a non-empty report.
+        let entries = vec![
+            (ActionUid(1), ActionState::Normal, 12),
+            (ActionUid(2), ActionState::Suspicious, 3),
+            (ActionUid(3), ActionState::HangBug, 7),
+            (ActionUid(4), ActionState::Uncategorized, 0),
+        ];
+        let mut report = HangBugReport::new("roundtrip-app");
+        for _ in 0..9 {
+            report.note_execution(5, ActionUid(3), "sync inbox");
+        }
+        let root = RootCause {
+            symbol: "java.net.Socket.connect".to_string(),
+            file: "Sync.java".to_string(),
+            line: 88,
+            occurrence_factor: 1.0,
+            kind: RootKind::BlockingApi,
+        };
+        report.record_bug(5, ActionUid(3), &root, 220_000_000);
+        report.record_bug(5, ActionUid(3), &root, 180_000_000);
+        let out = HdOutput {
+            report,
+            states: StateTable::import(&entries),
+            ..Default::default()
+        };
+
+        let snap = DeviceSnapshot::capture(&out, 5);
+        let back = DeviceSnapshot::from_json(&snap.to_json()).unwrap();
+
+        // Canonical serialization: re-serializing the restored snapshot
+        // is byte-identical.
+        assert_eq!(back.to_json(), snap.to_json());
+        // The state table survives with states and normal-execution
+        // counts intact (export is uid-sorted).
+        assert_eq!(back.state_table().export(), entries);
+        // The report survives: same rows, same bytes.
+        assert_eq!(back.report.entries(), snap.report.entries());
+        let row = &back.report.entries()[0];
+        assert_eq!(row.hangs, 2);
+        assert_eq!(row.action_executions, 9);
+        assert_eq!(row.mean_hang_ns, 200_000_000);
+        assert_eq!(row.action, "sync inbox");
+    }
+
+    #[test]
     fn snapshot_json_round_trip() {
         let out = HdOutput {
             report: HangBugReport::new("X"),

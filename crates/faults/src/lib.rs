@@ -411,6 +411,252 @@ impl FaultPlan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Network faults (telemetry transport)
+// ---------------------------------------------------------------------------
+
+/// The kinds of fault the telemetry transport can suffer between a
+/// device and the ingestion backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetFaultCategory {
+    /// The connection drops before a frame is delivered; the uploader
+    /// must reconnect and resend.
+    ConnectionDrop,
+    /// A frame is delivered late.
+    DeliveryDelay,
+    /// A frame is delivered twice; idempotent ingest must absorb it.
+    DuplicateFrame,
+}
+
+impl NetFaultCategory {
+    /// Every category, in declaration order.
+    pub const ALL: [NetFaultCategory; 3] = [
+        NetFaultCategory::ConnectionDrop,
+        NetFaultCategory::DeliveryDelay,
+        NetFaultCategory::DuplicateFrame,
+    ];
+
+    /// Stable kebab-case name (used in reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            NetFaultCategory::ConnectionDrop => "connection-drop",
+            NetFaultCategory::DeliveryDelay => "delivery-delay",
+            NetFaultCategory::DuplicateFrame => "duplicate-frame",
+        }
+    }
+}
+
+/// Per-category network fault injection probabilities, each in `[0, 1]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetFaultRates {
+    /// Probability that the connection drops before a batch is sent.
+    pub connection_drop: f64,
+    /// Probability that a batch is delivered late.
+    pub delivery_delay: f64,
+    /// Probability that a batch frame is sent twice.
+    pub duplicate_frame: f64,
+}
+
+/// Network fault-injection configuration for the telemetry transport.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetFaultConfig {
+    /// Per-category injection rates.
+    pub rates: NetFaultRates,
+    /// Maximum extra delivery delay, ns (kept small so chaos tests stay
+    /// fast; the delay is actually slept by the uploader).
+    pub max_delivery_delay_ns: u64,
+}
+
+impl Default for NetFaultConfig {
+    fn default() -> Self {
+        NetFaultConfig {
+            rates: NetFaultRates::default(),
+            max_delivery_delay_ns: 2_000_000, // 2 ms
+        }
+    }
+}
+
+impl NetFaultConfig {
+    /// A configuration that injects nothing (the production default).
+    pub fn none() -> NetFaultConfig {
+        NetFaultConfig::default()
+    }
+
+    /// Chaos mode: every category injects at `rate` (clamped to
+    /// `[0, 1]`).
+    pub fn chaos(rate: f64) -> NetFaultConfig {
+        let rate = rate.clamp(0.0, 1.0);
+        NetFaultConfig {
+            rates: NetFaultRates {
+                connection_drop: rate,
+                delivery_delay: rate,
+                duplicate_frame: rate,
+            },
+            ..NetFaultConfig::default()
+        }
+    }
+
+    /// Whether any category has a positive rate.
+    pub fn enabled(&self) -> bool {
+        self.rates.connection_drop > 0.0
+            || self.rates.delivery_delay > 0.0
+            || self.rates.duplicate_frame > 0.0
+    }
+}
+
+/// Per-category network fault and recovery counts for one uploader (or,
+/// after [`NetFaultTally::merge`], for a whole fleet's telemetry path).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetFaultTally {
+    /// Connections dropped before a batch went out.
+    pub connections_dropped: u64,
+    /// Batch deliveries that were delayed.
+    pub deliveries_delayed: u64,
+    /// Batch frames deliberately sent twice.
+    pub frames_duplicated: u64,
+    /// Upload attempts repeated after a drop or a NACK.
+    pub upload_retries: u64,
+    /// Retryable NACKs received from the server (queue-full
+    /// backpressure).
+    pub nacks_received: u64,
+    /// Duplicate deliveries the server's idempotent ingest absorbed.
+    pub duplicates_absorbed: u64,
+}
+
+impl NetFaultTally {
+    /// Adds another tally into this one (associative and commutative).
+    pub fn merge(&mut self, other: &NetFaultTally) {
+        self.connections_dropped += other.connections_dropped;
+        self.deliveries_delayed += other.deliveries_delayed;
+        self.frames_duplicated += other.frames_duplicated;
+        self.upload_retries += other.upload_retries;
+        self.nacks_received += other.nacks_received;
+        self.duplicates_absorbed += other.duplicates_absorbed;
+    }
+
+    /// Total network faults injected.
+    pub fn injected(&self) -> u64 {
+        self.connections_dropped + self.deliveries_delayed + self.frames_duplicated
+    }
+
+    /// Whether nothing was injected or recovered.
+    pub fn is_empty(&self) -> bool {
+        *self == NetFaultTally::default()
+    }
+}
+
+/// Derives the network fault-plan seed of the uploader with stable
+/// index `device` — the same SplitMix64 scramble as [`fault_seed`] but
+/// domain-separated by a different constant, so transport faults are
+/// independent of both the simulator stream and the monitoring fault
+/// schedule.
+pub fn net_fault_seed(root_seed: u64, device: u64) -> u64 {
+    let mut z = (root_seed ^ 0x7E1E_C0DE_5EED_F00Du64)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(device.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The per-uploader network fault schedule. All fault decisions for one
+/// batch are drawn **before** the first send attempt, so the schedule
+/// depends only on `(seed, batch sequence)` — never on server timing,
+/// NACKs, or retry counts.
+#[derive(Debug)]
+pub struct NetFaultPlan {
+    cfg: NetFaultConfig,
+    rng: SimRng,
+    /// Running fault/recovery counts. Public so the uploader can record
+    /// its recovery actions (retries, NACKs) into the same ledger.
+    pub tally: NetFaultTally,
+}
+
+impl NetFaultPlan {
+    /// Creates a plan with an explicit seed.
+    pub fn new(cfg: NetFaultConfig, seed: u64) -> NetFaultPlan {
+        NetFaultPlan {
+            cfg,
+            rng: SimRng::seed_from_u64(seed),
+            tally: NetFaultTally::default(),
+        }
+    }
+
+    /// Creates the plan of the uploader with stable index `device`
+    /// under `root_seed`.
+    pub fn for_device(cfg: NetFaultConfig, root_seed: u64, device: u64) -> NetFaultPlan {
+        NetFaultPlan::new(cfg, net_fault_seed(root_seed, device))
+    }
+
+    /// A plan that never injects anything.
+    pub fn disabled() -> NetFaultPlan {
+        NetFaultPlan::new(NetFaultConfig::none(), 0)
+    }
+
+    /// Whether any fault category is active.
+    pub fn is_enabled(&self) -> bool {
+        self.cfg.enabled()
+    }
+
+    /// The configuration this plan runs under.
+    pub fn config(&self) -> &NetFaultConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of the current tally.
+    pub fn tally(&self) -> NetFaultTally {
+        self.tally
+    }
+
+    fn fires(&mut self, rate: f64) -> bool {
+        // Zero-rate categories must not consume RNG state (see
+        // `FaultPlan::fires`).
+        rate > 0.0 && self.rng.chance(rate)
+    }
+
+    /// Draws every fault decision for the next batch. Called exactly
+    /// once per batch, before the first send attempt.
+    pub fn next_batch(&mut self) -> BatchFaults {
+        let drop_connection = if self.fires(self.cfg.rates.connection_drop) {
+            self.tally.connections_dropped += 1;
+            true
+        } else {
+            false
+        };
+        let delay_ns = if self.fires(self.cfg.rates.delivery_delay) {
+            self.tally.deliveries_delayed += 1;
+            Some(
+                self.rng
+                    .uniform_u64(1, self.cfg.max_delivery_delay_ns.max(1)),
+            )
+        } else {
+            None
+        };
+        let duplicate = if self.fires(self.cfg.rates.duplicate_frame) {
+            self.tally.frames_duplicated += 1;
+            true
+        } else {
+            false
+        };
+        BatchFaults {
+            drop_connection,
+            delay_ns,
+            duplicate,
+        }
+    }
+}
+
+/// The fault decisions for one upload batch, drawn up front by
+/// [`NetFaultPlan::next_batch`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchFaults {
+    /// Drop (and re-establish) the connection before sending.
+    pub drop_connection: bool,
+    /// Sleep this long before sending, if set.
+    pub delay_ns: Option<u64>,
+    /// Send the frame twice.
+    pub duplicate: bool,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,6 +805,80 @@ mod tests {
                 "sampler-latency",
                 "clock-jitter"
             ]
+        );
+    }
+
+    #[test]
+    fn net_plan_same_seed_same_schedule() {
+        let mut a = NetFaultPlan::for_device(NetFaultConfig::chaos(0.3), 7, 4);
+        let mut b = NetFaultPlan::for_device(NetFaultConfig::chaos(0.3), 7, 4);
+        let fa: Vec<BatchFaults> = (0..200).map(|_| a.next_batch()).collect();
+        let fb: Vec<BatchFaults> = (0..200).map(|_| b.next_batch()).collect();
+        assert_eq!(fa, fb);
+        assert_eq!(a.tally(), b.tally());
+        let mut c = NetFaultPlan::for_device(NetFaultConfig::chaos(0.3), 7, 5);
+        let fc: Vec<BatchFaults> = (0..200).map(|_| c.next_batch()).collect();
+        assert_ne!(fa, fc, "different devices must get different schedules");
+    }
+
+    #[test]
+    fn net_plan_disabled_is_inert() {
+        let mut plan = NetFaultPlan::disabled();
+        assert!(!plan.is_enabled());
+        for _ in 0..100 {
+            assert_eq!(plan.next_batch(), BatchFaults::default());
+        }
+        assert!(plan.tally().is_empty());
+    }
+
+    #[test]
+    fn net_delay_stays_within_configured_bound() {
+        let mut plan = NetFaultPlan::new(NetFaultConfig::chaos(1.0), 9);
+        for _ in 0..300 {
+            let faults = plan.next_batch();
+            assert!(faults.drop_connection);
+            assert!(faults.duplicate);
+            let delay = faults.delay_ns.expect("rate 1.0 always fires");
+            assert!((1..=2_000_000).contains(&delay), "delay {delay}");
+        }
+        assert_eq!(plan.tally().injected(), 900);
+    }
+
+    #[test]
+    fn net_tally_merge_is_commutative_and_identity_preserving() {
+        let mut a = NetFaultPlan::new(NetFaultConfig::chaos(0.7), 11);
+        let mut b = NetFaultPlan::new(NetFaultConfig::chaos(0.7), 12);
+        for _ in 0..50 {
+            a.next_batch();
+            b.next_batch();
+        }
+        let (ta, tb) = (a.tally(), b.tally());
+        let mut ab = ta;
+        ab.merge(&tb);
+        let mut ba = tb;
+        ba.merge(&ta);
+        assert_eq!(ab, ba);
+        let mut with_id = ta;
+        with_id.merge(&NetFaultTally::default());
+        assert_eq!(with_id, ta);
+    }
+
+    #[test]
+    fn net_fault_seed_is_domain_separated() {
+        assert_eq!(net_fault_seed(42, 3), net_fault_seed(42, 3));
+        assert_ne!(net_fault_seed(42, 3), net_fault_seed(42, 4));
+        assert_ne!(net_fault_seed(42, 3), fault_seed(42, 3));
+        let seeds: std::collections::HashSet<u64> =
+            (0..1_000).map(|i| net_fault_seed(7, i)).collect();
+        assert_eq!(seeds.len(), 1_000);
+    }
+
+    #[test]
+    fn net_category_names_are_stable() {
+        let names: Vec<&str> = NetFaultCategory::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec!["connection-drop", "delivery-delay", "duplicate-frame"]
         );
     }
 }

@@ -32,7 +32,7 @@ use crossbeam::queue::SegQueue;
 use hangdoctor::{shared, BlockingApiDb, HangBugReport, HangDoctor, HangDoctorConfig};
 use hd_appmodel::{build_run, generate_schedule, App, CompiledApp, TraceParams};
 use hd_baselines::install;
-use hd_faults::{FaultConfig, FaultPlan, FaultTally};
+use hd_faults::{FaultConfig, FaultPlan, FaultTally, NetFaultTally};
 use hd_metrics::{score, Confusion};
 use hd_simrt::{ExecId, SimConfig, SimRng};
 use serde::{Deserialize, Serialize};
@@ -222,6 +222,11 @@ pub struct ChaosReport {
     pub config: FaultConfig,
     /// Per-category fault and recovery counts summed over the fleet.
     pub tally: FaultTally,
+    /// Network transport fault/recovery counts (telemetry path). All
+    /// zero for in-process fleets; the `hd-telemetry` loopback runner
+    /// fills it from the per-device uploader tallies, merged in device
+    /// order.
+    pub net: NetFaultTally,
 }
 
 /// Everything a fleet run produced.
@@ -322,6 +327,19 @@ impl FleetReport {
                 tally.checks_abandoned,
                 tally.sessions_aborted,
             ));
+            if !chaos.net.is_empty() {
+                let net = &chaos.net;
+                out.push_str(&format!(
+                    "\x20 network: {} connections dropped, {} deliveries delayed, {} frames duplicated\n\
+                     \x20 network recovery: {} upload retries, {} NACKs, {} duplicates absorbed\n",
+                    net.connections_dropped,
+                    net.deliveries_delayed,
+                    net.frames_duplicated,
+                    net.upload_retries,
+                    net.nacks_received,
+                    net.duplicates_absorbed,
+                ));
+            }
         }
         for shard in &t.shards {
             out.push_str(&format!(
@@ -496,6 +514,21 @@ fn merge_results(spec: &FleetSpec, results: &[JobResult]) -> MergedFleet {
     }
 }
 
+/// One device's end-of-run upload unit: what the telemetry layer ships
+/// off-device. `index` is the job's stable fleet index and `device` the
+/// globally unique 1-based device id the report's evidence cells use.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobReport {
+    /// Stable job index in the fleet matrix.
+    pub index: usize,
+    /// App the device ran.
+    pub app: String,
+    /// Globally unique device id (`index + 1`).
+    pub device: u32,
+    /// The device's accumulated hang bug report.
+    pub report: HangBugReport,
+}
+
 /// Runs the fleet: enumerates the matrix, executes every job on the
 /// worker pool, and merges the results.
 ///
@@ -503,6 +536,19 @@ fn merge_results(spec: &FleetSpec, results: &[JobResult]) -> MergedFleet {
 ///
 /// Panics if the spec has no apps, no profiles, or zero devices.
 pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
+    run_fleet_inner(spec, false).0
+}
+
+/// Like [`run_fleet`], but additionally hands back every device's
+/// individual [`JobReport`] in stable job-index order — the per-device
+/// artifacts a networked telemetry path uploads instead of merging
+/// in-process. The [`FleetReport`] half is identical to what
+/// [`run_fleet`] returns for the same spec.
+pub fn run_fleet_with_reports(spec: &FleetSpec) -> (FleetReport, Vec<JobReport>) {
+    run_fleet_inner(spec, true)
+}
+
+fn run_fleet_inner(spec: &FleetSpec, collect_reports: bool) -> (FleetReport, Vec<JobReport>) {
     assert!(!spec.apps.is_empty(), "fleet needs at least one app");
     assert!(
         !spec.profiles.is_empty(),
@@ -579,14 +625,28 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
         Some(ChaosReport {
             config: spec.faults,
             tally,
+            net: NetFaultTally::default(),
         })
     } else {
         None
     };
+    let job_reports = if collect_reports {
+        results
+            .into_iter()
+            .map(|r| JobReport {
+                index: r.index,
+                app: spec.apps[r.app_idx].name.clone(),
+                device: r.index as u32 + 1,
+                report: r.report,
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     let wall = started.elapsed();
     let wall_seconds = wall.as_secs_f64().max(1e-9);
     let device_hours = merged.simulated_ns as f64 / 3.6e12;
-    FleetReport {
+    let report = FleetReport {
         merged,
         chaos,
         timing: FleetTiming {
@@ -595,7 +655,8 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
             device_hours_per_wall_second: device_hours / wall_seconds,
             shards,
         },
-    }
+    };
+    (report, job_reports)
 }
 
 /// Ground-truth bugs of `app` that the fleet's merged runtime report
@@ -731,6 +792,34 @@ mod tests {
         // And the fleet still detects despite the faults.
         assert!(report.merged.detections > 0);
         assert!(report.render().contains("chaos"));
+    }
+
+    #[test]
+    fn job_reports_merge_to_the_fleet_report() {
+        let spec = small_spec(2);
+        let (fleet, jobs) = run_fleet_with_reports(&spec);
+        assert_eq!(jobs.len(), fleet.merged.jobs);
+        assert!(jobs.windows(2).all(|w| w[0].index < w[1].index));
+        assert!(jobs.iter().all(|j| j.device == j.index as u32 + 1));
+        // Re-merging the per-job reports app by app reproduces the
+        // in-process merged per-app reports byte-for-byte — the invariant
+        // the networked telemetry path relies on.
+        for summary in &fleet.merged.apps {
+            let mut merged = HangBugReport::new(&summary.app);
+            for job in jobs.iter().filter(|j| j.app == summary.app) {
+                merged.merge(&job.report);
+            }
+            assert_eq!(
+                serde_json::to_string(&merged).unwrap(),
+                serde_json::to_string(&summary.report).unwrap()
+            );
+        }
+        // And the fleet half is identical to a plain run.
+        let plain = run_fleet(&spec);
+        assert_eq!(
+            serde_json::to_string(&plain.merged).unwrap(),
+            serde_json::to_string(&fleet.merged).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Loopback load benchmark — the schema of `BENCH_telemetry.json`.
+//!
+//! Hammers a loopback server with concurrent synthetic uploaders
+//! through a **deliberately small** shard queue, so the run exercises
+//! the full backpressure path: queue-full NACKs, deterministic client
+//! backoff, and eventual acceptance of every batch. Completing at all
+//! is the liveness assertion (bounded queues must never deadlock);
+//! the throughput and latency numbers are the perf-trajectory entry CI
+//! archives next to `BENCH_fleet.json`.
+
+use std::net::SocketAddr;
+use std::thread;
+use std::time::Instant;
+
+use hangdoctor::{HangBugReport, RootCause, RootKind};
+use hd_simrt::ActionUid;
+use serde::{Deserialize, Serialize};
+
+use crate::client::{Uploader, UploaderConfig};
+use crate::server::{ServerConfig, TelemetryServer};
+use crate::wire::{TelemetryItem, UploadBatch};
+
+/// Schema tag of `BENCH_telemetry.json`.
+pub const BENCH_SCHEMA: &str = "hang-doctor/telemetry-bench/v1";
+
+/// Bench parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchSpec {
+    /// Concurrent uploader threads.
+    pub clients: usize,
+    /// Batches each client delivers.
+    pub batches_per_client: usize,
+    /// Reports packed into each batch.
+    pub reports_per_batch: usize,
+    /// Server shard workers.
+    pub shards: usize,
+    /// Per-shard queue depth — small on purpose, to provoke NACKs.
+    pub queue_capacity: usize,
+}
+
+impl Default for BenchSpec {
+    fn default() -> BenchSpec {
+        BenchSpec {
+            clients: 8,
+            batches_per_client: 64,
+            reports_per_batch: 8,
+            shards: 4,
+            queue_capacity: 2,
+        }
+    }
+}
+
+/// Machine-readable result of one loopback load run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TelemetryBench {
+    /// Schema tag, bumped on incompatible changes.
+    pub schema: String,
+    /// Concurrent uploader threads.
+    pub clients: usize,
+    /// Server shard workers.
+    pub shards: usize,
+    /// Per-shard bounded queue depth.
+    pub queue_capacity: usize,
+    /// Unique batches delivered.
+    pub batches: u64,
+    /// Individual hang reports ingested.
+    pub reports: u64,
+    /// Queue-full NACKs the server issued.
+    pub nacks: u64,
+    /// Client retry attempts (every NACK'd batch was eventually
+    /// accepted — the liveness half of the backpressure contract).
+    pub retries: u64,
+    /// End-to-end wall time, ms.
+    pub wall_ms: u64,
+    /// Ingest throughput, reports per wall second.
+    pub reports_per_second: f64,
+    /// Median per-batch upload latency, µs (includes retries).
+    pub p50_upload_us: u64,
+    /// 99th-percentile per-batch upload latency, µs.
+    pub p99_upload_us: u64,
+}
+
+/// Builds one synthetic batch. Content varies with `(client, seq)` so
+/// every batch has a distinct fingerprint, while staying deterministic
+/// run-to-run.
+fn synthetic_batch(client: usize, seq: u64, reports_per_batch: usize) -> UploadBatch {
+    let app = format!("bench-app-{}", client % 4);
+    let device = client as u32 + 1;
+    let mut items = Vec::with_capacity(reports_per_batch);
+    for r in 0..reports_per_batch {
+        let mut report = HangBugReport::new(&app);
+        let uid = ActionUid(r as u64 % 3);
+        for _ in 0..4 {
+            report.note_execution(device, uid, "onRefresh");
+        }
+        report.record_bug(
+            device,
+            uid,
+            &RootCause {
+                symbol: format!("java.net.Socket.connect#{}", r % 5),
+                file: "Sync.java".to_string(),
+                line: 100 + (r as u32 % 5),
+                occurrence_factor: 1.0,
+                kind: RootKind::BlockingApi,
+            },
+            (50 + seq % 50) * 1_000_000,
+        );
+        items.push(TelemetryItem::Report(report));
+    }
+    UploadBatch {
+        app,
+        device,
+        seq,
+        items,
+    }
+}
+
+fn client_run(addr: SocketAddr, client: usize, spec: &BenchSpec) -> (u64, Vec<u64>) {
+    let mut uploader = Uploader::new(
+        addr,
+        client as u64,
+        0xBE7C_0000 + client as u64,
+        UploaderConfig::default(),
+    );
+    let mut latencies = Vec::with_capacity(spec.batches_per_client);
+    let mut retries = 0u64;
+    for seq in 0..spec.batches_per_client as u64 {
+        let batch = synthetic_batch(client, seq, spec.reports_per_batch);
+        let started = Instant::now();
+        let receipt = uploader
+            .upload(&batch)
+            .unwrap_or_else(|e| panic!("bench client {client} upload failed: {e}"));
+        latencies.push(started.elapsed().as_micros() as u64);
+        retries += (receipt.attempts - 1) as u64;
+    }
+    (retries, latencies)
+}
+
+/// Runs the loopback load bench and returns its machine-readable
+/// summary.
+pub fn run_telemetry_bench(spec: &BenchSpec) -> TelemetryBench {
+    let server = TelemetryServer::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: spec.shards,
+            queue_capacity: spec.queue_capacity,
+            nack_retry_ms: 1,
+        },
+    )
+    .expect("bind loopback bench server");
+    let addr = server.local_addr();
+
+    let started = Instant::now();
+    let mut all_latencies: Vec<u64> = Vec::new();
+    let mut retries = 0u64;
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.clients)
+            .map(|client| scope.spawn(move || client_run(addr, client, spec)))
+            .collect();
+        for h in handles {
+            let (client_retries, latencies) = h.join().expect("bench client");
+            retries += client_retries;
+            all_latencies.extend(latencies);
+        }
+    });
+    let wall = started.elapsed();
+
+    let mut client = Uploader::plain(addr);
+    client.shutdown().expect("bench shutdown");
+    let stats = server.join();
+
+    all_latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if all_latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((all_latencies.len() - 1) as f64 * p).round() as usize;
+        all_latencies[idx]
+    };
+
+    let reports = stats.ingest.reports_ingested;
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    TelemetryBench {
+        schema: BENCH_SCHEMA.to_string(),
+        clients: spec.clients,
+        shards: spec.shards,
+        queue_capacity: spec.queue_capacity,
+        batches: stats.ingest.batches_applied,
+        reports,
+        nacks: stats.nacks_sent,
+        retries,
+        wall_ms: wall.as_millis() as u64,
+        reports_per_second: reports as f64 / wall_s,
+        p50_upload_us: pct(0.50),
+        p99_upload_us: pct(0.99),
+    }
+}
+
+impl TelemetryBench {
+    /// Renders a human-readable summary line.
+    pub fn render(&self) -> String {
+        format!(
+            "telemetry bench: {} clients × {} shards (queue {}) — {} reports in {} ms \
+             ({:.0} reports/s), {} NACKs / {} retries, upload p50 {} µs p99 {} µs",
+            self.clients,
+            self.shards,
+            self.queue_capacity,
+            self.reports,
+            self.wall_ms,
+            self.reports_per_second,
+            self.nacks,
+            self.retries,
+            self.p50_upload_us,
+            self.p99_upload_us,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backpressure_never_loses_or_duplicates_a_batch() {
+        // Tiny queue, enough clients to contend: NACKs are likely, yet
+        // every unique batch must land exactly once.
+        let spec = BenchSpec {
+            clients: 4,
+            batches_per_client: 16,
+            reports_per_batch: 2,
+            shards: 2,
+            queue_capacity: 1,
+        };
+        let bench = run_telemetry_bench(&spec);
+        assert_eq!(bench.schema, BENCH_SCHEMA);
+        assert_eq!(
+            bench.batches,
+            (spec.clients * spec.batches_per_client) as u64
+        );
+        assert_eq!(
+            bench.reports,
+            (spec.clients * spec.batches_per_client * spec.reports_per_batch) as u64
+        );
+        assert!(bench.reports_per_second > 0.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! The device-side uploader.
+//!
+//! Spools [`UploadBatch`]es to a telemetry server over TCP, surviving
+//! the transport faults `hd-faults` can inject (dropped connections,
+//! delayed deliveries, duplicated frames) and the server's queue-full
+//! NACKs. Delivery is **at-least-once**; the server's idempotent ingest
+//! turns that into exactly-once state.
+//!
+//! Determinism contract (what the chaos differential leans on): every
+//! fault decision for a batch is drawn from the device's
+//! [`NetFaultPlan`] *before* the first send attempt, and the
+//! retry-backoff jitter draws from a separate domain-forked RNG stream.
+//! NACK timing — which depends on server load — can therefore never
+//! perturb the fault schedule, so the injected-fault tally for a given
+//! `(root_seed, device)` is a pure function of the batch count.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use hd_faults::{NetFaultConfig, NetFaultPlan, NetFaultTally};
+use hd_simrt::SimRng;
+
+use crate::report::TelemetryReport;
+use crate::wire::{
+    encode_frame, read_frame, write_frame, FrameError, Request, Response, UploadBatch,
+};
+
+/// Uploader tuning knobs.
+#[derive(Clone, Debug)]
+pub struct UploaderConfig {
+    /// Attempts per batch before giving up (first try included).
+    pub max_attempts: u32,
+    /// Base backoff unit, ms; attempt `k` waits about `base * 2^k`.
+    pub base_backoff_ms: u64,
+    /// Network fault injection (chaos mode); default injects nothing.
+    pub net_faults: NetFaultConfig,
+}
+
+impl Default for UploaderConfig {
+    fn default() -> UploaderConfig {
+        UploaderConfig {
+            max_attempts: 12,
+            base_backoff_ms: 1,
+            net_faults: NetFaultConfig::none(),
+        }
+    }
+}
+
+/// Upload failure after retries were exhausted (or the server replied
+/// with a protocol error).
+#[derive(Clone, Debug, PartialEq)]
+pub enum UploadError {
+    /// All attempts failed; the last frame/transport error is attached.
+    Exhausted(String),
+    /// The server answered with an unexpected message.
+    Protocol(String),
+}
+
+impl std::fmt::Display for UploadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UploadError::Exhausted(e) => write!(f, "upload retries exhausted: {e}"),
+            UploadError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UploadError {}
+
+/// Receipt for one delivered batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UploadReceipt {
+    /// The server-computed content fingerprint.
+    pub fingerprint: u64,
+    /// Whether the server absorbed the batch as a duplicate.
+    pub duplicate: bool,
+    /// Attempts it took (1 = first try).
+    pub attempts: u32,
+}
+
+/// A device-side uploader bound to one server address.
+pub struct Uploader {
+    addr: SocketAddr,
+    cfg: UploaderConfig,
+    conn: Option<TcpStream>,
+    faults: NetFaultPlan,
+    backoff_rng: SimRng,
+}
+
+impl Uploader {
+    /// Creates the uploader for device `device` under `root_seed`. The
+    /// fault plan and backoff jitter derive deterministically from the
+    /// pair, domain-separated from each other and from the simulation's
+    /// own fault stream.
+    pub fn new(addr: SocketAddr, device: u64, root_seed: u64, cfg: UploaderConfig) -> Uploader {
+        let faults = NetFaultPlan::for_device(cfg.net_faults, root_seed, device);
+        // A distinct stream for backoff jitter: retries consume from it
+        // at NACK-dependent times, so it must not share state with the
+        // fault schedule.
+        let backoff_rng = SimRng::seed_from_u64(hd_faults::net_fault_seed(
+            root_seed ^ 0xBACC_0FF5_EED0_15EA,
+            device,
+        ));
+        Uploader {
+            addr,
+            cfg,
+            conn: None,
+            faults,
+            backoff_rng,
+        }
+    }
+
+    /// A fault-free uploader (production path).
+    pub fn plain(addr: SocketAddr) -> Uploader {
+        Uploader::new(addr, 0, 0, UploaderConfig::default())
+    }
+
+    /// The injected-fault and recovery tally so far.
+    pub fn tally(&self) -> NetFaultTally {
+        self.faults.tally()
+    }
+
+    fn connect(&mut self) -> io::Result<&mut TcpStream> {
+        if self.conn.is_none() {
+            self.conn = Some(TcpStream::connect(self.addr)?);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    fn backoff(&mut self, attempt: u32, server_hint_ms: Option<u64>) {
+        let base = self.cfg.base_backoff_ms.max(1);
+        let exp = base.saturating_mul(1u64 << attempt.min(10));
+        let jitter = self.backoff_rng.uniform_u64(0, base);
+        let wait = server_hint_ms.unwrap_or(0).max(exp) + jitter;
+        thread::sleep(Duration::from_millis(wait));
+    }
+
+    /// One request/response round trip on the current connection.
+    fn round_trip(&mut self, frame: &[u8]) -> Result<Response, FrameError> {
+        let stream = self.connect().map_err(|e| FrameError::Io(e.to_string()))?;
+        if let Err(e) = write_frame(stream, frame) {
+            self.conn = None;
+            return Err(FrameError::Io(e.to_string()));
+        }
+        match read_frame(stream) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Delivers one batch, retrying NACKs and transport errors with
+    /// deterministic exponential backoff. Injects this batch's
+    /// scheduled faults (drawn up front) along the way.
+    pub fn upload(&mut self, batch: &UploadBatch) -> Result<UploadReceipt, UploadError> {
+        // Draw the whole fault schedule for this batch before touching
+        // the network, so retries cannot perturb it.
+        let injected = self.faults.next_batch();
+
+        if injected.drop_connection {
+            // The connection "dies" before the batch goes out; the next
+            // attempt transparently reconnects.
+            self.conn = None;
+        }
+        if let Some(delay_ns) = injected.delay_ns {
+            thread::sleep(Duration::from_nanos(delay_ns));
+        }
+
+        let frame = encode_frame(&Request::Upload(batch.clone()));
+        let mut last_err = String::new();
+        for attempt in 0..self.cfg.max_attempts {
+            if attempt > 0 {
+                self.faults.tally.upload_retries += 1;
+            }
+            match self.round_trip(&frame) {
+                Ok(Response::Ack {
+                    fingerprint,
+                    duplicate,
+                }) => {
+                    if duplicate {
+                        self.faults.tally.duplicates_absorbed += 1;
+                    }
+                    if injected.duplicate {
+                        // Deliver the frame a second time to exercise
+                        // idempotent ingest; keep the protocol in sync
+                        // by reading (and checking) the response.
+                        match self.round_trip(&frame) {
+                            Ok(Response::Ack {
+                                duplicate: true, ..
+                            }) => self.faults.tally.duplicates_absorbed += 1,
+                            Ok(Response::Nack { .. }) | Err(_) => {
+                                // The duplicate was shed (queue full or
+                                // transport loss) — acceptable: the
+                                // original delivery already ACKed.
+                            }
+                            Ok(other) => {
+                                return Err(UploadError::Protocol(format!(
+                                    "duplicate delivery answered with {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                    return Ok(UploadReceipt {
+                        fingerprint,
+                        duplicate,
+                        attempts: attempt + 1,
+                    });
+                }
+                Ok(Response::Nack { retry_after_ms }) => {
+                    self.faults.tally.nacks_received += 1;
+                    last_err = "queue-full NACK".to_string();
+                    self.backoff(attempt, Some(retry_after_ms));
+                }
+                Ok(Response::Error(e)) => return Err(UploadError::Protocol(e)),
+                Ok(other) => {
+                    return Err(UploadError::Protocol(format!(
+                        "upload answered with {other:?}"
+                    )))
+                }
+                Err(e) => {
+                    last_err = e.to_string();
+                    self.backoff(attempt, None);
+                }
+            }
+        }
+        Err(UploadError::Exhausted(last_err))
+    }
+
+    /// Queries the server's current top-N aggregation.
+    pub fn query(&mut self, top_n: usize) -> Result<TelemetryReport, UploadError> {
+        let frame = encode_frame(&Request::Query { top_n });
+        match self.round_trip(&frame) {
+            Ok(Response::Report(report)) => Ok(report),
+            Ok(other) => Err(UploadError::Protocol(format!(
+                "query answered with {other:?}"
+            ))),
+            Err(e) => Err(UploadError::Exhausted(e.to_string())),
+        }
+    }
+
+    /// Asks the server to shut down after this connection.
+    pub fn shutdown(&mut self) -> Result<(), UploadError> {
+        let frame = encode_frame(&Request::Shutdown);
+        match self.round_trip(&frame) {
+            Ok(Response::Bye) => {
+                self.conn = None;
+                Ok(())
+            }
+            Ok(other) => Err(UploadError::Protocol(format!(
+                "shutdown answered with {other:?}"
+            ))),
+            Err(e) => Err(UploadError::Exhausted(e.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServerConfig, TelemetryServer};
+    use crate::wire::TelemetryItem;
+    use hangdoctor::HangBugReport;
+
+    fn batch(device: u32, seq: u64) -> UploadBatch {
+        UploadBatch {
+            app: "app".to_string(),
+            device,
+            seq,
+            items: vec![TelemetryItem::Report(HangBugReport::new("app"))],
+        }
+    }
+
+    #[test]
+    fn uploader_delivers_and_queries() {
+        let server = TelemetryServer::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut up = Uploader::plain(server.local_addr());
+        let receipt = up.upload(&batch(1, 0)).unwrap();
+        assert!(!receipt.duplicate);
+        assert_eq!(receipt.attempts, 1);
+        // Retransmission of the same batch is absorbed.
+        let again = up.upload(&batch(1, 0)).unwrap();
+        assert!(again.duplicate);
+        assert_eq!(again.fingerprint, receipt.fingerprint);
+
+        let report = up.query(10).unwrap();
+        assert_eq!(report.devices, 1);
+
+        up.shutdown().unwrap();
+        let stats = server.join();
+        assert_eq!(stats.ingest.batches_applied, 1);
+        assert_eq!(stats.ingest.duplicates_absorbed, 1);
+    }
+
+    #[test]
+    fn injected_duplicates_are_absorbed_not_double_counted() {
+        let server = TelemetryServer::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let cfg = UploaderConfig {
+            net_faults: NetFaultConfig::chaos(1.0), // every category fires
+            ..Default::default()
+        };
+        let mut up = Uploader::new(server.local_addr(), 7, 42, cfg);
+
+        for seq in 0..5 {
+            up.upload(&batch(7, seq)).unwrap();
+        }
+        let tally = up.tally();
+        assert_eq!(tally.frames_duplicated, 5);
+        assert_eq!(tally.connections_dropped, 5);
+        assert_eq!(tally.deliveries_delayed, 5);
+        assert_eq!(tally.duplicates_absorbed, 5);
+
+        let report = up.query(10).unwrap();
+        assert_eq!(report.devices, 1);
+        up.shutdown().unwrap();
+        let stats = server.join();
+        // 5 unique batches applied; 5 duplicate deliveries absorbed.
+        assert_eq!(stats.ingest.batches_applied, 5);
+        assert_eq!(stats.ingest.duplicates_absorbed, 5);
+    }
+}

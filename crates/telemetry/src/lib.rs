@@ -1,0 +1,61 @@
+//! # hd-telemetry — networked hang-report ingestion and aggregation
+//!
+//! Hang Doctor's runtime detectors produce per-device
+//! [`HangBugReport`](hangdoctor::HangBugReport)s; the paper's workflow
+//! has developers triage them fleet-wide. This crate is that backend:
+//! a TCP ingestion server, a device-side uploader, and a cross-device
+//! aggregation store that clusters reports into hang groups keyed
+//! `(app, action, root-cause API)` and exports the top-N ranked
+//! [`TelemetryReport`].
+//!
+//! Built entirely on `std::net` plus the vendored `crossbeam` shim —
+//! no external service dependencies.
+//!
+//! Module map:
+//!
+//! * [`wire`] — the `hang-doctor/telemetry/v1` frame protocol:
+//!   length-prefixed JSON frames, typed [`FrameError`]s, request and
+//!   response messages;
+//! * [`fingerprint`] — FNV-1a content fingerprints (idempotent-ingest
+//!   keys) and `(app, device)` shard routing;
+//! * [`store`] — the idempotent [`AggregationStore`] built on the
+//!   report semilattice join;
+//! * [`server`] — acceptor → bounded shard queues → worker pool, with
+//!   explicit queue-full NACK backpressure and ACK-after-apply;
+//! * [`client`] — the retrying [`Uploader`] with deterministic
+//!   exponential backoff and `hd-faults` transport-fault injection;
+//! * [`fleet`] — loopback fleet mode and the networked-vs-in-process
+//!   byte-identity differential;
+//! * [`bench`] — the loopback load benchmark behind
+//!   `BENCH_telemetry.json`.
+//!
+//! ## End-to-end invariant
+//!
+//! For any fleet spec, uploading every job's report through the real
+//! TCP path and querying the server yields a [`TelemetryReport`] that
+//! is **byte-identical** to projecting the in-process
+//! [`FleetReport`](hd_fleet::FleetReport) merge — even under chaos
+//! mode, because ingest is idempotent (content-fingerprint dedup), the
+//! merge is a semilattice join (order-independent), and serialization
+//! is canonical (sorted maps, declaration-order fields).
+
+pub mod bench;
+pub mod client;
+pub mod fingerprint;
+pub mod fleet;
+pub mod report;
+pub mod server;
+pub mod store;
+pub mod wire;
+
+pub use bench::{run_telemetry_bench, BenchSpec, TelemetryBench, BENCH_SCHEMA};
+pub use client::{UploadError, UploadReceipt, Uploader, UploaderConfig};
+pub use fingerprint::{batch_fingerprint, fnv1a, shard_for};
+pub use fleet::{run_fleet_telemetry, TelemetryFleetOutcome};
+pub use report::{HangGroup, TelemetryReport};
+pub use server::{ServerConfig, ServerStats, TelemetryServer};
+pub use store::{AggregationStore, IngestOutcome, IngestStats};
+pub use wire::{
+    decode_frame, encode_frame, read_frame, write_frame, FrameError, Request, Response,
+    TelemetryItem, UploadBatch, MAGIC, MAX_FRAME, SCHEMA,
+};

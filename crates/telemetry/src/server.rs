@@ -1,0 +1,396 @@
+//! The TCP ingestion server.
+//!
+//! Thread layout:
+//!
+//! ```text
+//! acceptor ──► one handler thread per connection
+//!                 │  shard = fnv(app, device) % shards
+//!                 ▼
+//!          bounded crossbeam channel per shard   ◄── explicit backpressure:
+//!                 │                                  try_send Full → NACK
+//!                 ▼
+//!          shard worker ──► Mutex<AggregationStore>
+//!                 │
+//!                 └──► per-job reply channel → handler sends ACK
+//! ```
+//!
+//! Two properties carry the correctness argument:
+//!
+//! * **Per-device ordering.** A device's batches all hash to one shard
+//!   and one connection delivers them in order, so the shard worker
+//!   applies them in upload order.
+//! * **ACK after apply.** The handler only ACKs once the shard worker
+//!   has merged the batch into the store, so a client that has its ACKs
+//!   can immediately query and see its own writes — no flush barrier.
+//!
+//! Backpressure is explicit and non-blocking: when a shard queue is
+//! full the handler answers a retryable [`Response::Nack`] instead of
+//! stalling the connection, and the batch is **not** applied. The
+//! uploader's deterministic backoff makes the retry converge.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use serde::{Deserialize, Serialize};
+
+use crate::fingerprint::shard_for;
+use crate::store::{AggregationStore, IngestOutcome, IngestStats};
+use crate::wire::{
+    encode_frame, read_frame, write_frame, FrameError, Request, Response, UploadBatch,
+};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Shard workers (ingest parallelism).
+    pub shards: usize,
+    /// Bounded queue depth per shard; a full queue NACKs.
+    pub queue_capacity: usize,
+    /// Backoff hint carried by NACKs, ms.
+    pub nack_retry_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            shards: 4,
+            queue_capacity: 64,
+            nack_retry_ms: 1,
+        }
+    }
+}
+
+/// Counters the server exports after (or during) a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Upload batches accepted into a shard queue.
+    pub batches_accepted: u64,
+    /// Retryable NACKs sent on queue-full backpressure.
+    pub nacks_sent: u64,
+    /// Frames that failed to decode.
+    pub decode_errors: u64,
+    /// Ingest counters from the aggregation store.
+    pub ingest: IngestStats,
+}
+
+/// One unit of shard work: the batch plus the reply channel the handler
+/// blocks on for ACK-after-apply.
+struct ShardJob {
+    batch: UploadBatch,
+    reply: mpsc::Sender<IngestOutcome>,
+}
+
+struct Shared {
+    store: Mutex<AggregationStore>,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    batches_accepted: AtomicU64,
+    nacks_sent: AtomicU64,
+    decode_errors: AtomicU64,
+}
+
+/// A running ingestion server. Dropping it without [`join`] leaves the
+/// threads running; call [`join`] (after a client sent `Shutdown`) for
+/// an orderly stop.
+///
+/// [`join`]: TelemetryServer::join
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    cfg: ServerConfig,
+    shared: Arc<Shared>,
+    senders: Vec<Sender<ShardJob>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (use `127.0.0.1:0` for an ephemeral test port) and
+    /// starts the acceptor and shard workers.
+    pub fn start(addr: &str, cfg: ServerConfig) -> io::Result<TelemetryServer> {
+        let shards = cfg.shards.max(1);
+        let capacity = cfg.queue_capacity.max(1);
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store: Mutex::new(AggregationStore::new()),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            batches_accepted: AtomicU64::new(0),
+            nacks_sent: AtomicU64::new(0),
+            decode_errors: AtomicU64::new(0),
+        });
+
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx): (Sender<ShardJob>, Receiver<ShardJob>) = bounded(capacity);
+            let shared_w = Arc::clone(&shared);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("hd-telemetry-shard-{shard}"))
+                    .spawn(move || shard_worker(rx, shared_w))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+        }
+
+        let acceptor = {
+            let shared_a = Arc::clone(&shared);
+            let senders_a = senders.clone();
+            let cfg_a = cfg.clone();
+            thread::Builder::new()
+                .name("hd-telemetry-acceptor".to_string())
+                .spawn(move || acceptor_loop(listener, local, shared_a, senders_a, cfg_a))
+                .expect("spawn acceptor")
+        };
+
+        Ok(TelemetryServer {
+            addr: local,
+            cfg,
+            shared,
+            senders,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The configuration the server runs under.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of the server counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            batches_accepted: self.shared.batches_accepted.load(Ordering::Relaxed),
+            nacks_sent: self.shared.nacks_sent.load(Ordering::Relaxed),
+            decode_errors: self.shared.decode_errors.load(Ordering::Relaxed),
+            ingest: self
+                .shared
+                .store
+                .lock()
+                .expect("store lock")
+                .stats()
+                .clone(),
+        }
+    }
+
+    /// The aggregated top-N report over everything ingested so far.
+    pub fn report(&self, top_n: usize) -> crate::report::TelemetryReport {
+        self.shared.store.lock().expect("store lock").report(top_n)
+    }
+
+    /// Waits for the acceptor and shard workers to exit, then returns
+    /// the final stats. Requires a client to have sent
+    /// [`Request::Shutdown`] first; connections still open at that
+    /// point must close before the shard workers can drain.
+    pub fn join(mut self) -> ServerStats {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Release the server's own queue handles; the workers exit once
+        // the last handler clone is gone and the queue is empty.
+        self.senders.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    local: SocketAddr,
+    shared: Arc<Shared>,
+    senders: Vec<Sender<ShardJob>>,
+    cfg: ServerConfig,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        let shared_h = Arc::clone(&shared);
+        let senders_h = senders.clone();
+        let cfg_h = cfg.clone();
+        let _ = thread::Builder::new()
+            .name("hd-telemetry-conn".to_string())
+            .spawn(move || handle_connection(stream, local, shared_h, senders_h, cfg_h));
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    local: SocketAddr,
+    shared: Arc<Shared>,
+    senders: Vec<Sender<ShardJob>>,
+    cfg: ServerConfig,
+) {
+    loop {
+        let request: Request = match read_frame(&mut stream) {
+            Ok(r) => r,
+            Err(FrameError::Truncated { got: 0, .. }) => return, // clean close
+            Err(err) => {
+                shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                let frame = encode_frame(&Response::Error(err.to_string()));
+                let _ = write_frame(&mut stream, &frame);
+                return;
+            }
+        };
+        let response = match request {
+            Request::Upload(batch) => {
+                let shard = shard_for(&batch.app, batch.device, senders.len());
+                let (reply_tx, reply_rx) = mpsc::channel();
+                match senders[shard].try_send(ShardJob {
+                    batch,
+                    reply: reply_tx,
+                }) {
+                    Ok(()) => {
+                        shared.batches_accepted.fetch_add(1, Ordering::Relaxed);
+                        match reply_rx.recv() {
+                            Ok(outcome) => Response::Ack {
+                                fingerprint: outcome.fingerprint,
+                                duplicate: outcome.duplicate,
+                            },
+                            Err(_) => Response::Error("shard worker gone".to_string()),
+                        }
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        shared.nacks_sent.fetch_add(1, Ordering::Relaxed);
+                        Response::Nack {
+                            retry_after_ms: cfg.nack_retry_ms,
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        Response::Error("shard worker gone".to_string())
+                    }
+                }
+            }
+            Request::Query { top_n } => {
+                let report = shared.store.lock().expect("store lock").report(top_n);
+                Response::Report(report)
+            }
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let frame = encode_frame(&Response::Bye);
+                let _ = write_frame(&mut stream, &frame);
+                // Wake the acceptor out of its blocking accept; it sees
+                // the flag on the next iteration and exits.
+                let _ = TcpStream::connect(local);
+                return;
+            }
+        };
+        let frame = encode_frame(&response);
+        if write_frame(&mut stream, &frame).is_err() {
+            return;
+        }
+    }
+}
+
+fn shard_worker(rx: Receiver<ShardJob>, shared: Arc<Shared>) {
+    while let Ok(job) = rx.recv() {
+        let outcome = shared.store.lock().expect("store lock").ingest(&job.batch);
+        // The handler may have died with its connection; the apply
+        // above still counts.
+        let _ = job.reply.send(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::TelemetryItem;
+    use hangdoctor::HangBugReport;
+
+    fn upload_once(addr: SocketAddr, batch: &UploadBatch) -> Response {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let frame = encode_frame(&Request::Upload(batch.clone()));
+        write_frame(&mut stream, &frame).expect("write");
+        read_frame(&mut stream).expect("response")
+    }
+
+    fn shutdown(addr: SocketAddr) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let frame = encode_frame(&Request::Shutdown);
+        write_frame(&mut stream, &frame).expect("write");
+        let resp: Response = read_frame(&mut stream).expect("bye");
+        assert!(matches!(resp, Response::Bye));
+    }
+
+    #[test]
+    fn upload_query_shutdown_cycle() {
+        let server = TelemetryServer::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+
+        let batch = UploadBatch {
+            app: "app".to_string(),
+            device: 1,
+            seq: 0,
+            items: vec![TelemetryItem::Report(HangBugReport::new("app"))],
+        };
+        match upload_once(addr, &batch) {
+            Response::Ack { duplicate, .. } => assert!(!duplicate),
+            other => panic!("expected Ack, got {other:?}"),
+        }
+        // Same batch again: absorbed as a duplicate.
+        match upload_once(addr, &batch) {
+            Response::Ack { duplicate, .. } => assert!(duplicate),
+            other => panic!("expected Ack, got {other:?}"),
+        }
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let frame = encode_frame(&Request::Query { top_n: 5 });
+        write_frame(&mut stream, &frame).unwrap();
+        match read_frame::<Response>(&mut stream).unwrap() {
+            Response::Report(report) => {
+                assert_eq!(report.devices, 1);
+                assert_eq!(report.apps, 1);
+            }
+            other => panic!("expected Report, got {other:?}"),
+        }
+        drop(stream);
+
+        shutdown(addr);
+        let stats = server.join();
+        assert_eq!(stats.ingest.batches_applied, 1);
+        assert_eq!(stats.ingest.duplicates_absorbed, 1);
+        assert_eq!(stats.nacks_sent, 0);
+    }
+
+    #[test]
+    fn malformed_frame_gets_a_typed_error_response() {
+        let server = TelemetryServer::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut bad = encode_frame(&Request::Query { top_n: 1 });
+        bad[0] = b'Z';
+        write_frame(&mut stream, &bad).unwrap();
+        match read_frame::<Response>(&mut stream).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("magic"), "got: {msg}"),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        drop(stream);
+
+        shutdown(addr);
+        let stats = server.join();
+        assert_eq!(stats.decode_errors, 1);
+    }
+}

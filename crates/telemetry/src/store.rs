@@ -1,0 +1,195 @@
+//! The cross-device aggregation store.
+//!
+//! Holds the backend's entire state: per-app hang bug reports merged
+//! with the semilattice join from `hangdoctor`, the set of `(app,
+//! device)` pairs that have contributed, and the fingerprints of every
+//! batch ever applied. Ingest is **idempotent**: a batch whose
+//! fingerprint was seen before is absorbed without touching the merged
+//! state, so at-least-once delivery (uploader retries, duplicated
+//! frames, replayed spools) converges to exactly the same store as
+//! exactly-once delivery.
+//!
+//! Because the join is associative, commutative, and idempotent, the
+//! final state is independent of batch arrival order — the property the
+//! telemetry differential test leans on.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use hangdoctor::HangBugReport;
+use serde::{Deserialize, Serialize};
+
+use crate::fingerprint::batch_fingerprint;
+use crate::report::TelemetryReport;
+use crate::wire::UploadBatch;
+
+/// Ingest-side counters, exported with server stats.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Batches applied to the merged state.
+    pub batches_applied: u64,
+    /// Batches recognized as duplicates and absorbed.
+    pub duplicates_absorbed: u64,
+    /// Individual reports carried by applied batches.
+    pub reports_ingested: u64,
+}
+
+/// What [`AggregationStore::ingest`] decided about one batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// The batch's content fingerprint.
+    pub fingerprint: u64,
+    /// Whether the batch was absorbed as a duplicate.
+    pub duplicate: bool,
+}
+
+/// The aggregation backend state. Deterministic containers throughout
+/// (`BTreeMap`/`BTreeSet` plus the sorted-serializing report maps), so
+/// two stores with the same logical content serialize identically.
+#[derive(Clone, Debug, Default)]
+pub struct AggregationStore {
+    apps: BTreeMap<String, HangBugReport>,
+    devices: BTreeSet<(String, u32)>,
+    seen: HashSet<u64>,
+    stats: IngestStats,
+}
+
+impl AggregationStore {
+    /// Creates an empty store.
+    pub fn new() -> AggregationStore {
+        AggregationStore::default()
+    }
+
+    /// Applies one upload batch, deduplicating on its content
+    /// fingerprint.
+    pub fn ingest(&mut self, batch: &UploadBatch) -> IngestOutcome {
+        let fingerprint = batch_fingerprint(batch);
+        if !self.seen.insert(fingerprint) {
+            self.stats.duplicates_absorbed += 1;
+            return IngestOutcome {
+                fingerprint,
+                duplicate: true,
+            };
+        }
+        self.devices.insert((batch.app.clone(), batch.device));
+        for item in &batch.items {
+            let report = item.report();
+            self.apps
+                .entry(report.app.clone())
+                .or_insert_with(|| HangBugReport::new(&report.app))
+                .merge(report);
+            self.stats.reports_ingested += 1;
+        }
+        self.stats.batches_applied += 1;
+        IngestOutcome {
+            fingerprint,
+            duplicate: false,
+        }
+    }
+
+    /// Number of distinct `(app, device)` pairs that have contributed.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of apps with merged state.
+    pub fn app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Ingest counters so far.
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// The top-N ranked cross-device report over everything ingested.
+    pub fn report(&self, top_n: usize) -> TelemetryReport {
+        TelemetryReport::build(
+            self.apps.iter().map(|(app, r)| (app.as_str(), r)),
+            self.devices.len(),
+            top_n,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::TelemetryItem;
+    use hangdoctor::{RootCause, RootKind};
+    use hd_simrt::ActionUid;
+
+    fn batch(app: &str, device: u32, seq: u64, hangs: u64) -> UploadBatch {
+        let mut r = HangBugReport::new(app);
+        let uid = ActionUid(3);
+        for _ in 0..10 {
+            r.note_execution(device, uid, "onScroll");
+        }
+        for _ in 0..hangs {
+            r.record_bug(
+                device,
+                uid,
+                &RootCause {
+                    symbol: "android.database.sqlite.SQLiteDatabase.query".to_string(),
+                    file: "Feed.java".to_string(),
+                    line: 77,
+                    occurrence_factor: 1.0,
+                    kind: RootKind::BlockingApi,
+                },
+                90_000_000,
+            );
+        }
+        UploadBatch {
+            app: app.to_string(),
+            device,
+            seq,
+            items: vec![TelemetryItem::Report(r)],
+        }
+    }
+
+    #[test]
+    fn ingest_merges_across_devices() {
+        let mut store = AggregationStore::new();
+        assert!(!store.ingest(&batch("app", 1, 0, 2)).duplicate);
+        assert!(!store.ingest(&batch("app", 2, 0, 3)).duplicate);
+        assert_eq!(store.device_count(), 2);
+        assert_eq!(store.app_count(), 1);
+        let t = store.report(10);
+        assert_eq!(t.groups.len(), 1);
+        assert_eq!(t.groups[0].devices, 2);
+        assert_eq!(t.groups[0].hangs, 5);
+    }
+
+    #[test]
+    fn duplicate_batches_are_absorbed() {
+        let mut store = AggregationStore::new();
+        let b = batch("app", 1, 0, 2);
+        let first = store.ingest(&b);
+        let second = store.ingest(&b);
+        assert!(!first.duplicate);
+        assert!(second.duplicate);
+        assert_eq!(first.fingerprint, second.fingerprint);
+        assert_eq!(store.stats().duplicates_absorbed, 1);
+        // The merged state is exactly the single-delivery state.
+        let mut once = AggregationStore::new();
+        once.ingest(&b);
+        assert_eq!(store.report(10).to_json(), once.report(10).to_json());
+    }
+
+    #[test]
+    fn arrival_order_cannot_change_the_report() {
+        let batches = [
+            batch("a", 1, 0, 1),
+            batch("a", 2, 0, 4),
+            batch("b", 3, 0, 2),
+        ];
+        let mut fwd = AggregationStore::new();
+        let mut rev = AggregationStore::new();
+        for b in &batches {
+            fwd.ingest(b);
+        }
+        for b in batches.iter().rev() {
+            rev.ingest(b);
+        }
+        assert_eq!(fwd.report(10).to_json(), rev.report(10).to_json());
+    }
+}

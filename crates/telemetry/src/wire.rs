@@ -1,0 +1,379 @@
+//! The telemetry wire protocol: length-prefixed JSON frames.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! +------+----------------+------------------------------------------+
+//! | HDT1 | u32 BE length  | JSON envelope {"schema": ..., "body": …} |
+//! +------+----------------+------------------------------------------+
+//! ```
+//!
+//! The envelope carries the protocol tag [`SCHEMA`]
+//! (`hang-doctor/telemetry/v1`); a frame with any other tag is rejected
+//! with [`FrameError::Schema`] before its body is interpreted, so
+//! protocol drift fails loudly at the boundary instead of corrupting the
+//! aggregation store. All decode failures are typed [`FrameError`]s —
+//! a truncated, corrupt, or oversized frame never panics the server.
+//!
+//! Encoding is canonical: the JSON renderer is deterministic (struct
+//! fields in declaration order, map keys sorted), so
+//! `encode(decode(encode(x))) == encode(x)` byte-for-byte. The ingest
+//! fingerprints of `fingerprint.rs` rely on exactly this property.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use hangdoctor::{DeviceSnapshot, HangBugReport};
+use serde::{Deserialize, Serialize};
+
+use crate::report::TelemetryReport;
+
+/// Protocol/schema tag carried by every frame envelope.
+pub const SCHEMA: &str = "hang-doctor/telemetry/v1";
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"HDT1";
+
+/// Upper bound on one frame's JSON payload, bytes.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// One item of an upload batch: either a bare hang bug report or a full
+/// device snapshot (whose embedded report is what gets aggregated).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum TelemetryItem {
+    /// A device's accumulated hang bug report.
+    Report(HangBugReport),
+    /// A full persisted device snapshot.
+    Snapshot(DeviceSnapshot),
+}
+
+impl TelemetryItem {
+    /// The hang bug report this item contributes to aggregation.
+    pub fn report(&self) -> &HangBugReport {
+        match self {
+            TelemetryItem::Report(r) => r,
+            TelemetryItem::Snapshot(s) => &s.report,
+        }
+    }
+
+    /// Number of individual reports in this item (always 1 today; kept
+    /// as a method so batch accounting has one definition).
+    pub fn reports(&self) -> u64 {
+        1
+    }
+}
+
+/// One device-side upload: a batch of items from a single `(app,
+/// device)` pair. The pair is also the server's shard key, so all
+/// batches of one device land on one worker in delivery order.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct UploadBatch {
+    /// App the device runs (shard-key half; items carry their own app
+    /// names for aggregation).
+    pub app: String,
+    /// Globally unique device id (shard-key half).
+    pub device: u32,
+    /// Device-local batch sequence number.
+    pub seq: u64,
+    /// The batch payload.
+    pub items: Vec<TelemetryItem>,
+}
+
+impl UploadBatch {
+    /// Total reports carried by the batch.
+    pub fn reports(&self) -> u64 {
+        self.items.iter().map(TelemetryItem::reports).sum()
+    }
+}
+
+/// Client → server messages.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Request {
+    /// Ingest a batch of hang reports.
+    Upload(UploadBatch),
+    /// Return the current cross-device aggregation, top-`top_n` groups.
+    Query {
+        /// Maximum number of hang groups to return.
+        top_n: usize,
+    },
+    /// Stop the server after this connection closes.
+    Shutdown,
+}
+
+/// Server → client messages.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Response {
+    /// The batch was applied to the aggregation store (or recognized as
+    /// an exact duplicate and absorbed).
+    Ack {
+        /// Ingest fingerprint of the batch.
+        fingerprint: u64,
+        /// Whether idempotent ingest absorbed it as a duplicate.
+        duplicate: bool,
+    },
+    /// The ingest queue is full; retry after backing off. The batch was
+    /// **not** applied.
+    Nack {
+        /// Suggested client backoff, ms.
+        retry_after_ms: u64,
+    },
+    /// Answer to a query.
+    Report(TelemetryReport),
+    /// The request could not be served.
+    Error(String),
+    /// Acknowledges a shutdown request.
+    Bye,
+}
+
+/// Typed decode failure. Every malformed frame maps onto one of these —
+/// never a panic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FrameError {
+    /// The frame does not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The stream ended before a complete frame arrived.
+    Truncated {
+        /// Bytes a complete frame needed.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The declared payload length exceeds [`MAX_FRAME`].
+    TooLarge {
+        /// Declared payload length.
+        len: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// The envelope carries an unexpected schema tag.
+    Schema(String),
+    /// The payload is not valid JSON for the expected message type.
+    Json(String),
+    /// An I/O error interrupted the read.
+    Io(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:?}"),
+            FrameError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Schema(s) => write!(f, "unexpected schema tag `{s}`"),
+            FrameError::Json(e) => write!(f, "malformed frame payload: {e}"),
+            FrameError::Io(e) => write!(f, "i/o error mid-frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// The JSON envelope inside every frame. Concrete over
+/// [`serde::Value`] because the vendored derive shim rejects generics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Envelope {
+    schema: String,
+    body: serde::Value,
+}
+
+/// Encodes `body` into a complete frame (magic + length + envelope).
+pub fn encode_frame<T: Serialize>(body: &T) -> Vec<u8> {
+    let envelope = Envelope {
+        schema: SCHEMA.to_string(),
+        body: body.to_value(),
+    };
+    let json = serde_json::to_string(&envelope).expect("envelope serializes");
+    let payload = json.as_bytes();
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Decodes the JSON payload of a frame (everything after the 8-byte
+/// header), verifying the schema tag.
+pub fn decode_payload<T: Deserialize>(payload: &[u8]) -> Result<T, FrameError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| FrameError::Json(format!("invalid UTF-8: {e}")))?;
+    let envelope: Envelope =
+        serde_json::from_str(text).map_err(|e| FrameError::Json(e.to_string()))?;
+    if envelope.schema != SCHEMA {
+        return Err(FrameError::Schema(envelope.schema));
+    }
+    T::from_value(&envelope.body).map_err(|e| FrameError::Json(e.to_string()))
+}
+
+/// Decodes a complete in-memory frame produced by [`encode_frame`].
+pub fn decode_frame<T: Deserialize>(frame: &[u8]) -> Result<T, FrameError> {
+    if frame.len() < 8 {
+        return Err(FrameError::Truncated {
+            needed: 8,
+            got: frame.len(),
+        });
+    }
+    let magic: [u8; 4] = frame[0..4].try_into().expect("4 bytes");
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let len = u32::from_be_bytes(frame[4..8].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    if frame.len() < 8 + len {
+        return Err(FrameError::Truncated {
+            needed: 8 + len,
+            got: frame.len(),
+        });
+    }
+    decode_payload(&frame[8..8 + len])
+}
+
+/// Writes a pre-encoded frame to `w`.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Reads and decodes one frame from `r`.
+///
+/// A clean EOF before the first header byte returns
+/// `Truncated { needed: 8, got: 0 }`, which callers treat as normal
+/// connection close.
+pub fn read_frame<T: Deserialize>(r: &mut impl Read) -> Result<T, FrameError> {
+    let mut header = [0u8; 8];
+    read_exact_counted(r, &mut header, 8)?;
+    let magic: [u8; 4] = header[0..4].try_into().expect("4 bytes");
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let len = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_counted(r, &mut payload, 8 + len)?;
+    decode_payload(&payload)
+}
+
+/// `read_exact` that reports how much of the frame was present when the
+/// stream ended early.
+fn read_exact_counted(r: &mut impl Read, buf: &mut [u8], needed: usize) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(FrameError::Truncated {
+                    needed,
+                    got: needed - (buf.len() - filled),
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_a_frame() {
+        let req = Request::Query { top_n: 12 };
+        let frame = encode_frame(&req);
+        assert_eq!(&frame[0..4], &MAGIC);
+        let back: Request = decode_frame(&frame).unwrap();
+        match back {
+            Request::Query { top_n } => assert_eq!(top_n, 12),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Canonical encoding: re-encoding the decoded value is
+        // byte-identical.
+        let back: Request = decode_frame(&frame).unwrap();
+        assert_eq!(encode_frame(&back), frame);
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut frame = encode_frame(&Request::Shutdown);
+        frame[0] = b'X';
+        match decode_frame::<Request>(&frame) {
+            Err(FrameError::BadMagic(m)) => assert_eq!(m[0], b'X'),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed_not_a_panic() {
+        let frame = encode_frame(&Request::Query { top_n: 3 });
+        for cut in 0..frame.len() {
+            match decode_frame::<Request>(&frame[..cut]) {
+                Err(FrameError::Truncated { .. }) => {}
+                Err(FrameError::BadMagic(_)) if cut >= 8 => {
+                    panic!("magic must survive truncation of the payload")
+                }
+                Ok(_) => panic!("decoded from a {cut}-byte prefix"),
+                Err(other) => panic!("unexpected error at cut {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let json = r#"{"schema": "hang-doctor/telemetry/v0", "body": null}"#;
+        match decode_payload::<Request>(json.as_bytes()) {
+            Err(FrameError::Schema(s)) => assert_eq!(s, "hang-doctor/telemetry/v0"),
+            other => panic!("expected Schema error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC);
+        frame.extend_from_slice(&u32::MAX.to_be_bytes());
+        frame.extend_from_slice(b"garbage");
+        match decode_frame::<Request>(&frame) {
+            Err(FrameError::TooLarge { len, .. }) => assert_eq!(len, u32::MAX as usize),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        let mut stream = io::Cursor::new(frame);
+        assert!(matches!(
+            read_frame::<Request>(&mut stream),
+            Err(FrameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn read_frame_streams_from_a_reader() {
+        let a = encode_frame(&Request::Query { top_n: 1 });
+        let b = encode_frame(&Request::Shutdown);
+        let mut stream = io::Cursor::new([a, b].concat());
+        assert!(matches!(
+            read_frame::<Request>(&mut stream).unwrap(),
+            Request::Query { top_n: 1 }
+        ));
+        assert!(matches!(
+            read_frame::<Request>(&mut stream).unwrap(),
+            Request::Shutdown
+        ));
+        // Clean EOF reads as an empty truncation.
+        match read_frame::<Request>(&mut stream) {
+            Err(FrameError::Truncated { needed: 8, got: 0 }) => {}
+            other => panic!("expected empty truncation, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests of the telemetry frame codec: arbitrary payloads
+//! round-trip byte-exactly, and no amount of truncation or corruption
+//! can panic the decoder — every failure is a typed [`FrameError`].
+
+use proptest::prelude::*;
+
+use hangdoctor::{ActionState, DeviceSnapshot, HangBugReport, RootCause, RootKind};
+use hd_simrt::ActionUid;
+use hd_telemetry::{
+    decode_frame, encode_frame, FrameError, Request, Response, TelemetryItem, UploadBatch, MAGIC,
+};
+
+const APPS: [&str; 3] = ["k9mail", "omni-notes", "a better camera"];
+const SYMBOLS: [&str; 3] = [
+    "java.io.File.read",
+    "android.database.sqlite.SQLiteDatabase.query",
+    "com.example.Sync.pull",
+];
+
+/// One recorded bug: (device, uid, symbol index, kind, hangs, hang_ns).
+fn arb_bug() -> impl Strategy<Value = (u32, u64, usize, RootKind, u64, u64)> {
+    (1u32..5, 0u64..4, 0usize..3, arb_kind(), 1u64..4, 1u64..500).prop_map(
+        |(device, uid, sym, kind, hangs, ms)| (device, uid, sym, kind, hangs, ms * 1_000_000),
+    )
+}
+
+fn arb_kind() -> impl Strategy<Value = RootKind> {
+    prop_oneof![Just(RootKind::BlockingApi), Just(RootKind::SelfDeveloped)]
+}
+
+fn arb_report() -> impl Strategy<Value = HangBugReport> {
+    (
+        0usize..3,
+        proptest::collection::vec((1u32..5, 0u64..4, 1u64..6), 0..6),
+        proptest::collection::vec(arb_bug(), 0..5),
+    )
+        .prop_map(|(app_idx, execs, bugs)| {
+            let app = APPS[app_idx];
+            let mut report = HangBugReport::new(app);
+            for (device, uid, count) in execs {
+                for _ in 0..count {
+                    report.note_execution(device, ActionUid(uid), "onAction");
+                }
+            }
+            for (device, uid, sym, kind, hangs, hang_ns) in bugs {
+                let root = RootCause {
+                    symbol: SYMBOLS[sym].to_string(),
+                    file: "App.java".to_string(),
+                    line: 10 + sym as u32,
+                    occurrence_factor: 1.0,
+                    kind,
+                };
+                for _ in 0..hangs {
+                    report.record_bug(device, ActionUid(uid), &root, hang_ns);
+                }
+            }
+            report
+        })
+}
+
+fn arb_state() -> impl Strategy<Value = ActionState> {
+    prop_oneof![
+        Just(ActionState::Uncategorized),
+        Just(ActionState::Normal),
+        Just(ActionState::Suspicious),
+        Just(ActionState::HangBug),
+    ]
+}
+
+fn arb_snapshot() -> impl Strategy<Value = DeviceSnapshot> {
+    (
+        arb_report(),
+        1u32..6,
+        proptest::collection::vec((0u64..8, arb_state(), 0u32..30), 0..6),
+    )
+        .prop_map(|(report, device, states)| DeviceSnapshot {
+            app: report.app.clone(),
+            device,
+            states,
+            report,
+        })
+}
+
+fn arb_item() -> impl Strategy<Value = TelemetryItem> {
+    prop_oneof![
+        arb_report().prop_map(TelemetryItem::Report),
+        arb_snapshot().prop_map(TelemetryItem::Snapshot),
+    ]
+}
+
+fn arb_batch() -> impl Strategy<Value = UploadBatch> {
+    (
+        0usize..3,
+        1u32..9,
+        0u64..5,
+        proptest::collection::vec(arb_item(), 0..4),
+    )
+        .prop_map(|(app_idx, device, seq, items)| UploadBatch {
+            app: APPS[app_idx].to_string(),
+            device,
+            seq,
+            items,
+        })
+}
+
+proptest! {
+    /// encode → decode → encode is the identity on bytes, for arbitrary
+    /// reports and snapshots inside arbitrary batches.
+    #[test]
+    fn upload_frames_round_trip_byte_exact(batch in arb_batch()) {
+        let frame = encode_frame(&Request::Upload(batch));
+        let decoded: Request = match decode_frame(&frame) {
+            Ok(r) => r,
+            Err(e) => return Err(format!("decode failed: {e}")),
+        };
+        prop_assert_eq!(encode_frame(&decoded), frame);
+    }
+
+    /// Same property for the response direction (reports travel back
+    /// in query answers).
+    #[test]
+    fn response_frames_round_trip_byte_exact(batch in arb_batch()) {
+        // Reuse the batch's first report as a query answer payload.
+        let response = Response::Ack { fingerprint: batch.seq, duplicate: false };
+        let frame = encode_frame(&response);
+        let decoded: Response = match decode_frame(&frame) {
+            Ok(r) => r,
+            Err(e) => return Err(format!("decode failed: {e}")),
+        };
+        prop_assert_eq!(encode_frame(&decoded), frame);
+    }
+
+    /// Every strict prefix of a valid frame decodes to a typed
+    /// truncation (or bad magic for sub-header cuts) — never a panic,
+    /// never a bogus success.
+    #[test]
+    fn truncation_yields_typed_errors(batch in arb_batch(), frac in 0u32..100) {
+        let frame = encode_frame(&Request::Upload(batch));
+        let cut = (frame.len() - 1) * frac as usize / 100;
+        match decode_frame::<Request>(&frame[..cut]) {
+            Err(FrameError::Truncated { needed, got }) => {
+                prop_assert!(got < needed, "got {got} >= needed {needed}");
+            }
+            Ok(_) => return Err(format!("decoded from a {cut}-byte prefix")),
+            Err(other) => return Err(format!("unexpected error at cut {cut}: {other:?}")),
+        }
+    }
+
+    /// Flipping any single byte never panics the decoder: the result is
+    /// either a typed error or (e.g. for a flip inside a string) a
+    /// different-but-valid payload.
+    #[test]
+    fn corruption_never_panics(batch in arb_batch(), pos in 0u32..10_000, delta in 1u8..255) {
+        let mut frame = encode_frame(&Request::Upload(batch));
+        let idx = pos as usize % frame.len();
+        frame[idx] = frame[idx].wrapping_add(delta);
+        match decode_frame::<Request>(&frame) {
+            Ok(_) => {}
+            Err(FrameError::BadMagic(m)) => {
+                prop_assert!(idx < 4, "BadMagic from flip at {idx}: {m:?}");
+                prop_assert_ne!(&m, &MAGIC);
+            }
+            Err(FrameError::Truncated { .. })
+            | Err(FrameError::TooLarge { .. })
+            | Err(FrameError::Schema(_))
+            | Err(FrameError::Json(_)) => {}
+            Err(FrameError::Io(e)) => return Err(format!("Io error without I/O: {e}")),
+        }
+    }
+}

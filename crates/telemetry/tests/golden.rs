@@ -1,0 +1,56 @@
+//! Golden fixture: the aggregated top-N hang groups over the Table 1
+//! corpus, produced by the full loopback telemetry path (uploader →
+//! TCP server → aggregation store → query) and checked in byte-for-
+//! byte. Any drift means the cross-device aggregation — or the wire
+//! schema feeding it — changed.
+//!
+//! Regenerate (only when a deliberate behavior change lands) with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p hd-telemetry --test golden
+//! ```
+
+use hangdoctor::HangDoctorConfig;
+use hd_faults::{FaultConfig, NetFaultConfig};
+use hd_fleet::{DeviceProfile, FleetSpec};
+use hd_telemetry::run_fleet_telemetry;
+
+fn spec() -> FleetSpec {
+    FleetSpec {
+        apps: hd_appmodel::corpus::table1::apps(),
+        profiles: DeviceProfile::default_set(),
+        devices_per_app: 2,
+        executions_per_action: 2,
+        root_seed: 17,
+        threads: 4,
+        config: HangDoctorConfig::default(),
+        apidb_year: 2017,
+        faults: FaultConfig::none(),
+    }
+}
+
+const FIXTURE: &str = include_str!("fixtures/telemetry_table1.json");
+
+fn check_or_regen(rendered: String, fixture: &str, name: &str) {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(path, rendered).expect("write fixture");
+        return;
+    }
+    assert_eq!(
+        rendered, fixture,
+        "{name} drifted from the golden fixture; if the change is \
+         intentional, regenerate with GOLDEN_REGEN=1"
+    );
+}
+
+#[test]
+fn table1_aggregation_matches_checked_in_fixture() {
+    let outcome = run_fleet_telemetry(&spec(), &NetFaultConfig::none(), 25);
+    assert!(
+        outcome.byte_identical,
+        "loopback path diverged from the in-process merge"
+    );
+    let json = serde_json::to_string_pretty(&outcome.report).expect("serializable report");
+    check_or_regen(format!("{json}\n"), FIXTURE, "telemetry_table1.json");
+}

@@ -1,0 +1,133 @@
+//! Idempotency regression tests: re-delivering batches — exact
+//! duplicates, spool replays, reordered across devices — must leave the
+//! aggregation store and the exported [`TelemetryReport`] unchanged.
+
+use hangdoctor::{HangBugReport, RootCause, RootKind};
+use hd_simrt::ActionUid;
+use hd_telemetry::{
+    encode_frame, read_frame, write_frame, AggregationStore, Request, Response, ServerConfig,
+    TelemetryItem, TelemetryServer, UploadBatch, Uploader,
+};
+
+fn batch(app: &str, device: u32, seq: u64, hangs: u64) -> UploadBatch {
+    let mut report = HangBugReport::new(app);
+    let uid = ActionUid(1);
+    for _ in 0..12 {
+        report.note_execution(device, uid, "onOpen");
+    }
+    let root = RootCause {
+        symbol: "java.io.File.read".to_string(),
+        file: "Open.java".to_string(),
+        line: 31,
+        occurrence_factor: 1.0,
+        kind: RootKind::BlockingApi,
+    };
+    for _ in 0..hangs {
+        report.record_bug(device, uid, &root, 150_000_000);
+    }
+    UploadBatch {
+        app: app.to_string(),
+        device,
+        seq,
+        items: vec![TelemetryItem::Report(report)],
+    }
+}
+
+fn corpus() -> Vec<UploadBatch> {
+    vec![
+        batch("k9mail", 1, 0, 2),
+        batch("k9mail", 1, 1, 3),
+        batch("k9mail", 2, 0, 1),
+        batch("omni-notes", 3, 0, 4),
+        batch("omni-notes", 4, 0, 0),
+    ]
+}
+
+#[test]
+fn double_delivery_changes_nothing() {
+    let batches = corpus();
+    let mut once = AggregationStore::new();
+    let mut twice = AggregationStore::new();
+    for b in &batches {
+        once.ingest(b);
+    }
+    // Same corpus delivered twice, back to back.
+    for b in batches.iter().chain(batches.iter()) {
+        twice.ingest(b);
+    }
+    assert_eq!(once.report(10), twice.report(10));
+    assert_eq!(once.device_count(), twice.device_count());
+    assert_eq!(
+        twice.stats().duplicates_absorbed,
+        batches.len() as u64,
+        "every re-delivery must be absorbed"
+    );
+    assert_eq!(twice.stats().batches_applied, batches.len() as u64);
+}
+
+#[test]
+fn cross_device_reordering_changes_nothing() {
+    let batches = corpus();
+    let mut fwd = AggregationStore::new();
+    let mut rev = AggregationStore::new();
+    let mut interleaved = AggregationStore::new();
+    for b in &batches {
+        fwd.ingest(b);
+    }
+    for b in batches.iter().rev() {
+        rev.ingest(b);
+    }
+    // Devices interleaved, with duplicates sprinkled mid-stream.
+    for i in [3usize, 0, 4, 0, 2, 1, 3, 2] {
+        interleaved.ingest(&batches[i]);
+    }
+    let reference = fwd.report(10).to_json();
+    assert_eq!(reference, rev.report(10).to_json());
+    assert_eq!(reference, interleaved.report(10).to_json());
+}
+
+/// The same guarantees hold over the real TCP path: re-uploading every
+/// batch and shuffling device order leaves the queried report
+/// byte-identical.
+#[test]
+fn networked_redelivery_is_idempotent() {
+    let batches = corpus();
+
+    let run = |order: &[usize], deliveries: usize| -> String {
+        let server = TelemetryServer::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        for _ in 0..deliveries {
+            for &i in order {
+                let frame = encode_frame(&Request::Upload(batches[i].clone()));
+                write_frame(&mut stream, &frame).unwrap();
+                match read_frame::<Response>(&mut stream).unwrap() {
+                    Response::Ack { .. } => {}
+                    other => panic!("expected Ack, got {other:?}"),
+                }
+            }
+        }
+        let frame = encode_frame(&Request::Query { top_n: 10 });
+        write_frame(&mut stream, &frame).unwrap();
+        let report = match read_frame::<Response>(&mut stream).unwrap() {
+            Response::Report(r) => r,
+            other => panic!("expected Report, got {other:?}"),
+        };
+        drop(stream);
+        let mut client = Uploader::plain(server.local_addr());
+        client.shutdown().unwrap();
+        server.join();
+        report.to_json()
+    };
+
+    let reference = run(&[0, 1, 2, 3, 4], 1);
+    assert_eq!(
+        reference,
+        run(&[0, 1, 2, 3, 4], 3),
+        "triple delivery drifted"
+    );
+    assert_eq!(
+        reference,
+        run(&[4, 2, 0, 3, 1], 1),
+        "reordered delivery drifted"
+    );
+}

@@ -1,6 +1,6 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Provides the two pieces the fleet engine uses:
+//! Provides the three pieces the fleet and telemetry engines use:
 //!
 //! * [`thread::scope`] — scoped spawning with the crossbeam call shape
 //!   (`scope(|s| ...)` returns `thread::Result<R>`, and `s.spawn(|_| ...)`
@@ -10,6 +10,10 @@
 //!   lock-free; this stand-in is a mutex-wrapped `VecDeque`, which has
 //!   identical semantics and is plenty for work distribution at fleet
 //!   shard granularity.
+//! * [`channel`] — bounded MPMC channels with crossbeam's
+//!   `send`/`try_send`/`recv` surface and disconnect semantics,
+//!   implemented with a mutex + two condvars. The telemetry ingestion
+//!   server uses `try_send` failure as its backpressure signal.
 
 /// Scoped threads, mirroring `crossbeam::thread`.
 pub mod thread {
@@ -118,8 +122,254 @@ pub mod queue {
     }
 }
 
+/// Bounded MPMC channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent value back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the value is handed back.
+        Full(T),
+        /// Every receiver is gone; the value is handed back.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Whether this is the capacity (retryable) case.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Chan<T> {
+        fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+            match self.inner.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+    }
+
+    /// The sending half of a bounded channel. Cloneable; the channel
+    /// disconnects for receivers when the last clone drops.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a bounded channel. Cloneable; the channel
+    /// disconnects for senders when the last clone drops.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Creates a bounded channel holding at most `cap` queued messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero (rendezvous channels are not modeled).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "bounded channel capacity must be positive");
+        let chan = Arc::new(Chan {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(cap),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room, then enqueues `value`. Fails only
+        /// when every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.chan.lock();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if inner.queue.len() < inner.cap {
+                    inner.queue.push_back(value);
+                    drop(inner);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = match self.chan.not_full.wait(inner) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+
+        /// Enqueues `value` if there is room right now; never blocks.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.chan.lock();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if inner.queue.len() >= inner.cap {
+                return Err(TrySendError::Full(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().senders += 1;
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut inner = self.chan.lock();
+                inner.senders -= 1;
+                inner.senders
+            };
+            if remaining == 0 {
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives. Fails only when the channel
+        /// is empty and every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.chan.lock();
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.chan.not_full.notify_one();
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = match self.chan.not_empty.wait(inner) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+
+        /// Dequeues a message if one is queued right now; never blocks.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.chan.lock();
+            if let Some(value) = inner.queue.pop_front() {
+                drop(inner);
+                self.chan.not_full.notify_one();
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Number of currently queued messages.
+        pub fn len(&self) -> usize {
+            self.chan.lock().queue.len()
+        }
+
+        /// Whether no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.chan.lock().queue.is_empty()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().receivers += 1;
+            Receiver {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut inner = self.chan.lock();
+                inner.receivers -= 1;
+                inner.receivers
+            };
+            if remaining == 0 {
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::channel::{bounded, RecvError, TrySendError};
     use super::queue::SegQueue;
     use super::thread;
 
@@ -155,5 +405,60 @@ mod tests {
         assert_eq!(drained.len(), 100);
         assert!(drained.windows(2).all(|w| w[0] < w[1]));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bounded_channel_try_send_signals_full_then_accepts() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        match tx.try_send(3) {
+            Err(TrySendError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn bounded_channel_disconnects_when_senders_drop() {
+        let (tx, rx) = bounded::<u32>(4);
+        let tx2 = tx.clone();
+        tx.send(7).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_channel_blocking_send_wakes_on_recv() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(0).unwrap();
+        thread::scope(|s| {
+            let h = s.spawn(|_| {
+                for i in 1..=50u32 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            for _ in 0..=50 {
+                got.push(rx.recv().unwrap());
+            }
+            h.join().unwrap();
+            assert_eq!(got, (0..=50).collect::<Vec<u32>>());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bounded_channel_send_errors_when_receiver_gone() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
     }
 }

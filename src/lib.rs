@@ -14,6 +14,9 @@
 //! * [`metrics`] — ground-truth scoring and overhead accounting;
 //! * [`fleet`] — the sharded parallel fleet engine (corpus × device
 //!   matrix on a worker pool, lossless result merging);
+//! * [`telemetry`] — the networked hang-report ingestion backend
+//!   (length-prefixed JSON frames over TCP, idempotent sharded ingest,
+//!   cross-device hang-group aggregation) and device-side uploader;
 //! * [`bench`] — drivers regenerating every table and figure.
 //!
 //! Quick start: see `examples/quickstart.rs`, or run
@@ -27,3 +30,4 @@ pub use hd_fleet as fleet;
 pub use hd_metrics as metrics;
 pub use hd_perfmon as perfmon;
 pub use hd_simrt as simrt;
+pub use hd_telemetry as telemetry;
