@@ -22,12 +22,17 @@
 //! time, per-shard busy time, job count) — the repo's perf trajectory.
 //!
 //! Telemetry commands: `serve` runs the TCP ingestion server on
-//! `--addr` until a client sends a shutdown frame; `upload` runs the
-//! fleet and uploads every job's report to a running server, then
-//! queries the top-N aggregation; `telemetry-bench` hammers a loopback
-//! server and writes `BENCH_telemetry.json`. `fleet --telemetry`
-//! routes the whole fleet through a loopback server and differentially
-//! checks the networked aggregation against the in-process merge.
+//! `--addr` until a client sends a shutdown frame (add `--wal DIR
+//! --node-id N` for durable ingest that survives a crash); `upload`
+//! runs the fleet and uploads every job's report to a running server,
+//! then queries the top-N aggregation; `telemetry-bench` hammers a
+//! loopback server with pipelined clients and writes
+//! `BENCH_telemetry.json`; `cluster` runs the N-node differential
+//! (`--nodes`, `--crash` kills and WAL-restarts a node mid-upload);
+//! `replay` folds the WALs under `--wal DIR` offline and prints the
+//! recovered aggregate. `fleet --telemetry` routes the whole fleet
+//! through a loopback server and differentially checks the networked
+//! aggregation against the in-process merge.
 
 use std::net::ToSocketAddrs;
 use std::path::PathBuf;
@@ -48,6 +53,10 @@ struct Opts {
     queue: usize,
     top: usize,
     shutdown: bool,
+    nodes: usize,
+    wal: Option<String>,
+    node_id: u64,
+    crash: bool,
 }
 
 fn usage() -> ! {
@@ -55,7 +64,7 @@ fn usage() -> ! {
         "usage: repro [--seed N] [--quick|--full] [--chaos RATE] [--json [path]] [--devices N] [--threads N] <experiment>...\n\
          experiments: fig1 table1 fig2b table2 table3 table4 fig4 fig5 table5 fig6 fig7
          table6 fig8 generality ablations chaos sast sast-compat sast-diff fleet bench-summary all\n\
-         telemetry commands: serve upload telemetry-bench (plus fleet --telemetry)\n\
+         telemetry commands: serve upload telemetry-bench cluster replay (plus fleet --telemetry)\n\
          --devices/--threads apply to the fleet and bench-summary experiments (defaults 8/1)\n\
          --chaos RATE injects observation faults into fleet/bench-summary and sets the\n\
          rate of the chaos differential (RATE in [0,1], default 0.05); with --telemetry\n\
@@ -64,6 +73,10 @@ fn usage() -> ! {
          networked aggregation byte-for-byte against the in-process merge\n\
          --addr HOST:PORT for serve/upload (default 127.0.0.1:7077)\n\
          --shards N / --queue N size the serve ingest pool (defaults 4/64)\n\
+         --wal DIR / --node-id N make serve durable (WAL + snapshots under DIR);\n\
+         replay --wal DIR folds those logs offline into the recovered aggregate\n\
+         --nodes N sizes the cluster differential (default 3); --crash kills one\n\
+         node mid-upload and restarts it from its WAL\n\
          --top N bounds exported hang groups (default 25); upload --shutdown stops the server\n\
          bench-summary writes BENCH_fleet.json, telemetry-bench writes BENCH_telemetry.json\n\
          (override either path with --json <path>)"
@@ -83,6 +96,8 @@ fn is_experiment(name: &str) -> bool {
                 | "serve"
                 | "upload"
                 | "telemetry-bench"
+                | "cluster"
+                | "replay"
                 | "all"
         )
 }
@@ -235,35 +250,149 @@ fn run_one(name: &str, opts: &Opts) -> Result<(), String> {
             }
         }
         "serve" => {
-            let server = hd_telemetry::TelemetryServer::start(
-                &opts.addr,
-                hd_telemetry::ServerConfig {
-                    shards: opts.shards,
-                    queue_capacity: opts.queue,
-                    nack_retry_ms: 1,
-                },
-            )
-            .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+            let mut builder = hd_telemetry::TelemetryServer::builder()
+                .addr(&opts.addr)
+                .shards(opts.shards)
+                .queue_capacity(opts.queue)
+                .node_id(opts.node_id);
+            if let Some(dir) = &opts.wal {
+                builder = builder.wal_dir(dir.clone());
+            }
+            let server = builder
+                .start()
+                .map_err(|e| format!("cannot start server on {}: {e}", opts.addr))?;
+            let durability = match &opts.wal {
+                Some(dir) => format!("WAL under {dir} as node {}", opts.node_id),
+                None => "in-memory".to_string(),
+            };
             println!(
-                "hd-telemetry server listening on {} ({} shards, queue {}); \
+                "hd-telemetry server listening on {} ({} shards, queue {}, {durability}); \
                  stop it with `repro upload --shutdown` or any shutdown frame",
                 server.local_addr(),
                 opts.shards,
                 opts.queue
             );
+            if server.stats().batches_recovered > 0 {
+                println!(
+                    "recovered {} batches from WAL replay",
+                    server.stats().batches_recovered
+                );
+            }
             let stats = server.join();
             emit(
                 opts,
                 &stats,
                 format!(
                     "server stopped: {} connections, {} batches applied \
-                     ({} duplicates absorbed), {} NACKs sent",
+                     ({} duplicates absorbed), {} NACKs sent, {} recovered from WAL",
                     stats.connections,
                     stats.ingest.batches_applied,
                     stats.ingest.duplicates_absorbed,
-                    stats.nacks_sent
+                    stats.nacks_sent,
+                    stats.batches_recovered
                 ),
             );
+        }
+        "cluster" => {
+            let spec = study_spec(opts, seed);
+            // --crash kills one node after the middle wave and restarts
+            // it from its WAL; --chaos RATE additionally draws random
+            // crash waves (plus transport faults) at that rate.
+            let crash = if let Some(rate) = opts.chaos {
+                hd_faults::NodeCrashPlan::for_cluster(rate, opts.nodes, 4, seed)
+            } else if opts.crash {
+                hd_faults::NodeCrashPlan::pinned(3, 1, 1 % opts.nodes)
+            } else {
+                hd_faults::NodeCrashPlan::none(1)
+            };
+            let outcome = hd_telemetry::run_cluster_telemetry(
+                &spec,
+                &net_config(opts),
+                opts.nodes,
+                opts.top,
+                &crash,
+            );
+            let text = format!(
+                "cluster differential: {} nodes, {} waves, {} kill-and-restart events, \
+                 {} batches replayed from WALs\nreport byte-identical: {}  \
+                 raw state identical: {}\n\n{}",
+                outcome.nodes,
+                outcome.waves,
+                outcome.crashes.len(),
+                outcome.batches_recovered,
+                outcome.byte_identical,
+                outcome.state_identical,
+                outcome.report.render(),
+            );
+            let ok = outcome.byte_identical && outcome.state_identical;
+            emit(opts, &outcome, text);
+            if !ok {
+                return Err("cluster differential failed: the coordinator fold \
+                     diverged from the single-store reference"
+                    .to_string());
+            }
+        }
+        "replay" => {
+            let root = PathBuf::from(opts.wal.clone().ok_or("replay needs --wal DIR")?);
+            // Accept either one node's directory (shard-*.wal inside)
+            // or a cluster root (node-*/ subdirectories).
+            let mut dirs = vec![root.clone()];
+            if let Ok(entries) = std::fs::read_dir(&root) {
+                for entry in entries.flatten() {
+                    let path = entry.path();
+                    if path.is_dir()
+                        && path
+                            .file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| n.starts_with("node-"))
+                    {
+                        dirs.push(path);
+                    }
+                }
+            }
+            dirs.sort();
+            let mut store = hd_telemetry::AggregationStore::new();
+            let mut shards_replayed = 0usize;
+            let mut batches_replayed = 0usize;
+            for dir in &dirs {
+                for shard in 0.. {
+                    let wal_file = hd_telemetry::wal::wal_path(dir, shard);
+                    let snap_file = hd_telemetry::wal::snapshot_path(dir, shard);
+                    if !wal_file.exists() && !snap_file.exists() {
+                        break;
+                    }
+                    if let Some(snap) = hd_telemetry::wal::read_snapshot(&snap_file)
+                        .map_err(|e| format!("{}: {e}", snap_file.display()))?
+                    {
+                        store.absorb(&snap);
+                    }
+                    if wal_file.exists() {
+                        let bytes = std::fs::read(&wal_file)
+                            .map_err(|e| format!("{}: {e}", wal_file.display()))?;
+                        let replay = hd_telemetry::wal::scan_wal(&bytes)
+                            .map_err(|e| format!("{}: {e}", wal_file.display()))?;
+                        batches_replayed += replay.batches.len();
+                        for rec in &replay.batches {
+                            store.ingest_prehashed(&rec.batch, rec.fingerprint);
+                        }
+                    }
+                    shards_replayed += 1;
+                }
+            }
+            if shards_replayed == 0 {
+                return Err(format!(
+                    "no shard-*.wal or shard-*.snap files under {}",
+                    root.display()
+                ));
+            }
+            let report = store.report(opts.top);
+            let text = format!(
+                "replayed {batches_replayed} batches from {shards_replayed} shard log(s) \
+                 under {}\n\n{}",
+                root.display(),
+                report.render()
+            );
+            emit(opts, &report, text);
         }
         "upload" => {
             let addr = opts
@@ -401,6 +530,10 @@ fn main() -> ExitCode {
         queue: 64,
         top: 25,
         shutdown: false,
+        nodes: 3,
+        wal: None,
+        node_id: 0,
+        crash: false,
     };
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1).peekable();
@@ -438,6 +571,23 @@ fn main() -> ExitCode {
             "--full" => opts.full = true,
             "--telemetry" => opts.telemetry = true,
             "--shutdown" => opts.shutdown = true,
+            "--crash" => opts.crash = true,
+            "--nodes" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()).filter(|v| *v > 0) else {
+                    usage()
+                };
+                opts.nodes = v;
+            }
+            "--wal" => {
+                let Some(v) = args.next() else { usage() };
+                opts.wal = Some(v);
+            }
+            "--node-id" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                opts.node_id = v;
+            }
             "--addr" => {
                 let Some(v) = args.next() else { usage() };
                 opts.addr = v;

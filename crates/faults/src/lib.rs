@@ -657,6 +657,96 @@ pub struct BatchFaults {
     pub duplicate: bool,
 }
 
+// ---------------------------------------------------------------------------
+// Node crashes (telemetry cluster chaos)
+// ---------------------------------------------------------------------------
+
+/// Stable kebab-case name of the node-crash fault category. It lives
+/// outside [`NetFaultCategory`]/[`NetFaultTally`] on purpose: those
+/// serialize into pinned chaos fixtures, and node crashes are a
+/// cluster-harness fault (a whole server dies and restarts from its
+/// WAL), not a per-uploader transport fault.
+pub const NODE_CRASH_CATEGORY: &str = "node-crash";
+
+/// Derives the node-crash schedule seed for a cluster — the same
+/// SplitMix64 scramble as [`net_fault_seed`] under yet another domain
+/// constant, so crash schedules are independent of every transport and
+/// monitoring fault stream (the uploaders' RNG draws must not shift
+/// when crashes are enabled).
+pub fn node_crash_seed(root_seed: u64, nodes: u64) -> u64 {
+    let mut z = (root_seed ^ 0xC7A5_110D_E5EE_DA0Bu64)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(nodes.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic node-crash schedule for a cluster run whose uploads
+/// proceed in waves. Every decision — whether a crash follows a wave,
+/// and which node dies — is drawn up front at construction, so the
+/// schedule is a pure function of `(root_seed, nodes, waves, rate)` and
+/// can never be perturbed by upload timing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeCrashPlan {
+    /// `crashes[w]` = node killed (and restarted) after wave `w`.
+    crashes: Vec<Option<usize>>,
+}
+
+impl NodeCrashPlan {
+    /// Draws the schedule: after each of the first `waves - 1` waves, a
+    /// crash fires with probability `rate` and kills a uniformly chosen
+    /// node. Nothing crashes after the final wave (there would be no
+    /// later upload to observe the recovery).
+    pub fn for_cluster(rate: f64, nodes: usize, waves: usize, root_seed: u64) -> NodeCrashPlan {
+        let rate = rate.clamp(0.0, 1.0);
+        let mut rng = SimRng::seed_from_u64(node_crash_seed(root_seed, nodes as u64));
+        let mut crashes = vec![None; waves];
+        if nodes > 0 && waves > 1 {
+            for slot in crashes.iter_mut().take(waves - 1) {
+                // Zero-rate draws consume no RNG state (same contract
+                // as the other fault plans).
+                if rate > 0.0 && rng.chance(rate) {
+                    *slot = Some(rng.uniform_u64(0, nodes as u64 - 1) as usize);
+                }
+            }
+        }
+        NodeCrashPlan { crashes }
+    }
+
+    /// A pinned schedule: kill exactly `node` after wave `wave` —
+    /// what the CI cluster smoke uses so the log always shows a real
+    /// kill-and-restart.
+    pub fn pinned(waves: usize, wave: usize, node: usize) -> NodeCrashPlan {
+        let mut crashes = vec![None; waves];
+        if wave < waves {
+            crashes[wave] = Some(node);
+        }
+        NodeCrashPlan { crashes }
+    }
+
+    /// A schedule that never crashes anything.
+    pub fn none(waves: usize) -> NodeCrashPlan {
+        NodeCrashPlan {
+            crashes: vec![None; waves],
+        }
+    }
+
+    /// Number of upload waves the schedule spans.
+    pub fn waves(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// The node to kill (and restart) after wave `wave`, if any.
+    pub fn crash_after(&self, wave: usize) -> Option<usize> {
+        self.crashes.get(wave).copied().flatten()
+    }
+
+    /// Total crashes the schedule will inject.
+    pub fn crash_count(&self) -> usize {
+        self.crashes.iter().filter(|c| c.is_some()).count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -880,5 +970,43 @@ mod tests {
             names,
             vec!["connection-drop", "delivery-delay", "duplicate-frame"]
         );
+    }
+
+    #[test]
+    fn node_crash_plan_is_deterministic_and_bounded() {
+        let a = NodeCrashPlan::for_cluster(0.8, 3, 5, 99);
+        let b = NodeCrashPlan::for_cluster(0.8, 3, 5, 99);
+        assert_eq!(a, b);
+        assert_eq!(a.waves(), 5);
+        // Never a crash after the final wave; targets in range.
+        assert_eq!(a.crash_after(4), None);
+        for w in 0..5 {
+            if let Some(node) = a.crash_after(w) {
+                assert!(node < 3);
+            }
+        }
+        // rate = 1 crashes after every non-final wave.
+        let always = NodeCrashPlan::for_cluster(1.0, 3, 4, 7);
+        assert_eq!(always.crash_count(), 3);
+        // rate = 0 never crashes.
+        assert_eq!(NodeCrashPlan::for_cluster(0.0, 3, 4, 7).crash_count(), 0);
+        assert_eq!(NodeCrashPlan::none(4).crash_count(), 0);
+    }
+
+    #[test]
+    fn node_crash_seed_is_domain_separated_from_net_faults() {
+        assert_eq!(node_crash_seed(42, 3), node_crash_seed(42, 3));
+        assert_ne!(node_crash_seed(42, 3), net_fault_seed(42, 3));
+        assert_ne!(node_crash_seed(42, 3), fault_seed(42, 3));
+    }
+
+    #[test]
+    fn pinned_crash_schedule_fires_exactly_once() {
+        let plan = NodeCrashPlan::pinned(3, 1, 2);
+        assert_eq!(plan.crash_after(0), None);
+        assert_eq!(plan.crash_after(1), Some(2));
+        assert_eq!(plan.crash_after(2), None);
+        assert_eq!(plan.crash_count(), 1);
+        assert_eq!(NODE_CRASH_CATEGORY, "node-crash");
     }
 }

@@ -6,6 +6,14 @@
 //! NACKs. Delivery is **at-least-once**; the server's idempotent ingest
 //! turns that into exactly-once state.
 //!
+//! Two clients live here. [`Uploader`] is the synchronous,
+//! fault-injectable device path: one batch in flight, deterministic
+//! retry/backoff, a full fault tally. [`PipelinedUploader`] is the lean
+//! throughput path the ingest benchmark drives: it keeps a window of
+//! batches in flight on one connection and reads ACKs in request order
+//! (the server guarantees per-connection FIFO responses), which is what
+//! pushes a single connection past the syscall-per-batch wall.
+//!
 //! Determinism contract (what the chaos differential leans on): every
 //! fault decision for a batch is drawn from the device's
 //! [`NetFaultPlan`] *before* the first send attempt, and the
@@ -22,9 +30,12 @@ use std::time::Duration;
 use hd_faults::{NetFaultConfig, NetFaultPlan, NetFaultTally};
 use hd_simrt::SimRng;
 
+use crate::error::TelemetryError;
 use crate::report::TelemetryReport;
+use crate::store::StoreSnapshot;
 use crate::wire::{
-    encode_frame, read_frame, write_frame, FrameError, Request, Response, UploadBatch,
+    encode_frame, read_frame, write_frame, FrameError, Request, Response, UploadBatch, WireVersion,
+    SUPPORTED_SCHEMAS,
 };
 
 /// Uploader tuning knobs.
@@ -47,27 +58,6 @@ impl Default for UploaderConfig {
         }
     }
 }
-
-/// Upload failure after retries were exhausted (or the server replied
-/// with a protocol error).
-#[derive(Clone, Debug, PartialEq)]
-pub enum UploadError {
-    /// All attempts failed; the last frame/transport error is attached.
-    Exhausted(String),
-    /// The server answered with an unexpected message.
-    Protocol(String),
-}
-
-impl std::fmt::Display for UploadError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            UploadError::Exhausted(e) => write!(f, "upload retries exhausted: {e}"),
-            UploadError::Protocol(e) => write!(f, "protocol error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for UploadError {}
 
 /// Receipt for one delivered batch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -153,10 +143,29 @@ impl Uploader {
         }
     }
 
+    /// Explicit version negotiation: tells the server every dialect this
+    /// build speaks and returns the newest common one. Optional — a
+    /// connection that skips the handshake is answered in whatever
+    /// dialect its requests arrive in.
+    pub fn negotiate(&mut self) -> Result<WireVersion, TelemetryError> {
+        let hello = Request::Hello {
+            supported: SUPPORTED_SCHEMAS.iter().map(|s| s.to_string()).collect(),
+        };
+        match self.round_trip(&encode_frame(&hello))? {
+            Response::Welcome { schema } => {
+                WireVersion::from_tag(&schema).ok_or(TelemetryError::SchemaDrift(schema))
+            }
+            Response::Error(e) => Err(TelemetryError::Protocol(e)),
+            other => Err(TelemetryError::Protocol(format!(
+                "hello answered with {other:?}"
+            ))),
+        }
+    }
+
     /// Delivers one batch, retrying NACKs and transport errors with
     /// deterministic exponential backoff. Injects this batch's
     /// scheduled faults (drawn up front) along the way.
-    pub fn upload(&mut self, batch: &UploadBatch) -> Result<UploadReceipt, UploadError> {
+    pub fn upload(&mut self, batch: &UploadBatch) -> Result<UploadReceipt, TelemetryError> {
         // Draw the whole fault schedule for this batch before touching
         // the network, so retries cannot perturb it.
         let injected = self.faults.next_batch();
@@ -198,7 +207,7 @@ impl Uploader {
                                 // original delivery already ACKed.
                             }
                             Ok(other) => {
-                                return Err(UploadError::Protocol(format!(
+                                return Err(TelemetryError::Protocol(format!(
                                     "duplicate delivery answered with {other:?}"
                                 )))
                             }
@@ -215,9 +224,9 @@ impl Uploader {
                     last_err = "queue-full NACK".to_string();
                     self.backoff(attempt, Some(retry_after_ms));
                 }
-                Ok(Response::Error(e)) => return Err(UploadError::Protocol(e)),
+                Ok(Response::Error(e)) => return Err(TelemetryError::Protocol(e)),
                 Ok(other) => {
-                    return Err(UploadError::Protocol(format!(
+                    return Err(TelemetryError::Protocol(format!(
                         "upload answered with {other:?}"
                     )))
                 }
@@ -227,33 +236,121 @@ impl Uploader {
                 }
             }
         }
-        Err(UploadError::Exhausted(last_err))
+        Err(TelemetryError::Exhausted(last_err))
     }
 
     /// Queries the server's current top-N aggregation.
-    pub fn query(&mut self, top_n: usize) -> Result<TelemetryReport, UploadError> {
+    pub fn query(&mut self, top_n: usize) -> Result<TelemetryReport, TelemetryError> {
         let frame = encode_frame(&Request::Query { top_n });
         match self.round_trip(&frame) {
             Ok(Response::Report(report)) => Ok(report),
-            Ok(other) => Err(UploadError::Protocol(format!(
+            Ok(other) => Err(TelemetryError::Protocol(format!(
                 "query answered with {other:?}"
             ))),
-            Err(e) => Err(UploadError::Exhausted(e.to_string())),
+            Err(e) => Err(TelemetryError::Exhausted(e.to_string())),
+        }
+    }
+
+    /// Exports the node's raw aggregation state (the semilattice
+    /// elements, not the lossy top-N projection) — what the cluster
+    /// coordinator folds across nodes.
+    pub fn export(&mut self) -> Result<StoreSnapshot, TelemetryError> {
+        let frame = encode_frame(&Request::Export);
+        match self.round_trip(&frame) {
+            Ok(Response::State(snapshot)) => Ok(snapshot),
+            Ok(other) => Err(TelemetryError::Protocol(format!(
+                "export answered with {other:?}"
+            ))),
+            Err(e) => Err(TelemetryError::Exhausted(e.to_string())),
         }
     }
 
     /// Asks the server to shut down after this connection.
-    pub fn shutdown(&mut self) -> Result<(), UploadError> {
+    pub fn shutdown(&mut self) -> Result<(), TelemetryError> {
         let frame = encode_frame(&Request::Shutdown);
         match self.round_trip(&frame) {
             Ok(Response::Bye) => {
                 self.conn = None;
                 Ok(())
             }
-            Ok(other) => Err(UploadError::Protocol(format!(
+            Ok(other) => Err(TelemetryError::Protocol(format!(
                 "shutdown answered with {other:?}"
             ))),
-            Err(e) => Err(UploadError::Exhausted(e.to_string())),
+            Err(e) => Err(TelemetryError::Exhausted(e.to_string())),
+        }
+    }
+}
+
+/// The lean throughput path: keeps many batches in flight on one
+/// connection and reads ACKs in request order. No fault injection, no
+/// internal retries — a NACK surfaces as [`TelemetryError::Nack`] with
+/// the request-order index so the caller can re-send exactly that batch.
+pub struct PipelinedUploader {
+    stream: TcpStream,
+    inflight: usize,
+}
+
+impl PipelinedUploader {
+    /// Connects to the server (Nagle off — frames should leave now).
+    pub fn connect(addr: SocketAddr) -> Result<PipelinedUploader, TelemetryError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(PipelinedUploader {
+            stream,
+            inflight: 0,
+        })
+    }
+
+    /// Batches currently awaiting an ACK.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// Fires one batch without waiting for its response.
+    pub fn send(&mut self, batch: &UploadBatch) -> Result<(), TelemetryError> {
+        let frame = PipelinedUploader::encode_upload(batch);
+        self.send_encoded(&frame)
+    }
+
+    /// Encodes an upload once, for [`PipelinedUploader::send_encoded`].
+    /// A spooling device (or a benchmark harness) serializes each batch
+    /// a single time and can re-send the identical bytes on retry.
+    pub fn encode_upload(batch: &UploadBatch) -> Vec<u8> {
+        encode_frame(&Request::Upload(batch.clone()))
+    }
+
+    /// Fires one pre-encoded upload frame without waiting for its
+    /// response.
+    pub fn send_encoded(&mut self, frame: &[u8]) -> Result<(), TelemetryError> {
+        write_frame(&mut self.stream, frame)?;
+        self.inflight += 1;
+        Ok(())
+    }
+
+    /// Blocks for the next response in request order. A queue-full shed
+    /// is returned as [`TelemetryError::Nack`]; the caller owns the
+    /// in-flight bookkeeping, so it knows which batch that was.
+    pub fn recv(&mut self) -> Result<UploadReceipt, TelemetryError> {
+        if self.inflight == 0 {
+            return Err(TelemetryError::Protocol(
+                "recv with nothing in flight".to_string(),
+            ));
+        }
+        self.inflight -= 1;
+        match read_frame::<Response>(&mut self.stream)? {
+            Response::Ack {
+                fingerprint,
+                duplicate,
+            } => Ok(UploadReceipt {
+                fingerprint,
+                duplicate,
+                attempts: 1,
+            }),
+            Response::Nack { retry_after_ms } => Err(TelemetryError::Nack { retry_after_ms }),
+            Response::Error(e) => Err(TelemetryError::Protocol(e)),
+            other => Err(TelemetryError::Protocol(format!(
+                "upload answered with {other:?}"
+            ))),
         }
     }
 }
@@ -261,7 +358,7 @@ impl Uploader {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::server::{ServerConfig, TelemetryServer};
+    use crate::server::TelemetryServer;
     use crate::wire::TelemetryItem;
     use hangdoctor::HangBugReport;
 
@@ -276,8 +373,9 @@ mod tests {
 
     #[test]
     fn uploader_delivers_and_queries() {
-        let server = TelemetryServer::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let server = TelemetryServer::builder().start().unwrap();
         let mut up = Uploader::plain(server.local_addr());
+        assert_eq!(up.negotiate().unwrap(), WireVersion::V2);
         let receipt = up.upload(&batch(1, 0)).unwrap();
         assert!(!receipt.duplicate);
         assert_eq!(receipt.attempts, 1);
@@ -289,6 +387,11 @@ mod tests {
         let report = up.query(10).unwrap();
         assert_eq!(report.devices, 1);
 
+        // Export returns the raw semilattice state.
+        let snapshot = up.export().unwrap();
+        assert_eq!(snapshot.devices.len(), 1);
+        assert_eq!(snapshot.stats.batches_applied, 1);
+
         up.shutdown().unwrap();
         let stats = server.join();
         assert_eq!(stats.ingest.batches_applied, 1);
@@ -297,7 +400,7 @@ mod tests {
 
     #[test]
     fn injected_duplicates_are_absorbed_not_double_counted() {
-        let server = TelemetryServer::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let server = TelemetryServer::builder().start().unwrap();
         let cfg = UploaderConfig {
             net_faults: NetFaultConfig::chaos(1.0), // every category fires
             ..Default::default()
@@ -320,5 +423,32 @@ mod tests {
         // 5 unique batches applied; 5 duplicate deliveries absorbed.
         assert_eq!(stats.ingest.batches_applied, 5);
         assert_eq!(stats.ingest.duplicates_absorbed, 5);
+    }
+
+    #[test]
+    fn pipelined_uploader_windows_without_losing_order() {
+        let server = TelemetryServer::builder().start().unwrap();
+        let mut up = PipelinedUploader::connect(server.local_addr()).unwrap();
+        let batches: Vec<UploadBatch> = (0..16).map(|seq| batch(3, seq)).collect();
+        let fps: Vec<u64> = batches
+            .iter()
+            .map(crate::fingerprint::batch_fingerprint)
+            .collect();
+        for b in &batches {
+            up.send(b).unwrap();
+        }
+        assert_eq!(up.inflight(), 16);
+        for fp in fps {
+            let receipt = up.recv().unwrap();
+            assert_eq!(receipt.fingerprint, fp);
+            assert!(!receipt.duplicate);
+        }
+        assert_eq!(up.inflight(), 0);
+        drop(up);
+
+        let mut ctl = Uploader::plain(server.local_addr());
+        ctl.shutdown().unwrap();
+        let stats = server.join();
+        assert_eq!(stats.ingest.batches_applied, 16);
     }
 }

@@ -1,0 +1,407 @@
+//! Multi-node ingestion: the cluster routing table, the coordinator
+//! fold, and the kill-and-restart harness.
+//!
+//! A cluster is N independent [`TelemetryServer`] nodes; the routing
+//! table sends every `(app, device)` pair to one node
+//! ([`node_for`] — the per-node shard hash generalized up one level),
+//! so a device's batches stay ordered without any cross-node
+//! coordination. The coordinator holds no state of its own: to answer
+//! a query it asks every node to `Export` its raw aggregation state
+//! (the semilattice elements, not the lossy top-N projection) and folds
+//! the snapshots through [`AggregationStore::absorb`] — the exact merge
+//! the single-node store applies internally, which is why the
+//! cluster-folded report is **byte-identical** to a single-node run
+//! over the same batches (`tests/cluster.rs` pins this clean, under
+//! chaos, and across kill-and-restart).
+//!
+//! Crashes are first-class: [`Cluster::kill_node`] stops a node
+//! abruptly (no flush, no snapshot — in-memory state is gone) and
+//! [`Cluster::restart_node`] brings it back over the same WAL
+//! directory, replaying to the pre-crash aggregate. The
+//! [`NodeCrashPlan`] drives *when* and *whom* deterministically, in the
+//! `hd-faults` draw-everything-up-front style.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hd_faults::{NetFaultConfig, NodeCrashPlan};
+use hd_fleet::{run_fleet_with_reports, FleetSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::client::{Uploader, UploaderConfig};
+use crate::error::TelemetryError;
+use crate::fingerprint::node_for;
+use crate::report::TelemetryReport;
+use crate::server::{ServerStats, TelemetryServer};
+use crate::store::AggregationStore;
+use crate::wire::{TelemetryItem, UploadBatch};
+
+/// Cluster shape. Every node runs the same per-node layout.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of server nodes.
+    pub nodes: usize,
+    /// Shard workers per node.
+    pub shards: usize,
+    /// Bounded queue depth per shard.
+    pub queue_capacity: usize,
+    /// I/O workers per node.
+    pub io_workers: usize,
+    /// Durability root: node `i` logs under `<root>/node-<i>/`.
+    /// `None` runs in-memory (and [`Cluster::restart_node`] refuses).
+    pub wal_root: Option<PathBuf>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            nodes: 3,
+            shards: 2,
+            queue_capacity: 64,
+            io_workers: 1,
+            wal_root: None,
+        }
+    }
+}
+
+struct ClusterNode {
+    server: Option<TelemetryServer>,
+    addr: SocketAddr,
+    wal_dir: Option<PathBuf>,
+}
+
+/// A running loopback cluster.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    nodes: Vec<ClusterNode>,
+    /// Batches recovered from WAL replay, summed over every restart.
+    recovered: u64,
+}
+
+impl Cluster {
+    /// Launches every node on an ephemeral loopback port.
+    pub fn launch(cfg: ClusterConfig) -> Result<Cluster, TelemetryError> {
+        if cfg.nodes == 0 {
+            return Err(TelemetryError::Config {
+                field: "nodes",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        let mut nodes = Vec::with_capacity(cfg.nodes);
+        for id in 0..cfg.nodes {
+            let wal_dir = cfg
+                .wal_root
+                .as_ref()
+                .map(|root| root.join(format!("node-{id}")));
+            let server = Cluster::start_node(&cfg, id, wal_dir.as_deref())?;
+            nodes.push(ClusterNode {
+                addr: server.local_addr(),
+                server: Some(server),
+                wal_dir,
+            });
+        }
+        Ok(Cluster {
+            cfg,
+            nodes,
+            recovered: 0,
+        })
+    }
+
+    fn start_node(
+        cfg: &ClusterConfig,
+        id: usize,
+        wal_dir: Option<&Path>,
+    ) -> Result<TelemetryServer, TelemetryError> {
+        let mut builder = TelemetryServer::builder()
+            .addr("127.0.0.1:0")
+            .shards(cfg.shards)
+            .queue_capacity(cfg.queue_capacity)
+            .io_workers(cfg.io_workers)
+            .node_id(id as u64);
+        if let Some(dir) = wal_dir {
+            builder = builder.wal_dir(dir.to_string_lossy().to_string());
+        }
+        builder.start()
+    }
+
+    /// Number of nodes (routing table size).
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node an `(app, device)` pair routes to.
+    pub fn route(&self, app: &str, device: u32) -> usize {
+        node_for(app, device, self.nodes.len())
+    }
+
+    /// The current address of `node` (changes across a restart —
+    /// ephemeral ports are not stable identities; the routing table
+    /// index is).
+    pub fn addr(&self, node: usize) -> SocketAddr {
+        self.nodes[node].addr
+    }
+
+    /// Batches recovered from WAL replay, summed over every restart.
+    pub fn batches_recovered(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Crash-stops `node`: threads die without flushing, snapshotting,
+    /// or notifying clients; its in-memory aggregate is lost. Only the
+    /// WAL survives.
+    pub fn kill_node(&mut self, node: usize) -> Result<(), TelemetryError> {
+        match self.nodes[node].server.take() {
+            Some(server) => {
+                server.kill();
+                Ok(())
+            }
+            None => Err(TelemetryError::Protocol(format!(
+                "node {node} is already down"
+            ))),
+        }
+    }
+
+    /// Restarts a killed node over its WAL directory, replaying back to
+    /// the pre-crash aggregate.
+    pub fn restart_node(&mut self, node: usize) -> Result<(), TelemetryError> {
+        if self.nodes[node].server.is_some() {
+            return Err(TelemetryError::Protocol(format!(
+                "node {node} is still running"
+            )));
+        }
+        let Some(wal_dir) = self.nodes[node].wal_dir.clone() else {
+            return Err(TelemetryError::Config {
+                field: "wal_root",
+                reason: "cannot restart an in-memory node (no WAL to replay)".to_string(),
+            });
+        };
+        let server = Cluster::start_node(&self.cfg, node, Some(&wal_dir))?;
+        self.recovered += server.stats().batches_recovered;
+        self.nodes[node].addr = server.local_addr();
+        self.nodes[node].server = Some(server);
+        Ok(())
+    }
+
+    /// The coordinator fold, over the wire: asks every node to export
+    /// its raw state and absorbs the snapshots into one store.
+    pub fn export_fold(&self) -> Result<AggregationStore, TelemetryError> {
+        let mut folded = AggregationStore::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            if node.server.is_none() {
+                return Err(TelemetryError::Protocol(format!(
+                    "node {id} is down; restart it before aggregating"
+                )));
+            }
+            let snapshot = Uploader::plain(node.addr).export()?;
+            folded.absorb(&snapshot);
+        }
+        Ok(folded)
+    }
+
+    /// The cluster-wide top-N report (the coordinator fold projected).
+    pub fn aggregate(&self, top_n: usize) -> Result<TelemetryReport, TelemetryError> {
+        Ok(self.export_fold()?.report(top_n))
+    }
+
+    /// Gracefully shuts every node down and returns the final per-node
+    /// stats (index = node id).
+    pub fn shutdown(mut self) -> Result<Vec<ServerStats>, TelemetryError> {
+        let mut stats = Vec::with_capacity(self.nodes.len());
+        for node in &mut self.nodes {
+            match node.server.take() {
+                Some(server) => {
+                    Uploader::plain(node.addr).shutdown()?;
+                    stats.push(server.join());
+                }
+                None => stats.push(ServerStats::default()),
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Everything one cluster differential run produced.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterRunOutcome {
+    /// Nodes in the cluster.
+    pub nodes: usize,
+    /// Upload waves the run was split into.
+    pub waves: usize,
+    /// `(after_wave, node)` kill-and-restart events that fired.
+    pub crashes: Vec<(usize, usize)>,
+    /// Batches replayed from WALs across all restarts.
+    pub batches_recovered: u64,
+    /// The cluster-folded report.
+    pub report: TelemetryReport,
+    /// The single-node in-process reference over the same batches.
+    pub reference: TelemetryReport,
+    /// Whether the two reports serialize to the same bytes.
+    pub byte_identical: bool,
+    /// Whether the folded raw state (apps, devices, fingerprints —
+    /// ingest counters excluded, since chaos duplicates only exist on
+    /// the networked path) matches the reference state byte-for-byte.
+    pub state_identical: bool,
+    /// Final per-node server stats.
+    pub node_stats: Vec<ServerStats>,
+}
+
+static CLUSTER_RUN: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory for one cluster run's WALs.
+fn scratch_root(root_seed: u64) -> PathBuf {
+    let n = CLUSTER_RUN.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "hd-telemetry-cluster-{}-{root_seed}-{n}",
+        std::process::id()
+    ))
+}
+
+/// Serializes a store's identity (apps, devices, fingerprints) with the
+/// ingest counters zeroed, for cross-path comparison.
+fn identity_bytes(store: &AggregationStore) -> String {
+    let mut snap = store.snapshot();
+    snap.stats = Default::default();
+    serde_json::to_string(&snap).expect("snapshot serializes")
+}
+
+/// Runs the fleet, uploads every job's report into an N-node loopback
+/// cluster (routing by [`node_for`]), executes the crash schedule
+/// between waves, and differentially checks the coordinator fold
+/// against a single in-process store over the same batches.
+pub fn run_cluster_telemetry(
+    spec: &FleetSpec,
+    net: &NetFaultConfig,
+    nodes: usize,
+    top_n: usize,
+    crash: &NodeCrashPlan,
+) -> ClusterRunOutcome {
+    let (_, jobs) = run_fleet_with_reports(spec);
+    let waves = crash.waves().max(1);
+
+    let root = scratch_root(spec.root_seed);
+    let mut cluster = Cluster::launch(ClusterConfig {
+        nodes,
+        wal_root: Some(root.clone()),
+        ..ClusterConfig::default()
+    })
+    .expect("launch loopback cluster");
+
+    // Reference: one in-process store ingesting every batch once.
+    let mut reference = AggregationStore::new();
+
+    // Upload wave by wave, single-threaded for a deterministic
+    // interleaving with the crash schedule. Each device goes through
+    // its own seeded uploader, so the chaos fault streams match the
+    // fleet differential's.
+    let chunk = jobs.len().div_ceil(waves).max(1);
+    let mut crashes = Vec::new();
+    for (wave, wave_jobs) in jobs.chunks(chunk).enumerate() {
+        for job in wave_jobs {
+            let batch = UploadBatch {
+                app: job.app.clone(),
+                device: job.device,
+                seq: 0,
+                items: vec![TelemetryItem::Report(job.report.clone())],
+            };
+            reference.ingest(&batch);
+            let node = cluster.route(&job.app, job.device);
+            let cfg = UploaderConfig {
+                net_faults: *net,
+                ..UploaderConfig::default()
+            };
+            let mut uploader =
+                Uploader::new(cluster.addr(node), job.device as u64, spec.root_seed, cfg);
+            uploader.upload(&batch).unwrap_or_else(|e| {
+                panic!("device {} upload to node {node} failed: {e}", job.device)
+            });
+        }
+        if let Some(victim) = crash.crash_after(wave) {
+            let victim = victim % nodes;
+            cluster.kill_node(victim).expect("kill scheduled node");
+            cluster.restart_node(victim).expect("restart killed node");
+            crashes.push((wave, victim));
+        }
+    }
+
+    let folded = cluster.export_fold().expect("coordinator fold");
+    let report = folded.report(top_n);
+    let reference_report = reference.report(top_n);
+    let byte_identical = report.to_json() == reference_report.to_json();
+    let state_identical = identity_bytes(&folded) == identity_bytes(&reference);
+
+    let batches_recovered = cluster.batches_recovered();
+    let node_stats = cluster.shutdown().expect("cluster shutdown");
+    let _ = std::fs::remove_dir_all(&root);
+
+    ClusterRunOutcome {
+        nodes,
+        waves,
+        crashes,
+        batches_recovered,
+        report,
+        reference: reference_report,
+        byte_identical,
+        state_identical,
+        node_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hangdoctor::HangBugReport;
+
+    #[test]
+    fn launch_route_and_fold_an_empty_cluster() {
+        let cluster = Cluster::launch(ClusterConfig {
+            nodes: 3,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        assert_eq!(cluster.nodes(), 3);
+        // Routing is deterministic and total.
+        for device in 0..20u32 {
+            let n = cluster.route("app", device);
+            assert!(n < 3);
+            assert_eq!(n, cluster.route("app", device));
+        }
+        let report = cluster.aggregate(5).unwrap();
+        assert_eq!(report.devices, 0);
+        let stats = cluster.shutdown().unwrap();
+        assert_eq!(stats.len(), 3);
+    }
+
+    #[test]
+    fn zero_nodes_is_a_typed_config_error() {
+        match Cluster::launch(ClusterConfig {
+            nodes: 0,
+            ..ClusterConfig::default()
+        }) {
+            Err(TelemetryError::Config { field, .. }) => assert_eq!(field, "nodes"),
+            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn restarting_an_in_memory_node_is_refused() {
+        let mut cluster = Cluster::launch(ClusterConfig {
+            nodes: 1,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        // Seed one batch so the kill demonstrably loses state.
+        let batch = UploadBatch {
+            app: "app".to_string(),
+            device: 1,
+            seq: 0,
+            items: vec![TelemetryItem::Report(HangBugReport::new("app"))],
+        };
+        Uploader::plain(cluster.addr(0)).upload(&batch).unwrap();
+        cluster.kill_node(0).unwrap();
+        match cluster.restart_node(0) {
+            Err(TelemetryError::Config { field, .. }) => assert_eq!(field, "wal_root"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+}

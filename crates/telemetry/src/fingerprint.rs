@@ -48,6 +48,30 @@ pub fn shard_for(app: &str, device: u32, shards: usize) -> usize {
     (h % shards as u64) as usize
 }
 
+/// Cluster node index for an `(app, device)` pair — [`shard_for`]
+/// generalized to the cluster routing table. The FNV hash is passed
+/// through a full avalanche finalizer (MurmurMix-style) before the
+/// modulo: a salt-and-multiply alone only permutes the low bits, which
+/// `% nodes` then maps back onto a pure function of the shard index —
+/// an N-node cluster whose nodes run N shards would pin every batch
+/// routed to node `i` onto a single shard, idling the rest of each
+/// node's workers.
+pub fn node_for(app: &str, device: u32, nodes: usize) -> usize {
+    debug_assert!(nodes > 0, "need at least one node");
+    let mut h = fnv1a(app.as_bytes());
+    for b in device.to_be_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h ^= 0x9E37_79B9_7F4A_7C15;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^= h >> 33;
+    (h % nodes as u64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +120,30 @@ mod tests {
                 assert_eq!(s, shard_for("app", device, shards));
             }
         }
+    }
+
+    #[test]
+    fn node_routing_is_decorrelated_from_shard_routing() {
+        for nodes in [1usize, 2, 3, 5] {
+            for device in 0..50u32 {
+                let n = node_for("app", device, nodes);
+                assert!(n < nodes);
+                assert_eq!(n, node_for("app", device, nodes));
+            }
+        }
+        // With nodes == shards, devices routed to one node must still
+        // spread over that node's shards (the salt decorrelates the
+        // two hashes).
+        let n = 4usize;
+        let mut shards_on_node0 = std::collections::BTreeSet::new();
+        for device in 0..500u32 {
+            if node_for("app", device, n) == 0 {
+                shards_on_node0.insert(shard_for("app", device, n));
+            }
+        }
+        assert!(
+            shards_on_node0.len() > 1,
+            "node 0's devices all collapsed onto shard(s) {shards_on_node0:?}"
+        );
     }
 }

@@ -55,12 +55,12 @@ pub fn run_fleet_telemetry(
 
     // Queue depth ≥ upload threads ⇒ a full queue is impossible, so
     // the chaos tally cannot pick up scheduling-dependent NACK counts.
-    let server_cfg = ServerConfig {
-        shards: threads,
-        queue_capacity: threads.max(ServerConfig::default().queue_capacity),
-        ..ServerConfig::default()
-    };
-    let server = TelemetryServer::start("127.0.0.1:0", server_cfg).expect("bind loopback server");
+    let server = TelemetryServer::builder()
+        .addr("127.0.0.1:0")
+        .shards(threads)
+        .queue_capacity(threads.max(ServerConfig::default().queue_capacity))
+        .start()
+        .expect("bind loopback server");
     let addr = server.local_addr();
 
     // Upload every job's report: `threads` worker threads, each device

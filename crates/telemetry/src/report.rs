@@ -77,7 +77,7 @@ impl HangGroup {
 /// ranked fleet-wide, plus coverage counts.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct TelemetryReport {
-    /// Protocol/schema tag (`hang-doctor/telemetry/v1`).
+    /// Protocol/schema tag (`hang-doctor/telemetry/v2`).
     pub schema: String,
     /// The N this report was truncated to.
     pub top_n: usize,

@@ -1,17 +1,25 @@
 //! The cross-device aggregation store.
 //!
-//! Holds the backend's entire state: per-app hang bug reports merged
-//! with the semilattice join from `hangdoctor`, the set of `(app,
-//! device)` pairs that have contributed, and the fingerprints of every
-//! batch ever applied. Ingest is **idempotent**: a batch whose
+//! Holds a node's (or one shard's) aggregation state: per-app hang bug
+//! reports merged with the semilattice join from `hangdoctor`, the set
+//! of `(app, device)` pairs that have contributed, and the fingerprints
+//! of every batch ever applied. Ingest is **idempotent**: a batch whose
 //! fingerprint was seen before is absorbed without touching the merged
 //! state, so at-least-once delivery (uploader retries, duplicated
-//! frames, replayed spools) converges to exactly the same store as
-//! exactly-once delivery.
+//! frames, replayed spools, WAL replay after a crash) converges to
+//! exactly the same store as exactly-once delivery.
 //!
 //! Because the join is associative, commutative, and idempotent, the
-//! final state is independent of batch arrival order — the property the
-//! telemetry differential test leans on.
+//! final state is independent of batch arrival order — and because the
+//! join is a semilattice, the state is a CRDT: two stores that ingested
+//! *different partitions* of the same batch set merge (via
+//! [`AggregationStore::absorb`]) into exactly the store a single node
+//! would have built. The cluster coordinator, WAL replay, and node
+//! rejoin are all the same fold.
+//!
+//! [`StoreSnapshot`] is the store's canonical serialized form — used
+//! both as the WAL compaction snapshot on disk and as the
+//! `Export`/`State` wire exchange a cluster coordinator folds.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
@@ -21,6 +29,10 @@ use serde::{Deserialize, Serialize};
 use crate::fingerprint::batch_fingerprint;
 use crate::report::TelemetryReport;
 use crate::wire::UploadBatch;
+
+/// Schema tag of [`StoreSnapshot`] (disk snapshots and `State` wire
+/// bodies).
+pub const SNAPSHOT_SCHEMA: &str = "hang-doctor/telemetry-snapshot/v1";
 
 /// Ingest-side counters, exported with server stats.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -33,6 +45,15 @@ pub struct IngestStats {
     pub reports_ingested: u64,
 }
 
+impl IngestStats {
+    /// Adds another shard's (or node's) counters into this one.
+    pub fn merge(&mut self, other: &IngestStats) {
+        self.batches_applied += other.batches_applied;
+        self.duplicates_absorbed += other.duplicates_absorbed;
+        self.reports_ingested += other.reports_ingested;
+    }
+}
+
 /// What [`AggregationStore::ingest`] decided about one batch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct IngestOutcome {
@@ -40,6 +61,24 @@ pub struct IngestOutcome {
     pub fingerprint: u64,
     /// Whether the batch was absorbed as a duplicate.
     pub duplicate: bool,
+}
+
+/// The canonical serialized form of an [`AggregationStore`] — the WAL
+/// compaction snapshot on disk, and the body of the wire `State`
+/// response a cluster coordinator folds. All containers render sorted,
+/// so two stores with the same logical content serialize identically.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoreSnapshot {
+    /// Snapshot schema tag ([`SNAPSHOT_SCHEMA`]).
+    pub schema: String,
+    /// Per-app merged hang bug reports, sorted by app.
+    pub apps: Vec<(String, HangBugReport)>,
+    /// Contributing `(app, device)` pairs, sorted.
+    pub devices: Vec<(String, u32)>,
+    /// Fingerprints of every applied batch, sorted.
+    pub seen: Vec<u64>,
+    /// Ingest counters at snapshot time.
+    pub stats: IngestStats,
 }
 
 /// The aggregation backend state. Deterministic containers throughout
@@ -63,6 +102,18 @@ impl AggregationStore {
     /// fingerprint.
     pub fn ingest(&mut self, batch: &UploadBatch) -> IngestOutcome {
         let fingerprint = batch_fingerprint(batch);
+        self.ingest_prehashed(batch, fingerprint)
+    }
+
+    /// Whether a batch with this fingerprint was already applied.
+    pub fn contains(&self, fingerprint: u64) -> bool {
+        self.seen.contains(&fingerprint)
+    }
+
+    /// Applies one upload batch whose fingerprint the caller already
+    /// computed — the hot ingest path computes it once and shares it
+    /// with the WAL, so the batch is never re-serialized.
+    pub fn ingest_prehashed(&mut self, batch: &UploadBatch, fingerprint: u64) -> IngestOutcome {
         if !self.seen.insert(fingerprint) {
             self.stats.duplicates_absorbed += 1;
             return IngestOutcome {
@@ -108,6 +159,50 @@ impl AggregationStore {
             self.devices.len(),
             top_n,
         )
+    }
+
+    /// Serializes the full store state canonically.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let mut seen: Vec<u64> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        StoreSnapshot {
+            schema: SNAPSHOT_SCHEMA.to_string(),
+            apps: self
+                .apps
+                .iter()
+                .map(|(app, r)| (app.clone(), r.clone()))
+                .collect(),
+            devices: self.devices.iter().cloned().collect(),
+            seen,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Rebuilds a store from a snapshot.
+    pub fn from_snapshot(snap: &StoreSnapshot) -> AggregationStore {
+        AggregationStore {
+            apps: snap.apps.iter().cloned().collect(),
+            devices: snap.devices.iter().cloned().collect(),
+            seen: snap.seen.iter().copied().collect(),
+            stats: snap.stats.clone(),
+        }
+    }
+
+    /// CRDT merge: folds another store's state (typically a different
+    /// shard's or node's partition) into this one. Associative,
+    /// commutative, and idempotent over semilattice elements, so a
+    /// coordinator folding N partitions in any order reproduces the
+    /// single-node store exactly.
+    pub fn absorb(&mut self, snap: &StoreSnapshot) {
+        for (app, report) in &snap.apps {
+            self.apps
+                .entry(app.clone())
+                .or_insert_with(|| HangBugReport::new(app))
+                .merge(report);
+        }
+        self.devices.extend(snap.devices.iter().cloned());
+        self.seen.extend(snap.seen.iter().copied());
+        self.stats.merge(&snap.stats);
     }
 }
 
@@ -191,5 +286,62 @@ mod tests {
             rev.ingest(b);
         }
         assert_eq!(fwd.report(10).to_json(), rev.report(10).to_json());
+    }
+
+    #[test]
+    fn snapshot_round_trips_the_full_state() {
+        let mut store = AggregationStore::new();
+        store.ingest(&batch("a", 1, 0, 2));
+        store.ingest(&batch("b", 2, 0, 1));
+        let snap = store.snapshot();
+        assert_eq!(snap.schema, SNAPSHOT_SCHEMA);
+        let back = AggregationStore::from_snapshot(&snap);
+        assert_eq!(back.report(10).to_json(), store.report(10).to_json());
+        assert_eq!(back.stats(), store.stats());
+        // Canonical: snapshotting the restored store is byte-identical.
+        assert_eq!(
+            serde_json::to_string(&back.snapshot()).unwrap(),
+            serde_json::to_string(&snap).unwrap()
+        );
+        // Idempotency state survives: re-ingesting a snapshotted batch
+        // is a duplicate.
+        let mut back = back;
+        assert!(back.ingest(&batch("a", 1, 0, 2)).duplicate);
+    }
+
+    #[test]
+    fn absorbing_partitions_equals_single_node_ingest() {
+        let batches = [
+            batch("a", 1, 0, 1),
+            batch("a", 2, 0, 4),
+            batch("b", 3, 0, 2),
+            batch("b", 4, 0, 3),
+        ];
+        // Single node ingests everything.
+        let mut single = AggregationStore::new();
+        for b in &batches {
+            single.ingest(b);
+        }
+        // Two partitions split by device parity, folded either order.
+        let mut left = AggregationStore::new();
+        let mut right = AggregationStore::new();
+        for b in &batches {
+            if b.device % 2 == 0 {
+                left.ingest(b);
+            } else {
+                right.ingest(b);
+            }
+        }
+        let mut fold_lr = AggregationStore::new();
+        fold_lr.absorb(&left.snapshot());
+        fold_lr.absorb(&right.snapshot());
+        let mut fold_rl = AggregationStore::new();
+        fold_rl.absorb(&right.snapshot());
+        fold_rl.absorb(&left.snapshot());
+        assert_eq!(fold_lr.report(10).to_json(), single.report(10).to_json());
+        assert_eq!(fold_rl.report(10).to_json(), single.report(10).to_json());
+        // Idempotent: absorbing a partition twice changes nothing.
+        fold_lr.absorb(&left.snapshot());
+        assert_eq!(fold_lr.report(10).to_json(), single.report(10).to_json());
     }
 }

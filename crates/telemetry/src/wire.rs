@@ -8,17 +8,26 @@
 //! +------+----------------+------------------------------------------+
 //! ```
 //!
-//! The envelope carries the protocol tag [`SCHEMA`]
-//! (`hang-doctor/telemetry/v1`); a frame with any other tag is rejected
+//! The envelope carries a protocol tag. This build speaks two
+//! dialects: the current [`SCHEMA`] (`hang-doctor/telemetry/v2`) and
+//! the legacy [`SCHEMA_V1`] — a v2 server still ingests v1 frames
+//! byte-identically, and answers each connection in the dialect its
+//! requests arrive in, so old uploaders keep working across a fleet
+//! that upgrades gradually. A frame with any *other* tag is rejected
 //! with [`FrameError::Schema`] before its body is interpreted, so
-//! protocol drift fails loudly at the boundary instead of corrupting the
-//! aggregation store. All decode failures are typed [`FrameError`]s —
-//! a truncated, corrupt, or oversized frame never panics the server.
+//! protocol drift fails loudly at the boundary instead of corrupting
+//! the aggregation store. Version negotiation is explicit: a client
+//! may open with [`Request::Hello`] listing the dialects it speaks and
+//! the server answers [`Response::Welcome`] with the newest common
+//! one. All decode failures are typed [`FrameError`]s — a truncated,
+//! corrupt, or oversized frame never panics the server.
 //!
 //! Encoding is canonical: the JSON renderer is deterministic (struct
 //! fields in declaration order, map keys sorted), so
 //! `encode(decode(encode(x))) == encode(x)` byte-for-byte. The ingest
-//! fingerprints of `fingerprint.rs` rely on exactly this property.
+//! fingerprints of `fingerprint.rs` rely on exactly this property —
+//! and because the fingerprint hashes the *batch*, not the envelope,
+//! the same batch carried by a v1 and a v2 frame dedups to one ingest.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -27,15 +36,61 @@ use hangdoctor::{DeviceSnapshot, HangBugReport};
 use serde::{Deserialize, Serialize};
 
 use crate::report::TelemetryReport;
+use crate::store::StoreSnapshot;
 
-/// Protocol/schema tag carried by every frame envelope.
-pub const SCHEMA: &str = "hang-doctor/telemetry/v1";
+/// Current protocol/schema tag carried by every frame envelope.
+pub const SCHEMA: &str = "hang-doctor/telemetry/v2";
+
+/// The legacy protocol tag; still accepted on ingest.
+pub const SCHEMA_V1: &str = "hang-doctor/telemetry/v1";
+
+/// Every dialect this build speaks, newest first (the negotiation
+/// preference order).
+pub const SUPPORTED_SCHEMAS: [&str; 2] = [SCHEMA, SCHEMA_V1];
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"HDT1";
 
 /// Upper bound on one frame's JSON payload, bytes.
 pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// A protocol dialect a frame can arrive in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireVersion {
+    /// `hang-doctor/telemetry/v1` — PR 5's original envelope.
+    V1,
+    /// `hang-doctor/telemetry/v2` — adds Hello/Welcome negotiation and
+    /// the cluster Export exchange.
+    V2,
+}
+
+impl WireVersion {
+    /// The envelope tag of this dialect.
+    pub fn tag(self) -> &'static str {
+        match self {
+            WireVersion::V1 => SCHEMA_V1,
+            WireVersion::V2 => SCHEMA,
+        }
+    }
+
+    /// Parses an envelope tag into a dialect, if supported.
+    pub fn from_tag(tag: &str) -> Option<WireVersion> {
+        match tag {
+            SCHEMA_V1 => Some(WireVersion::V1),
+            SCHEMA => Some(WireVersion::V2),
+            _ => None,
+        }
+    }
+
+    /// Picks the newest dialect both sides speak, given the peer's
+    /// advertised tags.
+    pub fn negotiate(peer: &[String]) -> Option<WireVersion> {
+        SUPPORTED_SCHEMAS
+            .iter()
+            .find(|ours| peer.iter().any(|theirs| theirs == *ours))
+            .and_then(|tag| WireVersion::from_tag(tag))
+    }
+}
 
 /// One item of an upload batch: either a bare hang bug report or a full
 /// device snapshot (whose embedded report is what gets aggregated).
@@ -98,6 +153,16 @@ pub enum Request {
     },
     /// Stop the server after this connection closes.
     Shutdown,
+    /// v2: explicit version negotiation — the client lists every
+    /// dialect it speaks.
+    Hello {
+        /// Envelope tags the client can encode and decode.
+        supported: Vec<String>,
+    },
+    /// v2: export the node's raw aggregation state (the semilattice
+    /// elements themselves, not the lossy top-N projection) so a
+    /// cluster coordinator can fold it with other nodes'.
+    Export,
 }
 
 /// Server → client messages.
@@ -123,6 +188,15 @@ pub enum Response {
     Error(String),
     /// Acknowledges a shutdown request.
     Bye,
+    /// v2: answer to [`Request::Hello`] — the newest dialect both
+    /// sides speak.
+    Welcome {
+        /// The negotiated envelope tag.
+        schema: String,
+    },
+    /// v2: answer to [`Request::Export`] — the node's full aggregation
+    /// state.
+    State(StoreSnapshot),
 }
 
 /// Typed decode failure. Every malformed frame maps onto one of these —
@@ -180,10 +254,18 @@ struct Envelope {
     body: serde::Value,
 }
 
-/// Encodes `body` into a complete frame (magic + length + envelope).
+/// Encodes `body` into a complete frame (magic + length + envelope) in
+/// the current dialect.
 pub fn encode_frame<T: Serialize>(body: &T) -> Vec<u8> {
+    encode_frame_in(WireVersion::V2, body)
+}
+
+/// Encodes `body` into a complete frame in an explicit dialect — the
+/// server answers each connection in the dialect it was addressed in,
+/// and the v1-compat tests pin legacy encoding.
+pub fn encode_frame_in<T: Serialize>(version: WireVersion, body: &T) -> Vec<u8> {
     let envelope = Envelope {
-        schema: SCHEMA.to_string(),
+        schema: version.tag().to_string(),
         body: body.to_value(),
     };
     let json = serde_json::to_string(&envelope).expect("envelope serializes");
@@ -196,16 +278,26 @@ pub fn encode_frame<T: Serialize>(body: &T) -> Vec<u8> {
 }
 
 /// Decodes the JSON payload of a frame (everything after the 8-byte
-/// header), verifying the schema tag.
-pub fn decode_payload<T: Deserialize>(payload: &[u8]) -> Result<T, FrameError> {
+/// header), returning the body and the dialect it arrived in. Every
+/// supported schema tag is accepted; anything else is
+/// [`FrameError::Schema`].
+pub fn decode_payload_versioned<T: Deserialize>(
+    payload: &[u8],
+) -> Result<(T, WireVersion), FrameError> {
     let text = std::str::from_utf8(payload)
         .map_err(|e| FrameError::Json(format!("invalid UTF-8: {e}")))?;
     let envelope: Envelope =
         serde_json::from_str(text).map_err(|e| FrameError::Json(e.to_string()))?;
-    if envelope.schema != SCHEMA {
+    let Some(version) = WireVersion::from_tag(&envelope.schema) else {
         return Err(FrameError::Schema(envelope.schema));
-    }
-    T::from_value(&envelope.body).map_err(|e| FrameError::Json(e.to_string()))
+    };
+    let body = T::from_value(&envelope.body).map_err(|e| FrameError::Json(e.to_string()))?;
+    Ok((body, version))
+}
+
+/// Decodes the JSON payload of a frame, discarding the dialect.
+pub fn decode_payload<T: Deserialize>(payload: &[u8]) -> Result<T, FrameError> {
+    decode_payload_versioned(payload).map(|(body, _)| body)
 }
 
 /// Decodes a complete in-memory frame produced by [`encode_frame`].
@@ -242,12 +334,11 @@ pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads and decodes one frame from `r`.
-///
-/// A clean EOF before the first header byte returns
-/// `Truncated { needed: 8, got: 0 }`, which callers treat as normal
-/// connection close.
-pub fn read_frame<T: Deserialize>(r: &mut impl Read) -> Result<T, FrameError> {
+/// Reads and decodes one frame from `r`, returning the dialect it
+/// arrived in.
+pub fn read_frame_versioned<T: Deserialize>(
+    r: &mut impl Read,
+) -> Result<(T, WireVersion), FrameError> {
     let mut header = [0u8; 8];
     read_exact_counted(r, &mut header, 8)?;
     let magic: [u8; 4] = header[0..4].try_into().expect("4 bytes");
@@ -263,7 +354,16 @@ pub fn read_frame<T: Deserialize>(r: &mut impl Read) -> Result<T, FrameError> {
     }
     let mut payload = vec![0u8; len];
     read_exact_counted(r, &mut payload, 8 + len)?;
-    decode_payload(&payload)
+    decode_payload_versioned(&payload)
+}
+
+/// Reads and decodes one frame from `r`.
+///
+/// A clean EOF before the first header byte returns
+/// `Truncated { needed: 8, got: 0 }`, which callers treat as normal
+/// connection close.
+pub fn read_frame<T: Deserialize>(r: &mut impl Read) -> Result<T, FrameError> {
+    read_frame_versioned(r).map(|(body, _)| body)
 }
 
 /// `read_exact` that reports how much of the frame was present when the
@@ -284,6 +384,93 @@ fn read_exact_counted(r: &mut impl Read, buf: &mut [u8], needed: usize) -> Resul
         }
     }
     Ok(())
+}
+
+/// Incremental frame extractor for the server's nonblocking read path:
+/// carves complete frames out of `buf`, leaving any trailing partial
+/// frame in place, and returns the decoded bodies with their dialects.
+///
+/// A header-level violation (bad magic, oversize) poisons the stream —
+/// the caller should answer with an error and close — whereas an
+/// incomplete tail is normal and simply waits for more bytes.
+pub fn drain_frames<T: Deserialize>(
+    buf: &mut Vec<u8>,
+) -> Result<Vec<(T, WireVersion)>, FrameError> {
+    let frames = drain_frames_with(buf, |_, _, _| ())?;
+    Ok(frames.into_iter().map(|(body, v, ())| (body, v)).collect())
+}
+
+/// [`drain_frames`] with a per-frame hook over the raw payload bytes,
+/// invoked before the payload is dropped. The ingest path uses it to
+/// fingerprint upload bodies straight off the wire.
+pub fn drain_frames_with<T: Deserialize, A>(
+    buf: &mut Vec<u8>,
+    mut annotate: impl FnMut(&[u8], &T, WireVersion) -> A,
+) -> Result<Vec<(T, WireVersion, A)>, FrameError> {
+    let mut out = Vec::new();
+    let mut consumed = 0usize;
+    loop {
+        let rest = &buf[consumed..];
+        if rest.len() < 8 {
+            break;
+        }
+        let magic: [u8; 4] = rest[0..4].try_into().expect("4 bytes");
+        if magic != MAGIC {
+            buf.drain(..consumed);
+            return Err(FrameError::BadMagic(magic));
+        }
+        let len = u32::from_be_bytes(rest[4..8].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            buf.drain(..consumed);
+            return Err(FrameError::TooLarge {
+                len,
+                max: MAX_FRAME,
+            });
+        }
+        if rest.len() < 8 + len {
+            break;
+        }
+        match decode_payload_versioned(&rest[8..8 + len]) {
+            Ok((body, version)) => {
+                let ann = annotate(&rest[8..8 + len], &body, version);
+                out.push((body, version, ann));
+            }
+            Err(e) => {
+                buf.drain(..consumed + 8 + len);
+                return Err(e);
+            }
+        }
+        consumed += 8 + len;
+    }
+    buf.drain(..consumed);
+    Ok(out)
+}
+
+/// Recovers the ingest fingerprint of an `Upload` request straight from
+/// its wire payload, without re-serializing the decoded batch.
+///
+/// Works because encoding is canonical: a frame our own encoder
+/// produced carries the batch's canonical JSON verbatim inside the
+/// envelope (`{"schema":"<tag>","body":{"Upload":<batch>}}`), and the
+/// ingest fingerprint is FNV-1a over exactly those bytes. Returns
+/// `None` when the payload is not in canonical envelope form (e.g. a
+/// foreign client inserting whitespace) — the caller then falls back to
+/// re-serializing, so the fingerprint is identical either way.
+pub fn upload_fingerprint_from_payload(payload: &[u8], version: WireVersion) -> Option<u64> {
+    let tag = version.tag();
+    let mut prefix = Vec::with_capacity(32 + tag.len());
+    prefix.extend_from_slice(b"{\"schema\":\"");
+    prefix.extend_from_slice(tag.as_bytes());
+    prefix.extend_from_slice(b"\",\"body\":{\"Upload\":");
+    let body_end = payload.len().checked_sub(2)?;
+    if body_end <= prefix.len() || !payload.starts_with(&prefix) || &payload[body_end..] != b"}}" {
+        return None;
+    }
+    let batch_json = &payload[prefix.len()..body_end];
+    if batch_json.first() != Some(&b'{') {
+        return None;
+    }
+    Some(crate::fingerprint::fnv1a(batch_json))
 }
 
 #[cfg(test)]
@@ -332,12 +519,34 @@ mod tests {
     }
 
     #[test]
-    fn wrong_schema_is_rejected() {
+    fn unsupported_schema_is_rejected() {
         let json = r#"{"schema": "hang-doctor/telemetry/v0", "body": null}"#;
         match decode_payload::<Request>(json.as_bytes()) {
             Err(FrameError::Schema(s)) => assert_eq!(s, "hang-doctor/telemetry/v0"),
             other => panic!("expected Schema error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn both_supported_dialects_decode_and_report_their_version() {
+        let req = Request::Query { top_n: 4 };
+        let v2 = encode_frame_in(WireVersion::V2, &req);
+        let v1 = encode_frame_in(WireVersion::V1, &req);
+        assert_ne!(v1, v2, "dialects must be distinguishable on the wire");
+        let (_, ver2) = decode_payload_versioned::<Request>(&v2[8..]).unwrap();
+        let (_, ver1) = decode_payload_versioned::<Request>(&v1[8..]).unwrap();
+        assert_eq!(ver2, WireVersion::V2);
+        assert_eq!(ver1, WireVersion::V1);
+    }
+
+    #[test]
+    fn negotiation_picks_the_newest_common_dialect() {
+        let both = vec![SCHEMA_V1.to_string(), SCHEMA.to_string()];
+        assert_eq!(WireVersion::negotiate(&both), Some(WireVersion::V2));
+        let legacy_only = vec![SCHEMA_V1.to_string()];
+        assert_eq!(WireVersion::negotiate(&legacy_only), Some(WireVersion::V1));
+        let alien = vec!["hang-doctor/telemetry/v99".to_string()];
+        assert_eq!(WireVersion::negotiate(&alien), None);
     }
 
     #[test]
@@ -374,6 +583,71 @@ mod tests {
         match read_frame::<Request>(&mut stream) {
             Err(FrameError::Truncated { needed: 8, got: 0 }) => {}
             other => panic!("expected empty truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_frames_extracts_complete_frames_and_keeps_the_tail() {
+        let a = encode_frame(&Request::Query { top_n: 1 });
+        let b = encode_frame_in(WireVersion::V1, &Request::Shutdown);
+        let c = encode_frame(&Request::Query { top_n: 9 });
+        let mut buf = [a.as_slice(), b.as_slice(), &c[..c.len() - 3]].concat();
+        let got: Vec<(Request, WireVersion)> = drain_frames(&mut buf).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].1, WireVersion::V2);
+        assert_eq!(got[1].1, WireVersion::V1);
+        // The partial tail stays buffered; completing it yields frame 3.
+        buf.extend_from_slice(&c[c.len() - 3..]);
+        let got: Vec<(Request, WireVersion)> = drain_frames(&mut buf).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn wire_fingerprint_matches_the_canonical_fingerprint() {
+        use crate::fingerprint::batch_fingerprint;
+        use hangdoctor::HangBugReport;
+        let batch = UploadBatch {
+            app: "app".to_string(),
+            device: 7,
+            seq: 3,
+            items: vec![TelemetryItem::Report(HangBugReport::new("app"))],
+        };
+        let want = batch_fingerprint(&batch);
+        for version in [WireVersion::V1, WireVersion::V2] {
+            let frame = encode_frame_in(version, &Request::Upload(batch.clone()));
+            assert_eq!(
+                upload_fingerprint_from_payload(&frame[8..], version),
+                Some(want),
+                "wire-byte fingerprint must equal the re-serialized one ({version:?})"
+            );
+        }
+        // A semantically equal but non-canonical payload (extra space)
+        // falls back instead of producing a wrong fingerprint.
+        let frame = encode_frame_in(WireVersion::V2, &Request::Upload(batch.clone()));
+        let text = String::from_utf8(frame[8..].to_vec()).unwrap();
+        let spaced = text.replace("\"body\":", "\"body\": ");
+        assert_eq!(
+            upload_fingerprint_from_payload(spaced.as_bytes(), WireVersion::V2),
+            None
+        );
+        // Non-upload requests never fingerprint.
+        let q = encode_frame(&Request::Query { top_n: 1 });
+        assert_eq!(
+            upload_fingerprint_from_payload(&q[8..], WireVersion::V2),
+            None
+        );
+    }
+
+    #[test]
+    fn drain_frames_poisons_on_bad_magic() {
+        let good = encode_frame(&Request::Shutdown);
+        let mut bad = encode_frame(&Request::Shutdown);
+        bad[0] = b'Z';
+        let mut buf = [good, bad].concat();
+        match drain_frames::<Request>(&mut buf) {
+            Err(FrameError::BadMagic(m)) => assert_eq!(m[0], b'Z'),
+            other => panic!("expected BadMagic, got {other:?}"),
         }
     }
 }

@@ -5,8 +5,8 @@
 use hangdoctor::{HangBugReport, RootCause, RootKind};
 use hd_simrt::ActionUid;
 use hd_telemetry::{
-    encode_frame, read_frame, write_frame, AggregationStore, Request, Response, ServerConfig,
-    TelemetryItem, TelemetryServer, UploadBatch, Uploader,
+    encode_frame, read_frame, write_frame, AggregationStore, Request, Response, TelemetryItem,
+    TelemetryServer, UploadBatch, Uploader,
 };
 
 fn batch(app: &str, device: u32, seq: u64, hangs: u64) -> UploadBatch {
@@ -94,7 +94,10 @@ fn networked_redelivery_is_idempotent() {
     let batches = corpus();
 
     let run = |order: &[usize], deliveries: usize| -> String {
-        let server = TelemetryServer::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let server = TelemetryServer::builder()
+            .addr("127.0.0.1:0")
+            .start()
+            .unwrap();
         let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
         for _ in 0..deliveries {
             for &i in order {
