@@ -1,0 +1,31 @@
+//! Accrual-kernel microbenchmark: ns per `MemProfile::accrue` call.
+//!
+//! This is the innermost loop of the whole fleet — every scheduler event
+//! that retires CPU time funds one accrue. The v2 kernel spends one
+//! parent RNG draw per call and fans it through a precomputed jitter
+//! table, so a call should cost tens of nanoseconds, not the ~40 draws
+//! of the v1 chain. The `ui` and `memory_heavy` profiles bracket the
+//! derived-event count (memory-heavy adds the fault/THP family).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hd_simrt::{CounterBank, MemProfile, SimRng};
+use std::hint::black_box;
+
+fn bench_profile(c: &mut Criterion, name: &str, profile: MemProfile) {
+    c.bench_function(name, |b| {
+        let mut bank = CounterBank::new();
+        let mut rng = SimRng::seed_from_u64(0x5EED);
+        b.iter(|| {
+            profile.accrue(&mut bank, black_box(50_000), &mut rng);
+            black_box(&bank);
+        });
+    });
+}
+
+fn accrue_kernel(c: &mut Criterion) {
+    bench_profile(c, "accrue_ui", MemProfile::ui());
+    bench_profile(c, "accrue_memory_heavy", MemProfile::memory_heavy());
+}
+
+criterion_group!(benches, accrue_kernel);
+criterion_main!(benches);

@@ -17,9 +17,11 @@
 //! sets the rate of the `chaos` differential (default 0.05).
 //!
 //! `--json` prints results as JSON; `--json <path>` writes them to
-//! `<path>` instead. `bench-summary` runs the fleet and writes the
-//! machine-readable perf snapshot `BENCH_fleet.json` (throughput, wall
-//! time, per-shard busy time, job count) — the repo's perf trajectory.
+//! `<path>` instead. `bench-summary` sweeps the fleet workload over
+//! 1/2/4/8/16 worker threads plus an accrual-kernel microbenchmark and
+//! writes the machine-readable `hang-doctor/fleet-bench/v2` snapshot
+//! `BENCH_fleet.json` (per-thread-count rows, accrue ns/call, best
+//! throughput vs. the PR 2 baseline) — the repo's perf trajectory.
 //!
 //! Telemetry commands: `serve` runs the TCP ingestion server on
 //! `--addr` until a client sends a shutdown frame (add `--wal DIR
@@ -115,6 +117,38 @@ fn emit<T: serde::Serialize>(opts: &Opts, value: &T, text: String) {
         }
     } else {
         println!("{text}");
+    }
+}
+
+/// The PR 2 fleet-throughput reference, device-hours per wall second on
+/// the quick-fleet workload; `BENCH_fleet.json` tracks the multiple.
+const PR2_BASELINE: f64 = 1.67;
+
+/// Times `MemProfile::accrue` directly (ns/call, ui and memory-heavy
+/// profiles) so the bench artifact carries the kernel floor rather than
+/// inferring it from fleet wall time.
+fn measure_accrue() -> hd_fleet::AccrueBench {
+    use hd_simrt::{CounterBank, MemProfile, SimRng};
+    fn ns_per_call(profile: &MemProfile) -> f64 {
+        let mut bank = CounterBank::new();
+        let mut rng = SimRng::seed_from_u64(7);
+        // Warm up, then time a fixed batch; 200k calls keep the whole
+        // measurement under ~10 ms.
+        for _ in 0..10_000 {
+            profile.accrue(&mut bank, 50_000, &mut rng);
+        }
+        let calls = 200_000u32;
+        let started = std::time::Instant::now();
+        for _ in 0..calls {
+            profile.accrue(&mut bank, 50_000, &mut rng);
+        }
+        let elapsed = started.elapsed();
+        std::hint::black_box(&bank);
+        elapsed.as_nanos() as f64 / calls as f64
+    }
+    hd_fleet::AccrueBench {
+        ui_ns_per_call: ns_per_call(&MemProfile::ui()),
+        memory_heavy_ns_per_call: ns_per_call(&MemProfile::memory_heavy()),
     }
 }
 
@@ -460,22 +494,42 @@ fn run_one(name: &str, opts: &Opts) -> Result<(), String> {
             println!("wrote {}: {}", path.display(), bench.render());
         }
         "bench-summary" => {
-            let r = fleet_report(opts, seed);
-            let summary = r.bench_summary();
+            // The v2 sweep: the same workload at 1/2/4/8/16 threads plus
+            // the accrual-kernel microbenchmark, so one artifact carries
+            // the serial floor, the scaling curve, and the kernel cost.
+            let accrue = measure_accrue();
+            let mut rows = Vec::new();
+            for threads in [1usize, 2, 4, 8, 16] {
+                let mut spec = study_spec(opts, seed);
+                spec.threads = threads;
+                let r = hd_fleet::run_fleet(&spec);
+                rows.push(r.bench_row());
+            }
+            let workload = format!(
+                "table5 study corpus, {} devices/app, executions {}, seed {}{}",
+                opts.devices,
+                if opts.quick { 2 } else { 4 },
+                seed,
+                if opts.chaos.is_some() { ", chaos" } else { "" },
+            );
+            let bench = hd_fleet::FleetBench::new(&workload, PR2_BASELINE, accrue, rows);
             let path = opts
                 .json_path
                 .clone()
                 .unwrap_or_else(|| PathBuf::from("BENCH_fleet.json"));
-            let json = serde_json::to_string_pretty(&summary).expect("serializable bench summary");
+            let json = serde_json::to_string_pretty(&bench).expect("serializable bench summary");
             std::fs::write(&path, format!("{json}\n"))
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
             println!(
-                "wrote {}: {} jobs on {} thread(s), wall {} ms, {:.2} device-hours/s",
+                "wrote {}: best {:.2} device-hours/s over {} thread counts \
+                 ({:.1}x the {:.2} baseline); accrue ui {:.1} ns, memory-heavy {:.1} ns",
                 path.display(),
-                summary.jobs,
-                summary.threads,
-                summary.wall_ms,
-                summary.device_hours_per_wall_second,
+                bench.best_device_hours_per_wall_second,
+                bench.rows.len(),
+                bench.best_device_hours_per_wall_second / PR2_BASELINE,
+                PR2_BASELINE,
+                bench.accrue.ui_ns_per_call,
+                bench.accrue.memory_heavy_ns_per_call,
             );
         }
         "ablations" => {

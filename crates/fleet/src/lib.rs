@@ -4,9 +4,14 @@
 //! devices at once and aggregates what they report. This crate scales
 //! that story to a simulated fleet: a **corpus × device-profile ×
 //! user-trace matrix** is enumerated into independent jobs, the jobs are
-//! distributed over a scoped worker pool through a shared lock-free
-//! queue (dynamic load balancing: idle workers steal the next pending
-//! job), and every per-device artifact is merged losslessly at the end.
+//! partitioned into **strided thread-per-core shards** (shard `s` of `T`
+//! owns jobs `s, s+T, s+2T, …`), and each shard folds its own
+//! [`MergedFleet`]-shaped partial as it runs; shard partials then fold
+//! once more, in shard order, into the fleet artifact. The stride
+//! interleaves each app's consecutive device indices across shards, so
+//! every shard sees a balanced app mix without any shared queue, and a
+//! shard reuses its hot `Arc<CompiledApp>` across the consecutive
+//! devices of an app it owns.
 //!
 //! ## Determinism
 //!
@@ -19,7 +24,10 @@
 //!   simulator, its own Hang Doctor, and its own blocking-API database;
 //! * the merge operators ([`HangBugReport::merge`],
 //!   [`BlockingApiDb::merge`]) are associative, commutative, and
-//!   idempotent, and results are folded in stable job-index order.
+//!   idempotent **joins** (per-device counters join by max, conflicts
+//!   resolve to the least element), and the scalar tallies are sums —
+//!   so folding per-shard partials in any grouping produces the same
+//!   value as the serial index-order fold, whatever the thread count.
 //!
 //! Wall-clock measurements live in the separate [`FleetTiming`] half,
 //! which is excluded from determinism comparisons by construction.
@@ -241,15 +249,13 @@ pub struct FleetReport {
     pub timing: FleetTiming,
 }
 
-/// Machine-readable performance snapshot of one fleet run — the schema
-/// of `BENCH_fleet.json`, the repo's perf-trajectory entry. Emitted by
-/// `repro bench-summary` and archived by CI so throughput regressions
-/// are visible across commits.
+/// Schema tag of `BENCH_fleet.json` (the v2 fleet bench artifact).
+pub const FLEET_BENCH_SCHEMA: &str = "hang-doctor/fleet-bench/v2";
+
+/// One thread-count row of the v2 fleet bench schema.
 #[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct BenchSummary {
-    /// Schema tag, bumped on incompatible changes.
-    pub schema: String,
-    /// Worker threads used.
+pub struct BenchRow {
+    /// Worker threads used for this row.
     pub threads: usize,
     /// Jobs (devices) run.
     pub jobs: usize,
@@ -263,11 +269,60 @@ pub struct BenchSummary {
     pub shards: Vec<ShardStat>,
 }
 
+/// Measured cost of the accrual kernel, the fleet's innermost hot loop.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AccrueBench {
+    /// ns per `MemProfile::accrue` call, ui profile.
+    pub ui_ns_per_call: f64,
+    /// ns per `MemProfile::accrue` call, memory-heavy profile.
+    pub memory_heavy_ns_per_call: f64,
+}
+
+/// Machine-readable performance snapshot of a fleet scaling sweep — the
+/// schema of `BENCH_fleet.json`, the repo's perf-trajectory entry.
+/// Emitted by `repro bench-summary` (one [`BenchRow`] per thread count)
+/// and archived by CI so throughput regressions are visible across
+/// commits; CI also fails if the freshly measured quick-fleet throughput
+/// regresses more than 20% below the committed `best` value.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FleetBench {
+    /// Schema tag, bumped on incompatible changes.
+    pub schema: String,
+    /// Human description of the measured workload.
+    pub workload: String,
+    /// The PR 2 reference throughput this trajectory is measured
+    /// against, device-hours per wall second.
+    pub baseline_device_hours_per_wall_second: f64,
+    /// Accrual-kernel microbenchmark at the time of the sweep.
+    pub accrue: AccrueBench,
+    /// One row per measured thread count, ascending.
+    pub rows: Vec<BenchRow>,
+    /// Best throughput across the rows, device-hours per wall second.
+    pub best_device_hours_per_wall_second: f64,
+}
+
+impl FleetBench {
+    /// Assembles the sweep artifact; `best` is computed from the rows.
+    pub fn new(workload: &str, baseline: f64, accrue: AccrueBench, rows: Vec<BenchRow>) -> Self {
+        let best = rows
+            .iter()
+            .map(|r| r.device_hours_per_wall_second)
+            .fold(0.0, f64::max);
+        FleetBench {
+            schema: FLEET_BENCH_SCHEMA.into(),
+            workload: workload.into(),
+            baseline_device_hours_per_wall_second: baseline,
+            accrue,
+            rows,
+            best_device_hours_per_wall_second: best,
+        }
+    }
+}
+
 impl FleetReport {
-    /// Collapses the run into its [`BenchSummary`] perf snapshot.
-    pub fn bench_summary(&self) -> BenchSummary {
-        BenchSummary {
-            schema: "hang-doctor/fleet-bench/v1".into(),
+    /// Collapses the run into one [`BenchRow`] of the v2 sweep.
+    pub fn bench_row(&self) -> BenchRow {
+        BenchRow {
             threads: self.timing.threads,
             jobs: self.merged.jobs,
             wall_ms: self.timing.wall_ms,
@@ -470,47 +525,104 @@ fn run_job(spec: &FleetSpec, compiled: &CompiledApp, index: usize, app_idx: usiz
     }
 }
 
-/// Merges job results (already sorted by stable index) into the
-/// deterministic fleet artifact.
-fn merge_results(spec: &FleetSpec, results: &[JobResult]) -> MergedFleet {
-    let mut apps: Vec<AppFleetSummary> = spec
-        .apps
-        .iter()
-        .map(|app| AppFleetSummary {
-            app: app.name.clone(),
-            devices: 0,
-            report: HangBugReport::new(&app.name),
+/// A shard's running fold of its job results: the [`MergedFleet`] shape
+/// plus the chaos tally and (optionally) the per-device upload units.
+/// Each worker absorbs every job it owns the moment the job finishes —
+/// individual [`JobResult`]s never outlive their shard — and the shard
+/// partials fold once more, in shard order, at the end. Because the
+/// merge operators are commutative joins and the scalars are sums, any
+/// shard grouping folds to the same value as the serial index-order
+/// fold.
+struct FleetAccum {
+    jobs: usize,
+    apps: Vec<AppFleetSummary>,
+    apidb: BlockingApiDb,
+    confusion: Confusion,
+    detections: u64,
+    hangs_observed: u64,
+    simulated_ns: u64,
+    faults: FaultTally,
+    reports: Vec<JobReport>,
+}
+
+impl FleetAccum {
+    fn new(spec: &FleetSpec) -> FleetAccum {
+        FleetAccum {
+            jobs: 0,
+            apps: spec
+                .apps
+                .iter()
+                .map(|app| AppFleetSummary {
+                    app: app.name.clone(),
+                    devices: 0,
+                    report: HangBugReport::new(&app.name),
+                    confusion: Confusion::default(),
+                    detections: 0,
+                })
+                .collect(),
+            apidb: BlockingApiDb::documented(spec.apidb_year),
             confusion: Confusion::default(),
             detections: 0,
-        })
-        .collect();
-    let mut apidb = BlockingApiDb::documented(spec.apidb_year);
-    let mut confusion = Confusion::default();
-    let mut detections = 0u64;
-    let mut hangs_observed = 0u64;
-    let mut simulated_ns = 0u64;
-    for result in results {
-        let slot = &mut apps[result.app_idx];
+            hangs_observed: 0,
+            simulated_ns: 0,
+            faults: FaultTally::default(),
+            reports: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, spec: &FleetSpec, result: JobResult, collect_reports: bool) {
+        self.jobs += 1;
+        let slot = &mut self.apps[result.app_idx];
         slot.devices += 1;
         slot.report.merge(&result.report);
         add_confusion(&mut slot.confusion, &result.confusion);
         slot.detections += result.detections;
-        apidb.merge(&result.db);
-        add_confusion(&mut confusion, &result.confusion);
-        detections += result.detections;
-        hangs_observed += result.hangs_observed;
-        simulated_ns += result.simulated_ns;
+        self.apidb.merge(&result.db);
+        add_confusion(&mut self.confusion, &result.confusion);
+        self.detections += result.detections;
+        self.hangs_observed += result.hangs_observed;
+        self.simulated_ns += result.simulated_ns;
+        self.faults.merge(&result.faults);
+        if collect_reports {
+            self.reports.push(JobReport {
+                index: result.index,
+                app: spec.apps[result.app_idx].name.clone(),
+                device: result.index as u32 + 1,
+                report: result.report,
+            });
+        }
     }
-    MergedFleet {
-        root_seed: spec.root_seed,
-        devices_per_app: spec.devices_per_app,
-        jobs: results.len(),
-        apps,
-        apidb,
-        confusion,
-        detections,
-        hangs_observed,
-        simulated_ns,
+
+    fn fold(&mut self, other: FleetAccum) {
+        self.jobs += other.jobs;
+        for (slot, theirs) in self.apps.iter_mut().zip(&other.apps) {
+            slot.devices += theirs.devices;
+            slot.report.merge(&theirs.report);
+            add_confusion(&mut slot.confusion, &theirs.confusion);
+            slot.detections += theirs.detections;
+        }
+        self.apidb.merge(&other.apidb);
+        add_confusion(&mut self.confusion, &other.confusion);
+        self.detections += other.detections;
+        self.hangs_observed += other.hangs_observed;
+        self.simulated_ns += other.simulated_ns;
+        self.faults.merge(&other.faults);
+        self.reports.extend(other.reports);
+    }
+
+    fn into_merged(self, spec: &FleetSpec) -> (MergedFleet, FaultTally, Vec<JobReport>) {
+        let merged = MergedFleet {
+            root_seed: spec.root_seed,
+            devices_per_app: spec.devices_per_app,
+            jobs: self.jobs,
+            apps: self.apps,
+            apidb: self.apidb,
+            confusion: self.confusion,
+            detections: self.detections,
+            hangs_observed: self.hangs_observed,
+            simulated_ns: self.simulated_ns,
+        };
+        (merged, self.faults, self.reports)
     }
 }
 
@@ -566,83 +678,74 @@ fn run_fleet_inner(spec: &FleetSpec, collect_reports: bool) -> (FleetReport, Vec
     // cannot perturb determinism.
     let compiled = compile_corpus(&spec.apps, threads);
 
-    // The shared job queue: workers pull the next pending (index,
-    // app_idx) pair as soon as they go idle, so a shard is whatever mix
-    // of cells a worker ends up grabbing — long-running apps never pin
-    // the whole fleet behind one thread.
-    let queue: SegQueue<(usize, usize)> = SegQueue::new();
-    for app_idx in 0..spec.apps.len() {
-        for d in 0..spec.devices_per_app as usize {
-            let index = app_idx * spec.devices_per_app as usize + d;
-            queue.push((index, app_idx));
-        }
-    }
-
-    let mut results: Vec<JobResult> = Vec::with_capacity(total_jobs);
+    // Sharded thread-per-core execution: shard `s` owns the strided job
+    // set {s, s+T, s+2T, …}. Consecutive fleet indices run the same app
+    // (the matrix enumerates an app's devices contiguously), so the
+    // stride deals every app's devices round-robin across shards — a
+    // balanced app mix per shard with zero shared scheduling state. Each
+    // shard keeps the `Arc<CompiledApp>` of the app it is currently
+    // working through hot in a local slot and folds its results into its
+    // own partial as it goes, so no `JobResult` survives its shard.
+    let devices_per_app = spec.devices_per_app as usize;
     let mut shards: Vec<ShardStat> = Vec::with_capacity(threads);
+    let mut folded: Option<FleetAccum> = None;
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for worker in 0..threads {
-            let queue = &queue;
             let compiled = &compiled;
             handles.push(scope.spawn(move |_| {
                 let begun = Instant::now();
-                let mut mine = Vec::new();
-                while let Some((index, app_idx)) = queue.pop() {
-                    mine.push(run_job(spec, &compiled[app_idx], index, app_idx));
+                let mut accum = FleetAccum::new(spec);
+                let mut hot: Option<(usize, Arc<CompiledApp>)> = None;
+                let mut index = worker;
+                while index < total_jobs {
+                    let app_idx = index / devices_per_app;
+                    if hot.as_ref().map(|(a, _)| *a) != Some(app_idx) {
+                        hot = Some((app_idx, Arc::clone(&compiled[app_idx])));
+                    }
+                    let (_, app) = hot.as_ref().expect("hot slot just filled");
+                    let result = run_job(spec, app, index, app_idx);
+                    accum.absorb(spec, result, collect_reports);
+                    index += threads;
                 }
                 (
                     ShardStat {
                         worker,
-                        jobs: mine.len(),
+                        jobs: accum.jobs,
                         busy_ms: begun.elapsed().as_millis() as u64,
                     },
-                    mine,
+                    accum,
                 )
             }));
         }
+        // Shard partials fold in worker order; the merge operators are
+        // commutative joins, so the grouping cannot change the value.
         for handle in handles {
-            let (stat, mut mine) = handle.join().expect("fleet worker panicked");
+            let (stat, accum) = handle.join().expect("fleet worker panicked");
             shards.push(stat);
-            results.append(&mut mine);
+            match &mut folded {
+                Some(all) => all.fold(accum),
+                None => folded = Some(accum),
+            }
         }
     })
     .expect("fleet scope panicked");
 
-    // Stable fold order: whatever interleaving the workers produced,
-    // merging happens in job-index order. (The merge operators are
-    // order-independent anyway; sorting makes the determinism argument
-    // not depend on that.)
-    results.sort_by_key(|r| r.index);
-    debug_assert_eq!(results.len(), total_jobs);
-
-    let merged = merge_results(spec, &results);
+    let folded = folded.expect("at least one shard ran");
+    debug_assert_eq!(folded.jobs, total_jobs);
+    let (merged, fault_tally, mut job_reports) = folded.into_merged(spec);
     let chaos = if spec.faults.enabled() {
-        let mut tally = FaultTally::default();
-        for result in &results {
-            tally.merge(&result.faults);
-        }
         Some(ChaosReport {
             config: spec.faults,
-            tally,
+            tally: fault_tally,
             net: NetFaultTally::default(),
         })
     } else {
         None
     };
-    let job_reports = if collect_reports {
-        results
-            .into_iter()
-            .map(|r| JobReport {
-                index: r.index,
-                app: spec.apps[r.app_idx].name.clone(),
-                device: r.index as u32 + 1,
-                report: r.report,
-            })
-            .collect()
-    } else {
-        Vec::new()
-    };
+    // Shards collected their (already index-ascending) report lists
+    // independently; one sort restores global stable index order.
+    job_reports.sort_by_key(|r| r.index);
     let wall = started.elapsed();
     let wall_seconds = wall.as_secs_f64().max(1e-9);
     let device_hours = merged.simulated_ns as f64 / 3.6e12;

@@ -65,6 +65,60 @@ fn eight_thread_chaos_fleet_is_byte_identical_to_serial() {
 }
 
 #[test]
+fn sixteen_thread_fleet_is_byte_identical_to_serial() {
+    // Sixteen workers oversubscribe the 12-job matrix: every non-empty
+    // strided shard holds a single job and the worker-order fold spans
+    // empty partials — the sharded scheduler must still reproduce the
+    // serial bytes.
+    let serial = run_fleet(&spec(1));
+    let parallel = run_fleet(&spec(16));
+    assert_eq!(
+        serde_json::to_string_pretty(&serial.merged).unwrap(),
+        serde_json::to_string_pretty(&parallel.merged).unwrap()
+    );
+}
+
+#[test]
+fn thirty_two_thread_fleet_is_byte_identical_to_serial() {
+    // Nearly three workers per job: the trailing shards are empty and
+    // fold as identity elements of the merge semilattice.
+    let serial = run_fleet(&spec(1));
+    let parallel = run_fleet(&spec(32));
+    assert_eq!(
+        serde_json::to_string_pretty(&serial.merged).unwrap(),
+        serde_json::to_string_pretty(&parallel.merged).unwrap()
+    );
+}
+
+#[test]
+fn sixteen_thread_chaos_fleet_is_byte_identical_to_serial() {
+    let serial = run_fleet(&chaos_spec(1));
+    let parallel = run_fleet(&chaos_spec(16));
+    assert_eq!(
+        serde_json::to_string_pretty(&serial.merged).unwrap(),
+        serde_json::to_string_pretty(&parallel.merged).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string_pretty(&serial.chaos).unwrap(),
+        serde_json::to_string_pretty(&parallel.chaos).unwrap()
+    );
+}
+
+#[test]
+fn thirty_two_thread_chaos_fleet_is_byte_identical_to_serial() {
+    let serial = run_fleet(&chaos_spec(1));
+    let parallel = run_fleet(&chaos_spec(32));
+    assert_eq!(
+        serde_json::to_string_pretty(&serial.merged).unwrap(),
+        serde_json::to_string_pretty(&parallel.merged).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string_pretty(&serial.chaos).unwrap(),
+        serde_json::to_string_pretty(&parallel.chaos).unwrap()
+    );
+}
+
+#[test]
 fn chaos_and_clean_fleets_differ() {
     // Sanity: 10% chaos must actually perturb the merged science, or the
     // injection points are dead.

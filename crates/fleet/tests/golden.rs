@@ -4,6 +4,13 @@
 //! untouched, and the fault-injection layer must leave the *clean*
 //! fixture untouched even as code paths gain fault hooks.
 //!
+//! Every fixture starts with a one-line schema header carrying
+//! [`FIXTURE_SCHEMA`]. The tag versions the *sampled randomness*, not
+//! the report format: optimizations that keep the simulator's RNG draw
+//! sequence intact must reproduce the fixture bytes under the same tag,
+//! while a deliberate redesign of the draw order bumps the tag and
+//! re-pins the bytes.
+//!
 //! Regenerate (only when a deliberate behavior change lands) with:
 //!
 //! ```text
@@ -12,6 +19,18 @@
 
 use hangdoctor::{FaultConfig, HangDoctorConfig};
 use hd_fleet::{run_fleet, DeviceProfile, FleetSpec};
+
+/// Fixture schema tag, bumped when a deliberate behavior change re-pins
+/// the fleet goldens. v2: the second hot-loop campaign's batched accrual
+/// kernel (one fanned parent draw per accrue) and the system-pulse fast
+/// path (one fanned parent draw per pulse cycle) replaced the v1
+/// per-event draw chain.
+const FIXTURE_SCHEMA: &str = "hang-doctor/fleet-golden/v2";
+
+/// Prefixes the payload with the one-line schema header.
+fn tagged(payload: String) -> String {
+    format!("{{\"fixture_schema\": \"{FIXTURE_SCHEMA}\"}}\n{payload}")
+}
 
 fn spec() -> FleetSpec {
     FleetSpec {
@@ -51,7 +70,7 @@ fn merged_report_matches_checked_in_fixture() {
     let report = run_fleet(&spec());
     assert!(report.chaos.is_none(), "clean run must carry no chaos data");
     let json = serde_json::to_string_pretty(&report.merged).expect("serializable report");
-    check_or_regen(format!("{json}\n"), FIXTURE, "fleet_small.json");
+    check_or_regen(tagged(format!("{json}\n")), FIXTURE, "fleet_small.json");
 }
 
 #[test]
@@ -66,7 +85,7 @@ fn chaos_report_matches_checked_in_fixture() {
     let merged = serde_json::to_string_pretty(&report.merged).expect("serializable report");
     let tallies = serde_json::to_string_pretty(chaos).expect("serializable chaos report");
     check_or_regen(
-        format!("{merged}\n{tallies}\n"),
+        tagged(format!("{merged}\n{tallies}\n")),
         CHAOS_FIXTURE,
         "fleet_chaos.json",
     );

@@ -92,6 +92,94 @@ impl SimRng {
     }
 }
 
+/// Fans one 64-bit draw out into many small independent decisions.
+///
+/// The accrual kernel used to draw one full RNG value per derived PMU
+/// event (~40 draws per [`crate::work::MemProfile::accrue`] call), which
+/// pinned the fleet's hot loop on RNG throughput. A `JitterFan` instead
+/// takes a single [`SimRng`] draw as its seed and expands it with
+/// SplitMix64, handing out 8- and 16-bit slices of each expansion. The
+/// parent stream advances by exactly one draw per accrue call no matter
+/// how many derived events are produced, so scheduler-level determinism
+/// never depends on the event mix.
+#[derive(Debug)]
+pub struct JitterFan {
+    state: u64,
+    bits: u64,
+    left: u32,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl JitterFan {
+    /// Creates a fan from one parent draw.
+    #[inline]
+    pub fn new(seed: u64) -> JitterFan {
+        JitterFan {
+            state: seed,
+            bits: 0,
+            left: 0,
+        }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        self.bits = splitmix64(&mut self.state);
+        self.left = 64;
+    }
+
+    /// Returns the next 8 bits of the expansion.
+    #[inline]
+    pub fn next_u8(&mut self) -> u8 {
+        if self.left < 8 {
+            self.refill();
+        }
+        let v = self.bits as u8;
+        self.bits >>= 8;
+        self.left -= 8;
+        v
+    }
+
+    /// Returns the next 16 bits of the expansion.
+    #[inline]
+    pub fn next_u16(&mut self) -> u16 {
+        if self.left < 16 {
+            self.refill();
+        }
+        let v = self.bits as u16;
+        self.bits >>= 16;
+        self.left -= 16;
+        v
+    }
+
+    /// Returns the next 32 bits of the expansion.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        if self.left < 32 {
+            self.refill();
+        }
+        let v = self.bits as u32;
+        self.bits >>= 32;
+        self.left -= 32;
+        v
+    }
+
+    /// Returns a multiplicative jitter factor in `[1 - j, 1 + j)` from
+    /// the next 32 bits (the fan analog of [`SimRng::jitter`]).
+    #[inline]
+    pub fn jitter(&mut self, j: f64) -> f64 {
+        let j = j.clamp(0.0, 0.95);
+        1.0 - j + 2.0 * j * (self.next_u32() as f64 / 4_294_967_296.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +236,33 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn jitter_fan_is_deterministic_per_seed() {
+        let mut a = JitterFan::new(99);
+        let mut b = JitterFan::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u8(), b.next_u8());
+            assert_eq!(a.next_u16(), b.next_u16());
+        }
+        let mut c = JitterFan::new(100);
+        let mut d = JitterFan::new(99);
+        let differs = (0..64).filter(|_| d.next_u8() != c.next_u8()).count();
+        assert!(differs > 0, "different seeds must diverge");
+    }
+
+    #[test]
+    fn jitter_fan_bytes_are_roughly_uniform() {
+        // 256 buckets x 4096 samples: every bucket must be populated and
+        // no bucket may be wildly off the expected 16 hits.
+        let mut fan = JitterFan::new(7);
+        let mut hist = [0u32; 256];
+        for _ in 0..4096 {
+            hist[fan.next_u8() as usize] += 1;
+        }
+        assert!(hist.iter().all(|&h| h > 0), "empty bucket");
+        assert!(hist.iter().all(|&h| h < 64), "overfull bucket");
     }
 
     #[test]

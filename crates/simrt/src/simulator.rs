@@ -18,7 +18,7 @@ use crate::looper::{
 };
 use crate::name::{NameId, NameTable};
 use crate::probe::{MonitorCost, Probe};
-use crate::rng::SimRng;
+use crate::rng::{JitterFan, SimRng};
 use crate::thread::{
     ExecState, SimThread, ThreadId, ThreadKind, ThreadState, WorkItem, WorkSource,
 };
@@ -68,6 +68,10 @@ pub struct RunSummary {
     /// Number of completed action executions.
     pub actions_completed: usize,
 }
+
+/// Domain separation between a pulse's timing jitter and its accrual
+/// entropy, both funded by the same parent draw.
+const PULSE_ACCRUE_SALT: u64 = 0x9D0B_CB35_5BD1_E995;
 
 /// Priorities: workers < main/render < system.
 const PRIO_WORKER: u8 = 1;
@@ -124,6 +128,14 @@ struct CoreSlot {
     gen: u64,
     slice_end: SimTime,
     accrue_from: SimTime,
+    /// Set while a system-pulse burst occupies the core with its CPU
+    /// time already accrued at wake (the pulse fast path); incremental
+    /// accrual must skip the core until the burst's Core event frees it.
+    preaccrued: bool,
+    /// Next wake period of the pulse pinned to this core, drawn at wake
+    /// together with the burst length so one parent draw funds the whole
+    /// pulse cycle.
+    pulse_period: u64,
 }
 
 #[derive(Debug)]
@@ -169,8 +181,8 @@ pub(crate) struct World {
     rng: SimRng,
     monitor: MonitorCost,
     records: Vec<ActionRecord>,
-    /// Recycled step buffers for system bursts and render frames, so the
-    /// steady-state event loop never touches the allocator.
+    /// Recycled step buffers for render frames, so the steady-state
+    /// event loop never touches the allocator.
     spare_steps: Vec<VecDeque<Step>>,
     notices: Vec<Notice>,
     /// Set once a probe is installed; when clear, the hot loop skips
@@ -321,6 +333,11 @@ impl World {
 
     /// Accrues CPU time of the thread running on `core` up to `self.now`.
     fn accrue_running(&mut self, core: usize) {
+        // A pre-accrued pulse burst already booked its whole CPU time at
+        // wake; there is nothing incremental to account (and no exec).
+        if self.cores[core].preaccrued {
+            return;
+        }
         let Some(tid) = self.cores[core].running else {
             return;
         };
@@ -592,25 +609,18 @@ impl World {
     /// if an item was assigned (so stepping can continue) or `false`
     /// after parking the thread.
     fn pull_next_item(&mut self, tid: usize) -> bool {
-        // Only the scalar parameters of the source are needed; copying
-        // the whole `WorkSource` (with its embedded profile) per pull
-        // would be measurable on the pulse path.
         enum Src {
             Main,
             Render,
             Worker,
-            Pulse { period_ns: u64, jitter: f64 },
         }
         let source = match &self.threads[tid].source {
             WorkSource::MainLooper => Src::Main,
             WorkSource::RenderQueue => Src::Render,
             WorkSource::WorkerQueue => Src::Worker,
-            WorkSource::Pulse {
-                period_ns, jitter, ..
-            } => Src::Pulse {
-                period_ns: *period_ns,
-                jitter: *jitter,
-            },
+            WorkSource::Pulse { .. } => {
+                unreachable!("pulse threads run on the pre-accrued fast path")
+            }
         };
         match source {
             Src::Main => {
@@ -651,14 +661,6 @@ impl World {
                     self.go_idle(tid);
                     false
                 }
-            }
-            Src::Pulse { period_ns, jitter } => {
-                let was_running = matches!(self.threads[tid].state, ThreadState::Running { .. });
-                self.off_cpu(tid, was_running);
-                self.threads[tid].state = ThreadState::Blocked;
-                let period = (period_ns as f64 * self.rng.jitter(jitter)) as u64;
-                self.push_ev(self.now + period.max(1), Ev::Wake { tid });
-                false
             }
         }
     }
@@ -770,6 +772,10 @@ impl World {
             return;
         }
         let tid = self.cores[core].running.expect("core event without thread");
+        if self.cores[core].preaccrued {
+            self.finish_pulse_burst(tid, core);
+            return;
+        }
         self.accrue_running(core);
         let finished = matches!(
             self.threads[tid]
@@ -814,29 +820,83 @@ impl World {
     }
 
     fn handle_wake(&mut self, tid: usize) {
-        if self.threads[tid].exec.is_none()
-            && matches!(self.threads[tid].source, WorkSource::Pulse { .. })
-        {
-            let (burst_ns, profile) = match &self.threads[tid].source {
-                WorkSource::Pulse {
-                    burst_ns, profile, ..
-                } => (*burst_ns, *profile),
-                _ => unreachable!(),
-            };
-            let ns = (burst_ns as f64 * self.rng.jitter(0.5)) as u64;
-            let mut steps = self.spare_steps.pop().unwrap_or_default();
-            steps.push_back(Step::Cpu {
-                ns: ns.max(1),
-                profile,
-            });
-            self.threads[tid].exec = Some(ExecState::from_deque(
-                steps,
-                WorkItem::SystemBurst,
-                self.now,
-            ));
+        if matches!(self.threads[tid].source, WorkSource::Pulse { .. }) {
+            self.begin_pulse_burst(tid);
+            return;
         }
         self.advance_thread(tid);
         self.schedule();
+    }
+
+    /// System-pulse fast path. A pulse thread is pinned to one core at
+    /// the highest priority, so its burst always runs uninterrupted from
+    /// the wake instant: nothing can preempt it, its slice (10 ms)
+    /// outlasts the burst (~350 µs), and only one pulse exists per core.
+    /// That licenses accruing the whole burst here, at wake, and parking
+    /// a `preaccrued` marker on the core instead of building an exec and
+    /// pushing the thread through the ready queue and scheduler. One
+    /// parent RNG draw per pulse cycle, fanned out, funds the burst
+    /// length, the next wake period (stashed in the core slot), and the
+    /// accrual entropy — deterministic per seed like everything else.
+    fn begin_pulse_burst(&mut self, tid: usize) {
+        let (period_ns, jitter, burst_ns, profile) = match &self.threads[tid].source {
+            WorkSource::Pulse {
+                period_ns,
+                jitter,
+                burst_ns,
+                profile,
+            } => (*period_ns, *jitter, *burst_ns, *profile),
+            _ => unreachable!("begin_pulse_burst on a non-pulse thread"),
+        };
+        let core = self.threads[tid].affinity.expect("pulse thread unpinned");
+        let entropy = self.rng.next_u64();
+        let mut fan = JitterFan::new(entropy);
+        let ns = (((burst_ns as f64) * fan.jitter(0.5)) as u64).max(1);
+        let period = (((period_ns as f64) * fan.jitter(jitter)) as u64).max(1);
+        let preempted = self.cores[core].running.is_some();
+        if preempted {
+            self.preempt(core);
+        }
+        {
+            let th = &mut self.threads[tid];
+            th.state = ThreadState::Running { core };
+            th.last_core = Some(core);
+            profile.accrue_seeded(&mut th.counters, ns, entropy ^ PULSE_ACCRUE_SALT);
+        }
+        let slot = &mut self.cores[core];
+        slot.running = Some(tid);
+        slot.gen += 1;
+        slot.preaccrued = true;
+        slot.pulse_period = period;
+        slot.slice_end = self.now + self.cfg.timeslice_ns;
+        slot.accrue_from = self.now;
+        let gen = slot.gen;
+        self.push_ev(self.now + ns, Ev::Core { core, gen });
+        if preempted {
+            // The evicted thread may be able to migrate to a free core.
+            self.schedule();
+        }
+    }
+
+    /// Ends a pre-accrued pulse burst: frees the core, counts the pulse's
+    /// context switch, and arms the wake drawn at burst start.
+    fn finish_pulse_burst(&mut self, tid: usize, core: usize) {
+        let slot = &mut self.cores[core];
+        debug_assert_eq!(slot.running, Some(tid));
+        slot.running = None;
+        slot.gen += 1;
+        slot.preaccrued = false;
+        let period = slot.pulse_period;
+        let th = &mut self.threads[tid];
+        th.counters.add(HwEvent::ContextSwitches, 1.0);
+        th.state = ThreadState::Blocked;
+        self.push_ev(self.now + period, Ev::Wake { tid });
+        // Freeing a core only matters if some thread is waiting for one;
+        // on an idle device (the common case between actions) the ready
+        // queues are empty and the scheduler pass would be a no-op.
+        if self.ready.iter().any(|q| !q.is_empty()) {
+            self.schedule();
+        }
     }
 
     fn handle_arrive(&mut self, req: ArrivedRequest) {

@@ -9,7 +9,7 @@
 
 use crate::counters::{CounterBank, HwEvent};
 use crate::frame::FrameId;
-use crate::rng::SimRng;
+use crate::rng::{JitterFan, SimRng};
 use crate::time::MILLIS;
 
 /// Nominal core frequency used to derive cycle counts (2 GHz).
@@ -152,102 +152,159 @@ impl MemProfile {
 
     /// Accrues `cpu_ns` of execution under this profile into `bank`.
     ///
-    /// Derived PMU events get independent multiplicative jitter so that
-    /// per-sample correlation analysis sees realistic spread; kernel time
-    /// accounting (task-clock/cpu-clock) is exact by construction.
+    /// Exact kernel-time accounting (task-clock/cpu-clock) is split from
+    /// the jittered derived events: the clocks advance by `cpu_ns`
+    /// exactly, then [`MemProfile::accrue_derived`] produces every PMU
+    /// event from a single parent RNG draw. Zero-length segments return
+    /// without touching the RNG, so the parent stream advances by exactly
+    /// one draw per non-empty accrue call — the contract the fleet's
+    /// thread-count-independence rests on.
     pub fn accrue(&self, bank: &mut CounterBank, cpu_ns: u64, rng: &mut SimRng) {
-        let ns = cpu_ns as f64;
-        if ns <= 0.0 {
+        if cpu_ns == 0 {
             return;
         }
+        self.accrue_seeded(bank, cpu_ns, rng.next_u64());
+    }
+
+    /// [`MemProfile::accrue`] with the parent draw supplied by the
+    /// caller. The simulator's pulse fast path uses this to fund a whole
+    /// burst (timing jitter and accrual) from a single parent draw.
+    pub fn accrue_seeded(&self, bank: &mut CounterBank, cpu_ns: u64, entropy: u64) {
+        if cpu_ns == 0 {
+            return;
+        }
+        let ns = cpu_ns as f64;
         bank.add(HwEvent::TaskClock, ns);
         bank.add(HwEvent::CpuClock, ns);
+        self.accrue_derived(bank, ns, entropy);
+    }
 
-        let j = |rng: &mut SimRng| rng.jitter(0.12);
+    /// Accrues the jittered derived PMU events for `ns` nanoseconds of
+    /// CPU time, expanding `entropy` (one parent draw) through a
+    /// [`JitterFan`]. Each derived event still gets an independent
+    /// multiplicative jitter — quantized to 256 levels over the same
+    /// ±12% band the per-event draws used — so per-sample correlation
+    /// analysis sees the same spread at a fraction of the cost.
+    fn accrue_derived(&self, bank: &mut CounterBank, ns: f64, entropy: u64) {
+        let mut fan = JitterFan::new(entropy);
+        let mut j = move || JITTER_TABLE[fan.next_u8() as usize];
 
-        let instr = self.ips * ns * j(rng);
+        let instr = self.ips * ns * j();
         bank.add(HwEvent::Instructions, instr);
 
-        let cycles = ns * CYCLES_PER_NS * j(rng);
+        let cycles = ns * CYCLES_PER_NS * j();
         bank.add(HwEvent::CpuCycles, cycles);
-        bank.add(HwEvent::BusCycles, cycles / 8.0 * j(rng));
+        bank.add(HwEvent::BusCycles, cycles / 8.0 * j());
         bank.add(
             HwEvent::StalledCyclesFrontend,
-            cycles * self.stall_frac * 0.4 * j(rng),
+            cycles * self.stall_frac * 0.4 * j(),
         );
         bank.add(
             HwEvent::StalledCyclesBackend,
-            cycles * self.stall_frac * 0.6 * j(rng),
+            cycles * self.stall_frac * 0.6 * j(),
         );
 
         let ms = ns / MILLIS as f64;
-        let minor = self.minor_faults_per_ms * ms * j(rng);
-        let major = self.major_faults_per_ms * ms * j(rng);
+        let minor = self.minor_faults_per_ms * ms * j();
+        let major = self.major_faults_per_ms * ms * j();
         bank.add(HwEvent::MinorFaults, minor);
         bank.add(HwEvent::MajorFaults, major);
         bank.add(HwEvent::PageFaults, minor + major);
 
-        let refs = instr / 1000.0 * self.cache_refs_per_kinstr * j(rng);
-        let misses = refs * self.cache_miss_ratio * j(rng);
+        let refs = instr / 1000.0 * self.cache_refs_per_kinstr * j();
+        let misses = refs * self.cache_miss_ratio * j();
         bank.add(HwEvent::CacheReferences, refs);
         bank.add(HwEvent::CacheMisses, misses);
 
-        let loads = instr * self.load_frac * j(rng);
-        let stores = instr * self.store_frac * j(rng);
+        let loads = instr * self.load_frac * j();
+        let stores = instr * self.store_frac * j();
         bank.add(HwEvent::L1DcacheLoads, loads);
         bank.add(HwEvent::L1DcacheStores, stores);
         bank.add(
             HwEvent::L1DcacheLoadMisses,
-            loads * self.cache_miss_ratio * 0.5 * j(rng),
+            loads * self.cache_miss_ratio * 0.5 * j(),
         );
         bank.add(
             HwEvent::L1DcacheStoreMisses,
-            stores * self.cache_miss_ratio * 0.4 * j(rng),
+            stores * self.cache_miss_ratio * 0.4 * j(),
         );
-        bank.add(HwEvent::RawL1Dcache, (loads + stores) * j(rng));
-        bank.add(HwEvent::RawL1DcacheRefill, misses * 0.9 * j(rng));
-        bank.add(HwEvent::RawL2Dcache, refs * 0.8 * j(rng));
-        bank.add(HwEvent::RawL2DcacheRefill, misses * 0.7 * j(rng));
+        bank.add(HwEvent::RawL1Dcache, (loads + stores) * j());
+        bank.add(HwEvent::RawL1DcacheRefill, misses * 0.9 * j());
+        bank.add(HwEvent::RawL2Dcache, refs * 0.8 * j());
+        bank.add(HwEvent::RawL2DcacheRefill, misses * 0.7 * j());
 
-        let icache = instr / 4.0 * j(rng);
+        let icache = instr / 4.0 * j();
         bank.add(HwEvent::L1IcacheLoads, icache);
-        bank.add(HwEvent::L1IcacheLoadMisses, icache * 0.01 * j(rng));
-        bank.add(HwEvent::RawL1Icache, icache * j(rng));
-        bank.add(HwEvent::RawL1IcacheRefill, icache * 0.01 * j(rng));
+        bank.add(HwEvent::L1IcacheLoadMisses, icache * 0.01 * j());
+        bank.add(HwEvent::RawL1Icache, icache * j());
+        bank.add(HwEvent::RawL1IcacheRefill, icache * 0.01 * j());
 
-        bank.add(HwEvent::LlcLoads, refs * 0.6 * j(rng));
-        bank.add(HwEvent::LlcLoadMisses, misses * 0.6 * j(rng));
-        bank.add(HwEvent::LlcStores, refs * 0.25 * j(rng));
-        bank.add(HwEvent::LlcStoreMisses, misses * 0.25 * j(rng));
+        bank.add(HwEvent::LlcLoads, refs * 0.6 * j());
+        bank.add(HwEvent::LlcLoadMisses, misses * 0.6 * j());
+        bank.add(HwEvent::LlcStores, refs * 0.25 * j());
+        bank.add(HwEvent::LlcStoreMisses, misses * 0.25 * j());
 
-        let tlb_misses = instr / 1000.0 * self.tlb_miss_per_kinstr * j(rng);
-        bank.add(HwEvent::DtlbLoads, loads * j(rng));
-        bank.add(HwEvent::DtlbLoadMisses, tlb_misses * 0.7 * j(rng));
-        bank.add(HwEvent::ItlbLoads, icache * j(rng));
-        bank.add(HwEvent::ItlbLoadMisses, tlb_misses * 0.3 * j(rng));
-        bank.add(HwEvent::RawL1Dtlb, loads * j(rng));
-        bank.add(HwEvent::RawL1DtlbRefill, tlb_misses * 0.7 * j(rng));
-        bank.add(HwEvent::RawL1Itlb, icache * j(rng));
-        bank.add(HwEvent::RawL1ItlbRefill, tlb_misses * 0.3 * j(rng));
+        let tlb_misses = instr / 1000.0 * self.tlb_miss_per_kinstr * j();
+        bank.add(HwEvent::DtlbLoads, loads * j());
+        bank.add(HwEvent::DtlbLoadMisses, tlb_misses * 0.7 * j());
+        bank.add(HwEvent::ItlbLoads, icache * j());
+        bank.add(HwEvent::ItlbLoadMisses, tlb_misses * 0.3 * j());
+        bank.add(HwEvent::RawL1Dtlb, loads * j());
+        bank.add(HwEvent::RawL1DtlbRefill, tlb_misses * 0.7 * j());
+        bank.add(HwEvent::RawL1Itlb, icache * j());
+        bank.add(HwEvent::RawL1ItlbRefill, tlb_misses * 0.3 * j());
 
-        let branches = instr * self.branch_frac * j(rng);
+        let branches = instr * self.branch_frac * j();
         bank.add(HwEvent::BranchInstructions, branches);
-        bank.add(HwEvent::BranchLoads, branches * j(rng));
-        let bmiss = branches * self.branch_miss_ratio * j(rng);
+        bank.add(HwEvent::BranchLoads, branches * j());
+        let bmiss = branches * self.branch_miss_ratio * j();
         bank.add(HwEvent::BranchMisses, bmiss);
-        bank.add(HwEvent::BranchLoadMisses, bmiss * j(rng));
+        bank.add(HwEvent::BranchLoadMisses, bmiss * j());
 
-        bank.add(HwEvent::RawBusAccess, refs * 0.5 * j(rng));
-        bank.add(HwEvent::RawMemAccess, (loads + stores) * 1.05 * j(rng));
+        bank.add(HwEvent::RawBusAccess, refs * 0.5 * j());
+        bank.add(HwEvent::RawMemAccess, (loads + stores) * 1.05 * j());
 
-        // Rare correctness-path events stay near zero on a healthy app.
-        if rng.chance(ms * 0.001) {
+        // Rare correctness-path events stay near zero on a healthy app:
+        // a 16-bit fan slice against a probability threshold replaces the
+        // old full `chance` draw.
+        let mut fan16 = JitterFan::new(entropy ^ 0xA5A5_A5A5_A5A5_A5A5);
+        if rare_hit(fan16.next_u16(), ms * 0.001) {
             bank.add(HwEvent::AlignmentFaults, 1.0);
         }
-        if rng.chance(ms * 0.0005) {
+        if rare_hit(fan16.next_u16(), ms * 0.0005) {
             bank.add(HwEvent::EmulationFaults, 1.0);
         }
     }
+}
+
+/// Multiplicative jitter band applied to every derived PMU event.
+const JITTER_SPREAD: f64 = 0.12;
+
+/// 256 evenly spaced multiplicative jitter factors over
+/// `[1 - JITTER_SPREAD, 1 + JITTER_SPREAD]`, centred per bucket so the
+/// table mean is exactly 1. Indexed by one fan byte per derived event:
+/// a load from this (2 KiB, L1-resident) table replaces a full RNG draw
+/// plus float-range conversion per event.
+static JITTER_TABLE: [f64; 256] = {
+    let mut table = [0.0; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = 1.0 - JITTER_SPREAD + 2.0 * JITTER_SPREAD * (i as f64 + 0.5) / 256.0;
+        i += 1;
+    }
+    table
+};
+
+/// Returns whether a 16-bit fan slice lands under probability `p`.
+#[inline]
+fn rare_hit(slice: u16, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    (slice as f64) < p * 65536.0
 }
 
 /// One step of a compiled work item.
@@ -343,6 +400,43 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(1);
         MemProfile::ui().accrue(&mut bank, 0, &mut rng);
         assert_eq!(bank.get(HwEvent::Instructions), 0.0);
+    }
+
+    #[test]
+    fn accrue_consumes_exactly_one_draw() {
+        // The v2 kernel's determinism contract: one parent draw per
+        // non-empty accrue, regardless of profile or duration.
+        for (profile, ns) in [
+            (MemProfile::ui(), 100),
+            (MemProfile::memory_heavy(), 50 * MILLIS),
+            (MemProfile::system(), 350_000),
+        ] {
+            let mut rng = SimRng::seed_from_u64(11);
+            let mut witness = SimRng::seed_from_u64(11);
+            witness.next_u64();
+            let expected = witness.next_u64();
+            let mut bank = CounterBank::new();
+            profile.accrue(&mut bank, ns, &mut rng);
+            assert_eq!(rng.next_u64(), expected, "profile consumed != 1 draw");
+        }
+    }
+
+    #[test]
+    fn accrue_zero_consumes_no_draw() {
+        let mut rng = SimRng::seed_from_u64(12);
+        let mut witness = SimRng::seed_from_u64(12);
+        let mut bank = CounterBank::new();
+        MemProfile::ui().accrue(&mut bank, 0, &mut rng);
+        assert_eq!(rng.next_u64(), witness.next_u64());
+    }
+
+    #[test]
+    fn jitter_table_is_centered_and_banded() {
+        let mean: f64 = JITTER_TABLE.iter().sum::<f64>() / 256.0;
+        assert!((mean - 1.0).abs() < 1e-12, "table mean {mean}");
+        for &f in &JITTER_TABLE {
+            assert!(f > 1.0 - JITTER_SPREAD && f < 1.0 + JITTER_SPREAD);
+        }
     }
 
     #[test]
