@@ -12,6 +12,45 @@ use hd_simrt::ActionUid;
 
 use crate::api::ApiId;
 
+/// Asynchronous structure of a call site: the call body is submitted as
+/// a task to one of the app's bounded executors instead of running
+/// inline on the main thread.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AsyncOp {
+    /// Fire-and-forget submission to executor `executor` (index into
+    /// [`crate::app::App::executors`]).
+    Submit {
+        /// Target executor.
+        executor: usize,
+    },
+    /// Submission followed by a main-thread future join: the main
+    /// thread posts the task, then blocks in `join_api` (e.g.
+    /// `FutureTask.get`) until the task completes — a wait edge.
+    SubmitJoin {
+        /// Target executor.
+        executor: usize,
+        /// The API the main thread blocks in while waiting.
+        join_api: ApiId,
+    },
+}
+
+impl AsyncOp {
+    /// The executor the task is submitted to.
+    pub fn executor(&self) -> usize {
+        match self {
+            AsyncOp::Submit { executor } | AsyncOp::SubmitJoin { executor, .. } => *executor,
+        }
+    }
+
+    /// The main-thread join API, when the submission is joined.
+    pub fn join_api(&self) -> Option<ApiId> {
+        match self {
+            AsyncOp::Submit { .. } => None,
+            AsyncOp::SubmitJoin { join_api, .. } => Some(*join_api),
+        }
+    }
+}
+
 /// One call site inside an input-event handler.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Call {
@@ -26,6 +65,9 @@ pub struct Call {
     /// Whether the (fixed variant of the) app offloads this call to a
     /// worker thread.
     pub offloaded: bool,
+    /// Asynchronous submission structure, if the call body runs as an
+    /// executor task rather than inline.
+    pub async_op: Option<AsyncOp>,
 }
 
 impl Call {
@@ -36,6 +78,7 @@ impl Call {
             api,
             bug_id: None,
             offloaded: false,
+            async_op: None,
         }
     }
 
@@ -46,6 +89,7 @@ impl Call {
             api,
             bug_id: None,
             offloaded: false,
+            async_op: None,
         }
     }
 
@@ -58,6 +102,19 @@ impl Call {
     /// Marks this call site as posted to a worker thread.
     pub fn offload(mut self) -> Call {
         self.offloaded = true;
+        self
+    }
+
+    /// Submits the call body to executor `executor`, fire-and-forget.
+    pub fn submit_to(mut self, executor: usize) -> Call {
+        self.async_op = Some(AsyncOp::Submit { executor });
+        self
+    }
+
+    /// Submits the call body to executor `executor` and joins the
+    /// resulting future on the main thread through `join_api`.
+    pub fn submit_join(mut self, executor: usize, join_api: ApiId) -> Call {
+        self.async_op = Some(AsyncOp::SubmitJoin { executor, join_api });
         self
     }
 }

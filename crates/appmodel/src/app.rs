@@ -22,6 +22,26 @@ pub struct BugSpec {
     pub description: String,
 }
 
+/// A bounded executor owned by the app (a serial executor when
+/// `width == 1`), the target of [`crate::action::AsyncOp`] submissions.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorSpec {
+    /// Thread-name prefix, e.g. `SerialExecutor` or `pool-1`.
+    pub name: String,
+    /// Number of threads (pool capacity).
+    pub width: usize,
+}
+
+impl ExecutorSpec {
+    /// Creates an executor spec.
+    pub fn new(name: &str, width: usize) -> ExecutorSpec {
+        ExecutorSpec {
+            name: name.to_string(),
+            width,
+        }
+    }
+}
+
 /// A complete app model.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct App {
@@ -41,6 +61,8 @@ pub struct App {
     pub actions: Vec<ActionSpec>,
     /// Ground-truth soft hang bugs.
     pub bugs: Vec<BugSpec>,
+    /// Bounded executors referenced by async call sites.
+    pub executors: Vec<ExecutorSpec>,
 }
 
 impl App {
@@ -139,6 +161,37 @@ impl App {
                             ));
                         }
                     }
+                    if let Some(op) = &call.async_op {
+                        if op.executor() >= self.executors.len() {
+                            problems.push(format!(
+                                "action '{}' submits to missing executor {}",
+                                action.name,
+                                op.executor()
+                            ));
+                        }
+                        if call.offloaded {
+                            problems.push(format!(
+                                "action '{}' marks an async call site offloaded",
+                                action.name
+                            ));
+                        }
+                        if let Some(join) = op.join_api() {
+                            if join.0 >= self.apis.len() {
+                                problems.push(format!(
+                                    "action '{}' joins through missing api {:?}",
+                                    action.name, join
+                                ));
+                            } else if self.api(join).is_ui()
+                                || matches!(self.api(join).kind, ApiKind::Wrapper)
+                            {
+                                problems.push(format!(
+                                    "action '{}' joins through non-blocking api '{}'",
+                                    action.name,
+                                    self.api(join).symbol
+                                ));
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -227,6 +280,7 @@ mod tests {
                     description: "camera open via closed wrapper".into(),
                 },
             ],
+            executors: vec![],
         }
     }
 
@@ -272,6 +326,41 @@ mod tests {
         // Tag a UI API as a bug: invalid by definition.
         app.actions[0].events[0].calls[0] = Call::direct(ApiId(0)).bug("tiny-1");
         assert!(app.validate().iter().any(|p| p.contains("UI API")));
+    }
+
+    #[test]
+    fn validation_checks_async_references() {
+        // Submitting to an executor the app does not declare.
+        let mut app = tiny_app();
+        app.actions[0].events[0].calls[1] = app.actions[0].events[0].calls[1].clone().submit_to(0);
+        assert!(app
+            .validate()
+            .iter()
+            .any(|p| p.contains("missing executor")));
+
+        // Declaring it fixes the problem.
+        app.executors.push(ExecutorSpec::new("SerialExecutor", 1));
+        assert!(app.validate().is_empty());
+
+        // Joining through a UI API is rejected.
+        let mut app = tiny_app();
+        app.executors.push(ExecutorSpec::new("SerialExecutor", 1));
+        app.actions[0].events[0].calls[1] = app.actions[0].events[0].calls[1]
+            .clone()
+            .submit_join(0, ApiId(0));
+        assert!(app
+            .validate()
+            .iter()
+            .any(|p| p.contains("non-blocking api")));
+
+        // offloaded + async on the same site is contradictory.
+        let mut app = tiny_app();
+        app.executors.push(ExecutorSpec::new("SerialExecutor", 1));
+        app.actions[0].events[0].calls[1] = app.actions[0].events[0].calls[1]
+            .clone()
+            .submit_to(0)
+            .offload();
+        assert!(app.validate().iter().any(|p| p.contains("offloaded")));
     }
 
     #[test]

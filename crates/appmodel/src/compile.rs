@@ -191,8 +191,11 @@ impl CompiledApp {
             Step::Push(self.dispatch_frame),
             Step::Push(handler),
         ];
+        // Future tokens are scoped per event (one message = one item in
+        // the simulator, which scopes its handles the same way).
+        let mut next_token = 0u32;
         for call in &event.calls {
-            self.compile_call(call, &mut steps, rng, truth);
+            self.compile_call(call, &mut steps, rng, truth, &mut next_token);
         }
         steps.push(Step::Pop);
         steps.push(Step::Pop);
@@ -206,6 +209,7 @@ impl CompiledApp {
         steps: &mut Vec<Step>,
         rng: &mut SimRng,
         truth: &mut ExecTruth,
+        next_token: &mut u32,
     ) {
         let api = self.app.api(call.api);
         let cost = api.cost.sample(rng);
@@ -256,7 +260,36 @@ impl CompiledApp {
         for _ in 0..=call.via.len() {
             inner.push(Step::Pop);
         }
-        if call.offloaded {
+        if let Some(op) = &call.async_op {
+            // Async variant: the main thread pays the posting cost; the
+            // body runs as a task on a bounded executor. A joined submit
+            // additionally parks the main thread in the join API until
+            // the task completes (a wait edge the simulator honors).
+            let token = *next_token;
+            *next_token += 1;
+            steps.push(Step::Cpu {
+                ns: POST_WORKER_CPU_NS,
+                profile: crate::profile::ProfileKind::Ui.to_profile(),
+            });
+            steps.push(Step::PostTask {
+                executor: op.executor() as u32,
+                token,
+                steps: inner,
+            });
+            if let Some(join) = op.join_api() {
+                steps.push(Step::Push(self.api_frames[join.0]));
+                steps.push(Step::JoinTask { token });
+                steps.push(Step::Pop);
+            }
+            // Ground truth: a tagged async site delays the main thread
+            // through the wait edge by its whole busy time (the convoy
+            // head delays joins queued behind it the same way), so it is
+            // charged as bug blocking even though it runs off-main.
+            match &call.bug_id {
+                Some(id) => truth.bug_ns.push((id.clone(), cost.busy_ns())),
+                None => truth.other_main_ns += POST_WORKER_CPU_NS,
+            }
+        } else if call.offloaded {
             // Fixed variant: the main thread only pays the posting cost;
             // the blocking work runs on a worker.
             steps.push(Step::Cpu {
@@ -337,6 +370,7 @@ mod tests {
                 action: hd_simrt::ActionUid(0),
                 description: "clean on main".into(),
             }],
+            executors: vec![],
         }
     }
 
@@ -395,6 +429,56 @@ mod tests {
             |s| matches!(s, Step::PostWorker(inner) if nominal_duration(inner).0 >= 400 * MILLIS),
         );
         assert!(has_worker);
+    }
+
+    #[test]
+    fn async_submit_join_compiles_to_wait_edge() {
+        use crate::app::ExecutorSpec;
+        let mut app = test_app();
+        app.executors.push(ExecutorSpec::new("SerialExecutor", 1));
+        app.apis.push(ApiSpec::new(
+            "java.util.concurrent.FutureTask.get",
+            187,
+            ApiKind::Blocking { known_since: None },
+            CostSpec::none(),
+        ));
+        app.actions[0].events[0].calls[1] = app.actions[0].events[0].calls[1]
+            .clone()
+            .submit_join(0, ApiId(3));
+        let compiled = CompiledApp::new(app);
+        let mut rng = SimRng::seed_from_u64(4);
+        let (req, truth) = compiled.sample(ActionUid(0), &mut rng);
+        let ev = &req.events[0];
+        let post_at = ev
+            .iter()
+            .position(|s| {
+                matches!(
+                    s,
+                    Step::PostTask {
+                        executor: 0,
+                        token: 0,
+                        ..
+                    }
+                )
+            })
+            .expect("PostTask emitted");
+        let join_at = ev
+            .iter()
+            .position(|s| matches!(s, Step::JoinTask { token: 0 }))
+            .expect("JoinTask emitted");
+        assert!(post_at < join_at, "join must follow its submit edge");
+        // The task body carries the blocking work off the main steps.
+        match &ev[post_at] {
+            Step::PostTask { steps, .. } => {
+                assert_eq!(nominal_duration(steps).0, 400 * MILLIS);
+            }
+            _ => unreachable!(),
+        }
+        // Main-thread inline CPU excludes the task body.
+        assert!(nominal_duration(ev).0 < 15 * MILLIS);
+        // ...but the tagged site is still charged as bug blocking,
+        // because the wait edge holds main for the task's busy time.
+        assert_eq!(truth.bug_ns, vec![("t-1".to_string(), 400 * MILLIS)]);
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! Ground-truthed async hang apps — the corpus's `async-hang` bug
+//! class.
+//!
+//! Each app here hangs through a *wait edge* rather than inline blocking
+//! work: the main thread posts tasks to a bounded executor and then
+//! blocks in a future join (`FutureTask.get`) whose completion is held
+//! up on a worker thread. The three shapes mirror PersisDroid's async
+//! hang taxonomy:
+//!
+//! * **serial-executor convoy** ([`chatrelay`]) — a fast joined task is
+//!   queued behind a slow fire-and-forget task on a width-1 executor;
+//! * **pool starvation** ([`pixelpress`]) — every pool thread is busy
+//!   with slow tasks, so the joined task cannot even start;
+//! * **slow worker join** ([`newsflash`]) — the joined task itself runs
+//!   a slow API.
+//!
+//! In all three the *join site* is innocent: the culprit is the API the
+//! worker executes (the ground-truth `BugSpec::api`). A counter-only
+//! checker still detects the main-thread stall, but only a causal blame
+//! walk across the wait edge names the right API. [`quicknote`] is the
+//! negative control: a joined task that completes well inside the
+//! responsiveness budget, so no blame of any kind should be emitted.
+//!
+//! Like the vendored apps, these stay out of [`super::full_corpus`]
+//! (whose population pins the paper's study counts) and are composed
+//! explicitly by the differential harnesses.
+
+use crate::action::Call;
+use crate::api::{ApiKind, ApiSpec, CostSpec};
+use crate::app::App;
+use crate::profile::ProfileKind;
+use crate::registry as reg;
+
+use super::builder::AppBuilder;
+
+/// The main-thread join API all async apps block in: zero-cost itself —
+/// every nanosecond spent inside it is wait-edge time.
+fn future_get() -> ApiSpec {
+    ApiSpec::new(
+        "java.util.concurrent.FutureTask.get",
+        187,
+        ApiKind::Blocking { known_since: None },
+        CostSpec::none(),
+    )
+}
+
+/// ChatRelay: messaging app with a width-1 "message serial executor"
+/// convoy.
+///
+/// Sending a message first posts a slow fire-and-forget render of the
+/// conversation transcript, then posts the actual send and joins it.
+/// The send task is cheap, but the serial executor runs the transcript
+/// render first — the join inherits the convoy head's latency. Ground
+/// truth blames the render API, not `FutureTask.get`.
+pub fn chatrelay() -> App {
+    let mut b = AppBuilder::new(
+        "ChatRelay",
+        "com.chatrelay",
+        "Communication",
+        250_000,
+        "4d1c9a2",
+    );
+    let ui = b.ui_pack();
+    let serial = b.executor("msg-serial", 1);
+    let render = b.api(reg::markdown_render());
+    let send = b.api(reg::self_developed(
+        "com.chatrelay.net.MessageSender.send",
+        58,
+        4,
+        ProfileKind::Compute,
+    ));
+    let compose = b.api(reg::self_developed(
+        "com.chatrelay.model.Draft.toMessage",
+        31,
+        2,
+        ProfileKind::Compute,
+    ));
+    let fut = b.api(future_get());
+    // The handler blocks in the join before it draws anything, so the
+    // render thread stays idle through the hang — the "main blocked,
+    // render quiet" signature the context-switch symptom keys on.
+    let send_msg = b.action(
+        "send message",
+        2.0,
+        "ConversationActivity.onSend",
+        214,
+        vec![
+            Call::direct(compose),
+            Call::direct(render)
+                .submit_to(serial)
+                .bug("chatrelay-21-convoy"),
+            Call::direct(send).submit_join(serial, fut),
+        ],
+    );
+    b.bug(
+        "chatrelay-21-convoy",
+        21,
+        render,
+        send_msg,
+        "transcript render convoys the serial executor; the joined send queues behind it",
+    );
+    b.action(
+        "open conversation",
+        1.5,
+        "ConversationActivity.onCreate",
+        66,
+        vec![Call::direct(ui.inflate), Call::direct(ui.bind_holder)],
+    );
+    b.action(
+        "scroll history",
+        2.5,
+        "ConversationActivity.onScroll",
+        131,
+        vec![Call::direct(ui.scroll_list)],
+    );
+    b.build()
+}
+
+/// PixelPress: photo editor whose width-2 thumbnail pool is starved.
+///
+/// Opening an album posts two slow thumbnail rescales that occupy both
+/// pool threads, then joins a cheap EXIF read on the same pool. The
+/// joined task is stuck in the queue until a slot frees, so the main
+/// thread stalls on work it never submitted. The first saturating
+/// rescale (the one the blame walk reaches through the queue head) is
+/// the ground-truth culprit.
+pub fn pixelpress() -> App {
+    let mut b = AppBuilder::new(
+        "PixelPress",
+        "com.pixelpress",
+        "Photography",
+        900_000,
+        "b7e03f8",
+    );
+    let ui = b.ui_pack();
+    let pool = b.executor("thumb-pool", 2);
+    let resize = b.api_scaled(reg::thumbnail_resize(), 2.0);
+    let exif = b.api(reg::self_developed(
+        "com.pixelpress.media.ExifReader.read",
+        92,
+        5,
+        ProfileKind::MemoryHeavy,
+    ));
+    let scan = b.api(reg::self_developed(
+        "com.pixelpress.media.AlbumIndex.list",
+        67,
+        3,
+        ProfileKind::Compute,
+    ));
+    let fut = b.api(future_get());
+    let open_album = b.action(
+        "open album",
+        1.0,
+        "AlbumActivity.onOpen",
+        173,
+        vec![
+            Call::direct(scan),
+            Call::direct(resize)
+                .submit_to(pool)
+                .bug("pixelpress-14-starve"),
+            Call::direct(resize).submit_to(pool),
+            Call::direct(exif).submit_join(pool, fut),
+        ],
+    );
+    b.bug(
+        "pixelpress-14-starve",
+        14,
+        resize,
+        open_album,
+        "thumbnail rescales saturate the pool; the joined EXIF read starves in the queue",
+    );
+    b.action(
+        "crop photo",
+        1.5,
+        "EditorActivity.onCrop",
+        247,
+        vec![Call::direct(ui.set_text), Call::direct(ui.animation)],
+    );
+    b.action(
+        "browse grid",
+        3.0,
+        "AlbumActivity.onScroll",
+        205,
+        vec![Call::direct(ui.scroll_list), Call::direct(ui.bind_holder)],
+    );
+    b.build()
+}
+
+/// NewsFlash: feed reader that joins a slow worker directly.
+///
+/// Refreshing posts the feed parse to a fetch executor and immediately
+/// joins the future — textbook `AsyncTask.execute(); future.get()`.
+/// The wait edge ends at the running task, whose XML parse is the
+/// ground-truth culprit.
+pub fn newsflash() -> App {
+    let mut b = AppBuilder::new(
+        "NewsFlash",
+        "com.newsflash",
+        "News & Magazines",
+        400_000,
+        "1fa88c0",
+    );
+    let ui = b.ui_pack();
+    let fetch = b.executor("feed-fetch", 1);
+    let parse = b.api(reg::feed_parse());
+    let stale = b.api(reg::self_developed(
+        "com.newsflash.feed.FeedCache.checkStale",
+        23,
+        2,
+        ProfileKind::Compute,
+    ));
+    let fut = b.api(future_get());
+    let refresh = b.action(
+        "refresh feed",
+        2.0,
+        "FeedActivity.onRefresh",
+        119,
+        vec![
+            Call::direct(stale),
+            Call::direct(parse)
+                .submit_join(fetch, fut)
+                .bug("newsflash-6-parse"),
+        ],
+    );
+    b.bug(
+        "newsflash-6-parse",
+        6,
+        parse,
+        refresh,
+        "feed parse posted to a worker but joined immediately on the main thread",
+    );
+    b.action(
+        "open article",
+        2.0,
+        "ArticleActivity.onCreate",
+        54,
+        vec![Call::direct(ui.inflate), Call::direct(ui.webview_layout)],
+    );
+    b.action(
+        "scroll headlines",
+        3.0,
+        "FeedActivity.onScroll",
+        98,
+        vec![Call::direct(ui.scroll_list)],
+    );
+    b.build()
+}
+
+/// QuickNote: negative control — the join completes in time.
+///
+/// Saving a note joins a draft persist of a few milliseconds on an idle
+/// serial executor. The wait edge exists but never holds the main
+/// thread past the responsiveness budget, so neither the detector nor
+/// the blame walk should report anything.
+pub fn quicknote() -> App {
+    let mut b = AppBuilder::new(
+        "QuickNote",
+        "com.quicknote",
+        "Productivity",
+        120_000,
+        "e92d517",
+    );
+    let ui = b.ui_pack();
+    let saver = b.executor("draft-save", 1);
+    let persist = b.api(reg::self_developed(
+        "com.quicknote.sync.DraftSaver.persist",
+        41,
+        6,
+        ProfileKind::Compute,
+    ));
+    let fut = b.api(future_get());
+    b.action(
+        "save note",
+        2.0,
+        "NoteActivity.onSave",
+        88,
+        vec![
+            Call::direct(ui.set_text),
+            Call::direct(persist).submit_join(saver, fut),
+        ],
+    );
+    b.action(
+        "open note",
+        2.0,
+        "NoteActivity.onCreate",
+        37,
+        vec![Call::direct(ui.inflate)],
+    );
+    b.action(
+        "browse notes",
+        2.5,
+        "ListActivity.onScroll",
+        120,
+        vec![Call::direct(ui.scroll_list), Call::direct(ui.bind_holder)],
+    );
+    b.build()
+}
+
+/// All async hang apps (three hang shapes plus the negative control).
+pub fn apps() -> Vec<App> {
+    vec![chatrelay(), pixelpress(), newsflash(), quicknote()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn async_apps_validate() {
+        for app in apps() {
+            assert!(
+                app.validate().is_empty(),
+                "{}: {:?}",
+                app.name,
+                app.validate()
+            );
+        }
+    }
+
+    #[test]
+    fn hang_apps_tag_worker_side_culprits() {
+        for app in [chatrelay(), pixelpress(), newsflash()] {
+            assert_eq!(app.bugs.len(), 1, "{}", app.name);
+            let bug = &app.bugs[0];
+            // The ground-truth API is the worker-side culprit, never the
+            // join API the main thread blocks in.
+            assert_ne!(
+                app.api(bug.api).symbol,
+                "java.util.concurrent.FutureTask.get",
+                "{}: bug must not blame the join site",
+                app.name
+            );
+            // And the tagged call site is an async submission.
+            let call = app
+                .actions
+                .iter()
+                .flat_map(|a| a.calls())
+                .find(|c| c.bug_id.as_deref() == Some(bug.id.as_str()))
+                .unwrap();
+            assert!(call.async_op.is_some(), "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn control_app_has_no_bugs() {
+        let app = quicknote();
+        assert!(app.bugs.is_empty());
+        // But it does exercise the wait edge.
+        assert!(app.actions.iter().flat_map(|a| a.calls()).any(|c| c
+            .async_op
+            .as_ref()
+            .and_then(|o| o.join_api())
+            .is_some()));
+    }
+
+    #[test]
+    fn every_app_declares_its_executors() {
+        for app in apps() {
+            assert!(!app.executors.is_empty(), "{}", app.name);
+        }
+    }
+
+    /// Seed-swept task-graph invariants over the whole async corpus:
+    /// no task ever starts before its submit edge, every task finishes,
+    /// and at no instant does an executor run more tasks than its width.
+    #[test]
+    fn task_graph_invariants_hold_across_seeds() {
+        use crate::compile::CompiledApp;
+        use crate::trace::{build_run, round_robin_schedule};
+        use hd_simrt::{SimConfig, TaskStatus};
+        for app in apps() {
+            let widths: Vec<usize> = app.executors.iter().map(|e| e.width).collect();
+            let name = app.name.clone();
+            let compiled = CompiledApp::new(app);
+            let sched = round_robin_schedule(compiled.app(), 3, 2_500);
+            for seed in [1u64, 7, 23, 42, 99] {
+                let mut run = build_run(&compiled, &sched, SimConfig::default(), seed);
+                run.sim.run();
+                let tasks = run.sim.task_records();
+                assert!(!tasks.is_empty(), "{name}/{seed}: corpus apps post tasks");
+                for t in &tasks {
+                    assert_eq!(t.status, TaskStatus::Done, "{name}/{seed}: {t:?}");
+                    let started = t.started.unwrap();
+                    assert!(started >= t.posted, "{name}/{seed}: ran before submit");
+                    assert!(t.finished.unwrap() >= started, "{name}/{seed}: {t:?}");
+                }
+                for (ex, &width) in widths.iter().enumerate() {
+                    let intervals: Vec<(u64, u64)> = tasks
+                        .iter()
+                        .filter(|t| t.executor == ex)
+                        .map(|t| (t.started.unwrap().0, t.finished.unwrap().0))
+                        .collect();
+                    for &(s, _) in &intervals {
+                        let running = intervals.iter().filter(|&&(a, b)| a <= s && s < b).count();
+                        assert!(
+                            running <= width,
+                            "{name}/{seed}: executor {ex} ran {running} tasks, width {width}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

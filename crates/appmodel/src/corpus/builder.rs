@@ -4,7 +4,7 @@ use hd_simrt::ActionUid;
 
 use crate::action::{ActionSpec, Call, EventSpec};
 use crate::api::{ApiId, ApiSpec};
-use crate::app::{App, BugSpec};
+use crate::app::{App, BugSpec, ExecutorSpec};
 use crate::registry::{self, ApiSet};
 
 /// Ids of the standard UI API pack every corpus app gets.
@@ -37,6 +37,7 @@ pub struct AppBuilder {
     set: ApiSet,
     actions: Vec<ActionSpec>,
     bugs: Vec<BugSpec>,
+    executors: Vec<ExecutorSpec>,
     next_uid: u64,
 }
 
@@ -58,8 +59,16 @@ impl AppBuilder {
             set: ApiSet::new(),
             actions: Vec::new(),
             bugs: Vec::new(),
+            executors: Vec::new(),
             next_uid: 0,
         }
+    }
+
+    /// Declares a bounded executor (serial when `width == 1`) and
+    /// returns its index for [`Call::submit_to`]/[`Call::submit_join`].
+    pub fn executor(&mut self, name: &str, width: usize) -> usize {
+        self.executors.push(ExecutorSpec::new(name, width));
+        self.executors.len() - 1
     }
 
     /// Interns an API, returning its id.
@@ -159,6 +168,7 @@ impl AppBuilder {
             apis: self.set.into_vec(),
             actions: self.actions,
             bugs: self.bugs,
+            executors: self.executors,
         };
         let problems = app.validate();
         assert!(problems.is_empty(), "app '{}': {problems:?}", app.name);

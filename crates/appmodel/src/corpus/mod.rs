@@ -1,6 +1,7 @@
 //! The study corpus: Table 1 motivation apps, Table 5 study apps, and
 //! generated healthy apps — 114 in total, like the paper's field study.
 
+pub mod async_hangs;
 pub mod builder;
 pub mod synth;
 pub mod table1;
@@ -31,6 +32,12 @@ pub fn vendored_apps() -> Vec<App> {
     vendored::apps()
 }
 
+/// The ground-truthed async hang apps (outside the pinned study counts;
+/// used by the async differential and the fleet async suites).
+pub fn async_hang_apps() -> Vec<App> {
+    async_hangs::apps()
+}
+
 /// The full 114-app study corpus: Table 1 + Table 5 + generated healthy
 /// apps.
 pub fn full_corpus(seed: u64) -> Vec<App> {
@@ -48,6 +55,7 @@ pub fn differential_corpus() -> Vec<App> {
     let mut apps = table1_apps();
     apps.extend(table5_apps());
     apps.extend(vendored_apps());
+    apps.extend(async_hang_apps());
     apps
 }
 

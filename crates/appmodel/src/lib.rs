@@ -19,9 +19,9 @@ pub mod profile;
 pub mod registry;
 pub mod trace;
 
-pub use action::{ActionSpec, Call, EventSpec};
+pub use action::{ActionSpec, AsyncOp, Call, EventSpec};
 pub use api::{ApiId, ApiKind, ApiSpec, CostSpec, SampledCost};
-pub use app::{App, BugSpec};
+pub use app::{App, BugSpec, ExecutorSpec};
 pub use compile::{CompiledApp, ExecTruth};
 pub use dist::Dist;
 pub use profile::ProfileKind;

@@ -122,6 +122,12 @@ pub fn build_run(
     let mut rng = SimRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     // Shared Arc handle: no per-run deep clone of the frame table.
     let mut sim = Simulator::new(SimConfig { seed, ..sim_cfg }, compiled.frame_table());
+    // Executors declared by the app exist before any action posts to
+    // them (registration draws no RNG, so apps without executors keep
+    // their exact schedules).
+    for ex in &compiled.app().executors {
+        sim.add_executor(&ex.name, ex.width);
+    }
     sim.reserve_actions(schedule.arrivals.len());
     let mut truths = Vec::with_capacity(schedule.arrivals.len());
     for &(at, uid) in &schedule.arrivals {
@@ -190,6 +196,7 @@ mod tests {
                 action: ActionUid(1),
                 description: "slow parse".into(),
             }],
+            executors: vec![],
         }
     }
 

@@ -1,0 +1,280 @@
+//! The async (wait-edge) differential: causal vs naive blame vs static.
+//!
+//! Runs the ground-truthed async hang corpus through three arms — a
+//! Hang Doctor fleet with the causal blame walk on, the same fleet with
+//! it off (`causal_blame = false`, the naive join-site diagnosis), and
+//! the full-profile static scanner — and scores detection and blame
+//! placement separately against ground truth. The expected shape, and
+//! what the `repro async-diff` artifact certifies:
+//!
+//! * both fleets *detect* every hang (the join block trips the
+//!   context-switch symptom either way);
+//! * only the causal fleet *blames* the worker-side culprit — the
+//!   baseline lands on `FutureTask.get` at the join site;
+//! * the static arm reports nothing: a submitted body is not part of
+//!   any main-thread call chain ([`hd_sast::BugClass::AsyncHang`]).
+
+use hangdoctor::{BlockingApiDb, FaultConfig, HangDoctorConfig};
+use hd_appmodel::corpus::async_hang_apps;
+use hd_appmodel::App;
+use hd_fleet::{run_fleet, AppFleetSummary, DeviceProfile, FleetSpec};
+use hd_metrics::{ArmPrecision, AsyncAppDifferential, AsyncBugOutcome, AsyncDifferential};
+use hd_sast::{analyze_with_db, classify_bug, RuleProfile, SastConfig};
+
+use crate::common::render_table;
+
+/// How one fleet arm saw one app: report rows keyed for blame checks.
+struct ArmView {
+    entries: Vec<(String, String)>,
+    precision: ArmPrecision,
+}
+
+/// Collapses an app's fleet summary into `(action, symbol)` rows plus
+/// blame-level precision: a row is a true flag only when it names a
+/// ground-truth culprit at its own action — a join-site diagnosis of a
+/// real hang still counts as a false flag.
+fn arm_view(summary: &AppFleetSummary, app: &App) -> ArmView {
+    let entries: Vec<(String, String)> = summary
+        .report
+        .entries()
+        .iter()
+        .map(|e| (e.action.clone(), e.symbol.clone()))
+        .collect();
+    let true_flags = entries
+        .iter()
+        .filter(|(action, symbol)| {
+            app.bugs.iter().any(|b| {
+                &app.api(b.api).symbol == symbol
+                    && app.action(b.action).is_some_and(|a| &a.name == action)
+            })
+        })
+        .count();
+    ArmView {
+        precision: ArmPrecision {
+            flagged: entries.len(),
+            true_flags,
+        },
+        entries,
+    }
+}
+
+impl ArmView {
+    fn names(&self, action: &str, symbol: &str) -> bool {
+        self.entries.iter().any(|(a, s)| a == action && s == symbol)
+    }
+
+    fn detected(&self, action: &str) -> bool {
+        self.entries.iter().any(|(a, _)| a == action)
+    }
+}
+
+/// The fleet spec both runtime arms share (they differ only in
+/// `config.causal_blame`).
+fn spec(seed: u64, executions: usize, db_year: u16, config: HangDoctorConfig) -> FleetSpec {
+    FleetSpec {
+        apps: async_hang_apps(),
+        profiles: DeviceProfile::default_set(),
+        devices_per_app: 3,
+        executions_per_action: executions,
+        root_seed: seed,
+        threads: 2,
+        config,
+        apidb_year: db_year,
+        faults: FaultConfig::none(),
+    }
+}
+
+/// Runs the three-arm async differential over the async hang corpus.
+pub fn run_async_differential(seed: u64, executions: usize, db_year: u16) -> AsyncDifferential {
+    let corpus = async_hang_apps();
+    let db = BlockingApiDb::documented(db_year);
+    let sast_config = SastConfig {
+        profile: RuleProfile::Full,
+        db_year,
+    };
+    let causal_fleet = run_fleet(&spec(
+        seed,
+        executions,
+        db_year,
+        HangDoctorConfig::default(),
+    ));
+    let naive_config = HangDoctorConfig::builder()
+        .causal_blame(false)
+        .build()
+        .expect("default config with the walk off is valid");
+    let baseline_fleet = run_fleet(&spec(seed, executions, db_year, naive_config));
+    let mut apps = Vec::new();
+    for ((app, causal_summary), baseline_summary) in corpus
+        .iter()
+        .zip(&causal_fleet.merged.apps)
+        .zip(&baseline_fleet.merged.apps)
+    {
+        debug_assert_eq!(app.name, causal_summary.app);
+        debug_assert_eq!(app.name, baseline_summary.app);
+        let causal = arm_view(causal_summary, app);
+        let baseline = arm_view(baseline_summary, app);
+        let report = analyze_with_db(app, &db, &sast_config);
+        let statically_found = report.bug_ids();
+        let control_entries = if app.bugs.is_empty() {
+            causal.entries.len() + baseline.entries.len()
+        } else {
+            0
+        };
+        let outcomes = app
+            .bugs
+            .iter()
+            .map(|bug| {
+                let action = app.action(bug.action).expect("bug action exists");
+                let culprit = app.api(bug.api).symbol.clone();
+                // The join API of the bug's action — where the naive
+                // diagnosis lands.
+                let join_site = action
+                    .calls()
+                    .find_map(|c| c.async_op.as_ref().and_then(|o| o.join_api()))
+                    .map(|api| app.api(api).symbol.clone())
+                    .unwrap_or_default();
+                AsyncBugOutcome {
+                    id: bug.id.clone(),
+                    class: classify_bug(app, bug, db_year).as_str().to_string(),
+                    causal_detected: causal.detected(&action.name),
+                    causal_blamed_culprit: causal.names(&action.name, &culprit),
+                    baseline_detected: baseline.detected(&action.name),
+                    baseline_blamed_culprit: baseline.names(&action.name, &culprit),
+                    baseline_blamed_join_site: baseline.names(&action.name, &join_site),
+                    static_found: statically_found.contains(&bug.id),
+                    culprit,
+                    join_site,
+                }
+            })
+            .collect();
+        apps.push(AsyncAppDifferential {
+            app: app.name.clone(),
+            outcomes,
+            causal_precision: causal.precision,
+            baseline_precision: baseline.precision,
+            static_precision: ArmPrecision {
+                flagged: report.findings.len(),
+                true_flags: report
+                    .findings
+                    .iter()
+                    .filter(|f| f.bug_id.is_some())
+                    .count(),
+            },
+            control_entries,
+        });
+    }
+    AsyncDifferential::build(db_year, apps)
+}
+
+/// Renders the per-bug async differential table.
+pub fn render_async_differential(d: &AsyncDifferential) -> String {
+    let verdict = |detected: bool, blamed: bool, join: bool| {
+        if blamed {
+            "culprit".to_string()
+        } else if join {
+            "join-site".to_string()
+        } else if detected {
+            "other".to_string()
+        } else {
+            "missed".to_string()
+        }
+    };
+    let rows: Vec<Vec<String>> = d
+        .apps
+        .iter()
+        .flat_map(|app| {
+            app.outcomes.iter().map(|o| {
+                vec![
+                    app.app.clone(),
+                    o.id.clone(),
+                    o.class.clone(),
+                    if o.static_found { "found" } else { "-" }.to_string(),
+                    verdict(
+                        o.baseline_detected,
+                        o.baseline_blamed_culprit,
+                        o.baseline_blamed_join_site,
+                    ),
+                    verdict(o.causal_detected, o.causal_blamed_culprit, false),
+                    o.culprit.clone(),
+                ]
+            })
+        })
+        .collect();
+    let total = d.total_bugs;
+    format!(
+        "Async differential — db {}, {} bugs over {} apps\n{}\n\
+         detection: causal {:.2}, baseline {:.2}; blame: causal {:.2}, baseline {:.2} (Δ {:+.2})\n\
+         blame precision: causal {:.3} ({}/{} rows), baseline {:.3} ({}/{} rows), Δ {:+.3}; static recall {:.2}\n\
+         baseline join-site mis-blames: {}; control-app report rows: {}\n",
+        d.db_year,
+        total,
+        d.apps.len(),
+        render_table(
+            &["app", "bug", "class", "static", "baseline", "causal", "culprit"],
+            &rows
+        ),
+        d.causal.detection_recall(total),
+        d.baseline.detection_recall(total),
+        d.causal.blame_recall(total),
+        d.baseline.blame_recall(total),
+        d.blame_delta(),
+        d.causal_precision.precision(),
+        d.causal_precision.true_flags,
+        d.causal_precision.flagged,
+        d.baseline_precision.precision(),
+        d.baseline_precision.true_flags,
+        d.baseline_precision.flagged,
+        d.precision_delta(),
+        d.static_recall(),
+        d.baseline.blamed_join_site,
+        d.control_entries,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_metrics::ASYNC_DIFFERENTIAL_SCHEMA;
+
+    #[test]
+    fn async_differential_separates_detection_from_blame() {
+        let d = run_async_differential(42, 4, 2017);
+        assert_eq!(d.schema, ASYNC_DIFFERENTIAL_SCHEMA);
+        assert_eq!(d.total_bugs, 3, "three ground-truthed async hangs");
+        // Both fleets detect every hang; only the causal walk places the
+        // blame on the worker-side culprit.
+        assert_eq!(d.causal.detected, d.total_bugs, "{:?}", d.causal);
+        assert_eq!(d.causal.blamed_culprit, d.total_bugs, "{:?}", d.causal);
+        assert_eq!(d.baseline.detected, d.total_bugs, "{:?}", d.baseline);
+        assert_eq!(d.baseline.blamed_culprit, 0, "{:?}", d.baseline);
+        assert_eq!(
+            d.baseline.blamed_join_site, d.total_bugs,
+            "{:?}",
+            d.baseline
+        );
+        // The static arm never sees a wait-edge hang.
+        assert_eq!(d.static_found, 0);
+        assert!(
+            d.apps
+                .iter()
+                .all(|a| a.static_precision.flagged == 0
+                    || a.outcomes.iter().all(|o| !o.static_found))
+        );
+        // Every scored bug carries the structural class.
+        for app in &d.apps {
+            for o in &app.outcomes {
+                assert_eq!(o.class, "async-hang", "{}", o.id);
+                assert_eq!(o.join_site, "java.util.concurrent.FutureTask.get");
+            }
+        }
+        // Blame-level precision collapses without the walk.
+        assert!((d.causal_precision.precision() - 1.0).abs() < 1e-9);
+        assert!(d.baseline_precision.precision() < 1e-9);
+        assert!((d.blame_delta() - 1.0).abs() < 1e-9);
+        // The negative control stays silent in both fleets.
+        assert_eq!(d.control_entries, 0);
+        let text = render_async_differential(&d);
+        assert!(text.contains("join-site"));
+        assert!(text.contains("async-hang"));
+    }
+}

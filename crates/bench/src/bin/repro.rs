@@ -8,8 +8,10 @@
 //!
 //! Experiments: `fig1 table2 table3 table4 fig4 fig5 table5 fig6 fig7
 //! table6 fig8 chaos sast` (or `all`); `sast-compat` reruns the scan
-//! under the perfchecker-compat rule profile and `sast-diff` scores the
-//! static↔runtime differential per bug class. `--quick` shrinks trace
+//! under the perfchecker-compat rule profile, `sast-diff` scores the
+//! static↔runtime differential per bug class, and `async-diff` races
+//! the causal blame walk against the naive join-site diagnosis and the
+//! static scanner over the async hang corpus. `--quick` shrinks trace
 //! lengths;
 //! `--full` runs the field study over the whole 114-app corpus.
 //! `--chaos RATE` injects deterministic observation faults at the given
@@ -65,7 +67,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--seed N] [--quick|--full] [--chaos RATE] [--json [path]] [--devices N] [--threads N] <experiment>...\n\
          experiments: fig1 table1 fig2b table2 table3 table4 fig4 fig5 table5 fig6 fig7
-         table6 fig8 generality ablations chaos sast sast-compat sast-diff fleet bench-summary all\n\
+         table6 fig8 generality ablations chaos sast sast-compat sast-diff async-diff fleet bench-summary all\n\
          telemetry commands: serve upload telemetry-bench cluster replay (plus fleet --telemetry)\n\
          --devices/--threads apply to the fleet and bench-summary experiments (defaults 8/1)\n\
          --chaos RATE injects observation faults into fleet/bench-summary and sets the\n\
@@ -95,6 +97,7 @@ fn is_experiment(name: &str) -> bool {
                 | "bench-summary"
                 | "sast-compat"
                 | "sast-diff"
+                | "async-diff"
                 | "serve"
                 | "upload"
                 | "telemetry-bench"
@@ -258,6 +261,14 @@ fn run_one(name: &str, opts: &Opts) -> Result<(), String> {
         "sast-diff" => {
             let r = hd_bench::sast::run_differential(seed, e_small, 2017);
             emit(opts, &r, hd_bench::sast::render_differential(&r));
+        }
+        "async-diff" => {
+            let r = hd_bench::async_diff::run_async_differential(seed, e_small, 2017);
+            emit(
+                opts,
+                &r,
+                hd_bench::async_diff::render_async_differential(&r),
+            );
         }
         "fleet" => {
             if opts.telemetry {

@@ -27,10 +27,13 @@
 //! differential quantifying precision/recall loss per injected fault
 //! category. [`sast`] runs the interprocedural static analyzer over the
 //! corpus and the static↔runtime differential scoring both detection
-//! arms per offline-failure-mode bug class. The `repro` binary drives
-//! everything from the command line.
+//! arms per offline-failure-mode bug class. [`async_diff`] races the
+//! causal blame walk against the naive join-site diagnosis and the
+//! static scanner over the wait-edge hang corpus. The `repro` binary
+//! drives everything from the command line.
 
 pub mod ablation;
+pub mod async_diff;
 pub mod chaos;
 pub mod common;
 pub mod fig1;

@@ -81,6 +81,12 @@ pub struct HangDoctorConfig {
     /// Maximum tolerated fraction of dropped samples in a diagnosis
     /// session; above it the session is aborted and the action re-armed.
     pub max_sample_loss: f64,
+    /// Whether the Trace Collector walks wait edges when the main thread
+    /// is blocked on a future join: the sample then extends across the
+    /// join into the worker (or queued task) holding it up, so the Trace
+    /// Analyzer blames the worker-side culprit API instead of the join
+    /// site. Disabling this reproduces the naive join-site diagnosis.
+    pub causal_blame: bool,
     /// Shared monitoring cost model.
     pub costs: CostModel,
 }
@@ -98,6 +104,7 @@ impl Default for HangDoctorConfig {
             retry_backoff_ns: 100_000, // 0.1 ms, doubling per attempt
             min_diagnosis_samples: 3,
             max_sample_loss: 0.5,
+            causal_blame: true,
             costs: CostModel::default(),
         }
     }
@@ -243,6 +250,12 @@ impl HangDoctorConfigBuilder {
     /// Sets the maximum tolerated dropped-sample fraction.
     pub fn max_sample_loss(mut self, v: f64) -> Self {
         self.cfg.max_sample_loss = v;
+        self
+    }
+
+    /// Enables or disables causal cross-thread blame (wait-edge walks).
+    pub fn causal_blame(mut self, v: bool) -> Self {
+        self.cfg.causal_blame = v;
         self
     }
 
@@ -422,6 +435,7 @@ mod tests {
             .retry_backoff_ns(50_000)
             .min_diagnosis_samples(2)
             .max_sample_loss(0.25)
+            .causal_blame(false)
             .build()
             .unwrap();
         assert_eq!(cfg.timeout_ns, 150 * MILLIS);
@@ -433,6 +447,12 @@ mod tests {
         assert_eq!(cfg.retry_backoff_ns, 50_000);
         assert_eq!(cfg.min_diagnosis_samples, 2);
         assert_eq!(cfg.max_sample_loss, 0.25);
+        assert!(!cfg.causal_blame);
+    }
+
+    #[test]
+    fn causal_blame_defaults_on() {
+        assert!(HangDoctorConfig::default().causal_blame);
     }
 
     #[test]

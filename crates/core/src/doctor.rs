@@ -159,7 +159,8 @@ impl HangDoctor {
             report: HangBugReport::new(app_name),
             ..Default::default()
         }));
-        let sampler = StackSampler::new(cfg.sample_period_ns, SAMPLER_TOKEN, cfg.costs);
+        let sampler = StackSampler::new(cfg.sample_period_ns, SAMPLER_TOKEN, cfg.costs)
+            .causal(cfg.causal_blame);
         let checker = SChecker::new(cfg.thresholds);
         (
             HangDoctor {
@@ -754,6 +755,7 @@ mod tests {
                 action: ActionUid(0),
                 description: "occasional parse".into(),
             }],
+            executors: vec![],
         };
         let (out, truths) = run_doctor(app, 12, 97);
         let out = out.borrow();
@@ -829,6 +831,7 @@ mod tests {
                 action: ActionUid(0),
                 description: "HTTP on the main thread".into(),
             }],
+            executors: vec![],
         };
         let compiled = CompiledApp::new(app.clone());
         let sched = round_robin_schedule(&app, 3, 3_000);
@@ -955,6 +958,137 @@ mod tests {
         let out = out.borrow();
         assert!(out.faults.injected() > 0);
         assert!(out.hangs_observed > 0);
+    }
+
+    #[test]
+    fn async_hangs_blame_the_worker_side_culprit() {
+        // Every annotated async hang app (serial convoy, pool
+        // starvation, slow-worker join) must be diagnosed with exactly
+        // its ground-truth culprit API — never the innocent join site
+        // the main thread happens to be parked in.
+        use hd_appmodel::corpus::async_hangs;
+        for app in [
+            async_hangs::chatrelay(),
+            async_hangs::pixelpress(),
+            async_hangs::newsflash(),
+        ] {
+            let name = app.name.clone();
+            let culprit = app.api(app.bugs[0].api).symbol.clone();
+            let (out, _) = run_doctor(app, 5, 77);
+            let out = out.borrow();
+            let syms: Vec<&str> = out
+                .detections
+                .iter()
+                .filter(|d| d.is_bug())
+                .filter_map(|d| d.root.as_ref())
+                .map(|r| r.symbol.as_str())
+                .collect();
+            assert!(
+                syms.contains(&culprit.as_str()),
+                "{name}: expected culprit '{culprit}', diagnosed {syms:?}"
+            );
+            assert!(
+                !syms.iter().any(|s| s.contains("FutureTask.get")),
+                "{name}: blamed the join site: {syms:?}"
+            );
+            assert!(!out.states.in_state(ActionState::HangBug).is_empty());
+        }
+    }
+
+    #[test]
+    fn baseline_diagnosis_names_the_join_site() {
+        // With causal blame off, the sampler sees only the main thread's
+        // own frames: the top of every hang stack is the join API, so
+        // the naive diagnosis mis-blames `FutureTask.get`.
+        use hd_appmodel::corpus::async_hangs;
+        let app = async_hangs::newsflash();
+        let culprit = app.api(app.bugs[0].api).symbol.clone();
+        let compiled = CompiledApp::new(app);
+        let sched = round_robin_schedule(compiled.app(), 5, 3_000);
+        let mut run = build_run(&compiled, &sched, SimConfig::default(), 77);
+        let cfg = HangDoctorConfig::builder()
+            .causal_blame(false)
+            .build()
+            .unwrap();
+        let (probe, out) =
+            HangDoctor::new(cfg, &compiled.app().name, &compiled.app().package, 1, None);
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        let out = out.borrow();
+        let syms: Vec<&str> = out
+            .detections
+            .iter()
+            .filter(|d| d.is_bug())
+            .filter_map(|d| d.root.as_ref())
+            .map(|r| r.symbol.as_str())
+            .collect();
+        assert!(
+            syms.contains(&"java.util.concurrent.FutureTask.get"),
+            "baseline should blame the join site, diagnosed {syms:?}"
+        );
+        assert!(
+            !syms.contains(&culprit.as_str()),
+            "baseline must not see the worker culprit: {syms:?}"
+        );
+    }
+
+    #[test]
+    fn timely_join_is_never_blamed() {
+        // Negative control: the joined draft persist completes well
+        // inside the 100 ms budget, so no hang is traced and nothing is
+        // blamed — with or without causal blame.
+        use hd_appmodel::corpus::async_hangs;
+        let (out, _) = run_doctor(async_hangs::quicknote(), 5, 77);
+        let out = out.borrow();
+        assert!(
+            out.detections.iter().all(|d| !d.is_bug()),
+            "{:?}",
+            out.detections
+        );
+        assert!(out.states.in_state(ActionState::HangBug).is_empty());
+        assert!(out.report.entries().is_empty());
+    }
+
+    #[test]
+    fn aborted_async_diagnosis_rearms_and_never_misblames() {
+        // Chaos: every stack sample drops during async hangs. Each
+        // traced session must abort (re-arming Suspicious) rather than
+        // emit any diagnosis — in particular never a join-site blame
+        // built from partial evidence.
+        use hd_appmodel::corpus::async_hangs;
+        use hd_faults::{FaultCategory, FaultConfig};
+        let out = run_doctor_faulted(
+            async_hangs::newsflash(),
+            5,
+            77,
+            FaultConfig::only(FaultCategory::DroppedSample, 1.0),
+        );
+        let out = out.borrow();
+        assert!(out.detections.is_empty(), "{:?}", out.detections);
+        assert!(out.faults.sessions_aborted > 0);
+        assert!(out.states.in_state(ActionState::HangBug).is_empty());
+        assert!(!out.states.in_state(ActionState::Suspicious).is_empty());
+        assert!(out.report.entries().is_empty());
+    }
+
+    #[test]
+    fn async_chaos_run_degrades_gracefully() {
+        // Full chaos over the async corpus: blame walks may lose
+        // samples, but the pipeline must neither panic nor blame the
+        // join site.
+        use hd_appmodel::corpus::async_hangs;
+        use hd_faults::FaultConfig;
+        for app in async_hangs::apps() {
+            let out = run_doctor_faulted(app, 5, 19, FaultConfig::chaos(0.1));
+            let out = out.borrow();
+            for d in out.detections.iter().filter(|d| d.is_bug()) {
+                assert!(
+                    !d.root.as_ref().unwrap().symbol.contains("FutureTask.get"),
+                    "join site blamed under chaos: {:?}",
+                    d.root
+                );
+            }
+        }
     }
 
     #[test]

@@ -118,6 +118,77 @@ fn thirty_two_thread_chaos_fleet_is_byte_identical_to_serial() {
     );
 }
 
+/// The async hang corpus: wait-edge resolution (pool queues, serial
+/// convoys, main-thread join blocks) must shard exactly like inline
+/// work.
+fn async_spec(threads: usize) -> FleetSpec {
+    FleetSpec {
+        apps: hd_appmodel::corpus::async_hang_apps(),
+        ..spec(threads)
+    }
+}
+
+#[test]
+fn async_fleet_is_byte_identical_across_thread_counts() {
+    let serial = run_fleet(&async_spec(1));
+    let serial_json = serde_json::to_string_pretty(&serial.merged).unwrap();
+    // Not vacuous: the causal walk must have crossed a wait edge and
+    // blamed a worker-side API, never the join site.
+    let symbols: Vec<String> = serial
+        .merged
+        .apps
+        .iter()
+        .flat_map(|a| a.report.entries())
+        .map(|e| e.symbol)
+        .collect();
+    assert!(
+        symbols
+            .iter()
+            .any(|s| s == "org.xmlpull.v1.XmlPullParser.next"),
+        "worker-side culprit missing: {symbols:?}"
+    );
+    assert!(
+        symbols
+            .iter()
+            .all(|s| s != "java.util.concurrent.FutureTask.get"),
+        "join site blamed: {symbols:?}"
+    );
+    for threads in [8usize, 16, 32] {
+        let parallel = run_fleet(&async_spec(threads));
+        assert_eq!(
+            serial_json,
+            serde_json::to_string_pretty(&parallel.merged).unwrap(),
+            "{threads} threads diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn async_chaos_fleet_is_byte_identical_across_thread_counts() {
+    let chaos_async = |threads| FleetSpec {
+        faults: FaultConfig::chaos(0.1),
+        ..async_spec(threads)
+    };
+    let serial = run_fleet(&chaos_async(1));
+    assert!(
+        serial.chaos.as_ref().unwrap().tally.injected() > 0,
+        "the async chaos comparison must not be vacuous"
+    );
+    for threads in [8usize, 16, 32] {
+        let parallel = run_fleet(&chaos_async(threads));
+        assert_eq!(
+            serde_json::to_string_pretty(&serial.merged).unwrap(),
+            serde_json::to_string_pretty(&parallel.merged).unwrap(),
+            "{threads} threads diverged from serial"
+        );
+        assert_eq!(
+            serde_json::to_string_pretty(&serial.chaos).unwrap(),
+            serde_json::to_string_pretty(&parallel.chaos).unwrap(),
+            "{threads}-thread fault tallies diverged from serial"
+        );
+    }
+}
+
 #[test]
 fn chaos_and_clean_fleets_differ() {
     // Sanity: 10% chaos must actually perturb the merged science, or the

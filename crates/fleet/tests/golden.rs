@@ -51,6 +51,7 @@ fn spec() -> FleetSpec {
 
 const FIXTURE: &str = include_str!("fixtures/fleet_small.json");
 const CHAOS_FIXTURE: &str = include_str!("fixtures/fleet_chaos.json");
+const ASYNC_FIXTURE: &str = include_str!("fixtures/fleet_async.json");
 
 fn check_or_regen(rendered: String, fixture: &str, name: &str) {
     if std::env::var_os("GOLDEN_REGEN").is_some() {
@@ -71,6 +72,29 @@ fn merged_report_matches_checked_in_fixture() {
     assert!(report.chaos.is_none(), "clean run must carry no chaos data");
     let json = serde_json::to_string_pretty(&report.merged).expect("serializable report");
     check_or_regen(tagged(format!("{json}\n")), FIXTURE, "fleet_small.json");
+}
+
+#[test]
+fn async_report_matches_checked_in_fixture() {
+    // The async hang corpus under the same small matrix: wait-edge
+    // scheduling (pool queues, serial convoys, join blocks) and the
+    // causal blame walk are pinned byte-for-byte.
+    // Four executions per action: enough for every hang shape (the
+    // pool-starvation app needs more observations than the tiny default
+    // matrix grants before its diagnosis crosses the report threshold).
+    let async_spec = FleetSpec {
+        apps: hd_appmodel::corpus::async_hang_apps(),
+        executions_per_action: 4,
+        ..spec()
+    };
+    let report = run_fleet(&async_spec);
+    assert!(report.chaos.is_none(), "clean run must carry no chaos data");
+    let json = serde_json::to_string_pretty(&report.merged).expect("serializable report");
+    check_or_regen(
+        tagged(format!("{json}\n")),
+        ASYNC_FIXTURE,
+        "fleet_async.json",
+    );
 }
 
 #[test]

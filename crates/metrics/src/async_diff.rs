@@ -1,0 +1,297 @@
+//! Async (wait-edge) differential accounting.
+//!
+//! Async hangs stress a different axis than the static↔runtime
+//! differential: *blame placement*. A counter-only runtime detector
+//! still notices the stalled main thread — the join block shows up in
+//! the context-switch symptom — but without a causal walk across the
+//! wait edge its diagnosis lands on the join site (`Future.get`), not
+//! on the worker-side API actually holding the future. Offline
+//! analysis never sees the hang at all: the submitted body is not part
+//! of any main-thread call chain.
+//!
+//! This module scores three arms against the async ground truth:
+//!
+//! * **causal** — the fleet with the causal blame walk on;
+//! * **baseline** — the same fleet with the walk off (naive join-site
+//!   diagnosis);
+//! * **static** — the offline scanner.
+//!
+//! Per bug we record both *detection* (the arm diagnosed something for
+//! the hanging action) and *blame* (the diagnosis named the
+//! ground-truth culprit), so "detects but mis-blames" is a first-class
+//! outcome rather than a footnote. Like [`crate::differential`], this
+//! is pure arithmetic over plain data — symbols and classes are
+//! strings, keeping the metrology layer decoupled from the analyzer
+//! and fleet crates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::differential::ArmPrecision;
+
+/// Schema tag of the serialized async differential, bumped on
+/// incompatible changes.
+pub const ASYNC_DIFFERENTIAL_SCHEMA: &str = "hang-doctor/async-differential/v1";
+
+/// One ground-truth async bug and how each arm handled it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsyncBugOutcome {
+    /// Ground-truth bug id.
+    pub id: String,
+    /// Offline-failure-mode class (normally `"async-hang"`).
+    pub class: String,
+    /// Ground-truth culprit symbol (the worker-side API).
+    pub culprit: String,
+    /// The join-site symbol the naive diagnosis lands on.
+    pub join_site: String,
+    /// Causal fleet diagnosed the hanging action.
+    pub causal_detected: bool,
+    /// Causal fleet named the culprit.
+    pub causal_blamed_culprit: bool,
+    /// Baseline fleet diagnosed the hanging action.
+    pub baseline_detected: bool,
+    /// Baseline fleet named the culprit.
+    pub baseline_blamed_culprit: bool,
+    /// Baseline fleet named the join site instead (the mis-blame).
+    pub baseline_blamed_join_site: bool,
+    /// The static scanner flagged the bug.
+    pub static_found: bool,
+}
+
+/// Detection/blame rollup of one runtime arm over the async ground
+/// truth.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsyncArm {
+    /// Bugs whose hanging action the arm diagnosed at all.
+    pub detected: usize,
+    /// Bugs whose diagnosis named the ground-truth culprit.
+    pub blamed_culprit: usize,
+    /// Bugs whose diagnosis named the join site instead.
+    pub blamed_join_site: usize,
+}
+
+impl AsyncArm {
+    /// Fraction of bugs detected (1.0 when there are none).
+    pub fn detection_recall(&self, total: usize) -> f64 {
+        if total == 0 {
+            return 1.0;
+        }
+        self.detected as f64 / total as f64
+    }
+
+    /// Fraction of bugs blamed on the right API.
+    pub fn blame_recall(&self, total: usize) -> f64 {
+        if total == 0 {
+            return 1.0;
+        }
+        self.blamed_culprit as f64 / total as f64
+    }
+}
+
+/// Async differential outcome for one app.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AsyncAppDifferential {
+    /// App name.
+    pub app: String,
+    /// Per-bug outcomes, ground-truth order (empty for the negative
+    /// control apps).
+    pub outcomes: Vec<AsyncBugOutcome>,
+    /// Causal-arm precision over this app's flagged executions.
+    pub causal_precision: ArmPrecision,
+    /// Baseline-arm precision over this app's flagged executions.
+    pub baseline_precision: ArmPrecision,
+    /// Static-arm precision over this app's findings.
+    pub static_precision: ArmPrecision,
+    /// Report rows either fleet emitted for this app even though it has
+    /// no ground-truth bug (nonzero on a failing negative control).
+    pub control_entries: usize,
+}
+
+/// The full three-arm async differential over a corpus.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AsyncDifferential {
+    /// Schema tag ([`ASYNC_DIFFERENTIAL_SCHEMA`]).
+    pub schema: String,
+    /// Vintage of the blocking-API database the static arm used.
+    pub db_year: u16,
+    /// Per-app outcomes, corpus order.
+    pub apps: Vec<AsyncAppDifferential>,
+    /// Ground-truth async bugs scored.
+    pub total_bugs: usize,
+    /// Causal-fleet rollup.
+    pub causal: AsyncArm,
+    /// Baseline-fleet rollup.
+    pub baseline: AsyncArm,
+    /// Bugs the static scanner flagged (structurally 0 for wait-edge
+    /// hangs).
+    pub static_found: usize,
+    /// Causal-arm precision summed over the corpus.
+    pub causal_precision: ArmPrecision,
+    /// Baseline-arm precision summed over the corpus.
+    pub baseline_precision: ArmPrecision,
+    /// Static-arm precision summed over the corpus.
+    pub static_precision: ArmPrecision,
+    /// Report rows emitted for bug-free apps, summed (must stay 0).
+    pub control_entries: usize,
+}
+
+impl AsyncDifferential {
+    /// Rolls per-app outcomes up into the full differential.
+    pub fn build(db_year: u16, apps: Vec<AsyncAppDifferential>) -> AsyncDifferential {
+        let mut causal = AsyncArm::default();
+        let mut baseline = AsyncArm::default();
+        let mut static_found = 0;
+        let mut causal_precision = ArmPrecision::default();
+        let mut baseline_precision = ArmPrecision::default();
+        let mut static_precision = ArmPrecision::default();
+        let mut total_bugs = 0;
+        let mut control_entries = 0;
+        for app in &apps {
+            causal_precision.add(&app.causal_precision);
+            baseline_precision.add(&app.baseline_precision);
+            static_precision.add(&app.static_precision);
+            control_entries += app.control_entries;
+            for o in &app.outcomes {
+                total_bugs += 1;
+                causal.detected += o.causal_detected as usize;
+                causal.blamed_culprit += o.causal_blamed_culprit as usize;
+                baseline.detected += o.baseline_detected as usize;
+                baseline.blamed_culprit += o.baseline_blamed_culprit as usize;
+                baseline.blamed_join_site += o.baseline_blamed_join_site as usize;
+                static_found += o.static_found as usize;
+            }
+        }
+        AsyncDifferential {
+            schema: ASYNC_DIFFERENTIAL_SCHEMA.to_string(),
+            db_year,
+            apps,
+            total_bugs,
+            causal,
+            baseline,
+            static_found,
+            causal_precision,
+            baseline_precision,
+            static_precision,
+            control_entries,
+        }
+    }
+
+    /// Blame recall gained by the causal walk over the naive diagnosis.
+    pub fn blame_delta(&self) -> f64 {
+        self.causal.blame_recall(self.total_bugs) - self.baseline.blame_recall(self.total_bugs)
+    }
+
+    /// Blame precision gained by the causal walk (flag-level).
+    pub fn precision_delta(&self) -> f64 {
+        self.causal_precision.precision() - self.baseline_precision.precision()
+    }
+
+    /// Static-arm recall over the async ground truth (structurally 0).
+    pub fn static_recall(&self) -> f64 {
+        if self.total_bugs == 0 {
+            return 1.0;
+        }
+        self.static_found as f64 / self.total_bugs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: &str, causal_ok: bool, baseline_misblames: bool) -> AsyncBugOutcome {
+        AsyncBugOutcome {
+            id: id.into(),
+            class: "async-hang".into(),
+            culprit: "com.example.Worker.run".into(),
+            join_site: "java.util.concurrent.FutureTask.get".into(),
+            causal_detected: true,
+            causal_blamed_culprit: causal_ok,
+            baseline_detected: baseline_misblames,
+            baseline_blamed_culprit: false,
+            baseline_blamed_join_site: baseline_misblames,
+            static_found: false,
+        }
+    }
+
+    fn diff() -> AsyncDifferential {
+        AsyncDifferential::build(
+            2017,
+            vec![
+                AsyncAppDifferential {
+                    app: "A".into(),
+                    outcomes: vec![outcome("a-1", true, true), outcome("a-2", true, true)],
+                    causal_precision: ArmPrecision {
+                        flagged: 8,
+                        true_flags: 8,
+                    },
+                    baseline_precision: ArmPrecision {
+                        flagged: 8,
+                        true_flags: 0,
+                    },
+                    static_precision: ArmPrecision::default(),
+                    control_entries: 0,
+                },
+                AsyncAppDifferential {
+                    app: "B".into(),
+                    outcomes: vec![outcome("b-1", false, true)],
+                    causal_precision: ArmPrecision {
+                        flagged: 4,
+                        true_flags: 2,
+                    },
+                    baseline_precision: ArmPrecision {
+                        flagged: 4,
+                        true_flags: 0,
+                    },
+                    static_precision: ArmPrecision::default(),
+                    control_entries: 0,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn rollups_count_detection_and_blame_separately() {
+        let d = diff();
+        assert_eq!(d.total_bugs, 3);
+        assert_eq!(d.causal.detected, 3);
+        assert_eq!(d.causal.blamed_culprit, 2);
+        assert_eq!(d.baseline.detected, 3);
+        assert_eq!(d.baseline.blamed_culprit, 0);
+        assert_eq!(d.baseline.blamed_join_site, 3);
+        assert_eq!(d.static_found, 0);
+        assert!((d.static_recall()).abs() < 1e-9);
+        assert!((d.causal.blame_recall(3) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((d.baseline.detection_recall(3) - 1.0).abs() < 1e-9);
+        assert!((d.blame_delta() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precisions_sum_over_apps() {
+        let d = diff();
+        assert_eq!(d.causal_precision.flagged, 12);
+        assert_eq!(d.causal_precision.true_flags, 10);
+        assert_eq!(d.baseline_precision.true_flags, 0);
+        assert!((d.precision_delta() - 10.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_differential_is_vacuously_perfect() {
+        let d = AsyncDifferential::build(2017, Vec::new());
+        assert_eq!(d.total_bugs, 0);
+        assert!((d.causal.blame_recall(0) - 1.0).abs() < 1e-9);
+        assert!((d.static_recall() - 1.0).abs() < 1e-9);
+        assert!(d.blame_delta().abs() < 1e-9);
+        assert_eq!(d.control_entries, 0);
+    }
+
+    #[test]
+    fn serde_round_trip_keeps_schema() {
+        let d = diff();
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.contains(ASYNC_DIFFERENTIAL_SCHEMA));
+        let back: AsyncDifferential = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.total_bugs, d.total_bugs);
+        assert_eq!(back.causal, d.causal);
+        assert_eq!(back.baseline, d.baseline);
+    }
+}

@@ -7,12 +7,16 @@
 //! ([`stats`]), and the chaos-vs-clean ([`chaos`]) and static↔runtime
 //! ([`differential`]) differentials.
 
+pub mod async_diff;
 pub mod chaos;
 pub mod confusion;
 pub mod differential;
 pub mod overhead;
 pub mod stats;
 
+pub use async_diff::{
+    AsyncAppDifferential, AsyncArm, AsyncBugOutcome, AsyncDifferential, ASYNC_DIFFERENTIAL_SCHEMA,
+};
 pub use chaos::{ChaosDelta, ChaosDifferential};
 pub use confusion::{
     bugs_flagged, bugs_manifested, classify, classify_all, score, ui_actions_flagged, Confusion,

@@ -56,6 +56,7 @@ pub struct StackSampler {
     samples: Vec<StackSample>,
     dropped: usize,
     truncated: usize,
+    causal: bool,
     costs: CostModel,
 }
 
@@ -71,8 +72,18 @@ impl StackSampler {
             samples: Vec::new(),
             dropped: 0,
             truncated: 0,
+            causal: false,
             costs,
         }
+    }
+
+    /// Enables or disables causal unwinding: when the main thread is
+    /// blocked on a future join at sample time, the sample extends
+    /// across the wait edge into the worker (or queued task) holding the
+    /// join up, so the culprit frames appear beneath the join site.
+    pub fn causal(mut self, on: bool) -> StackSampler {
+        self.causal = on;
+        self
     }
 
     /// Returns whether sampling is currently active.
@@ -186,7 +197,7 @@ impl StackSampler {
                 self.dropped += 1;
                 return;
             }
-            let mut frames = ctx.main_stack();
+            let mut frames = self.unwind(ctx);
             if frames.len() > 1 && faults.truncate_sample() {
                 // A partial unwind keeps only the outermost half of the
                 // stack — the innermost (likely root-cause) frames are
@@ -202,8 +213,16 @@ impl StackSampler {
         }
         self.samples.push(StackSample {
             at: ctx.now(),
-            frames: ctx.main_stack(),
+            frames: self.unwind(ctx),
         });
+    }
+
+    fn unwind(&self, ctx: &ProbeCtx<'_>) -> Vec<FrameId> {
+        if self.causal {
+            ctx.main_stack_causal()
+        } else {
+            ctx.main_stack()
+        }
     }
 
     fn arm(&mut self, ctx: &mut ProbeCtx<'_>, faults: Option<&mut FaultPlan>) {

@@ -1,7 +1,9 @@
 //! The analyzer: profiles × call graph × summaries × database → report.
 //!
-//! Both rule profiles walk the same call sites and apply the same three
-//! gates — offload-awareness (an offloaded call sterilizes its subtree),
+//! Both rule profiles walk the same call sites and apply the same gates
+//! — offload-awareness (an offloaded call sterilizes its subtree),
+//! async-awareness (a submitted task body runs on an executor thread,
+//! so the scanner sees only the submit and the zero-cost join),
 //! closed-source opacity, and database membership — they differ only in
 //! *how far they can see*:
 //!
@@ -16,7 +18,9 @@
 //! absent from the database never matches ([`BugClass::UnknownApi`]), a
 //! closed frame stops both profiles ([`BugClass::ClosedSource`]), and a
 //! self-developed operation has no database name at all
-//! ([`BugClass::SelfDeveloped`]).
+//! ([`BugClass::SelfDeveloped`]), and a hang carried across a wait edge
+//! never appears in any main-thread call chain
+//! ([`BugClass::AsyncHang`]).
 
 use std::collections::HashMap;
 
@@ -72,6 +76,14 @@ pub fn analyze_with_db(app: &App, db: &BlockingApiDb, config: &SastConfig) -> Sa
         for event in &action.events {
             for call in &event.calls {
                 if call.offloaded {
+                    continue;
+                }
+                if call.async_op.is_some() {
+                    // The body runs as an executor task: on the main
+                    // thread the scanner sees a submission and, at
+                    // most, a zero-cost `Future.get`. Convoys, pool
+                    // starvation, and slow joined workers all hide
+                    // behind that edge.
                     continue;
                 }
                 match config.profile {
@@ -229,15 +241,20 @@ pub enum BugClass {
     ClosedSource,
     /// Rooted in a self-developed lengthy operation (no database name).
     SelfDeveloped,
+    /// Every call site is submitted to an executor: the hang reaches the
+    /// main thread through a wait edge (future join), never through an
+    /// inline call chain a scanner could walk.
+    AsyncHang,
 }
 
 impl BugClass {
     /// All classes, in reporting order.
-    pub const ALL: [BugClass; 4] = [
+    pub const ALL: [BugClass; 5] = [
         BugClass::Known,
         BugClass::UnknownApi,
         BugClass::ClosedSource,
         BugClass::SelfDeveloped,
+        BugClass::AsyncHang,
     ];
 
     /// Stable name used in reports (decouples downstream artifacts from
@@ -248,6 +265,7 @@ impl BugClass {
             BugClass::UnknownApi => "unknown-api",
             BugClass::ClosedSource => "closed-source",
             BugClass::SelfDeveloped => "self-developed",
+            BugClass::AsyncHang => "async-hang",
         }
     }
 }
@@ -255,17 +273,23 @@ impl BugClass {
 /// Classifies a ground-truth bug by which offline failure mode (if any)
 /// hides it from a scanner with a database of the given year.
 ///
-/// Closed-source wins over the API-kind classes: if no call site of the
-/// bug is scannable, the API's name never enters the picture.
+/// The structural classes win over the API-kind classes: if every call
+/// site of the bug is submitted to an executor, or none is scannable,
+/// the API's name never enters the picture. Async wins over
+/// closed-source — a wait-edge hang stays invisible regardless of how
+/// open the worker-side code is.
 pub fn classify_bug(app: &App, bug: &BugSpec, db_year: u16) -> BugClass {
-    let mut sites = app
+    let sites: Vec<_> = app
         .actions
         .iter()
         .flat_map(|a| a.calls())
         .filter(|c| c.bug_id.as_deref() == Some(bug.id.as_str()))
-        .peekable();
-    let any = sites.peek().is_some();
-    if any && sites.all(|c| !app.call_visible(c)) {
+        .collect();
+    let any = !sites.is_empty();
+    if any && sites.iter().all(|c| c.async_op.is_some()) {
+        return BugClass::AsyncHang;
+    }
+    if any && sites.iter().all(|c| !app.call_visible(c)) {
         return BugClass::ClosedSource;
     }
     match app.api(bug.api).kind {
@@ -402,6 +426,54 @@ mod tests {
         sage.apis[idx].closed_source = true;
         let bug = sage.bug("sagemath-84-cupboard").unwrap();
         assert_eq!(classify_bug(&sage, bug, 2017), BugClass::ClosedSource);
+    }
+
+    #[test]
+    fn async_hangs_are_invisible_to_both_profiles() {
+        use hd_appmodel::corpus::async_hangs;
+        for app in async_hangs::apps() {
+            for cfg in [full(), compat()] {
+                let report = analyze(&app, &cfg);
+                assert!(
+                    report.bug_ids().is_empty(),
+                    "{} ({}): wait-edge hangs must not be flagged offline, got {:?}",
+                    app.name,
+                    report.profile,
+                    report.bug_ids()
+                );
+                // Nothing about the submitted bodies leaks into findings
+                // either — only genuine main-thread sites may appear.
+                for bug in &app.bugs {
+                    let culprit = &app.api(bug.api).symbol;
+                    assert!(
+                        report.findings.iter().all(|f| &f.api_symbol != culprit),
+                        "{}: worker-side culprit {} surfaced offline",
+                        app.name,
+                        culprit
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classify_bug_marks_wait_edge_bugs_async() {
+        use hd_appmodel::corpus::async_hangs;
+        for app in [
+            async_hangs::chatrelay(),
+            async_hangs::pixelpress(),
+            async_hangs::newsflash(),
+        ] {
+            let bug = &app.bugs[0];
+            assert_eq!(
+                classify_bug(&app, bug, 2017),
+                BugClass::AsyncHang,
+                "{}",
+                app.name
+            );
+            // The class is structural: database vintage is irrelevant.
+            assert_eq!(classify_bug(&app, bug, 2030), BugClass::AsyncHang);
+        }
     }
 
     #[test]

@@ -110,6 +110,7 @@ mod tests {
                 vec![EventSpec::new("org.g.M.h", 1, calls)],
             )],
             bugs: vec![],
+            executors: vec![],
         }
     }
 

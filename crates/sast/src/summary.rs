@@ -119,6 +119,7 @@ mod tests {
                 vec![EventSpec::new("org.s.M.h", 1, calls)],
             )],
             bugs: vec![],
+            executors: vec![],
         }
     }
 

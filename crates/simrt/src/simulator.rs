@@ -160,6 +160,59 @@ enum Notice {
     Timer { probe: usize, token: u64 },
 }
 
+/// Lifecycle state of a task submitted to a bounded executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// Waiting in the executor's submission queue.
+    Queued,
+    /// Executing on the given thread.
+    Running {
+        /// The executor thread running the task.
+        tid: ThreadId,
+    },
+    /// Finished; joins on it complete instantly.
+    Done,
+}
+
+/// Public record of one executor task (task id == index in
+/// [`Simulator::task_records`]), exposed for tests and probes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskRecord {
+    /// Executor the task was submitted to.
+    pub executor: usize,
+    /// Final (or current) lifecycle state.
+    pub status: TaskStatus,
+    /// When [`Step::PostTask`] ran (the submit edge).
+    pub posted: SimTime,
+    /// When an executor thread dequeued and started it.
+    pub started: Option<SimTime>,
+    /// When its last step completed.
+    pub finished: Option<SimTime>,
+}
+
+/// Internal state of one executor task.
+#[derive(Debug)]
+struct TaskState {
+    executor: usize,
+    status: TaskStatus,
+    /// Body steps, present until an executor thread takes the task.
+    steps: Option<Vec<Step>>,
+    posted: SimTime,
+    started: Option<SimTime>,
+    finished: Option<SimTime>,
+    /// Threads blocked in [`Step::JoinTask`] on this task, woken at
+    /// completion.
+    waiters: Vec<usize>,
+}
+
+/// A bounded executor: a FIFO submission queue drained by a fixed set
+/// of dedicated threads (`width == 1` models a serial executor).
+#[derive(Debug)]
+struct ExecutorState {
+    queue: VecDeque<u64>,
+    thread_tids: Vec<usize>,
+}
+
 pub(crate) struct World {
     cfg: SimConfig,
     now: SimTime,
@@ -195,6 +248,10 @@ pub(crate) struct World {
     main_tid: usize,
     render_tid: usize,
     worker_tids: Vec<usize>,
+    /// Bounded executors added with [`Simulator::add_executor`].
+    executors: Vec<ExecutorState>,
+    /// Global task table; a task's id is its index here.
+    tasks: Vec<TaskState>,
 }
 
 impl World {
@@ -254,6 +311,8 @@ impl World {
             main_tid,
             render_tid,
             worker_tids,
+            executors: Vec::new(),
+            tasks: Vec::new(),
             cfg,
         };
         // One pinned system thread per core, with staggered first wakes,
@@ -299,6 +358,7 @@ impl World {
             || !self.main_q.is_empty()
             || !self.render_q.is_empty()
             || !self.worker_q.is_empty()
+            || self.executors.iter().any(|e| !e.queue.is_empty())
         {
             return false;
         }
@@ -306,6 +366,30 @@ impl World {
             .iter()
             .filter(|t| t.is_app())
             .all(|t| t.exec.is_none() && t.state == ThreadState::Waiting)
+    }
+
+    /// Resolves the worker-side thread currently responsible for `task`
+    /// not being done: the thread running it, or — when the task is
+    /// still queued — the thread running its executor's head-of-line
+    /// blocker (the in-flight task with the smallest id on that
+    /// executor). On a serial executor that head is the convoy front,
+    /// so one hop covers the transitive queue walk.
+    fn blocking_thread_of(&self, task: u64) -> Option<usize> {
+        let t = &self.tasks[task as usize];
+        match t.status {
+            TaskStatus::Running { tid } => Some(tid.0),
+            TaskStatus::Done => None,
+            TaskStatus::Queued => self.executors[t.executor]
+                .thread_tids
+                .iter()
+                .copied()
+                .filter_map(|w| match self.threads[w].exec.as_ref().map(|e| &e.item) {
+                    Some(&WorkItem::ExecutorTask { task: running }) => Some((running, w)),
+                    _ => None,
+                })
+                .min_by_key(|&(running, _)| running)
+                .map(|(_, w)| w),
+        }
     }
 
     // ---- scheduling primitives ------------------------------------------
@@ -601,6 +685,15 @@ impl World {
                     self.notices.push(Notice::DispatchEnd(info, response));
                 }
             }
+            WorkItem::ExecutorTask { task } => {
+                let t = &mut self.tasks[task as usize];
+                t.status = TaskStatus::Done;
+                t.finished = Some(self.now);
+                let waiters = std::mem::take(&mut t.waiters);
+                for w in waiters {
+                    self.push_ev(self.now, Ev::Wake { tid: w });
+                }
+            }
             WorkItem::RenderFrame | WorkItem::WorkerTask | WorkItem::SystemBurst => {}
         }
     }
@@ -613,11 +706,13 @@ impl World {
             Main,
             Render,
             Worker,
+            Executor(usize),
         }
         let source = match &self.threads[tid].source {
             WorkSource::MainLooper => Src::Main,
             WorkSource::RenderQueue => Src::Render,
             WorkSource::WorkerQueue => Src::Worker,
+            WorkSource::ExecutorQueue { executor } => Src::Executor(*executor),
             WorkSource::Pulse { .. } => {
                 unreachable!("pulse threads run on the pre-accrued fast path")
             }
@@ -662,6 +757,23 @@ impl World {
                     false
                 }
             }
+            Src::Executor(ex) => {
+                if let Some(task) = self.executors[ex].queue.pop_front() {
+                    let t = &mut self.tasks[task as usize];
+                    t.status = TaskStatus::Running { tid: ThreadId(tid) };
+                    t.started = Some(self.now);
+                    let steps = t.steps.take().expect("task body already taken");
+                    self.threads[tid].exec = Some(ExecState::new(
+                        steps,
+                        WorkItem::ExecutorTask { task },
+                        self.now,
+                    ));
+                    true
+                } else {
+                    self.go_idle(tid);
+                    false
+                }
+            }
         }
     }
 
@@ -674,8 +786,19 @@ impl World {
             Complete,
             NeedCpu,
             Block(u64),
-            Render { frames: u32, frame_ns: u64 },
+            Render {
+                frames: u32,
+                frame_ns: u64,
+            },
             Worker(Vec<Step>),
+            PostTask {
+                executor: u32,
+                token: u32,
+                steps: Vec<Step>,
+            },
+            // Left at the step-queue front so the join is re-examined
+            // when the task's completion event wakes this thread.
+            Join(u32),
         }
         loop {
             // Peek at the front step and only dequeue it once its fate is
@@ -722,6 +845,19 @@ impl World {
                             Some(Step::PostWorker(steps)) => Ctl::Worker(steps),
                             _ => unreachable!("front was PostWorker"),
                         },
+                        Some(Step::PostTask { .. }) => match exec.steps.pop_front() {
+                            Some(Step::PostTask {
+                                executor,
+                                token,
+                                steps,
+                            }) => Ctl::PostTask {
+                                executor,
+                                token,
+                                steps,
+                            },
+                            _ => unreachable!("front was PostTask"),
+                        },
+                        Some(&mut Step::JoinTask { token }) => Ctl::Join(token),
                     },
                 }
             };
@@ -759,6 +895,61 @@ impl World {
                         .find(|&w| self.threads[w].state == ThreadState::Waiting);
                     if let Some(w) = idle {
                         self.nudge(w);
+                    }
+                }
+                Ctl::PostTask {
+                    executor,
+                    token,
+                    steps,
+                } => {
+                    let ex = executor as usize;
+                    let task = self.tasks.len() as u64;
+                    self.tasks.push(TaskState {
+                        executor: ex,
+                        status: TaskStatus::Queued,
+                        steps: Some(steps),
+                        posted: self.now,
+                        started: None,
+                        finished: None,
+                        waiters: Vec::new(),
+                    });
+                    self.threads[tid]
+                        .exec
+                        .as_mut()
+                        .expect("PostTask outside a work item")
+                        .handles
+                        .push((token, task));
+                    self.executors[ex].queue.push_back(task);
+                    let idle = self.executors[ex]
+                        .thread_tids
+                        .iter()
+                        .copied()
+                        .find(|&w| self.threads[w].state == ThreadState::Waiting);
+                    if let Some(w) = idle {
+                        self.nudge(w);
+                    }
+                }
+                Ctl::Join(token) => {
+                    let task = self.threads[tid]
+                        .exec
+                        .as_ref()
+                        .expect("JoinTask outside a work item")
+                        .handles
+                        .iter()
+                        .find(|&&(t, _)| t == token)
+                        .map(|&(_, id)| id)
+                        .expect("JoinTask token has no matching PostTask");
+                    if self.tasks[task as usize].status == TaskStatus::Done {
+                        // The future already resolved: the join is free.
+                        let exec = self.threads[tid].exec.as_mut().expect("checked above");
+                        exec.steps.pop_front();
+                    } else {
+                        // Wait edge: block with no timed wake; the task's
+                        // completion event wakes us and re-runs the join.
+                        self.tasks[task as usize].waiters.push(tid);
+                        self.off_cpu(tid, true);
+                        self.threads[tid].state = ThreadState::Blocked;
+                        return;
                     }
                 }
             }
@@ -1004,6 +1195,36 @@ impl ProbeCtx<'_> {
         self.world.threads[self.world.main_tid].stack().to_vec()
     }
 
+    /// Snapshot of the main thread's stack with causal extension: when
+    /// main is blocked in a [`Step::JoinTask`] wait edge, the stack of
+    /// the worker-side thread responsible for the joined task — the
+    /// thread running it, or the head-of-line blocker on its executor —
+    /// is appended, so trace analysis sees the culprit API as the leaf
+    /// instead of the innocent join site. Identical to [`main_stack`]
+    /// (`Self::main_stack`) whenever main is not join-blocked or no
+    /// culprit thread is resolvable.
+    pub fn main_stack_causal(&self) -> Vec<FrameId> {
+        let w = &self.world;
+        let th = &w.threads[w.main_tid];
+        let mut stack = th.stack().to_vec();
+        if th.state != ThreadState::Blocked {
+            return stack;
+        }
+        let Some(exec) = th.exec.as_ref() else {
+            return stack;
+        };
+        let Some(&Step::JoinTask { token }) = exec.steps.front() else {
+            return stack;
+        };
+        let Some(&(_, task)) = exec.handles.iter().find(|&&(t, _)| t == token) else {
+            return stack;
+        };
+        if let Some(culprit) = w.blocking_thread_of(task) {
+            stack.extend_from_slice(w.threads[culprit].stack());
+        }
+        stack
+    }
+
     /// Resolves a frame id.
     pub fn frame(&self, id: FrameId) -> &Frame {
         self.world.frames.get(id)
@@ -1077,6 +1298,34 @@ impl Simulator {
         self.world.notices_enabled = true;
         self.probes.push(probe);
         self.probes.len() - 1
+    }
+
+    /// Adds a bounded executor (a serial executor when `width == 1`)
+    /// backed by `width` dedicated threads, and returns the executor
+    /// index referenced by [`Step::PostTask`]. Draws no RNG, so adding
+    /// executors never perturbs the event schedule of apps that do not
+    /// post to them.
+    pub fn add_executor(&mut self, name: &str, width: usize) -> usize {
+        debug_assert!(!self.ran, "add_executor after run");
+        assert!(width >= 1, "an executor needs at least one thread");
+        let idx = self.world.executors.len();
+        let mut thread_tids = Vec::with_capacity(width);
+        for i in 0..width {
+            let tid = self.world.threads.len();
+            thread_tids.push(tid);
+            self.world.threads.push(SimThread::new(
+                ThreadId(tid),
+                format!("{name}-{}", i + 1),
+                ThreadKind::Worker,
+                PRIO_WORKER,
+                WorkSource::ExecutorQueue { executor: idx },
+            ));
+        }
+        self.world.executors.push(ExecutorState {
+            queue: VecDeque::new(),
+            thread_tids,
+        });
+        idx
     }
 
     /// Pre-sizes the event queue and record storage for a run that will
@@ -1229,6 +1478,22 @@ impl Simulator {
     /// Completed action records, in completion order.
     pub fn records(&self) -> &[ActionRecord] {
         &self.world.records
+    }
+
+    /// Records of all executor tasks posted during the run, in posting
+    /// order (a task's id is its index).
+    pub fn task_records(&self) -> Vec<TaskRecord> {
+        self.world
+            .tasks
+            .iter()
+            .map(|t| TaskRecord {
+                executor: t.executor,
+                status: t.status,
+                posted: t.posted,
+                started: t.started,
+                finished: t.finished,
+            })
+            .collect()
     }
 
     /// Accumulated monitoring cost of all probes.
@@ -1644,5 +1909,240 @@ mod tests {
         assert_eq!(cost.cpu_ns, 1000);
         assert_eq!(cost.mem_bytes, 64);
         assert_eq!(cost.counter_reads, 1);
+    }
+
+    /// A main-thread event that posts one task to executor 0 and joins
+    /// it behind a `FutureTask.get` frame.
+    fn join_event(table: &mut FrameTable, main_cpu_ms: u64, task_io_ms: u64) -> Vec<Step> {
+        let handler = table.intern_new("app.Main.onClick", "Main.java", 40);
+        let culprit = table.intern_new("android.graphics.BitmapFactory.decodeFile", "B.java", 9);
+        let join = table.intern_new("java.util.concurrent.FutureTask.get", "FutureTask.java", 1);
+        vec![
+            Step::Push(handler),
+            Step::PostTask {
+                executor: 0,
+                token: 0,
+                steps: vec![
+                    Step::Push(culprit),
+                    Step::Io {
+                        ns: task_io_ms * MILLIS,
+                    },
+                    Step::Pop,
+                ],
+            },
+            Step::Cpu {
+                ns: main_cpu_ms * MILLIS,
+                profile: MemProfile::ui(),
+            },
+            Step::Push(join),
+            Step::JoinTask { token: 0 },
+            Step::Pop,
+            Step::Pop,
+        ]
+    }
+
+    #[test]
+    fn join_on_slow_task_blocks_main_until_completion() {
+        let mut table = FrameTable::new();
+        let ev = join_event(&mut table, 1, 200);
+        let mut sim = one_action_sim(vec![ev], table);
+        sim.add_executor("SerialExecutor", 1);
+        let summary = sim.run();
+        assert!(!summary.truncated);
+        let rec = &sim.records()[0];
+        // The join holds the dispatch open for the task's whole I/O.
+        assert!(rec.max_response_ns() >= 200 * MILLIS);
+        let tasks = sim.task_records();
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].status, TaskStatus::Done);
+        assert!(tasks[0].started.unwrap() >= tasks[0].posted);
+    }
+
+    #[test]
+    fn join_on_finished_task_is_free() {
+        let mut table = FrameTable::new();
+        // Task finishes (~6 ms) long before main reaches the join (~51 ms).
+        let ev = join_event(&mut table, 50, 5);
+        let mut sim = one_action_sim(vec![ev], table);
+        sim.add_executor("SerialExecutor", 1);
+        sim.run();
+        let rec = &sim.records()[0];
+        let resp = rec.max_response_ns();
+        assert!(resp >= 50 * MILLIS, "resp={resp}");
+        assert!(resp < 120 * MILLIS, "resp={resp}");
+    }
+
+    #[test]
+    fn saturated_pool_delays_queued_tasks() {
+        let mut table = FrameTable::new();
+        let handler = table.intern_new("app.Main.onClick", "Main.java", 40);
+        let work = table.intern_new("com.google.gson.Gson.toJson", "Gson.java", 2);
+        let task = |ms: u64| vec![Step::Push(work), Step::Io { ns: ms * MILLIS }, Step::Pop];
+        let ev = vec![
+            Step::Push(handler),
+            Step::PostTask {
+                executor: 0,
+                token: 0,
+                steps: task(80),
+            },
+            Step::PostTask {
+                executor: 0,
+                token: 1,
+                steps: task(10),
+            },
+            Step::Cpu {
+                ns: MILLIS,
+                profile: MemProfile::ui(),
+            },
+            Step::Push(table.intern_new("java.util.concurrent.FutureTask.get", "F.java", 1)),
+            Step::JoinTask { token: 1 },
+            Step::Pop,
+            Step::Pop,
+        ];
+        let mut sim = one_action_sim(vec![ev], table);
+        sim.add_executor("SerialExecutor", 1);
+        sim.run();
+        let tasks = sim.task_records();
+        assert_eq!(tasks.len(), 2);
+        // No task starts before its submit edge, and the width-1 pool
+        // serializes: the queued task waits for the convoy head.
+        for t in &tasks {
+            assert!(t.started.unwrap() >= t.posted);
+        }
+        assert!(tasks[1].started.unwrap() >= tasks[0].finished.unwrap());
+        // The join waited on the convoy, so the response covers both.
+        assert!(sim.records()[0].max_response_ns() >= 90 * MILLIS);
+    }
+
+    #[test]
+    fn causal_stack_names_worker_culprit_during_join_block() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct CausalSampler {
+            plain: Rc<RefCell<Vec<Vec<FrameId>>>>,
+            causal: Rc<RefCell<Vec<Vec<FrameId>>>>,
+        }
+        impl Probe for CausalSampler {
+            fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, _info: &MessageInfo) {
+                let at = ctx.now() + 100 * MILLIS;
+                ctx.set_timer(at, 1);
+            }
+            fn on_timer(&mut self, ctx: &mut ProbeCtx<'_>, _token: u64) {
+                self.plain.borrow_mut().push(ctx.main_stack());
+                self.causal.borrow_mut().push(ctx.main_stack_causal());
+            }
+        }
+        let mut table = FrameTable::new();
+        let ev = join_event(&mut table, 1, 300);
+        // Interning is idempotent: re-interning yields the existing ids.
+        let culprit = table.intern_new("android.graphics.BitmapFactory.decodeFile", "B.java", 9);
+        let join = table.intern_new("java.util.concurrent.FutureTask.get", "FutureTask.java", 1);
+        let plain = Rc::new(RefCell::new(Vec::new()));
+        let causal = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = one_action_sim(vec![ev], table);
+        sim.add_executor("SerialExecutor", 1);
+        sim.add_probe(Box::new(CausalSampler {
+            plain: plain.clone(),
+            causal: causal.clone(),
+        }));
+        sim.run();
+        let plain = plain.borrow();
+        let causal = causal.borrow();
+        assert_eq!(plain.len(), 1);
+        // Mid-join the plain stack bottoms out at the join site...
+        assert_eq!(*plain[0].last().unwrap(), join);
+        // ...while the causal stack walks the wait edge to the worker.
+        assert_eq!(*causal[0].last().unwrap(), culprit);
+        assert_eq!(&causal[0][..plain[0].len()], &plain[0][..]);
+    }
+
+    #[test]
+    fn causal_stack_walks_serial_queue_to_convoy_head() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct S(Rc<RefCell<Vec<Vec<FrameId>>>>);
+        impl Probe for S {
+            fn on_dispatch_begin(&mut self, ctx: &mut ProbeCtx<'_>, _info: &MessageInfo) {
+                let at = ctx.now() + 50 * MILLIS;
+                ctx.set_timer(at, 1);
+            }
+            fn on_timer(&mut self, ctx: &mut ProbeCtx<'_>, _token: u64) {
+                self.0.borrow_mut().push(ctx.main_stack_causal());
+            }
+        }
+        let mut table = FrameTable::new();
+        let handler = table.intern_new("app.Main.onClick", "Main.java", 40);
+        let convoy = table.intern_new("com.app.Db.vacuum", "Db.java", 7);
+        let fast = table.intern_new("com.app.Db.readRow", "Db.java", 9);
+        let join = table.intern_new("java.util.concurrent.FutureTask.get", "F.java", 1);
+        let ev = vec![
+            Step::Push(handler),
+            Step::PostTask {
+                executor: 0,
+                token: 0,
+                steps: vec![Step::Push(convoy), Step::Io { ns: 200 * MILLIS }, Step::Pop],
+            },
+            Step::PostTask {
+                executor: 0,
+                token: 1,
+                steps: vec![Step::Push(fast), Step::Io { ns: 2 * MILLIS }, Step::Pop],
+            },
+            Step::Cpu {
+                ns: MILLIS,
+                profile: MemProfile::ui(),
+            },
+            Step::Push(join),
+            Step::JoinTask { token: 1 },
+            Step::Pop,
+            Step::Pop,
+        ];
+        let stacks = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = one_action_sim(vec![ev], table);
+        sim.add_executor("SerialExecutor", 1);
+        sim.add_probe(Box::new(S(stacks.clone())));
+        sim.run();
+        let stacks = stacks.borrow();
+        assert_eq!(stacks.len(), 1);
+        // The joined task is still queued behind the convoy head, so the
+        // causal walk lands on the *convoy* frame, not the joined task.
+        assert_eq!(*stacks[0].last().unwrap(), convoy);
+    }
+
+    #[test]
+    fn unused_executor_never_perturbs_the_schedule() {
+        let build = |with_executor: bool| {
+            let mut table = FrameTable::new();
+            let ev = io_event(&mut table, 100);
+            let ev2 = ui_event(&mut table, 25, 8);
+            let mut sim = Simulator::new(SimConfig::default(), table);
+            if with_executor {
+                sim.add_executor("SerialExecutor", 2);
+            }
+            sim.schedule_action(
+                SimTime::from_ms(5),
+                ActionRequest {
+                    uid: ActionUid(1),
+                    name: "a".into(),
+                    events: vec![ev],
+                },
+            );
+            sim.schedule_action(
+                SimTime::from_ms(600),
+                ActionRequest {
+                    uid: ActionUid(2),
+                    name: "b".into(),
+                    events: vec![ev2],
+                },
+            );
+            sim.run();
+            (
+                sim.records()
+                    .iter()
+                    .map(|r| r.max_response_ns())
+                    .collect::<Vec<_>>(),
+                sim.thread_counter(sim.main_tid(), HwEvent::Instructions),
+            )
+        };
+        assert_eq!(build(false), build(true));
     }
 }

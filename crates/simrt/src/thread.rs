@@ -57,6 +57,12 @@ pub enum WorkItem {
     RenderFrame,
     /// A background task posted with [`Step::PostWorker`].
     WorkerTask,
+    /// A task submitted to a bounded executor with [`Step::PostTask`];
+    /// carries the global task id so completion can wake join waiters.
+    ExecutorTask {
+        /// Global task id in the simulator's task table.
+        task: u64,
+    },
     /// A periodic system burst.
     SystemBurst,
 }
@@ -70,6 +76,11 @@ pub enum WorkSource {
     RenderQueue,
     /// Pulls tasks from the shared worker queue.
     WorkerQueue,
+    /// Pulls tasks from a bounded executor's submission queue.
+    ExecutorQueue {
+        /// Executor index in the simulator's executor table.
+        executor: usize,
+    },
     /// Self-generates periodic bursts (system threads).
     Pulse {
         /// Nominal wake period.
@@ -94,6 +105,10 @@ pub struct ExecState {
     pub item: WorkItem,
     /// When execution of this item began (dequeue time for messages).
     pub began: SimTime,
+    /// Future handles minted by [`Step::PostTask`] within this item:
+    /// `(token, task_id)` pairs, scoped to the item so tokens from
+    /// different messages never collide.
+    pub handles: Vec<(u32, u64)>,
 }
 
 impl ExecState {
@@ -104,6 +119,7 @@ impl ExecState {
             stack: Vec::new(),
             item,
             began,
+            handles: Vec::new(),
         }
     }
 
@@ -116,6 +132,7 @@ impl ExecState {
             stack: Vec::new(),
             item,
             began,
+            handles: Vec::new(),
         }
     }
 }

@@ -344,6 +344,26 @@ pub enum Step {
     },
     /// Enqueue a task on a background worker thread.
     PostWorker(Vec<Step>),
+    /// Submit a task to a bounded executor (pool or serial queue). The
+    /// task runs when one of the executor's threads becomes free; `token`
+    /// names the resulting future within the posting work item so a later
+    /// [`Step::JoinTask`] can wait on it.
+    PostTask {
+        /// Executor index (from [`crate::Simulator::add_executor`]).
+        executor: u32,
+        /// Future handle, scoped to the posting work item.
+        token: u32,
+        /// The task body executed on the executor thread.
+        steps: Vec<Step>,
+    },
+    /// Block until the task posted under `token` completes (a
+    /// future-`get()` wait edge). Instant if the task already finished;
+    /// otherwise the thread blocks with no timed wake and is woken by the
+    /// task's completion event.
+    JoinTask {
+        /// Future handle of a prior [`Step::PostTask`] in the same item.
+        token: u32,
+    },
 }
 
 impl Step {
@@ -364,11 +384,13 @@ impl Step {
         }
     }
 
-    /// Returns whether this step completes instantaneously.
+    /// Returns whether this step always completes instantaneously.
+    /// `JoinTask` is excluded: it blocks for a data-dependent duration
+    /// (zero if the joined task already finished).
     pub fn is_instant(&self) -> bool {
         !matches!(
             self,
-            Step::Cpu { .. } | Step::Io { .. } | Step::NetIo { .. }
+            Step::Cpu { .. } | Step::Io { .. } | Step::NetIo { .. } | Step::JoinTask { .. }
         )
     }
 }

@@ -82,6 +82,7 @@ fn arb_app() -> impl Strategy<Value = App> {
             commit: "deadbee".into(),
             apis,
             actions,
+            executors: Vec::new(),
             bugs: Vec::<BugSpec>::new(),
         }
     })
