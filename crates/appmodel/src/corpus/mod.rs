@@ -3,6 +3,7 @@
 
 pub mod async_hangs;
 pub mod builder;
+pub mod shared_wrappers;
 pub mod synth;
 pub mod table1;
 pub mod table5;
@@ -38,6 +39,12 @@ pub fn async_hang_apps() -> Vec<App> {
     async_hangs::apps()
 }
 
+/// The shared-wrapper false-positive apps (outside the pinned study
+/// counts; used by the sast precision differential).
+pub fn shared_wrapper_apps() -> Vec<App> {
+    shared_wrappers::apps()
+}
+
 /// The full 114-app study corpus: Table 1 + Table 5 + generated healthy
 /// apps.
 pub fn full_corpus(seed: u64) -> Vec<App> {
@@ -50,12 +57,15 @@ pub fn full_corpus(seed: u64) -> Vec<App> {
 
 /// The corpus the static↔runtime differential runs over: every buggy
 /// study app plus the vendored-SDK apps, so all three offline failure
-/// modes (unknown-API, closed-source, self-developed) are populated.
+/// modes (unknown-API, closed-source, self-developed) are populated —
+/// and the shared-wrapper apps, so precision (not just recall) has
+/// ground truth to score against.
 pub fn differential_corpus() -> Vec<App> {
     let mut apps = table1_apps();
     apps.extend(table5_apps());
     apps.extend(vendored_apps());
     apps.extend(async_hang_apps());
+    apps.extend(shared_wrapper_apps());
     apps
 }
 

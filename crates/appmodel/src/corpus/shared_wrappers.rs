@@ -1,0 +1,191 @@
+//! Apps whose actions share open helper wrappers — the corpus's
+//! shared-wrapper false-positive population.
+//!
+//! A context-insensitive interprocedural scanner aggregates everything a
+//! wrapper was ever observed forwarding to, so one blocking caller
+//! contaminates every benign caller of the same helper. These apps make
+//! that failure mode ground truth: each has exactly one real bug (a
+//! blocking API reached through a shared open wrapper, heavy enough for
+//! runtime confirmation) plus one or more UI-only actions entering the
+//! *same* wrapper. A precise analysis flags only the buggy site; the
+//! aggregated one drags the benign callers in. Like the vendored apps,
+//! they are kept out of [`super::full_corpus`] (whose population pins
+//! the paper's study counts) and composed explicitly by the
+//! differentials.
+
+use crate::action::Call;
+use crate::app::App;
+use crate::registry as reg;
+
+use super::builder::AppBuilder;
+
+/// NoteKeeper: one repository helper backs both persistence and pure
+/// view refreshes.
+///
+/// `NoteRepo.sync` forwards to a synchronous SQLite query when saving
+/// (`notekeeper-4-sync`, real) and to an adapter refresh when merely
+/// redrawing the list (benign). Two UI-only actions enter the helper.
+pub fn notekeeper() -> App {
+    let mut b = AppBuilder::new(
+        "NoteKeeper",
+        "com.notekeeper",
+        "Productivity",
+        250_000,
+        "4c7e9a1",
+    );
+    let ui = b.ui_pack();
+    let repo = b.api(reg::wrapper("com.notekeeper.data.NoteRepo.sync", 58));
+    let query = b.api_scaled(reg::sqlite_query(), 1.3);
+    let save = b.action(
+        "save note",
+        1.0,
+        "EditorActivity.onSave",
+        120,
+        vec![
+            Call::direct(ui.set_text),
+            Call::via(vec![repo], query).bug("notekeeper-4-sync"),
+        ],
+    );
+    b.bug(
+        "notekeeper-4-sync",
+        4,
+        query,
+        save,
+        "the shared repo helper queries the note table synchronously on save",
+    );
+    b.action(
+        "refresh list",
+        2.0,
+        "NoteListFragment.onRefresh",
+        64,
+        vec![Call::via(vec![repo], ui.notify_dataset)],
+    );
+    b.action(
+        "reorder notes",
+        1.5,
+        "NoteListFragment.onReorder",
+        83,
+        vec![
+            Call::via(vec![repo], ui.bind_holder),
+            Call::direct(ui.scroll_list),
+        ],
+    );
+    b.build()
+}
+
+/// PhotoBox: a two-deep helper chain shared between export and preview.
+///
+/// `Exporter.run → ImagePipeline.process` writes the file on export
+/// (`photobox-11-export`, real); the preview action enters the same
+/// chain for pure view work. Exercises contamination through a chain,
+/// not just a single frame.
+pub fn photobox() -> App {
+    let mut b = AppBuilder::new(
+        "PhotoBox",
+        "com.photobox",
+        "Photography",
+        1_000_000,
+        "b83d520",
+    );
+    let ui = b.ui_pack();
+    let exporter = b.api(reg::wrapper("com.photobox.io.Exporter.run", 31));
+    let pipeline = b.api(reg::wrapper("com.photobox.io.ImagePipeline.process", 102));
+    let write = b.api_scaled(reg::file_write(), 1.4);
+    let export = b.action(
+        "export photo",
+        1.0,
+        "ExportActivity.onExport",
+        77,
+        vec![
+            Call::direct(ui.set_text),
+            Call::via(vec![exporter, pipeline], write).bug("photobox-11-export"),
+        ],
+    );
+    b.bug(
+        "photobox-11-export",
+        11,
+        write,
+        export,
+        "the export pipeline writes the encoded image synchronously",
+    );
+    b.action(
+        "preview photo",
+        2.5,
+        "PreviewActivity.onShow",
+        45,
+        vec![
+            Call::via(vec![exporter, pipeline], ui.inflate),
+            Call::direct(ui.animation),
+        ],
+    );
+    b.build()
+}
+
+/// All shared-wrapper apps.
+pub fn apps() -> Vec<App> {
+    vec![notekeeper(), photobox()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apps_validate_with_one_bug_each() {
+        for app in apps() {
+            assert!(
+                app.validate().is_empty(),
+                "{}: {:?}",
+                app.name,
+                app.validate()
+            );
+            assert_eq!(app.bugs.len(), 1, "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn every_bug_chain_is_fully_open() {
+        // The point of this population is *precision*, so the bugs must
+        // be catchable by every scanner arm: whole chain visible.
+        for app in apps() {
+            for bug in &app.bugs {
+                let call = app
+                    .actions
+                    .iter()
+                    .flat_map(|a| a.calls())
+                    .find(|c| c.bug_id.as_deref() == Some(bug.id.as_str()))
+                    .unwrap();
+                assert!(app.call_visible(call), "{}: {}", app.name, bug.id);
+                assert!(
+                    !call.via.is_empty(),
+                    "{}: bug must route through the shared wrapper",
+                    app.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn benign_actions_share_the_buggy_wrapper() {
+        // Every app has at least one bug-free action entering a wrapper
+        // that some buggy call also enters — the contamination setup.
+        for app in apps() {
+            let buggy_wrappers: Vec<_> = app
+                .actions
+                .iter()
+                .flat_map(|a| a.calls())
+                .filter(|c| c.bug_id.is_some())
+                .flat_map(|c| c.via.iter().copied())
+                .collect();
+            let benign_sharing = app
+                .actions
+                .iter()
+                .filter(|a| a.calls().all(|c| c.bug_id.is_none()))
+                .any(|a| {
+                    a.calls()
+                        .any(|c| c.via.iter().any(|w| buggy_wrappers.contains(w)))
+                });
+            assert!(benign_sharing, "{}", app.name);
+        }
+    }
+}

@@ -38,9 +38,11 @@ pub struct OfflineFinding {
 /// and the call has not already been offloaded to a worker.
 ///
 /// The scan runs the `hd-sast` engine under its perfchecker-compat rule
-/// profile, which reproduces the historical per-call-site loop exactly —
-/// except that findings are deduplicated on `(action, api_symbol)`, so
-/// an action calling the same known API twice no longer double-counts.
+/// profile, which reproduces the historical per-call-site loop exactly:
+/// findings are per call site (deduplicated on
+/// `(action, site, api_symbol)`), so two distinct sites calling the same
+/// known API are two findings — a developer fixes call sites, not
+/// symbols.
 pub fn scan_app(app: &App, db: &BlockingApiDb) -> Vec<OfflineFinding> {
     let config = SastConfig {
         profile: RuleProfile::PerfCheckerCompat,
@@ -176,31 +178,13 @@ mod tests {
         findings
     }
 
-    /// The documented dedupe fix, applied to the legacy output: keep the
-    /// first `(action, api_symbol)` occurrence, backfilling `bug_id`.
-    fn dedupe_legacy(findings: Vec<OfflineFinding>) -> Vec<OfflineFinding> {
-        let mut kept: Vec<OfflineFinding> = Vec::new();
-        for f in findings {
-            match kept
-                .iter_mut()
-                .find(|k| k.action == f.action && k.api_symbol == f.api_symbol)
-            {
-                Some(prior) => {
-                    if prior.bug_id.is_none() {
-                        prior.bug_id = f.bug_id;
-                    }
-                }
-                None => kept.push(f),
-            }
-        }
-        kept
-    }
-
     #[test]
-    fn compat_profile_matches_legacy_scan_modulo_dedupe() {
+    fn compat_profile_matches_legacy_scan_exactly() {
         // The acceptance bar: the engine's perfchecker-compat profile is
-        // the legacy scanner. Checked across every corpus app (table1 is
-        // the required set) and two database vintages.
+        // the legacy scanner, call site for call site (the dedupe key
+        // includes the site ordinal, so nothing collapses). Checked
+        // across every corpus app (table1 is the required set) and two
+        // database vintages.
         let apps: Vec<App> = table1::apps()
             .into_iter()
             .chain(table5::apps())
@@ -211,7 +195,7 @@ mod tests {
             for app in &apps {
                 assert_eq!(
                     scan_app(app, &db),
-                    dedupe_legacy(legacy_scan_app(app, &db)),
+                    legacy_scan_app(app, &db),
                     "{} diverges from legacy at db year {year}",
                     app.name
                 );
@@ -220,9 +204,11 @@ mod tests {
     }
 
     #[test]
-    fn repeated_calls_to_the_same_api_count_once() {
-        // Regression for the double-count bug: one action calling the
-        // same known API at two call sites used to produce two findings.
+    fn distinct_call_sites_of_the_same_api_count_separately() {
+        // Regression for the dedupe undercount: the old
+        // `(action, api_symbol)` key collapsed two distinct call sites of
+        // one API into a single finding. The site-aware key keeps both —
+        // and only the tagged site carries the ground-truth bug id.
         let mut app = table1::a_better_camera();
         let action = app
             .bugs
@@ -239,7 +225,7 @@ mod tests {
             .clone();
         let slot = app.actions.iter_mut().find(|a| a.uid == action).unwrap();
         // Second call site to the same API, untagged, placed *before*
-        // the buggy one: the kept finding must still carry the bug id.
+        // the buggy one: distinct findings, bug id on the right one.
         let mut untagged = dup.clone();
         untagged.bug_id = None;
         slot.events[0].calls.insert(0, untagged);
@@ -248,15 +234,16 @@ mod tests {
             .iter()
             .filter(|f| f.action == action && f.api_symbol.contains("Camera.open"))
             .collect();
-        assert_eq!(camera.len(), 1, "duplicate call sites must collapse");
-        assert_eq!(camera[0].bug_id.as_deref(), Some("abc-open"));
+        assert_eq!(camera.len(), 2, "two sites, two findings");
+        assert_eq!(camera[0].bug_id, None, "the inserted untagged site");
+        assert_eq!(camera[1].bug_id.as_deref(), Some("abc-open"));
         assert_eq!(
             legacy_scan_app(&app, &db())
                 .iter()
                 .filter(|f| f.action == action && f.api_symbol.contains("Camera.open"))
                 .count(),
             2,
-            "the legacy loop double-counted"
+            "matching the legacy loop's per-site count"
         );
     }
 

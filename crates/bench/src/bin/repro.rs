@@ -7,12 +7,18 @@
 //! ```
 //!
 //! Experiments: `fig1 table2 table3 table4 fig4 fig5 table5 fig6 fig7
-//! table6 fig8 chaos sast` (or `all`); `sast-compat` reruns the scan
-//! under the perfchecker-compat rule profile, `sast-diff` scores the
-//! static↔runtime differential per bug class, and `async-diff` races
-//! the causal blame walk against the naive join-site diagnosis and the
-//! static scanner over the async hang corpus. `--quick` shrinks trace
-//! lengths;
+//! table6 fig8 chaos sast` (or `all`); `sast` scans the corpus under the
+//! context-sensitive profile (`--threads N` shards the scan; the report
+//! is byte-identical at every thread count), `sast-full`/`sast-compat`
+//! rerun it under the context-insensitive and perfchecker-compat
+//! profiles, `sast-diff` scores the static↔runtime differential per bug
+//! class, `sast-prec-diff` scores all three rule profiles against
+//! fleet-confirmed ground truth (and fails unless the contextual arm
+//! removes false positives with zero recall loss), `sast-bench` sweeps
+//! the strided parallel scanner over the replicated study corpus and
+//! writes `BENCH_sast.json`, and `async-diff` races the causal blame
+//! walk against the naive join-site diagnosis and the static scanner
+//! over the async hang corpus. `--quick` shrinks trace lengths;
 //! `--full` runs the field study over the whole 114-app corpus.
 //! `--chaos RATE` injects deterministic observation faults at the given
 //! per-category rate into the `fleet`/`bench-summary` experiments and
@@ -67,9 +73,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--seed N] [--quick|--full] [--chaos RATE] [--json [path]] [--devices N] [--threads N] <experiment>...\n\
          experiments: fig1 table1 fig2b table2 table3 table4 fig4 fig5 table5 fig6 fig7
-         table6 fig8 generality ablations chaos sast sast-compat sast-diff async-diff fleet bench-summary all\n\
+         table6 fig8 generality ablations chaos sast sast-full sast-compat sast-diff\n\
+         sast-prec-diff sast-bench async-diff fleet bench-summary all\n\
          telemetry commands: serve upload telemetry-bench cluster replay (plus fleet --telemetry)\n\
-         --devices/--threads apply to the fleet and bench-summary experiments (defaults 8/1)\n\
+         --devices/--threads apply to the fleet and bench-summary experiments (defaults 8/1);\n\
+         --threads also shards the sast scan (byte-identical at any count)\n\
          --chaos RATE injects observation faults into fleet/bench-summary and sets the\n\
          rate of the chaos differential (RATE in [0,1], default 0.05); with --telemetry\n\
          (or upload) it also enables transport faults at the same rate\n\
@@ -82,8 +90,8 @@ fn usage() -> ! {
          --nodes N sizes the cluster differential (default 3); --crash kills one\n\
          node mid-upload and restarts it from its WAL\n\
          --top N bounds exported hang groups (default 25); upload --shutdown stops the server\n\
-         bench-summary writes BENCH_fleet.json, telemetry-bench writes BENCH_telemetry.json\n\
-         (override either path with --json <path>)"
+         bench-summary writes BENCH_fleet.json, telemetry-bench writes BENCH_telemetry.json,\n\
+         sast-bench writes BENCH_sast.json (override any path with --json <path>)"
     );
     std::process::exit(2);
 }
@@ -95,8 +103,11 @@ fn is_experiment(name: &str) -> bool {
             "fleet"
                 | "generality"
                 | "bench-summary"
+                | "sast-full"
                 | "sast-compat"
                 | "sast-diff"
+                | "sast-prec-diff"
+                | "sast-bench"
                 | "async-diff"
                 | "serve"
                 | "upload"
@@ -251,16 +262,57 @@ fn run_one(name: &str, opts: &Opts) -> Result<(), String> {
             emit(opts, &r, r.render());
         }
         "sast" => {
-            let r = hd_bench::sast::run_scan(hd_sast::RuleProfile::Full, 2017);
+            let r = hd_bench::sast::run_scan(hd_sast::RuleProfile::Contextual, 2017, opts.threads);
+            emit(opts, &r, r.render());
+        }
+        "sast-full" => {
+            let r = hd_bench::sast::run_scan(hd_sast::RuleProfile::Full, 2017, opts.threads);
             emit(opts, &r, r.render());
         }
         "sast-compat" => {
-            let r = hd_bench::sast::run_scan(hd_sast::RuleProfile::PerfCheckerCompat, 2017);
+            let r = hd_bench::sast::run_scan(
+                hd_sast::RuleProfile::PerfCheckerCompat,
+                2017,
+                opts.threads,
+            );
             emit(opts, &r, r.render());
         }
         "sast-diff" => {
             let r = hd_bench::sast::run_differential(seed, e_small, 2017);
             emit(opts, &r, hd_bench::sast::render_differential(&r));
+        }
+        "sast-prec-diff" => {
+            let r = hd_bench::sast::run_precision_differential(seed, e_small, 2017);
+            let text = hd_bench::sast::render_precision(&r);
+            if !r.refinement_holds() {
+                return Err(format!(
+                    "precision differential failed: the contextual arm must remove \
+                     false positives without losing a true positive\n{text}"
+                ));
+            }
+            emit(opts, &r, text);
+        }
+        "sast-bench" => {
+            // The strided-scanner sweep over the replicated study corpus;
+            // --quick trims the replica count so CI stays fast.
+            let (sweep, replicas) = if opts.quick {
+                (vec![1usize, 2, 4], 200)
+            } else {
+                (vec![1usize, 2, 4, 8, 16], 400)
+            };
+            let bench = hd_bench::sast::run_bench(seed, &sweep, replicas);
+            let path = opts
+                .json_path
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("BENCH_sast.json"));
+            let json = serde_json::to_string_pretty(&bench).expect("serializable sast bench");
+            std::fs::write(&path, format!("{json}\n"))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!(
+                "wrote {}: {}",
+                path.display(),
+                hd_bench::sast::render_bench(&bench)
+            );
         }
         "async-diff" => {
             let r = hd_bench::async_diff::run_async_differential(seed, e_small, 2017);

@@ -1,5 +1,6 @@
-//! Static analysis experiments: the corpus-wide `hd-sast` scan and the
-//! static↔runtime differential.
+//! Static analysis experiments: the corpus-wide `hd-sast` scan, the
+//! static↔runtime differential, the three-arm precision differential,
+//! and the threaded scan benchmark.
 //!
 //! The scan runs the interprocedural analyzer over every corpus app and
 //! packages the per-app reports (the `repro sast` artifact). The
@@ -8,13 +9,24 @@
 //! per bug class: the paper's three offline failure modes — unknown
 //! APIs, closed-source libraries, self-developed lengthy operations —
 //! must fall out as exactly the classes static analysis misses while
-//! runtime detection catches them.
+//! runtime detection catches them. The precision differential
+//! (`repro sast-prec-diff`) scores all three rule profiles against
+//! fleet-confirmed ground truth, materializing the context-sensitivity
+//! claim: false positives removed versus the `full` baseline, zero true
+//! positives lost. The benchmark (`repro sast-bench`) sweeps the strided
+//! parallel scanner over the 114-app study corpus.
 
 use hangdoctor::{BlockingApiDb, FaultConfig, HangDoctorConfig};
-use hd_appmodel::corpus::differential_corpus;
+use hd_appmodel::corpus::{differential_corpus, full_corpus};
 use hd_fleet::{bugs_reported, run_fleet, DeviceProfile, FleetSpec};
-use hd_metrics::{AppDifferential, ArmPrecision, BugOutcome, SastDifferential};
-use hd_sast::{analyze_with_db, classify_bug, RuleProfile, SastConfig, SastReport, Severity};
+use hd_metrics::{
+    AppArm, AppDifferential, AppPrecision, ArmPrecision, BugOutcome, PrecisionDifferential,
+    SastDifferential,
+};
+use hd_sast::{
+    analyze_with_db, bench_sweep, classify_bug, scan_corpus, RuleProfile, SastBench, SastConfig,
+    SastReport, Severity,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::common::render_table;
@@ -81,18 +93,58 @@ impl SastScan {
 }
 
 /// Scans the differential corpus under `profile` against a documented
-/// database of the given vintage.
-pub fn run_scan(profile: RuleProfile, db_year: u16) -> SastScan {
+/// database of the given vintage, with `threads` strided-shard workers.
+/// The artifact is byte-identical at every thread count.
+pub fn run_scan(profile: RuleProfile, db_year: u16, threads: usize) -> SastScan {
     let db = BlockingApiDb::documented(db_year);
     let config = SastConfig { profile, db_year };
     SastScan {
         profile: profile.as_str().to_string(),
         db_year,
-        reports: differential_corpus()
-            .iter()
-            .map(|app| analyze_with_db(app, &db, &config))
-            .collect(),
+        reports: scan_corpus(&differential_corpus(), &db, &config, threads).reports,
     }
+}
+
+/// Runs the threaded scan benchmark: the contextual profile over the
+/// full 114-app study corpus replicated `replicas` times, swept across
+/// `thread_sweep` worker counts with a fresh cross-app cache per run.
+pub fn run_bench(seed: u64, thread_sweep: &[usize], replicas: usize) -> SastBench {
+    let config = SastConfig {
+        profile: RuleProfile::Contextual,
+        db_year: 2017,
+    };
+    let db = BlockingApiDb::documented(config.db_year);
+    bench_sweep(&full_corpus(seed), &db, &config, thread_sweep, replicas)
+}
+
+/// Renders the bench sweep table.
+pub fn render_bench(bench: &SastBench) -> String {
+    let rows: Vec<Vec<String>> = bench
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.threads.to_string(),
+                format!("{:.1}", r.elapsed_ms),
+                format!("{:.0}", r.apps_per_second),
+                format!("{:.2}x", r.speedup_vs_serial),
+                format!("{:.2}", r.cache_hit_rate),
+                r.summaries_deduped.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "hd-sast scan bench — {} profile, {} apps x{} replicas, {} host cpu(s)\n{}\nbest: {:.0} apps/s\n",
+        bench.profile,
+        bench.corpus_apps,
+        bench.replicas,
+        bench.host_cpus,
+        render_table(
+            &["threads", "ms", "apps/s", "speedup", "hit-rate", "deduped"],
+            &rows
+        ),
+        bench.best_apps_per_second,
+    )
 }
 
 /// Runs the static↔runtime differential: a full-profile scan and a Hang
@@ -151,6 +203,105 @@ pub fn run_differential(seed: u64, executions: usize, db_year: u16) -> SastDiffe
     SastDifferential::build(db_year, apps)
 }
 
+/// Runs the three-arm precision differential: every rule profile scans
+/// the differential corpus, and each arm's findings are scored against
+/// the bugs a Hang Doctor fleet confirms on the same corpus.
+pub fn run_precision_differential(
+    seed: u64,
+    executions: usize,
+    db_year: u16,
+) -> PrecisionDifferential {
+    let corpus = differential_corpus();
+    let db = BlockingApiDb::documented(db_year);
+    let fleet = run_fleet(&FleetSpec {
+        apps: corpus.clone(),
+        profiles: DeviceProfile::default_set(),
+        devices_per_app: 3,
+        executions_per_action: executions,
+        root_seed: seed,
+        threads: 2,
+        config: HangDoctorConfig::default(),
+        apidb_year: db_year,
+        faults: FaultConfig::none(),
+    });
+    let mut apps = Vec::new();
+    for (app, summary) in corpus.iter().zip(&fleet.merged.apps) {
+        debug_assert_eq!(app.name, summary.app);
+        let fleet_confirmed = bugs_reported(summary, app);
+        let arms = RuleProfile::ALL
+            .iter()
+            .map(|&profile| {
+                let report = analyze_with_db(app, &db, &SastConfig { profile, db_year });
+                let true_flags = report
+                    .findings
+                    .iter()
+                    .filter(|f| {
+                        f.bug_id
+                            .as_ref()
+                            .is_some_and(|id| fleet_confirmed.contains(id))
+                    })
+                    .count();
+                AppArm {
+                    profile: profile.as_str().to_string(),
+                    flagged: report.findings.len(),
+                    true_flags,
+                    bugs_found: report
+                        .bug_ids()
+                        .into_iter()
+                        .filter(|id| fleet_confirmed.contains(id))
+                        .collect(),
+                }
+            })
+            .collect();
+        apps.push(AppPrecision {
+            app: app.name.clone(),
+            bug_classes: app
+                .bugs
+                .iter()
+                .map(|bug| {
+                    (
+                        bug.id.clone(),
+                        classify_bug(app, bug, db_year).as_str().to_string(),
+                    )
+                })
+                .collect(),
+            fleet_confirmed,
+            arms,
+        });
+    }
+    PrecisionDifferential::build(db_year, apps)
+}
+
+/// Renders the per-arm precision table.
+pub fn render_precision(d: &PrecisionDifferential) -> String {
+    let rows: Vec<Vec<String>> = d
+        .arms
+        .iter()
+        .map(|a| {
+            vec![
+                a.profile.clone(),
+                a.precision.flagged.to_string(),
+                a.precision.true_flags.to_string(),
+                a.false_flags.to_string(),
+                format!("{:.3}", a.precision.precision()),
+                a.bugs_found.len().to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "Three-arm precision differential — db {}, {} fleet-confirmed bugs\n{}\ncontextual vs full: {} false positives removed, {} true positives lost\ncontextual vs compat: {} additional confirmed bugs\n",
+        d.db_year,
+        d.fleet_confirmed.len(),
+        render_table(
+            &["arm", "flagged", "true", "false", "precision", "bugs"],
+            &rows
+        ),
+        d.removed_false_positives,
+        d.lost_true_positives.len(),
+        d.gained_over_compat.len(),
+    )
+}
+
 /// Renders the per-class differential table.
 pub fn render_differential(d: &SastDifferential) -> String {
     let rows: Vec<Vec<String>> = d
@@ -205,8 +356,8 @@ mod tests {
 
     #[test]
     fn scan_covers_the_corpus_under_both_profiles() {
-        let full = run_scan(RuleProfile::Full, 2017);
-        let compat = run_scan(RuleProfile::PerfCheckerCompat, 2017);
+        let full = run_scan(RuleProfile::Full, 2017, 1);
+        let compat = run_scan(RuleProfile::PerfCheckerCompat, 2017, 1);
         assert_eq!(full.reports.len(), compat.reports.len());
         assert!(full.total_findings() > 0);
         // The full profile subsumes the compat profile: the summary walk
@@ -252,5 +403,79 @@ mod tests {
         let text = render_differential(&d);
         assert!(text.contains("closed-source"));
         assert!(text.contains("Δrecall"));
+    }
+
+    #[test]
+    fn threaded_scan_is_byte_identical_to_serial() {
+        for profile in [RuleProfile::Contextual, RuleProfile::Full] {
+            let serial = serde_json::to_string(&run_scan(profile, 2017, 1)).unwrap();
+            for threads in [8, 16, 32] {
+                assert_eq!(
+                    serde_json::to_string(&run_scan(profile, 2017, threads)).unwrap(),
+                    serial,
+                    "{profile:?} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn precision_differential_removes_false_positives_without_recall_loss() {
+        // The tentpole acceptance bar: the contextual arm must strictly
+        // improve on the full baseline (Δfalse-positives > 0) while
+        // covering every fleet-confirmed bug the baseline covers, and it
+        // must keep the interprocedural recall the legacy scanner lacks.
+        let d = run_precision_differential(42, 4, 2017);
+        assert!(
+            d.removed_false_positives > 0,
+            "contextual must remove shared-wrapper false positives: {:?}",
+            d.arms
+        );
+        assert!(
+            d.lost_true_positives.is_empty(),
+            "zero recall loss required: {:?}",
+            d.lost_true_positives
+        );
+        assert!(d.refinement_holds());
+        // No recall regression against the legacy scanner either: every
+        // fleet-confirmed bug compat catches, contextual catches. (The
+        // converse gap is structurally empty on this corpus — a bug the
+        // legacy per-chain scan misses has an invisible chain, and the
+        // summary walk stops at the same closed boundary.)
+        let ctx = d.arm("contextual").unwrap();
+        let compat = d.arm("perfchecker-compat").unwrap();
+        assert!(
+            compat.bugs_found.is_subset(&ctx.bugs_found),
+            "contextual must cover the legacy scanner's bugs: {:?}",
+            compat.bugs_found.difference(&ctx.bugs_found)
+        );
+        // The shared-wrapper apps' bugs are runtime-confirmed and caught
+        // by every arm (their chains are fully open).
+        for bug in ["notekeeper-4-sync", "photobox-11-export"] {
+            assert!(d.fleet_confirmed.contains(bug), "{bug} not confirmed");
+            for arm in &d.arms {
+                assert!(arm.bugs_found.contains(bug), "{} missed {bug}", arm.profile);
+            }
+        }
+        let full = d.arm("full").unwrap();
+        assert!(ctx.precision.precision() > full.precision.precision());
+        let text = render_precision(&d);
+        assert!(text.contains("false positives removed"));
+        assert!(text.contains("contextual"));
+    }
+
+    #[test]
+    fn bench_sweep_over_the_study_corpus_reuses_summaries() {
+        let bench = run_bench(42, &[1, 2], 1);
+        assert_eq!(bench.corpus_apps, 114);
+        assert!(bench.best_apps_per_second > 0.0);
+        for row in &bench.rows {
+            assert!(
+                row.cache_hit_rate > 0.0,
+                "study apps share registry subgraphs: {row:?}"
+            );
+        }
+        let text = render_bench(&bench);
+        assert!(text.contains("apps/s"));
     }
 }

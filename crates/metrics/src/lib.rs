@@ -4,14 +4,16 @@
 //! classification of action executions and confusion counting
 //! ([`confusion`]), monitoring-overhead accounting per the paper's
 //! with/without methodology ([`overhead`]), descriptive statistics
-//! ([`stats`]), and the chaos-vs-clean ([`chaos`]) and static↔runtime
-//! ([`differential`]) differentials.
+//! ([`stats`]), the chaos-vs-clean ([`chaos`]) and static↔runtime
+//! ([`differential`]) differentials, and the three-arm static-precision
+//! differential ([`precision`]).
 
 pub mod async_diff;
 pub mod chaos;
 pub mod confusion;
 pub mod differential;
 pub mod overhead;
+pub mod precision;
 pub mod stats;
 
 pub use async_diff::{
@@ -26,4 +28,7 @@ pub use differential::{
     AppDifferential, ArmPrecision, BugOutcome, ClassDelta, SastDifferential, DIFFERENTIAL_SCHEMA,
 };
 pub use overhead::OverheadReport;
+pub use precision::{
+    AppArm, AppPrecision, ArmReport, ClassTotal, PrecisionDifferential, PRECISION_SCHEMA,
+};
 pub use stats::{frac_above, mean, percentile, std_dev};

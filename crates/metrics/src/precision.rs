@@ -1,0 +1,311 @@
+//! Three-arm static-precision differential.
+//!
+//! The context-sensitivity tentpole makes a falsifiable claim: the
+//! contextual arm removes shared-wrapper false positives *without
+//! losing a single true positive*. This module scores the three rule
+//! profiles (`full`, `contextual`, `perfchecker-compat`) against
+//! fleet-confirmed ground truth and materializes that claim as data:
+//! Δfalse-positives versus the `full` baseline, the (required-empty)
+//! set of true positives the refinement lost, and the recall the
+//! contextual arm keeps over the legacy per-chain scanner — per bug
+//! class, so the precision story lines up with the recall taxonomy of
+//! [`crate::differential`].
+//!
+//! Like its sibling, this is pure arithmetic over plain data — profiles
+//! and bug classes are strings, so the metrology layer stays decoupled
+//! from the analyzer crate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::differential::ArmPrecision;
+
+/// Schema tag of the serialized precision differential.
+pub const PRECISION_SCHEMA: &str = "hang-doctor/sast-precision/v1";
+
+/// One scanner arm's outcome on one app.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppArm {
+    /// Rule profile name (`"full"`, `"contextual"`,
+    /// `"perfchecker-compat"`).
+    pub profile: String,
+    /// Findings the arm raised on this app.
+    pub flagged: usize,
+    /// Of those, findings on a fleet-confirmed ground-truth bug.
+    pub true_flags: usize,
+    /// Distinct fleet-confirmed bugs the arm covered.
+    pub bugs_found: BTreeSet<String>,
+}
+
+/// Ground truth and per-arm outcomes for one app.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppPrecision {
+    /// App name.
+    pub app: String,
+    /// Ground-truth bug id → offline-failure-mode class.
+    pub bug_classes: BTreeMap<String, String>,
+    /// Bugs the runtime fleet confirmed on this app (the ground truth
+    /// the arms are scored against).
+    pub fleet_confirmed: BTreeSet<String>,
+    /// One entry per scanner arm.
+    pub arms: Vec<AppArm>,
+}
+
+/// One arm rolled up over the corpus.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArmReport {
+    /// Rule profile name.
+    pub profile: String,
+    /// Flag-level precision (flagged / true flags).
+    pub precision: ArmPrecision,
+    /// Flags not on any fleet-confirmed bug — the false positives.
+    pub false_flags: usize,
+    /// Distinct fleet-confirmed bugs covered.
+    pub bugs_found: BTreeSet<String>,
+    /// Fleet-confirmed bugs covered, counted per bug class.
+    pub per_class_found: BTreeMap<String, usize>,
+}
+
+/// Per-class population of the scored ground truth.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassTotal {
+    /// Bug class name.
+    pub class: String,
+    /// Fleet-confirmed bugs in the class.
+    pub confirmed: usize,
+}
+
+/// The three-arm precision differential over a corpus.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PrecisionDifferential {
+    /// Schema tag ([`PRECISION_SCHEMA`]).
+    pub schema: String,
+    /// Vintage of the blocking-API database all arms used.
+    pub db_year: u16,
+    /// Per-app outcomes, corpus order.
+    pub apps: Vec<AppPrecision>,
+    /// Per-arm rollups, input-arm order.
+    pub arms: Vec<ArmReport>,
+    /// Fleet-confirmed ground truth per class, class-name order.
+    pub classes: Vec<ClassTotal>,
+    /// False positives the contextual arm removed versus the `full`
+    /// baseline (the tentpole's headline number; must be positive on a
+    /// corpus with shared wrappers).
+    pub removed_false_positives: usize,
+    /// Fleet-confirmed bugs the `full` arm covered but the contextual
+    /// arm lost. The refinement's soundness claim: MUST be empty.
+    pub lost_true_positives: BTreeSet<String>,
+    /// Fleet-confirmed bugs the contextual arm covers beyond the legacy
+    /// `perfchecker-compat` scanner (interprocedural recall kept).
+    pub gained_over_compat: BTreeSet<String>,
+    /// All fleet-confirmed bugs across the corpus.
+    pub fleet_confirmed: BTreeSet<String>,
+}
+
+impl PrecisionDifferential {
+    /// Rolls per-app outcomes up into the full differential.
+    ///
+    /// Arm identity is by profile name; the headline deltas compare the
+    /// `"contextual"` arm against `"full"` and `"perfchecker-compat"`,
+    /// which therefore must all be present in every app entry.
+    pub fn build(db_year: u16, apps: Vec<AppPrecision>) -> PrecisionDifferential {
+        let mut arms: BTreeMap<String, ArmReport> = BTreeMap::new();
+        let mut order: Vec<String> = Vec::new();
+        let mut classes: BTreeMap<String, ClassTotal> = BTreeMap::new();
+        let mut fleet_confirmed = BTreeSet::new();
+        for app in &apps {
+            for bug in &app.fleet_confirmed {
+                fleet_confirmed.insert(bug.clone());
+                let class = app
+                    .bug_classes
+                    .get(bug)
+                    .cloned()
+                    .unwrap_or_else(|| "unclassified".to_string());
+                let total = classes.entry(class.clone()).or_insert_with(|| ClassTotal {
+                    class,
+                    confirmed: 0,
+                });
+                total.confirmed += 1;
+            }
+            for arm in &app.arms {
+                if !arms.contains_key(&arm.profile) {
+                    order.push(arm.profile.clone());
+                }
+                let report = arms
+                    .entry(arm.profile.clone())
+                    .or_insert_with(|| ArmReport {
+                        profile: arm.profile.clone(),
+                        precision: ArmPrecision::default(),
+                        false_flags: 0,
+                        bugs_found: BTreeSet::new(),
+                        per_class_found: BTreeMap::new(),
+                    });
+                report.precision.add(&ArmPrecision {
+                    flagged: arm.flagged,
+                    true_flags: arm.true_flags,
+                });
+                report.false_flags += arm.flagged - arm.true_flags;
+                for bug in &arm.bugs_found {
+                    if report.bugs_found.insert(bug.clone()) {
+                        let class = app
+                            .bug_classes
+                            .get(bug)
+                            .cloned()
+                            .unwrap_or_else(|| "unclassified".to_string());
+                        *report.per_class_found.entry(class).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let arms: Vec<ArmReport> = order
+            .into_iter()
+            .map(|p| arms.remove(&p).unwrap())
+            .collect();
+        let arm = |profile: &str| arms.iter().find(|a| a.profile == profile);
+        let (removed_false_positives, lost_true_positives) = match (arm("full"), arm("contextual"))
+        {
+            (Some(full), Some(ctx)) => (
+                full.false_flags.saturating_sub(ctx.false_flags),
+                full.bugs_found
+                    .difference(&ctx.bugs_found)
+                    .cloned()
+                    .collect(),
+            ),
+            _ => (0, BTreeSet::new()),
+        };
+        let gained_over_compat = match (arm("contextual"), arm("perfchecker-compat")) {
+            (Some(ctx), Some(compat)) => ctx
+                .bugs_found
+                .difference(&compat.bugs_found)
+                .cloned()
+                .collect(),
+            _ => BTreeSet::new(),
+        };
+        PrecisionDifferential {
+            schema: PRECISION_SCHEMA.to_string(),
+            db_year,
+            apps,
+            arms,
+            classes: classes.into_values().collect(),
+            removed_false_positives,
+            lost_true_positives,
+            gained_over_compat,
+            fleet_confirmed,
+        }
+    }
+
+    /// The rollup for `profile`, if present.
+    pub fn arm(&self, profile: &str) -> Option<&ArmReport> {
+        self.arms.iter().find(|a| a.profile == profile)
+    }
+
+    /// Whether the refinement held: false positives removed, zero true
+    /// positives lost.
+    pub fn refinement_holds(&self) -> bool {
+        self.removed_false_positives > 0 && self.lost_true_positives.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arm(profile: &str, flagged: usize, true_flags: usize, bugs: &[&str]) -> AppArm {
+        AppArm {
+            profile: profile.into(),
+            flagged,
+            true_flags,
+            bugs_found: bugs.iter().map(|b| b.to_string()).collect(),
+        }
+    }
+
+    fn diff() -> PrecisionDifferential {
+        PrecisionDifferential::build(
+            2017,
+            vec![
+                AppPrecision {
+                    app: "SharedLib".into(),
+                    bug_classes: BTreeMap::from([("s-1".to_string(), "known".to_string())]),
+                    fleet_confirmed: BTreeSet::from(["s-1".to_string()]),
+                    arms: vec![
+                        arm("full", 3, 1, &["s-1"]),
+                        arm("contextual", 1, 1, &["s-1"]),
+                        arm("perfchecker-compat", 1, 1, &["s-1"]),
+                    ],
+                },
+                AppPrecision {
+                    app: "Nested".into(),
+                    bug_classes: BTreeMap::from([("n-1".to_string(), "unknown-api".to_string())]),
+                    fleet_confirmed: BTreeSet::from(["n-1".to_string()]),
+                    arms: vec![
+                        arm("full", 2, 1, &["n-1"]),
+                        arm("contextual", 1, 1, &["n-1"]),
+                        arm("perfchecker-compat", 0, 0, &[]),
+                    ],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn headline_deltas_compare_the_right_arms() {
+        let d = diff();
+        // full: 5 flagged / 2 true → 3 false; contextual: 2 / 2 → 0.
+        assert_eq!(d.removed_false_positives, 3);
+        assert!(d.lost_true_positives.is_empty());
+        assert_eq!(d.gained_over_compat, BTreeSet::from(["n-1".to_string()]));
+        assert!(d.refinement_holds());
+    }
+
+    #[test]
+    fn arm_rollups_sum_and_classify() {
+        let d = diff();
+        let full = d.arm("full").unwrap();
+        assert_eq!(full.precision.flagged, 5);
+        assert_eq!(full.precision.true_flags, 2);
+        assert_eq!(full.false_flags, 3);
+        assert_eq!(full.per_class_found.get("known"), Some(&1));
+        assert_eq!(full.per_class_found.get("unknown-api"), Some(&1));
+        let ctx = d.arm("contextual").unwrap();
+        assert!((ctx.precision.precision() - 1.0).abs() < 1e-9);
+        assert!(d.arm("missing").is_none());
+    }
+
+    #[test]
+    fn classes_partition_the_confirmed_ground_truth() {
+        let d = diff();
+        let confirmed: usize = d.classes.iter().map(|c| c.confirmed).sum();
+        assert_eq!(confirmed, d.fleet_confirmed.len());
+        assert_eq!(d.classes.len(), 2);
+    }
+
+    #[test]
+    fn lost_true_positives_surface_recall_regressions() {
+        let d = PrecisionDifferential::build(
+            2017,
+            vec![AppPrecision {
+                app: "X".into(),
+                bug_classes: BTreeMap::from([("x-1".to_string(), "known".to_string())]),
+                fleet_confirmed: BTreeSet::from(["x-1".to_string()]),
+                arms: vec![
+                    arm("full", 2, 1, &["x-1"]),
+                    arm("contextual", 0, 0, &[]),
+                    arm("perfchecker-compat", 0, 0, &[]),
+                ],
+            }],
+        );
+        assert_eq!(d.lost_true_positives, BTreeSet::from(["x-1".to_string()]));
+        assert!(!d.refinement_holds());
+    }
+
+    #[test]
+    fn serde_round_trip_keeps_schema() {
+        let d = diff();
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.contains(PRECISION_SCHEMA));
+        let back: PrecisionDifferential = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.removed_false_positives, d.removed_false_positives);
+        assert_eq!(back.arms, d.arms);
+    }
+}

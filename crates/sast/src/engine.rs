@@ -1,6 +1,6 @@
 //! The analyzer: profiles × call graph × summaries × database → report.
 //!
-//! Both rule profiles walk the same call sites and apply the same gates
+//! All rule profiles walk the same call sites and apply the same gates
 //! — offload-awareness (an offloaded call sterilizes its subtree),
 //! async-awareness (a submitted task body runs on an executor thread,
 //! so the scanner sees only the submit and the zero-cost join),
@@ -12,23 +12,38 @@
 //! * **full** judges summary-based reachability from the handler's
 //!   entry frame over the aggregated call graph, so anything a shared
 //!   wrapper was ever observed forwarding to is flagged at every site
-//!   that enters the wrapper (a deliberate over-approximation).
+//!   that enters the wrapper (a deliberate over-approximation);
+//! * **contextual** judges k=1 call-string reachability
+//!   ([`crate::context`]): summaries are keyed `(node, caller)` and the
+//!   entry is resolved through the site's own first hop, so a shared
+//!   wrapper no longer contaminates its benign callers. Its findings
+//!   are a subset of `full`'s and a superset of `perfchecker-compat`'s
+//!   on open chains.
+//!
+//! The analysis itself is database-independent: each call site resolves
+//! to a target list first ([`SiteRecord`]), and membership in the
+//! [`BlockingApiDb`] is applied per target when findings are assembled.
+//! That split is what the cross-app cache ([`crate::cache`]) and the
+//! incremental session ([`crate::incremental`]) build on.
 //!
 //! The paper's three offline failure modes are structural here: an API
 //! absent from the database never matches ([`BugClass::UnknownApi`]), a
-//! closed frame stops both profiles ([`BugClass::ClosedSource`]), and a
+//! closed frame stops every profile ([`BugClass::ClosedSource`]), and a
 //! self-developed operation has no database name at all
 //! ([`BugClass::SelfDeveloped`]), and a hang carried across a wait edge
 //! never appears in any main-thread call chain
 //! ([`BugClass::AsyncHang`]).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use hangdoctor::BlockingApiDb;
 use hd_appmodel::{ApiKind, App, BugSpec};
 use hd_simrt::{ActionUid, MILLIS};
 use serde::{Deserialize, Serialize};
 
+use crate::cache::{CachedReach, CachedTarget, SummaryCache};
+use crate::context::{app_fingerprint, ContextIndex};
 use crate::graph::CallGraph;
 use crate::report::{SastFinding, SastReport, SAST_SCHEMA};
 use crate::rules::{rule_table, RuleProfile, Severity, RULE_DIRECT, RULE_VIA_WRAPPER};
@@ -69,12 +84,159 @@ pub fn analyze(app: &App, config: &SastConfig) -> SastReport {
 /// `config.db_year` is recorded in the report as metadata only; the
 /// membership test uses `db` as given.
 pub fn analyze_with_db(app: &App, db: &BlockingApiDb, config: &SastConfig) -> SastReport {
-    let graph = CallGraph::build(app);
-    let summaries = compute_summaries(app, &graph);
-    let mut findings = Vec::new();
+    analyze_with_db_cached(app, db, config, None)
+}
+
+/// Like [`analyze_with_db`], memoizing contextual site summaries in the
+/// given cross-app cache. Passing the same cache to many apps (or many
+/// threads) reuses summaries across structurally identical call sites;
+/// the report bytes are identical with or without a cache.
+pub fn analyze_with_db_cached(
+    app: &App,
+    db: &BlockingApiDb,
+    config: &SastConfig,
+    cache: Option<&SummaryCache>,
+) -> SastReport {
+    let analysis = resolve_sites(app, config, cache);
+    let findings = analysis
+        .records
+        .iter()
+        .map(|record| record.findings(db, config.profile))
+        .collect();
+    assemble_report(app, config, &analysis, findings)
+}
+
+/// One analyzable call site, resolved to its database-independent
+/// target list.
+#[derive(Clone, Debug)]
+pub(crate) struct SiteRecord {
+    pub action: ActionUid,
+    pub action_name: String,
+    pub handler: String,
+    /// Call-site ordinal within the action (flat across events,
+    /// counting every call so the identity is stable under gating).
+    pub site: u32,
+    /// Symbol of the site's own working API (bug attachment point).
+    pub call_api_symbol: String,
+    /// Ground-truth tag of the call site, if any.
+    pub bug_id: Option<String>,
+    /// First frame the handler enters.
+    pub entry_symbol: String,
+    /// Reachable targets (db membership not yet applied).
+    pub targets: Arc<CachedReach>,
+}
+
+impl SiteRecord {
+    /// Assembles the site's findings under a database.
+    pub fn findings(&self, db: &BlockingApiDb, profile: RuleProfile) -> Vec<SastFinding> {
+        let mut findings = Vec::new();
+        for target in &self.targets.targets {
+            if !db.contains(&target.symbol) {
+                continue;
+            }
+            // The legacy scanner has a single name-match rule
+            // regardless of chain shape.
+            let rule = if profile == RuleProfile::PerfCheckerCompat || target.depth == 0 {
+                RULE_DIRECT
+            } else {
+                RULE_VIA_WRAPPER
+            };
+            let severity = if target.est_blocking_ns >= PERCEIVABLE_NS {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            let bug_id = if target.symbol == self.call_api_symbol {
+                self.bug_id.clone()
+            } else {
+                None
+            };
+            findings.push(SastFinding {
+                rule: rule.to_string(),
+                severity,
+                action: self.action,
+                action_name: self.action_name.clone(),
+                handler: self.handler.clone(),
+                site: self.site,
+                entry_symbol: self.entry_symbol.clone(),
+                context: target.context.clone(),
+                api_symbol: target.symbol.clone(),
+                file: target.file.clone(),
+                line: target.line,
+                depth: target.depth,
+                est_blocking_ns: target.est_blocking_ns,
+                message: format!(
+                    "{} blocks the main thread (reached {} frame(s) deep from {}; est. worst case {} ms)",
+                    target.symbol,
+                    target.depth,
+                    self.handler,
+                    target.est_blocking_ns / MILLIS
+                ),
+                bug_id,
+            });
+        }
+        findings
+    }
+
+    /// Whether any resolved target carries one of `symbols` — the
+    /// dirty-set test for incremental re-analysis.
+    pub fn reaches_any(&self, symbols: &[&str]) -> bool {
+        self.targets
+            .targets
+            .iter()
+            .any(|t| symbols.iter().any(|s| *s == t.symbol))
+    }
+}
+
+/// The database-independent analysis of one app.
+#[derive(Clone, Debug)]
+pub(crate) struct SiteAnalysis {
+    pub records: Vec<SiteRecord>,
+    /// `(node, caller)` summary keys (0 for non-contextual profiles).
+    pub context_pairs: usize,
+    /// Structural fingerprint of the app model.
+    pub fingerprint: u64,
+}
+
+/// Resolves every analyzable call site to its target list.
+pub(crate) fn resolve_sites(
+    app: &App,
+    config: &SastConfig,
+    cache: Option<&SummaryCache>,
+) -> SiteAnalysis {
+    enum Engine {
+        Compat,
+        Full {
+            graph: CallGraph,
+            summaries: Vec<crate::summary::BlockingSummary>,
+        },
+        Contextual {
+            index: ContextIndex,
+        },
+    }
+    let engine = match config.profile {
+        RuleProfile::PerfCheckerCompat => Engine::Compat,
+        RuleProfile::Full => {
+            let graph = CallGraph::build(app);
+            let summaries = compute_summaries(app, &graph);
+            Engine::Full { graph, summaries }
+        }
+        RuleProfile::Contextual => Engine::Contextual {
+            index: ContextIndex::build(app),
+        },
+    };
+    // `site_fingerprint` depends only on the site's (entry, first-hop)
+    // pair, so sites sharing a first hop reuse the hash — without this
+    // memo the per-site canonical-subgraph walk costs more than the
+    // summary computation the cross-app cache saves.
+    let mut fp_memo: HashMap<(usize, Option<usize>), u64> = HashMap::new();
+    let mut records = Vec::new();
     for action in &app.actions {
+        let mut site = 0u32;
         for event in &action.events {
             for call in &event.calls {
+                let ordinal = site;
+                site += 1;
                 if call.offloaded {
                     continue;
                 }
@@ -86,134 +248,166 @@ pub fn analyze_with_db(app: &App, db: &BlockingApiDb, config: &SastConfig) -> Sa
                     // behind that edge.
                     continue;
                 }
-                match config.profile {
-                    RuleProfile::PerfCheckerCompat => {
+                let entry = call.via.first().copied().unwrap_or(call.api).0;
+                let targets = match &engine {
+                    Engine::Compat => {
                         if !app.call_visible(call) {
                             continue;
                         }
                         let api = app.api(call.api);
-                        if !db.contains(&api.symbol) {
-                            continue;
-                        }
-                        let entry = call.via.first().copied().unwrap_or(call.api);
-                        findings.push(finding(
-                            app,
-                            action.uid,
-                            &action.name,
-                            &event.handler,
-                            // The legacy scanner has a single name-match
-                            // rule regardless of chain shape.
-                            RULE_DIRECT,
-                            entry.0,
-                            call.api.0,
-                            call.via.len() as u32,
-                            call.bug_id.clone(),
-                        ));
+                        Arc::new(CachedReach {
+                            targets: vec![CachedTarget {
+                                symbol: api.symbol.clone(),
+                                file: api.file.clone(),
+                                line: api.line,
+                                est_blocking_ns: worst_busy_ns(api),
+                                depth: call.via.len() as u32,
+                                context: call
+                                    .via
+                                    .last()
+                                    .map(|w| app.api(*w).symbol.clone())
+                                    .unwrap_or_default(),
+                            }],
+                            truncated: false,
+                        })
                     }
-                    RuleProfile::Full => {
-                        let entry = call.via.first().copied().unwrap_or(call.api).0;
+                    Engine::Full { graph, summaries } => {
                         if app.apis[entry].closed_source {
                             continue;
                         }
-                        for &target in &summaries[entry].reachable {
-                            if !db.contains(&app.apis[target].symbol) {
-                                continue;
+                        let mut targets: Vec<CachedTarget> = summaries[entry]
+                            .reachable
+                            .iter()
+                            .map(|&target| {
+                                let api = &app.apis[target];
+                                let depth = graph
+                                    .scannable_depth(app, entry, target)
+                                    .expect("reachable target must have a scannable path");
+                                CachedTarget {
+                                    symbol: api.symbol.clone(),
+                                    file: api.file.clone(),
+                                    line: api.line,
+                                    est_blocking_ns: worst_busy_ns(api),
+                                    depth,
+                                    // The aggregated view has no calling
+                                    // context to report.
+                                    context: String::new(),
+                                }
+                            })
+                            .collect();
+                        targets.sort_by(|a, b| a.symbol.cmp(&b.symbol));
+                        Arc::new(CachedReach {
+                            targets,
+                            truncated: summaries[entry].truncated,
+                        })
+                    }
+                    Engine::Contextual { index } => {
+                        let compute = || {
+                            let reach = index
+                                .site_reach(app, call)
+                                .expect("closed entries are gated before resolution");
+                            let mut targets: Vec<CachedTarget> = reach
+                                .targets
+                                .iter()
+                                .map(|t| {
+                                    let api = &app.apis[t.node];
+                                    CachedTarget {
+                                        symbol: api.symbol.clone(),
+                                        file: api.file.clone(),
+                                        line: api.line,
+                                        est_blocking_ns: worst_busy_ns(api),
+                                        depth: t.depth,
+                                        context: t
+                                            .caller
+                                            .map(|c| app.apis[c].symbol.clone())
+                                            .unwrap_or_default(),
+                                    }
+                                })
+                                .collect();
+                            targets.sort_by(|a, b| a.symbol.cmp(&b.symbol));
+                            CachedReach {
+                                targets,
+                                truncated: reach.truncated,
                             }
-                            let depth = graph
-                                .scannable_depth(app, entry, target)
-                                .expect("reachable target must have a scannable path");
-                            let rule = if depth == 0 {
-                                RULE_DIRECT
-                            } else {
-                                RULE_VIA_WRAPPER
-                            };
-                            let bug_id = if target == call.api.0 {
-                                call.bug_id.clone()
-                            } else {
-                                None
-                            };
-                            findings.push(finding(
-                                app,
-                                action.uid,
-                                &action.name,
-                                &event.handler,
-                                rule,
-                                entry,
-                                target,
-                                depth,
-                                bug_id,
-                            ));
+                        };
+                        if app.apis[entry].closed_source {
+                            continue;
+                        }
+                        match cache {
+                            Some(cache) => {
+                                let hop = call
+                                    .via
+                                    .get(1)
+                                    .map(|w| w.0)
+                                    .or((!call.via.is_empty()).then_some(call.api.0));
+                                let fingerprint = *fp_memo
+                                    .entry((entry, hop))
+                                    .or_insert_with(|| index.site_fingerprint(app, call));
+                                cache.lookup_or_insert(fingerprint, compute)
+                            }
+                            None => Arc::new(compute()),
                         }
                     }
-                }
+                };
+                records.push(SiteRecord {
+                    action: action.uid,
+                    action_name: action.name.clone(),
+                    handler: event.handler.clone(),
+                    site: ordinal,
+                    call_api_symbol: app.api(call.api).symbol.clone(),
+                    bug_id: call.bug_id.clone(),
+                    entry_symbol: app.apis[entry].symbol.clone(),
+                    targets,
+                });
             }
         }
     }
+    let context_pairs = match &engine {
+        Engine::Contextual { index } => index.context_pairs(),
+        _ => 0,
+    };
+    SiteAnalysis {
+        records,
+        context_pairs,
+        fingerprint: app_fingerprint(app),
+    }
+}
+
+/// Assembles per-site findings into the final report.
+pub(crate) fn assemble_report(
+    app: &App,
+    config: &SastConfig,
+    analysis: &SiteAnalysis,
+    per_site: Vec<Vec<SastFinding>>,
+) -> SastReport {
     SastReport {
         schema: SAST_SCHEMA.to_string(),
         app: app.name.clone(),
         package: app.package.clone(),
         profile: config.profile.as_str().to_string(),
         db_year: config.db_year,
+        context_pairs: analysis.context_pairs,
+        app_fingerprint: analysis.fingerprint,
         rules: rule_table(config.profile),
-        findings: dedupe(findings),
+        findings: dedupe(per_site.into_iter().flatten().collect()),
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn finding(
-    app: &App,
-    action: ActionUid,
-    action_name: &str,
-    handler: &str,
-    rule: &str,
-    entry: usize,
-    target: usize,
-    depth: u32,
-    bug_id: Option<String>,
-) -> SastFinding {
-    let api = &app.apis[target];
-    let est_blocking_ns = worst_busy_ns(api);
-    let severity = if est_blocking_ns >= PERCEIVABLE_NS {
-        Severity::Error
-    } else {
-        Severity::Warning
-    };
-    SastFinding {
-        rule: rule.to_string(),
-        severity,
-        action,
-        action_name: action_name.to_string(),
-        handler: handler.to_string(),
-        entry_symbol: app.apis[entry].symbol.clone(),
-        api_symbol: api.symbol.clone(),
-        file: api.file.clone(),
-        line: api.line,
-        depth,
-        est_blocking_ns,
-        message: format!(
-            "{} blocks the main thread (reached {} frame(s) deep from {}; est. worst case {} ms)",
-            api.symbol,
-            depth,
-            handler,
-            est_blocking_ns / MILLIS
-        ),
-        bug_id,
-    }
-}
-
-/// Deduplicates findings on `(action, api_symbol)`.
+/// Deduplicates findings on `(action, site, api_symbol)`.
 ///
-/// The legacy scanner emitted one finding per call site, so an action
-/// calling the same known API twice double-counted in precision/recall.
-/// The first occurrence (stable source order) is kept; its `bug_id` is
-/// backfilled from a later duplicate so dropping repeats never drops
-/// ground-truth coverage.
+/// The key includes the entry call-site ordinal: two distinct sites
+/// reaching the same API through one wrapper are *distinct* findings (a
+/// developer fixes call sites, not symbols), where the previous
+/// `(action, api_symbol)` key collapsed them and undercounted. Within
+/// one site each target resolves once, so surviving duplicates are a
+/// safety net only; the first occurrence is kept and its `bug_id` is
+/// backfilled so dropping a repeat can never drop ground-truth
+/// coverage.
 fn dedupe(findings: Vec<SastFinding>) -> Vec<SastFinding> {
     let mut kept: Vec<SastFinding> = Vec::with_capacity(findings.len());
-    let mut index: HashMap<(ActionUid, String), usize> = HashMap::new();
+    let mut index: HashMap<(ActionUid, u32, String), usize> = HashMap::new();
     for f in findings {
-        match index.entry((f.action, f.api_symbol.clone())) {
+        match index.entry((f.action, f.site, f.api_symbol.clone())) {
             std::collections::hash_map::Entry::Vacant(slot) => {
                 slot.insert(kept.len());
                 kept.push(f);
@@ -321,10 +515,21 @@ mod tests {
         }
     }
 
+    fn contextual() -> SastConfig {
+        SastConfig {
+            profile: RuleProfile::Contextual,
+            db_year: 2017,
+        }
+    }
+
+    fn all_profiles() -> [SastConfig; 3] {
+        [full(), contextual(), compat()]
+    }
+
     #[test]
-    fn direct_known_bug_is_flagged_by_both_profiles() {
+    fn direct_known_bug_is_flagged_by_every_profile() {
         let app = table1::a_better_camera();
-        for cfg in [full(), compat()] {
+        for cfg in all_profiles() {
             let report = analyze(&app, &cfg);
             assert!(
                 report.bug_ids().contains("abc-open"),
@@ -337,21 +542,43 @@ mod tests {
     #[test]
     fn nested_known_bug_carries_the_wrapper_rule() {
         let app = table5::sagemath();
-        let report = analyze(&app, &full());
+        for cfg in [full(), contextual()] {
+            let report = analyze(&app, &cfg);
+            let f = report
+                .findings
+                .iter()
+                .find(|f| f.bug_id.as_deref() == Some("sagemath-84-cupboard"))
+                .expect("cupboard bug flagged");
+            assert_eq!(f.rule, RULE_VIA_WRAPPER, "{}", report.profile);
+            assert!(f.depth >= 1);
+            assert_ne!(f.entry_symbol, f.api_symbol);
+        }
+    }
+
+    #[test]
+    fn contextual_findings_carry_the_caller_context() {
+        let app = table5::sagemath();
+        let report = analyze(&app, &contextual());
         let f = report
             .findings
             .iter()
             .find(|f| f.bug_id.as_deref() == Some("sagemath-84-cupboard"))
             .expect("cupboard bug flagged");
-        assert_eq!(f.rule, RULE_VIA_WRAPPER);
-        assert!(f.depth >= 1);
-        assert_ne!(f.entry_symbol, f.api_symbol);
+        assert!(
+            !f.context.is_empty() && f.context != f.api_symbol,
+            "nested finding must name its k=1 caller: {f:?}"
+        );
+        for f in &report.findings {
+            if f.depth == 0 {
+                assert!(f.context.is_empty(), "direct call has no caller: {f:?}");
+            }
+        }
     }
 
     #[test]
-    fn unknown_api_bugs_stay_invisible_to_both_profiles() {
+    fn unknown_api_bugs_stay_invisible_to_every_profile() {
         let app = table5::k9mail();
-        for cfg in [full(), compat()] {
+        for cfg in all_profiles() {
             let report = analyze(&app, &cfg);
             assert!(
                 !report.bug_ids().iter().any(|b| b.contains("clean")),
@@ -397,10 +624,15 @@ mod tests {
             .iter()
             .any(|b| b.contains("clean")));
         db.add_discovered("org.htmlcleaner.HtmlCleaner.clean", "K9-mail");
-        assert!(analyze_with_db(&app, &db, &full())
-            .bug_ids()
-            .iter()
-            .any(|b| b.contains("clean")));
+        for cfg in [full(), contextual()] {
+            assert!(
+                analyze_with_db(&app, &db, &cfg)
+                    .bug_ids()
+                    .iter()
+                    .any(|b| b.contains("clean")),
+                "{cfg:?}"
+            );
+        }
     }
 
     #[test]
@@ -429,10 +661,10 @@ mod tests {
     }
 
     #[test]
-    fn async_hangs_are_invisible_to_both_profiles() {
+    fn async_hangs_are_invisible_to_every_profile() {
         use hd_appmodel::corpus::async_hangs;
         for app in async_hangs::apps() {
-            for cfg in [full(), compat()] {
+            for cfg in all_profiles() {
                 let report = analyze(&app, &cfg);
                 assert!(
                     report.bug_ids().is_empty(),
@@ -476,6 +708,84 @@ mod tests {
         }
     }
 
+    /// Builds the async × closed-source interaction app: a bug whose
+    /// submitted body runs behind a closed-source wrapper.
+    fn async_closed_app(second_site_async: bool) -> (App, ActionUid) {
+        use hd_appmodel::corpus::AppBuilder;
+        use hd_appmodel::registry as reg;
+        use hd_appmodel::Call;
+        let mut b = AppBuilder::new("AsyncVault", "com.asyncvault", "Tools", 1_000, "ab5trac");
+        b.executor("SerialExecutor", 1);
+        let ui = b.ui_pack();
+        let sdk = b.api(reg::closed_wrapper("com.vendor.vault.Engine.persist", 33));
+        let write = b.api(reg::file_write());
+        let second = if second_site_async {
+            Call::via(vec![sdk], write)
+                .bug("vault-1-persist")
+                .submit_to(0)
+        } else {
+            Call::via(vec![sdk], write).bug("vault-1-persist")
+        };
+        let act = b.action(
+            "persist vault",
+            1.0,
+            "VaultActivity.onSave",
+            41,
+            vec![
+                Call::direct(ui.set_text),
+                Call::via(vec![sdk], write)
+                    .bug("vault-1-persist")
+                    .submit_to(0),
+                second,
+            ],
+        );
+        b.bug(
+            "vault-1-persist",
+            1,
+            write,
+            act,
+            "closed SDK persists on an executor; the join hangs the UI",
+        );
+        let app = b.build();
+        assert!(app.validate().is_empty(), "{:?}", app.validate());
+        (app, act)
+    }
+
+    #[test]
+    fn async_submission_into_a_closed_wrapper_classifies_as_async_hang() {
+        // PR 8's async gate and the closed-source opacity gate both
+        // apply to every site of this bug; the async class wins (the
+        // wait edge hides the hang no matter how opaque the code is).
+        let (app, _) = async_closed_app(true);
+        let bug = app.bug("vault-1-persist").unwrap();
+        assert_eq!(classify_bug(&app, bug, 2017), BugClass::AsyncHang);
+        for cfg in all_profiles() {
+            let report = analyze(&app, &cfg);
+            assert!(
+                report.findings.is_empty(),
+                "{}: an async body behind a closed wrapper must yield no \
+                 findings, got {:?}",
+                report.profile,
+                report.findings
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_async_and_closed_sync_sites_fall_back_to_closed_source() {
+        // One site submits, the other calls the closed wrapper inline:
+        // not *every* site is async, but every site is invisible, so the
+        // closed-source class applies — and every profile still reports
+        // nothing (the sync site's entry frame is closed).
+        let (app, _) = async_closed_app(false);
+        let bug = app.bug("vault-1-persist").unwrap();
+        assert_eq!(classify_bug(&app, bug, 2017), BugClass::ClosedSource);
+        for cfg in all_profiles() {
+            let report = analyze(&app, &cfg);
+            assert!(report.findings.is_empty(), "{}", report.profile);
+        }
+    }
+
     #[test]
     fn fully_closed_source_app_yields_zero_findings_not_an_error() {
         use hd_appmodel::corpus::AppBuilder;
@@ -504,7 +814,7 @@ mod tests {
         );
         let app = b.build();
         assert!(app.validate().is_empty(), "{:?}", app.validate());
-        for cfg in [full(), compat()] {
+        for cfg in all_profiles() {
             let report = analyze(&app, &cfg);
             assert!(
                 report.findings.is_empty(),
@@ -556,7 +866,7 @@ mod tests {
         );
         let app = b.build();
         assert!(app.validate().is_empty(), "{:?}", app.validate());
-        for cfg in [full(), compat()] {
+        for cfg in all_profiles() {
             let report = analyze(&app, &cfg);
             let on_mixed: Vec<&SastFinding> = report
                 .findings
@@ -565,6 +875,7 @@ mod tests {
                 .collect();
             assert_eq!(on_mixed.len(), 1, "{}: {on_mixed:?}", report.profile);
             assert_eq!(on_mixed[0].bug_id.as_deref(), Some("off-1-commit"));
+            assert_eq!(on_mixed[0].site, 2, "the surviving main-thread site");
             assert!(
                 report.findings.iter().all(|f| f.action != clean),
                 "{}: an offloaded-only action must be clean",
@@ -573,16 +884,12 @@ mod tests {
         }
     }
 
-    #[test]
-    fn shared_wrapper_flags_every_entering_action_in_the_full_profile() {
+    /// The shared-wrapper app: one helper forwards to a blocking query
+    /// in one action and to pure UI work in another.
+    fn shared_wrapper_app() -> (App, ActionUid, ActionUid) {
         use hd_appmodel::corpus::AppBuilder;
         use hd_appmodel::registry as reg;
         use hd_appmodel::Call;
-        // A helper wrapper forwards to a blocking query in one action
-        // and to pure UI work in another. The aggregated call graph is
-        // context-insensitive, so the full profile flags *both* entering
-        // actions (the deliberate over-approximation); the compat
-        // profile stays per-call-site and flags only the blocking one.
         let mut b = AppBuilder::new("SharedLib", "com.sharedlib", "Tools", 1_000, "0ddba11");
         let ui = b.ui_pack();
         let helper = b.api(reg::wrapper("com.sharedlib.util.Helper.refresh", 12));
@@ -613,7 +920,16 @@ mod tests {
         );
         let app = b.build();
         assert!(app.validate().is_empty(), "{:?}", app.validate());
+        (app, blocking_act, ui_act)
+    }
 
+    #[test]
+    fn shared_wrapper_flags_every_entering_action_in_the_full_profile() {
+        // The aggregated call graph is context-insensitive, so the full
+        // profile flags *both* entering actions (the deliberate
+        // over-approximation); the compat profile stays per-call-site
+        // and flags only the blocking one.
+        let (app, blocking_act, ui_act) = shared_wrapper_app();
         let full_report = analyze(&app, &full());
         let flagged: Vec<ActionUid> = full_report.findings.iter().map(|f| f.action).collect();
         assert!(flagged.contains(&blocking_act), "{flagged:?}");
@@ -638,5 +954,86 @@ mod tests {
             .iter()
             .all(|f| f.action == blocking_act));
         assert!(compat_report.bug_ids().contains("shared-1-query"));
+    }
+
+    #[test]
+    fn contextual_profile_keeps_the_benign_caller_clean() {
+        // The tentpole property: the contextual arm removes the shared-
+        // wrapper false positive while keeping the true positive.
+        let (app, blocking_act, ui_act) = shared_wrapper_app();
+        let report = analyze(&app, &contextual());
+        assert!(report.bug_ids().contains("shared-1-query"));
+        assert!(
+            report.findings.iter().all(|f| f.action != ui_act),
+            "the benign caller must stay clean: {:?}",
+            report.findings
+        );
+        assert!(report.findings.iter().any(|f| f.action == blocking_act));
+        assert!(report.context_pairs > 0, "contextual metadata recorded");
+        // And the lattice holds on this app: Compat ⊆ Contextual ⊆ Full.
+        let full_report = analyze(&app, &full());
+        assert!(full_report.findings.len() > report.findings.len());
+    }
+
+    #[test]
+    fn distinct_sites_through_one_wrapper_are_distinct_findings() {
+        // Regression for the dedupe undercount: two call sites reaching
+        // the same API through the same wrapper used to collapse into
+        // one finding under the `(action, api_symbol)` key.
+        use hd_appmodel::corpus::AppBuilder;
+        use hd_appmodel::registry as reg;
+        use hd_appmodel::Call;
+        let mut b = AppBuilder::new("TwoSites", "com.twosites", "Tools", 1_000, "2517e5");
+        let ui = b.ui_pack();
+        let helper = b.api(reg::wrapper("com.twosites.util.Io.flush", 9));
+        let commit = b.api(reg::prefs_commit());
+        let act = b.action(
+            "save twice",
+            1.0,
+            "MainActivity.onSave",
+            15,
+            vec![
+                Call::via(vec![helper], commit),
+                Call::direct(ui.set_text),
+                Call::via(vec![helper], commit).bug("two-1-commit"),
+            ],
+        );
+        b.bug("two-1-commit", 1, commit, act, "both sites block");
+        let app = b.build();
+        assert!(app.validate().is_empty(), "{:?}", app.validate());
+        for cfg in all_profiles() {
+            let report = analyze(&app, &cfg);
+            let commits: Vec<&SastFinding> = report
+                .findings
+                .iter()
+                .filter(|f| f.api_symbol.contains("commit"))
+                .collect();
+            assert_eq!(
+                commits.len(),
+                2,
+                "{}: two sites, two findings: {commits:?}",
+                report.profile
+            );
+            assert_eq!(commits[0].site, 0);
+            assert_eq!(commits[1].site, 2);
+            assert_eq!(commits[0].bug_id, None);
+            assert_eq!(commits[1].bug_id.as_deref(), Some("two-1-commit"));
+        }
+    }
+
+    #[test]
+    fn cached_and_uncached_contextual_reports_are_identical() {
+        let cache = SummaryCache::new();
+        for app in table1::apps().iter().chain(table5::apps().iter()) {
+            let db = BlockingApiDb::documented(2017);
+            let plain = analyze_with_db(app, &db, &contextual());
+            let cached = analyze_with_db_cached(app, &db, &contextual(), Some(&cache));
+            assert_eq!(plain, cached, "{}", app.name);
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.hits > 0,
+            "the corpus shares registry APIs; cross-app reuse must occur: {stats:?}"
+        );
     }
 }

@@ -12,11 +12,28 @@
 //! 2. [`summary`] — bottom-up [`BlockingSummary`] per node (reachable
 //!    blocking work, worst-case cost), fixed-pointed over wrapper
 //!    cycles, truncated at `closed_source` boundaries;
-//! 3. [`engine`] — rule profiles ([`RuleProfile::PerfCheckerCompat`] vs
-//!    [`RuleProfile::Full`]) gate which reachable calls become findings;
-//! 4. [`report`] — versioned SARIF-like JSON ([`SAST_SCHEMA`]), with
+//! 3. [`context`] — k=1 call-string summaries keyed `(node, caller)`
+//!    ([`ContextIndex`]), so a shared wrapper's blocking callees are
+//!    attributed only to the call sites that actually forward to them;
+//! 4. [`engine`] — rule profiles ([`RuleProfile::PerfCheckerCompat`],
+//!    [`RuleProfile::Full`], [`RuleProfile::Contextual`]) gate which
+//!    reachable calls become findings;
+//! 5. [`report`] — versioned SARIF-like JSON ([`SAST_SCHEMA`]), with
 //!    [`SastReport::feed_confirmed`] closing the paper's shared-database
 //!    loop from the static side.
+//!
+//! Around that core, the v2 engine scales to corpus studies:
+//!
+//! * [`cache`] — a content-hashed cross-app [`SummaryCache`]: contextual
+//!   site summaries keyed by a structural fingerprint of the reachable
+//!   subgraph are computed once and reused across every app that shares
+//!   the shape;
+//! * [`incremental`] — [`AnalysisSession`] re-filters only the call
+//!   sites whose resolved targets intersect newly discovered database
+//!   symbols (the paper's feedback loop without full re-scans);
+//! * [`scan`] — a strided-shard parallel corpus scanner
+//!   ([`scan_corpus`]) whose merged output is byte-identical at any
+//!   thread count, plus the [`SastBench`] sweep artifact.
 //!
 //! The three offline failure modes the paper motivates Hang Doctor with
 //! (Section 1) are *structural* consequences of this design, not special
@@ -25,14 +42,28 @@
 //! at all. [`classify_bug`] names those classes per ground-truth bug so
 //! the static↔runtime differential in `hd-metrics` can score them.
 
+pub mod cache;
+pub mod context;
 pub mod engine;
 pub mod graph;
+pub mod incremental;
 pub mod report;
 pub mod rules;
+pub mod scan;
 pub mod summary;
 
-pub use engine::{analyze, analyze_with_db, classify_bug, BugClass, SastConfig, PERCEIVABLE_NS};
+pub use cache::{CacheStats, CachedReach, CachedTarget, SummaryCache};
+pub use context::{app_fingerprint, ContextIndex, SiteReach, SiteTarget};
+pub use engine::{
+    analyze, analyze_with_db, analyze_with_db_cached, classify_bug, BugClass, SastConfig,
+    PERCEIVABLE_NS,
+};
 pub use graph::CallGraph;
+pub use incremental::AnalysisSession;
 pub use report::{SastFinding, SastReport, SAST_SCHEMA};
 pub use rules::{rule_table, RuleMeta, RuleProfile, Severity, RULE_DIRECT, RULE_VIA_WRAPPER};
+pub use scan::{
+    bench_sweep, scan_corpus, scan_corpus_cached, CorpusScan, SastBench, SastBenchRow,
+    SAST_BENCH_SCHEMA,
+};
 pub use summary::{compute_summaries, worst_busy_ns, BlockingSummary};

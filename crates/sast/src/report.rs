@@ -15,7 +15,10 @@ use serde::{Deserialize, Serialize};
 use crate::rules::{RuleMeta, Severity};
 
 /// Version tag of the findings JSON. Bump on any shape change.
-pub const SAST_SCHEMA: &str = "hang-doctor/sast/v1";
+///
+/// v2 adds per-finding call-site ordinals and k=1 context, and
+/// per-report contextual metadata (`context_pairs`, `app_fingerprint`).
+pub const SAST_SCHEMA: &str = "hang-doctor/sast/v2";
 
 /// One static finding: a blocking API reachable from a main-thread
 /// input handler.
@@ -31,9 +34,18 @@ pub struct SastFinding {
     pub action_name: String,
     /// Handler symbol the reachability starts from.
     pub handler: String,
+    /// Call-site ordinal within the action (flat across its events,
+    /// counting every call site including gated ones) — the finding's
+    /// stable anchor, part of the dedupe key.
+    pub site: u32,
     /// First frame the handler enters (a wrapper for nested calls, the
     /// working API itself for direct ones).
     pub entry_symbol: String,
+    /// k=1 calling context of the flagged API on the minimal
+    /// derivation: the symbol of the frame invoking it (empty for a
+    /// depth-0 direct call, and always empty in the `full` profile,
+    /// which has no context to report).
+    pub context: String,
     /// The blocking API flagged.
     pub api_symbol: String,
     /// Source file of the flagged API.
@@ -60,13 +72,20 @@ pub struct SastReport {
     pub app: String,
     /// App package.
     pub package: String,
-    /// Rule profile name (`"full"` or `"perfchecker-compat"`).
+    /// Rule profile name (`"full"`, `"contextual"`, or
+    /// `"perfchecker-compat"`).
     pub profile: String,
     /// Vintage of the blocking-API database used.
     pub db_year: u16,
+    /// `(node, caller)` summary keys built by the contextual analysis
+    /// (0 for the other profiles).
+    pub context_pairs: usize,
+    /// Structural fingerprint of the app model (stable across runs;
+    /// equal for structurally identical apps).
+    pub app_fingerprint: u64,
     /// Rule table of the profile.
     pub rules: Vec<RuleMeta>,
-    /// Findings, deduplicated on `(action, api_symbol)`.
+    /// Findings, deduplicated on `(action, site, api_symbol)`.
     pub findings: Vec<SastFinding>,
 }
 
@@ -114,7 +133,9 @@ mod tests {
             action: ActionUid(0),
             action_name: "open".to_string(),
             handler: "org.x.Main.onOpen".to_string(),
+            site: 0,
             entry_symbol: entry.to_string(),
+            context: entry.to_string(),
             api_symbol: api.to_string(),
             file: "X.java".to_string(),
             line: 10,
@@ -132,6 +153,8 @@ mod tests {
             package: "org.x".to_string(),
             profile: RuleProfile::Full.as_str().to_string(),
             db_year: 2017,
+            context_pairs: 0,
+            app_fingerprint: 0,
             rules: rule_table(RuleProfile::Full),
             findings,
         }

@@ -2,8 +2,8 @@
 //!
 //! Rules are deliberately few and declarative — the engine does the
 //! analysis, a rule only decides *which* reachable blocking calls become
-//! findings and how loudly. The two built-in profiles bracket the design
-//! space of offline detectors:
+//! findings and how loudly. The three built-in profiles ladder up the
+//! precision/recall space of offline detectors:
 //!
 //! * [`RuleProfile::PerfCheckerCompat`] — the literal PerfChecker-style
 //!   scan: walk each concrete call chain, name-match the working API
@@ -12,7 +12,13 @@
 //! * [`RuleProfile::Full`] — the summary-based interprocedural analysis:
 //!   judge reachability from each handler entry frame through the
 //!   aggregated call graph, so a known-blocking API buried N wrappers
-//!   deep (or shared through a helper) is still flagged.
+//!   deep (or shared through a helper) is still flagged — including at
+//!   call sites that never actually forward to it.
+//! * [`RuleProfile::Contextual`] — k=1 call-string reachability: the
+//!   same interprocedural depth, but summaries are keyed by the calling
+//!   context so a shared wrapper no longer contaminates benign callers.
+//!   Sits strictly between the other two on open chains (see
+//!   `crate::context`).
 
 use serde::{Deserialize, Serialize};
 
@@ -53,7 +59,7 @@ pub fn rule_table(profile: RuleProfile) -> Vec<RuleMeta> {
         description: "A known blocking API is called directly from a main-thread input handler"
             .to_string(),
     }];
-    if matches!(profile, RuleProfile::Full) {
+    if matches!(profile, RuleProfile::Full | RuleProfile::Contextual) {
         rules.push(RuleMeta {
             id: RULE_VIA_WRAPPER.to_string(),
             name: "known-blocking-via-wrapper".to_string(),
@@ -76,16 +82,29 @@ pub enum RuleProfile {
     /// wrappers (the legacy scanner did too) — what this profile lacks
     /// is the aggregated-graph reachability of [`RuleProfile::Full`].
     PerfCheckerCompat,
-    /// Summary-based interprocedural reachability.
+    /// Summary-based interprocedural reachability over the aggregated
+    /// (context-insensitive) call graph.
     Full,
+    /// k=1 call-string interprocedural reachability: per-context
+    /// summaries keyed `(node, caller)`, entry resolved through each
+    /// site's own first hop.
+    Contextual,
 }
 
 impl RuleProfile {
+    /// Every profile, in precision order (coarsest first).
+    pub const ALL: [RuleProfile; 3] = [
+        RuleProfile::Full,
+        RuleProfile::Contextual,
+        RuleProfile::PerfCheckerCompat,
+    ];
+
     /// Stable profile name used in reports and CLI flags.
     pub fn as_str(self) -> &'static str {
         match self {
             RuleProfile::PerfCheckerCompat => "perfchecker-compat",
             RuleProfile::Full => "full",
+            RuleProfile::Contextual => "contextual",
         }
     }
 }
@@ -104,8 +123,18 @@ mod tests {
         let compat = rule_table(RuleProfile::PerfCheckerCompat);
         assert_eq!(compat.len(), 1);
         assert_eq!(compat[0].id, RULE_DIRECT);
-        let full = rule_table(RuleProfile::Full);
-        assert_eq!(full.len(), 2);
-        assert!(full.iter().any(|r| r.id == RULE_VIA_WRAPPER));
+        for profile in [RuleProfile::Full, RuleProfile::Contextual] {
+            let table = rule_table(profile);
+            assert_eq!(table.len(), 2, "{profile:?}");
+            assert!(table.iter().any(|r| r.id == RULE_VIA_WRAPPER));
+        }
+    }
+
+    #[test]
+    fn profile_names_are_distinct_and_stable() {
+        assert_eq!(RuleProfile::Contextual.as_str(), "contextual");
+        let names: std::collections::BTreeSet<&str> =
+            RuleProfile::ALL.iter().map(|p| p.as_str()).collect();
+        assert_eq!(names.len(), RuleProfile::ALL.len());
     }
 }

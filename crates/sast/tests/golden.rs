@@ -52,6 +52,10 @@ fn fixture_schema_keys_are_stable() {
         "\"message\"",
         "\"est_blocking_ns\"",
         "\"db_year\"",
+        "\"site\"",
+        "\"context\"",
+        "\"context_pairs\"",
+        "\"app_fingerprint\"",
     ] {
         assert!(FIXTURE.contains(key), "fixture lost {key}");
     }

@@ -1,0 +1,154 @@
+//! Property tests of the profile lattice on seed-swept random apps.
+//!
+//! The contextual arm's contract is a precision-only refinement:
+//!
+//! * **Contextual ⊆ Full** — k=1 context can only *remove* findings
+//!   relative to aggregated reachability (every contextual edge is an
+//!   aggregated edge), never invent new ones;
+//! * **Compat ⊆ Contextual** — on a fully open chain the site's own
+//!   concrete derivation is always registered, so anything the legacy
+//!   per-chain scanner flags survives the refinement (zero recall loss
+//!   at the per-site level).
+//!
+//! Findings are compared as `(action, site, api_symbol)` keys — the
+//! dedupe identity — so the properties are exactly about *which* sites
+//! get flagged, not about depths or messages.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use hd_appmodel::corpus::AppBuilder;
+use hd_appmodel::registry as reg;
+use hd_appmodel::{App, Call};
+use hd_sast::{analyze, RuleProfile, SastConfig, SastReport};
+
+/// One randomized call site: wrapper-chain picks, target pick, gate.
+type CallSpec = (Vec<u8>, u8, u8);
+
+/// A randomized app: per-wrapper closed flags plus actions of calls.
+type AppSpec = (Vec<bool>, Vec<Vec<CallSpec>>);
+
+fn arb_app() -> impl Strategy<Value = AppSpec> {
+    (
+        proptest::collection::vec(prop_oneof![Just(false), Just(false), Just(true)], 1..4),
+        proptest::collection::vec(
+            proptest::collection::vec(
+                (proptest::collection::vec(0u8..8, 0..3), 0u8..6, 0u8..10),
+                1..5,
+            ),
+            1..4,
+        ),
+    )
+}
+
+/// Materializes a generated spec into a valid [`App`].
+fn build_app(spec: &AppSpec) -> App {
+    let (closed_flags, actions) = spec;
+    let mut b = AppBuilder::new("RandApp", "org.rand.app", "Tools", 1_000, "abc1234");
+    let ui = b.ui_pack();
+    let wrappers: Vec<_> = closed_flags
+        .iter()
+        .enumerate()
+        .map(|(i, &closed)| {
+            let symbol = format!("org.rand.app.util.W{i}.call");
+            if closed {
+                b.api(reg::closed_wrapper(&symbol, 10 + i as u32))
+            } else {
+                b.api(reg::wrapper(&symbol, 10 + i as u32))
+            }
+        })
+        .collect();
+    let blocking = [
+        b.api(reg::sqlite_query()),
+        b.api(reg::prefs_commit()),
+        b.api(reg::file_write()),
+        b.api(reg::bitmap_decode_file()),
+    ];
+    for (a, calls) in actions.iter().enumerate() {
+        let calls = calls
+            .iter()
+            .map(|(chain, target, gate)| {
+                let via: Vec<_> = chain
+                    .iter()
+                    .map(|w| wrappers[*w as usize % wrappers.len()])
+                    .collect();
+                let api = match target {
+                    0..=3 => blocking[*target as usize],
+                    4 => ui.set_text,
+                    _ => ui.notify_dataset,
+                };
+                let call = if via.is_empty() {
+                    Call::direct(api)
+                } else {
+                    Call::via(via, api)
+                };
+                if *gate == 0 {
+                    call.offload()
+                } else {
+                    call
+                }
+            })
+            .collect();
+        b.action(
+            &format!("random action {a}"),
+            1.0,
+            "MainActivity.onRandom",
+            40 + a as u32,
+            calls,
+        );
+    }
+    let app = b.build();
+    assert!(app.validate().is_empty(), "{:?}", app.validate());
+    app
+}
+
+/// A report reduced to its dedupe-identity key set.
+fn keys(report: &SastReport) -> BTreeSet<(u64, u32, String)> {
+    report
+        .findings
+        .iter()
+        .map(|f| (f.action.0, f.site, f.api_symbol.clone()))
+        .collect()
+}
+
+fn run(app: &App, profile: RuleProfile) -> SastReport {
+    analyze(
+        app,
+        &SastConfig {
+            profile,
+            db_year: 2017,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn contextual_is_a_precision_only_refinement(spec in arb_app()) {
+        let app = build_app(&spec);
+        let full = keys(&run(&app, RuleProfile::Full));
+        let contextual = keys(&run(&app, RuleProfile::Contextual));
+        let compat = keys(&run(&app, RuleProfile::PerfCheckerCompat));
+        prop_assert!(
+            contextual.is_subset(&full),
+            "contextual invented findings: {:?}",
+            contextual.difference(&full).collect::<Vec<_>>()
+        );
+        prop_assert!(
+            compat.is_subset(&contextual),
+            "contextual lost legacy findings: {:?}",
+            compat.difference(&contextual).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn every_profile_is_deterministic(spec in arb_app()) {
+        let app = build_app(&spec);
+        for profile in RuleProfile::ALL {
+            let once = run(&app, profile);
+            prop_assert_eq!(&once, &run(&app, profile), "{:?}", profile);
+        }
+    }
+}
