@@ -43,6 +43,21 @@
 //! recovered aggregate. `fleet --telemetry` routes the whole fleet
 //! through a loopback server and differentially checks the networked
 //! aggregation against the in-process merge.
+//!
+//! Control commands (the `hang-doctor/control/v1` dialect): `control`
+//! live-probes a running server — syncs real per-device Hang Doctor
+//! runs, queries `--device N`'s S-Checker state table, pulls an
+//! on-demand stack dump, toggles per-app diagnosis, and reports rollout
+//! status; `push-thresholds` retrains symptom thresholds on the labeled
+//! training set (`--heavy` for the exhaustive pass) and pushes them as
+//! a canaried 1% → 25% → 100% rollout, exiting nonzero if the canary
+//! cohort regresses and the push rolls back; `control-diff` writes
+//! `CONTROL_differential.json` and exits nonzero unless a pushed
+//! threshold reproduces the locally-configured detection outcome
+//! byte-for-byte (clean and under `--chaos` control-frame loss, delay,
+//! and duplication); `control-bench` writes `BENCH_control.json` —
+//! control round-trip percentiles measured while pipelined ingest runs
+//! at full rate.
 
 use std::net::ToSocketAddrs;
 use std::path::PathBuf;
@@ -67,6 +82,8 @@ struct Opts {
     wal: Option<String>,
     node_id: u64,
     crash: bool,
+    device: u32,
+    heavy: bool,
 }
 
 fn usage() -> ! {
@@ -76,6 +93,7 @@ fn usage() -> ! {
          table6 fig8 generality ablations chaos sast sast-full sast-compat sast-diff\n\
          sast-prec-diff sast-bench async-diff fleet bench-summary all\n\
          telemetry commands: serve upload telemetry-bench cluster replay (plus fleet --telemetry)\n\
+         control commands: control push-thresholds control-diff control-bench\n\
          --devices/--threads apply to the fleet and bench-summary experiments (defaults 8/1);\n\
          --threads also shards the sast scan (byte-identical at any count)\n\
          --chaos RATE injects observation faults into fleet/bench-summary and sets the\n\
@@ -90,6 +108,13 @@ fn usage() -> ! {
          --nodes N sizes the cluster differential (default 3); --crash kills one\n\
          node mid-upload and restarts it from its WAL\n\
          --top N bounds exported hang groups (default 25); upload --shutdown stops the server\n\
+         control probes a running server in the hang-doctor/control/v1 dialect (state-table\n\
+         query + stack pull on --device N, per-app diagnosis toggle, rollout status);\n\
+         push-thresholds retrains on the labeled training set (--heavy for the exhaustive\n\
+         pass) and pushes a canary → expanded → full rollout, failing on rollback;\n\
+         control-diff writes CONTROL_differential.json and fails unless the pushed\n\
+         thresholds reproduce the locally-configured run byte-for-byte (clean or --chaos);\n\
+         control-bench writes BENCH_control.json (control latency under full ingest load)\n\
          bench-summary writes BENCH_fleet.json, telemetry-bench writes BENCH_telemetry.json,\n\
          sast-bench writes BENCH_sast.json (override any path with --json <path>)"
     );
@@ -114,6 +139,10 @@ fn is_experiment(name: &str) -> bool {
                 | "telemetry-bench"
                 | "cluster"
                 | "replay"
+                | "control"
+                | "push-thresholds"
+                | "control-diff"
+                | "control-bench"
                 | "all"
         )
 }
@@ -541,6 +570,89 @@ fn run_one(name: &str, opts: &Opts) -> Result<(), String> {
             }
             emit(opts, &report, text);
         }
+        "control" => {
+            let addr = opts
+                .addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut a| a.next())
+                .ok_or_else(|| format!("cannot resolve {}", opts.addr))?;
+            let executions = if opts.quick { 2 } else { 4 };
+            let probe = hd_bench::control::run_control_probe(
+                addr,
+                seed,
+                executions,
+                opts.chaos,
+                opts.device,
+            )
+            .map_err(|e| format!("control probe against {addr} failed: {e}"))?;
+            let mut text = probe.render();
+            if opts.shutdown {
+                hd_telemetry::ControlClient::connect(addr)
+                    .shutdown()
+                    .map_err(|e| e.to_string())?;
+                text.push_str("server shutdown requested\n");
+            }
+            emit(opts, &probe, text);
+        }
+        "push-thresholds" => {
+            let addr = opts
+                .addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut a| a.next())
+                .ok_or_else(|| format!("cannot resolve {}", opts.addr))?;
+            let executions = if opts.quick { 2 } else { 3 };
+            let push = hd_bench::control::run_push_thresholds(
+                addr, seed, executions, opts.heavy, opts.chaos,
+            )
+            .map_err(|e| format!("threshold push to {addr} failed: {e}"))?;
+            let rolled_back = push.statuses.iter().any(|s| s.rolled_back);
+            emit(opts, &push, push.render());
+            if rolled_back {
+                return Err(
+                    "threshold rollout rolled back: the canary cohort regressed \
+                     against the rest of the fleet"
+                        .to_string(),
+                );
+            }
+        }
+        "control-diff" => {
+            let rate = opts.chaos.unwrap_or(0.0);
+            let diff = hd_bench::control::run_control_diff(seed, rate);
+            let path = opts
+                .json_path
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("CONTROL_differential.json"));
+            let json = serde_json::to_string_pretty(&diff).expect("serializable differential");
+            std::fs::write(&path, format!("{json}\n"))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!("wrote {}: {}", path.display(), diff.render());
+            if !diff.passed() {
+                return Err(format!(
+                    "control differential failed: pushed thresholds must reproduce the \
+                     locally-configured detection outcome byte-for-byte on a \
+                     detection-changing threshold (pushed_identical {}, baseline_differs {})",
+                    diff.pushed_identical, diff.baseline_differs
+                ));
+            }
+        }
+        "control-bench" => {
+            let (clients, batches, reports) = if opts.quick {
+                (2, 64, 16)
+            } else {
+                (2, 256, 32)
+            };
+            let bench = hd_bench::control::run_control_bench(clients, batches, reports);
+            let path = opts
+                .json_path
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("BENCH_control.json"));
+            let json = serde_json::to_string_pretty(&bench).expect("serializable control bench");
+            std::fs::write(&path, format!("{json}\n"))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!("wrote {}: {}", path.display(), bench.render());
+        }
         "telemetry-bench" => {
             let mut bench_spec = hd_telemetry::BenchSpec::default();
             if opts.quick {
@@ -651,6 +763,8 @@ fn main() -> ExitCode {
         wal: None,
         node_id: 0,
         crash: false,
+        device: 1,
+        heavy: false,
     };
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1).peekable();
@@ -689,6 +803,13 @@ fn main() -> ExitCode {
             "--telemetry" => opts.telemetry = true,
             "--shutdown" => opts.shutdown = true,
             "--crash" => opts.crash = true,
+            "--heavy" => opts.heavy = true,
+            "--device" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()).filter(|v| *v > 0) else {
+                    usage()
+                };
+                opts.device = v;
+            }
             "--nodes" => {
                 let Some(v) = args.next().and_then(|s| s.parse().ok()).filter(|v| *v > 0) else {
                     usage()

@@ -1,0 +1,934 @@
+//! Control-plane differential and load bench.
+//!
+//! ## The differential (`CONTROL_differential.json`)
+//!
+//! The whole point of the control plane is that a threshold pushed over
+//! the wire is *the same configuration* as one a developer bakes into
+//! the build. This harness proves it: the identical fleet matrix runs
+//! twice — once with the retrained [`SymptomThresholds`] configured
+//! locally in the [`FleetSpec`], once with the paper defaults plus a
+//! full canary → expanded → full rollout pushed through a real loopback
+//! [`TelemetryServer`] in the `hang-doctor/control/v1` dialect — and
+//! the two detection outcomes (the merged fleet plus every per-device
+//! report; wall-clock timing excluded) must serialize to the **same
+//! bytes**. A third run with the untouched defaults must *differ*, so
+//! the gate cannot pass vacuously on a threshold that changes nothing.
+//!
+//! The chaos arm repeats the pushed run with control-frame loss, delay,
+//! and duplication injected at the given rate
+//! ([`CtrlFaultConfig::chaos`]): the client's resend/absorb recovery
+//! plus the controller's idempotent request semantics must deliver the
+//! byte-identical outcome anyway.
+//!
+//! ## The bench (`BENCH_control.json`)
+//!
+//! Control traffic rides the same sockets and I/O workers as ingest, so
+//! it must not cost ingest its throughput guard. The bench runs the
+//! `BENCH_telemetry.json` pipelined upload workload twice in the same
+//! process — once alone, once with a concurrent [`ControlClient`]
+//! probing state in a tight loop — and records the control round-trip
+//! percentiles plus the ingest *retention* (with-control rate over
+//! ingest-only rate), guarded by [`INGEST_RETENTION_FLOOR`]. The ratio
+//! is what transfers across machines; the committed absolute snapshot
+//! ([`INGEST_SNAPSHOT_REPORTS_PER_SEC`]) rides along for context.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hangdoctor::{FaultConfig, HangDoctorConfig, SymptomThresholds};
+use hd_control::{CohortHealth, ControlAgent, RolloutSpec, RolloutStage, SyncReport};
+use hd_faults::CtrlFaultConfig;
+use hd_fleet::{
+    run_fleet_with_reports, run_fleet_with_reports_overridden, DeviceOverride, DeviceProfile,
+    FleetSpec, JobReport,
+};
+use hd_metrics::percentile_u64;
+use hd_telemetry::{
+    bench::synthetic_batch, ControlClient, PipelinedUploader, TelemetryError, TelemetryServer,
+    Uploader,
+};
+use serde::{Deserialize, Serialize};
+
+/// Schema tag of `CONTROL_differential.json`.
+pub const CONTROL_DIFF_SCHEMA: &str = "hang-doctor/control-differential/v1";
+
+/// Schema tag of `BENCH_control.json`.
+pub const CONTROL_BENCH_SCHEMA: &str = "hang-doctor/control-bench/v1";
+
+/// The committed `BENCH_telemetry.json` ingest snapshot the control
+/// bench is contextualized against, reports per second.
+pub const INGEST_SNAPSHOT_REPORTS_PER_SEC: f64 = 110_000.0;
+
+/// Fraction of the same-process ingest-only rate the with-control leg
+/// must retain. A ratio guard, not an absolute one: CI runners and dev
+/// boxes differ wildly in absolute throughput, but control traffic
+/// stealing more than this much ingest is a regression anywhere.
+pub const INGEST_RETENTION_FLOOR: f64 = 0.80;
+
+/// Machine-readable result of one pushed-vs-local differential run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ControlDifferential {
+    /// Schema tag, bumped on incompatible changes.
+    pub schema: String,
+    /// Wire dialect the pushed arm negotiated.
+    pub dialect: String,
+    /// Root seed of the fleet matrix.
+    pub seed: u64,
+    /// Control-frame chaos rate of the pushed arm (0 = clean).
+    pub chaos_rate: f64,
+    /// Devices in the matrix.
+    pub devices: usize,
+    /// Rollout stages the push traversed, in order.
+    pub stages: Vec<String>,
+    /// The retrained thresholds both arms ran.
+    pub pushed: SymptomThresholds,
+    /// Devices whose final directives carried the pushed thresholds.
+    pub devices_directed: usize,
+    /// Control frames the fault plan destroyed outright.
+    pub frames_lost: u64,
+    /// Control frames the fault plan delayed.
+    pub frames_delayed: u64,
+    /// Control frames the fault plan duplicated.
+    pub frames_duplicated: u64,
+    /// Requests the client re-sent to recover a lost frame.
+    pub resends: u64,
+    /// Duplicate responses the client absorbed.
+    pub duplicates_absorbed: u64,
+    /// Whether pushed-arm detection matched the local arm byte-for-byte.
+    pub pushed_identical: bool,
+    /// Whether the untouched-defaults run differed from the local arm
+    /// (i.e. the pushed thresholds demonstrably change detection).
+    pub baseline_differs: bool,
+}
+
+impl ControlDifferential {
+    /// The differential passes only if the push reproduced the local
+    /// configuration exactly *and* the thresholds weren't a no-op.
+    pub fn passed(&self) -> bool {
+        self.pushed_identical && self.baseline_differs
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "control differential (seed {}, chaos {:.2}): {} devices, rollout {} → \
+             {} directed — pushed {} local arm, baseline {} \
+             (lost {} / delayed {} / duplicated {} frames; {} resends, {} dup ACKs absorbed)\n\
+             verdict: {}",
+            self.seed,
+            self.chaos_rate,
+            self.devices,
+            self.stages.join(" → "),
+            self.devices_directed,
+            if self.pushed_identical {
+                "byte-identical to"
+            } else {
+                "DIVERGED from"
+            },
+            if self.baseline_differs {
+                "differs (thresholds are live)"
+            } else {
+                "IDENTICAL (vacuous push)"
+            },
+            self.frames_lost,
+            self.frames_delayed,
+            self.frames_duplicated,
+            self.resends,
+            self.duplicates_absorbed,
+            if self.passed() { "PASS" } else { "FAIL" },
+        )
+    }
+}
+
+/// The retrained thresholds the differential pushes: a
+/// stricter-precision filter than the paper default (every counter cut
+/// raised), aggressive enough to move detection outcomes on the study
+/// corpus (the `baseline_differs` leg asserts it does).
+pub fn retrained_thresholds() -> SymptomThresholds {
+    SymptomThresholds {
+        context_switch_diff: 12.0,
+        task_clock_diff: 2.5e8,
+        page_fault_diff: 800.0,
+    }
+}
+
+/// The differential's fleet matrix: three study apps, two devices each,
+/// paper-default configuration.
+fn diff_spec(seed: u64) -> FleetSpec {
+    FleetSpec {
+        apps: vec![
+            hd_appmodel::corpus::table5::k9mail(),
+            hd_appmodel::corpus::table5::omninotes(),
+            hd_appmodel::corpus::table5::cyclestreets(),
+        ],
+        profiles: DeviceProfile::default_set(),
+        devices_per_app: 2,
+        executions_per_action: 4,
+        root_seed: seed,
+        threads: 2,
+        config: HangDoctorConfig::default(),
+        apidb_year: 2017,
+        faults: FaultConfig::none(),
+    }
+}
+
+/// Canonical bytes of a fleet run's *detection outcome*: the merged
+/// fleet plus every per-device job report, with wall-clock timing
+/// excluded (it can never be reproducible).
+fn outcome_bytes(merged: &hd_fleet::MergedFleet, jobs: &[JobReport]) -> String {
+    serde_json::to_string(&(merged, jobs)).expect("fleet outcome serializes")
+}
+
+/// The `(device, app)` matrix of a spec, in stable job-index order.
+fn device_apps(spec: &FleetSpec) -> Vec<(u32, String)> {
+    let mut out = Vec::with_capacity(spec.jobs());
+    for (app_idx, app) in spec.apps.iter().enumerate() {
+        for d in 0..spec.devices_per_app {
+            let index = app_idx * spec.devices_per_app as usize + d as usize;
+            out.push((index as u32 + 1, app.name.clone()));
+        }
+    }
+    out
+}
+
+/// Runs the pushed-vs-local differential at the given control-frame
+/// chaos rate (0 = clean).
+pub fn run_control_diff(seed: u64, chaos_rate: f64) -> ControlDifferential {
+    let spec = diff_spec(seed);
+    let pushed = retrained_thresholds();
+    let devices = device_apps(&spec);
+
+    // Arm A — the reference: the retrained thresholds configured
+    // locally, the way a developer would bake them into a build.
+    let local_config = HangDoctorConfig::builder()
+        .thresholds(pushed)
+        .build()
+        .expect("retrained thresholds pass builder validation");
+    let mut local_spec = spec.clone();
+    local_spec.config = local_config;
+    let (local_report, local_jobs) = run_fleet_with_reports(&local_spec);
+    let local_bytes = outcome_bytes(&local_report.merged, &local_jobs);
+
+    // Arm C — untouched defaults, to prove the thresholds are live.
+    let (default_report, default_jobs) = run_fleet_with_reports(&spec);
+    let baseline_differs = outcome_bytes(&default_report.merged, &default_jobs) != local_bytes;
+
+    // Arm B — the same thresholds pushed through a real loopback server
+    // with a full staged rollout, then materialized as per-device
+    // overrides on the *default* spec.
+    let server = TelemetryServer::builder()
+        .addr("127.0.0.1:0")
+        .shards(2)
+        .queue_capacity(64)
+        .io_workers(1)
+        .start()
+        .expect("bind loopback control server");
+    let cfg = if chaos_rate > 0.0 {
+        CtrlFaultConfig::chaos(chaos_rate)
+    } else {
+        CtrlFaultConfig::none()
+    };
+    // One client drives the whole fleet's sync traffic; device 0 keys
+    // its fault stream (the devices' own ids key nothing here — faults
+    // hit the shared control connection).
+    let mut ctl = ControlClient::with_faults(server.local_addr(), cfg, seed, 0);
+
+    let mut agents: Vec<ControlAgent> = devices
+        .iter()
+        .map(|(device, app)| ControlAgent::new(*device, app, spec.config.clone()))
+        .collect();
+
+    let baseline = spec.config.thresholds;
+    ctl.push_thresholds(RolloutSpec {
+        thresholds: pushed,
+        baseline,
+    })
+    .expect("push rollout");
+
+    // Stage by stage: advance, then one healthy sync round so every
+    // covered device picks up its directives.
+    let mut stages = Vec::new();
+    for stage in RolloutStage::ALL {
+        let status = if stage == RolloutStage::Canary {
+            // PushThresholds starts the rollout at canary.
+            ctl.rollout_status().expect("rollout status")
+        } else {
+            ctl.advance_rollout(stage).expect("advance rollout")
+        };
+        assert!(!status.rolled_back, "healthy fleet must not roll back");
+        stages.push(status.stage);
+        for agent in &mut agents {
+            let directives = ctl.sync(agent.sync_report()).expect("sync device");
+            agent
+                .apply(&directives)
+                .expect("pushed thresholds pass builder validation");
+        }
+    }
+    let tally = ctl.tally();
+    ctl.shutdown().expect("server shutdown");
+    server.join();
+
+    // Materialize the final directives as per-device overrides.
+    let base_bytes = serde_json::to_string(&spec.config).expect("config serializes");
+    let mut overrides: BTreeMap<u32, DeviceOverride> = BTreeMap::new();
+    for agent in &agents {
+        if serde_json::to_string(agent.config()).expect("config serializes") != base_bytes {
+            overrides.insert(
+                agent.device(),
+                DeviceOverride {
+                    config: Some(agent.config().clone()),
+                    faults: None,
+                },
+            );
+        }
+    }
+    let devices_directed = overrides.len();
+    let (pushed_report, pushed_jobs) = run_fleet_with_reports_overridden(&spec, &overrides);
+    let pushed_identical = outcome_bytes(&pushed_report.merged, &pushed_jobs) == local_bytes;
+
+    ControlDifferential {
+        schema: CONTROL_DIFF_SCHEMA.to_string(),
+        dialect: hd_control::CONTROL_SCHEMA.to_string(),
+        seed,
+        chaos_rate,
+        devices: devices.len(),
+        stages,
+        pushed,
+        devices_directed,
+        frames_lost: tally.frames_lost,
+        frames_delayed: tally.frames_delayed,
+        frames_duplicated: tally.frames_duplicated,
+        resends: tally.resends,
+        duplicates_absorbed: tally.duplicates_absorbed,
+        pushed_identical,
+        baseline_differs,
+    }
+}
+
+/// Machine-readable result of one control-under-ingest-load run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ControlBench {
+    /// Schema tag, bumped on incompatible changes.
+    pub schema: String,
+    /// Concurrent pipelined uploader threads.
+    pub clients: usize,
+    /// Batches each uploader delivered.
+    pub batches_per_client: usize,
+    /// Reports packed into each batch.
+    pub reports_per_batch: usize,
+    /// Control round trips completed while ingest ran.
+    pub control_round_trips: u64,
+    /// Median control round-trip latency, µs.
+    pub control_p50_us: u64,
+    /// 99th-percentile control round-trip latency, µs.
+    pub control_p99_us: u64,
+    /// Hang reports ingested during the measured window.
+    pub ingest_reports: u64,
+    /// With-control ingest wall time, ms.
+    pub wall_ms: u64,
+    /// Ingest throughput of the same workload with **no** control
+    /// traffic, measured first in the same process — the baseline leg.
+    pub ingest_only_reports_per_second: f64,
+    /// Ingest throughput achieved *while* control probing ran.
+    pub ingest_reports_per_second: f64,
+    /// `ingest_reports_per_second / ingest_only_reports_per_second`.
+    pub ingest_retention: f64,
+    /// The retention floor this bench is held to.
+    pub retention_floor: f64,
+    /// Whether the with-control leg cleared the retention floor.
+    pub guard_met: bool,
+    /// The committed absolute ingest snapshot, for context.
+    pub ingest_snapshot_reference: f64,
+}
+
+impl ControlBench {
+    /// Renders a human-readable summary line.
+    pub fn render(&self) -> String {
+        format!(
+            "control bench: {} uploaders × {} batches × {} reports alongside {} control \
+             round trips — control p50 {} µs p99 {} µs; ingest {:.0} reports/s alone, \
+             {:.0} with control ({:.0}% retained, floor {:.0}%: {})",
+            self.clients,
+            self.batches_per_client,
+            self.reports_per_batch,
+            self.control_round_trips,
+            self.control_p50_us,
+            self.control_p99_us,
+            self.ingest_only_reports_per_second,
+            self.ingest_reports_per_second,
+            self.ingest_retention * 100.0,
+            self.retention_floor * 100.0,
+            if self.guard_met { "met" } else { "MISSED" },
+        )
+    }
+}
+
+/// One pipelined ingest client, as in the telemetry bench: window of
+/// pre-encoded frames in flight, NACKs re-sent in place.
+fn ingest_client(addr: SocketAddr, frames: &[Vec<u8>], window: usize) {
+    let mut up = PipelinedUploader::connect(addr).expect("bench uploader connect");
+    let mut pending: VecDeque<usize> = VecDeque::with_capacity(window);
+    let mut next = 0usize;
+    let mut completed = 0usize;
+    while completed < frames.len() {
+        while pending.len() < window && next < frames.len() {
+            up.send_encoded(&frames[next]).expect("bench send");
+            pending.push_back(next);
+            next += 1;
+        }
+        match up.recv() {
+            Ok(_) => {
+                pending.pop_front();
+                completed += 1;
+            }
+            Err(TelemetryError::Nack { retry_after_ms }) => {
+                let idx = pending.pop_front().expect("nack matches in-flight");
+                thread::sleep(Duration::from_millis(retry_after_ms));
+                up.send_encoded(&frames[idx]).expect("bench re-send");
+                pending.push_back(idx);
+            }
+            Err(e) => panic!("bench upload failed: {e}"),
+        }
+    }
+}
+
+/// One bench leg against a fresh loopback server: the full pipelined
+/// upload workload, with concurrent control probing when `probe` is
+/// set. Returns `(reports ingested, wall, control latencies µs)`.
+fn ingest_leg(frames: &[Vec<Vec<u8>>], probe: bool) -> (u64, Duration, Vec<u64>) {
+    let server = TelemetryServer::builder()
+        .addr("127.0.0.1:0")
+        .shards(4)
+        .queue_capacity(256)
+        .io_workers(2)
+        .nack_retry_ms(1)
+        .start()
+        .expect("bind loopback bench server");
+    let addr = server.local_addr();
+
+    // Seed one device's state so the probes exercise a real lookup.
+    let mut ctl = ControlClient::connect(addr);
+    if probe {
+        ctl.sync(SyncReport {
+            device: 1,
+            app: "bench-app-1".to_string(),
+            states: vec![],
+            stack: None,
+            health: CohortHealth::default(),
+        })
+        .expect("seed control state");
+    }
+
+    let ingest_done = AtomicBool::new(false);
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut wall = Duration::ZERO;
+    thread::scope(|scope| {
+        let handles: Vec<_> = frames
+            .iter()
+            .map(|frames| scope.spawn(|| ingest_client(addr, frames, 32)))
+            .collect();
+        // Probe until ingest drains: alternate a state query and a
+        // device sync, the two hot control verbs.
+        let mut i = 0u64;
+        while probe && !ingest_done.load(Ordering::Relaxed) {
+            let probe_start = Instant::now();
+            if i.is_multiple_of(2) {
+                ctl.query_state(1).expect("probe query");
+            } else {
+                ctl.sync(SyncReport {
+                    device: 1,
+                    app: "bench-app-1".to_string(),
+                    states: vec![],
+                    stack: None,
+                    health: CohortHealth::default(),
+                })
+                .expect("probe sync");
+            }
+            latencies.push(probe_start.elapsed().as_micros() as u64);
+            i += 1;
+            if handles.iter().all(|h| h.is_finished()) {
+                ingest_done.store(true, Ordering::Relaxed);
+            }
+        }
+        for h in handles {
+            h.join().expect("bench uploader");
+        }
+        wall = started.elapsed();
+    });
+    drop(ctl);
+
+    let mut shutdown = Uploader::plain(addr);
+    shutdown.shutdown().expect("bench shutdown");
+    let stats = server.join();
+    (stats.ingest.reports_ingested, wall, latencies)
+}
+
+/// Runs the control-under-load bench: the identical pipelined ingest
+/// workload twice — once alone (the baseline leg), once with a
+/// concurrent control client probing in a tight loop — and guards the
+/// with-control leg's ingest retention.
+pub fn run_control_bench(
+    clients: usize,
+    batches_per_client: usize,
+    reports_per_batch: usize,
+) -> ControlBench {
+    // Pre-encode the ingest load so the clock measures the wire, not
+    // the harness's serialization.
+    let frames: Vec<Vec<Vec<u8>>> = (0..clients)
+        .map(|client| {
+            (0..batches_per_client as u64)
+                .map(|seq| {
+                    PipelinedUploader::encode_upload(&synthetic_batch(
+                        client,
+                        seq,
+                        reports_per_batch,
+                    ))
+                })
+                .collect()
+        })
+        .collect();
+
+    // Best-of-3 per leg: on small or contended machines a single run's
+    // wall time is dominated by scheduler noise; the minimum wall is
+    // the honest capacity estimate for both legs.
+    let baseline_wall = (0..3)
+        .map(|_| ingest_leg(&frames, false).1)
+        .min()
+        .expect("three baseline legs");
+    let (reports, wall, latencies) = (0..3)
+        .map(|_| ingest_leg(&frames, true))
+        .min_by_key(|(_, wall, _)| *wall)
+        .expect("three control legs");
+
+    let baseline_rate = reports as f64 / baseline_wall.as_secs_f64().max(1e-9);
+    let rate = reports as f64 / wall.as_secs_f64().max(1e-9);
+    let retention = rate / baseline_rate.max(1e-9);
+    ControlBench {
+        schema: CONTROL_BENCH_SCHEMA.to_string(),
+        clients,
+        batches_per_client,
+        reports_per_batch,
+        control_round_trips: latencies.len() as u64,
+        control_p50_us: percentile_u64(&latencies, 50.0),
+        control_p99_us: percentile_u64(&latencies, 99.0),
+        ingest_reports: reports,
+        wall_ms: wall.as_millis() as u64,
+        ingest_only_reports_per_second: baseline_rate,
+        ingest_reports_per_second: rate,
+        ingest_retention: retention,
+        retention_floor: INGEST_RETENTION_FLOOR,
+        guard_met: retention >= INGEST_RETENTION_FLOOR,
+        ingest_snapshot_reference: INGEST_SNAPSHOT_REPORTS_PER_SEC,
+    }
+}
+
+/// Machine-readable result of one live-probe session (`repro control`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ControlProbeOutcome {
+    /// Wire dialect the probe negotiated.
+    pub dialect: String,
+    /// Devices whose harvested runs were synced to the server.
+    pub devices_synced: usize,
+    /// The device the state-table query and stack pull targeted.
+    pub device: u32,
+    /// The queried per-action S-Checker state table.
+    pub states: Vec<(u64, hangdoctor::ActionState, u32)>,
+    /// The on-demand stack dump, if the device had a hung action.
+    pub stack: Option<hd_control::StackDump>,
+    /// App whose diagnosis was toggled off and back on.
+    pub toggled_app: String,
+    /// Rollout status, if a threshold rollout is in progress.
+    pub rollout: Option<hd_control::RolloutStatusInfo>,
+}
+
+impl ControlProbeOutcome {
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "control probe ({}): synced {} device runs; device {} state table has {} actions\n",
+            self.dialect,
+            self.devices_synced,
+            self.device,
+            self.states.len()
+        );
+        for (uid, state, executions) in &self.states {
+            out.push_str(&format!(
+                "  action {uid}: {state:?} after {executions} executions\n"
+            ));
+        }
+        match &self.stack {
+            Some(stack) => out.push_str(&format!(
+                "stack dump from '{}' ({} ms response):\n  {}\n",
+                stack.action,
+                stack.response_ns / 1_000_000,
+                stack.frames.join("\n  ")
+            )),
+            None => out.push_str(&format!(
+                "device {} has no hung action to dump\n",
+                self.device
+            )),
+        }
+        out.push_str(&format!(
+            "diagnosis toggled off and back on for '{}'\n",
+            self.toggled_app
+        ));
+        match &self.rollout {
+            Some(s) => out.push_str(&format!(
+                "rollout: {} (cohort {}/{} bad, rest {}/{} bad)\n",
+                s.stage, s.cohort_bad, s.cohort_devices, s.rest_bad, s.rest_devices
+            )),
+            None => out.push_str("no threshold rollout in progress\n"),
+        }
+        out
+    }
+}
+
+/// Builds a control client for `addr`, with chaos-rate fault injection
+/// when requested.
+fn control_client(addr: SocketAddr, seed: u64, chaos: Option<f64>) -> ControlClient {
+    match chaos {
+        Some(rate) if rate > 0.0 => {
+            ControlClient::with_faults(addr, CtrlFaultConfig::chaos(rate), seed, 0)
+        }
+        _ => ControlClient::connect(addr),
+    }
+}
+
+/// Live-probes a running server: harvests one real Hang Doctor run per
+/// study app through a [`ControlAgent`], syncs the agents' state tables
+/// up, then exercises every probe verb — state-table query, on-demand
+/// stack pull, per-app diagnosis toggle, rollout status.
+pub fn run_control_probe(
+    addr: SocketAddr,
+    seed: u64,
+    executions: usize,
+    chaos: Option<f64>,
+    device: u32,
+) -> Result<ControlProbeOutcome, TelemetryError> {
+    use hangdoctor::HangDoctor;
+    use hd_appmodel::{build_run, round_robin_schedule, CompiledApp};
+    use hd_simrt::SimConfig;
+
+    let mut ctl = control_client(addr, seed, chaos);
+    let apps = [
+        hd_appmodel::corpus::table5::k9mail(),
+        hd_appmodel::corpus::table5::omninotes(),
+        hd_appmodel::corpus::table5::cyclestreets(),
+    ];
+    let mut synced = 0usize;
+    for (i, app) in apps.iter().enumerate() {
+        let dev = i as u32 + 1;
+        let compiled = CompiledApp::new(app.clone());
+        let sched = round_robin_schedule(app, executions, 3_000);
+        let mut run = build_run(
+            &compiled,
+            &sched,
+            SimConfig::default(),
+            seed.wrapping_add(i as u64),
+        );
+        let (probe, out) = HangDoctor::new(
+            HangDoctorConfig::default(),
+            &app.name,
+            &app.package,
+            dev,
+            None,
+        );
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        let out = out.borrow();
+        let mut agent = ControlAgent::new(dev, &app.name, HangDoctorConfig::default());
+        agent.observe(&out);
+        let directives = ctl.sync(agent.sync_report())?;
+        agent
+            .apply(&directives)
+            .expect("server directives pass builder validation");
+        synced += 1;
+    }
+
+    let states = ctl.query_state(device)?;
+    let stack = ctl.pull_stack(device)?;
+    let toggled_app = apps[0].name.clone();
+    ctl.toggle_diagnosis(&toggled_app, false)?;
+    ctl.toggle_diagnosis(&toggled_app, true)?;
+    // No rollout in progress is a normal answer, not a probe failure.
+    let rollout = ctl.rollout_status().ok();
+
+    Ok(ControlProbeOutcome {
+        dialect: hd_control::CONTROL_SCHEMA.to_string(),
+        devices_synced: synced,
+        device,
+        states,
+        stack,
+        toggled_app,
+        rollout,
+    })
+}
+
+/// Machine-readable result of one retrain-and-push session
+/// (`repro push-thresholds`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PushOutcome {
+    /// Whether the heavy (exhaustive) adaptation pass produced the push.
+    pub heavy: bool,
+    /// Training confusion before adaptation: `(tp, fp, fn, tn)`.
+    pub before: (usize, usize, usize, usize),
+    /// Training confusion after.
+    pub after: (usize, usize, usize, usize),
+    /// The thresholds the retrain derived and pushed.
+    pub thresholds: SymptomThresholds,
+    /// Rollout status after each stage, canary first.
+    pub statuses: Vec<hd_control::RolloutStatusInfo>,
+}
+
+impl PushOutcome {
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} retrain: confusion {:?} → {:?}; pushed thresholds \
+             cs {:.1} / tc {:.2e} / pf {:.1}\n",
+            if self.heavy { "heavy" } else { "light" },
+            self.before,
+            self.after,
+            self.thresholds.context_switch_diff,
+            self.thresholds.task_clock_diff,
+            self.thresholds.page_fault_diff,
+        );
+        for s in &self.statuses {
+            out.push_str(&format!(
+                "  stage {}: cohort {}/{} bad, rest {}/{} bad{}\n",
+                s.stage,
+                s.cohort_bad,
+                s.cohort_devices,
+                s.rest_bad,
+                s.rest_devices,
+                if s.rolled_back {
+                    " — ROLLED BACK"
+                } else {
+                    ""
+                },
+            ));
+        }
+        out
+    }
+}
+
+/// Retrains thresholds on the labeled training set (`hd-core::trainer`
+/// plus the light or heavy adaptation pass) and pushes them to a
+/// running server as a full staged rollout, reporting cohort health
+/// after every stage.
+pub fn run_push_thresholds(
+    addr: SocketAddr,
+    seed: u64,
+    executions: usize,
+    heavy: bool,
+    chaos: Option<f64>,
+) -> Result<PushOutcome, TelemetryError> {
+    use hangdoctor::{
+        collect_samples, heavy_adaptation, light_adaptation, paper_filter, thresholds_from_filter,
+        training_set, DiffMode,
+    };
+
+    let samples = collect_samples(&training_set(), executions, seed);
+    let base = SymptomThresholds::default();
+    let out = if heavy {
+        heavy_adaptation(&samples, DiffMode::MainMinusRender, 3)
+    } else {
+        light_adaptation(&paper_filter(base), &samples, DiffMode::MainMinusRender)
+    };
+    let thresholds = thresholds_from_filter(&out.filter, base);
+
+    let mut ctl = control_client(addr, seed, chaos);
+    let mut statuses = Vec::new();
+    statuses.push(ctl.push_thresholds(RolloutSpec {
+        thresholds,
+        baseline: base,
+    })?);
+    for stage in [RolloutStage::Expanded, RolloutStage::Full] {
+        let status = ctl.advance_rollout(stage)?;
+        let rolled_back = status.rolled_back;
+        statuses.push(status);
+        if rolled_back {
+            break;
+        }
+    }
+    Ok(PushOutcome {
+        heavy,
+        before: out.before,
+        after: out.after,
+        thresholds,
+        statuses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_control::{device_bucket, ControlRequest, ControlResponse};
+    use hd_faults::FaultCategory;
+
+    #[test]
+    fn clean_differential_is_byte_identical_and_non_vacuous() {
+        let diff = run_control_diff(42, 0.0);
+        assert_eq!(diff.schema, CONTROL_DIFF_SCHEMA);
+        assert_eq!(diff.dialect, "hang-doctor/control/v1");
+        assert_eq!(diff.stages, vec!["canary", "expanded", "full"]);
+        assert_eq!(diff.devices_directed, diff.devices);
+        assert!(diff.pushed_identical, "{}", diff.render());
+        assert!(diff.baseline_differs, "{}", diff.render());
+        assert!(diff.passed());
+        assert_eq!(diff.frames_lost, 0);
+    }
+
+    #[test]
+    fn chaotic_differential_recovers_to_the_same_bytes() {
+        let diff = run_control_diff(42, 0.4);
+        assert!(diff.passed(), "{}", diff.render());
+        assert!(
+            diff.frames_lost + diff.frames_delayed + diff.frames_duplicated > 0,
+            "chaos at 0.4 must actually injure the control stream"
+        );
+        assert!(diff.resends >= diff.frames_lost);
+    }
+
+    #[test]
+    fn fault_injected_canary_regression_rolls_back_end_to_end() {
+        // A one-app fleet sized so device 20 — the smallest id hashing
+        // into the 1% canary cohort — exists, with total sample loss
+        // injected on that device alone. Its aborted diagnosis sessions
+        // are the regression signal; every other device stays clean.
+        let canary = (1u32..10_000)
+            .find(|&d| device_bucket(d) < RolloutStage::Canary.cutoff())
+            .expect("some device hashes into the canary cohort");
+        let mut spec = diff_spec(7);
+        spec.apps = vec![hd_appmodel::corpus::table5::k9mail()];
+        spec.devices_per_app = canary + 4;
+        spec.threads = 4;
+        spec.executions_per_action = 3;
+        let mut overrides = BTreeMap::new();
+        overrides.insert(
+            canary,
+            DeviceOverride {
+                config: None,
+                faults: Some(FaultConfig::only(FaultCategory::DroppedSample, 1.0)),
+            },
+        );
+        let (_, jobs) = run_fleet_with_reports_overridden(&spec, &overrides);
+        let bad = jobs[canary as usize - 1].faults.sessions_aborted;
+        assert!(bad >= 2, "total sample loss must abort sessions, got {bad}");
+
+        // Feed the fleet's real health tallies through the wire.
+        let server = TelemetryServer::builder()
+            .addr("127.0.0.1:0")
+            .shards(2)
+            .queue_capacity(64)
+            .io_workers(1)
+            .start()
+            .expect("bind loopback control server");
+        let mut ctl = ControlClient::connect(server.local_addr());
+        ctl.push_thresholds(RolloutSpec {
+            thresholds: retrained_thresholds(),
+            baseline: SymptomThresholds::default(),
+        })
+        .expect("push rollout");
+        for job in &jobs {
+            let directives = ctl
+                .sync(SyncReport {
+                    device: job.device,
+                    app: job.app.clone(),
+                    states: vec![],
+                    stack: None,
+                    health: CohortHealth {
+                        uploads: 1,
+                        nacks: 0,
+                        aborts: job.faults.sessions_aborted,
+                    },
+                })
+                .expect("sync device");
+            // Post-rollback syncs are pinned to the baseline; the
+            // faulted canary device itself never keeps the new
+            // thresholds past its own regression report.
+            if let Some(t) = directives.thresholds {
+                if device_bucket(job.device) >= RolloutStage::Canary.cutoff()
+                    || job.device != canary
+                {
+                    assert_eq!(t, SymptomThresholds::default());
+                }
+            }
+        }
+        let status = ctl.rollout_status().expect("rollout status");
+        assert!(status.rolled_back, "{status:?}");
+        assert_eq!(status.stage, "rolled-back");
+        // A late advance cannot resurrect the rollout, and every
+        // device — cohort or not — now gets the baseline.
+        let resurrect = ctl
+            .request(&ControlRequest::AdvanceRollout {
+                stage: RolloutStage::Full,
+            })
+            .expect("advance after rollback");
+        match resurrect {
+            ControlResponse::Rollout(s) => assert!(s.rolled_back),
+            other => panic!("unexpected {other:?}"),
+        }
+        let directives = ctl
+            .sync(SyncReport {
+                device: canary + 1,
+                app: "k9mail".to_string(),
+                states: vec![],
+                stack: None,
+                health: CohortHealth::default(),
+            })
+            .expect("post-rollback sync");
+        assert_eq!(directives.thresholds, Some(SymptomThresholds::default()));
+        ctl.shutdown().expect("server shutdown");
+        server.join();
+    }
+
+    #[test]
+    fn probe_and_push_drive_a_loopback_server() {
+        let server = TelemetryServer::builder()
+            .addr("127.0.0.1:0")
+            .shards(2)
+            .queue_capacity(64)
+            .io_workers(1)
+            .start()
+            .expect("bind loopback control server");
+        let addr = server.local_addr();
+
+        let probe = run_control_probe(addr, 21, 2, None, 1).expect("control probe");
+        assert_eq!(probe.dialect, "hang-doctor/control/v1");
+        assert_eq!(probe.devices_synced, 3);
+        assert!(!probe.states.is_empty(), "k9mail run must record actions");
+        assert!(probe.rollout.is_none());
+
+        let push = run_push_thresholds(addr, 21, 2, false, None).expect("push thresholds");
+        assert_eq!(push.statuses.len(), 3);
+        assert_eq!(push.statuses[0].stage, "canary");
+        assert_eq!(push.statuses[2].stage, "full");
+        assert!(push.statuses.iter().all(|s| !s.rolled_back));
+
+        // The probe again now sees the rollout.
+        let probe = run_control_probe(addr, 21, 2, None, 1).expect("second probe");
+        let rollout = probe.rollout.expect("rollout visible after push");
+        assert_eq!(rollout.stage, "full");
+
+        let mut ctl = ControlClient::connect(addr);
+        ctl.shutdown().expect("server shutdown");
+        server.join();
+    }
+
+    #[test]
+    fn control_bench_probes_while_ingest_runs() {
+        let bench = run_control_bench(2, 16, 4);
+        assert_eq!(bench.schema, CONTROL_BENCH_SCHEMA);
+        assert!(bench.control_round_trips > 0);
+        assert!(bench.control_p99_us >= bench.control_p50_us);
+        assert_eq!(bench.ingest_reports, 2 * 16 * 4);
+        assert!(bench.ingest_only_reports_per_second > 0.0);
+        assert!(bench.ingest_retention > 0.0);
+        assert_eq!(bench.retention_floor, INGEST_RETENTION_FLOOR);
+    }
+}

@@ -29,13 +29,18 @@
 //! corpus and the static↔runtime differential scoring both detection
 //! arms per offline-failure-mode bug class. [`async_diff`] races the
 //! causal blame walk against the naive join-site diagnosis and the
-//! static scanner over the wait-edge hang corpus. The `repro` binary
-//! drives everything from the command line.
+//! static scanner over the wait-edge hang corpus. [`control`] proves a
+//! threshold pushed through the `hang-doctor/control/v1` dialect
+//! (staged canary rollout included) reproduces the locally-configured
+//! detection outcome byte-for-byte, and benches control round trips
+//! under full ingest load. The `repro` binary drives everything from
+//! the command line.
 
 pub mod ablation;
 pub mod async_diff;
 pub mod chaos;
 pub mod common;
+pub mod control;
 pub mod fig1;
 pub mod fig2b;
 pub mod fig4;

@@ -1,0 +1,266 @@
+//! The device-side control agent.
+//!
+//! Embedded in the fleet/simulator loop, the agent harvests each job's
+//! [`HdOutput`] between runs ([`ControlAgent::observe`]), reports it to
+//! the server as a [`SyncReport`], and applies whatever [`Directives`]
+//! come back. Pushed thresholds are **never** installed directly: the
+//! agent rebuilds its configuration through the full
+//! [`HangDoctorConfig`] builder, so a malformed push (negative or NaN
+//! threshold) is rejected with the same typed [`ConfigError`] a local
+//! misconfiguration would get, and the device keeps running its current
+//! values.
+
+use hangdoctor::{ConfigError, HangDoctorConfig, HdOutput};
+
+use crate::proto::{CohortHealth, Directives, StackDump, SyncReport};
+
+/// Per-device control state: the live config, the harvest of the last
+/// run, and the running health tally.
+#[derive(Clone, Debug)]
+pub struct ControlAgent {
+    device: u32,
+    app: String,
+    config: HangDoctorConfig,
+    diagnosis_enabled: bool,
+    last_states: Vec<(u64, hangdoctor::ActionState, u32)>,
+    last_stack: Option<StackDump>,
+    health: CohortHealth,
+}
+
+impl ControlAgent {
+    /// Creates the agent for `device` running `app` under `config`.
+    pub fn new(device: u32, app: &str, config: HangDoctorConfig) -> ControlAgent {
+        ControlAgent {
+            device,
+            app: app.to_string(),
+            config,
+            diagnosis_enabled: true,
+            last_states: Vec::new(),
+            last_stack: None,
+            health: CohortHealth::default(),
+        }
+    }
+
+    /// The device id.
+    pub fn device(&self) -> u32 {
+        self.device
+    }
+
+    /// The configuration the device currently runs.
+    pub fn config(&self) -> &HangDoctorConfig {
+        &self.config
+    }
+
+    /// Whether phase-2 diagnosis is currently enabled.
+    pub fn diagnosis_enabled(&self) -> bool {
+        self.diagnosis_enabled
+    }
+
+    /// Harvests one finished run: live state table, the freshest stack
+    /// dump (only while diagnosis is enabled — a disabled device stops
+    /// collecting traces), and the health counters the rollout
+    /// regression check feeds on.
+    pub fn observe(&mut self, out: &HdOutput) {
+        self.last_states = out
+            .states
+            .export()
+            .into_iter()
+            .map(|(uid, s, n)| (uid.0, s, n))
+            .collect();
+        if self.diagnosis_enabled {
+            if let Some(d) = out.detections.last() {
+                let mut frames = vec![
+                    "android.os.Looper.loop".to_string(),
+                    format!("{}#{}.dispatch", self.app, d.action_name),
+                ];
+                if let Some(root) = &d.root {
+                    frames.push(format!("{} ({}:{})", root.symbol, root.file, root.line));
+                }
+                self.last_stack = Some(StackDump {
+                    device: self.device,
+                    action: d.action_name.clone(),
+                    uid: d.uid.0,
+                    frames,
+                    response_ns: d.response_ns,
+                });
+            }
+        }
+        self.health.uploads += 1;
+        self.health.aborts += out.faults.sessions_aborted;
+    }
+
+    /// Records upload-path NACKs into the health tally (the uploader
+    /// owns that counter; the agent only reports it).
+    pub fn record_nacks(&mut self, nacks: u64) {
+        self.health.nacks += nacks;
+    }
+
+    /// The sync report for the next control round trip.
+    pub fn sync_report(&self) -> SyncReport {
+        SyncReport {
+            device: self.device,
+            app: self.app.clone(),
+            states: self.last_states.clone(),
+            stack: self.last_stack.clone(),
+            health: self.health,
+        }
+    }
+
+    /// Applies the server's directives. Pushed thresholds go through the
+    /// full config builder — every knob of the current config is
+    /// re-validated alongside the new thresholds — and the agent's
+    /// config only changes when validation passes. Returns whether
+    /// anything actually changed, so a duplicated directive frame is
+    /// observably a no-op.
+    pub fn apply(&mut self, directives: &Directives) -> Result<bool, ConfigError> {
+        let mut changed = false;
+        if let Some(thresholds) = directives.thresholds {
+            let current = &self.config;
+            let rebuilt = HangDoctorConfig::builder()
+                .timeout_ns(current.timeout_ns)
+                .thresholds(thresholds)
+                .sample_period_ns(current.sample_period_ns)
+                .occurrence_threshold(current.occurrence_threshold)
+                .normal_reset_executions(current.normal_reset_executions)
+                .monitor_network(current.monitor_network)
+                .counter_retries(current.counter_retries)
+                .retry_backoff_ns(current.retry_backoff_ns)
+                .min_diagnosis_samples(current.min_diagnosis_samples)
+                .max_sample_loss(current.max_sample_loss)
+                .causal_blame(current.causal_blame)
+                .costs(current.costs)
+                .build()?;
+            // HangDoctorConfig has no PartialEq (it carries a cost
+            // model); canonical JSON equality is the change detector.
+            let before = serde_json::to_string(&self.config).expect("config serializes");
+            let after = serde_json::to_string(&rebuilt).expect("config serializes");
+            if before != after {
+                self.config = rebuilt;
+                changed = true;
+            }
+        }
+        if self.diagnosis_enabled != directives.diagnosis_enabled {
+            self.diagnosis_enabled = directives.diagnosis_enabled;
+            if !self.diagnosis_enabled {
+                // A disabled device stops holding stack traces.
+                self.last_stack = None;
+            }
+            changed = true;
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hangdoctor::SymptomThresholds;
+
+    fn directives(thresholds: Option<SymptomThresholds>) -> Directives {
+        Directives {
+            thresholds,
+            diagnosis_enabled: true,
+        }
+    }
+
+    #[test]
+    fn pushed_thresholds_apply_through_builder_validation() {
+        let mut agent = ControlAgent::new(1, "k9mail", HangDoctorConfig::default());
+        let pushed = SymptomThresholds {
+            task_clock_diff: 5.0e7,
+            ..SymptomThresholds::default()
+        };
+        let changed = agent.apply(&directives(Some(pushed))).unwrap();
+        assert!(changed);
+        assert_eq!(agent.config().thresholds, pushed);
+        // Re-applying the same directive is a validated no-op.
+        let changed = agent.apply(&directives(Some(pushed))).unwrap();
+        assert!(!changed);
+        assert_eq!(agent.config().thresholds, pushed);
+    }
+
+    #[test]
+    fn malformed_push_is_rejected_and_config_untouched() {
+        let mut agent = ControlAgent::new(1, "k9mail", HangDoctorConfig::default());
+        let bad = SymptomThresholds {
+            page_fault_diff: -1.0,
+            ..SymptomThresholds::default()
+        };
+        let err = agent.apply(&directives(Some(bad))).unwrap_err();
+        assert_eq!(err, ConfigError::InvalidThreshold("page_fault_diff"));
+        assert_eq!(agent.config().thresholds, SymptomThresholds::default());
+        let bad = SymptomThresholds {
+            task_clock_diff: f64::NAN,
+            ..SymptomThresholds::default()
+        };
+        assert!(agent.apply(&directives(Some(bad))).is_err());
+    }
+
+    #[test]
+    fn diagnosis_toggle_changes_and_clears_the_stack() {
+        let mut agent = ControlAgent::new(2, "omni-notes", HangDoctorConfig::default());
+        agent.last_stack = Some(StackDump {
+            device: 2,
+            action: "open editor".to_string(),
+            uid: 0,
+            frames: vec!["f".to_string()],
+            response_ns: 1,
+        });
+        let off = Directives {
+            thresholds: None,
+            diagnosis_enabled: false,
+        };
+        assert!(agent.apply(&off).unwrap());
+        assert!(!agent.diagnosis_enabled());
+        assert!(agent.sync_report().stack.is_none());
+        // Idempotent.
+        assert!(!agent.apply(&off).unwrap());
+    }
+
+    #[test]
+    fn observe_harvests_a_real_run() {
+        use hangdoctor::HangDoctor;
+        use hd_appmodel::corpus::table5;
+        use hd_appmodel::{build_run, round_robin_schedule, CompiledApp};
+        use hd_simrt::SimConfig;
+
+        let app = table5::k9mail();
+        let compiled = CompiledApp::new(app.clone());
+        let sched = round_robin_schedule(&app, 3, 3_000);
+        let mut run = build_run(&compiled, &sched, SimConfig::default(), 21);
+        let (probe, out) = HangDoctor::new(
+            HangDoctorConfig::default(),
+            &app.name,
+            &app.package,
+            1,
+            None,
+        );
+        run.sim.add_probe(Box::new(probe));
+        run.sim.run();
+        let out = out.borrow();
+
+        let mut agent = ControlAgent::new(5, &app.name, HangDoctorConfig::default());
+        agent.observe(&out);
+        let report = agent.sync_report();
+        assert!(!report.states.is_empty());
+        assert_eq!(report.health.uploads, 1);
+        if !out.detections.is_empty() {
+            let stack = report
+                .stack
+                .as_ref()
+                .expect("detection produces a stack dump");
+            assert_eq!(stack.device, 5);
+            assert!(stack.frames.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn health_tally_accumulates() {
+        let mut agent = ControlAgent::new(3, "app", HangDoctorConfig::default());
+        agent.record_nacks(2);
+        agent.record_nacks(1);
+        let health = agent.sync_report().health;
+        assert_eq!(health.nacks, 3);
+        assert_eq!(health.bad(), 3);
+    }
+}

@@ -1,0 +1,387 @@
+//! The server-side fleet controller.
+//!
+//! One [`FleetController`] lives inside the telemetry server (behind its
+//! shard locks) and services every [`ControlRequest`] the fleet sends:
+//! it keeps the last-synced record per device, the per-app diagnosis
+//! toggles, and at most one live threshold [`Rollout`]. The rollback
+//! decision is re-evaluated on every sync from the cohort-vs-rest health
+//! split, so a regressing canary is caught as soon as its own devices
+//! report in — no separate monitoring loop.
+
+use std::collections::BTreeMap;
+
+use hangdoctor::{ActionState, HangDoctorConfig};
+
+use crate::proto::{
+    CohortHealth, ControlRequest, ControlResponse, Directives, RolloutStatusInfo, StackDump,
+};
+use crate::rollout::Rollout;
+
+/// Everything the server remembers about one device: refreshed wholesale
+/// on every sync (replace semantics — duplicated syncs are idempotent).
+#[derive(Clone, Debug)]
+struct DeviceRecord {
+    app: String,
+    states: Vec<(u64, ActionState, u32)>,
+    stack: Option<StackDump>,
+    health: CohortHealth,
+}
+
+/// The control plane's server half.
+#[derive(Debug, Default)]
+pub struct FleetController {
+    devices: BTreeMap<u32, DeviceRecord>,
+    diagnosis: BTreeMap<String, bool>,
+    rollout: Option<Rollout>,
+}
+
+impl FleetController {
+    /// A fresh controller with no devices, no toggles, no rollout.
+    pub fn new() -> FleetController {
+        FleetController::default()
+    }
+
+    /// Number of devices that have synced at least once.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Services one control request.
+    pub fn handle(&mut self, request: ControlRequest) -> ControlResponse {
+        match request {
+            ControlRequest::Sync(report) => {
+                let device = report.device;
+                self.devices.insert(
+                    device,
+                    DeviceRecord {
+                        app: report.app,
+                        states: report.states,
+                        stack: report.stack,
+                        health: report.health,
+                    },
+                );
+                self.maybe_roll_back();
+                ControlResponse::Directives(self.directives_for(device))
+            }
+            ControlRequest::QueryState { device } => match self.devices.get(&device) {
+                Some(rec) => ControlResponse::StateTable {
+                    device,
+                    states: rec.states.clone(),
+                },
+                None => ControlResponse::Err(format!("unknown device {device}")),
+            },
+            ControlRequest::PullStack { device } => match self.devices.get(&device) {
+                Some(rec) => ControlResponse::Stack {
+                    device,
+                    stack: rec.stack.clone(),
+                },
+                None => ControlResponse::Err(format!("unknown device {device}")),
+            },
+            ControlRequest::ToggleDiagnosis { app, enabled } => {
+                self.diagnosis.insert(app, enabled);
+                ControlResponse::Ok
+            }
+            ControlRequest::PushThresholds(spec) => {
+                // Validate the push exactly the way a device would have
+                // to apply it, so an invalid retrain never leaves the
+                // server.
+                if let Err(e) = HangDoctorConfig::builder()
+                    .thresholds(spec.thresholds)
+                    .build()
+                {
+                    return ControlResponse::Err(format!("rejected thresholds: {e}"));
+                }
+                if let Err(e) = HangDoctorConfig::builder()
+                    .thresholds(spec.baseline)
+                    .build()
+                {
+                    return ControlResponse::Err(format!("rejected baseline: {e}"));
+                }
+                self.rollout = Some(Rollout::new(spec));
+                ControlResponse::Rollout(self.status())
+            }
+            ControlRequest::AdvanceRollout { stage } => match &mut self.rollout {
+                Some(rollout) => {
+                    rollout.advance_to(stage);
+                    self.maybe_roll_back();
+                    ControlResponse::Rollout(self.status())
+                }
+                None => ControlResponse::Err("no rollout in progress".to_string()),
+            },
+            ControlRequest::RolloutStatus => match &self.rollout {
+                Some(_) => ControlResponse::Rollout(self.status()),
+                None => ControlResponse::Err("no rollout in progress".to_string()),
+            },
+        }
+    }
+
+    /// The current desired state for one device.
+    fn directives_for(&self, device: u32) -> Directives {
+        let thresholds = self.rollout.as_ref().and_then(|r| r.thresholds_for(device));
+        let diagnosis_enabled = self
+            .devices
+            .get(&device)
+            .and_then(|rec| self.diagnosis.get(&rec.app))
+            .copied()
+            .unwrap_or(true);
+        Directives {
+            thresholds,
+            diagnosis_enabled,
+        }
+    }
+
+    /// Sums health over the rollout cohort vs the rest of the fleet:
+    /// `(cohort_devices, cohort_bad, rest_devices, rest_bad)`.
+    fn cohort_split(&self) -> (u64, u64, u64, u64) {
+        let Some(rollout) = &self.rollout else {
+            return (0, 0, 0, 0);
+        };
+        let (mut cd, mut cb, mut rd, mut rb) = (0u64, 0u64, 0u64, 0u64);
+        for (&device, rec) in &self.devices {
+            if rollout.in_cohort(device) {
+                cd += 1;
+                cb += rec.health.bad();
+            } else {
+                rd += 1;
+                rb += rec.health.bad();
+            }
+        }
+        (cd, cb, rd, rb)
+    }
+
+    /// Re-evaluates the regression rule and rolls back if it fires.
+    fn maybe_roll_back(&mut self) {
+        let (cd, cb, rd, rb) = self.cohort_split();
+        if let Some(rollout) = &mut self.rollout {
+            if !rollout.rolled_back() && Rollout::regressed(cd, cb, rd, rb) {
+                rollout.roll_back();
+            }
+        }
+    }
+
+    /// The rollout status (callers must ensure a rollout exists).
+    fn status(&self) -> RolloutStatusInfo {
+        let (cd, cb, rd, rb) = self.cohort_split();
+        self.rollout
+            .as_ref()
+            .expect("status requires a rollout")
+            .status(cd, cb, rd, rb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{RolloutSpec, SyncReport};
+    use crate::rollout::{device_bucket, RolloutStage};
+    use hangdoctor::SymptomThresholds;
+
+    fn sync(device: u32, app: &str, bad: u64) -> ControlRequest {
+        ControlRequest::Sync(SyncReport {
+            device,
+            app: app.to_string(),
+            states: vec![(device as u64, ActionState::Normal, 3)],
+            stack: Some(StackDump {
+                device,
+                action: "act".to_string(),
+                uid: device as u64,
+                frames: vec!["frame".to_string()],
+                response_ns: 200_000_000,
+            }),
+            health: CohortHealth {
+                uploads: 5,
+                nacks: bad,
+                aborts: 0,
+            },
+        })
+    }
+
+    fn spec() -> RolloutSpec {
+        RolloutSpec {
+            thresholds: SymptomThresholds {
+                task_clock_diff: 5.0e7,
+                ..SymptomThresholds::default()
+            },
+            baseline: SymptomThresholds::default(),
+        }
+    }
+
+    /// A device whose bucket is inside the canary cohort, and one that
+    /// stays outside even at the expanded stage.
+    fn canary_and_rest() -> (u32, u32) {
+        let inside = (1..10_000u32)
+            .find(|&d| device_bucket(d) < RolloutStage::Canary.cutoff())
+            .unwrap();
+        let outside = (1..10_000u32)
+            .find(|&d| device_bucket(d) >= RolloutStage::Expanded.cutoff())
+            .unwrap();
+        (inside, outside)
+    }
+
+    #[test]
+    fn sync_then_query_and_pull_round_trip() {
+        let mut c = FleetController::new();
+        let resp = c.handle(sync(7, "k9mail", 0));
+        assert!(matches!(resp, ControlResponse::Directives(_)));
+        match c.handle(ControlRequest::QueryState { device: 7 }) {
+            ControlResponse::StateTable { device, states } => {
+                assert_eq!(device, 7);
+                assert_eq!(states, vec![(7, ActionState::Normal, 3)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match c.handle(ControlRequest::PullStack { device: 7 }) {
+            ControlResponse::Stack { stack: Some(s), .. } => assert_eq!(s.action, "act"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            c.handle(ControlRequest::QueryState { device: 99 }),
+            ControlResponse::Err(_)
+        ));
+        // Duplicate sync replaces, not accumulates.
+        c.handle(sync(7, "k9mail", 0));
+        assert_eq!(c.device_count(), 1);
+    }
+
+    #[test]
+    fn diagnosis_toggle_reaches_the_apps_devices() {
+        let mut c = FleetController::new();
+        c.handle(sync(1, "k9mail", 0));
+        c.handle(sync(2, "omni-notes", 0));
+        assert!(matches!(
+            c.handle(ControlRequest::ToggleDiagnosis {
+                app: "k9mail".to_string(),
+                enabled: false,
+            }),
+            ControlResponse::Ok
+        ));
+        match c.handle(sync(1, "k9mail", 0)) {
+            ControlResponse::Directives(d) => assert!(!d.diagnosis_enabled),
+            other => panic!("unexpected {other:?}"),
+        }
+        match c.handle(sync(2, "omni-notes", 0)) {
+            ControlResponse::Directives(d) => assert!(d.diagnosis_enabled),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_rejects_invalid_thresholds() {
+        let mut c = FleetController::new();
+        let bad = RolloutSpec {
+            thresholds: SymptomThresholds {
+                task_clock_diff: -1.0,
+                ..SymptomThresholds::default()
+            },
+            baseline: SymptomThresholds::default(),
+        };
+        assert!(matches!(
+            c.handle(ControlRequest::PushThresholds(bad)),
+            ControlResponse::Err(_)
+        ));
+        assert!(matches!(
+            c.handle(ControlRequest::RolloutStatus),
+            ControlResponse::Err(_)
+        ));
+    }
+
+    #[test]
+    fn staged_rollout_directs_only_the_cohort() {
+        let (inside, outside) = canary_and_rest();
+        let mut c = FleetController::new();
+        c.handle(sync(inside, "k9mail", 0));
+        c.handle(sync(outside, "k9mail", 0));
+        match c.handle(ControlRequest::PushThresholds(spec())) {
+            ControlResponse::Rollout(s) => {
+                assert_eq!(s.stage, "canary");
+                assert_eq!(s.cohort_devices, 1);
+                assert_eq!(s.rest_devices, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match c.handle(sync(inside, "k9mail", 0)) {
+            ControlResponse::Directives(d) => {
+                assert_eq!(d.thresholds, Some(spec().thresholds))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match c.handle(sync(outside, "k9mail", 0)) {
+            ControlResponse::Directives(d) => assert_eq!(d.thresholds, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Advance to full: now everyone is covered.
+        match c.handle(ControlRequest::AdvanceRollout {
+            stage: RolloutStage::Full,
+        }) {
+            ControlResponse::Rollout(s) => assert_eq!(s.stage, "full"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match c.handle(sync(outside, "k9mail", 0)) {
+            ControlResponse::Directives(d) => {
+                assert_eq!(d.thresholds, Some(spec().thresholds))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            c.handle(ControlRequest::AdvanceRollout {
+                stage: RolloutStage::Canary
+            }),
+            ControlResponse::Rollout(RolloutStatusInfo { ref stage, .. }) if stage == "full"
+        ));
+    }
+
+    #[test]
+    fn regressing_canary_rolls_back_deterministically() {
+        let (inside, outside) = canary_and_rest();
+        let mut c = FleetController::new();
+        c.handle(sync(inside, "k9mail", 0));
+        c.handle(sync(outside, "k9mail", 0));
+        c.handle(ControlRequest::PushThresholds(spec()));
+        // The canary device reports a burst of bad events; the rest of
+        // the fleet stays clean. regressed(1, 5, 1, 0): 5*1 > 0 + 1.
+        match c.handle(sync(inside, "k9mail", 5)) {
+            // The regressing device itself is already redirected to the
+            // baseline in the same round trip.
+            ControlResponse::Directives(d) => {
+                assert_eq!(d.thresholds, Some(spec().baseline))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match c.handle(ControlRequest::RolloutStatus) {
+            ControlResponse::Rollout(s) => {
+                assert!(s.rolled_back);
+                assert_eq!(s.stage, "rolled-back");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Everyone — cohort or not — is pinned to baseline now.
+        match c.handle(sync(outside, "k9mail", 0)) {
+            ControlResponse::Directives(d) => {
+                assert_eq!(d.thresholds, Some(spec().baseline))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // And a late advance cannot resurrect it.
+        c.handle(ControlRequest::AdvanceRollout {
+            stage: RolloutStage::Full,
+        });
+        match c.handle(ControlRequest::RolloutStatus) {
+            ControlResponse::Rollout(s) => assert!(s.rolled_back),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uniform_chaos_does_not_trip_the_rollback() {
+        let (inside, outside) = canary_and_rest();
+        let mut c = FleetController::new();
+        c.handle(ControlRequest::PushThresholds(spec()));
+        // Both cohorts see the same per-device bad rate.
+        c.handle(sync(inside, "k9mail", 4));
+        c.handle(sync(outside, "k9mail", 4));
+        match c.handle(ControlRequest::RolloutStatus) {
+            ControlResponse::Rollout(s) => assert!(!s.rolled_back),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

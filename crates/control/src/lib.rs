@@ -1,0 +1,38 @@
+//! `hd-control`: the Hang Doctor fleet control plane.
+//!
+//! The paper's adaptation loop (EuroSys '18, §4.4) retrains the
+//! S-Checker's symptom thresholds from fleet-aggregated counter data;
+//! this crate closes that loop over the wire. It layers a bidirectional
+//! control dialect — `hang-doctor/control/v1` — on the existing
+//! telemetry connection (negotiated through the same Hello/Welcome
+//! handshake) and splits the work across two halves:
+//!
+//! * [`FleetController`] (server): remembers each device's last-synced
+//!   live state, answers operator probes (state-table queries, on-demand
+//!   stack-dump pulls, per-app diagnosis toggles), and stages retrained
+//!   threshold pushes through a deterministic canary rollout
+//!   ([`Rollout`]: 1% → 25% → 100% by stable device-hash bucket, with
+//!   automatic rollback when the canary cohort's NACK/abort tally
+//!   regresses against the rest of the fleet).
+//! * [`ControlAgent`] (device): harvests each run's output, syncs it,
+//!   and applies the returned [`Directives`] — pushed thresholds are
+//!   re-validated through the full `HangDoctorConfig` builder before
+//!   they take effect.
+//!
+//! Every message is idempotent by construction (replace-semantics syncs,
+//! target-stage advances, full-desired-state directives), which is what
+//! lets the transport survive the control-frame loss/delay/duplication
+//! faults `hd-faults` injects under `--chaos`.
+
+pub mod agent;
+pub mod controller;
+pub mod proto;
+pub mod rollout;
+
+pub use agent::ControlAgent;
+pub use controller::FleetController;
+pub use proto::{
+    CohortHealth, ControlRequest, ControlResponse, Directives, RolloutSpec, RolloutStatusInfo,
+    StackDump, SyncReport, CONTROL_SCHEMA,
+};
+pub use rollout::{device_bucket, Rollout, RolloutStage, BUCKETS};

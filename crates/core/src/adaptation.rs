@@ -90,6 +90,28 @@ pub fn heavy_adaptation(
     }
 }
 
+/// Projects an adapted [`Filter`] back onto the S-Checker's fixed
+/// three-event thresholds, starting from `base` for any event the filter
+/// does not constrain. Re-fitted thresholds can come out negative (the
+/// candidate set includes `first - 1.0`); the config builder rejects
+/// negatives, so they clamp to zero — "always suspicious on this event",
+/// the most conservative deployable value.
+pub fn thresholds_from_filter(
+    filter: &Filter,
+    base: crate::config::SymptomThresholds,
+) -> crate::config::SymptomThresholds {
+    let mut t = base;
+    for c in &filter.conditions {
+        match c.event {
+            hd_simrt::HwEvent::ContextSwitches => t.context_switch_diff = c.threshold.max(0.0),
+            hd_simrt::HwEvent::TaskClock => t.task_clock_diff = c.threshold.max(0.0),
+            hd_simrt::HwEvent::PageFaults => t.page_fault_diff = c.threshold.max(0.0),
+            _ => {}
+        }
+    }
+    t
+}
+
 /// Converts the paper's fixed three-event thresholds into a [`Filter`].
 pub fn paper_filter(t: crate::config::SymptomThresholds) -> Filter {
     Filter {
@@ -193,6 +215,23 @@ mod tests {
         let cost_before = out.before.2 + out.before.1;
         let cost_after = out.after.2 + out.after.1;
         assert!(cost_after <= cost_before);
+    }
+
+    #[test]
+    fn thresholds_round_trip_through_filter_and_back() {
+        let base = crate::config::SymptomThresholds::default();
+        let round = thresholds_from_filter(&paper_filter(base), base);
+        assert_eq!(round, base);
+        // Negative re-fits clamp to zero so the builder accepts them.
+        let negative = Filter {
+            conditions: vec![Condition {
+                event: HwEvent::TaskClock,
+                threshold: -5.0,
+            }],
+        };
+        let t = thresholds_from_filter(&negative, base);
+        assert_eq!(t.task_clock_diff, 0.0);
+        assert_eq!(t.page_fault_diff, base.page_fault_diff);
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub mod schecker;
 pub mod state;
 pub mod trainer;
 
-pub use adaptation::{heavy_adaptation, light_adaptation, AdaptationOutcome};
+pub use adaptation::{
+    heavy_adaptation, light_adaptation, paper_filter, thresholds_from_filter, AdaptationOutcome,
+};
 pub use analysis::{analyze, is_ui_frame, RootCause, RootKind};
 pub use apidb::{shared, BlockingApiDb, DbOrigin, SharedApiDb};
 pub use config::{ConfigError, HangDoctorConfig, HangDoctorConfigBuilder, SymptomThresholds};
@@ -46,8 +48,10 @@ pub use correlation::{
 };
 pub use doctor::{Detection, HangDoctor, HdOutput};
 pub use hd_faults::{
-    fault_seed, net_fault_seed, BatchFaults, FaultCategory, FaultConfig, FaultPlan, FaultRates,
-    FaultTally, NetFaultCategory, NetFaultConfig, NetFaultPlan, NetFaultRates, NetFaultTally,
+    ctrl_fault_seed, fault_seed, net_fault_seed, BatchFaults, CtrlFaultCategory, CtrlFaultConfig,
+    CtrlFaultPlan, CtrlFaultRates, CtrlFaultTally, FaultCategory, FaultConfig, FaultPlan,
+    FaultRates, FaultTally, FrameFaults, NetFaultCategory, NetFaultConfig, NetFaultPlan,
+    NetFaultRates, NetFaultTally,
 };
 pub use injector::{AppInjector, InjectionReport};
 pub use persistence::DeviceSnapshot;

@@ -658,6 +658,262 @@ pub struct BatchFaults {
 }
 
 // ---------------------------------------------------------------------------
+// Control-plane frame faults (hd-control transport)
+// ---------------------------------------------------------------------------
+
+/// The kinds of fault a control-plane frame can suffer between the
+/// server and a device's `ControlAgent`. Mirrors [`NetFaultCategory`]
+/// but lives in its own family: control traffic is low-rate and
+/// bidirectional, and its chaos schedule must never perturb the upload
+/// path's RNG streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CtrlFaultCategory {
+    /// The frame is lost in flight; the sender must reconnect and
+    /// resend.
+    FrameLoss,
+    /// The frame is delivered late.
+    FrameDelay,
+    /// The frame is delivered twice; control handling must be
+    /// idempotent.
+    FrameDuplicate,
+}
+
+impl CtrlFaultCategory {
+    /// Every category, in declaration order.
+    pub const ALL: [CtrlFaultCategory; 3] = [
+        CtrlFaultCategory::FrameLoss,
+        CtrlFaultCategory::FrameDelay,
+        CtrlFaultCategory::FrameDuplicate,
+    ];
+
+    /// Stable kebab-case name (used in reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            CtrlFaultCategory::FrameLoss => "frame-loss",
+            CtrlFaultCategory::FrameDelay => "frame-delay",
+            CtrlFaultCategory::FrameDuplicate => "frame-duplicate",
+        }
+    }
+}
+
+/// Per-category control-frame fault probabilities, each in `[0, 1]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CtrlFaultRates {
+    /// Probability that a control frame is lost before delivery.
+    pub frame_loss: f64,
+    /// Probability that a control frame is delivered late.
+    pub frame_delay: f64,
+    /// Probability that a control frame is delivered twice.
+    pub frame_duplicate: f64,
+}
+
+/// Control-frame fault-injection configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CtrlFaultConfig {
+    /// Per-category injection rates.
+    pub rates: CtrlFaultRates,
+    /// Maximum extra delivery delay, ns (actually slept by the control
+    /// client, so kept small).
+    pub max_frame_delay_ns: u64,
+}
+
+impl Default for CtrlFaultConfig {
+    fn default() -> Self {
+        CtrlFaultConfig {
+            rates: CtrlFaultRates::default(),
+            max_frame_delay_ns: 2_000_000, // 2 ms
+        }
+    }
+}
+
+impl CtrlFaultConfig {
+    /// A configuration that injects nothing (the production default).
+    pub fn none() -> CtrlFaultConfig {
+        CtrlFaultConfig::default()
+    }
+
+    /// Chaos mode: every category injects at `rate` (clamped to
+    /// `[0, 1]`).
+    pub fn chaos(rate: f64) -> CtrlFaultConfig {
+        let rate = rate.clamp(0.0, 1.0);
+        CtrlFaultConfig {
+            rates: CtrlFaultRates {
+                frame_loss: rate,
+                frame_delay: rate,
+                frame_duplicate: rate,
+            },
+            ..CtrlFaultConfig::default()
+        }
+    }
+
+    /// A configuration that injects only `category`, at `rate`.
+    pub fn only(category: CtrlFaultCategory, rate: f64) -> CtrlFaultConfig {
+        let rate = rate.clamp(0.0, 1.0);
+        let mut cfg = CtrlFaultConfig::none();
+        match category {
+            CtrlFaultCategory::FrameLoss => cfg.rates.frame_loss = rate,
+            CtrlFaultCategory::FrameDelay => cfg.rates.frame_delay = rate,
+            CtrlFaultCategory::FrameDuplicate => cfg.rates.frame_duplicate = rate,
+        }
+        cfg
+    }
+
+    /// Whether any category has a positive rate.
+    pub fn enabled(&self) -> bool {
+        self.rates.frame_loss > 0.0
+            || self.rates.frame_delay > 0.0
+            || self.rates.frame_duplicate > 0.0
+    }
+}
+
+/// Control-frame fault and recovery counts for one control session (or,
+/// after [`CtrlFaultTally::merge`], a whole rollout).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtrlFaultTally {
+    /// Control frames lost before delivery (forcing a resend).
+    pub frames_lost: u64,
+    /// Control frames delivered late.
+    pub frames_delayed: u64,
+    /// Control frames deliberately delivered twice.
+    pub frames_duplicated: u64,
+    /// Resends after a lost frame.
+    pub resends: u64,
+    /// Duplicate deliveries the idempotent handler absorbed.
+    pub duplicates_absorbed: u64,
+}
+
+impl CtrlFaultTally {
+    /// Adds another tally into this one (associative and commutative).
+    pub fn merge(&mut self, other: &CtrlFaultTally) {
+        self.frames_lost += other.frames_lost;
+        self.frames_delayed += other.frames_delayed;
+        self.frames_duplicated += other.frames_duplicated;
+        self.resends += other.resends;
+        self.duplicates_absorbed += other.duplicates_absorbed;
+    }
+
+    /// Total control-frame faults injected.
+    pub fn injected(&self) -> u64 {
+        self.frames_lost + self.frames_delayed + self.frames_duplicated
+    }
+
+    /// Whether nothing was injected or recovered.
+    pub fn is_empty(&self) -> bool {
+        *self == CtrlFaultTally::default()
+    }
+}
+
+/// Derives the control-frame fault seed of the session with stable
+/// index `device` — the same SplitMix64 scramble as [`net_fault_seed`]
+/// under yet another domain constant, so control chaos is independent of
+/// the monitoring, transport, and node-crash streams.
+pub fn ctrl_fault_seed(root_seed: u64, device: u64) -> u64 {
+    let mut z = (root_seed ^ 0xC0DE_C0DE_5EED_0FF1u64)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(device.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The per-session control-frame fault schedule. All decisions for one
+/// frame are drawn **before** the first delivery attempt, so the
+/// schedule depends only on `(seed, frame sequence)` — never on server
+/// timing or retries.
+#[derive(Debug)]
+pub struct CtrlFaultPlan {
+    cfg: CtrlFaultConfig,
+    rng: SimRng,
+    /// Running fault/recovery counts. Public so the control client can
+    /// record its recovery actions (resends, absorbed duplicates) into
+    /// the same ledger.
+    pub tally: CtrlFaultTally,
+}
+
+impl CtrlFaultPlan {
+    /// Creates a plan with an explicit seed.
+    pub fn new(cfg: CtrlFaultConfig, seed: u64) -> CtrlFaultPlan {
+        CtrlFaultPlan {
+            cfg,
+            rng: SimRng::seed_from_u64(seed),
+            tally: CtrlFaultTally::default(),
+        }
+    }
+
+    /// Creates the plan of the control session with stable index
+    /// `device` under `root_seed`.
+    pub fn for_device(cfg: CtrlFaultConfig, root_seed: u64, device: u64) -> CtrlFaultPlan {
+        CtrlFaultPlan::new(cfg, ctrl_fault_seed(root_seed, device))
+    }
+
+    /// A plan that never injects anything.
+    pub fn disabled() -> CtrlFaultPlan {
+        CtrlFaultPlan::new(CtrlFaultConfig::none(), 0)
+    }
+
+    /// Whether any fault category is active.
+    pub fn is_enabled(&self) -> bool {
+        self.cfg.enabled()
+    }
+
+    /// The configuration this plan runs under.
+    pub fn config(&self) -> &CtrlFaultConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of the current tally.
+    pub fn tally(&self) -> CtrlFaultTally {
+        self.tally
+    }
+
+    fn fires(&mut self, rate: f64) -> bool {
+        // Zero-rate categories must not consume RNG state (see
+        // `FaultPlan::fires`).
+        rate > 0.0 && self.rng.chance(rate)
+    }
+
+    /// Draws every fault decision for the next control frame. Called
+    /// exactly once per frame, before the first delivery attempt.
+    pub fn next_frame(&mut self) -> FrameFaults {
+        let drop = if self.fires(self.cfg.rates.frame_loss) {
+            self.tally.frames_lost += 1;
+            true
+        } else {
+            false
+        };
+        let delay_ns = if self.fires(self.cfg.rates.frame_delay) {
+            self.tally.frames_delayed += 1;
+            Some(self.rng.uniform_u64(1, self.cfg.max_frame_delay_ns.max(1)))
+        } else {
+            None
+        };
+        let duplicate = if self.fires(self.cfg.rates.frame_duplicate) {
+            self.tally.frames_duplicated += 1;
+            true
+        } else {
+            false
+        };
+        FrameFaults {
+            drop,
+            delay_ns,
+            duplicate,
+        }
+    }
+}
+
+/// The fault decisions for one control frame, drawn up front by
+/// [`CtrlFaultPlan::next_frame`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameFaults {
+    /// Lose the frame (and the connection) before delivery; the sender
+    /// resends.
+    pub drop: bool,
+    /// Sleep this long before delivering, if set.
+    pub delay_ns: Option<u64>,
+    /// Deliver the frame twice.
+    pub duplicate: bool,
+}
+
+// ---------------------------------------------------------------------------
 // Node crashes (telemetry cluster chaos)
 // ---------------------------------------------------------------------------
 
@@ -970,6 +1226,96 @@ mod tests {
             names,
             vec!["connection-drop", "delivery-delay", "duplicate-frame"]
         );
+    }
+
+    #[test]
+    fn ctrl_plan_same_seed_same_schedule() {
+        let mut a = CtrlFaultPlan::for_device(CtrlFaultConfig::chaos(0.3), 7, 4);
+        let mut b = CtrlFaultPlan::for_device(CtrlFaultConfig::chaos(0.3), 7, 4);
+        let fa: Vec<FrameFaults> = (0..200).map(|_| a.next_frame()).collect();
+        let fb: Vec<FrameFaults> = (0..200).map(|_| b.next_frame()).collect();
+        assert_eq!(fa, fb);
+        assert_eq!(a.tally(), b.tally());
+        let mut c = CtrlFaultPlan::for_device(CtrlFaultConfig::chaos(0.3), 7, 5);
+        let fc: Vec<FrameFaults> = (0..200).map(|_| c.next_frame()).collect();
+        assert_ne!(fa, fc, "different devices must get different schedules");
+    }
+
+    #[test]
+    fn ctrl_plan_disabled_is_inert() {
+        let mut plan = CtrlFaultPlan::disabled();
+        assert!(!plan.is_enabled());
+        for _ in 0..100 {
+            assert_eq!(plan.next_frame(), FrameFaults::default());
+        }
+        assert!(plan.tally().is_empty());
+    }
+
+    #[test]
+    fn ctrl_delay_stays_within_configured_bound() {
+        let mut plan = CtrlFaultPlan::new(CtrlFaultConfig::chaos(1.0), 9);
+        for _ in 0..300 {
+            let faults = plan.next_frame();
+            assert!(faults.drop);
+            assert!(faults.duplicate);
+            let delay = faults.delay_ns.expect("rate 1.0 always fires");
+            assert!((1..=2_000_000).contains(&delay), "delay {delay}");
+        }
+        assert_eq!(plan.tally().injected(), 900);
+    }
+
+    #[test]
+    fn ctrl_only_activates_a_single_category() {
+        for &cat in &CtrlFaultCategory::ALL {
+            let cfg = CtrlFaultConfig::only(cat, 0.5);
+            assert!(cfg.enabled());
+            let rates = [
+                (CtrlFaultCategory::FrameLoss, cfg.rates.frame_loss),
+                (CtrlFaultCategory::FrameDelay, cfg.rates.frame_delay),
+                (CtrlFaultCategory::FrameDuplicate, cfg.rates.frame_duplicate),
+            ];
+            for (other, rate) in rates {
+                let expect = if other == cat { 0.5 } else { 0.0 };
+                assert_eq!(rate, expect, "{}", other.name());
+            }
+        }
+    }
+
+    #[test]
+    fn ctrl_tally_merge_is_commutative_and_identity_preserving() {
+        let mut a = CtrlFaultPlan::new(CtrlFaultConfig::chaos(0.7), 11);
+        let mut b = CtrlFaultPlan::new(CtrlFaultConfig::chaos(0.7), 12);
+        for _ in 0..50 {
+            a.next_frame();
+            b.next_frame();
+        }
+        let (ta, tb) = (a.tally(), b.tally());
+        let mut ab = ta;
+        ab.merge(&tb);
+        let mut ba = tb;
+        ba.merge(&ta);
+        assert_eq!(ab, ba);
+        let mut with_id = ta;
+        with_id.merge(&CtrlFaultTally::default());
+        assert_eq!(with_id, ta);
+    }
+
+    #[test]
+    fn ctrl_fault_seed_is_domain_separated() {
+        assert_eq!(ctrl_fault_seed(42, 3), ctrl_fault_seed(42, 3));
+        assert_ne!(ctrl_fault_seed(42, 3), ctrl_fault_seed(42, 4));
+        assert_ne!(ctrl_fault_seed(42, 3), net_fault_seed(42, 3));
+        assert_ne!(ctrl_fault_seed(42, 3), fault_seed(42, 3));
+        assert_ne!(ctrl_fault_seed(42, 3), node_crash_seed(42, 3));
+        let seeds: std::collections::HashSet<u64> =
+            (0..1_000).map(|i| ctrl_fault_seed(7, i)).collect();
+        assert_eq!(seeds.len(), 1_000);
+    }
+
+    #[test]
+    fn ctrl_category_names_are_stable() {
+        let names: Vec<&str> = CtrlFaultCategory::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["frame-loss", "frame-delay", "frame-duplicate"]);
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //! Wall-clock measurements live in the separate [`FleetTiming`] half,
 //! which is excluded from determinism comparisons by construction.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -461,7 +461,13 @@ fn add_confusion(into: &mut Confusion, c: &Confusion) {
 /// `compiled` comes from the fleet's compile-once cache: the same
 /// immutable `Arc<CompiledApp>` is shared read-only by every device of
 /// the app, so no job ever re-clones or re-compiles the app model.
-fn run_job(spec: &FleetSpec, compiled: &CompiledApp, index: usize, app_idx: usize) -> JobResult {
+fn run_job(
+    spec: &FleetSpec,
+    compiled: &CompiledApp,
+    index: usize,
+    app_idx: usize,
+    overridden: Option<&DeviceOverride>,
+) -> JobResult {
     let app = compiled.app();
     let device_in_app = index % spec.devices_per_app as usize;
     let profile = &spec.profiles[device_in_app % spec.profiles.len()];
@@ -469,6 +475,10 @@ fn run_job(spec: &FleetSpec, compiled: &CompiledApp, index: usize, app_idx: usiz
     // Device ids are 1-based and globally unique, so the merged report's
     // per-device evidence cells never collide across the fleet.
     let device_id = index as u32 + 1;
+    let config = overridden
+        .and_then(|o| o.config.clone())
+        .unwrap_or_else(|| spec.config.clone());
+    let faults = overridden.and_then(|o| o.faults).unwrap_or(spec.faults);
 
     let mut rng = SimRng::seed_from_u64(seed);
     let schedule = generate_schedule(
@@ -487,21 +497,12 @@ fn run_job(spec: &FleetSpec, compiled: &CompiledApp, index: usize, app_idx: usiz
     let mut run = build_run(compiled, &schedule, sim_cfg, seed);
 
     let db = shared(BlockingApiDb::documented(spec.apidb_year));
-    let (mut doctor, _handle) = HangDoctor::new(
-        spec.config.clone(),
-        &app.name,
-        &app.package,
-        device_id,
-        Some(db.clone()),
-    );
+    let (mut doctor, _handle) =
+        HangDoctor::new(config, &app.name, &app.package, device_id, Some(db.clone()));
     // Every job gets its own deterministic fault schedule, derived like
     // the device seed from (root_seed, index) — a disabled config makes
     // the plan inert, so clean fleets are untouched.
-    doctor.inject_faults(FaultPlan::for_job(
-        spec.faults,
-        spec.root_seed,
-        index as u64,
-    ));
+    doctor.inject_faults(FaultPlan::for_job(faults, spec.root_seed, index as u64));
     let installed = install(Box::new(doctor), &mut run.sim);
     let summary = run.sim.run();
 
@@ -589,6 +590,7 @@ impl FleetAccum {
                 app: spec.apps[result.app_idx].name.clone(),
                 device: result.index as u32 + 1,
                 report: result.report,
+                faults: result.faults,
             });
         }
     }
@@ -639,6 +641,23 @@ pub struct JobReport {
     pub device: u32,
     /// The device's accumulated hang bug report.
     pub report: HangBugReport,
+    /// What fault injection did to this device's run (all-zero on clean
+    /// fleets) — the control plane's per-device health signal.
+    pub faults: FaultTally,
+}
+
+/// Per-device departures from the fleet-wide spec, keyed by 1-based
+/// device id. This is how the control plane materializes its directives:
+/// a pushed threshold or a targeted fault campaign overrides only the
+/// devices it names, and every other device keeps the spec's settings —
+/// so an empty override map reproduces `run_fleet_with_reports`
+/// byte-for-byte.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceOverride {
+    /// Replacement Hang Doctor configuration for this device.
+    pub config: Option<HangDoctorConfig>,
+    /// Replacement fault-injection configuration for this device.
+    pub faults: Option<FaultConfig>,
 }
 
 /// Runs the fleet: enumerates the matrix, executes every job on the
@@ -648,7 +667,7 @@ pub struct JobReport {
 ///
 /// Panics if the spec has no apps, no profiles, or zero devices.
 pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
-    run_fleet_inner(spec, false).0
+    run_fleet_inner(spec, false, &BTreeMap::new()).0
 }
 
 /// Like [`run_fleet`], but additionally hands back every device's
@@ -657,10 +676,26 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
 /// in-process. The [`FleetReport`] half is identical to what
 /// [`run_fleet`] returns for the same spec.
 pub fn run_fleet_with_reports(spec: &FleetSpec) -> (FleetReport, Vec<JobReport>) {
-    run_fleet_inner(spec, true)
+    run_fleet_inner(spec, true, &BTreeMap::new())
 }
 
-fn run_fleet_inner(spec: &FleetSpec, collect_reports: bool) -> (FleetReport, Vec<JobReport>) {
+/// Like [`run_fleet_with_reports`], but devices named in `overrides` run
+/// with their [`DeviceOverride`] settings instead of the spec's. An empty
+/// map is byte-identical to [`run_fleet_with_reports`]; overrides keep
+/// every determinism property (they are a pure function of the device
+/// id, independent of shard assignment and thread count).
+pub fn run_fleet_with_reports_overridden(
+    spec: &FleetSpec,
+    overrides: &BTreeMap<u32, DeviceOverride>,
+) -> (FleetReport, Vec<JobReport>) {
+    run_fleet_inner(spec, true, overrides)
+}
+
+fn run_fleet_inner(
+    spec: &FleetSpec,
+    collect_reports: bool,
+    overrides: &BTreeMap<u32, DeviceOverride>,
+) -> (FleetReport, Vec<JobReport>) {
     assert!(!spec.apps.is_empty(), "fleet needs at least one app");
     assert!(
         !spec.profiles.is_empty(),
@@ -704,7 +739,13 @@ fn run_fleet_inner(spec: &FleetSpec, collect_reports: bool) -> (FleetReport, Vec
                         hot = Some((app_idx, Arc::clone(&compiled[app_idx])));
                     }
                     let (_, app) = hot.as_ref().expect("hot slot just filled");
-                    let result = run_job(spec, app, index, app_idx);
+                    let result = run_job(
+                        spec,
+                        app,
+                        index,
+                        app_idx,
+                        overrides.get(&(index as u32 + 1)),
+                    );
                     accum.absorb(spec, result, collect_reports);
                     index += threads;
                 }
@@ -923,6 +964,61 @@ mod tests {
             serde_json::to_string(&plain.merged).unwrap(),
             serde_json::to_string(&fleet.merged).unwrap()
         );
+    }
+
+    #[test]
+    fn empty_overrides_are_byte_identical_to_the_plain_run() {
+        let spec = small_spec(2);
+        let (plain, plain_jobs) = run_fleet_with_reports(&spec);
+        let (overridden, jobs) = run_fleet_with_reports_overridden(&spec, &BTreeMap::new());
+        assert_eq!(
+            serde_json::to_string(&plain.merged).unwrap(),
+            serde_json::to_string(&overridden.merged).unwrap()
+        );
+        assert_eq!(plain_jobs.len(), jobs.len());
+        for (a, b) in plain_jobs.iter().zip(&jobs) {
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn overrides_touch_only_the_named_device() {
+        let spec = small_spec(2);
+        let (_, baseline) = run_fleet_with_reports(&spec);
+        // Device 2 alone runs under heavy dropped-sample faults; every
+        // other device must reproduce its baseline report byte-for-byte.
+        let mut overrides = BTreeMap::new();
+        overrides.insert(
+            2,
+            DeviceOverride {
+                config: None,
+                faults: Some(FaultConfig::only(
+                    hd_faults::FaultCategory::DroppedSample,
+                    1.0,
+                )),
+            },
+        );
+        let (_, jobs) = run_fleet_with_reports_overridden(&spec, &overrides);
+        assert_eq!(baseline.len(), jobs.len());
+        for (a, b) in baseline.iter().zip(&jobs) {
+            if a.device == 2 {
+                assert!(
+                    b.faults.samples_dropped > 0,
+                    "override must inject on device 2: {:?}",
+                    b.faults
+                );
+            } else {
+                assert_eq!(
+                    serde_json::to_string(a).unwrap(),
+                    serde_json::to_string(b).unwrap(),
+                    "device {} must be untouched",
+                    a.device
+                );
+            }
+        }
     }
 
     #[test]

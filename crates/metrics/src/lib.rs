@@ -31,4 +31,4 @@ pub use overhead::OverheadReport;
 pub use precision::{
     AppArm, AppPrecision, ArmReport, ClassTotal, PrecisionDifferential, PRECISION_SCHEMA,
 };
-pub use stats::{frac_above, mean, percentile, std_dev};
+pub use stats::{frac_above, mean, percentile, percentile_u64, std_dev};

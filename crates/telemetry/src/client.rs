@@ -30,12 +30,19 @@ use std::time::Duration;
 use hd_faults::{NetFaultConfig, NetFaultPlan, NetFaultTally};
 use hd_simrt::SimRng;
 
+use hangdoctor::ActionState;
+use hd_control::{
+    ControlRequest, ControlResponse, Directives, RolloutSpec, RolloutStage, RolloutStatusInfo,
+    StackDump, SyncReport, CONTROL_SCHEMA,
+};
+use hd_faults::{CtrlFaultConfig, CtrlFaultPlan, CtrlFaultTally};
+
 use crate::error::TelemetryError;
 use crate::report::TelemetryReport;
 use crate::store::StoreSnapshot;
 use crate::wire::{
-    encode_frame, read_frame, write_frame, FrameError, Request, Response, UploadBatch, WireVersion,
-    SUPPORTED_SCHEMAS,
+    encode_frame, encode_frame_in, read_frame, write_frame, FrameError, Request, Response,
+    UploadBatch, WireVersion, SCHEMA, SCHEMA_V1, SUPPORTED_SCHEMAS,
 };
 
 /// Uploader tuning knobs.
@@ -143,13 +150,15 @@ impl Uploader {
         }
     }
 
-    /// Explicit version negotiation: tells the server every dialect this
-    /// build speaks and returns the newest common one. Optional — a
-    /// connection that skips the handshake is answered in whatever
-    /// dialect its requests arrive in.
+    /// Explicit version negotiation: tells the server every *telemetry*
+    /// dialect this build speaks and returns the newest common one.
+    /// Optional — a connection that skips the handshake is answered in
+    /// whatever dialect its requests arrive in. The uploader never
+    /// offers the control dialect; that is [`ControlClient`]'s opening
+    /// move.
     pub fn negotiate(&mut self) -> Result<WireVersion, TelemetryError> {
         let hello = Request::Hello {
-            supported: SUPPORTED_SCHEMAS.iter().map(|s| s.to_string()).collect(),
+            supported: vec![SCHEMA.to_string(), SCHEMA_V1.to_string()],
         };
         match self.round_trip(&encode_frame(&hello))? {
             Response::Welcome { schema } => {
@@ -355,6 +364,243 @@ impl PipelinedUploader {
     }
 }
 
+/// The control-plane client: drives `hang-doctor/control/v1` exchanges
+/// over the same framed transport the uploader uses. Both the device
+/// agent loop (periodic syncs) and the operator CLI (probes, threshold
+/// pushes) speak through it.
+///
+/// Fault tolerance leans entirely on message idempotency: every control
+/// request is safe to re-send (replace-semantics syncs, target-stage
+/// advances, full-desired-state responses), so a lost frame is simply
+/// retried and a duplicated frame's second response is read and
+/// absorbed. The injected schedule comes from a deterministic
+/// [`CtrlFaultPlan`], domain-separated from every other fault stream.
+pub struct ControlClient {
+    addr: SocketAddr,
+    conn: Option<TcpStream>,
+    faults: CtrlFaultPlan,
+    max_attempts: u32,
+}
+
+impl ControlClient {
+    /// A fault-free control client (production path).
+    pub fn connect(addr: SocketAddr) -> ControlClient {
+        ControlClient {
+            addr,
+            conn: None,
+            faults: CtrlFaultPlan::disabled(),
+            max_attempts: 12,
+        }
+    }
+
+    /// A control client whose frames suffer the deterministic fault
+    /// schedule derived from `(root_seed, device)`.
+    pub fn with_faults(
+        addr: SocketAddr,
+        cfg: CtrlFaultConfig,
+        root_seed: u64,
+        device: u64,
+    ) -> ControlClient {
+        ControlClient {
+            addr,
+            conn: None,
+            faults: CtrlFaultPlan::for_device(cfg, root_seed, device),
+            max_attempts: 12,
+        }
+    }
+
+    /// The injected-fault and recovery tally so far.
+    pub fn tally(&self) -> CtrlFaultTally {
+        self.faults.tally()
+    }
+
+    fn stream(&mut self) -> io::Result<&mut TcpStream> {
+        if self.conn.is_none() {
+            self.conn = Some(TcpStream::connect(self.addr)?);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    fn round_trip(&mut self, frame: &[u8]) -> Result<Response, FrameError> {
+        let stream = self.stream().map_err(|e| FrameError::Io(e.to_string()))?;
+        if let Err(e) = write_frame(stream, frame) {
+            self.conn = None;
+            return Err(FrameError::Io(e.to_string()));
+        }
+        match read_frame(stream) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Opens with a Hello offering the control dialect first; the server
+    /// must answer in it.
+    pub fn negotiate(&mut self) -> Result<WireVersion, TelemetryError> {
+        let hello = Request::Hello {
+            supported: SUPPORTED_SCHEMAS.iter().map(|s| s.to_string()).collect(),
+        };
+        let frame = encode_frame_in(WireVersion::Control, &hello);
+        match self.round_trip(&frame)? {
+            Response::Welcome { schema } if schema == CONTROL_SCHEMA => Ok(WireVersion::Control),
+            Response::Welcome { schema } => Err(TelemetryError::SchemaDrift(schema)),
+            Response::Error(e) => Err(TelemetryError::Protocol(e)),
+            other => Err(TelemetryError::Protocol(format!(
+                "hello answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// One control round trip, surviving this frame's injected faults:
+    /// a lost frame reconnects and re-sends, a delayed frame waits, a
+    /// duplicated frame goes out twice and the extra response is read
+    /// and absorbed. Safe precisely because every control message is
+    /// idempotent.
+    pub fn request(&mut self, req: &ControlRequest) -> Result<ControlResponse, TelemetryError> {
+        let frame = encode_frame_in(WireVersion::Control, &Request::Control(req.clone()));
+        // The whole fault schedule for this frame is drawn before the
+        // first byte moves, so retry timing cannot perturb it.
+        let injected = self.faults.next_frame();
+        if injected.drop {
+            // The frame dies in flight: the connection is gone and the
+            // client must re-send.
+            self.conn = None;
+            self.faults.tally.resends += 1;
+        }
+        if let Some(delay_ns) = injected.delay_ns {
+            thread::sleep(Duration::from_nanos(delay_ns));
+        }
+        let mut last_err = String::new();
+        for _ in 0..self.max_attempts {
+            match self.round_trip(&frame) {
+                Ok(Response::Control(resp)) => {
+                    if injected.duplicate {
+                        // Deliver the frame a second time to exercise
+                        // idempotency; read (and absorb) its response to
+                        // keep the connection's request/response cadence.
+                        if let Ok(Response::Control(_)) = self.round_trip(&frame) {
+                            self.faults.tally.duplicates_absorbed += 1;
+                        }
+                    }
+                    return Ok(resp);
+                }
+                Ok(Response::Error(e)) => return Err(TelemetryError::Protocol(e)),
+                Ok(other) => {
+                    return Err(TelemetryError::Protocol(format!(
+                        "control request answered with {other:?}"
+                    )))
+                }
+                Err(e) => {
+                    last_err = e.to_string();
+                    self.conn = None;
+                }
+            }
+        }
+        Err(TelemetryError::Exhausted(last_err))
+    }
+
+    /// Device path: reports live state, returns the server's directives.
+    pub fn sync(&mut self, report: SyncReport) -> Result<Directives, TelemetryError> {
+        match self.request(&ControlRequest::Sync(report))? {
+            ControlResponse::Directives(d) => Ok(d),
+            ControlResponse::Err(e) => Err(TelemetryError::Protocol(e)),
+            other => Err(TelemetryError::Protocol(format!(
+                "sync answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Operator probe: a synced device's live S-Checker state table.
+    pub fn query_state(
+        &mut self,
+        device: u32,
+    ) -> Result<Vec<(u64, ActionState, u32)>, TelemetryError> {
+        match self.request(&ControlRequest::QueryState { device })? {
+            ControlResponse::StateTable { states, .. } => Ok(states),
+            ControlResponse::Err(e) => Err(TelemetryError::Protocol(e)),
+            other => Err(TelemetryError::Protocol(format!(
+                "state query answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Operator probe: a device's most recent on-demand stack dump.
+    pub fn pull_stack(&mut self, device: u32) -> Result<Option<StackDump>, TelemetryError> {
+        match self.request(&ControlRequest::PullStack { device })? {
+            ControlResponse::Stack { stack, .. } => Ok(stack),
+            ControlResponse::Err(e) => Err(TelemetryError::Protocol(e)),
+            other => Err(TelemetryError::Protocol(format!(
+                "stack pull answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Operator: enable/disable phase-2 diagnosis for one app.
+    pub fn toggle_diagnosis(&mut self, app: &str, enabled: bool) -> Result<(), TelemetryError> {
+        match self.request(&ControlRequest::ToggleDiagnosis {
+            app: app.to_string(),
+            enabled,
+        })? {
+            ControlResponse::Ok => Ok(()),
+            ControlResponse::Err(e) => Err(TelemetryError::Protocol(e)),
+            other => Err(TelemetryError::Protocol(format!(
+                "toggle answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Operator: starts a canaried rollout of retrained thresholds.
+    pub fn push_thresholds(
+        &mut self,
+        spec: RolloutSpec,
+    ) -> Result<RolloutStatusInfo, TelemetryError> {
+        self.rollout_response(&ControlRequest::PushThresholds(spec))
+    }
+
+    /// Operator: advances the rollout to `stage`.
+    pub fn advance_rollout(
+        &mut self,
+        stage: RolloutStage,
+    ) -> Result<RolloutStatusInfo, TelemetryError> {
+        self.rollout_response(&ControlRequest::AdvanceRollout { stage })
+    }
+
+    /// Operator: the rollout's current status.
+    pub fn rollout_status(&mut self) -> Result<RolloutStatusInfo, TelemetryError> {
+        self.rollout_response(&ControlRequest::RolloutStatus)
+    }
+
+    fn rollout_response(
+        &mut self,
+        req: &ControlRequest,
+    ) -> Result<RolloutStatusInfo, TelemetryError> {
+        match self.request(req)? {
+            ControlResponse::Rollout(status) => Ok(status),
+            ControlResponse::Err(e) => Err(TelemetryError::Protocol(e)),
+            other => Err(TelemetryError::Protocol(format!(
+                "rollout request answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to shut down after this connection.
+    pub fn shutdown(&mut self) -> Result<(), TelemetryError> {
+        let frame = encode_frame_in(WireVersion::Control, &Request::Shutdown);
+        match self.round_trip(&frame) {
+            Ok(Response::Bye) => {
+                self.conn = None;
+                Ok(())
+            }
+            Ok(other) => Err(TelemetryError::Protocol(format!(
+                "shutdown answered with {other:?}"
+            ))),
+            Err(e) => Err(TelemetryError::Exhausted(e.to_string())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +669,92 @@ mod tests {
         // 5 unique batches applied; 5 duplicate deliveries absorbed.
         assert_eq!(stats.ingest.batches_applied, 5);
         assert_eq!(stats.ingest.duplicates_absorbed, 5);
+    }
+
+    fn sync_report(device: u32) -> SyncReport {
+        SyncReport {
+            device,
+            app: "app".to_string(),
+            states: vec![(1, ActionState::Suspicious, 0)],
+            stack: Some(StackDump {
+                device,
+                action: "act".to_string(),
+                uid: 1,
+                frames: vec!["frame".to_string()],
+                response_ns: 150_000_000,
+            }),
+            health: Default::default(),
+        }
+    }
+
+    #[test]
+    fn control_client_probes_a_live_server() {
+        let server = TelemetryServer::builder().start().unwrap();
+        let mut ctl = ControlClient::connect(server.local_addr());
+        assert_eq!(ctl.negotiate().unwrap(), WireVersion::Control);
+
+        let directives = ctl.sync(sync_report(4)).unwrap();
+        assert!(directives.diagnosis_enabled);
+        assert_eq!(directives.thresholds, None);
+
+        assert_eq!(
+            ctl.query_state(4).unwrap(),
+            vec![(1, ActionState::Suspicious, 0)]
+        );
+        let stack = ctl.pull_stack(4).unwrap().expect("stack present");
+        assert_eq!(stack.action, "act");
+        assert!(ctl.query_state(99).is_err(), "unknown device is typed");
+
+        ctl.toggle_diagnosis("app", false).unwrap();
+        let directives = ctl.sync(sync_report(4)).unwrap();
+        assert!(!directives.diagnosis_enabled);
+
+        // Uploads and control frames share one server.
+        let mut up = Uploader::plain(server.local_addr());
+        up.upload(&batch(1, 0)).unwrap();
+        drop(up); // close the upload connection so join can drain
+
+        ctl.shutdown().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn control_client_survives_full_chaos() {
+        use hangdoctor::SymptomThresholds;
+        use hd_control::{device_bucket, RolloutStage};
+
+        let server = TelemetryServer::builder().start().unwrap();
+        let mut ctl =
+            ControlClient::with_faults(server.local_addr(), CtrlFaultConfig::chaos(1.0), 42, 1);
+        // Every frame is dropped once, delayed, and duplicated — the
+        // outcome must match a fault-free exchange exactly.
+        let spec = RolloutSpec {
+            thresholds: SymptomThresholds {
+                task_clock_diff: 5.0e7,
+                ..SymptomThresholds::default()
+            },
+            baseline: SymptomThresholds::default(),
+        };
+        let in_cohort = (1..10_000u32)
+            .find(|&d| device_bucket(d) < RolloutStage::Canary.cutoff())
+            .unwrap();
+        let status = ctl.push_thresholds(spec).unwrap();
+        assert_eq!(status.stage, "canary");
+        let d = ctl.sync(sync_report(in_cohort)).unwrap();
+        assert_eq!(d.thresholds, Some(spec.thresholds));
+        // Duplicate advances land on an idempotent target stage.
+        let status = ctl.advance_rollout(RolloutStage::Expanded).unwrap();
+        assert_eq!(status.stage, "expanded");
+        let status = ctl.advance_rollout(RolloutStage::Expanded).unwrap();
+        assert_eq!(status.stage, "expanded");
+
+        let tally = ctl.tally();
+        assert!(tally.frames_lost > 0, "{tally:?}");
+        assert!(tally.resends >= tally.frames_lost, "{tally:?}");
+        assert!(tally.duplicates_absorbed > 0, "{tally:?}");
+
+        ctl.shutdown().unwrap();
+        server.join();
     }
 
     #[test]

@@ -384,6 +384,46 @@ mod tests {
     }
 
     #[test]
+    fn control_dialect_reaches_individual_cluster_nodes() {
+        use crate::client::ControlClient;
+        use hangdoctor::ActionState;
+        use hd_control::{CohortHealth, SyncReport};
+
+        let cluster = Cluster::launch(ClusterConfig {
+            nodes: 2,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+
+        // Each node runs its own controller; a device syncs with the
+        // node its telemetry routes to, and state stays queryable there.
+        let mut ctl = ControlClient::connect(cluster.addr(0));
+        let directives = ctl
+            .sync(SyncReport {
+                device: 7,
+                app: "k9mail".to_string(),
+                states: vec![(0, ActionState::Suspicious, 3)],
+                stack: None,
+                health: CohortHealth::default(),
+            })
+            .unwrap();
+        assert!(directives.diagnosis_enabled);
+        assert!(directives.thresholds.is_none());
+        let states = ctl.query_state(7).unwrap();
+        assert_eq!(states, vec![(0, ActionState::Suspicious, 3)]);
+        // Close the control connection (not the node — the cluster
+        // shutdown below owns that) so the io workers can drain.
+        drop(ctl);
+
+        // The other node never heard of the device.
+        let mut other = ControlClient::connect(cluster.addr(1));
+        assert!(other.query_state(7).is_err());
+        drop(other);
+
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
     fn restarting_an_in_memory_node_is_refused() {
         let mut cluster = Cluster::launch(ClusterConfig {
             nodes: 1,

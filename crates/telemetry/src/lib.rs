@@ -33,7 +33,10 @@
 //!   backpressure and ACK-after-apply;
 //! * [`client`] — the retrying [`Uploader`] with deterministic
 //!   exponential backoff and `hd-faults` transport-fault injection,
-//!   plus the windowed [`PipelinedUploader`] throughput path;
+//!   the windowed [`PipelinedUploader`] throughput path, and the
+//!   idempotency-hardened [`ControlClient`] for the
+//!   `hang-doctor/control/v1` dialect (live probes, diagnosis toggles,
+//!   canaried threshold rollout — see `hd-control`);
 //! * [`cluster`] — N-node partitioning, the stateless coordinator fold,
 //!   and the deterministic kill-and-restart differential;
 //! * [`fleet`] — loopback fleet mode and the networked-vs-in-process
@@ -65,7 +68,7 @@ pub mod wal;
 pub mod wire;
 
 pub use bench::{run_telemetry_bench, BenchSpec, TelemetryBench, BENCH_SCHEMA};
-pub use client::{PipelinedUploader, UploadReceipt, Uploader, UploaderConfig};
+pub use client::{ControlClient, PipelinedUploader, UploadReceipt, Uploader, UploaderConfig};
 pub use cluster::{run_cluster_telemetry, Cluster, ClusterConfig, ClusterRunOutcome};
 pub use error::TelemetryError;
 pub use fingerprint::{batch_fingerprint, fnv1a, node_for, shard_for};

@@ -65,6 +65,8 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use crossbeam::queue::SegQueue;
 use serde::{Deserialize, Serialize};
 
+use hd_control::FleetController;
+
 use crate::error::TelemetryError;
 use crate::fingerprint::{batch_fingerprint, shard_for};
 use crate::store::{AggregationStore, IngestOutcome, IngestStats, StoreSnapshot};
@@ -251,6 +253,10 @@ struct Shared {
     nacks_sent: AtomicU64,
     decode_errors: AtomicU64,
     batches_recovered: AtomicU64,
+    /// The embedded control plane (PR 10). Control frames are rare and
+    /// cheap relative to ingest, so one mutex — never touched by the
+    /// upload path — is plenty.
+    controller: Mutex<FleetController>,
 }
 
 impl Shared {
@@ -286,26 +292,6 @@ impl TelemetryServer {
             addr: "127.0.0.1:0".to_string(),
             cfg: ServerConfig::default(),
         }
-    }
-
-    /// Binds `addr` and starts the server under `cfg`.
-    #[deprecated(
-        note = "use TelemetryServer::builder() — it validates the configuration \
-                         and exposes the WAL/cluster knobs"
-    )]
-    pub fn start(addr: &str, cfg: ServerConfig) -> io::Result<TelemetryServer> {
-        // Legacy semantics: clamp instead of reject, and collapse the
-        // typed error into io::Error.
-        let builder = TelemetryServerBuilder {
-            addr: addr.to_string(),
-            cfg: ServerConfig {
-                shards: cfg.shards.max(1),
-                queue_capacity: cfg.queue_capacity.max(1),
-                io_workers: cfg.io_workers.max(1),
-                ..cfg
-            },
-        };
-        builder.start().map_err(|e| io::Error::other(e.to_string()))
     }
 
     fn launch(addr: &str, cfg: ServerConfig) -> Result<TelemetryServer, TelemetryError> {
@@ -344,6 +330,7 @@ impl TelemetryServer {
             nacks_sent: AtomicU64::new(0),
             decode_errors: AtomicU64::new(0),
             batches_recovered: AtomicU64::new(recovered),
+            controller: Mutex::new(FleetController::new()),
         });
 
         let mut senders = Vec::with_capacity(cfg.shards);
@@ -800,6 +787,14 @@ fn handle_request(
                 )));
             }
         },
+        Request::Control(creq) => {
+            let response = shared
+                .controller
+                .lock()
+                .expect("controller lock")
+                .handle(creq);
+            conn.push_ready(Response::Control(response));
+        }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             conn.push_ready(Response::Bye);

@@ -33,6 +33,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 use hangdoctor::{DeviceSnapshot, HangBugReport};
+use hd_control::{ControlRequest, ControlResponse, CONTROL_SCHEMA};
 use serde::{Deserialize, Serialize};
 
 use crate::report::TelemetryReport;
@@ -45,8 +46,10 @@ pub const SCHEMA: &str = "hang-doctor/telemetry/v2";
 pub const SCHEMA_V1: &str = "hang-doctor/telemetry/v1";
 
 /// Every dialect this build speaks, newest first (the negotiation
-/// preference order).
-pub const SUPPORTED_SCHEMAS: [&str; 2] = [SCHEMA, SCHEMA_V1];
+/// preference order). The control dialect outranks the telemetry
+/// dialects: a client that speaks it is a control client and wants its
+/// connection answered in it, while plain uploaders never offer it.
+pub const SUPPORTED_SCHEMAS: [&str; 3] = [CONTROL_SCHEMA, SCHEMA, SCHEMA_V1];
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"HDT1";
@@ -62,6 +65,9 @@ pub enum WireVersion {
     /// `hang-doctor/telemetry/v2` — adds Hello/Welcome negotiation and
     /// the cluster Export exchange.
     V2,
+    /// `hang-doctor/control/v1` — the bidirectional control plane
+    /// riding the same framed transport (PR 10).
+    Control,
 }
 
 impl WireVersion {
@@ -70,6 +76,7 @@ impl WireVersion {
         match self {
             WireVersion::V1 => SCHEMA_V1,
             WireVersion::V2 => SCHEMA,
+            WireVersion::Control => CONTROL_SCHEMA,
         }
     }
 
@@ -78,6 +85,7 @@ impl WireVersion {
         match tag {
             SCHEMA_V1 => Some(WireVersion::V1),
             SCHEMA => Some(WireVersion::V2),
+            CONTROL_SCHEMA => Some(WireVersion::Control),
             _ => None,
         }
     }
@@ -163,6 +171,10 @@ pub enum Request {
     /// elements themselves, not the lossy top-N projection) so a
     /// cluster coordinator can fold it with other nodes'.
     Export,
+    /// Control dialect: a fleet-control message (device sync, operator
+    /// probe, or threshold rollout command) for the server's embedded
+    /// [`hd_control::FleetController`].
+    Control(ControlRequest),
 }
 
 /// Server → client messages.
@@ -197,6 +209,9 @@ pub enum Response {
     /// v2: answer to [`Request::Export`] — the node's full aggregation
     /// state.
     State(StoreSnapshot),
+    /// Control dialect: the controller's answer to a
+    /// [`Request::Control`] message.
+    Control(ControlResponse),
 }
 
 /// Typed decode failure. Every malformed frame maps onto one of these —
@@ -547,6 +562,40 @@ mod tests {
         assert_eq!(WireVersion::negotiate(&legacy_only), Some(WireVersion::V1));
         let alien = vec!["hang-doctor/telemetry/v99".to_string()];
         assert_eq!(WireVersion::negotiate(&alien), None);
+    }
+
+    #[test]
+    fn control_dialect_outranks_telemetry_in_negotiation() {
+        // A control client offers both; it gets the control dialect.
+        let control = vec![CONTROL_SCHEMA.to_string(), SCHEMA.to_string()];
+        assert_eq!(WireVersion::negotiate(&control), Some(WireVersion::Control));
+        // Plain uploaders never offer it, so they still land on v2.
+        let uploader = vec![SCHEMA.to_string(), SCHEMA_V1.to_string()];
+        assert_eq!(WireVersion::negotiate(&uploader), Some(WireVersion::V2));
+        assert_eq!(
+            WireVersion::from_tag(CONTROL_SCHEMA),
+            Some(WireVersion::Control)
+        );
+        assert_eq!(WireVersion::Control.tag(), "hang-doctor/control/v1");
+    }
+
+    #[test]
+    fn control_frames_round_trip_in_their_own_dialect() {
+        let req = Request::Control(ControlRequest::QueryState { device: 9 });
+        let frame = encode_frame_in(WireVersion::Control, &req);
+        let (back, version) = decode_payload_versioned::<Request>(&frame[8..]).unwrap();
+        assert_eq!(version, WireVersion::Control);
+        assert!(matches!(
+            back,
+            Request::Control(ControlRequest::QueryState { device: 9 })
+        ));
+        // Canonical: re-encoding the decoded value is byte-identical.
+        assert_eq!(encode_frame_in(WireVersion::Control, &back), frame);
+        // And control frames never produce an upload fingerprint.
+        assert_eq!(
+            upload_fingerprint_from_payload(&frame[8..], WireVersion::Control),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Property tests of the control-dialect frame codec: arbitrary
+//! `hang-doctor/control/v1` requests and responses round-trip
+//! byte-exactly, and no amount of truncation or corruption can panic
+//! the decoder — the same typed-[`FrameError`] contract the telemetry
+//! dialect pins in `frame_proptest.rs`.
+
+use proptest::prelude::*;
+
+use hangdoctor::{ActionState, SymptomThresholds};
+use hd_control::{
+    CohortHealth, ControlRequest, ControlResponse, Directives, RolloutSpec, RolloutStage,
+    RolloutStatusInfo, StackDump, SyncReport,
+};
+use hd_telemetry::{
+    decode_frame, encode_frame_in, FrameError, Request, Response, WireVersion, MAGIC,
+};
+
+const APPS: [&str; 3] = ["k9mail", "omni-notes", "a better camera"];
+const FRAMES: [&str; 3] = [
+    "android.os.Looper.loop",
+    "k9mail#onRefresh.dispatch",
+    "java.io.File.read (MailStore.java:42)",
+];
+
+fn arb_state() -> impl Strategy<Value = ActionState> {
+    prop_oneof![
+        Just(ActionState::Uncategorized),
+        Just(ActionState::Normal),
+        Just(ActionState::Suspicious),
+        Just(ActionState::HangBug),
+    ]
+}
+
+fn arb_thresholds() -> impl Strategy<Value = SymptomThresholds> {
+    (0u32..2_000, 0u32..2_000, 0u32..2_000).prop_map(|(cs, tc, pf)| SymptomThresholds {
+        context_switch_diff: cs as f64 / 4.0,
+        task_clock_diff: tc as f64 * 1e5,
+        page_fault_diff: pf as f64 / 2.0,
+    })
+}
+
+fn arb_stack() -> impl Strategy<Value = StackDump> {
+    (
+        1u32..6,
+        0usize..3,
+        0u64..8,
+        proptest::collection::vec(0usize..3, 0..4),
+        1u64..900_000_000,
+    )
+        .prop_map(|(device, app_idx, uid, frames, response_ns)| StackDump {
+            device,
+            action: format!("{}#onAction", APPS[app_idx]),
+            uid,
+            frames: frames.into_iter().map(|f| FRAMES[f].to_string()).collect(),
+            response_ns,
+        })
+}
+
+fn arb_health() -> impl Strategy<Value = CohortHealth> {
+    (0u64..500, 0u64..50, 0u64..50).prop_map(|(uploads, nacks, aborts)| CohortHealth {
+        uploads,
+        nacks,
+        aborts,
+    })
+}
+
+fn arb_opt_stack() -> impl Strategy<Value = Option<StackDump>> {
+    prop_oneof![Just(None), arb_stack().prop_map(Some)]
+}
+
+fn arb_sync() -> impl Strategy<Value = SyncReport> {
+    (
+        1u32..6,
+        0usize..3,
+        proptest::collection::vec((0u64..8, arb_state(), 0u32..30), 0..6),
+        arb_opt_stack(),
+        arb_health(),
+    )
+        .prop_map(|(device, app_idx, states, stack, health)| SyncReport {
+            device,
+            app: APPS[app_idx].to_string(),
+            states,
+            stack,
+            health,
+        })
+}
+
+fn arb_stage() -> impl Strategy<Value = RolloutStage> {
+    prop_oneof![
+        Just(RolloutStage::Canary),
+        Just(RolloutStage::Expanded),
+        Just(RolloutStage::Full),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = ControlRequest> {
+    prop_oneof![
+        arb_sync().prop_map(ControlRequest::Sync),
+        (1u32..9).prop_map(|device| ControlRequest::QueryState { device }),
+        (1u32..9).prop_map(|device| ControlRequest::PullStack { device }),
+        (0usize..3, any::<bool>()).prop_map(|(app_idx, enabled)| {
+            ControlRequest::ToggleDiagnosis {
+                app: APPS[app_idx].to_string(),
+                enabled,
+            }
+        }),
+        (arb_thresholds(), arb_thresholds()).prop_map(|(thresholds, baseline)| {
+            ControlRequest::PushThresholds(RolloutSpec {
+                thresholds,
+                baseline,
+            })
+        }),
+        arb_stage().prop_map(|stage| ControlRequest::AdvanceRollout { stage }),
+        Just(ControlRequest::RolloutStatus),
+    ]
+}
+
+fn arb_status() -> impl Strategy<Value = RolloutStatusInfo> {
+    (
+        arb_stage(),
+        any::<bool>(),
+        0u64..100,
+        0u64..100,
+        0u64..1_000,
+        0u64..1_000,
+    )
+        .prop_map(
+            |(stage, rolled_back, cohort_devices, cohort_bad, rest_devices, rest_bad)| {
+                RolloutStatusInfo {
+                    stage: if rolled_back {
+                        "rolled-back".to_string()
+                    } else {
+                        stage.name().to_string()
+                    },
+                    rolled_back,
+                    cohort_devices,
+                    cohort_bad,
+                    rest_devices,
+                    rest_bad,
+                }
+            },
+        )
+}
+
+fn arb_response() -> impl Strategy<Value = ControlResponse> {
+    prop_oneof![
+        (
+            prop_oneof![Just(None), arb_thresholds().prop_map(Some)],
+            any::<bool>()
+        )
+            .prop_map(|(thresholds, diagnosis_enabled)| {
+                ControlResponse::Directives(Directives {
+                    thresholds,
+                    diagnosis_enabled,
+                })
+            }),
+        (
+            1u32..9,
+            proptest::collection::vec((0u64..8, arb_state(), 0u32..30), 0..6)
+        )
+            .prop_map(|(device, states)| ControlResponse::StateTable { device, states }),
+        (1u32..9, arb_opt_stack())
+            .prop_map(|(device, stack)| ControlResponse::Stack { device, stack }),
+        Just(ControlResponse::Ok),
+        arb_status().prop_map(ControlResponse::Rollout),
+        (0usize..3, 1u32..9).prop_map(|(app_idx, device)| {
+            ControlResponse::Err(format!("unknown device {device} for {}", APPS[app_idx]))
+        }),
+    ]
+}
+
+proptest! {
+    /// encode → decode → encode is the identity on bytes for every
+    /// control request, in the control dialect's own frames.
+    #[test]
+    fn control_requests_round_trip_byte_exact(creq in arb_request()) {
+        let frame = encode_frame_in(WireVersion::Control, &Request::Control(creq));
+        let decoded: Request = match decode_frame(&frame) {
+            Ok(r) => r,
+            Err(e) => return Err(format!("decode failed: {e}")),
+        };
+        prop_assert_eq!(encode_frame_in(WireVersion::Control, &decoded), frame);
+    }
+
+    /// Same property for the response direction.
+    #[test]
+    fn control_responses_round_trip_byte_exact(cresp in arb_response()) {
+        let frame = encode_frame_in(WireVersion::Control, &Response::Control(cresp));
+        let decoded: Response = match decode_frame(&frame) {
+            Ok(r) => r,
+            Err(e) => return Err(format!("decode failed: {e}")),
+        };
+        prop_assert_eq!(encode_frame_in(WireVersion::Control, &decoded), frame);
+    }
+
+    /// Every strict prefix of a valid control frame decodes to a typed
+    /// truncation — never a panic, never a bogus success.
+    #[test]
+    fn truncation_yields_typed_errors(creq in arb_request(), frac in 0u32..100) {
+        let frame = encode_frame_in(WireVersion::Control, &Request::Control(creq));
+        let cut = (frame.len() - 1) * frac as usize / 100;
+        match decode_frame::<Request>(&frame[..cut]) {
+            Err(FrameError::Truncated { needed, got }) => {
+                prop_assert!(got < needed, "got {got} >= needed {needed}");
+            }
+            Ok(_) => return Err(format!("decoded from a {cut}-byte prefix")),
+            Err(other) => return Err(format!("unexpected error at cut {cut}: {other:?}")),
+        }
+    }
+
+    /// Flipping any single byte never panics the decoder: the result is
+    /// either a typed error or (e.g. for a flip inside a string) a
+    /// different-but-valid payload.
+    #[test]
+    fn corruption_never_panics(creq in arb_request(), pos in 0u32..10_000, delta in 1u8..255) {
+        let mut frame = encode_frame_in(WireVersion::Control, &Request::Control(creq));
+        let idx = pos as usize % frame.len();
+        frame[idx] = frame[idx].wrapping_add(delta);
+        match decode_frame::<Request>(&frame) {
+            Ok(_) => {}
+            Err(FrameError::BadMagic(m)) => {
+                prop_assert!(idx < 4, "BadMagic from flip at {idx}: {m:?}");
+                prop_assert_ne!(&m, &MAGIC);
+            }
+            Err(FrameError::Truncated { .. })
+            | Err(FrameError::TooLarge { .. })
+            | Err(FrameError::Schema(_))
+            | Err(FrameError::Json(_)) => {}
+            Err(FrameError::Io(e)) => return Err(format!("Io error without I/O: {e}")),
+        }
+    }
+}
